@@ -1,0 +1,812 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe             # run everything
+     dune exec bench/main.exe -- tab1     # one experiment
+     dune exec bench/main.exe -- list     # list experiment ids
+
+   Absolute times are machine-dependent; the claims under reproduction are
+   the *ratios* and *shapes* (see EXPERIMENTS.md). *)
+
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+module Builders = Circuit.Builders
+module Mna = Circuit.Mna
+module Sym = Symbolic.Symbol
+module Model = Awesymbolic.Model
+module Measures = Awe.Measures
+module Cx = Numeric.Cx
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let wall_only f = snd (wall f)
+
+(* Deterministic value stream for random evaluation points. *)
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+    float_of_int ((!state lsr 17) land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Shared circuit setups *)
+
+let opamp_symbolic () =
+  let nl = Builders.opamp741 () in
+  let gname, cname = Builders.opamp_symbol_names in
+  let nl = Netlist.mark_symbolic nl gname (Sym.intern gname) in
+  (Netlist.mark_symbolic nl cname (Sym.intern cname), gname, cname)
+
+let opamp_at nl gname cname g c =
+  Netlist.map_elements
+    (fun (e : Element.t) ->
+      if e.Element.name = gname then Element.set_stamp_value e g
+      else if e.Element.name = cname then Element.set_stamp_value e c
+      else e)
+    nl
+
+let lines_symbolic ?(segments = 100) output =
+  let nl = Builders.coupled_lines ~segments ~output () in
+  let nl = Netlist.mark_symbolic nl "rdrv_a" (Sym.intern "g_drv") in
+  let nl = Netlist.mark_symbolic nl "rdrv_b" (Sym.intern "g_drv") in
+  let nl = Netlist.mark_symbolic nl "cload_a" (Sym.intern "c_load") in
+  Netlist.mark_symbolic nl "cload_b" (Sym.intern "c_load")
+
+let g_grid = Array.init 7 (fun i -> 0.5e-6 *. float_of_int (i + 1))
+let c_grid = Array.init 7 (fun i -> 10e-12 *. float_of_int (i + 1))
+
+let print_surface ~row_label ~rows ~cols ~fmt_row ~fmt_col value =
+  Printf.printf "%12s" row_label;
+  Array.iter (fun c -> Printf.printf "%12s" (fmt_col c)) cols;
+  print_newline ();
+  Array.iter
+    (fun r ->
+      Printf.printf "%12s" (fmt_row r);
+      Array.iter (fun c -> Printf.printf "%12s" (value r c)) cols;
+      print_newline ())
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* EQ5 / EQ6 *)
+
+let eq5 () =
+  banner "EQ5/EQ6: exact symbolic forms of the Fig. 1 circuit";
+  let tf = Exact.Network.transfer_function ~all_symbolic:true (Builders.fig1 ()) in
+  Printf.printf "Eq. (5):  H(s) = %s\n" (Exact.Network.to_string tf);
+  let nl6 = Builders.fig1 ~g1:5.0 () in
+  let nl6 =
+    List.fold_left
+      (fun acc n -> Netlist.mark_symbolic acc n (Sym.intern n))
+      nl6 [ "G2"; "C1"; "C2" ]
+  in
+  let tf6 = Exact.Network.transfer_function nl6 in
+  Printf.printf "Eq. (6):  H(s) = %s\n" (Exact.Network.to_string tf6);
+  Printf.printf
+    "paper:    identical coefficient structure (multi-linear in each element)\n";
+  Printf.printf "measured: multi-linear = %b\n"
+    (Array.for_all Symbolic.Mpoly.is_multilinear
+       (Array.append tf.Exact.Network.num tf.Exact.Network.den))
+
+(* ------------------------------------------------------------------ *)
+(* FIG4 / FIG5: op-amp first-order surfaces *)
+
+let fig4 () =
+  banner "FIG4: dominant pole p1 (Hz) vs (gout_q14, ccomp), 1st-order model";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:1 nl in
+  let eval = Model.evaluator model in
+  print_surface ~row_label:"gout \\ C" ~rows:g_grid ~cols:c_grid
+    ~fmt_row:Circuit.Units.format ~fmt_col:Circuit.Units.format (fun g c ->
+      let rom = eval (Model.values model [ (gname, g); (cname, c) ]) in
+      Printf.sprintf "%.4g" (Measures.dominant_pole_hz rom));
+  Printf.printf
+    "\npaper shape: |p1| increases with gout_q14, decreases with ccomp\n";
+  let p g c =
+    Measures.dominant_pole_hz
+      (eval (Model.values model [ (gname, g); (cname, c) ]))
+  in
+  Printf.printf
+    "measured:    p1(4.5u,10p)=%.4g > p1(0.5u,10p)=%.4g;  p1(1u,70p)=%.4g < \
+     p1(1u,10p)=%.4g\n"
+    (p 4.5e-6 10e-12) (p 0.5e-6 10e-12) (p 1e-6 70e-12) (p 1e-6 10e-12)
+
+let fig5 () =
+  banner "FIG5: DC gain (dB) vs (gout_q14, ccomp), 1st-order model";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:1 nl in
+  let eval = Model.evaluator model in
+  print_surface ~row_label:"gout \\ C" ~rows:g_grid ~cols:c_grid
+    ~fmt_row:Circuit.Units.format ~fmt_col:Circuit.Units.format (fun g c ->
+      let rom = eval (Model.values model [ (gname, g); (cname, c) ]) in
+      Printf.sprintf "%.2f" (Measures.dc_gain_db rom));
+  (* Paper: the DC gain plot from the 2nd-order form is identical to the
+     1st-order one because m0 is always exact. *)
+  let model2 = Model.build ~order:2 nl in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun c ->
+          let v1 = Model.values model [ (gname, g); (cname, c) ] in
+          let v2 = Model.values model2 [ (gname, g); (cname, c) ] in
+          let d1 = Awe.Rom.dc_gain (Model.rom model v1) in
+          let d2 = Awe.Rom.dc_gain (Model.rom model2 v2) in
+          worst := Float.max !worst (Float.abs (d1 -. d2) /. Float.abs d1))
+        c_grid)
+    g_grid;
+  Printf.printf
+    "\npaper: DC gain from 1st- and 2nd-order forms identical (m0 exact)\n";
+  Printf.printf "measured: max relative difference over the grid = %.2g\n" !worst
+
+(* ------------------------------------------------------------------ *)
+(* TAB1: iteration cost, numeric AWE vs compiled AWEsymbolic *)
+
+let tab1 () =
+  banner "TAB1: multi-evaluation runtime, numeric AWE vs AWEsymbolic (op-amp)";
+  let nl, gname, cname = opamp_symbolic () in
+  let model, t_compile = wall (fun () -> Model.build ~order:2 nl) in
+  let eval = Model.evaluator model in
+  let rand = lcg 0xBEEF in
+  let point () =
+    let g = 0.5e-6 +. (rand () *. 8e-6) in
+    let c = 5e-12 +. (rand () *. 60e-12) in
+    (g, c)
+  in
+  Printf.printf "one-time AWEsymbolic compilation: %.3f s (%d operations)\n\n"
+    t_compile
+    (Model.num_operations model);
+  Printf.printf "%10s %15s %15s %10s\n" "datapoints" "AWE total (s)"
+    "AWEsym total(s)" "speedup";
+  let per_iter = ref (0.0, 0.0) in
+  List.iter
+    (fun n ->
+      let pts = List.init n (fun _ -> point ()) in
+      let t_awe =
+        wall_only (fun () ->
+            List.iter
+              (fun (g, c) ->
+                let nl_num = opamp_at nl gname cname g c in
+                ignore (Awe.Driver.analyze ~order:2 nl_num))
+              pts)
+      in
+      let t_sym =
+        wall_only (fun () ->
+            List.iter
+              (fun (g, c) ->
+                ignore (eval (Model.values model [ (gname, g); (cname, c) ])))
+              pts)
+      in
+      Printf.printf "%10d %15.4f %15.6f %9.0fx\n" n t_awe t_sym (t_awe /. t_sym);
+      if n = 1000 then
+        per_iter := (t_awe /. float_of_int n, t_sym /. float_of_int n))
+    [ 10; 100; 1000 ];
+  let awe_it, sym_it = !per_iter in
+  Printf.printf
+    "\npaper (DECstation 5000): AWE 53.2 ms/iter, AWEsymbolic 0.16 ms/iter \
+     (~330x)\n";
+  Printf.printf
+    "measured:                AWE %.3f ms/iter, AWEsymbolic %.4f ms/iter \
+     (%.0fx)\n"
+    (awe_it *. 1e3) (sym_it *. 1e3) (awe_it /. sym_it)
+
+(* ------------------------------------------------------------------ *)
+(* FIG6 / FIG7: op-amp second-order surfaces *)
+
+let fig6 () =
+  banner "FIG6: unity-gain frequency (Hz) vs (gout_q14, ccomp), 2nd-order model";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let eval = Model.evaluator model in
+  print_surface ~row_label:"gout \\ C" ~rows:g_grid ~cols:c_grid
+    ~fmt_row:Circuit.Units.format ~fmt_col:Circuit.Units.format (fun g c ->
+      let rom = eval (Model.values model [ (gname, g); (cname, c) ]) in
+      match Measures.unity_gain_frequency rom with
+      | Some f -> Printf.sprintf "%.4g" f
+      | None -> "-");
+  Printf.printf
+    "\npaper shape: f_unity set by gm/ccomp — falls as ccomp grows, \
+     near-insensitive to gout_q14\n"
+
+let fig7 () =
+  banner "FIG7: phase margin (deg) vs (gout_q14, ccomp), 2nd-order model";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let eval = Model.evaluator model in
+  print_surface ~row_label:"gout \\ C" ~rows:g_grid ~cols:c_grid
+    ~fmt_row:Circuit.Units.format ~fmt_col:Circuit.Units.format (fun g c ->
+      let rom = eval (Model.values model [ (gname, g); (cname, c) ]) in
+      match Measures.phase_margin rom with
+      | Some pm -> Printf.sprintf "%.1f" pm
+      | None -> "-")
+
+(* ------------------------------------------------------------------ *)
+(* FIG9 / FIG10: cross-talk transients *)
+
+let crosstalk_series rows pick =
+  let model = Model.build ~order:2 (lines_symbolic Builders.Crosstalk) in
+  let eval = Model.evaluator model in
+  let times = Array.init 12 (fun k -> 0.2e-9 *. float_of_int (k + 1)) in
+  Printf.printf "%10s" "     \\ t";
+  Array.iter (fun t -> Printf.printf "%9.1e" t) times;
+  print_newline ();
+  List.iter
+    (fun r ->
+      let g_drv, c_load, label = pick r in
+      let rom = eval (Model.values model [ ("g_drv", g_drv); ("c_load", c_load) ]) in
+      Printf.printf "%10s" label;
+      Array.iter (fun t -> Printf.printf "%9.4f" (Awe.Rom.step rom t)) times;
+      print_newline ())
+    rows;
+  model
+
+let fig9 () =
+  banner "FIG9: cross-talk step response as Rdriver varies (2nd-order model)";
+  let model =
+    crosstalk_series [ 25.0; 50.0; 100.0; 200.0; 400.0 ] (fun r ->
+        (1.0 /. r, 50e-15, Printf.sprintf "R=%g" r))
+  in
+  (* Shape check: the cross-talk peak grows and arrives later as the driver
+     weakens. *)
+  let eval = Model.evaluator model in
+  let peak r =
+    Measures.peak_step ~horizon:6e-9
+      (eval (Model.values model [ ("g_drv", 1.0 /. r); ("c_load", 50e-15) ]))
+  in
+  let t_fast, y_fast = peak 25.0 in
+  let t_slow, y_slow = peak 400.0 in
+  Printf.printf
+    "\npaper shape: weaker driver -> later, larger cross-talk pulse\n";
+  Printf.printf
+    "measured:    R=25: peak %.4f at %.2e s;  R=400: peak %.4f at %.2e s\n"
+    y_fast t_fast y_slow t_slow
+
+let fig10 () =
+  banner "FIG10: cross-talk step response as Cload varies (2nd-order model)";
+  ignore
+    (crosstalk_series [ 10e-15; 50e-15; 100e-15; 200e-15; 400e-15 ] (fun c ->
+         (1.0 /. 100.0, c, Circuit.Units.format c)))
+
+(* ------------------------------------------------------------------ *)
+(* TIME32: Sec. 3.2 runtimes on the big coupled-line model *)
+
+let time32 () =
+  banner "TIME32: coupled lines (1000 segments/line, as in the paper)";
+  let segments = 1000 in
+  let nl_sym = lines_symbolic ~segments Builders.Crosstalk in
+  let nl_num = Builders.coupled_lines ~segments ~output:Builders.Crosstalk () in
+  let _, t_awe = wall (fun () -> Awe.Driver.analyze ~order:2 nl_num) in
+  let model, t_compile = wall (fun () -> Model.build ~order:2 nl_sym) in
+  let _, t_compile_sparse =
+    wall (fun () -> Model.build ~order:2 ~sparse:true nl_sym)
+  in
+  let eval = Model.evaluator model in
+  let rand = lcg 0xCAFE in
+  let n = 1000 in
+  let t_incr =
+    wall_only (fun () ->
+        for _ = 1 to n do
+          let r = 25.0 +. (rand () *. 400.0) in
+          let c = 10e-15 +. (rand () *. 400e-15) in
+          ignore (eval (Model.values model [ ("g_drv", 1.0 /. r); ("c_load", c) ]))
+        done)
+    /. float_of_int n
+  in
+  Printf.printf "single full AWE analysis:        %.3f s   (paper: 1.12 s)\n" t_awe;
+  let _, t_awe_sparse =
+    wall (fun () -> Awe.Driver.analyze ~order:2 ~sparse:true nl_num)
+  in
+  Printf.printf "  (same with the sparse solver:  %.3f s)\n" t_awe_sparse;
+  Printf.printf "AWEsymbolic one-time compile:    %.3f s   (paper: 5.41 s)\n"
+    t_compile;
+  Printf.printf "  (same with the sparse solver:  %.3f s)\n" t_compile_sparse;
+  Printf.printf "AWEsymbolic incremental eval:    %.3g ms  (paper: 0.11 ms)\n"
+    (t_incr *. 1e3);
+  Printf.printf "incremental speedup over AWE:    %.0fx    (paper: ~10^4)\n"
+    (t_awe /. t_incr)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let abl_partition () =
+  banner "ABL-PART: partitioned symbolic moments vs whole-circuit exact symbolic";
+  Printf.printf "%10s %22s %26s\n" "sections" "partitioned ratfun (s)"
+    "whole-circuit Bareiss (s)";
+  List.iter
+    (fun sections ->
+      let nl = Builders.rc_ladder ~sections ~r:1.0 ~c:1.0 () in
+      let nl = Netlist.mark_symbolic nl "C1" (Sym.intern "C1") in
+      let nl =
+        Netlist.mark_symbolic nl
+          (Printf.sprintf "R%d" sections)
+          (Sym.intern "Rlast")
+      in
+      let t_part = wall_only (fun () -> ignore (Model.moments_ratfun ~count:4 nl)) in
+      let t_exact =
+        wall_only (fun () ->
+            let tf = Exact.Network.transfer_function nl in
+            ignore (Exact.Network.moments ~count:4 tf))
+      in
+      Printf.printf "%10d %22.5f %26.5f\n" sections t_part t_exact)
+    [ 2; 4; 8; 12; 16 ];
+  Printf.printf
+    "\nshape: partitioned cost stays flat (global system size ~ #symbols);\n\
+     whole-circuit symbolic elimination grows quickly with circuit size\n"
+
+let abl_prune () =
+  banner "ABL-PRUNE: heuristic pruning vs AWE reduction across a symbol range";
+  let nl = Netlist.mark_symbolic (Builders.fig1 ()) "C1" (Sym.intern "C1") in
+  let tf = Exact.Network.transfer_function nl in
+  let nominal _ = 1e-3 in
+  let pruned = Exact.Prune.prune ~threshold:0.05 ~env:nominal tf in
+  let model = Model.build ~order:2 nl in
+  Printf.printf "%10s %16s %16s %16s\n" "C1" "exact |p1|" "pruned err %"
+    "AWEsym err %";
+  List.iter
+    (fun c1 ->
+      let env _ = c1 in
+      let dominant t =
+        Exact.Network.poles t env
+        |> Array.fold_left (fun acc p -> Float.min acc (Cx.norm p)) Float.infinity
+      in
+      let exact = dominant tf in
+      let p_pruned = dominant pruned in
+      let rom = Model.rom model (Model.values model [ ("C1", c1) ]) in
+      let p_sym = Cx.norm (Awe.Rom.dominant_pole rom) in
+      Printf.printf "%10g %16.6g %16.2f %16.2g\n" c1 exact
+        (100.0 *. Float.abs (p_pruned -. exact) /. exact)
+        (100.0 *. Float.abs (p_sym -. exact) /. exact))
+    [ 1e-3; 0.01; 0.1; 1.0; 10.0; 100.0 ];
+  Printf.printf
+    "\nshape: pruned-form error explodes away from the nominal point; the \
+     AWE reduced form stays exact (2-pole circuit, 2-pole model)\n"
+
+let abl_order () =
+  banner "ABL-ORDER: approximation order vs step-response accuracy (RC ladder)";
+  let nl = Builders.rc_ladder ~sections:20 ~r:100.0 ~c:1e-12 () in
+  let mna = Mna.build nl in
+  let reference =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:5e-12
+      ~t_stop:25e-9
+  in
+  Printf.printf "%6s %12s %18s\n" "order" "poles kept" "max |error| vs tran";
+  List.iter
+    (fun order ->
+      let rom = (Awe.Driver.analyze ~order nl).Awe.Driver.rom in
+      let err =
+        Array.fold_left
+          (fun acc (t, y) ->
+            if t > 10e-12 then Float.max acc (Float.abs (y -. Awe.Rom.step rom t))
+            else acc)
+          0.0 reference
+      in
+      Printf.printf "%6d %12d %18.2e\n" order (Awe.Rom.order rom) err)
+    [ 1; 2; 3; 4; 5 ];
+  Printf.printf
+    "\nshape: error falls rapidly with order; order ~4 suffices (paper: \
+     \"typically low, often less than five\")\n"
+
+let abl_spice () =
+  banner "ABL-SPICE: AWE vs traditional transient simulation cost";
+  let nl = Builders.rc_ladder ~sections:100 ~r:100.0 ~c:1e-12 () in
+  let mna = Mna.build nl in
+  let rom = (Awe.Driver.analyze_mna ~order:4 mna).Awe.Driver.rom in
+  let horizon = 8.0 *. Awe.Rom.time_constant rom in
+  let t_tran =
+    wall_only (fun () ->
+        ignore
+          (Spice.Tran.simulate mna ~input:Spice.Tran.step_input
+             ~t_step:(horizon /. 2000.0) ~t_stop:horizon))
+  in
+  let t_awe = wall_only (fun () -> ignore (Awe.Driver.analyze_mna ~order:4 mna)) in
+  Printf.printf "transient (2000 steps): %.4f s\n" t_tran;
+  Printf.printf "AWE analysis:           %.4f s\n" t_awe;
+  Printf.printf
+    "speedup:                %.0fx   (paper: AWE at least an order of \
+     magnitude faster than SPICE)\n"
+    (t_tran /. t_awe)
+
+(* ------------------------------------------------------------------ *)
+(* ABL-SPARSE: dense vs sparse factorization on interconnect *)
+
+let abl_sparse () =
+  banner "ABL-SPARSE: dense vs sparse LU inside AWE (coupled lines)";
+  Printf.printf "%10s %10s %16s %16s %10s\n" "segments" "unknowns"
+    "dense AWE (s)" "sparse AWE (s)" "speedup";
+  List.iter
+    (fun segments ->
+      let nl = Builders.coupled_lines ~segments ~output:Builders.Crosstalk () in
+      let mna = Mna.build nl in
+      let n = Numeric.Matrix.rows (Mna.g mna) in
+      let t_dense =
+        wall_only (fun () -> ignore (Awe.Driver.analyze_mna ~order:2 mna))
+      in
+      let t_sparse =
+        wall_only (fun () ->
+            ignore (Awe.Driver.analyze_mna ~order:2 ~sparse:true mna))
+      in
+      Printf.printf "%10d %10d %16.4f %16.4f %9.1fx\n" segments n t_dense
+        t_sparse (t_dense /. t_sparse))
+    [ 50; 100; 300; 600 ];
+  let nl = Builders.coupled_lines ~segments:300 ~output:Builders.Crosstalk () in
+  let g = Mna.g (Mna.build nl) in
+  let f = Numeric.Sparse.factor (Numeric.Sparse.of_dense g) in
+  Printf.printf
+    "\nfill-in at 300 segments: %d extra non-zeros over %d structural\n"
+    (Numeric.Sparse.fill_in f)
+    (Numeric.Sparse.nnz (Numeric.Sparse.of_dense g));
+  Printf.printf
+    "shape: chain-structured MNA factors with near-zero fill; sparse wins \
+     grow with size\n"
+
+(* ------------------------------------------------------------------ *)
+(* EXT-MULTI: beyond the paper — multipoint (complex frequency hopping) *)
+
+let ext_multi () =
+  banner "EXT-MULTI: multipoint AWE vs single expansion (extension ablation)";
+  let nl = Builders.rc_ladder ~sections:12 ~r:100.0 ~c:1e-12 () in
+  let mna = Mna.build nl in
+  let single = (Awe.Driver.analyze_mna ~order:2 mna).Awe.Driver.rom in
+  let f_dom = Measures.dominant_pole_hz single in
+  let w = 2.0 *. Float.pi *. f_dom in
+  let multi =
+    Awe.Multipoint.analyze ~order_per_point:2
+      ~points:[ Cx.zero; Cx.make 0.0 (10.0 *. w); Cx.make 0.0 (50.0 *. w) ]
+      mna
+  in
+  Printf.printf "single DC expansion: %d poles;  multipoint: %d poles\n"
+    (Awe.Rom.order single) (Awe.Rom.order multi);
+  Printf.printf "%10s %10s %16s %16s\n" "f/f_dom" "|H|" "err single" "err multipoint";
+  List.iter
+    (fun mult ->
+      let f = f_dom *. mult in
+      let exact = Spice.Ac.at_frequency mna f in
+      let e rom = Cx.norm (Cx.sub exact (Awe.Rom.at_frequency rom f)) in
+      Printf.printf "%10g %10.4f %16.6f %16.6f\n" mult (Cx.norm exact)
+        (e single) (e multi))
+    [ 0.5; 1.0; 3.0; 10.0; 30.0; 50.0; 100.0 ];
+  Printf.printf
+    "\nshape: pooling imaginary-axis expansion points extends a low-order \
+     model across the band\n"
+
+(* ------------------------------------------------------------------ *)
+(* EXT-KRYLOV: beyond the paper — explicit moment matching vs Arnoldi *)
+
+let ext_krylov () =
+  banner "EXT-KRYLOV: explicit Pade (AWE) vs Arnoldi projection at high order";
+  let nl = Builders.rc_ladder ~sections:20 ~r:100.0 ~c:1e-12 () in
+  let mna = Mna.build nl in
+  let f_dom =
+    Measures.dominant_pole_hz (Awe.Driver.analyze_mna ~order:2 mna).Awe.Driver.rom
+  in
+  let err rom mult =
+    let f = f_dom *. mult in
+    Cx.norm (Cx.sub (Spice.Ac.at_frequency mna f) (Awe.Rom.at_frequency rom f))
+  in
+  Printf.printf "%6s %12s %14s %12s %14s\n" "order" "pade poles"
+    "pade err@10x" "arnoldi poles" "arnoldi err@10x";
+  List.iter
+    (fun order ->
+      let pade =
+        match Awe.Driver.analyze_mna ~order mna with
+        | r -> Some r.Awe.Driver.rom
+        | exception _ -> None
+      in
+      let arnoldi =
+        match Awe.Krylov.analyze ~order mna with
+        | r -> Some r.Awe.Driver.rom
+        | exception _ -> None
+      in
+      let cell = function
+        | Some rom -> (Awe.Rom.order rom, Printf.sprintf "%.2e" (err rom 10.0))
+        | None -> (0, "-")
+      in
+      let pp_, pe = cell pade and ap, ae = cell arnoldi in
+      Printf.printf "%6d %12d %14s %12d %14s\n" order pp_ pe ap ae)
+    [ 2; 4; 6; 8; 10 ];
+  Printf.printf
+    "\nshape: explicit Hankel fitting saturates (order reduction kicks in, \
+     accuracy plateaus);\nthe orthogonal Krylov basis keeps improving — the \
+     successor-method behaviour that\nhistorically superseded plain AWE\n"
+
+(* ------------------------------------------------------------------ *)
+(* EXT-DISTORTION: where the linearized model stops *)
+
+let ext_distortion () =
+  banner "EXT-DISTORTION: harmonic distortion vs drive (beyond linearization)";
+  let module Models = Nonlinear.Models in
+  let module Nl = Nonlinear.Netlist in
+  let module E = Circuit.Element in
+  let model = { Models.default_nmos with Models.lambda = 0.0 } in
+  let stage =
+    Nl.empty
+    |> Fun.flip Nl.add_element
+         (E.make ~name:"Vdd" ~kind:E.Vsource ~pos:"vdd" ~neg:"0" ~value:3.3 ())
+    |> Fun.flip Nl.add_element
+         (E.make ~name:"Vg" ~kind:E.Vsource ~pos:"g" ~neg:"0" ~value:1.0 ())
+    |> Fun.flip Nl.add_element
+         (E.make ~name:"Rd" ~kind:E.Resistor ~pos:"vdd" ~neg:"d" ~value:40e3 ())
+    |> Fun.flip Nl.add_device
+         (Nl.Mosfet { name = "M1"; drain = "d"; gate = "g"; source = "0"; model })
+    |> Fun.flip Nl.with_ac_input "Vg"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "d")
+  in
+  let vov = 1.0 -. model.Models.vth in
+  Printf.printf "%12s %12s %12s %14s\n" "drive (mV)" "HD2 (%)" "HD3 (%)"
+    "a/(4*Vov) (%)";
+  List.iter
+    (fun a ->
+      let d = Nonlinear.Distortion.measure stage ~bias:1.0 ~f:1e3 ~amplitude:a in
+      Printf.printf "%12.1f %12.4f %12.4f %14.4f\n" (a *. 1e3)
+        (100.0 *. Nonlinear.Distortion.hd2 d)
+        (100.0 *. Nonlinear.Distortion.hd3 d)
+        (100.0 *. a /. (4.0 *. vov)))
+    [ 5e-3; 10e-3; 25e-3; 50e-3; 100e-3 ];
+  Printf.printf
+    "\nshape: HD2 of the square-law stage tracks the analytic a/(4*Vov) and \
+     grows\nlinearly with drive; the linearized model (what AWEsymbolic \
+     compiles) predicts 0 —\nthe boundary of the paper's \"linear(ized)\" \
+     scope, measured\n"
+
+(* ------------------------------------------------------------------ *)
+(* EXT-RLC: inductive vs capacitive crosstalk, symbolic in the mutual *)
+
+let ext_rlc () =
+  banner "EXT-RLC: far-end crosstalk vs mutual coupling (symbolic sweep)";
+  let segments = 8 in
+  let l_line = 100e-9 in
+  let r_line = 400.0 and c_couple = 0.1e-12 in
+  let lseg = l_line /. float_of_int segments in
+  (* One symbol for every per-segment mutual: the coupling coefficient
+     becomes a design knob of the compiled model.  The early-time crosstalk
+     peak is a high-frequency feature, so this workload needs order ~10
+     (with automatic reduction) where the paper's RC studies used 2 — the
+     RLC limit of single-point expansion, quantified. *)
+  let nl =
+    Builders.coupled_rlc_lines ~segments ~r_line ~l_line ~c_couple
+      ~k_couple:0.3 ()
+  in
+  let nl =
+    List.fold_left
+      (fun acc k ->
+        Netlist.mark_symbolic acc (Printf.sprintf "k%d" k) (Sym.intern "m_seg"))
+      nl
+      (List.init segments (fun k -> k + 1))
+  in
+  let model = Model.build ~order:10 nl in
+  Printf.printf "compiled program: %d operations (order 10, %d mutuals shared)\n\n"
+    (Model.num_operations model) segments;
+  let tran_peak k =
+    let nl =
+      Builders.coupled_rlc_lines ~segments ~r_line ~l_line ~c_couple
+        ~k_couple:k ()
+    in
+    let wave =
+      Spice.Tran.simulate (Mna.build nl) ~input:Spice.Tran.step_input
+        ~t_step:5e-12 ~t_stop:4e-9
+    in
+    Array.fold_left
+      (fun acc (_, y) -> if Float.abs y > Float.abs acc then y else acc)
+      0.0 wave
+  in
+  Printf.printf "%8s %14s %14s %14s\n" "k" "compiled peak" "tran peak"
+    "polarity";
+  List.iter
+    (fun k ->
+      let rom = Model.rom model (Model.values model [ ("m_seg", k *. lseg) ]) in
+      let _, y = Awe.Measures.peak_step ~horizon:4e-9 rom in
+      Printf.printf "%8.2f %14.4f %14.4f %14s\n" k y (tran_peak k)
+        (if y > 0.0 then "capacitive" else "inductive"))
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ];
+  Printf.printf
+    "\nshape: capacitive coupling alone gives positive far-end noise; \
+     growing mutual\ninductance cancels and then flips it.  The compiled \
+     symbolic sweep places the\ncrossover where the transient baseline does\n"
+
+(* ------------------------------------------------------------------ *)
+(* EXT-SENS: compiled sensitivity programs vs per-point numeric adjoint *)
+
+let ext_sens () =
+  banner "EXT-SENS: compiled dm/ds programs vs numeric adjoint per point";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let rand = lcg 0x5E45 in
+  let n = 200 in
+  let points =
+    Array.init n (fun _ ->
+        (0.5e-6 +. (rand () *. 8e-6), 5e-12 +. (rand () *. 60e-12)))
+  in
+  (* Numeric adjoint: every point pays a fresh MNA build + LU + direct and
+     adjoint Krylov sequences. *)
+  let t0 = Unix.gettimeofday () in
+  let sink = ref 0.0 in
+  Array.iter
+    (fun (g, c) ->
+      let numeric_nl = opamp_at nl gname cname g c in
+      let adj = Awe.Sensitivity.create ~count:4 (Mna.build numeric_nl) in
+      List.iter
+        (fun name ->
+          let e = Option.get (Netlist.find numeric_nl name) in
+          let d = Awe.Sensitivity.moment_derivatives adj e in
+          sink := !sink +. d.(1))
+        [ gname; cname ])
+    points;
+  let t_adjoint = Unix.gettimeofday () -. t0 in
+  (* Compiled: one differentiation+compile, then SLP runs. *)
+  let t0 = Unix.gettimeofday () in
+  let prog = Model.sensitivity_program model in
+  let t_compile = Unix.gettimeofday () -. t0 in
+  let run = Symbolic.Slp.make_evaluator prog in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun (g, c) ->
+      let out = run (Model.values model [ (gname, g); (cname, c) ]) in
+      sink := !sink +. out.(0))
+    points;
+  let t_compiled = Unix.gettimeofday () -. t0 in
+  ignore !sink;
+  Printf.printf "points: %d (all 8 dm_k/ds_j entries each)\n" n;
+  Printf.printf "numeric adjoint:      %8.2f ms  (%.4f ms/point)\n"
+    (t_adjoint *. 1e3)
+    (t_adjoint *. 1e3 /. float_of_int n);
+  Printf.printf "one-time derivative compile: %.2f ms\n" (t_compile *. 1e3);
+  Printf.printf "compiled programs:    %8.2f ms  (%.4f ms/point)  %.0fx\n"
+    (t_compiled *. 1e3)
+    (t_compiled *. 1e3 /. float_of_int n)
+    (t_adjoint /. Float.max t_compiled 1e-9);
+  Printf.printf
+    "\nshape: the paper's compile-once thesis applies to its own Sec. 2.3 \
+     sensitivity\nmachinery — the derivative DAGs ride along for free\n"
+
+(* ------------------------------------------------------------------ *)
+(* IDENT: the identity claim, measured *)
+
+let ident () =
+  banner "IDENT: compiled symbolic vs full numeric AWE (identical results)";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let rand = lcg 0x1DEA in
+  let worst = ref 0.0 in
+  for _ = 1 to 200 do
+    let g = 0.5e-6 +. (rand () *. 8e-6) in
+    let c = 5e-12 +. (rand () *. 60e-12) in
+    let m_sym =
+      Model.eval_moments model (Model.values model [ (gname, g); (cname, c) ])
+    in
+    let m_num =
+      Awe.Moments.output_moments
+        (Awe.Moments.compute ~count:4 (Mna.build (opamp_at nl gname cname g c)))
+    in
+    Array.iteri
+      (fun k mk ->
+        let rel = Float.abs (mk -. m_sym.(k)) /. Float.abs mk in
+        worst := Float.max !worst rel)
+      m_num
+  done;
+  Printf.printf "max relative moment discrepancy over 200 random points: %.2e\n"
+    !worst;
+  Printf.printf
+    "paper: \"the results are identical to those obtained by a numeric AWE \
+     analysis\"\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test per table/figure family *)
+
+let bechamel () =
+  banner "BECHAMEL: per-iteration microbenchmarks (OLS ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let nl, gname, cname = opamp_symbolic () in
+  let model1 = Model.build ~order:1 nl in
+  let model2 = Model.build ~order:2 nl in
+  let eval1 = Model.evaluator model1 in
+  let eval2 = Model.evaluator model2 in
+  let v = Model.values model2 [ (gname, 2e-6); (cname, 30e-12) ] in
+  let v1 = Model.values model1 [ (gname, 2e-6); (cname, 30e-12) ] in
+  let nl_num = opamp_at nl gname cname 2e-6 30e-12 in
+  let mna_num = Mna.build nl_num in
+  let lines_model =
+    Model.build ~order:2 (lines_symbolic ~segments:100 Builders.Crosstalk)
+  in
+  let lines_eval = Model.evaluator lines_model in
+  let lines_v = Model.values lines_model [ ("g_drv", 0.01); ("c_load", 50e-15) ] in
+  let lines_mna =
+    Mna.build (Builders.coupled_lines ~segments:100 ~output:Builders.Crosstalk ())
+  in
+  let run_moments = Symbolic.Slp.make_evaluator (Model.program model2) in
+  let tests =
+    Test.make_grouped ~name:"awesymbolic" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"tab1-awe-iteration"
+          (Staged.stage (fun () -> ignore (Awe.Driver.analyze ~order:2 nl_num)));
+        Test.make ~name:"tab1-awe-iteration-nostamp"
+          (Staged.stage (fun () ->
+               ignore (Awe.Driver.analyze_mna ~order:2 mna_num)));
+        Test.make ~name:"tab1-awesymbolic-iteration"
+          (Staged.stage (fun () -> ignore (eval2 v)));
+        Test.make ~name:"tab1-moment-slp-only"
+          (Staged.stage (fun () -> ignore (run_moments v)));
+        Test.make ~name:"fig4-fig5-iteration"
+          (Staged.stage (fun () -> ignore (eval1 v1)));
+        Test.make ~name:"fig9-fig10-iteration"
+          (Staged.stage (fun () -> ignore (lines_eval lines_v)));
+        Test.make ~name:"time32-awe-analysis-100seg"
+          (Staged.stage (fun () ->
+               ignore (Awe.Driver.analyze_mna ~order:2 lines_mna)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> (name, ns) :: acc
+        | Some _ | None -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-50s %12s\n" name pretty)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("eq5", eq5);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("tab1", tab1);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("time32", time32);
+    ("ident", ident);
+    ("abl-partition", abl_partition);
+    ("abl-prune", abl_prune);
+    ("abl-order", abl_order);
+    ("abl-spice", abl_spice);
+    ("abl-sparse", abl_sparse);
+    ("ext-multi", ext_multi);
+    ("ext-krylov", ext_krylov);
+    ("ext-distortion", ext_distortion);
+    ("ext-sens", ext_sens);
+    ("ext-rlc", ext_rlc);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    print_newline ()
+  | _ :: [ "list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (try: list)\n" id;
+          exit 1)
+      ids;
+    print_newline ()

@@ -1,0 +1,642 @@
+(* awesym: command-line front end.
+
+   Subcommands:
+     awe        numeric AWE analysis (poles, residues, measures); --krylov
+                switches to the Arnoldi-projection baseline, --sparse to the
+                sparse factorization
+     symbolic   AWEsymbolic: compile the symbolic model, print the symbolic
+                forms, optionally evaluate at symbol values
+     exact      exact symbolic transfer function (classical baseline)
+     ac         AC sweep via direct complex solves
+     tran       trapezoidal transient analysis
+     rank       AWEsensitivity element ranking
+     linearize  transistor-level deck -> operating point -> linear deck
+     validate   compiled model vs full numeric AWE over symbol ranges
+     macromodel N-port pole/residue reduction of a network block
+     moments    raw circuit moments
+
+   All subcommands read a SPICE-like deck (see Circuit.Parser; device cards
+   per Nonlinear.Parser for linearize) with .input, .output and optional
+   .symbolic directives. *)
+
+open Cmdliner
+
+let read_netlist path =
+  try Ok (Circuit.Parser.parse_file path) with
+  | Circuit.Parser.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let deck_arg =
+  let doc = "Input netlist deck." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc)
+
+let order_arg =
+  let doc = "Approximation order (number of poles)." in
+  Arg.(value & opt int 2 & info [ "order"; "q" ] ~docv:"ORDER" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+let print_rom rom =
+  Format.printf "%a@." Awe.Rom.pp rom;
+  Printf.printf "dc gain        : %g (%.2f dB)\n" (Awe.Measures.dc_gain rom)
+    (Awe.Measures.dc_gain_db rom);
+  Printf.printf "dominant pole  : %g Hz\n" (Awe.Measures.dominant_pole_hz rom);
+  (match Awe.Measures.unity_gain_frequency rom with
+  | Some f ->
+    Printf.printf "unity gain     : %g Hz\n" f;
+    Option.iter
+      (fun pm -> Printf.printf "phase margin   : %.1f deg\n" pm)
+      (Awe.Measures.phase_margin rom)
+  | None -> ());
+  match Awe.Measures.delay_50 rom with
+  | Some t -> Printf.printf "50%% step delay : %g s\n" t
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let awe_cmd =
+  let run deck order krylov sparse realize_path =
+    let nl = or_die (read_netlist deck) in
+    let result =
+      if krylov then Awe.Krylov.analyze ~order (Circuit.Mna.build nl)
+      else Awe.Driver.analyze ~order ~sparse nl
+    in
+    Printf.printf "moments:";
+    Array.iter (fun m -> Printf.printf " %g" m) result.Awe.Driver.moments;
+    print_newline ();
+    print_rom result.Awe.Driver.rom;
+    match realize_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Awe.Realize.to_deck result.Awe.Driver.rom));
+      Printf.printf "\nreduced-order model synthesized to %s\n" path
+  in
+  let krylov_arg =
+    Arg.(
+      value & flag
+      & info [ "krylov" ] ~doc:"Use the Arnoldi-projection baseline instead \
+                                of explicit moment matching.")
+  in
+  let sparse_arg =
+    Arg.(value & flag & info [ "sparse" ] ~doc:"Use the sparse factorization.")
+  in
+  let realize_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "realize" ] ~docv:"FILE"
+          ~doc:
+            "Synthesize the reduced-order model back into a deck (one \
+             state-space section per pole) and write it here.")
+  in
+  let doc = "Numeric AWE analysis: reduced-order model of the deck." in
+  Cmd.v (Cmd.info "awe" ~doc)
+    Term.(const run $ deck_arg $ order_arg $ krylov_arg $ sparse_arg
+          $ realize_arg)
+
+let bindings_arg =
+  let doc =
+    "Symbol assignment NAME=VALUE (repeatable); values take engineering \
+     suffixes."
+  in
+  Arg.(value & opt_all string [] & info [ "set"; "s" ] ~docv:"NAME=VALUE" ~doc)
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "malformed binding %S (want NAME=VALUE)" s)
+  | Some k -> (
+    let name = String.sub s 0 k in
+    let v = String.sub s (k + 1) (String.length s - k - 1) in
+    match Circuit.Units.parse v with
+    | Some value -> Ok (name, value)
+    | None -> Error (Printf.sprintf "malformed value in %S" s))
+
+let symbolic_cmd =
+  let run deck order bindings show_program =
+    let nl = or_die (read_netlist deck) in
+    let model = Awesymbolic.Model.build ~order nl in
+    let symbols = Awesymbolic.Model.symbols model in
+    Printf.printf "symbols : %s\n"
+      (String.concat ", "
+         (Array.to_list (Array.map Symbolic.Symbol.name symbols)));
+    Printf.printf "compiled: %d operations for %d moments\n"
+      (Awesymbolic.Model.num_operations model)
+      (2 * order);
+    (if order <= 2 then
+       try
+         Format.printf "%a@?"
+           (Awesymbolic.Model.pp_forms ~count:(Int.min 4 (2 * order)))
+           nl
+       with Failure _ ->
+         (* The expanded (Cramer-form) display needs fraction-free exact
+            division, which float coefficients cannot always support on
+            large incidence-heavy systems.  The compiled model above is
+            unaffected — it solves by elimination with numeric pivoting. *)
+         print_endline
+           "(expanded symbolic forms unavailable: fraction-free elimination \
+            is\n ill-conditioned for this system; the compiled model is \
+            unaffected —\n evaluate with --set or check it with `awesym \
+            validate`)");
+    if show_program then
+      Format.printf "%a@." Symbolic.Slp.pp (Awesymbolic.Model.program model);
+    if bindings <> [] then begin
+      let bound = List.map (fun b -> or_die (parse_binding b)) bindings in
+      let v = Awesymbolic.Model.values model bound in
+      let rom = Awesymbolic.Model.rom model v in
+      Printf.printf "\nevaluated at %s:\n"
+        (String.concat ", "
+           (List.map (fun (n, x) -> Printf.sprintf "%s=%g" n x) bound));
+      print_rom rom
+    end
+  in
+  let program_arg =
+    Arg.(value & flag & info [ "program" ] ~doc:"Print the compiled program.")
+  in
+  let doc = "AWEsymbolic: compiled symbolic analysis of the deck." in
+  Cmd.v
+    (Cmd.info "symbolic" ~doc)
+    Term.(const run $ deck_arg $ order_arg $ bindings_arg $ program_arg)
+
+let exact_cmd =
+  let run deck all_symbolic =
+    let nl = or_die (read_netlist deck) in
+    let tf = Exact.Network.transfer_function ~all_symbolic nl in
+    Printf.printf "H(s) = %s\n" (Exact.Network.to_string tf)
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all-symbolic" ] ~doc:"Treat every element as a symbol.")
+  in
+  let doc = "Exact symbolic transfer function (classical baseline)." in
+  Cmd.v (Cmd.info "exact" ~doc) Term.(const run $ deck_arg $ all_arg)
+
+let ac_cmd =
+  let run deck f_start f_stop points =
+    let nl = or_die (read_netlist deck) in
+    let mna = Circuit.Mna.build nl in
+    Printf.printf "%14s %14s %12s\n" "freq (Hz)" "mag (dB)" "phase (deg)";
+    Array.iter
+      (fun (f, h) ->
+        Printf.printf "%14.6g %14.4f %12.2f\n" f (Spice.Ac.magnitude_db h)
+          (Spice.Ac.phase_deg h))
+      (Spice.Ac.sweep mna ~f_start ~f_stop ~points)
+  in
+  let f_start =
+    Arg.(value & opt float 1.0 & info [ "start" ] ~docv:"HZ" ~doc:"Start frequency.")
+  in
+  let f_stop =
+    Arg.(value & opt float 1e9 & info [ "stop" ] ~docv:"HZ" ~doc:"Stop frequency.")
+  in
+  let points =
+    Arg.(value & opt int 30 & info [ "points"; "n" ] ~doc:"Sweep points.")
+  in
+  let doc = "AC sweep by direct complex solves." in
+  Cmd.v (Cmd.info "ac" ~doc) Term.(const run $ deck_arg $ f_start $ f_stop $ points)
+
+let tran_cmd =
+  let run deck t_step t_stop adaptive tol =
+    let nl = or_die (read_netlist deck) in
+    let mna = Circuit.Mna.build nl in
+    let wave =
+      if adaptive then
+        Spice.Tran.simulate_adaptive ~tol mna ~input:Spice.Tran.step_input
+          ~t_stop
+      else
+        match t_step with
+        | Some t_step ->
+          Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step ~t_stop
+        | None ->
+          prerr_endline "need --step (or --adaptive)";
+          exit 1
+    in
+    Printf.printf "%14s %14s\n" "t (s)" "v(out)";
+    Array.iter (fun (t, y) -> Printf.printf "%14.6g %14.6g\n" t y) wave;
+    if adaptive then Printf.printf "(%d adaptive points)\n" (Array.length wave)
+  in
+  let t_step =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "step" ] ~docv:"S" ~doc:"Fixed time step.")
+  in
+  let t_stop =
+    Arg.(required & opt (some float) None & info [ "stop" ] ~docv:"S" ~doc:"Stop time.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ] ~doc:"Variable step with error control.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "tol" ] ~docv:"REL" ~doc:"Adaptive error tolerance.")
+  in
+  let doc = "Transient step response (trapezoidal integration)." in
+  Cmd.v (Cmd.info "tran" ~doc)
+    Term.(const run $ deck_arg $ t_step $ t_stop $ adaptive_arg $ tol_arg)
+
+let rank_cmd =
+  let run deck order top =
+    let nl = or_die (read_netlist deck) in
+    let ranked = Awe.Sensitivity.rank ~order nl in
+    Printf.printf "%4s %-20s %14s\n" "#" "element" "sensitivity";
+    List.iteri
+      (fun k ((e : Circuit.Element.t), score) ->
+        if k < top then
+          Printf.printf "%4d %-20s %14.4g\n" (k + 1) e.Circuit.Element.name score)
+      ranked
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many elements to list.")
+  in
+  let doc = "Rank elements by AWE pole/gain sensitivity." in
+  Cmd.v (Cmd.info "rank" ~doc) Term.(const run $ deck_arg $ order_arg $ top_arg)
+
+let linearize_cmd =
+  let run deck out_path analyze =
+    let nl =
+      try Nonlinear.Parser.parse_file deck with
+      | Nonlinear.Parser.Parse_error (line, msg) ->
+        prerr_endline (Printf.sprintf "%s:%d: %s" deck line msg);
+        exit 1
+      | Sys_error msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    let sol =
+      try Nonlinear.Newton.solve nl with
+      | Nonlinear.Newton.No_convergence msg ->
+        prerr_endline ("DC solve failed: " ^ msg);
+        exit 1
+    in
+    print_string (Nonlinear.Linearize.operating_report nl sol);
+    let lin = Nonlinear.Linearize.netlist nl sol in
+    (match out_path with
+    | Some path ->
+      Circuit.Export.to_file lin path;
+      Printf.printf "linearized netlist written to %s\n" path
+    | None -> print_string (Circuit.Export.to_deck lin));
+    if analyze then begin
+      let result = Awe.Driver.analyze ~order:2 lin in
+      print_newline ();
+      print_rom result.Awe.Driver.rom
+    end
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the linearized deck here.")
+  in
+  let analyze_arg =
+    Arg.(value & flag & info [ "awe" ] ~doc:"Also run an order-2 AWE analysis.")
+  in
+  let doc = "Bias a transistor-level deck and emit its linearized netlist." in
+  Cmd.v
+    (Cmd.info "linearize" ~doc)
+    Term.(const run $ deck_arg $ out_arg $ analyze_arg)
+
+let distortion_cmd =
+  let run deck f amplitude bias harmonics two_tone =
+    let nl =
+      try Nonlinear.Parser.parse_file deck with
+      | Nonlinear.Parser.Parse_error (line, msg) ->
+        prerr_endline (Printf.sprintf "%s:%d: %s" deck line msg);
+        exit 1
+      | Sys_error msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    try
+      match two_tone with
+      | Some spec ->
+        let k1, k2 =
+          match String.split_on_char ':' spec with
+          | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some k1, Some k2 -> (k1, k2)
+            | _ ->
+              prerr_endline "malformed --two-tone (want K1:K2)";
+              exit 1)
+          | _ ->
+            prerr_endline "malformed --two-tone (want K1:K2)";
+            exit 1
+        in
+        let d =
+          Nonlinear.Distortion.two_tone nl ~bias ~f_base:f ~k1 ~k2 ~amplitude
+        in
+        Printf.printf "tones: %g V each at %s and %s, bias %g V\n" amplitude
+          (Circuit.Units.format (f *. float_of_int k1))
+          (Circuit.Units.format (f *. float_of_int k2))
+          bias;
+        Printf.printf "fundamentals: %.6g / %.6g\n" d.Nonlinear.Distortion.fund1
+          d.Nonlinear.Distortion.fund2;
+        Printf.printf "IM2 = %.4f%%   IM3 = %.4f%%  (of the first tone)\n"
+          (100.0 *. d.Nonlinear.Distortion.im2 /. d.Nonlinear.Distortion.fund1)
+          (100.0 *. d.Nonlinear.Distortion.im3 /. d.Nonlinear.Distortion.fund1)
+      | None ->
+        let d =
+          Nonlinear.Distortion.measure nl ~bias ~f ~amplitude
+            ~max_harmonic:harmonics
+        in
+        Printf.printf "drive: %g V at %s, bias %g V\n" amplitude
+          (Circuit.Units.format f) bias;
+        Printf.printf "%10s %14s %14s\n" "harmonic" "amplitude" "rel. to h1";
+        Array.iteri
+          (fun k h ->
+            Printf.printf "%10d %14.6g %14.6g\n" k h
+              (if k = 1 || d.Nonlinear.Distortion.fundamental = 0.0 then
+                 (if k = 1 then 1.0 else Float.infinity)
+               else h /. d.Nonlinear.Distortion.fundamental))
+          d.Nonlinear.Distortion.harmonics;
+        Printf.printf "\nTHD = %.4f%%  (HD2 = %.4f%%, HD3 = %.4f%%)\n"
+          (100.0 *. d.Nonlinear.Distortion.thd)
+          (100.0 *. Nonlinear.Distortion.hd2 d)
+          (100.0 *. Nonlinear.Distortion.hd3 d)
+    with Nonlinear.Tran.No_convergence t ->
+      prerr_endline (Printf.sprintf "transient failed to converge at t = %g" t);
+      exit 1
+  in
+  let two_tone_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "two-tone" ] ~docv:"K1:K2"
+          ~doc:
+            "Two-tone intermodulation instead of single-tone harmonics: \
+             tones at K1 and K2 times the base frequency given by --freq.")
+  in
+  let f_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "f"; "freq" ] ~docv:"HZ" ~doc:"Drive frequency.")
+  in
+  let amp_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "a"; "amplitude" ] ~docv:"V" ~doc:"Drive amplitude.")
+  in
+  let bias_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "bias" ] ~docv:"V" ~doc:"DC bias added to the drive.")
+  in
+  let harmonics_arg =
+    Arg.(value & opt int 5 & info [ "harmonics" ] ~doc:"Highest harmonic to report.")
+  in
+  let doc =
+    "Measure harmonic distortion of a transistor-level deck (steady-state \
+     transient + FFT)."
+  in
+  Cmd.v
+    (Cmd.info "distortion" ~doc)
+    Term.(const run $ deck_arg $ f_arg $ amp_arg $ bias_arg $ harmonics_arg
+          $ two_tone_arg)
+
+let sens_cmd =
+  let run deck order bindings =
+    let nl = or_die (read_netlist deck) in
+    let model = Awesymbolic.Model.build ~order nl in
+    let symbols = Awesymbolic.Model.symbols model in
+    (* Default point: every symbol at its netlist (nominal) value. *)
+    let nominal =
+      Circuit.Netlist.symbolic_elements nl
+      |> List.map (fun ((e : Circuit.Element.t), s) ->
+             (Symbolic.Symbol.name s, Circuit.Element.stamp_value e))
+    in
+    let bound = List.map (fun b -> or_die (parse_binding b)) bindings in
+    let point =
+      List.map
+        (fun (name, v) ->
+          match List.find_opt (fun (n, _) -> n = name) bound with
+          | Some (_, v') -> (name, v')
+          | None -> (name, v))
+        nominal
+    in
+    let v = Awesymbolic.Model.values model point in
+    Printf.printf "at %s\n\n"
+      (String.concat ", "
+         (List.map (fun (n, x) -> Printf.sprintf "%s=%g" n x) point));
+    let sens = Awesymbolic.Model.eval_sensitivities model v in
+    Printf.printf "%-6s" "";
+    Array.iter
+      (fun s -> Printf.printf " %16s" ("d/d" ^ Symbolic.Symbol.name s))
+      symbols;
+    print_newline ();
+    Array.iteri
+      (fun k row ->
+        Printf.printf "m%-5d" k;
+        Array.iter (fun d -> Printf.printf " %16.6g" d) row;
+        print_newline ())
+      sens;
+    match Awesymbolic.Model.eval_pole_sensitivities model v with
+    | None -> ()
+    | Some (dp1, dp2) ->
+      print_newline ();
+      List.iter
+        (fun (label, dp) ->
+          Printf.printf "%-6s" label;
+          Array.iter (fun d -> Printf.printf " %16.6g" d) dp;
+          print_newline ())
+        [ ("p1", dp1); ("p2", dp2) ]
+  in
+  let doc =
+    "Compiled symbolic sensitivities: d(moment)/d(symbol) and, for orders \
+     1-2, d(pole)/d(symbol)."
+  in
+  Cmd.v (Cmd.info "sens" ~doc) Term.(const run $ deck_arg $ order_arg $ bindings_arg)
+
+let validate_cmd =
+  let run deck order points ranges =
+    let nl = or_die (read_netlist deck) in
+    let model = Awesymbolic.Model.build ~order nl in
+    let parse_range s =
+      match String.split_on_char '=' s with
+      | [ name; bounds ] -> (
+        match String.split_on_char ':' bounds with
+        | [ lo; hi ] -> (
+          match (Circuit.Units.parse lo, Circuit.Units.parse hi) with
+          | Some lo, Some hi -> Ok (name, lo, hi)
+          | _ -> Error (Printf.sprintf "malformed bounds in %S" s))
+        | _ -> Error (Printf.sprintf "malformed range %S (want NAME=LO:HI)" s))
+      | _ -> Error (Printf.sprintf "malformed range %S (want NAME=LO:HI)" s)
+    in
+    let ranges = List.map (fun r -> or_die (parse_range r)) ranges in
+    (* Default range: a decade around each symbol's netlist value. *)
+    let defaults =
+      Circuit.Netlist.symbolic_elements nl
+      |> List.map (fun ((e : Circuit.Element.t), s) ->
+             let v = Circuit.Element.stamp_value e in
+             (Symbolic.Symbol.name s, v /. 3.0, v *. 3.0))
+    in
+    let merged =
+      defaults
+      |> List.map (fun (name, lo, hi) ->
+             match List.find_opt (fun (n, _, _) -> n = name) ranges with
+             | Some r -> r
+             | None -> (name, lo, hi))
+    in
+    let report = Awesymbolic.Validate.run ~points ~ranges:merged model in
+    Format.printf "%a@." Awesymbolic.Validate.pp report
+  in
+  let points_arg =
+    Arg.(value & opt int 50 & info [ "points"; "n" ] ~doc:"Sample count.")
+  in
+  let ranges_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "range" ] ~docv:"NAME=LO:HI"
+          ~doc:"Symbol range (default: a decade around the netlist value).")
+  in
+  let doc = "Validate the compiled model against full numeric AWE." in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(const run $ deck_arg $ order_arg $ points_arg $ ranges_arg)
+
+let macromodel_cmd =
+  let run deck order ports f_probe out_path ts_path =
+    let nl = or_die (read_netlist deck) in
+    if ports = [] then begin
+      prerr_endline "need at least one --port";
+      exit 1
+    end;
+    let mm =
+      try Awesymbolic.Macromodel.reduce ~order ~ports nl
+      with Failure msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    Format.printf "%a@." Awesymbolic.Macromodel.pp mm;
+    (match out_path with
+    | None -> ()
+    | Some path ->
+      Circuit.Export.to_file (Awesymbolic.Macromodel.to_netlist mm) path;
+      Printf.printf "synthesized N-port block written to %s\n" path);
+    (match ts_path with
+    | None -> ()
+    | Some path ->
+      let frequencies =
+        Array.init 40 (fun k -> 1e3 *. (10.0 ** (float_of_int k /. 5.0)))
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Awesymbolic.Macromodel.touchstone mm ~z0:50.0 ~frequencies));
+      Printf.printf "touchstone S-parameters written to %s\n" path);
+    match f_probe with
+    | None -> ()
+    | Some f ->
+      let s = Numeric.Cx.make 0.0 (2.0 *. Float.pi *. f) in
+      let y = Awesymbolic.Macromodel.admittance mm s in
+      Printf.printf "\nY(j·2π·%g):\n" f;
+      Array.iteri
+        (fun j pj ->
+          Array.iteri
+            (fun k pk ->
+              let v = Numeric.Cmatrix.get y j k in
+              Printf.printf "  Y[%s][%s] = %g %+gi\n" pj pk v.Numeric.Cx.re
+                v.Numeric.Cx.im)
+            (Awesymbolic.Macromodel.ports mm))
+        (Awesymbolic.Macromodel.ports mm)
+  in
+  let ports_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "port"; "p" ] ~docv:"NODE" ~doc:"Port node (repeatable).")
+  in
+  let probe_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "at" ] ~docv:"HZ" ~doc:"Also print Y(s) at this frequency.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Synthesize the macromodel as an embeddable deck block here.")
+  in
+  let ts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "touchstone" ] ~docv:"FILE"
+          ~doc:
+            "Write S-parameters (50-ohm, 1 kHz - 60 MHz log sweep) in \
+             Touchstone format here.")
+  in
+  let doc = "Reduce a network block to an N-port pole/residue macromodel." in
+  Cmd.v
+    (Cmd.info "macromodel" ~doc)
+    Term.(const run $ deck_arg $ order_arg $ ports_arg $ probe_arg $ out_arg
+          $ ts_arg)
+
+let noise_cmd =
+  let run deck f_probe f_start f_stop top =
+    let nl = or_die (read_netlist deck) in
+    let mna = Circuit.Mna.build nl in
+    let density = Spice.Noise.output_density mna f_probe in
+    Printf.printf "output noise density at %g Hz: %.4g V^2/Hz (%.4g nV/sqrt(Hz))\n"
+      f_probe density
+      (Float.sqrt density *. 1e9);
+    Printf.printf "\ntop contributors:\n";
+    List.iteri
+      (fun k (name, d) ->
+        if k < top then Printf.printf "  %-16s %.4g V^2/Hz\n" name d)
+      (Spice.Noise.contributions mna f_probe);
+    let total = Spice.Noise.integrated mna ~f_start ~f_stop in
+    Printf.printf "\nintegrated over [%g, %g] Hz: %.4g V^2 (%.4g uVrms)\n"
+      f_start f_stop total
+      (Float.sqrt total *. 1e6)
+  in
+  let f_probe =
+    Arg.(value & opt float 1e3 & info [ "at" ] ~docv:"HZ" ~doc:"Spot frequency.")
+  in
+  let f_start =
+    Arg.(value & opt float 1.0 & info [ "start" ] ~docv:"HZ" ~doc:"Band start.")
+  in
+  let f_stop =
+    Arg.(value & opt float 1e9 & info [ "stop" ] ~docv:"HZ" ~doc:"Band stop.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5 & info [ "top" ] ~doc:"Contributors to list.")
+  in
+  let doc = "Thermal (4kTR) output noise: density, breakdown, integral." in
+  Cmd.v (Cmd.info "noise" ~doc)
+    Term.(const run $ deck_arg $ f_probe $ f_start $ f_stop $ top_arg)
+
+let moments_cmd =
+  let run deck count =
+    let nl = or_die (read_netlist deck) in
+    let mna = Circuit.Mna.build nl in
+    let m = Awe.Moments.output_moments (Awe.Moments.compute ~count mna) in
+    Array.iteri (fun k mk -> Printf.printf "m%-2d = %.12g\n" k mk) m
+  in
+  let count_arg =
+    Arg.(value & opt int 8 & info [ "count"; "n" ] ~doc:"Number of moments.")
+  in
+  let doc = "Raw circuit moments of the designated output." in
+  Cmd.v (Cmd.info "moments" ~doc) Term.(const run $ deck_arg $ count_arg)
+
+let () =
+  let doc = "compiled symbolic circuit analysis via asymptotic waveform evaluation" in
+  let info = Cmd.info "awesym" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ awe_cmd; symbolic_cmd; exact_cmd; ac_cmd; tran_cmd; rank_cmd; linearize_cmd;
+      distortion_cmd; sens_cmd; validate_cmd; macromodel_cmd; noise_cmd;
+      moments_cmd ]))

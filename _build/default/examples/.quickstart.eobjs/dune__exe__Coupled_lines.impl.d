@@ -1,0 +1,1 @@
+examples/coupled_lines.ml: Array Awe Awesymbolic Circuit List Printf Spice Symbolic

@@ -1,0 +1,1 @@
+examples/design_centering.ml: Array Awe Awesymbolic Circuit Float List Numeric Option Printf Symbolic Unix

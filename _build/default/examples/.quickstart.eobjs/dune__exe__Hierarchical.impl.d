@@ -1,0 +1,1 @@
+examples/hierarchical.ml: Array Awesymbolic Circuit Float Fun List Numeric Printf Spice Unix

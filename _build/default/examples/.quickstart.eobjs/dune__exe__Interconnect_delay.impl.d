@@ -1,0 +1,1 @@
+examples/interconnect_delay.ml: Array Awe Awesymbolic Circuit Fun List Printf Spice String Symbolic

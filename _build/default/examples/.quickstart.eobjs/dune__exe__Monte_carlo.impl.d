@@ -1,0 +1,1 @@
+examples/monte_carlo.ml: Array Awe Awesymbolic Circuit Float Int Printf Symbolic Unix

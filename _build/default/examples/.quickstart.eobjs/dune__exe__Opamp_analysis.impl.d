@@ -1,0 +1,1 @@
+examples/opamp_analysis.ml: Array Awe Awesymbolic Circuit List Numeric Printf Symbolic

@@ -1,0 +1,1 @@
+examples/power_grid.ml: Array Awe Awesymbolic Circuit Format List Printf Spice Symbolic

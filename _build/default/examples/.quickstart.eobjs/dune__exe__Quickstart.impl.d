@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Awe Awesymbolic Circuit Exact Float List Numeric Printf Spice String Symbolic

@@ -1,0 +1,1 @@
+examples/rectifier.ml: Array Circuit Float Fun List Nonlinear Numeric Printf Spice

@@ -1,0 +1,1 @@
+examples/transistor_amp.ml: Awe Awesymbolic Circuit Format Fun List Nonlinear Option Printf Symbolic

@@ -1,0 +1,1 @@
+examples/transistor_amp.mli:

@@ -1,0 +1,120 @@
+(* Time-domain symbolic analysis of two coupled interconnect lines — the
+   paper's Sec. 3.2 worked example.
+
+   Two symmetric RC lines with distributed capacitive coupling are lumped
+   into N segments (the paper uses 1000).  The driver resistance and the
+   load capacitance are the symbols; a second-order AWEsymbolic model
+   captures the non-monotonic cross-talk pulse on the quiet line, and a
+   first-order model suffices for direct transmission.  The symbolic forms
+   are compiled once; each (Rdriver, Cload) evaluation then costs
+   microseconds (Figs. 9-10 regenerate from exactly this model).
+
+   Run with:  dune exec examples/coupled_lines.exe *)
+
+module Netlist = Circuit.Netlist
+module Builders = Circuit.Builders
+module Sym = Symbolic.Symbol
+module Model = Awesymbolic.Model
+
+let segments = 100
+
+let symbolic_lines output =
+  let nl = Builders.coupled_lines ~segments ~output () in
+  let nl = Netlist.mark_symbolic nl "rdrv_a" (Sym.intern "g_drv") in
+  let nl = Netlist.mark_symbolic nl "rdrv_b" (Sym.intern "g_drv") in
+  let nl = Netlist.mark_symbolic nl "cload_a" (Sym.intern "c_load") in
+  Netlist.mark_symbolic nl "cload_b" (Sym.intern "c_load")
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  Printf.printf
+    "coupled RC lines: %d segments per line, symbols g_drv (= 1/Rdriver) \
+     and c_load\n"
+    segments;
+
+  section "Second-order cross-talk model (quiet line far end)";
+  let xtalk = Model.build ~order:2 (symbolic_lines Builders.Crosstalk) in
+  Printf.printf "compiled program: %d operations\n" (Model.num_operations xtalk);
+
+  section "First-order direct-transmission model (driven line far end)";
+  let direct = Model.build ~order:1 (symbolic_lines Builders.Direct) in
+  Printf.printf "compiled program: %d operations\n" (Model.num_operations direct);
+  let v = Model.values direct [ ("g_drv", 1.0 /. 100.0); ("c_load", 50e-15) ] in
+  let rom_d = Model.rom direct v in
+  Printf.printf "direct transmission 50%% delay at nominal: %s s\n"
+    (match Awe.Measures.delay_50 rom_d with
+    | Some t -> Printf.sprintf "%.4g" t
+    | None -> "-");
+
+  section "Cross-talk step response as Rdriver varies (Fig. 9)";
+  let times = Array.init 9 (fun k -> 0.25e-9 *. float_of_int (k + 1)) in
+  Printf.printf "%10s" "Rdrv \\ t";
+  Array.iter (fun t -> Printf.printf "%10.2e" t) times;
+  print_newline ();
+  List.iter
+    (fun rdrv ->
+      let v = Model.values xtalk [ ("g_drv", 1.0 /. rdrv); ("c_load", 50e-15) ] in
+      let rom = Model.rom xtalk v in
+      Printf.printf "%10g" rdrv;
+      Array.iter (fun t -> Printf.printf "%10.4f" (Awe.Rom.step rom t)) times;
+      print_newline ())
+    [ 25.0; 50.0; 100.0; 200.0; 400.0 ];
+
+  section "Cross-talk step response as Cload varies (Fig. 10)";
+  Printf.printf "%10s" "Cload \\ t";
+  Array.iter (fun t -> Printf.printf "%10.2e" t) times;
+  print_newline ();
+  List.iter
+    (fun cload ->
+      let v = Model.values xtalk [ ("g_drv", 1.0 /. 100.0); ("c_load", cload) ] in
+      let rom = Model.rom xtalk v in
+      Printf.printf "%10s" (Circuit.Units.format cload);
+      Array.iter (fun t -> Printf.printf "%10.4f" (Awe.Rom.step rom t)) times;
+      print_newline ())
+    [ 10e-15; 50e-15; 100e-15; 200e-15 ];
+
+  section "Validation against transient simulation at the nominal point";
+  let nl_nominal = Builders.coupled_lines ~segments ~output:Builders.Crosstalk () in
+  let mna = Circuit.Mna.build nl_nominal in
+  let v = Model.values xtalk [ ("g_drv", 1.0 /. 100.0); ("c_load", 50e-15) ] in
+  let rom = Model.rom xtalk v in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:10e-12
+      ~t_stop:2.4e-9
+  in
+  Printf.printf "%10s %12s %12s\n" "t" "tran" "AWEsymbolic";
+  Array.iteri
+    (fun k (t, y) ->
+      if k mod 24 = 0 && t > 0.0 then
+        Printf.printf "%10.2e %12.5f %12.5f\n" t y (Awe.Rom.step rom t))
+    wave;
+  let t_peak, y_peak = Awe.Measures.peak_step ~horizon:3e-9 rom in
+  Printf.printf "\ncross-talk peak from the symbolic model: %.4f at t = %.3g s\n"
+    y_peak t_peak;
+
+  section "Multi-output: near/far ends of both lines from ONE analysis";
+  (* Model.build_many shares the partitioning, port reduction and symbolic
+     elimination across outputs — a designer watches every victim tap for
+     the cost of one analysis plus cheap projections. *)
+  let far = Printf.sprintf "b%d" segments in
+  let outputs =
+    [ (Circuit.Netlist.Node far, "victim far end");
+      (Circuit.Netlist.Node "b1", "victim near end");
+      (Circuit.Netlist.Node (Printf.sprintf "a%d" segments), "aggressor far end") ]
+  in
+  let models =
+    Model.build_many ~order:2
+      (symbolic_lines Builders.Crosstalk)
+      ~outputs:(List.map fst outputs)
+  in
+  Printf.printf "%-18s %14s %14s\n" "output" "peak |step|" "t_peak (ps)";
+  List.iter2
+    (fun (_, label) model ->
+      let rom =
+        Model.rom model
+          (Model.values model [ ("g_drv", 0.01); ("c_load", 50e-15) ])
+      in
+      let t_pk, y_pk = Awe.Measures.peak_step ~horizon:3e-9 rom in
+      Printf.printf "%-18s %14.4f %14.1f\n" label y_pk (t_pk *. 1e12))
+    outputs models

@@ -1,0 +1,96 @@
+(* Power-grid style application: compiled timing/droop model of an RC mesh.
+
+   A supply or clock mesh is re-evaluated constantly while a physical-design
+   tool resizes the driver and moves decoupling capacitance.  Treating the
+   driver conductance and the far-corner decap as symbols gives one compiled
+   model that answers every (driver, decap) query in microseconds — the
+   "highly iterative applications" the paper's conclusion targets.
+
+   Run with:  dune exec examples/power_grid.exe *)
+
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+module Builders = Circuit.Builders
+module Sym = Symbolic.Symbol
+module Model = Awesymbolic.Model
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let grid ~rows ~cols =
+  let nl = Builders.rc_mesh ~rows ~cols ~r:2.0 ~c:20e-15 () in
+  let far = Printf.sprintf "x%d_%d" (rows - 1) (cols - 1) in
+  let nl =
+    Netlist.add nl
+      (Element.make ~name:"cdecap" ~kind:Element.Capacitor ~pos:far ~neg:"0"
+         ~value:200e-15 ())
+  in
+  let nl = Netlist.mark_symbolic nl "Rdrv" (Sym.intern "g_drv") in
+  Netlist.mark_symbolic nl "cdecap" (Sym.intern "c_decap")
+
+let () =
+  let rows = 8 and cols = 8 in
+  let nl = grid ~rows ~cols in
+  let total, storage = Netlist.stats nl in
+  Printf.printf "mesh: %dx%d grid, %d elements (%d capacitors)\n" rows cols
+    total storage;
+
+  section "Compiled grid model (order 2; symbols g_drv, c_decap)";
+  let model = Model.build ~order:2 nl in
+  Printf.printf "compiled program: %d operations\n" (Model.num_operations model);
+  let eval = Model.evaluator model in
+
+  section "Far-corner 50% delay (ps) vs driver resistance and decap";
+  let drivers = [ 1.0; 2.0; 5.0; 10.0; 20.0 ] in
+  let decaps = [ 50e-15; 200e-15; 1e-12; 5e-12 ] in
+  Printf.printf "%12s" "Rdrv \\ Cd";
+  List.iter (fun c -> Printf.printf "%12s" (Circuit.Units.format c)) decaps;
+  print_newline ();
+  List.iter
+    (fun rdrv ->
+      Printf.printf "%12g" rdrv;
+      List.iter
+        (fun cdecap ->
+          let rom =
+            eval
+              (Model.values model
+                 [ ("g_drv", 1.0 /. rdrv); ("c_decap", cdecap) ])
+          in
+          match Awe.Measures.delay_50 rom with
+          | Some t -> Printf.printf "%12.2f" (t *. 1e12)
+          | None -> Printf.printf "%12s" "-")
+        decaps;
+      print_newline ())
+    drivers;
+
+  section "Validation against full numeric AWE over the ranges";
+  let report =
+    Awesymbolic.Validate.run ~points:40
+      ~ranges:[ ("g_drv", 0.05, 1.0); ("c_decap", 50e-15, 5e-12) ]
+      model
+  in
+  Format.printf "%a@." Awesymbolic.Validate.pp report;
+
+  section "Step response at the far corner vs transient simulation";
+  let rom = eval (Model.values model [ ("g_drv", 0.2); ("c_decap", 200e-15) ]) in
+  let nominal =
+    Netlist.map_elements
+      (fun (e : Element.t) ->
+        match e.Element.name with
+        | "Rdrv" -> Element.set_stamp_value e 0.2
+        | "cdecap" -> Element.set_stamp_value e 200e-15
+        | _ -> e)
+      nl
+  in
+  let mna = Circuit.Mna.build nominal in
+  let horizon = 6.0 *. Awe.Rom.time_constant rom in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input
+      ~t_step:(horizon /. 600.0) ~t_stop:horizon
+  in
+  Printf.printf "%12s %12s %12s\n" "t (s)" "tran" "compiled";
+  Array.iteri
+    (fun k (t, y) ->
+      if k mod 100 = 0 && t > 0.0 then
+        Printf.printf "%12.3e %12.6f %12.6f\n" t y (Awe.Rom.step rom t))
+    wave;
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/awe/driver.ml: Array Circuit Moments Numeric Pade Rom

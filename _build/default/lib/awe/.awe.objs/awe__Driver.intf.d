@@ -1,0 +1,1 @@
+lib/awe/driver.mli: Circuit Rom

@@ -1,0 +1,1 @@
+lib/awe/krylov.ml: Array Circuit Driver Float Int List Moments Numeric Pade Rom

@@ -1,0 +1,1 @@
+lib/awe/krylov.mli: Circuit Driver Numeric

@@ -1,0 +1,1 @@
+lib/awe/measures.ml: Array Float Numeric Rom

@@ -1,0 +1,1 @@
+lib/awe/measures.mli: Rom

@@ -1,0 +1,1 @@
+lib/awe/multipoint.ml: Array Float Int List Moments Numeric Pade Rom

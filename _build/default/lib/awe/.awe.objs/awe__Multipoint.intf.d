@@ -1,0 +1,1 @@
+lib/awe/multipoint.mli: Circuit Numeric Rom

@@ -1,0 +1,1 @@
+lib/awe/pade.ml: Array Float Fun Int List Numeric Rom

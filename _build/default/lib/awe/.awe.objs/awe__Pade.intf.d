@@ -1,0 +1,1 @@
+lib/awe/pade.mli: Numeric Rom

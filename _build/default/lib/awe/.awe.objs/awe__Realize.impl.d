@@ -1,0 +1,1 @@
+lib/awe/realize.ml: Array Circuit Float Format Fun List Numeric Printf Rom

@@ -1,0 +1,1 @@
+lib/awe/realize.mli: Circuit Rom

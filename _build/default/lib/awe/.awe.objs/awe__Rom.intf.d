@@ -1,0 +1,1 @@
+lib/awe/rom.mli: Format Numeric

@@ -1,0 +1,1 @@
+lib/awe/sensitivity.ml: Array Circuit Float List Moments Numeric Pade Rom Symbolic

@@ -1,0 +1,1 @@
+lib/awe/sensitivity.mli: Circuit Numeric

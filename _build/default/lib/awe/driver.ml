@@ -1,0 +1,33 @@
+type result = {
+  rom : Rom.t;
+  moments : float array;
+  mna : Circuit.Mna.t;
+}
+
+let analyze_mna ?(order = 4) ?(extra_moments = 0) ?(shift = 0.0)
+    ?(with_direct = false) ?(sparse = false) mna =
+  if order < 1 then invalid_arg "Driver.analyze: order must be >= 1";
+  let count = (2 * order) + extra_moments + (if with_direct then 1 else 0) in
+  let moments = Moments.compute ~count ~shift ~sparse mna in
+  let m = Moments.output_moments moments in
+  (* Stability filtering compares against the shifted origin, which is
+     meaningless away from DC; shifted expansions are pole-location
+     diagnostics and keep every pole they find. *)
+  let rom = Pade.fit ~enforce_stability:(shift = 0.0) ~with_direct ~order m in
+  let rom =
+    if shift = 0.0 then rom
+    else
+      (* Poles of the shifted-variable model translate back by s0; residues
+         of a partial-fraction expansion are shift invariant. *)
+      Rom.make ~direct:rom.Rom.direct
+        ~poles:
+          (Array.map
+             (fun p -> Numeric.Cx.add p (Numeric.Cx.of_float shift))
+             rom.Rom.poles)
+        ~residues:rom.Rom.residues ()
+  in
+  { rom; moments = m; mna }
+
+let analyze ?order ?extra_moments ?shift ?with_direct ?sparse nl =
+  analyze_mna ?order ?extra_moments ?shift ?with_direct ?sparse
+    (Circuit.Mna.build nl)

@@ -1,0 +1,25 @@
+(** Top-level numeric AWE analysis: netlist in, reduced-order model out. *)
+
+type result = {
+  rom : Rom.t;
+  moments : float array;  (** the output moments used for the fit *)
+  mna : Circuit.Mna.t;
+}
+
+val analyze :
+  ?order:int -> ?extra_moments:int -> ?shift:float -> ?with_direct:bool ->
+  ?sparse:bool -> Circuit.Netlist.t -> result
+(** [analyze ~order nl] (default order 4) computes enough moments and fits a
+    stable [order]-pole model.  This is the per-iteration cost the paper's
+    Table 1 charges to "AWE".
+
+    [shift] expands about [s = s₀] instead of DC (the fitted poles are
+    translated back, residues are shift-invariant), capturing far poles.
+    [with_direct] adds a feedthrough term [d = H(∞)-ish] to the model,
+    consuming one extra moment (only meaningful with [shift = 0]). *)
+
+val analyze_mna :
+  ?order:int -> ?extra_moments:int -> ?shift:float -> ?with_direct:bool ->
+  ?sparse:bool -> Circuit.Mna.t -> result
+(** Same, reusing an existing MNA build (parsing/setup excluded, matching the
+    paper's "ignoring the overhead in both scenarios"). *)

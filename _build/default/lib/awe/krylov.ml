@@ -1,0 +1,209 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+module Cx = Numeric.Cx
+module Poly = Numeric.Poly
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc
+
+let norm2 a = Float.sqrt (dot a a)
+
+let basis ~order mna =
+  if order < 1 then invalid_arg "Krylov.basis: order must be >= 1";
+  let g = Mna.g mna and c = Mna.c mna in
+  let lu = Numeric.Lu.factor g in
+  let n = Matrix.rows g in
+  let vs = ref [] in
+  let count = ref 0 in
+  let orthogonalize v =
+    (* Modified Gram–Schmidt, twice (the second pass recovers the digits the
+       first loses when the new direction is nearly dependent).  A direction
+       that loses more than ~8 digits to the projection is numerically
+       dependent: keeping it would inject noise eigenvalues into the reduced
+       pencil, so the basis deflates there. *)
+    let n0 = norm2 v in
+    for _pass = 1 to 2 do
+      List.iter
+        (fun u ->
+          let h = dot u v in
+          Array.iteri (fun i ui -> v.(i) <- v.(i) -. (h *. ui)) u)
+        !vs
+    done;
+    let nv = norm2 v in
+    if n0 > 0.0 && nv > 1e-8 *. n0 then begin
+      Array.iteri (fun i vi -> v.(i) <- vi /. nv) v;
+      Some v
+    end
+    else None
+  in
+  let r0 = Numeric.Lu.solve lu (Mna.input_vector mna) in
+  (match orthogonalize r0 with
+  | Some v ->
+    vs := [ v ];
+    count := 1
+  | None -> ());
+  let continue_ = ref (!count > 0) in
+  while !continue_ && !count < order do
+    let prev = List.hd !vs in
+    let w = Matrix.mul_vec c prev in
+    Array.iteri (fun i v -> w.(i) <- -.v) w;
+    let next = Numeric.Lu.solve lu w in
+    match orthogonalize next with
+    | Some v ->
+      vs := v :: !vs;
+      incr count
+    | None -> continue_ := false
+  done;
+  let cols = List.rev !vs in
+  let q = List.length cols in
+  let v = Matrix.create n q in
+  List.iteri (fun j col -> Array.iteri (fun i x -> Matrix.set v i j x) col) cols;
+  v
+
+let reduced_pencil v mna =
+  let g = Mna.g mna and c = Mna.c mna in
+  let project m = Matrix.mul (Matrix.transpose v) (Matrix.mul m v) in
+  let gq = project g and cq = project c in
+  let bq = Matrix.mul_vec_transpose v (Mna.input_vector mna) in
+  let lq = Matrix.mul_vec_transpose v (Mna.output_vector mna) in
+  (gq, cq, bq, lq)
+
+(* Characteristic polynomial of a small dense matrix by Faddeev–LeVerrier:
+   Bₖ = M·Bₖ₋₁ + cₖ·I with cₖ = −tr(M·Bₖ₋₁)/k. *)
+let char_poly_of_matrix m =
+  let q = Matrix.rows m in
+  let coeffs = Array.make (q + 1) 0.0 in
+  coeffs.(q) <- 1.0;
+  let b = ref (Matrix.identity q) in
+  for k = 1 to q do
+    let a = Matrix.mul m !b in
+    let tr = ref 0.0 in
+    for i = 0 to q - 1 do
+      tr := !tr +. Matrix.get a i i
+    done;
+    let c = -. !tr /. float_of_int k in
+    coeffs.(q - k) <- c;
+    b := Matrix.add a (Matrix.scale c (Matrix.identity q))
+  done;
+  Poly.of_coeffs coeffs
+
+(* Eigenvalues of the reduced pencil: s with det(Gq + s·Cq) = 0.  Work in
+   reciprocal-pole space — x = 1/s are the eigenvalues of M = −Gq⁻¹·Cq — so
+   the pencil's (near-)infinite eigenvalues, which one-sided MNA projections
+   always carry, land harmlessly near x = 0 while the dominant poles become
+   the {e largest}, best-conditioned roots of the characteristic polynomial.
+   Near-zero x (unresolved/spurious fast poles) are discarded. *)
+let poles_via_eigen gq cq =
+  match Numeric.Lu.factor gq with
+  | exception Numeric.Lu.Singular _ -> None
+  | lu ->
+    let m = Matrix.scale (-1.0) (Numeric.Lu.solve_matrix lu cq) in
+    let scale = Matrix.norm_inf m in
+    if scale <= 0.0 then None
+    else begin
+      let m_hat = Matrix.scale (1.0 /. scale) m in
+      let char = char_poly_of_matrix m_hat in
+      if Poly.degree char < 1 then None
+      else begin
+        let roots = Numeric.Roots.of_poly char in
+        let poles =
+          roots
+          |> Array.to_list
+          |> List.filter_map (fun x ->
+                 if Cx.norm x < 1e-6 then None
+                 else Some (Cx.inv (Cx.scale scale x)))
+          |> Array.of_list
+        in
+        if Array.length poles = 0 then None else Some poles
+      end
+    end
+
+let poles_via_interpolation gq cq =
+  let q = Matrix.rows gq in
+  if q = 0 then [||]
+  else begin
+    (* Natural scale: balance ‖G‖ against ‖C‖. *)
+    let scale =
+      let ng = Matrix.norm_inf gq and nc = Matrix.norm_inf cq in
+      if nc > 0.0 then ng /. nc else 1.0
+    in
+    let points =
+      Array.init (q + 1) (fun k ->
+          (* Symmetric real sample points avoid bias; avoid exact zeros. *)
+          let t = float_of_int (k - (q / 2)) +. 0.37 in
+          t *. scale)
+    in
+    let dets =
+      Array.map
+        (fun s ->
+          let m = Matrix.add gq (Matrix.scale s cq) in
+          match Numeric.Lu.factor m with
+          | f -> Numeric.Lu.det f
+          | exception Numeric.Lu.Singular _ -> 0.0)
+        points
+    in
+    (* Interpolate in the normalized variable ŝ = s/scale for conditioning:
+       coefficients c with Σ c_k·ŝᵏ = det. *)
+    let vmat =
+      Matrix.init (q + 1) (q + 1) (fun i j ->
+          Float.pow (points.(i) /. scale) (float_of_int j))
+    in
+    match Numeric.Lu.factor vmat with
+    | exception Numeric.Lu.Singular _ -> [||]
+    | f ->
+      let coeffs = Numeric.Lu.solve f dets in
+      (* Chop interpolation dust so spurious high-degree terms don't mint
+         fake eigenvalues. *)
+      let peak =
+        Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 coeffs
+      in
+      let chopped =
+        Array.map (fun v -> if Float.abs v < 1e-9 *. peak then 0.0 else v) coeffs
+      in
+      let p = Poly.of_coeffs chopped in
+      if Poly.degree p < 1 then [||]
+      else
+        Numeric.Roots.of_poly p |> Array.map (fun z -> Cx.scale scale z)
+  end
+
+let poles gq cq =
+  match poles_via_eigen gq cq with
+  | Some p -> p
+  | None -> poles_via_interpolation gq cq
+
+let analyze ?(order = 4) mna =
+  let v = basis ~order mna in
+  let q = Matrix.cols v in
+  if q = 0 then raise (Pade.Degenerate "Krylov basis is empty");
+  let gq, cq, _bq, _lq = reduced_pencil v mna in
+  let pencil_poles =
+    poles gq cq
+    |> Array.to_list
+    |> List.filter (fun (p : Cx.t) -> p.Cx.re < 0.0)
+    |> Array.of_list
+  in
+  if Array.length pencil_poles = 0 then
+    raise (Pade.Degenerate "no stable pole in the reduced pencil");
+  (* Residues: match the leading circuit moments (scaled for conditioning,
+     as in the Padé path). *)
+  let m =
+    Moments.output_moments
+      (Moments.compute ~count:(Int.max q (Array.length pencil_poles)) mna)
+  in
+  let alpha = Pade.moment_scale m in
+  let m_hat =
+    Array.mapi (fun k v -> v *. Float.pow alpha (float_of_int k)) m
+  in
+  let poles_hat = Array.map (fun p -> Cx.scale (1.0 /. alpha) p) pencil_poles in
+  let res_hat =
+    Pade.residues ~poles:poles_hat
+      (Array.sub m_hat 0 (Array.length poles_hat))
+  in
+  let rom =
+    Rom.make ~poles:pencil_poles
+      ~residues:(Array.map (Cx.scale alpha) res_hat)
+      ()
+  in
+  { Driver.rom; moments = m; mna }

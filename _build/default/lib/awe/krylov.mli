@@ -1,0 +1,36 @@
+(** Krylov-subspace model order reduction (Arnoldi projection, PRIMA-style).
+
+    Explicit moment matching (Padé via Hankel solves) loses digits fast: the
+    moment sequence converges to the dominant eigendirection, so beyond
+    order ≈ 5 the Hankel system is numerically rank deficient.  The remedy
+    history chose — and the reason plain AWE was superseded — is to keep the
+    {e Krylov basis} itself orthonormal instead of forming moments:
+    with [r₀ = G⁻¹b], [A = −G⁻¹C], an orthonormal [V] spanning
+    [{r₀, A·r₀, …, A^{q−1}·r₀}] and the congruence-projected pencil
+    [(Vᵀ·G·V, Vᵀ·C·V)], the reduced model still matches [q] moments but its
+    poles come from a well-conditioned small eigenproblem.
+
+    This module provides that baseline, so the repository spans both
+    generations of the technique and can compare them (`ext-krylov`
+    benchmark). *)
+
+val basis : order:int -> Circuit.Mna.t -> Numeric.Matrix.t
+(** The [n × q] orthonormal Krylov basis (modified Gram–Schmidt with
+    reorthogonalization).  May return fewer columns than [order] if the
+    Krylov sequence degenerates. *)
+
+val reduced_pencil :
+  Numeric.Matrix.t -> Circuit.Mna.t ->
+  Numeric.Matrix.t * Numeric.Matrix.t * float array * float array
+(** [(Gq, Cq, bq, lq)] — the projected system. *)
+
+val poles : Numeric.Matrix.t -> Numeric.Matrix.t -> Numeric.Cx.t array
+(** Generalized eigenvalues of [(Gq, Cq)]: the [s] with
+    [det(Gq + s·Cq) = 0], computed by determinant interpolation and scaled
+    root finding.  Infinite eigenvalues (pencil rank deficiency in [Cq]) are
+    dropped. *)
+
+val analyze : ?order:int -> Circuit.Mna.t -> Driver.result
+(** Arnoldi-reduced model: poles from the projected pencil, residues fit to
+    the leading circuit moments, unstable poles discarded.  Same result
+    shape as {!Driver.analyze_mna} for drop-in comparison. *)

@@ -1,0 +1,117 @@
+module Cx = Numeric.Cx
+
+let dc_gain = Rom.dc_gain
+let dc_gain_db m = 20.0 *. Float.log10 (Float.abs (Rom.dc_gain m))
+let dominant_pole_hz m = Cx.norm (Rom.dominant_pole m) /. (2.0 *. Float.pi)
+let gain_at m f = Cx.norm (Rom.at_frequency m f)
+
+let fastest_pole_hz m =
+  Array.fold_left (fun acc p -> Float.max acc (Cx.norm p)) 0.0 m.Rom.poles
+  /. (2.0 *. Float.pi)
+
+let unity_gain_frequency m =
+  if Rom.order m = 0 then None
+  else begin
+    let f_lo = Float.max 1e-12 (dominant_pole_hz m /. 1e3) in
+    if gain_at m f_lo <= 1.0 then None
+    else begin
+      (* March up past the fastest pole until the magnitude drops below 1;
+         a strictly proper model always does eventually. *)
+      let rec bracket f_hi tries =
+        if tries = 0 then None
+        else if gain_at m f_hi < 1.0 then Some f_hi
+        else bracket (f_hi *. 10.0) (tries - 1)
+      in
+      match bracket (Float.max f_lo (fastest_pole_hz m *. 10.0)) 40 with
+      | None -> None
+      | Some f_hi ->
+        (* Bisection in log-frequency. *)
+        let rec go lo hi n =
+          if n = 0 then Some (Float.sqrt (lo *. hi))
+          else begin
+            let mid = Float.sqrt (lo *. hi) in
+            if gain_at m mid > 1.0 then go mid hi (n - 1) else go lo mid (n - 1)
+          end
+        in
+        go f_lo f_hi 100
+    end
+  end
+
+let phase_margin m =
+  match unity_gain_frequency m with
+  | None -> None
+  | Some f ->
+    let h = Rom.at_frequency m f in
+    Some (180.0 +. (Cx.arg h *. 180.0 /. Float.pi))
+
+let default_horizon m = 30.0 *. Rom.time_constant m
+
+let crossing ?horizon m target =
+  let horizon = match horizon with Some h -> h | None -> default_horizon m in
+  if not (Float.is_finite horizon) then None
+  else begin
+    let samples = 4000 in
+    let dt = horizon /. float_of_int samples in
+    let crossed t0 t1 =
+      (* Bisection for the crossing instant inside [t0, t1]. *)
+      let rec go lo hi n =
+        if n = 0 then 0.5 *. (lo +. hi)
+        else begin
+          let mid = 0.5 *. (lo +. hi) in
+          if (Rom.step m mid -. target) *. (Rom.step m lo -. target) <= 0.0 then
+            go lo mid (n - 1)
+          else go mid hi (n - 1)
+        end
+      in
+      go t0 t1 60
+    in
+    let rec scan k prev =
+      if k > samples then None
+      else begin
+        let t = dt *. float_of_int k in
+        let y = Rom.step m t in
+        if (prev -. target) *. (y -. target) <= 0.0 && prev <> y then
+          Some (crossed (dt *. float_of_int (k - 1)) t)
+        else scan (k + 1) y
+      end
+    in
+    scan 1 (Rom.step m 0.0)
+  end
+
+let delay_50 ?horizon m =
+  let final = Rom.dc_gain m in
+  if final = 0.0 then None else crossing ?horizon m (0.5 *. final)
+
+let rise_time ?(lo = 0.1) ?(hi = 0.9) ?horizon m =
+  let final = Rom.dc_gain m in
+  if final = 0.0 then None
+  else
+    match (crossing ?horizon m (lo *. final), crossing ?horizon m (hi *. final)) with
+    | Some t_lo, Some t_hi -> Some (Float.abs (t_hi -. t_lo))
+    | _, _ -> None
+
+let peak_step ?horizon ?(samples = 2000) m =
+  let horizon = match horizon with Some h -> h | None -> default_horizon m in
+  let horizon = if Float.is_finite horizon then horizon else 1.0 in
+  let dt = horizon /. float_of_int samples in
+  let best_t = ref 0.0 and best_y = ref 0.0 in
+  for k = 0 to samples do
+    let t = dt *. float_of_int k in
+    let y = Rom.step m t in
+    if Float.abs y > Float.abs !best_y then begin
+      best_t := t;
+      best_y := y
+    end
+  done;
+  (!best_t, !best_y)
+
+let elmore_delay m =
+  if Array.length m < 2 then invalid_arg "Measures.elmore_delay: need 2 moments";
+  if m.(0) = 0.0 then invalid_arg "Measures.elmore_delay: zero DC gain";
+  -.m.(1) /. m.(0)
+
+let group_delay rom f =
+  let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+  let h = Rom.transfer rom s in
+  let h' = Rom.transfer_derivative rom s in
+  -.(Cx.div h' h).Cx.re

@@ -1,0 +1,43 @@
+(** Performance measures extracted from reduced-order models — the
+    quantities plotted in the paper's Figs. 4–7 (dominant pole, DC gain,
+    unity-gain frequency, phase margin) and the interconnect delays the
+    introduction motivates. *)
+
+val dc_gain : Rom.t -> float
+val dc_gain_db : Rom.t -> float
+
+val dominant_pole_hz : Rom.t -> float
+(** |dominant pole| / 2π — the −3 dB corner for a single-pole-dominated
+    system. *)
+
+val unity_gain_frequency : Rom.t -> float option
+(** Frequency [f] (hertz) where [|H(j·2πf)| = 1], found by bisection between
+    the dominant pole and well past the fastest pole.  [None] when the
+    magnitude never crosses unity (e.g. DC gain below 1). *)
+
+val phase_margin : Rom.t -> float option
+(** [180° + ∠H(j·2π·f_unity)] in degrees; [None] without a unity crossing. *)
+
+val gain_at : Rom.t -> float -> float
+(** Magnitude at a frequency in hertz. *)
+
+val delay_50 : ?horizon:float -> Rom.t -> float option
+(** 50% step-response delay: first time the unit-step response reaches half
+    its final value (Elmore-style interconnect delay, computed on the actual
+    ROM waveform by bisection).  [None] if it never crosses within the
+    horizon (default: 30 dominant time constants). *)
+
+val rise_time : ?lo:float -> ?hi:float -> ?horizon:float -> Rom.t -> float option
+(** 10–90% (by default) rise time of the step response. *)
+
+val peak_step : ?horizon:float -> ?samples:int -> Rom.t -> float * float
+(** [(t_peak, y_peak)] — maximum |step response| over the horizon; used to
+    quantify cross-talk amplitude (Figs. 9–10 study its dependence on the
+    symbols). *)
+
+val elmore_delay : float array -> float
+(** First-moment delay estimate [−m₁/m₀] from output moments. *)
+
+val group_delay : Rom.t -> float -> float
+(** [group_delay rom f] is [τ(f) = −dφ/dω] at [f] hertz, computed
+    analytically from the pole/residue form ([−Re(H′/H)] at [s = jω]). *)

@@ -1,0 +1,110 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+
+type solver =
+  | Dense_lu of Numeric.Lu.t
+  | Sparse_lu of Numeric.Sparse.factored
+
+type t = {
+  mna : Mna.t;
+  solver : solver;
+  vectors : float array array;
+  shift : float;
+}
+
+let compute ?(count = 8) ?(shift = 0.0) ?(sparse = false) mna =
+  if count < 1 then invalid_arg "Moments.compute: count must be >= 1";
+  (* The sparse path assembles straight from the stamp entries, so the dense
+     n×n matrices are never materialized on large circuits. *)
+  let solver, mul_c =
+    if sparse then begin
+      let n = Mna.size (Mna.index mna) in
+      let g_entries =
+        if shift = 0.0 then Mna.g_entries mna
+        else
+          Mna.g_entries mna
+          @ List.map (fun (r, c, v) -> (r, c, shift *. v)) (Mna.c_entries mna)
+      in
+      let gs = Numeric.Sparse.of_entries n g_entries in
+      let cs = Mna.c_sparse mna in
+      (Sparse_lu (Numeric.Sparse.factor gs), Numeric.Sparse.mul_vec cs)
+    end
+    else begin
+      let c = Mna.c mna in
+      let g =
+        if shift = 0.0 then Mna.g mna
+        else Matrix.add (Mna.g mna) (Matrix.scale shift c)
+      in
+      (Dense_lu (Numeric.Lu.factor g), Matrix.mul_vec c)
+    end
+  in
+  let solve b =
+    match solver with
+    | Dense_lu lu -> Numeric.Lu.solve lu b
+    | Sparse_lu lu -> Numeric.Sparse.solve lu b
+  in
+  let x0 = solve (Mna.input_vector mna) in
+  let vectors = Array.make count x0 in
+  for k = 1 to count - 1 do
+    let rhs = mul_c vectors.(k - 1) in
+    Array.iteri (fun i v -> rhs.(i) <- -.v) rhs;
+    vectors.(k) <- solve rhs
+  done;
+  { mna; solver; vectors; shift }
+
+let count t = Array.length t.vectors
+
+let vector t k =
+  if k < 0 || k >= Array.length t.vectors then
+    invalid_arg "Moments.vector: index out of range";
+  t.vectors.(k)
+
+let dot l x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i li -> if li <> 0.0 then acc := !acc +. (li *. x.(i))) l;
+  !acc
+
+let output_moments_for t l = Array.map (dot l) t.vectors
+
+let output_moments t = output_moments_for t (Mna.output_vector t.mna)
+
+let mna t = t.mna
+
+let factor t =
+  match t.solver with
+  | Dense_lu lu -> lu
+  | Sparse_lu _ -> failwith "Moments.factor: computed with the sparse backend"
+
+let shift t = t.shift
+
+let complex_output_moments ~count ~shift mna =
+  if count < 1 then invalid_arg "Moments.complex_output_moments: count >= 1";
+  let module Cx = Numeric.Cx in
+  let module Cmatrix = Numeric.Cmatrix in
+  let g = Mna.g mna and c = Mna.c mna in
+  let sys = Cmatrix.combine g shift c in
+  let n = Matrix.rows g in
+  let b = Array.map Cx.of_float (Mna.input_vector mna) in
+  let l = Mna.output_vector mna in
+  let dot x =
+    let acc = ref Cx.zero in
+    Array.iteri (fun i li -> if li <> 0.0 then acc := Cx.add !acc (Cx.scale li x.(i))) l;
+    !acc
+  in
+  let out = Array.make count Cx.zero in
+  let x = ref (Cmatrix.solve sys b) in
+  out.(0) <- dot !x;
+  for k = 1 to count - 1 do
+    let rhs = Array.make n Cx.zero in
+    for i = 0 to n - 1 do
+      let acc = ref Cx.zero in
+      for j = 0 to n - 1 do
+        let cij = Matrix.get c i j in
+        if cij <> 0.0 then acc := Cx.add !acc (Cx.scale cij !x.(j))
+      done;
+      rhs.(i) <- Cx.neg !acc
+    done;
+    x := Cmatrix.solve sys rhs;
+    out.(k) <- dot !x
+  done;
+  out

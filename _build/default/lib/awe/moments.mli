@@ -1,0 +1,47 @@
+(** Circuit moment computation — the DC-solve recursion at the heart of AWE.
+
+    Writing the MNA system as [(G + s·C)·X(s) = b], the Maclaurin expansion
+    [X(s) = Σ Xₖ·sᵏ] satisfies [G·X₀ = b] and [G·Xₖ = −C·Xₖ₋₁]: one LU
+    factorization of [G] and one triangular solve per moment.  Output moments
+    are [mₖ = lᵀ·Xₖ] — the coefficients of [H(s) = Σ mₖ·sᵏ] (Eq. 7 of the
+    paper). *)
+
+type t
+
+val compute : ?count:int -> ?shift:float -> ?sparse:bool -> Circuit.Mna.t -> t
+(** [compute ~count mna] computes moment vectors [X₀ … X_{count−1}]
+    (default count 8).  With [shift = s₀], the expansion is taken about
+    [s = s₀] instead of DC — [(G + s₀·C)] is factored and the resulting
+    moments are Taylor coefficients in [(s − s₀)], which capture
+    high-frequency poles a DC expansion misses.  With [~sparse:true] the
+    conductance matrix is factored by the sparse solver — the right choice
+    for large ladder/line/tree interconnect, where dense LU dominates.
+    Raises
+    [Numeric.Lu.Singular] when the (shifted) conductance matrix is singular
+    (e.g. a floating node). *)
+
+val shift : t -> float
+(** The expansion point used (0 for standard AWE). *)
+
+val complex_output_moments :
+  count:int -> shift:Numeric.Cx.t -> Circuit.Mna.t -> Numeric.Cx.t array
+(** Output moments of the expansion about a {e complex} point
+    [(G + s₀·C)·X₀ = b], [(G + s₀·C)·Xₖ = −C·Xₖ₋₁] — the kernel of
+    complex-frequency-hopping multipoint analysis ({!Multipoint}).  Solves
+    a complex system per moment. *)
+
+val count : t -> int
+val vector : t -> int -> float array
+(** [vector t k] is [Xₖ]. *)
+
+val output_moments : t -> float array
+(** [mₖ = lᵀ·Xₖ] for the netlist's designated output. *)
+
+val output_moments_for : t -> float array -> float array
+(** Moments for an arbitrary output selector [l]. *)
+
+val mna : t -> Circuit.Mna.t
+val factor : t -> Numeric.Lu.t
+(** The dense LU factorization of [G], reusable for adjoint solves.
+    Raises [Failure] when the moments were computed with [~sparse:true]
+    (the sparse factorization has no transpose solve). *)

@@ -1,0 +1,153 @@
+module Cx = Numeric.Cx
+module Cmatrix = Numeric.Cmatrix
+
+let merge_poles ?(tol = 1e-3) sets =
+  let acc = ref [] in
+  List.iter
+    (fun set ->
+      Array.iter
+        (fun p ->
+          let duplicate =
+            List.exists
+              (fun q ->
+                Cx.norm (Cx.sub p q) <= tol *. Float.max (Cx.norm p) (Cx.norm q))
+              !acc
+          in
+          if not duplicate then acc := p :: !acc)
+        set)
+    sets;
+  Array.of_list (List.rev !acc)
+
+(* Poles of a local expansion with complex moments, in closed form.
+   The recurrence matrix is tiny (order ≤ 2), so Cramer + the quadratic
+   formula suffice. *)
+let complex_local_poles ~order (m : Cx.t array) =
+  if order > 2 then
+    invalid_arg "Multipoint: order_per_point > 2 at a complex point";
+  let x_roots =
+    if order = 1 then begin
+      if Cx.norm m.(0) = 0.0 then [] else [ Cx.div m.(1) m.(0) ]
+    end
+    else begin
+      (* [m0 m1; m1 m2]·[a0; a1] = −[m2; m3]. *)
+      let det = Cx.sub (Cx.mul m.(0) m.(2)) (Cx.mul m.(1) m.(1)) in
+      if Cx.norm det = 0.0 then []
+      else begin
+        let a0 =
+          Cx.div (Cx.sub (Cx.mul m.(1) m.(3)) (Cx.mul m.(2) m.(2))) det
+        in
+        let a1 =
+          Cx.div (Cx.sub (Cx.mul m.(1) m.(2)) (Cx.mul m.(0) m.(3))) det
+        in
+        (* x² + a1·x + a0 = 0. *)
+        let disc = Cx.sub (Cx.mul a1 a1) (Cx.scale 4.0 a0) in
+        let sq = Cx.sqrt disc in
+        [ Cx.scale 0.5 (Cx.sub sq a1); Cx.neg (Cx.scale 0.5 (Cx.add sq a1)) ]
+      end
+    end
+  in
+  List.filter_map
+    (fun x -> if Cx.norm x < 1e-30 then None else Some (Cx.inv x))
+    x_roots
+
+(* Least squares for the residues: every expansion point contributes the
+   equations m⁽ⁱ⁾ₖ = −Σⱼ kⱼ/(pⱼ − s₀ᵢ)^{k+1}.  Solved via the normal
+   equations AᴴA·x = Aᴴb. *)
+let residues_least_squares ~poles ~constraints =
+  let q = Array.length poles in
+  let rows =
+    List.concat_map
+      (fun ((s0 : Cx.t), (moments : Cx.t array)) ->
+        List.init (Array.length moments) (fun k ->
+            let coeffs =
+              Array.map
+                (fun p -> Cx.neg (Cx.inv (Cx.pow_int (Cx.sub p s0) (k + 1))))
+                poles
+            in
+            (* Moment magnitudes differ by orders of magnitude across
+               expansion points and moment indices; normalize each equation
+               so every constraint weighs equally. *)
+            let scale =
+              Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 coeffs
+            in
+            let scale = if scale > 0.0 then 1.0 /. scale else 1.0 in
+            (* DC moments carry the quantities every downstream measure
+               depends on (gain, Elmore delay); weight them up so the
+               least-squares compromise does not trade them away. *)
+            let scale = if Cx.norm s0 = 0.0 then scale *. 100.0 else scale in
+            (Array.map (Cx.scale scale) coeffs, Cx.scale scale moments.(k))))
+      constraints
+  in
+  let m = List.length rows in
+  if m < q then invalid_arg "Multipoint: fewer constraints than poles";
+  let a = Cmatrix.create m q and b = Array.make m Cx.zero in
+  List.iteri
+    (fun i (coeffs, rhs) ->
+      Array.iteri (fun j v -> Cmatrix.set a i j v) coeffs;
+      b.(i) <- rhs)
+    rows;
+  let ata = Cmatrix.create q q in
+  let atb = Array.make q Cx.zero in
+  for j = 0 to q - 1 do
+    for j' = 0 to q - 1 do
+      let acc = ref Cx.zero in
+      for i = 0 to m - 1 do
+        acc := Cx.add !acc (Cx.mul (Cx.conj (Cmatrix.get a i j)) (Cmatrix.get a i j'))
+      done;
+      Cmatrix.set ata j j' !acc
+    done;
+    let acc = ref Cx.zero in
+    for i = 0 to m - 1 do
+      acc := Cx.add !acc (Cx.mul (Cx.conj (Cmatrix.get a i j)) b.(i))
+    done;
+    atb.(j) <- !acc
+  done;
+  Cmatrix.solve ata atb
+
+let analyze ?(order_per_point = 2) ?(moments_per_point = 4) ~points mna =
+  if points = [] then invalid_arg "Multipoint.analyze: no expansion points";
+  let count = Int.max moments_per_point (2 * order_per_point) in
+  (* Each expansion yields (s0, complex moments, local poles translated back
+     to the s plane).  Conjugate expansion points are added for complex s0
+     so the pooled model stays conjugate symmetric. *)
+  let expansions =
+    List.concat_map
+      (fun (s0 : Cx.t) ->
+        if Cx.is_real ~tol:1e-300 s0 then begin
+          let m = Moments.output_moments (Moments.compute ~count ~shift:s0.Cx.re mna) in
+          let poles =
+            match Pade.fit ~enforce_stability:false ~order:order_per_point m with
+            | rom -> Array.map (fun p -> Cx.add p s0) rom.Rom.poles
+            | exception Pade.Degenerate _ -> [||]
+          in
+          [ (s0, Array.map Cx.of_float m, poles) ]
+        end
+        else begin
+          let m = Moments.complex_output_moments ~count ~shift:s0 mna in
+          let poles =
+            complex_local_poles ~order:order_per_point m
+            |> List.map (fun p -> Cx.add p s0)
+            |> Array.of_list
+          in
+          let conj_m = Array.map Cx.conj m in
+          let conj_poles = Array.map Cx.conj poles in
+          [ (s0, m, poles); (Cx.conj s0, conj_m, conj_poles) ]
+        end)
+      points
+  in
+  let poles =
+    merge_poles (List.map (fun (_, _, p) -> p) expansions)
+    |> Array.to_list
+    |> List.filter (fun (p : Cx.t) -> p.Cx.re < 0.0)
+    |> Array.of_list
+  in
+  if Array.length poles = 0 then
+    raise (Pade.Degenerate "no stable pole found at any expansion point");
+  let constraints =
+    List.map
+      (fun (s0, m, _) ->
+        (s0, Array.sub m 0 (Int.min moments_per_point (Array.length m))))
+      expansions
+  in
+  let residues = residues_least_squares ~poles ~constraints in
+  Rom.make ~poles ~residues ()

@@ -1,0 +1,34 @@
+(** Multipoint AWE — complex frequency hopping.
+
+    A single Maclaurin expansion captures only the poles nearest the origin.
+    The classic remedy is to expand at several points — most usefully {e on
+    the imaginary axis}, inside the band of interest — pool the poles each
+    expansion resolves, and refit one conjugate-symmetric set of residues
+    against the moments of all expansion points.  This widens the band a
+    low-order model covers without raising the order of any single
+    expansion. *)
+
+val analyze :
+  ?order_per_point:int ->
+  ?moments_per_point:int ->
+  points:Numeric.Cx.t list ->
+  Circuit.Mna.t ->
+  Rom.t
+(** [analyze ~points mna] expands about every [s₀] in [points]
+    (include [Cx.zero] for DC accuracy; imaginary points [j·ω] probe the
+    band at ω).  Real points use the full Padé machinery at
+    [order_per_point] (default 2); complex points extract at most 2 poles in
+    closed form and contribute them together with their conjugates.
+    Duplicated poles are merged, right-half-plane poles dropped, and the
+    residues solved in least squares over [moments_per_point] moments
+    (default 4) per expansion point, with DC rows weighted up so gain and
+    Elmore delay survive the compromise.
+
+    Raises [Pade.Degenerate] when no expansion yields a stable pole, and
+    [Invalid_argument] when [order_per_point > 2] is requested at a complex
+    point. *)
+
+val merge_poles :
+  ?tol:float -> Numeric.Cx.t array list -> Numeric.Cx.t array
+(** Pool pole sets, dropping duplicates closer than [tol] (default 1e-3)
+    in relative distance. *)

@@ -1,0 +1,41 @@
+(** Padé approximation by moment matching.
+
+    From moments [m₀ … m_{2q−1}], a [q]-pole model is constructed in two
+    steps: (1) the characteristic polynomial of the moment recurrence is
+    found by a Hankel solve in the reciprocal-pole variable [x = 1/p];
+    (2) residues follow from a complex Vandermonde solve on
+    [mₖ = −Σ kᵢ·xᵢ^{k+1}].  Internally moments are rescaled by the dominant
+    time constant so the Hankel system stays well conditioned — the "moment
+    scaling" safeguard of the AWE literature.
+
+    With [~with_direct:true] the model gains a feedthrough term [d]
+    ([H(∞) ≠ 0], e.g. capacitive coupling paths): the recurrence is then
+    anchored at [m₁] (which [d] does not affect), one extra moment is
+    consumed, and [d = m₀ + Σ kᵢ/pᵢ]. *)
+
+exception Degenerate of string
+(** Raised when no model of any order can be extracted (e.g. all moments
+    zero, or every candidate Hankel system singular). *)
+
+val char_poly : ?offset:int -> order:int -> float array -> Numeric.Poly.t
+(** Characteristic polynomial (monic, in [x = 1/p]) for the given order from
+    {e scaled} moments starting at index [offset] (default 0).  Raises
+    [Numeric.Lu.Singular] when the Hankel matrix is singular. *)
+
+val residues :
+  ?offset:int -> poles:Numeric.Cx.t array -> float array -> Numeric.Cx.t array
+(** Residues matching moments [m_offset … m_{offset+q−1}] (one per pole). *)
+
+val fit :
+  ?enforce_stability:bool -> ?with_direct:bool -> order:int -> float array ->
+  Rom.t
+(** [fit ~order moments] builds a [q]-pole model.  Needs [2·order] moments
+    ([2·order + 1] with [with_direct]).  When the Hankel system is singular
+    the order is reduced and the fit retried (standard AWE practice).  With
+    [enforce_stability] (default [true]), right-half-plane poles are
+    discarded and the residues refit to the leading moments so transient
+    responses stay bounded. *)
+
+val moment_scale : float array -> float
+(** The scale factor [α] such that [m̂ₖ = mₖ·αᵏ] are O(|m₀|): the ratio of
+    the first two non-zero moments. *)

@@ -1,0 +1,107 @@
+module Element = Circuit.Element
+module Netlist = Circuit.Netlist
+module Cx = Numeric.Cx
+
+(* Current injection of [gain · v(ctrl)] into [node]: our VCCS convention
+   sends the controlled current out of [pos] into [neg], so grounding [pos]
+   injects. *)
+let inject ~name ~node ~ctrl ~gain =
+  Element.make ~name ~kind:(Element.Vccs (ctrl, "0")) ~pos:"0" ~neg:node
+    ~value:gain ()
+
+let cap name node = Element.make ~name ~kind:Element.Capacitor ~pos:node ~neg:"0" ~value:1.0 ()
+
+let cond name node g =
+  Element.make ~name ~kind:Element.Conductance ~pos:node ~neg:"0" ~value:g ()
+
+let to_netlist ?(input_name = "Vin") (rom : Rom.t) =
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  add
+    (Element.make ~name:input_name ~kind:Element.Vsource ~pos:"in" ~neg:"0"
+       ~value:1.0 ());
+  (* 1-S summing node: v(out) = Σ injected currents. *)
+  add (cond "Gsum" "out" 1.0);
+  if rom.Rom.direct <> 0.0 then
+    add (inject ~name:"Gdirect" ~node:"out" ~ctrl:"in" ~gain:rom.Rom.direct);
+  let n = Array.length rom.Rom.poles in
+  let used = Array.make n false in
+  let conjugate_of i =
+    let p = rom.Rom.poles.(i) in
+    let found = ref None in
+    for j = i + 1 to n - 1 do
+      if
+        !found = None && (not used.(j))
+        && Cx.norm (Cx.sub rom.Rom.poles.(j) (Cx.conj p))
+           <= 1e-9 *. Float.max 1.0 (Cx.norm p)
+      then found := Some j
+    done;
+    !found
+  in
+  for i = 0 to n - 1 do
+    if not used.(i) then begin
+      used.(i) <- true;
+      let p = rom.Rom.poles.(i) and k = rom.Rom.residues.(i) in
+      if Float.abs p.Cx.im <= 1e-12 *. Float.max 1.0 (Float.abs p.Cx.re) then begin
+        (* Real pole: (sC + G)·v = k·u with C = 1, G = −p gives
+           v = k·u/(s − p). *)
+        let node = Printf.sprintf "x%d" i in
+        add (cap (Printf.sprintf "C%d" i) node);
+        add (cond (Printf.sprintf "G%d" i) node (-.p.Cx.re));
+        add
+          (inject
+             ~name:(Printf.sprintf "Gin%d" i)
+             ~node ~ctrl:"in" ~gain:k.Cx.re);
+        add
+          (inject
+             ~name:(Printf.sprintf "Gout%d" i)
+             ~node:"out" ~ctrl:node ~gain:1.0)
+      end
+      else begin
+        let j =
+          match conjugate_of i with
+          | Some j -> j
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "Realize.to_netlist: pole %s has no conjugate partner"
+                 (Format.asprintf "%a" Cx.pp p))
+        in
+        used.(j) <- true;
+        (* Conjugate pair: k/(s−p) + k̄/(s−p̄) = (αs + β)/(s² + c₁s + c₀).
+           Controllable canonical form over two 1-F integrator nodes:
+             s·v₁ = v₂
+             s·v₂ = −c₀·v₁ − c₁·v₂ + u
+           so v₁ = u/(s² + c₁s + c₀), v₂ = s·v₁, and the section output is
+           α·v₂ + β·v₁. *)
+        let sigma = p.Cx.re and omega = p.Cx.im in
+        let a = k.Cx.re and b = k.Cx.im in
+        let alpha = 2.0 *. a in
+        let beta = -2.0 *. ((a *. sigma) +. (b *. omega)) in
+        let c1 = -2.0 *. sigma in
+        let c0 = (sigma *. sigma) +. (omega *. omega) in
+        let n1 = Printf.sprintf "x%d" i and n2 = Printf.sprintf "y%d" i in
+        add (cap (Printf.sprintf "C%da" i) n1);
+        add (cap (Printf.sprintf "C%db" i) n2);
+        add (inject ~name:(Printf.sprintf "Gi%da" i) ~node:n1 ~ctrl:n2 ~gain:1.0);
+        add (cond (Printf.sprintf "G%dd" i) n2 c1);
+        add
+          (inject ~name:(Printf.sprintf "Gfb%d" i) ~node:n2 ~ctrl:n1 ~gain:(-.c0));
+        add (inject ~name:(Printf.sprintf "Gin%d" i) ~node:n2 ~ctrl:"in" ~gain:1.0);
+        add
+          (inject
+             ~name:(Printf.sprintf "Gout%da" i)
+             ~node:"out" ~ctrl:n2 ~gain:alpha);
+        add
+          (inject
+             ~name:(Printf.sprintf "Gout%db" i)
+             ~node:"out" ~ctrl:n1 ~gain:beta)
+      end
+    end
+  done;
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input input_name
+  |> Fun.flip Netlist.with_output (Netlist.Node "out")
+
+let to_deck ?input_name rom = Circuit.Export.to_deck (to_netlist ?input_name rom)

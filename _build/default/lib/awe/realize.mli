@@ -1,0 +1,22 @@
+(** Circuit realization of a reduced-order model.
+
+    Synthesizes a pole/residue ROM back into a netlist of ideal elements
+    (1-F capacitors, conductances, VCCS couplings), one first-order section
+    per real pole and one controllable-canonical biquad per complex
+    conjugate pair, summed into a 1-Ω output node.  The result is a legal
+    deck for this library's own simulator — or any SPICE — so a reduced
+    interconnect model can be re-embedded in a larger simulation, which is
+    how AWE macromodels were consumed in practice.
+
+    The realization is exact: the synthesized netlist's transfer function
+    {e is} the ROM's rational function, so its AC response matches
+    [Rom.transfer] to rounding, which the test suite asserts. *)
+
+val to_netlist : ?input_name:string -> Rom.t -> Circuit.Netlist.t
+(** State-space netlist with designated input ([input_name], default
+    ["Vin"]) and output node ["out"].  Complex poles must come in exact
+    conjugate pairs (as {!Pade.fit} produces); raises [Failure]
+    otherwise. *)
+
+val to_deck : ?input_name:string -> Rom.t -> string
+(** The same realization as deck text (via [Circuit.Export]). *)

@@ -1,0 +1,177 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+module Cx = Numeric.Cx
+module Poly = Numeric.Poly
+
+type t = {
+  mna : Mna.t;
+  direct : float array array; (* X_0 .. X_{K-1} *)
+  adjoint : float array array; (* W_0 .. W_{K-1} *)
+  moments : float array;
+}
+
+let create ?(count = 8) mna =
+  let ms = Moments.compute ~count mna in
+  let lu = Moments.factor ms in
+  let c = Mna.c mna in
+  let w0 = Numeric.Lu.solve_transpose lu (Mna.output_vector mna) in
+  let adjoint = Array.make count w0 in
+  for j = 1 to count - 1 do
+    let rhs = Matrix.mul_vec_transpose c adjoint.(j - 1) in
+    Array.iteri (fun i v -> rhs.(i) <- -.v) rhs;
+    adjoint.(j) <- Numeric.Lu.solve_transpose lu rhs
+  done;
+  {
+    mna;
+    direct = Array.init count (Moments.vector ms);
+    adjoint;
+    moments = Moments.output_moments ms;
+  }
+
+let output_moments t = Array.copy t.moments
+
+(* wᵀ·(∂M/∂v)·x where the stamp derivative is the sparse entry list. *)
+let bilinear entries w x =
+  List.fold_left
+    (fun acc { Mna.row; col; coeff } -> acc +. (coeff *. w.(row) *. x.(col)))
+    0.0 entries
+
+let moment_derivatives t (e : Circuit.Element.t) =
+  let st = Mna.stamp_of (Mna.index t.mna) e in
+  let count = Array.length t.direct in
+  Array.init count (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to k do
+        acc := !acc +. bilinear st.Mna.g_value t.adjoint.(j) t.direct.(k - j);
+        if k - j - 1 >= 0 then
+          acc := !acc +. bilinear st.Mna.c_value t.adjoint.(j) t.direct.(k - j - 1)
+      done;
+      -. !acc)
+
+let dc_gain_sensitivity t e =
+  let dm = moment_derivatives t e in
+  if t.moments.(0) = 0.0 then 0.0
+  else Circuit.Element.stamp_value e /. t.moments.(0) *. dm.(0)
+
+let pole_sensitivities t ~order e =
+  let q = order in
+  if Array.length t.moments < 2 * q then
+    invalid_arg "Sensitivity.pole_sensitivities: not enough moments";
+  let dm = moment_derivatives t e in
+  (* Work at a fixed moment scale: the scale is a constant change of units,
+     so differentiating the scaled pipeline is exact. *)
+  let alpha = Pade.moment_scale t.moments in
+  let pow_alpha = Array.make (2 * q) 1.0 in
+  for k = 1 to (2 * q) - 1 do
+    pow_alpha.(k) <- pow_alpha.(k - 1) *. alpha
+  done;
+  let mh = Array.init (2 * q) (fun k -> t.moments.(k) *. pow_alpha.(k)) in
+  let dmh = Array.init (2 * q) (fun k -> dm.(k) *. pow_alpha.(k)) in
+  let h = Matrix.init q q (fun k j -> mh.(k + j)) in
+  let lu = Numeric.Lu.factor h in
+  let a = Numeric.Lu.solve lu (Array.init q (fun k -> -.mh.(k + q))) in
+  (* ∂a from H·a = −rhs:  H·∂a = −∂rhs − ∂H·a. *)
+  let rhs' =
+    Array.init q (fun k ->
+        let acc = ref (-.dmh.(k + q)) in
+        for j = 0 to q - 1 do
+          acc := !acc -. (dmh.(k + j) *. a.(j))
+        done;
+        !acc)
+  in
+  let da = Numeric.Lu.solve lu rhs' in
+  let char = Poly.of_coeffs (Array.append a [| 1.0 |]) in
+  let char' = Poly.derivative char in
+  let dchar = Poly.of_coeffs da in
+  Numeric.Roots.of_poly char
+  |> Array.to_list
+  |> List.filter_map (fun x ->
+         if Cx.norm x < 1e-30 then None
+         else begin
+           let denom = Poly.eval_complex char' x in
+           if Cx.norm denom = 0.0 then None
+           else begin
+             (* ∂x = −(Σ ∂aⱼ·xʲ)/char'(x);  p = α/x  ⇒  ∂p = −α·∂x/x². *)
+             let dx = Cx.neg (Cx.div (Poly.eval_complex dchar x) denom) in
+             let p = Cx.scale alpha (Cx.inv x) in
+             let dp = Cx.neg (Cx.scale alpha (Cx.div dx (Cx.mul x x))) in
+             Some (p, dp)
+           end
+         end)
+  |> Array.of_list
+
+let zero_sensitivities t ~order e =
+  let dm = moment_derivatives t e in
+  let m = t.moments in
+  let zeros_at moments =
+    match Pade.fit ~enforce_stability:false ~order moments with
+    | rom -> Some (Rom.zeros rom)
+    | exception (Pade.Degenerate _ | Numeric.Lu.Singular _) -> None
+  in
+  match zeros_at m with
+  | None | Some [||] -> [||]
+  | Some base_zeros ->
+    (* Central difference along the exact moment gradient; the step is
+       relative to the element's own value so conditioning is uniform. *)
+    let v = Circuit.Element.stamp_value e in
+    let h = 1e-6 *. Float.abs v in
+    let shifted sign =
+      Array.init (Array.length m) (fun k -> m.(k) +. (sign *. h *. dm.(k)))
+    in
+    (match (zeros_at (shifted 1.0), zeros_at (shifted (-1.0))) with
+    | Some zp, Some zm when
+        Array.length zp = Array.length base_zeros
+        && Array.length zm = Array.length base_zeros ->
+      (* Match each perturbed zero to the nearest base zero. *)
+      let nearest pool z =
+        Array.fold_left
+          (fun best cand ->
+            if Cx.norm (Cx.sub cand z) < Cx.norm (Cx.sub best z) then cand
+            else best)
+          pool.(0) pool
+      in
+      Array.map
+        (fun z ->
+          let dz =
+            Cx.scale (1.0 /. (2.0 *. h)) (Cx.sub (nearest zp z) (nearest zm z))
+          in
+          (z, dz))
+        base_zeros
+    | _, _ -> Array.map (fun z -> (z, Cx.zero)) base_zeros)
+
+let score t ~order e =
+  let v = Circuit.Element.stamp_value e in
+  let gain_score = Float.abs (dc_gain_sensitivity t e) in
+  let pole_score =
+    match pole_sensitivities t ~order e with
+    | pairs ->
+      Array.fold_left
+        (fun acc (p, dp) ->
+          let np = Cx.norm p in
+          if np = 0.0 then acc else Float.max acc (Float.abs v *. Cx.norm dp /. np))
+        0.0 pairs
+    | exception (Pade.Degenerate _ | Numeric.Lu.Singular _) ->
+      (* Fall back to normalized first-moment sensitivity. *)
+      let dm = moment_derivatives t e in
+      if Array.length dm > 1 && t.moments.(1) <> 0.0 then
+        Float.abs (v /. t.moments.(1) *. dm.(1))
+      else 0.0
+  in
+  Float.max gain_score pole_score
+
+let rank ?count ?(order = 2) nl =
+  let mna = Mna.build nl in
+  let t = create ?count mna in
+  Circuit.Netlist.elements nl
+  |> List.filter (fun e -> not (Circuit.Element.is_source e))
+  |> List.map (fun e -> (e, score t ~order e))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let select_symbols ?count ?order ~n nl =
+  let ranked = rank ?count ?order nl in
+  let top = List.filteri (fun k _ -> k < n) ranked in
+  List.fold_left
+    (fun nl ((e : Circuit.Element.t), _) ->
+      Circuit.Netlist.mark_symbolic nl e.Circuit.Element.name
+        (Symbolic.Symbol.intern e.Circuit.Element.name))
+    nl top

@@ -1,0 +1,54 @@
+(** Adjoint moment and pole sensitivities (the AWEsensitivity machinery,
+    Sec. 2.3 of the paper).
+
+    One factorization of [G] yields both the direct moment vectors [Xₖ] and
+    the adjoint vectors [Wⱼ] ([Gᵀ·W₀ = l], [Gᵀ·Wⱼ = −Cᵀ·Wⱼ₋₁]); every
+    element's moment derivative is then a sparse sum over its stamp:
+
+    [∂mₖ/∂v = −Σⱼ (Wⱼᵀ·(∂G/∂v)·X_{k−j} + Wⱼᵀ·(∂C/∂v)·X_{k−j−1})].
+
+    Pole sensitivities follow by implicit differentiation of the moment
+    recurrence's characteristic polynomial.  Elements are ranked by their
+    largest normalized pole sensitivity (plus DC-gain sensitivity), giving
+    the automatic symbolic-element selection the paper describes. *)
+
+type t
+
+val create : ?count:int -> Circuit.Mna.t -> t
+(** Precompute direct and adjoint moment vectors (default count 8). *)
+
+val output_moments : t -> float array
+
+val moment_derivatives : t -> Circuit.Element.t -> float array
+(** [∂mₖ/∂v] for the element's stamp value, [k = 0 … count−1]. *)
+
+val dc_gain_sensitivity : t -> Circuit.Element.t -> float
+(** Normalized: [(v/m₀)·∂m₀/∂v]. *)
+
+val pole_sensitivities :
+  t -> order:int -> Circuit.Element.t -> (Numeric.Cx.t * Numeric.Cx.t) array
+(** [(pᵢ, ∂pᵢ/∂v)] pairs for the [order]-pole AWE model.  Raises
+    [Pade.Degenerate] / [Numeric.Lu.Singular] when no model exists. *)
+
+val zero_sensitivities :
+  t -> order:int -> Circuit.Element.t -> (Numeric.Cx.t * Numeric.Cx.t) array
+(** [(zᵢ, ∂zᵢ/∂v)] pairs for the finite zeros of the [order]-pole AWE model
+    (the "zero" half of the reference's pole-zero sensitivity).  Computed by
+    a directional refit: the adjoint moment derivatives give the exact
+    first-order moment perturbation, the model is refit along it, and the
+    zero displacement read off — accurate to the refit step, with no extra
+    circuit solves.  Empty when the model has no finite zeros. *)
+
+val score : t -> order:int -> Circuit.Element.t -> float
+(** Ranking score: the largest magnitude among normalized pole sensitivities
+    [(v/pᵢ)·∂pᵢ/∂v] and the normalized DC-gain sensitivity.  Falls back to
+    moment sensitivities when the pole model degenerates. *)
+
+val rank :
+  ?count:int -> ?order:int -> Circuit.Netlist.t ->
+  (Circuit.Element.t * float) list
+(** All non-source elements, highest score first. *)
+
+val select_symbols : ?count:int -> ?order:int -> n:int -> Circuit.Netlist.t -> Circuit.Netlist.t
+(** Mark the [n] top-ranked elements symbolic (symbol = element name) —
+    the paper's automatic choice of symbolic elements. *)

@@ -1,0 +1,1 @@
+lib/circuit/builders.ml: Array Element Fun List Netlist Printf

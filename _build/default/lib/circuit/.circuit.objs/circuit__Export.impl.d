@@ -1,0 +1,1 @@
+lib/circuit/export.ml: Buffer Char Element Fun List Netlist Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/circuit/export.mli: Element Netlist

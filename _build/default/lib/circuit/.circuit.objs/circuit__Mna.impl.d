@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Element Hashtbl Lazy List Netlist Numeric Printf Symbolic

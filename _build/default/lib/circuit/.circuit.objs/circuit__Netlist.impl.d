@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Element Format Hashtbl Int List Printf String

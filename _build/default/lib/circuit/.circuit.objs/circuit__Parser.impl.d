@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Char Element Fun List Netlist Printf String Symbolic Units

@@ -1,0 +1,291 @@
+let resistor name pos neg value =
+  Element.make ~name ~kind:Element.Resistor ~pos ~neg ~value ()
+
+let conductance name pos neg value =
+  Element.make ~name ~kind:Element.Conductance ~pos ~neg ~value ()
+
+let capacitor name pos neg value =
+  Element.make ~name ~kind:Element.Capacitor ~pos ~neg ~value ()
+
+let vccs name pos neg cp cn gm =
+  Element.make ~name ~kind:(Element.Vccs (cp, cn)) ~pos ~neg ~value:gm ()
+
+let vsource name pos neg value =
+  Element.make ~name ~kind:Element.Vsource ~pos ~neg ~value ()
+
+let fig1 ?(g1 = 1.0) ?(g2 = 1.0) ?(c1 = 1.0) ?(c2 = 1.0) () =
+  Netlist.empty
+  |> Fun.flip Netlist.add_all
+       [ vsource "Vin" "in" "0" 1.0;
+         conductance "G1" "in" "n1" g1;
+         capacitor "C1" "n1" "0" c1;
+         conductance "G2" "n1" "n2" g2;
+         capacitor "C2" "n2" "0" c2 ]
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node "n2")
+
+let rc_ladder ~sections ~r ~c () =
+  if sections < 1 then invalid_arg "Builders.rc_ladder: sections must be >= 1";
+  let node k = if k = 0 then "in" else Printf.sprintf "n%d" k in
+  let elements =
+    vsource "Vin" "in" "0" 1.0
+    :: List.concat_map
+         (fun k ->
+           [ resistor (Printf.sprintf "R%d" k) (node (k - 1)) (node k) r;
+             capacitor (Printf.sprintf "C%d" k) (node k) "0" c ])
+         (List.init sections (fun k -> k + 1))
+  in
+  Netlist.empty
+  |> Fun.flip Netlist.add_all elements
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node (node sections))
+
+let inductor name pos neg value =
+  Element.make ~name ~kind:Element.Inductor ~pos ~neg ~value ()
+
+let rlc_ladder ~sections ~r ~l ~c () =
+  if sections < 1 then invalid_arg "Builders.rlc_ladder: sections must be >= 1";
+  let node k = if k = 0 then "in" else Printf.sprintf "n%d" k in
+  let mid k = Printf.sprintf "m%d" k in
+  let elements =
+    vsource "Vin" "in" "0" 1.0
+    :: List.concat_map
+         (fun k ->
+           [ resistor (Printf.sprintf "R%d" k) (node (k - 1)) (mid k) r;
+             inductor (Printf.sprintf "L%d" k) (mid k) (node k) l;
+             capacitor (Printf.sprintf "C%d" k) (node k) "0" c ])
+         (List.init sections (fun k -> k + 1))
+  in
+  Netlist.empty
+  |> Fun.flip Netlist.add_all elements
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node (node sections))
+
+let rc_tree ~depth ~r ~c () =
+  if depth < 1 then invalid_arg "Builders.rc_tree: depth must be >= 1";
+  (* Heap indexing: node 1 is the root; children of k are 2k and 2k+1. *)
+  let node k = if k = 0 then "in" else Printf.sprintf "t%d" k in
+  let elements = ref [ vsource "Vin" "in" "0" 1.0 ] in
+  let add e = elements := e :: !elements in
+  let last = (1 lsl (depth + 1)) - 1 in
+  for k = 1 to last do
+    let parent = if k = 1 then 0 else k / 2 in
+    add (resistor (Printf.sprintf "R%d" k) (node parent) (node k) r);
+    add (capacitor (Printf.sprintf "C%d" k) (node k) "0" c)
+  done;
+  let first_leaf = 1 lsl depth in
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node (node first_leaf))
+
+let rc_mesh ~rows ~cols ~r ~c () =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.rc_mesh: empty grid";
+  let node i j = if i = 0 && j = 0 then "drv" else Printf.sprintf "x%d_%d" i j in
+  let elements = ref [ vsource "Vin" "in" "0" 1.0 ] in
+  let add e = elements := e :: !elements in
+  add (resistor "Rdrv" "in" (node 0 0) r);
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      add (capacitor (Printf.sprintf "C%d_%d" i j) (node i j) "0" c);
+      if j + 1 < cols then
+        add (resistor (Printf.sprintf "Rh%d_%d" i j) (node i j) (node i (j + 1)) r);
+      if i + 1 < rows then
+        add (resistor (Printf.sprintf "Rv%d_%d" i j) (node i j) (node (i + 1) j) r)
+    done
+  done;
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node (node (rows - 1) (cols - 1)))
+
+(* Deterministic pseudo-random stream for parasitic element values, so the
+   generated op-amp is identical run to run. *)
+let lcg seed =
+  (* Java-style 48-bit LCG; plenty for parasitic value jitter. *)
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+    let bits = (!state lsr 17) land 0xFFFFFF in
+    float_of_int bits /. float_of_int 0xFFFFFF
+
+let opamp_symbol_names = ("gout_q14", "ccomp")
+
+let opamp741 () =
+  let rand = lcg 0x741 in
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  (* Signal path: three-stage Miller-compensated amplifier.
+     Stage gains: A1 = gm_q1/g1 ≈ 95, A2 = gm_q16/gout_q14 ≈ 1000,
+     A3 ≈ 1, so A0 ≈ 1e5; f_unity ≈ gm_q1 / (2π·ccomp) ≈ 1 MHz. *)
+  add (vsource "Vin" "inp" "0" 1.0);
+  add (vccs "gm_q1" "0" "d1" "inp" "inn" 190e-6);
+  add (conductance "gout_stage1" "d1" "0" 2e-6);
+  add (capacitor "cpar_d1" "d1" "0" 1.5e-12);
+  (* Stage 2 and 3 are inverting (VCCS pulls its output node down), so the
+     Miller capacitor ccomp sees negative feedback and the overall DC gain is
+     positive. *)
+  add (vccs "gm_q16" "d2" "0" "d1" "0" 2e-3);
+  add (conductance "gout_q14" "d2" "0" 2e-6);
+  add (capacitor "ccomp" "d1" "d2" 30e-12);
+  add (capacitor "cpar_d2" "d2" "0" 3e-12);
+  add (vccs "gm_q23" "out" "0" "d2" "0" 0.2);
+  add (conductance "gout_q23" "out" "0" 0.2);
+  add (resistor "rin_n" "inn" "0" 1e6);
+  add (capacitor "cload" "out" "0" 10e-12);
+  (* Parasitic cloud: 43 three-element sections (Rp + Cp + Rleak) and 15
+     two-element sections (Rp + Cp), hanging off the signal nodes through
+     stiff series resistors so they perturb rather than dominate.  Together
+     with the 11 signal-path elements (excluding Vin) this gives exactly 170
+     linear elements, 62 of them energy-storage — the counts the paper quotes
+     for the linearized 741. *)
+  let hosts = [| "d1"; "d2"; "out"; "inn" |] in
+  let section k three =
+    let host = hosts.(k mod Array.length hosts) in
+    let p = Printf.sprintf "px%d" k in
+    let rp = 1e3 *. (1.0 +. (4.0 *. rand ())) in
+    let cp = 10e-15 *. (1.0 +. (9.0 *. rand ())) in
+    add (resistor (Printf.sprintf "rp%d" k) host p rp);
+    add (capacitor (Printf.sprintf "cp%d" k) p "0" cp);
+    if three then add (resistor (Printf.sprintf "rleak%d" k) p "0" 5e6)
+  in
+  for k = 0 to 42 do
+    section k true
+  done;
+  for k = 43 to 57 do
+    section k false
+  done;
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node "out")
+
+let coupled_bus ?(lines = 4) ?(segments = 50) ?(r_line = 200.0)
+    ?(c_line = 2e-12) ?(c_couple = 1e-12) ?(rdrv = 100.0) ?(cload = 50e-15)
+    ?(aggressor = 0) ?(victim = 1) () =
+  if lines < 2 then invalid_arg "Builders.coupled_bus: need >= 2 lines";
+  if segments < 1 then invalid_arg "Builders.coupled_bus: need >= 1 segment";
+  if aggressor < 0 || aggressor >= lines || victim < 0 || victim >= lines then
+    invalid_arg "Builders.coupled_bus: line index out of range";
+  let rseg = r_line /. float_of_int segments in
+  let cseg = c_line /. float_of_int segments in
+  let ccseg = c_couple /. float_of_int segments in
+  let node line k =
+    if k = 0 then Printf.sprintf "l%d_drv" line else Printf.sprintf "l%d_%d" line k
+  in
+  let elements = ref [ vsource "Vin" "in" "0" 1.0 ] in
+  let add e = elements := e :: !elements in
+  for line = 0 to lines - 1 do
+    let source = if line = aggressor then "in" else "0" in
+    add (resistor (Printf.sprintf "rdrv%d" line) source (node line 0) rdrv);
+    for k = 1 to segments do
+      add
+        (resistor
+           (Printf.sprintf "r%d_%d" line k)
+           (node line (k - 1)) (node line k) rseg);
+      add (capacitor (Printf.sprintf "c%d_%d" line k) (node line k) "0" cseg);
+      if line + 1 < lines then
+        add
+          (capacitor
+             (Printf.sprintf "cc%d_%d" line k)
+             (node line k)
+             (node (line + 1) k)
+             ccseg)
+    done;
+    add (capacitor (Printf.sprintf "cload%d" line) (node line segments) "0" cload)
+  done;
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node (node victim segments))
+
+type lines_output = Direct | Crosstalk
+
+let coupled_lines ?(segments = 100) ?(r_line = 200.0) ?(c_line = 2e-12)
+    ?(c_couple = 1e-12) ?(rdrv = 100.0) ?(cload = 50e-15)
+    ?(output = Crosstalk) () =
+  if segments < 1 then invalid_arg "Builders.coupled_lines: segments >= 1";
+  let rseg = r_line /. float_of_int segments in
+  let cseg = c_line /. float_of_int segments in
+  let ccseg = c_couple /. float_of_int segments in
+  let node line k =
+    if k = 0 then Printf.sprintf "%s_drv" line else Printf.sprintf "%s%d" line k
+  in
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  add (vsource "Vin" "in" "0" 1.0);
+  add (resistor "rdrv_a" "in" (node "a" 0) rdrv);
+  add (resistor "rdrv_b" "0" (node "b" 0) rdrv);
+  for k = 1 to segments do
+    add (resistor (Printf.sprintf "ra%d" k) (node "a" (k - 1)) (node "a" k) rseg);
+    add (resistor (Printf.sprintf "rb%d" k) (node "b" (k - 1)) (node "b" k) rseg);
+    add (capacitor (Printf.sprintf "ca%d" k) (node "a" k) "0" cseg);
+    add (capacitor (Printf.sprintf "cb%d" k) (node "b" k) "0" cseg);
+    add (capacitor (Printf.sprintf "cc%d" k) (node "a" k) (node "b" k) ccseg)
+  done;
+  add (capacitor "cload_a" (node "a" segments) "0" cload);
+  add (capacitor "cload_b" (node "b" segments) "0" cload);
+  let out_node =
+    match output with
+    | Direct -> node "a" segments
+    | Crosstalk -> node "b" segments
+  in
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node out_node)
+
+let coupled_rlc_lines ?(segments = 20) ?(r_line = 200.0) ?(l_line = 100e-9)
+    ?(c_line = 2e-12) ?(c_couple = 1e-12) ?(k_couple = 0.3) ?(rdrv = 100.0)
+    ?(cload = 50e-15) ?(output = Crosstalk) () =
+  if segments < 1 then invalid_arg "Builders.coupled_rlc_lines: segments >= 1";
+  if k_couple < 0.0 || k_couple >= 1.0 then
+    invalid_arg "Builders.coupled_rlc_lines: need 0 <= k_couple < 1";
+  let rseg = r_line /. float_of_int segments in
+  let lseg = l_line /. float_of_int segments in
+  let cseg = c_line /. float_of_int segments in
+  let ccseg = c_couple /. float_of_int segments in
+  let mseg = k_couple *. lseg in
+  let node line k =
+    if k = 0 then Printf.sprintf "%s_drv" line else Printf.sprintf "%s%d" line k
+  in
+  let mid line k = Printf.sprintf "%sm%d" line k in
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  add (vsource "Vin" "in" "0" 1.0);
+  add (resistor "rdrv_a" "in" (node "a" 0) rdrv);
+  add (resistor "rdrv_b" "0" (node "b" 0) rdrv);
+  for k = 1 to segments do
+    List.iter
+      (fun line ->
+        add
+          (resistor
+             (Printf.sprintf "r%s%d" line k)
+             (node line (k - 1)) (mid line k) rseg);
+        add
+          (inductor
+             (Printf.sprintf "l%s%d" line k)
+             (mid line k) (node line k) lseg);
+        add (capacitor (Printf.sprintf "c%s%d" line k) (node line k) "0" cseg))
+      [ "a"; "b" ];
+    add
+      (capacitor (Printf.sprintf "cc%d" k) (node "a" k) (node "b" k) ccseg);
+    if mseg > 0.0 then
+      add
+        (Element.make
+           ~name:(Printf.sprintf "k%d" k)
+           ~kind:
+             (Element.Mutual (Printf.sprintf "la%d" k, Printf.sprintf "lb%d" k))
+           ~pos:"0" ~neg:"0" ~value:mseg ())
+  done;
+  add (capacitor "cload_a" (node "a" segments) "0" cload);
+  add (capacitor "cload_b" (node "b" segments) "0" cload);
+  let out_node =
+    match output with
+    | Direct -> node "a" segments
+    | Crosstalk -> node "b" segments
+  in
+  Netlist.empty
+  |> Fun.flip Netlist.add_all (List.rev !elements)
+  |> Fun.flip Netlist.with_input "Vin"
+  |> Fun.flip Netlist.with_output (Netlist.Node out_node)

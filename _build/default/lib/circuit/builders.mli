@@ -1,0 +1,102 @@
+(** Generators for the circuits used throughout the paper's evaluation.
+
+    Each builder returns a complete netlist with designated input and
+    output. *)
+
+val fig1 :
+  ?g1:float -> ?g2:float -> ?c1:float -> ?c2:float -> unit -> Netlist.t
+(** The paper's Fig. 1 two-section RC circuit, elements named [G1], [G2],
+    [C1], [C2]; input [Vin], output [v(n2)].  Exact transfer function:
+    [H(s) = G1·G2 / (C1·C2·s² + (G2·C1 + G2·C2 + G1·C2)·s + G1·G2)]
+    — Eq. (5).  Defaults are all 1.0 so the symbolic form is legible. *)
+
+val rc_ladder : sections:int -> r:float -> c:float -> unit -> Netlist.t
+(** Uniform RC ladder driven by [Vin] through the first resistor; output is
+    the far-end node [nK]. *)
+
+val rlc_ladder :
+  sections:int -> r:float -> l:float -> c:float -> unit -> Netlist.t
+(** Uniform RLC ladder (series R and L per section, shunt C) — a lumped
+    lossy transmission line whose poles are complex: the circuit family that
+    exercises AWE's complex-pole handling and ringing responses. *)
+
+val rc_tree : depth:int -> r:float -> c:float -> unit -> Netlist.t
+(** Complete binary RC tree of the given depth (interconnect-style load);
+    output is the first leaf. *)
+
+val rc_mesh : rows:int -> cols:int -> r:float -> c:float -> unit -> Netlist.t
+(** Power-grid style RC mesh: a rows×cols grid of nodes with resistors along
+    both directions and a capacitor at every node.  Driven at the top-left
+    corner; output is the far corner (the worst-case IR/delay point). *)
+
+val opamp741 : unit -> Netlist.t
+(** Synthetic linearized three-stage op-amp standing in for the paper's 741
+    small-signal circuit: exactly 170 linear elements of which 62 are energy
+    storage elements (matching the published counts), including the two
+    elements the paper treats as symbols — the conductance [gout_q14]
+    (second-stage output conductance, dominant for DC gain) and the Miller
+    compensation capacitor [ccomp] (dominant for the pole).  Input [Vin] on
+    the non-inverting input, output [v(out)]. *)
+
+val opamp_symbol_names : string * string
+(** [("gout_q14", "ccomp")] — the element names of the paper's two chosen
+    symbols. *)
+
+val coupled_bus :
+  ?lines:int ->
+  ?segments:int ->
+  ?r_line:float ->
+  ?c_line:float ->
+  ?c_couple:float ->
+  ?rdrv:float ->
+  ?cload:float ->
+  ?aggressor:int ->
+  ?victim:int ->
+  unit ->
+  Netlist.t
+(** An N-conductor bus (default 4 lines): parallel RC lines with capacitive
+    coupling between {e adjacent} conductors.  Line [aggressor] (default 0)
+    is driven by [Vin]; every other line is held quiet through its own
+    driver.  Output is the far end of line [victim] (default 1).  Line
+    nodes are [lK_J] for line K, segment J. *)
+
+type lines_output = Direct | Crosstalk
+
+val coupled_lines :
+  ?segments:int ->
+  ?r_line:float ->
+  ?c_line:float ->
+  ?c_couple:float ->
+  ?rdrv:float ->
+  ?cload:float ->
+  ?output:lines_output ->
+  unit ->
+  Netlist.t
+(** The paper's Fig. 8: two symmetric coupled RC lines, lumped into
+    [segments] sections with capacitive coupling along the length.  Line A is
+    driven by [Vin] through the Thevenin driver resistance [rdrv_a]; line B's
+    driver holds it quiet through [rdrv_b]; both far ends carry the load
+    capacitance ([cload_a], [cload_b]).  [r_line]/[c_line]/[c_couple] are
+    per-line totals.  Output is the far end of line A ([Direct]) or of the
+    quiet line B ([Crosstalk], the default). *)
+
+val coupled_rlc_lines :
+  ?segments:int ->
+  ?r_line:float ->
+  ?l_line:float ->
+  ?c_line:float ->
+  ?c_couple:float ->
+  ?k_couple:float ->
+  ?rdrv:float ->
+  ?cload:float ->
+  ?output:lines_output ->
+  unit ->
+  Netlist.t
+(** Two coupled {e RLC} lines: like {!coupled_lines} but each segment's
+    series branch is R+L and corresponding segment inductors are coupled
+    with coefficient [k_couple] (mutual [M = k·L_seg], one [K] element per
+    segment — the inductive half of real crosstalk).  [l_line] is the
+    per-line total inductance.  Segment nodes are [a1…aN]/[b1…bN] with
+    series midpoints [amK]/[bmK]; driver and load conventions match
+    {!coupled_lines}.  Raises [Invalid_argument] unless
+    [0 ≤ k_couple < 1]. *)

@@ -1,0 +1,83 @@
+type kind =
+  | Resistor
+  | Conductance
+  | Capacitor
+  | Inductor
+  | Vccs of string * string
+  | Vcvs of string * string
+  | Cccs of string
+  | Ccvs of string
+  | Mutual of string * string
+  | Vsource
+  | Isource
+
+type t = {
+  name : string;
+  kind : kind;
+  pos : string;
+  neg : string;
+  value : float;
+  symbol : Symbolic.Symbol.t option;
+}
+
+let make ?symbol ~name ~kind ~pos ~neg ~value () =
+  if name = "" then invalid_arg "Element.make: empty name";
+  (match kind with
+  | Resistor | Conductance | Capacitor | Inductor ->
+    if value <= 0.0 then
+      invalid_arg
+        (Printf.sprintf "Element.make: %s requires a positive value, got %g"
+           name value)
+  | Mutual _ | Vccs _ | Vcvs _ | Cccs _ | Ccvs _ | Vsource | Isource -> ());
+  { name; kind; pos; neg; value; symbol }
+
+let with_value e value = { e with value }
+let with_symbol e s = { e with symbol = Some s }
+
+let stamp_value e =
+  match e.kind with
+  | Resistor -> 1.0 /. e.value
+  | Conductance | Capacitor | Inductor | Vccs _ | Vcvs _ | Cccs _ | Ccvs _
+  | Mutual _ | Vsource | Isource ->
+    e.value
+
+let set_stamp_value e v =
+  match e.kind with
+  | Resistor -> { e with value = 1.0 /. v }
+  | Conductance | Capacitor | Inductor | Vccs _ | Vcvs _ | Cccs _ | Ccvs _
+  | Mutual _ | Vsource | Isource ->
+    { e with value = v }
+
+let is_source e = match e.kind with Vsource | Isource -> true
+  | Resistor | Conductance | Capacitor | Inductor | Vccs _ | Vcvs _ | Cccs _
+  | Ccvs _ | Mutual _ -> false
+
+let is_storage e = match e.kind with Capacitor | Inductor -> true
+  | Resistor | Conductance | Vccs _ | Vcvs _ | Cccs _ | Ccvs _ | Mutual _
+  | Vsource | Isource -> false
+
+let needs_aux_current e =
+  match e.kind with
+  | Vsource | Inductor | Vcvs _ | Ccvs _ -> true
+  | Resistor | Conductance | Capacitor | Vccs _ | Cccs _ | Mutual _ | Isource ->
+    false
+
+let kind_letter = function
+  | Resistor -> "R"
+  | Conductance -> "G"
+  | Capacitor -> "C"
+  | Inductor -> "L"
+  | Vccs _ -> "VCCS"
+  | Vcvs _ -> "VCVS"
+  | Cccs _ -> "CCCS"
+  | Ccvs _ -> "CCVS"
+  | Mutual _ -> "K"
+  | Vsource -> "V"
+  | Isource -> "I"
+
+let pp ppf e =
+  Format.fprintf ppf "%s[%s] %s-%s = %s%s" e.name (kind_letter e.kind) e.pos
+    e.neg (Units.format e.value)
+    (match e.symbol with
+    | None -> ""
+    | Some s -> Printf.sprintf " (symbol %s)" (Symbolic.Symbol.name s))

@@ -1,0 +1,65 @@
+(** Linear circuit elements.
+
+    Every element connects [pos] to [neg] (node names; ["0"] is ground) and
+    carries one scalar [value].  The value's meaning follows SPICE: ohms for
+    resistors, siemens for explicit conductances and VCCS transconductance,
+    farads, henries, volt/amp gain for VCVS/CCCS, ohms for CCVS, volts/amps
+    for sources.
+
+    An element may be marked *symbolic*: its {e stamp value} (see
+    {!stamp_value}) is then treated as an unknown in symbolic analyses.
+    Because MNA stamps resistors in admittance form, the symbol attached to a
+    resistor denotes its {e conductance} — this mirrors the paper, whose
+    op-amp symbol is the conductance [gout_q14]. *)
+
+type kind =
+  | Resistor
+  | Conductance
+  | Capacitor
+  | Inductor
+  | Vccs of string * string  (** control nodes [(cpos, cneg)]; i = gm·v(cp,cn) *)
+  | Vcvs of string * string  (** control nodes; v = mu·v(cp,cn) *)
+  | Cccs of string  (** name of the controlling V-source; i = beta·i(ctrl) *)
+  | Ccvs of string  (** name of the controlling V-source; v = r·i(ctrl) *)
+  | Mutual of string * string
+      (** mutual inductance (henries) coupling the two named inductors;
+          [pos]/[neg] are ignored (conventionally ground) *)
+  | Vsource
+  | Isource
+
+type t = private {
+  name : string;
+  kind : kind;
+  pos : string;
+  neg : string;
+  value : float;
+  symbol : Symbolic.Symbol.t option;
+}
+
+val make :
+  ?symbol:Symbolic.Symbol.t -> name:string -> kind:kind -> pos:string ->
+  neg:string -> value:float -> unit -> t
+(** Raises [Invalid_argument] for non-positive R/C/L values or an empty
+    name. *)
+
+val with_value : t -> float -> t
+val with_symbol : t -> Symbolic.Symbol.t -> t
+
+val stamp_value : t -> float
+(** The scalar that multiplies the element's MNA stamp: [1/value] for
+    resistors, [value] for everything else. *)
+
+val set_stamp_value : t -> float -> t
+(** Inverse of {!stamp_value}: update the element so its stamp value becomes
+    the given number. *)
+
+val is_source : t -> bool
+val is_storage : t -> bool
+(** True for capacitors and inductors — the paper's "energy storage
+    elements". *)
+
+val needs_aux_current : t -> bool
+(** True when MNA allocates a branch-current unknown for this element
+    (V-sources, inductors, VCVS, CCVS). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** Writing netlists back out as decks.
+
+    [to_deck] produces text that {!Parser.parse_string} reads back to an
+    equivalent netlist (same elements, values, symbols, input, output) — the
+    round-trip is property-tested.  Values are printed in full precision
+    scientific notation, not engineering-suffix form, so nothing is lost. *)
+
+val element_card : Element.t -> string
+(** One deck line for the element.  Raises [Invalid_argument] when the
+    element's name does not start with the letter its kind requires (the
+    deck format dispatches on it). *)
+
+val to_deck : Netlist.t -> string
+
+val to_file : Netlist.t -> string -> unit

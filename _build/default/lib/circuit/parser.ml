@@ -1,0 +1,113 @@
+exception Parse_error of int * string
+
+let fail lineno fmt = Printf.ksprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+
+let tokens line =
+  (* Strip trailing ';' comments, split on whitespace. *)
+  let line =
+    match String.index_opt line ';' with
+    | Some k -> String.sub line 0 k
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let value_of lineno s =
+  match Units.parse s with
+  | Some v -> v
+  | None -> fail lineno "malformed value %S" s
+
+let parse_output lineno spec =
+  (* Only the "v(" wrapper is case-insensitive; node names keep their case. *)
+  let spec = String.trim spec in
+  let inner =
+    if
+      String.length spec > 2
+      && String.lowercase_ascii (String.sub spec 0 2) = "v("
+      && spec.[String.length spec - 1] = ')'
+    then String.sub spec 2 (String.length spec - 3)
+    else fail lineno "malformed output spec %S (expected v(node) or v(a,b))" spec
+  in
+  match String.split_on_char ',' inner with
+  | [ a ] -> Netlist.Node (String.trim a)
+  | [ a; b ] -> Netlist.Diff (String.trim a, String.trim b)
+  | _ -> fail lineno "malformed output spec %S" spec
+
+let element_of_card lineno name rest =
+  let kind_letter = Char.lowercase_ascii name.[0] in
+  match (kind_letter, rest) with
+  | 'r', [ p; n; v ] ->
+    Element.make ~name ~kind:Element.Resistor ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'c', [ p; n; v ] ->
+    Element.make ~name ~kind:Element.Capacitor ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'l', [ p; n; v ] ->
+    Element.make ~name ~kind:Element.Inductor ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'v', [ p; n; v ] ->
+    Element.make ~name ~kind:Element.Vsource ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'i', [ p; n; v ] ->
+    Element.make ~name ~kind:Element.Isource ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'g', [ p; n; v ] ->
+    (* Three operands: a plain conductance (siemens); five: a VCCS. *)
+    Element.make ~name ~kind:Element.Conductance ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'g', [ p; n; cp; cn; v ] ->
+    Element.make ~name ~kind:(Element.Vccs (cp, cn)) ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'e', [ p; n; cp; cn; v ] ->
+    Element.make ~name ~kind:(Element.Vcvs (cp, cn)) ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'f', [ p; n; ctrl; v ] ->
+    Element.make ~name ~kind:(Element.Cccs ctrl) ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'h', [ p; n; ctrl; v ] ->
+    Element.make ~name ~kind:(Element.Ccvs ctrl) ~pos:p ~neg:n
+      ~value:(value_of lineno v) ()
+  | 'k', [ l1; l2; v ] ->
+    Element.make ~name ~kind:(Element.Mutual (l1, l2)) ~pos:"0" ~neg:"0"
+      ~value:(value_of lineno v) ()
+  | ('r' | 'c' | 'l' | 'v' | 'i' | 'g' | 'e' | 'f' | 'h' | 'k'), _ ->
+    fail lineno "wrong number of fields for element %s" name
+  | _ -> fail lineno "unknown element type %C in %s" name.[0] name
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let nl = ref Netlist.empty in
+  let stop = ref false in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      let line = String.trim line in
+      if (not !stop) && line <> "" && line.[0] <> '*' then begin
+        match tokens line with
+        | [] -> ()
+        | directive :: rest when directive.[0] = '.' -> (
+          match (String.lowercase_ascii directive, rest) with
+          | ".end", _ -> stop := true
+          | ".input", [ name ] -> nl := Netlist.with_input !nl name
+          | ".output", [ spec ] ->
+            nl := Netlist.with_output !nl (parse_output lineno spec)
+          | ".symbolic", [ name ] -> (
+            try nl := Netlist.mark_symbolic !nl name (Symbolic.Symbol.intern name)
+            with Not_found -> fail lineno ".symbolic: no element named %s" name)
+          | ".symbolic", [ name; sym ] -> (
+            try nl := Netlist.mark_symbolic !nl name (Symbolic.Symbol.intern sym)
+            with Not_found -> fail lineno ".symbolic: no element named %s" name)
+          | d, _ -> fail lineno "unknown or malformed directive %s" d)
+        | name :: rest -> (
+          try nl := Netlist.add !nl (element_of_card lineno name rest)
+          with Invalid_argument m -> fail lineno "%s" m)
+      end)
+    lines;
+  !nl
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

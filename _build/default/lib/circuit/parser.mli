@@ -1,0 +1,25 @@
+(** SPICE-like netlist deck parser.
+
+    Element cards dispatch on the first letter of the name (case-insensitive):
+    {v
+      Rname  pos neg value        resistor (ohms)
+      Cname  pos neg value        capacitor (farads)
+      Lname  pos neg value        inductor (henries)
+      Vname  pos neg value        independent voltage source
+      Iname  pos neg value        independent current source (into pos)
+      Gname  pos neg value        conductance (siemens)
+      Gname  pos neg cpos cneg gm VCCS (disambiguated by field count)
+      Ename  pos neg cpos cneg mu VCVS
+      Fname  pos neg vctrl beta   CCCS
+      Hname  pos neg vctrl r      CCVS
+    v}
+    Directives: [.symbolic NAME [symbol]], [.input VNAME],
+    [.output v(node)] or [.output v(a,b)], [.end].  ['*'] starts a comment
+    line; [';'] starts a trailing comment.  Values use engineering suffixes
+    (see {!Units}). *)
+
+exception Parse_error of int * string
+(** [(line_number, message)]. *)
+
+val parse_string : string -> Netlist.t
+val parse_file : string -> Netlist.t

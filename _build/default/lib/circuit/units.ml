@@ -1,0 +1,43 @@
+let suffixes =
+  (* Longest match first so "meg" wins over "m". *)
+  [ ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
+    ("m", 1e-3); ("k", 1e3); ("g", 1e9); ("t", 1e12) ]
+
+let parse s =
+  let s = String.trim (String.lowercase_ascii s) in
+  if s = "" then None
+  else begin
+    let match_suffix () =
+      List.find_opt
+        (fun (suf, _) ->
+          String.length s > String.length suf
+          && String.sub s (String.length s - String.length suf) (String.length suf) = suf)
+        suffixes
+    in
+    match match_suffix () with
+    | Some (suf, mult) ->
+      let body = String.sub s 0 (String.length s - String.length suf) in
+      (match float_of_string_opt body with
+      | Some v -> Some (v *. mult)
+      | None -> None)
+    | None -> float_of_string_opt s
+  end
+
+let parse_exn s =
+  match parse s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Units.parse_exn: malformed value %S" s)
+
+let format v =
+  if v = 0.0 then "0"
+  else begin
+    let mag = Float.abs v in
+    let pick =
+      [ (1e12, "t"); (1e9, "g"); (1e6, "meg"); (1e3, "k"); (1.0, "");
+        (1e-3, "m"); (1e-6, "u"); (1e-9, "n"); (1e-12, "p"); (1e-15, "f") ]
+      |> List.find_opt (fun (scale, _) -> mag >= scale)
+    in
+    match pick with
+    | Some (scale, suf) -> Printf.sprintf "%g%s" (v /. scale) suf
+    | None -> Printf.sprintf "%g" v
+  end

@@ -1,0 +1,11 @@
+(** Engineering-notation number parsing and formatting (SPICE conventions).
+
+    Suffixes (case-insensitive): f p n u m k meg g t.  ["2.2k"] is 2200,
+    ["10MEG"] is 1e7, bare scientific notation also parses. *)
+
+val parse : string -> float option
+val parse_exn : string -> float
+(** Raises [Failure] with a diagnostic on malformed input. *)
+
+val format : float -> string
+(** Render with the closest engineering suffix, e.g. [2.2e-12] → ["2.2p"]. *)

@@ -1,0 +1,1 @@
+lib/core/global_system.ml: Array Circuit Exact Float Fun Int List Numeric Partition Port_reduction Printf Symbolic

@@ -1,0 +1,1 @@
+lib/core/global_system.mli: Circuit Partition Port_reduction Symbolic

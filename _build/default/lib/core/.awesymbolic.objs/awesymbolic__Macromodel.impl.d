@@ -1,0 +1,1 @@
+lib/core/macromodel.ml: Array Awe Buffer Circuit Float Format List Numeric Port_reduction Printf

@@ -1,0 +1,1 @@
+lib/core/macromodel.mli: Awe Circuit Format Numeric

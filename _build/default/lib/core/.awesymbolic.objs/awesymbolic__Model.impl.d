@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Awe Closed_form Float Format Global_system Lazy List Numeric Option Partition Port_reduction Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/core/model.mli: Awe Circuit Closed_form Format Partition Symbolic

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Circuit Format Fun Hashtbl List Printf Symbolic

@@ -1,0 +1,1 @@
+lib/core/port_reduction.ml: Array Circuit Numeric Partition

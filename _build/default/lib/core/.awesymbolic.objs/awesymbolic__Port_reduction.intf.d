@@ -1,0 +1,1 @@
+lib/core/port_reduction.mli: Circuit Numeric Partition

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Awe Circuit Float Format List Model Numeric Partition Printf Symbolic

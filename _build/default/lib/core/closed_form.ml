@@ -1,0 +1,52 @@
+module E = Symbolic.Expr
+
+type order2 = {
+  pole1 : E.t;
+  pole2 : E.t;
+  residue1 : E.t;
+  residue2 : E.t;
+}
+
+let need n m name =
+  if Array.length m < n then
+    invalid_arg (Printf.sprintf "Closed_form.%s: need %d moments" name n)
+
+(* Moments of Σ kᵢ/(s−pᵢ) satisfy mⱼ = −Σ kᵢ·xᵢ^{j+1} with xᵢ = 1/pᵢ. *)
+
+let pole_order1 m =
+  need 2 m "pole_order1";
+  E.div m.(0) m.(1)
+
+let residue_order1 m =
+  need 2 m "residue_order1";
+  E.neg (E.div (E.mul m.(0) m.(0)) m.(1))
+
+let dc_gain m =
+  need 1 m "dc_gain";
+  m.(0)
+
+let order2 m =
+  need 4 m "order2";
+  let m0 = m.(0) and m1 = m.(1) and m2 = m.(2) and m3 = m.(3) in
+  (* Hankel solve [m0 m1; m1 m2]·[a0; a1] = −[m2; m3] by Cramer. *)
+  let det = E.sub (E.mul m0 m2) (E.mul m1 m1) in
+  let a0 = E.div (E.sub (E.mul m1 m3) (E.mul m2 m2)) det in
+  let a1 = E.div (E.sub (E.mul m1 m2) (E.mul m0 m3)) det in
+  (* Characteristic roots x² + a1·x + a0 = 0 (reciprocal poles). *)
+  let disc = E.sub (E.mul a1 a1) (E.mul (E.const 4.0) a0) in
+  let sq = E.sqrt disc in
+  let half = E.const 0.5 in
+  let x1 = E.mul half (E.sub sq a1) in
+  let x2 = E.neg (E.mul half (E.add sq a1)) in
+  let pole1 = E.inv x1 and pole2 = E.inv x2 in
+  (* Residues: k1·x1 + k2·x2 = −m0, k1·x1² + k2·x2² = −m1. *)
+  let residue_for xa xb =
+    (* k = (m1 − m0·xb)/(xa·(xb − xa)) — derived from the 2×2 solve. *)
+    E.div (E.sub m1 (E.mul m0 xb)) (E.mul xa (E.sub xb xa))
+  in
+  {
+    pole1;
+    pole2;
+    residue1 = residue_for x1 x2;
+    residue2 = residue_for x2 x1;
+  }

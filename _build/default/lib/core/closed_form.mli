@@ -1,0 +1,30 @@
+(** Closed-form symbolic Padé extraction for low orders.
+
+    Because useful AWE approximations are low order ("often less than
+    five"), the paper factors the symbolic forms explicitly.  Here orders 1
+    and 2 get fully symbolic poles and residues (order 2 via the quadratic
+    formula — exact whenever the poles are real, which holds for the RC-class
+    circuits of the paper's examples; complex-pole cases should use the
+    compiled-moment path instead, which has no such restriction). *)
+
+type order2 = {
+  pole1 : Symbolic.Expr.t;
+  pole2 : Symbolic.Expr.t;
+  residue1 : Symbolic.Expr.t;
+  residue2 : Symbolic.Expr.t;
+}
+
+val pole_order1 : Symbolic.Expr.t array -> Symbolic.Expr.t
+(** [pole_order1 m] with moments [m₀; m₁; …] is [p = m₀/m₁]. *)
+
+val residue_order1 : Symbolic.Expr.t array -> Symbolic.Expr.t
+(** [k = −m₀²/m₁]. *)
+
+val order2 : Symbolic.Expr.t array -> order2
+(** Symbolic two-pole extraction from moments [m₀ … m₃]:
+    the Hankel solve by Cramer's rule, the characteristic roots by the
+    quadratic formula, and the residues by the 2×2 Vandermonde closed form.
+    Requires at least 4 moments. *)
+
+val dc_gain : Symbolic.Expr.t array -> Symbolic.Expr.t
+(** [m₀] — the zeroth moment is the exact DC gain at any order. *)

@@ -1,0 +1,331 @@
+module Cx = Numeric.Cx
+module Cmatrix = Numeric.Cmatrix
+module Matrix = Numeric.Matrix
+module Element = Circuit.Element
+module Netlist = Circuit.Netlist
+
+(* An admittance entry is Y(s) ≈ linear·s + rom (rom carries poles,
+   residues, and the feedthrough constant).  The explicit linear term is
+   required because port admittances of RC networks grow like c·s at high
+   frequency, which no proper pole/residue sum can follow. *)
+type entry = { rom : Awe.Rom.t; linear : float }
+
+type t = { ports : string array; order : int; entries : entry array array }
+
+let ports t = Array.copy t.ports
+let order t = t.order
+
+let scaled_moments alpha m =
+  let factor = ref 1.0 in
+  Array.map
+    (fun v ->
+      let out = v *. !factor in
+      factor := !factor *. alpha;
+      out)
+    m
+
+(* Fit d + e·s + Σ k/(s−p) to a moment sequence: the recurrence is anchored
+   at m₂ (which neither d nor e contaminates), then d and e recovered from
+   m₀ and m₁. *)
+let fit_entry ~order m =
+  if Array.for_all (fun v -> v = 0.0) m then
+    { rom = Awe.Rom.make ~poles:[||] ~residues:[||] (); linear = 0.0 }
+  else begin
+    let alpha = Awe.Pade.moment_scale m in
+    let mh = scaled_moments alpha m in
+    let rec attempt order =
+      if order < 1 then None
+      else
+        match Awe.Pade.char_poly ~offset:2 ~order mh with
+        | exception Numeric.Lu.Singular _ -> attempt (order - 1)
+        | char -> (
+          let poles =
+            Numeric.Roots.of_poly char
+            |> Array.to_list
+            |> List.filter_map (fun x ->
+                   if Cx.norm x < 1e-30 then None
+                   else begin
+                     let p = Cx.inv x in
+                     if p.Cx.re < 0.0 then Some p else None
+                   end)
+            |> Array.of_list
+          in
+          if Array.length poles = 0 then attempt (order - 1)
+          else
+            match
+              Awe.Pade.residues ~offset:2 ~poles
+                (Array.sub mh 0 (2 + Array.length poles))
+            with
+            | res -> Some (poles, res)
+            | exception Numeric.Cmatrix.Singular _ -> attempt (order - 1))
+    in
+    match attempt order with
+    | None ->
+      (* No resolvable dynamics: keep the d + e·s skeleton, which still
+         matches the first two moments. *)
+      {
+        rom = Awe.Rom.make ~direct:m.(0) ~poles:[||] ~residues:[||] ();
+        linear = m.(1);
+      }
+    | Some (poles_hat, res_hat) ->
+      let sum f =
+        let acc = ref Cx.zero in
+        Array.iteri (fun i p -> acc := Cx.add !acc (f res_hat.(i) p)) poles_hat;
+        !acc
+      in
+      let d = mh.(0) +. (sum (fun k p -> Cx.div k p)).Cx.re in
+      let e_hat = mh.(1) +. (sum (fun k p -> Cx.div k (Cx.mul p p))).Cx.re in
+      {
+        rom =
+          Awe.Rom.make ~direct:d
+            ~poles:(Array.map (Cx.scale alpha) poles_hat)
+            ~residues:(Array.map (Cx.scale alpha) res_hat)
+            ();
+        linear = e_hat /. alpha;
+      }
+  end
+
+let reduce ?(order = 2) ~ports nl =
+  if ports = [] then invalid_arg "Macromodel.reduce: no ports";
+  let nodes = Netlist.nodes nl in
+  List.iter
+    (fun p ->
+      if Netlist.is_ground p then failwith "Macromodel.reduce: ground port";
+      if not (List.mem p nodes) then
+        failwith (Printf.sprintf "Macromodel.reduce: unknown port node %s" p))
+    ports;
+  (* Zero the block's own sources: shorts for V, opens for I. *)
+  (* V-sources whose branch current feeds a CCCS/CCVS must keep their
+     auxiliary row; any other zeroed supply becomes a nano-ohm short so it
+     can sit in parallel with a port probe without singularity. *)
+  let current_sensed =
+    Netlist.elements nl
+    |> List.filter_map (fun (e : Element.t) ->
+           match e.Element.kind with
+           | Element.Cccs ctrl | Element.Ccvs ctrl -> Some ctrl
+           | Element.Resistor | Element.Conductance | Element.Capacitor
+           | Element.Inductor | Element.Vccs _ | Element.Vcvs _
+           | Element.Mutual _ | Element.Vsource | Element.Isource ->
+             None)
+  in
+  let passive_elements =
+    Netlist.elements nl
+    |> List.filter_map (fun (e : Element.t) ->
+           match e.Element.kind with
+           | Element.Vsource ->
+             if List.mem e.Element.name current_sensed then
+               Some (Element.with_value e 0.0)
+             else
+               Some
+                 (Element.make ~name:e.Element.name ~kind:Element.Resistor
+                    ~pos:e.Element.pos ~neg:e.Element.neg ~value:1e-9 ())
+           | Element.Isource -> None
+           | Element.Resistor | Element.Conductance | Element.Capacitor
+           | Element.Inductor | Element.Vccs _ | Element.Vcvs _
+           | Element.Cccs _ | Element.Ccvs _ | Element.Mutual _ ->
+             Some e)
+  in
+  let passive = Netlist.add_all Netlist.empty passive_elements in
+  let ports_arr = Array.of_list ports in
+  let count = (2 * order) + 2 in
+  let reduction = Port_reduction.of_netlist ~count ~ports:ports_arr passive in
+  let p = Array.length ports_arr in
+  let entries =
+    Array.init p (fun j ->
+        Array.init p (fun k ->
+            let m =
+              Array.map
+                (fun ym -> Matrix.get ym j k)
+                reduction.Port_reduction.series
+            in
+            fit_entry ~order m))
+  in
+  { ports = ports_arr; order; entries }
+
+let entry t j k = t.entries.(j).(k).rom
+
+let admittance t s =
+  let p = Array.length t.ports in
+  Numeric.Cmatrix.init p p (fun j k ->
+      let e = t.entries.(j).(k) in
+      Cx.add (Awe.Rom.transfer e.rom s) (Cx.scale e.linear s))
+
+let s_parameters t ~z0 s =
+  let p = Array.length t.ports in
+  let y = admittance t s in
+  let eye i j = if i = j then Cx.one else Cx.zero in
+  let a = Cmatrix.init p p (fun i j -> Cx.sub (eye i j) (Cx.scale z0 (Cmatrix.get y i j))) in
+  let b = Cmatrix.init p p (fun i j -> Cx.add (eye i j) (Cx.scale z0 (Cmatrix.get y i j))) in
+  (* S = A·B⁻¹: solve Bᵀ·Xᵀ = Aᵀ column-wise. *)
+  let out = Cmatrix.create p p in
+  for row = 0 to p - 1 do
+    (* Solve x·B = a_row  ⇔  Bᵀ·xᵀ = a_rowᵀ. *)
+    let bt = Cmatrix.init p p (fun i j -> Cmatrix.get b j i) in
+    let rhs = Array.init p (fun j -> Cmatrix.get a row j) in
+    let x = Cmatrix.solve bt rhs in
+    Array.iteri (fun j v -> Cmatrix.set out row j v) x
+  done;
+  out
+
+let step_current t ~into ~driven time =
+  (* L⁻¹[Y(s)/s] for t > 0 = d + Σ (k/p)(e^{pt} − 1); the c·δ(t) charge
+     impulse of the linear term is not representable pointwise. *)
+  Awe.Rom.step t.entries.(into).(driven).rom time
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d-port macromodel (order %d):@,"
+    (Array.length t.ports) t.order;
+  Array.iteri
+    (fun j pj ->
+      Array.iteri
+        (fun k pk ->
+          let e = t.entries.(j).(k) in
+          Format.fprintf ppf "  Y[%s][%s]: %d poles, d=%g, c=%g@," pj pk
+            (Awe.Rom.order e.rom) e.rom.Awe.Rom.direct e.linear)
+        t.ports)
+    t.ports;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis: the macromodel as a netlist block, re-embeddable in a larger
+   circuit.  Entry (j,k) draws i = Y_jk(s)·v(port_k) out of port j:
+   - the feedthrough d is a plain VCCS;
+   - each real pole gets a state node x with (s − p)·x = v_k (1-F
+     integrator plus conductance) and a VCCS draw k·x; conjugate pairs get
+     a controllable-canonical biquad (as in Awe.Realize);
+   - the linear e·s term is a differentiator: a unit-gain VCVS copies v_k
+     onto a capacitor of value e, and a CCCS mirrors the capacitor's branch
+     current (e·s·v_k) out of the port. *)
+let to_netlist t =
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  (* Draw [gain·v(ctrl)] out of [node]. *)
+  let draw ~name ~node ~ctrl ~gain =
+    add
+      (Element.make ~name ~kind:(Element.Vccs (ctrl, "0")) ~pos:node ~neg:"0"
+         ~value:gain ())
+  in
+  let inject ~name ~node ~ctrl ~gain =
+    add
+      (Element.make ~name ~kind:(Element.Vccs (ctrl, "0")) ~pos:"0" ~neg:node
+         ~value:gain ())
+  in
+  let cap name node v =
+    add (Element.make ~name ~kind:Element.Capacitor ~pos:node ~neg:"0" ~value:v ())
+  in
+  let cond name node g =
+    add (Element.make ~name ~kind:Element.Conductance ~pos:node ~neg:"0" ~value:g ())
+  in
+  Array.iteri
+    (fun j pj ->
+      Array.iteri
+        (fun k pk ->
+          let e = t.entries.(j).(k) in
+          let tag = Printf.sprintf "%d_%d" j k in
+          if e.rom.Awe.Rom.direct <> 0.0 then
+            draw ~name:("Gd" ^ tag) ~node:pj ~ctrl:pk
+              ~gain:e.rom.Awe.Rom.direct;
+          if e.linear <> 0.0 then begin
+            let m = "md" ^ tag in
+            add
+              (Element.make ~name:("Ed" ^ tag) ~kind:(Element.Vcvs (pk, "0"))
+                 ~pos:m ~neg:"0" ~value:1.0 ());
+            cap ("Cd" ^ tag) m (Float.abs e.linear);
+            (* MNA books the VCVS aux current as leaving its node, so the
+               variable equals −|e|·s·v_k; a −sign(e) mirror draws e·s·v_k
+               out of the port. *)
+            add
+              (Element.make ~name:("Fd" ^ tag) ~kind:(Element.Cccs ("Ed" ^ tag))
+                 ~pos:pj ~neg:"0"
+                 ~value:(if e.linear >= 0.0 then -1.0 else 1.0)
+                 ())
+          end;
+          let poles = e.rom.Awe.Rom.poles
+          and residues = e.rom.Awe.Rom.residues in
+          let n = Array.length poles in
+          let used = Array.make n false in
+          for i = 0 to n - 1 do
+            if not used.(i) then begin
+              used.(i) <- true;
+              let p = poles.(i) and kres = residues.(i) in
+              let itag = Printf.sprintf "%s_%d" tag i in
+              if
+                Float.abs p.Cx.im
+                <= 1e-12 *. Float.max 1.0 (Float.abs p.Cx.re)
+              then begin
+                let x = "x" ^ itag in
+                cap ("Cx" ^ itag) x 1.0;
+                cond ("Gx" ^ itag) x (-.p.Cx.re);
+                inject ~name:("Gv" ^ itag) ~node:x ~ctrl:pk ~gain:1.0;
+                draw ~name:("Gy" ^ itag) ~node:pj ~ctrl:x ~gain:kres.Cx.re
+              end
+              else begin
+                (* Find the conjugate partner. *)
+                let partner = ref (-1) in
+                for l = i + 1 to n - 1 do
+                  if
+                    !partner < 0 && (not used.(l))
+                    && Cx.norm (Cx.sub poles.(l) (Cx.conj p))
+                       <= 1e-9 *. Cx.norm p
+                  then partner := l
+                done;
+                if !partner < 0 then
+                  failwith
+                    "Macromodel.to_netlist: unpaired complex pole in entry";
+                used.(!partner) <- true;
+                let sigma = p.Cx.re and omega = p.Cx.im in
+                let a = kres.Cx.re and b = kres.Cx.im in
+                let alpha = 2.0 *. a in
+                let beta = -2.0 *. ((a *. sigma) +. (b *. omega)) in
+                let c1 = -2.0 *. sigma in
+                let c0 = (sigma *. sigma) +. (omega *. omega) in
+                let n1 = "x" ^ itag and n2 = "y" ^ itag in
+                cap ("Cxa" ^ itag) n1 1.0;
+                cap ("Cxb" ^ itag) n2 1.0;
+                inject ~name:("Gia" ^ itag) ~node:n1 ~ctrl:n2 ~gain:1.0;
+                cond ("Gdd" ^ itag) n2 c1;
+                inject ~name:("Gfb" ^ itag) ~node:n2 ~ctrl:n1 ~gain:(-.c0);
+                inject ~name:("Giu" ^ itag) ~node:n2 ~ctrl:pk ~gain:1.0;
+                draw ~name:("Gya" ^ itag) ~node:pj ~ctrl:n2 ~gain:alpha;
+                draw ~name:("Gyb" ^ itag) ~node:pj ~ctrl:n1 ~gain:beta
+              end
+            end
+          done)
+        t.ports)
+    t.ports;
+  Netlist.add_all Netlist.empty (List.rev !elements)
+
+let touchstone t ~z0 ~frequencies =
+  let p = Array.length t.ports in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "! %d-port S-parameters exported by awesymbolic\n" p);
+  Array.iteri
+    (fun j pj -> Buffer.add_string buf (Printf.sprintf "! port %d = %s\n" (j + 1) pj))
+    t.ports;
+  Buffer.add_string buf (Printf.sprintf "# Hz S RI R %g\n" z0);
+  Array.iter
+    (fun f ->
+      let s = s_parameters t ~z0 (Cx.make 0.0 (2.0 *. Float.pi *. f)) in
+      Buffer.add_string buf (Printf.sprintf "%.10g" f);
+      (* Touchstone order: column-major for 2-ports (S11 S21 S12 S22),
+         row-major otherwise. *)
+      let entry j k =
+        let v = Cmatrix.get s j k in
+        Buffer.add_string buf (Printf.sprintf " %.10g %.10g" v.Cx.re v.Cx.im)
+      in
+      if p = 2 then begin
+        entry 0 0;
+        entry 1 0;
+        entry 0 1;
+        entry 1 1
+      end
+      else
+        for j = 0 to p - 1 do
+          for k = 0 to p - 1 do
+            entry j k
+          done
+        done;
+      Buffer.add_char buf '\n')
+    frequencies;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Reduced-order N-port macromodels of linear interconnect.
+
+    The same port-reduction machinery that feeds AWEsymbolic can serve as a
+    standalone macromodeler (cf. "AWE macromodels of VLSI interconnect"):
+    a passive network is reduced, once, to a pole/residue model of every
+    admittance entry [Yⱼₖ(s)], after which evaluating the block's port
+    behaviour costs a handful of operations — the substrate a hierarchical
+    simulator would instantiate in place of the full network. *)
+
+type t
+
+val reduce : ?order:int -> ports:string list -> Circuit.Netlist.t -> t
+(** [reduce ~ports nl] computes the admittance moment series of [nl] seen
+    from the named port nodes (independent sources in [nl] are ignored; the
+    network is reduced as a passive block) and fits an [order]-pole model
+    (default 2, with feedthrough) to every entry.  Raises [Failure] if a
+    port is ground or absent. *)
+
+val ports : t -> string array
+val order : t -> int
+
+val entry : t -> int -> int -> Awe.Rom.t
+(** The fitted model of [Yⱼₖ(s)]. *)
+
+val admittance : t -> Numeric.Cx.t -> Numeric.Cmatrix.t
+(** Evaluate the reduced [Y(s)] — one small complex sum per entry. *)
+
+val s_parameters : t -> z0:float -> Numeric.Cx.t -> Numeric.Cmatrix.t
+(** Scattering parameters at reference impedance [z0]:
+    [S = (I − z0·Y)·(I + z0·Y)⁻¹].  A passive block satisfies [|Sⱼₖ| ≤ 1].
+    Raises [Numeric.Cmatrix.Singular] at frequencies where [(I + z0·Y)] is
+    singular (non-passive fitted data). *)
+
+val step_current : t -> into:int -> driven:int -> float -> float
+(** [step_current t ~into:j ~driven:k time]: port-[j] current response when
+    port [k] is driven with a unit voltage step (others shorted). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_netlist : t -> Circuit.Netlist.t
+(** Synthesize the macromodel as a netlist block: the port names become
+    ordinary nodes, every admittance entry is realized with 1-F state
+    sections (biquads for conjugate pairs), a VCCS feedthrough, and a
+    VCVS/capacitor/CCCS differentiator for the [e·s] term.  Embed the
+    result in a larger circuit in place of the original network — the
+    block's port behaviour is the fitted [Y(s)] exactly.  No input/output
+    designation is attached.  Raises [Failure] on an unpaired complex
+    pole. *)
+
+val touchstone : t -> z0:float -> frequencies:float array -> string
+(** Touchstone (.sNp) text of the fitted block's S-parameters at the given
+    frequencies, real/imaginary format, reference impedance [z0] — the
+    interchange format RF tools consume.  Entries follow the Touchstone
+    convention: column-major ([S₁₁ S₂₁ S₁₂ S₂₂]) for two ports, row-major
+    otherwise. *)

@@ -1,0 +1,305 @@
+module E = Symbolic.Expr
+module Slp = Symbolic.Slp
+module Sym = Symbolic.Symbol
+module Cx = Numeric.Cx
+
+type t = {
+  partition : Partition.t;
+  order : int;
+  symbols : Sym.t array;
+  moment_exprs : E.t array;
+  moment_program : Slp.t;
+  closed : (Closed_form.order2 * Slp.t) option;
+  bounds_program : Slp.t Lazy.t;
+      (* Cramer-form (polynomial-ratio) variant of the moment program:
+         point-for-point identical algebraically, but far better behaved
+         under interval evaluation, where elimination programs' subtractive
+         pivots straddle zero almost immediately. *)
+  sensitivity : Slp.t Lazy.t;
+  pole_sensitivity : Slp.t option Lazy.t;
+}
+
+(* Shared tail of [build]/[build_many]: everything downstream of the
+   symbolic moment DAGs. *)
+let assemble partition order moment_exprs bounds_program =
+  let symbols = partition.Partition.symbols in
+  let moment_program = Slp.compile ~inputs:symbols moment_exprs in
+  let closed =
+    (* Structurally degenerate moment sequences (e.g. exactly geometric —
+       the circuit is effectively single-pole in the symbols) make the
+       closed forms divide by a folded zero; such models simply have no
+       closed form and use the compiled-moment path. *)
+    match order with
+    | 1 -> (
+      match
+        ( Closed_form.pole_order1 moment_exprs,
+          Closed_form.residue_order1 moment_exprs )
+      with
+      | p, k ->
+        let cf =
+          {
+            Closed_form.pole1 = p;
+            pole2 = E.zero;
+            residue1 = k;
+            residue2 = E.zero;
+          }
+        in
+        Some (cf, Slp.compile ~inputs:symbols [| p; k |])
+      | exception Division_by_zero -> None)
+    | 2 -> (
+      match Closed_form.order2 moment_exprs with
+      | cf ->
+        Some
+          ( cf,
+            Slp.compile ~inputs:symbols
+              [| cf.Closed_form.pole1; cf.Closed_form.pole2;
+                 cf.Closed_form.residue1; cf.Closed_form.residue2 |] )
+      | exception Division_by_zero -> None)
+    | _ -> None
+  in
+  let sensitivity =
+    lazy
+      (let rows =
+         Array.map
+           (fun m -> Array.map (fun s -> E.deriv m s) symbols)
+           moment_exprs
+       in
+       Slp.compile ~inputs:symbols (Array.concat (Array.to_list rows)))
+  in
+  let pole_sensitivity =
+    lazy
+      (Option.map
+         (fun (cf, _) ->
+           let exprs =
+             Array.concat
+               [
+                 Array.map (E.deriv cf.Closed_form.pole1) symbols;
+                 Array.map (E.deriv cf.Closed_form.pole2) symbols;
+               ]
+           in
+           Slp.compile ~inputs:symbols exprs)
+         closed)
+  in
+  { partition; order; symbols; moment_exprs; moment_program; closed;
+    bounds_program; sensitivity; pole_sensitivity }
+
+let build ?(order = 2) ?(sparse = false) nl =
+  if order < 1 then invalid_arg "Model.build: order must be >= 1";
+  let partition = Partition.make nl in
+  let count = 2 * order in
+  let reduction = Port_reduction.compute ~sparse ~count partition in
+  let system = Global_system.build partition reduction in
+  let nominal sym = Partition.nominal partition sym in
+  let moment_exprs =
+    Global_system.moments_expr_by_elimination system ~nominal ~count
+  in
+  let bounds_program =
+    lazy
+      (let solved = Global_system.solve_moments system ~count in
+       Slp.compile ~inputs:partition.Partition.symbols
+         (Global_system.moments_expr solved))
+  in
+  assemble partition order moment_exprs bounds_program
+
+let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
+  if order < 1 then invalid_arg "Model.build_many: order must be >= 1";
+  if outputs = [] then invalid_arg "Model.build_many: no outputs";
+  (* One partition / port reduction / elimination serves every output: only
+     the selector differs, so the marginal cost per extra output is a
+     projection plus a compile. *)
+  let partition = Partition.make ~extra_outputs:outputs nl in
+  let count = 2 * order in
+  let reduction = Port_reduction.compute ~sparse ~count partition in
+  let system = Global_system.build partition reduction in
+  let nominal sym = Partition.nominal partition sym in
+  let vectors = Global_system.solve_vectors_expr system ~nominal ~count in
+  let raw = lazy (Global_system.solve_raw system ~count) in
+  List.map
+    (fun output ->
+      let sel = Global_system.selector_for system output in
+      let moment_exprs = Global_system.project_expr system vectors sel in
+      let bounds_program =
+        lazy
+          (Slp.compile ~inputs:partition.Partition.symbols
+             (Global_system.moments_expr
+                (Global_system.project system (Lazy.force raw) sel)))
+      in
+      assemble partition order moment_exprs bounds_program)
+    outputs
+
+let order t = t.order
+let symbols t = Array.copy t.symbols
+let partition t = t.partition
+let moment_exprs t = Array.copy t.moment_exprs
+let program t = t.moment_program
+let num_operations t = Slp.num_instructions t.moment_program
+
+let values t bindings =
+  Array.map
+    (fun s ->
+      match List.assoc_opt (Sym.name s) bindings with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "Model.values: no value for %s" (Sym.name s)))
+    t.symbols
+
+let eval_moments t v = Slp.eval t.moment_program v
+
+let rom t v = Awe.Pade.fit ~order:t.order (eval_moments t v)
+
+let evaluator t =
+  let run = Slp.make_evaluator t.moment_program in
+  fun v -> Awe.Pade.fit ~order:t.order (run v)
+
+let closed_form t = Option.map fst t.closed
+
+let closed_form_rom t v =
+  match t.closed with
+  | None -> None
+  | Some (_, prog) ->
+    let out = Slp.eval prog v in
+    let finite = Array.for_all Float.is_finite out in
+    if not finite then None
+    else if t.order = 1 then
+      Some
+        (Awe.Rom.make
+           ~poles:[| Cx.of_float out.(0) |]
+           ~residues:[| Cx.of_float out.(1) |]
+           ())
+    else
+      Some
+        (Awe.Rom.make
+           ~poles:[| Cx.of_float out.(0); Cx.of_float out.(1) |]
+           ~residues:[| Cx.of_float out.(2); Cx.of_float out.(3) |]
+           ())
+
+let moments_ratfun ?(count = 4) nl =
+  let partition = Partition.make nl in
+  let reduction = Port_reduction.compute ~count partition in
+  let system = Global_system.build partition reduction in
+  Global_system.moments_ratfun (Global_system.solve_moments system ~count)
+
+let pp_forms ?(count = 4) ppf nl =
+  let module Mpoly = Symbolic.Mpoly in
+  let module Ratfun = Symbolic.Ratfun in
+  let profile p =
+    Mpoly.degree_profile p
+    |> List.map (fun (s, e) ->
+           if e = 1 then Sym.name s else Printf.sprintf "%s^%d" (Sym.name s) e)
+    |> String.concat ", "
+  in
+  let side ppf p =
+    if Mpoly.num_terms p <= 12 then Mpoly.pp ppf p
+    else
+      Format.fprintf ppf "P(%s; %d terms)" (profile p) (Mpoly.num_terms p)
+  in
+  let moments = moments_ratfun ~count nl in
+  Array.iteri
+    (fun k rf ->
+      let den = Ratfun.den rf in
+      if Mpoly.is_const den then
+        Format.fprintf ppf "m%d = %a@." k side (Ratfun.num rf)
+      else
+        Format.fprintf ppf "m%d = (%a) / (%a)@." k side (Ratfun.num rf) side den)
+    moments
+
+let moment_bounds t ranges =
+  let boxes =
+    Array.map
+      (fun s ->
+        match List.find_opt (fun (n, _, _) -> n = Sym.name s) ranges with
+        | Some (_, lo, hi) -> Symbolic.Interval.make lo hi
+        | None ->
+          failwith
+            (Printf.sprintf "Model.moment_bounds: no range for %s" (Sym.name s)))
+      t.symbols
+  in
+  Slp.eval_interval (Lazy.force t.bounds_program) boxes
+
+let elmore_program t =
+  (* −m₁/m₀, the first-moment delay estimate, straight off the moment DAGs:
+     the symbolic form of the estimate physical-design tools sweep. *)
+  Slp.compile ~inputs:t.symbols
+    [| E.neg (E.div t.moment_exprs.(1) t.moment_exprs.(0)) |]
+
+let zero_program t =
+  match t.closed with
+  | None -> None
+  | Some (cf, _) ->
+    (* H(s) = k₁/(s−p₁) + k₂/(s−p₂) = ((k₁+k₂)s − (k₁p₂+k₂p₁)) / D(s):
+       the single finite zero is z = (k₁p₂ + k₂p₁)/(k₁ + k₂).  Order-1
+       models (pole2 = residue2 = 0) have no finite zero, and z folds to 0
+       there, so only genuinely 2-branch forms compile. *)
+    if E.equal cf.Closed_form.pole2 E.zero then None
+    else
+      let num =
+        E.add
+          (E.mul cf.Closed_form.residue1 cf.Closed_form.pole2)
+          (E.mul cf.Closed_form.residue2 cf.Closed_form.pole1)
+      in
+      let den = E.add cf.Closed_form.residue1 cf.Closed_form.residue2 in
+      Some (Slp.compile ~inputs:t.symbols [| E.div num den |])
+
+let sensitivity_program t = Lazy.force t.sensitivity
+
+let eval_sensitivities t v =
+  let n = Array.length t.symbols in
+  let flat = Slp.eval (Lazy.force t.sensitivity) v in
+  Array.init
+    (Array.length t.moment_exprs)
+    (fun k -> Array.sub flat (k * n) n)
+
+let pole_sensitivity_program t = Lazy.force t.pole_sensitivity
+
+let eval_pole_sensitivities t v =
+  match Lazy.force t.pole_sensitivity with
+  | None -> None
+  | Some prog ->
+    let n = Array.length t.symbols in
+    let flat = Slp.eval prog v in
+    Some (Array.sub flat 0 n, Array.sub flat n n)
+
+let time_symbol = Sym.intern "__time"
+
+let transient_program t =
+  match t.closed with
+  | None -> None
+  | Some (cf, _) ->
+    let branch pole residue =
+      (* (k/p)·(e^{p·t} − 1); an absent branch (order-1 models pad with
+         zeros) contributes nothing. *)
+      if E.equal pole E.zero then E.zero
+      else
+        E.mul
+          (E.div residue pole)
+          (E.sub (E.exp (E.mul pole (E.sym time_symbol))) E.one)
+    in
+    let y =
+      E.add
+        (branch cf.Closed_form.pole1 cf.Closed_form.residue1)
+        (branch cf.Closed_form.pole2 cf.Closed_form.residue2)
+    in
+    let inputs = Array.append t.symbols [| time_symbol |] in
+    Some (Slp.compile ~inputs [| y |])
+
+let omega_symbol = Sym.intern "__omega"
+
+let frequency_program t =
+  match t.closed with
+  | None -> None
+  | Some (cf, _) ->
+    let w = E.sym omega_symbol in
+    let w2 = E.mul w w in
+    (* For a real pole p and residue k:
+       k/(jω − p) = k·(−p − jω)/(p² + ω²). *)
+    let branch pole residue =
+      if E.equal pole E.zero then (E.zero, E.zero)
+      else begin
+        let denom = E.add (E.mul pole pole) w2 in
+        ( E.div (E.mul residue (E.neg pole)) denom,
+          E.neg (E.div (E.mul residue w) denom) )
+      end
+    in
+    let re1, im1 = branch cf.Closed_form.pole1 cf.Closed_form.residue1 in
+    let re2, im2 = branch cf.Closed_form.pole2 cf.Closed_form.residue2 in
+    let inputs = Array.append t.symbols [| omega_symbol |] in
+    Some (Slp.compile ~inputs [| E.add re1 re2; E.add im1 im2 |])

@@ -1,0 +1,96 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+
+type t = { ports : string array; series : Matrix.t array }
+
+(* Shared core: the netlist must already carry one 0-V probe source per
+   port (rows given by [aux_rows]). *)
+let run ~sparse ~count mna aux_rows ports =
+  let p = Array.length ports in
+  let n = Mna.size (Mna.index mna) in
+  let solve, mul_c =
+    if sparse then begin
+      (* Assemble from stamps directly — no dense detour. *)
+      let lu = Numeric.Sparse.factor (Mna.g_sparse mna) in
+      let sc = Mna.c_sparse mna in
+      (Numeric.Sparse.solve lu, Numeric.Sparse.mul_vec sc)
+    end
+    else begin
+      let lu = Numeric.Lu.factor (Mna.g mna) in
+      (Numeric.Lu.solve lu, Matrix.mul_vec (Mna.c mna))
+    end
+  in
+  let series = Array.init count (fun _ -> Matrix.create p p) in
+  for k = 0 to p - 1 do
+    (* Unit voltage at port k: RHS 1 at the port source's branch row. *)
+    let b = Array.make n 0.0 in
+    b.(aux_rows.(k)) <- 1.0;
+    let x = ref (solve b) in
+    for m = 0 to count - 1 do
+      if m > 0 then begin
+        let rhs = mul_c !x in
+        Array.iteri (fun i v -> rhs.(i) <- -.v) rhs;
+        x := solve rhs
+      end;
+      (* The branch current of port j's probe source leaves the network;
+         the admittance entry is the current flowing in. *)
+      Array.iteri
+        (fun j row -> Matrix.set series.(m) j k (-. !x.(row)))
+        aux_rows
+    done
+  done;
+  { ports; series }
+
+let compute ?(sparse = false) ~count partition =
+  if count < 1 then invalid_arg "Port_reduction.compute: count must be >= 1";
+  let ports = partition.Partition.ports in
+  (* The partition netlist's only sources are the 0-V port probes, so the
+     standard MNA build applies (its notion of "input" is irrelevant here —
+     each port is excited through a hand-built RHS). *)
+  let mna = Mna.build partition.Partition.numeric in
+  let ix = Mna.index mna in
+  let aux_rows =
+    Array.map (fun node -> Mna.aux_row ix (Partition.port_source_name node)) ports
+  in
+  run ~sparse ~count mna aux_rows ports
+
+let of_netlist ?(sparse = false) ~count ~ports nl =
+  if count < 1 then invalid_arg "Port_reduction.of_netlist: count must be >= 1";
+  Array.iter
+    (fun node ->
+      if Circuit.Netlist.is_ground node then
+        failwith "Port_reduction.of_netlist: ground cannot be a port")
+    ports;
+  let with_probes =
+    Array.fold_left
+      (fun acc node ->
+        Circuit.Netlist.add acc
+          (Circuit.Element.make
+             ~name:(Partition.port_source_name node)
+             ~kind:Circuit.Element.Vsource ~pos:node ~neg:"0" ~value:0.0 ()))
+      nl ports
+  in
+  let mna = Mna.build with_probes in
+  let ix = Mna.index mna in
+  let aux_rows =
+    Array.map
+      (fun node -> Mna.aux_row ix (Partition.port_source_name node))
+      ports
+  in
+  run ~sparse ~count mna aux_rows ports
+
+let admittance_at t s =
+  let p = Array.length t.ports in
+  let acc = Numeric.Cmatrix.create p p in
+  let power = ref Numeric.Cx.one in
+  Array.iter
+    (fun ym ->
+      for i = 0 to p - 1 do
+        for j = 0 to p - 1 do
+          Numeric.Cmatrix.add_entry acc i j
+            (Numeric.Cx.mul !power (Numeric.Cx.of_float (Matrix.get ym i j)))
+        done
+      done;
+      power := Numeric.Cx.mul !power s)
+    t.series;
+  acc

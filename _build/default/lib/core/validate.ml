@@ -1,0 +1,89 @@
+module Netlist = Circuit.Netlist
+module Element = Circuit.Element
+module Sym = Symbolic.Symbol
+module Cx = Numeric.Cx
+
+type report = {
+  points : int;
+  max_moment_error : float;
+  max_pole_error : float;
+  worst_point : (string * float) list;
+}
+
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+    float_of_int ((!state lsr 17) land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+let substitute nl bindings =
+  Netlist.map_elements
+    (fun (e : Element.t) ->
+      match e.Element.symbol with
+      | Some s -> Element.set_stamp_value e (List.assoc (Sym.name s) bindings)
+      | None -> e)
+    nl
+
+let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
+  let rand = lcg seed in
+  let symbols = Model.symbols model in
+  let range_for s =
+    match
+      List.find_opt (fun (name, _, _) -> name = Sym.name s) ranges
+    with
+    | Some (_, lo, hi) when 0.0 < lo && lo <= hi -> (lo, hi)
+    | Some (name, _, _) ->
+      failwith (Printf.sprintf "Validate.run: bad range for %s" name)
+    | None ->
+      failwith
+        (Printf.sprintf "Validate.run: no range for symbol %s" (Sym.name s))
+  in
+  let bounds = Array.map range_for symbols in
+  let nl = (Model.partition model).Partition.netlist in
+  let order = Model.order model in
+  let worst_m = ref 0.0 and worst_p = ref 0.0 in
+  let worst_point = ref [] in
+  for _ = 1 to points do
+    let bindings =
+      Array.to_list
+        (Array.mapi
+           (fun k s ->
+             let lo, hi = bounds.(k) in
+             (* Log-uniform sampling covers decades evenly. *)
+             let v = lo *. Float.exp (rand () *. Float.log (hi /. lo)) in
+             (Sym.name s, v))
+           symbols)
+    in
+    let v = Model.values model bindings in
+    let m_sym = Model.eval_moments model v in
+    let reference = Awe.Driver.analyze ~order (substitute nl bindings) in
+    let m_err = ref 0.0 in
+    Array.iteri
+      (fun k mk ->
+        let scale = Float.max (Float.abs mk) 1e-300 in
+        m_err := Float.max !m_err (Float.abs (mk -. m_sym.(k)) /. scale))
+      reference.Awe.Driver.moments;
+    let p_err =
+      let p_ref = Cx.norm (Awe.Rom.dominant_pole reference.Awe.Driver.rom) in
+      let p_sym = Cx.norm (Awe.Rom.dominant_pole (Model.rom model v)) in
+      Float.abs (p_ref -. p_sym) /. Float.max p_ref 1e-300
+    in
+    if Float.max !m_err p_err > Float.max !worst_m !worst_p then
+      worst_point := bindings;
+    worst_m := Float.max !worst_m !m_err;
+    worst_p := Float.max !worst_p p_err
+  done;
+  {
+    points;
+    max_moment_error = !worst_m;
+    max_pole_error = !worst_p;
+    worst_point = !worst_point;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>validated %d random points@,max relative moment error: %.3e@,\
+     max relative dominant-pole error: %.3e@,worst at:"
+    r.points r.max_moment_error r.max_pole_error;
+  List.iter (fun (n, v) -> Format.fprintf ppf " %s=%g" n v) r.worst_point;
+  Format.fprintf ppf "@]"

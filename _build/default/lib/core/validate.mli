@@ -1,0 +1,28 @@
+(** Systematic validation of compiled models against full numeric AWE.
+
+    The paper asserts that AWEsymbolic results "are identical to those
+    obtained by a numeric AWE analysis".  Sensitivities only certify symbol
+    choices locally, so the paper recommends validating the compiled forms
+    over the range spanned by the symbols — cheap, since evaluation is.
+    This module automates that check. *)
+
+type report = {
+  points : int;
+  max_moment_error : float;  (** worst relative moment discrepancy *)
+  max_pole_error : float;  (** worst relative dominant-pole discrepancy *)
+  worst_point : (string * float) list;  (** bindings where the worst occurred *)
+}
+
+val run :
+  ?points:int ->
+  ?seed:int ->
+  ranges:(string * float * float) list ->
+  Model.t ->
+  report
+(** [run ~ranges model] draws [points] (default 50) log-uniform samples from
+    the per-symbol [(name, lo, hi)] ranges, evaluates the compiled model,
+    re-runs full numeric AWE on the substituted netlist, and reports the
+    worst discrepancies.  Raises [Failure] if a range is missing for some
+    model symbol or has non-positive bounds. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/exact/network.ml: Array Bareiss Circuit Float Format Numeric Symbolic

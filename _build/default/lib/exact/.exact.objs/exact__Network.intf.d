@@ -1,0 +1,1 @@
+lib/exact/network.mli: Circuit Format Numeric Symbolic

@@ -1,0 +1,1 @@
+lib/exact/prune.ml: Array Float List Network Symbolic

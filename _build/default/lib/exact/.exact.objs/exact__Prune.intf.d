@@ -1,0 +1,1 @@
+lib/exact/prune.mli: Network Symbolic

@@ -1,0 +1,138 @@
+module Mpoly = Symbolic.Mpoly
+module Ratfun = Symbolic.Ratfun
+module Sym = Symbolic.Symbol
+module Cx = Numeric.Cx
+module Poly = Numeric.Poly
+
+type t = { s : Sym.t; num : Mpoly.t array; den : Mpoly.t array }
+
+let laplace () = Sym.intern "s"
+
+let trim_zeros a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Mpoly.is_zero a.(!n - 1) do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+let transfer_function ?all_symbolic nl =
+  let s = laplace () in
+  let ix, g, c, b = Circuit.Mna.symbolic_system ?all_symbolic nl in
+  let n = Circuit.Mna.size ix in
+  (* Frequency normalization: eliminate in ŝ = s/ω₀ with ω₀ chosen to
+     balance conductance and susceptance magnitudes, otherwise coefficient
+     spans of 10³⁰ (kΩ against pF) defeat float-coefficient fraction-free
+     division.  The scale lives in the float coefficients, so symbolic
+     element values keep their physical meaning, and for unit-valued
+     circuits ω₀ = 1 leaves classic forms like Eq. (5) untouched. *)
+  let matrix_content m =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc p -> Float.max acc (Mpoly.content p)) acc row)
+      0.0 m
+  in
+  let g_scale = matrix_content g and c_scale = matrix_content c in
+  let omega0 = if c_scale > 0.0 && g_scale > 0.0 then g_scale /. c_scale else 1.0 in
+  let s_poly = Mpoly.of_symbol s in
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Mpoly.add g.(i).(j) (Mpoly.mul s_poly (Mpoly.scale omega0 c.(i).(j)))))
+  in
+  let nums, den = Bareiss.solve_cramer a b in
+  (* Output selector over the symbolic solution. *)
+  let num =
+    match Circuit.Netlist.output nl with
+    | Circuit.Netlist.Node a_node -> (
+      let r = Circuit.Mna.node_row ix a_node in
+      if r < 0 then Mpoly.zero else nums.(r))
+    | Circuit.Netlist.Diff (a_node, b_node) ->
+      let pick name =
+        let r = Circuit.Mna.node_row ix name in
+        if r < 0 then Mpoly.zero else nums.(r)
+      in
+      Mpoly.sub (pick a_node) (pick b_node)
+  in
+  let num_c = trim_zeros (Mpoly.coeffs_in num s) in
+  let den_c = trim_zeros (Mpoly.coeffs_in den s) in
+  (* Sign normalization: make the lowest-order denominator coefficient's
+     largest term positive, so e.g. Fig. 1 prints exactly as Eq. (5). *)
+  let sign =
+    let rec first k =
+      if k >= Array.length den_c then 1.0
+      else if Mpoly.is_zero den_c.(k) then first (k + 1)
+      else begin
+        (* Use the coefficient of the largest monomial for a stable sign. *)
+        match Mpoly.terms den_c.(k) with
+        | (coef, _) :: _ -> if coef < 0.0 then -1.0 else 1.0
+        | [] -> 1.0
+      end
+    in
+    first 0
+  in
+  (* Undo the normalization: a coefficient of ŝᵏ is ω₀ᵏ times the
+     coefficient of sᵏ. *)
+  let denormalize coeffs =
+    Array.mapi
+      (fun k p -> Mpoly.scale (sign /. (omega0 ** float_of_int k)) p)
+      coeffs
+  in
+  { s; num = denormalize num_c; den = denormalize den_c }
+
+let poly_at coeffs env =
+  Poly.of_coeffs (Array.map (fun p -> Mpoly.eval p env) coeffs)
+
+let num_poly t env = poly_at t.num env
+let den_poly t env = poly_at t.den env
+
+let eval t env sv =
+  Cx.div (Poly.eval_complex (num_poly t env) sv) (Poly.eval_complex (den_poly t env) sv)
+
+let poles t env = Numeric.Roots.of_poly (den_poly t env)
+
+let zeros t env =
+  let n = num_poly t env in
+  if Poly.degree n < 1 then [||] else Numeric.Roots.of_poly n
+
+let moments ?(count = 8) t =
+  if Array.length t.den = 0 || Mpoly.is_zero t.den.(0) then
+    failwith "Network.moments: D(0) = 0 (pole at the origin)";
+  let d0 = Ratfun.of_mpoly t.den.(0) in
+  let coeff arr k =
+    if k < Array.length arr then Ratfun.of_mpoly arr.(k) else Ratfun.zero
+  in
+  let m = Array.make count Ratfun.zero in
+  (* Series division: N(s) = D(s)·Σ mₖ·sᵏ termwise. *)
+  for k = 0 to count - 1 do
+    let acc = ref (coeff t.num k) in
+    for j = 1 to k do
+      acc := Ratfun.sub !acc (Ratfun.mul (coeff t.den j) m.(k - j))
+    done;
+    m.(k) <- Ratfun.div !acc d0
+  done;
+  m
+
+let order t = Array.length t.den - 1
+
+let pp ppf t =
+  let pp_side ppf coeffs =
+    let first = ref true in
+    Array.iteri
+      (fun k p ->
+        if not (Mpoly.is_zero p) then begin
+          if not !first then Format.fprintf ppf " + ";
+          first := false;
+          let needs_parens = Mpoly.num_terms p > 1 in
+          if k = 0 then Mpoly.pp ppf p
+          else begin
+            if needs_parens then Format.fprintf ppf "(%a)" Mpoly.pp p
+            else Mpoly.pp ppf p;
+            if k = 1 then Format.fprintf ppf "*s" else Format.fprintf ppf "*s^%d" k
+          end
+        end)
+      coeffs;
+    if !first then Format.fprintf ppf "0"
+  in
+  Format.fprintf ppf "(%a) / (%a)" pp_side t.num pp_side t.den
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,43 @@
+(** Exact symbolic network functions — the classical approach ([2], [8]–[10],
+    [12] in the paper) that AWEsymbolic improves upon.
+
+    The transfer function is computed as a ratio of symbolic determinants of
+    the MNA matrix [G + s·C] via fraction-free elimination:
+    [H(s, e) = N(s, e) / D(s, e)], with every coefficient polynomial
+    multi-linear in the symbolic elements (the structural property quoted in
+    Sec. 2.1 of the paper). *)
+
+type t = {
+  s : Symbolic.Symbol.t;  (** the Laplace variable, always [intern "s"] *)
+  num : Symbolic.Mpoly.t array;  (** numerator coefficients, [s⁰] first *)
+  den : Symbolic.Mpoly.t array;  (** denominator coefficients, [s⁰] first *)
+}
+
+val laplace : unit -> Symbolic.Symbol.t
+
+val transfer_function : ?all_symbolic:bool -> Circuit.Netlist.t -> t
+(** Exact [H(s, e)] for the designated input/output.  Elements marked
+    symbolic stay symbolic; the rest are numeric (use [~all_symbolic:true]
+    for the fully symbolic form, e.g. the paper's Eq. 5). *)
+
+val eval : t -> (Symbolic.Symbol.t -> float) -> Numeric.Cx.t -> Numeric.Cx.t
+(** Evaluate [H] at numeric symbol values and a complex frequency. *)
+
+val num_poly : t -> (Symbolic.Symbol.t -> float) -> Numeric.Poly.t
+val den_poly : t -> (Symbolic.Symbol.t -> float) -> Numeric.Poly.t
+
+val poles : t -> (Symbolic.Symbol.t -> float) -> Numeric.Cx.t array
+(** Roots of the denominator at the given symbol values. *)
+
+val zeros : t -> (Symbolic.Symbol.t -> float) -> Numeric.Cx.t array
+
+val moments : ?count:int -> t -> Symbolic.Ratfun.t array
+(** Exact symbolic moments by series division of [N/D] (default 8) —
+    the reference the partitioned AWEsymbolic moments are validated
+    against.  Requires a non-zero [D(0)]. *)
+
+val order : t -> int
+(** Degree of the denominator in [s]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+module Mpoly = Symbolic.Mpoly
+
+let prune_polynomial ~threshold ~env p =
+  let magnitudes =
+    Mpoly.terms p
+    |> List.map (fun (c, m) -> Float.abs (c *. Symbolic.Monomial.eval m env))
+  in
+  match magnitudes with
+  | [] -> p
+  | _ :: _ ->
+    let peak = List.fold_left Float.max 0.0 magnitudes in
+    let floor = threshold *. peak in
+    Mpoly.terms p
+    |> List.filter (fun (c, m) ->
+           Float.abs (c *. Symbolic.Monomial.eval m env) >= floor)
+    |> Mpoly.of_terms
+
+let prune ~threshold ~env (t : Network.t) =
+  {
+    t with
+    Network.num = Array.map (prune_polynomial ~threshold ~env) t.Network.num;
+    den = Array.map (prune_polynomial ~threshold ~env) t.Network.den;
+  }
+
+let term_count (t : Network.t) =
+  let count side =
+    Array.fold_left (fun acc p -> acc + Mpoly.num_terms p) 0 side
+  in
+  count t.Network.num + count t.Network.den

@@ -1,0 +1,26 @@
+(** Heuristic term pruning of exact symbolic forms — the unreliable
+    simplification strategy (ISAAC-style, [8] in the paper) that motivates
+    AWEsymbolic.
+
+    Terms are dropped from each coefficient polynomial when their numeric
+    contribution at a {e nominal} operating point falls below a relative
+    threshold.  The danger the paper describes is precisely that a term
+    negligible at the nominal point can dominate elsewhere in the symbol
+    range, silently corrupting pole-zero locations; the ablation benchmark
+    demonstrates this. *)
+
+val prune_polynomial :
+  threshold:float -> env:(Symbolic.Symbol.t -> float) -> Symbolic.Mpoly.t ->
+  Symbolic.Mpoly.t
+(** Drop terms whose magnitude at [env] is below [threshold] times the
+    largest term magnitude of the same polynomial. *)
+
+val prune :
+  threshold:float -> env:(Symbolic.Symbol.t -> float) -> Network.t ->
+  Network.t
+(** Prune every numerator and denominator coefficient of a transfer
+    function. *)
+
+val term_count : Network.t -> int
+(** Total number of monomial terms across all coefficients — the
+    "complexity" measure pruning tries to reduce. *)

@@ -1,0 +1,1 @@
+lib/nonlinear/distortion.ml: Array Float Numeric Tran

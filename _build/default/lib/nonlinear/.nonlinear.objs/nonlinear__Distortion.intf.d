@@ -1,0 +1,1 @@
+lib/nonlinear/distortion.mli: Netlist

@@ -1,0 +1,1 @@
+lib/nonlinear/linearize.ml: Buffer Circuit Fun List Models Netlist Newton Printf

@@ -1,0 +1,1 @@
+lib/nonlinear/linearize.mli: Circuit Netlist Newton

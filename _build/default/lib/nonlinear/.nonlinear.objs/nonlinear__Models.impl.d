@@ -1,0 +1,1 @@
+lib/nonlinear/models.ml: Float

@@ -1,0 +1,1 @@
+lib/nonlinear/netlist.ml: Circuit Hashtbl List Models Printf

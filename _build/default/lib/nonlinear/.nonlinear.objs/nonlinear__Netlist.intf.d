@@ -1,0 +1,1 @@
+lib/nonlinear/netlist.mli: Circuit Models

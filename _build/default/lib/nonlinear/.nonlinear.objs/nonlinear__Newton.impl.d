@@ -1,0 +1,1 @@
+lib/nonlinear/newton.ml: Array Circuit Float Fun List Models Netlist Numeric Printf

@@ -1,0 +1,1 @@
+lib/nonlinear/newton.mli: Circuit Netlist Numeric

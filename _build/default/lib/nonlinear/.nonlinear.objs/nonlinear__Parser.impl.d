@@ -1,0 +1,1 @@
+lib/nonlinear/parser.ml: Char Circuit Fun List Models Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/nonlinear/parser.mli: Netlist

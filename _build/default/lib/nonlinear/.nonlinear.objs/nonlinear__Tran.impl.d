@@ -1,0 +1,1 @@
+lib/nonlinear/tran.ml: Array Circuit Float Fun List Netlist Newton Numeric

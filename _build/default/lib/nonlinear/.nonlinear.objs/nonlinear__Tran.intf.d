@@ -1,0 +1,1 @@
+lib/nonlinear/tran.mli: Netlist

@@ -1,0 +1,97 @@
+type t = {
+  fundamental : float;
+  harmonics : float array;
+  thd : float;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let measure ?(settle_cycles = 8) ?(cycles = 4) ?(samples_per_cycle = 64)
+    ?(max_harmonic = 5) ?(bias = 0.0) nl ~f ~amplitude =
+  if not (is_pow2 cycles && is_pow2 samples_per_cycle) then
+    invalid_arg "Distortion.measure: cycles and samples_per_cycle must be 2^k";
+  if f <= 0.0 then invalid_arg "Distortion.measure: need f > 0";
+  if max_harmonic < 2 then invalid_arg "Distortion.measure: max_harmonic >= 2";
+  let period = 1.0 /. f in
+  let t_step = period /. float_of_int samples_per_cycle in
+  let total_cycles = settle_cycles + cycles in
+  let input t = bias +. (amplitude *. Float.sin (2.0 *. Float.pi *. f *. t)) in
+  let wave =
+    Tran.simulate nl ~input ~t_step
+      ~t_stop:(period *. float_of_int total_cycles)
+  in
+  (* Analysis window: the last [cycles·samples_per_cycle] samples.  The
+     simulator emits steps+1 points; dropping the first point of the window
+     keeps exactly one sample per grid slot (t = window_start excluded,
+     t = window_end included — one full period set either way). *)
+  let n = cycles * samples_per_cycle in
+  let first = Array.length wave - n in
+  if first < 1 then invalid_arg "Distortion.measure: window exceeds waveform";
+  let window = Array.init n (fun k -> snd wave.(first + k)) in
+  let spectrum = Numeric.Fft.magnitudes window in
+  (* Harmonic k of the drive sits at bin k·cycles. *)
+  let harmonic k =
+    let bin = k * cycles in
+    if bin < Array.length spectrum then spectrum.(bin) else 0.0
+  in
+  let harmonics = Array.init (max_harmonic + 1) harmonic in
+  let fundamental = harmonics.(1) in
+  let sum2 = ref 0.0 in
+  for k = 2 to max_harmonic do
+    sum2 := !sum2 +. (harmonics.(k) *. harmonics.(k))
+  done;
+  let thd =
+    if fundamental = 0.0 then Float.infinity else sqrt !sum2 /. fundamental
+  in
+  { fundamental; harmonics; thd }
+
+type two_tone = {
+  f_base : float;
+  fund1 : float;
+  fund2 : float;
+  im2 : float;
+  im3 : float;
+  spectrum : float array;
+}
+
+let two_tone ?(settle_periods = 4) ?(samples = 256) ?(bias = 0.0) nl ~f_base
+    ~k1 ~k2 ~amplitude =
+  if not (is_pow2 samples) then
+    invalid_arg "Distortion.two_tone: samples must be 2^k";
+  if k1 <= 0 || k2 <= k1 then invalid_arg "Distortion.two_tone: need 0 < k1 < k2";
+  if f_base <= 0.0 then invalid_arg "Distortion.two_tone: need f_base > 0";
+  if 2 * ((2 * k2) - k1) >= samples then
+    invalid_arg "Distortion.two_tone: samples too few for the IM3 products";
+  let period = 1.0 /. f_base in
+  let t_step = period /. float_of_int samples in
+  let w = 2.0 *. Float.pi *. f_base in
+  let input t =
+    bias
+    +. (amplitude
+        *. (Float.sin (w *. float_of_int k1 *. t)
+           +. Float.sin (w *. float_of_int k2 *. t)))
+  in
+  let wave =
+    Tran.simulate nl ~input ~t_step
+      ~t_stop:(period *. float_of_int (settle_periods + 1))
+  in
+  let first = Array.length wave - samples in
+  let window = Array.init samples (fun k -> snd wave.(first + k)) in
+  let spectrum = Numeric.Fft.magnitudes window in
+  let bin k = if k >= 0 && k < Array.length spectrum then spectrum.(k) else 0.0 in
+  {
+    f_base;
+    fund1 = bin k1;
+    fund2 = bin k2;
+    im2 = Float.max (bin (k1 + k2)) (bin (k2 - k1));
+    im3 = Float.max (bin ((2 * k1) - k2)) (bin ((2 * k2) - k1));
+    spectrum;
+  }
+
+let ratio t k =
+  if t.fundamental = 0.0 then Float.infinity
+  else if k < Array.length t.harmonics then t.harmonics.(k) /. t.fundamental
+  else 0.0
+
+let hd2 t = ratio t 2
+let hd3 t = ratio t 3

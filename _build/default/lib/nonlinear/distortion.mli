@@ -1,0 +1,78 @@
+(** Harmonic distortion measurement by steady-state transient + FFT.
+
+    The paper's linearized flow (and its related work on per-nonlinearity
+    distortion analysis) models a circuit around a bias point; this module
+    measures how far the real nonlinear circuit departs from that model.
+    It drives the large-signal engine ({!Tran}) with a pure sine, waits for
+    the transient to settle, and Fourier-analyses an integer number of
+    steady-state cycles, so each harmonic lands exactly on an FFT bin. *)
+
+type t = {
+  fundamental : float;  (** amplitude of the response at the drive frequency *)
+  harmonics : float array;
+      (** [harmonics.(k)] is the output amplitude at [k·f] for [k = 0..];
+          index 0 is the output's DC level (operating point plus any
+          rectification shift), index 1 repeats [fundamental] *)
+  thd : float;
+      (** total harmonic distortion: [sqrt (Σ_{k≥2} h_k²) / h_1] *)
+}
+
+val measure :
+  ?settle_cycles:int ->
+  ?cycles:int ->
+  ?samples_per_cycle:int ->
+  ?max_harmonic:int ->
+  ?bias:float ->
+  Netlist.t ->
+  f:float ->
+  amplitude:float ->
+  t
+(** [measure nl ~f ~amplitude] drives the designated input with
+    [bias + amplitude·sin(2πft)] ([bias] defaults to 0; use it to hold the
+    stage at its operating point) and returns the harmonic content of the
+    designated output.  [cycles] (default 4) and [samples_per_cycle]
+    (default 64) must be powers of two so the analysis window is a
+    power-of-two number of samples; [settle_cycles] (default 8) cycles are
+    simulated and discarded first.  [max_harmonic] (default 5) bounds the
+    [harmonics] array.  Raises [Invalid_argument] on a non-power-of-two
+    window and {!Tran.No_convergence} if the underlying transient fails. *)
+
+val hd2 : t -> float
+(** Second-harmonic distortion [h₂/h₁] — the signature of asymmetric
+    (even-order) nonlinearity. *)
+
+val hd3 : t -> float
+(** Third-harmonic distortion [h₃/h₁]. *)
+
+type two_tone = {
+  f_base : float;  (** the common frequency grid (Hz per bin) *)
+  fund1 : float;  (** output amplitude at [k₁·f_base] *)
+  fund2 : float;  (** output amplitude at [k₂·f_base] *)
+  im2 : float;
+      (** second-order intermodulation: the larger of the amplitudes at
+          [(k₁+k₂)] and [|k₁−k₂|] times [f_base] *)
+  im3 : float;
+      (** third-order intermodulation: the larger of the amplitudes at
+          [(2k₁−k₂)] and [(2k₂−k₁)] times [f_base] — the in-band products
+          that set an amplifier's spurious-free dynamic range *)
+  spectrum : float array;  (** the full single-sided amplitude spectrum *)
+}
+
+val two_tone :
+  ?settle_periods:int ->
+  ?samples:int ->
+  ?bias:float ->
+  Netlist.t ->
+  f_base:float ->
+  k1:int ->
+  k2:int ->
+  amplitude:float ->
+  two_tone
+(** [two_tone nl ~f_base ~k1 ~k2 ~amplitude] drives the input with
+    [bias + amplitude·(sin 2πk₁f_base·t + sin 2πk₂f_base·t)] and Fourier-
+    analyses one full period of the common grid, so both tones and all
+    their mixing products land on exact bins.  [samples] per base period
+    (default 256) must be a power of two and large enough for the products
+    of interest ([2·(2k₂−k₁) < samples] is checked); [settle_periods]
+    (default 4) base periods are discarded first.  Requires
+    [0 < k1 < k2]. *)

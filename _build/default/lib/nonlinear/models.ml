@@ -1,0 +1,123 @@
+let thermal_voltage = 0.025852
+
+type diode = { i_sat : float; emission : float; cj0 : float }
+
+let default_diode = { i_sat = 1e-14; emission = 1.0; cj0 = 1e-12 }
+
+(* Beyond v_crit the exponential is continued linearly (value and slope),
+   so a wild Newton trial voltage produces a large-but-finite current. *)
+let safe_exp x =
+  let x_max = 40.0 in
+  if x <= x_max then Float.exp x
+  else begin
+    let e = Float.exp x_max in
+    e *. (1.0 +. (x -. x_max))
+  end
+
+let safe_exp_deriv x =
+  let x_max = 40.0 in
+  if x <= x_max then Float.exp x else Float.exp x_max
+
+let diode_current m v =
+  let nvt = m.emission *. thermal_voltage in
+  let x = v /. nvt in
+  let i = m.i_sat *. (safe_exp x -. 1.0) in
+  let g = m.i_sat *. safe_exp_deriv x /. nvt in
+  (i, g)
+
+type mos_polarity = Nmos | Pmos
+
+type mosfet = {
+  polarity : mos_polarity;
+  kp : float;
+  vth : float;
+  lambda : float;
+  cgs : float;
+  cgd : float;
+}
+
+let default_nmos =
+  { polarity = Nmos; kp = 200e-6; vth = 0.5; lambda = 0.05; cgs = 10e-15; cgd = 2e-15 }
+
+let default_pmos = { default_nmos with polarity = Pmos; kp = 80e-6 }
+
+type mos_operating = { ids : float; gm : float; gds : float }
+
+(* Square law for an N-device with vds >= 0; the polarity and drain/source
+   swaps are handled by the caller-facing wrapper below. *)
+let nmos_forward m ~vgs ~vds =
+  let vov = vgs -. m.vth in
+  if vov <= 0.0 then { ids = 0.0; gm = 0.0; gds = 0.0 }
+  else begin
+    let clm = 1.0 +. (m.lambda *. vds) in
+    if vds >= vov then begin
+      (* Saturation. *)
+      let i0 = 0.5 *. m.kp *. vov *. vov in
+      { ids = i0 *. clm; gm = m.kp *. vov *. clm; gds = i0 *. m.lambda }
+    end
+    else begin
+      (* Triode. *)
+      let core = (vov *. vds) -. (0.5 *. vds *. vds) in
+      {
+        ids = m.kp *. core *. clm;
+        gm = m.kp *. vds *. clm;
+        gds =
+          (m.kp *. (vov -. vds) *. clm) +. (m.kp *. core *. m.lambda);
+      }
+    end
+  end
+
+let mosfet_current m ~vgs ~vds =
+  (* Map PMOS onto the N-device by sign reversal, and negative vds by a
+     drain/source swap: ids(vgs, vds) = −ids(vgd, −vds). *)
+  let sign, vgs, vds =
+    match m.polarity with Nmos -> (1.0, vgs, vds) | Pmos -> (-1.0, -.vgs, -.vds)
+  in
+  if vds >= 0.0 then begin
+    let op = nmos_forward m ~vgs ~vds in
+    { ids = sign *. op.ids; gm = op.gm; gds = op.gds }
+  end
+  else begin
+    let vgd = vgs -. vds in
+    let op = nmos_forward m ~vgs:vgd ~vds:(-.vds) in
+    (* ids = −ids'(vgd, −vds):
+       ∂/∂vgs = −(∂ids'/∂vgs')·1 ... with vgs' = vgs − vds, vds' = −vds:
+       gm  = −(gm'·1)            = −gm'  … but conductances must stay the
+       derivative w.r.t. the ORIGINAL vgs and vds:
+         ∂ids/∂vgs = −gm'
+         ∂ids/∂vds = −(gm'·(−1)·… ) — worked out: gm' + gds'. *)
+    { ids = sign *. -.op.ids; gm = -.op.gm; gds = op.gm +. op.gds }
+  end
+
+type bjt = {
+  i_sat_b : float;
+  beta : float;
+  v_early : float;
+  cpi : float;
+  cmu : float;
+}
+
+let default_npn =
+  { i_sat_b = 1e-15; beta = 150.0; v_early = 80.0; cpi = 20e-15; cmu = 2e-15 }
+
+type bjt_operating = {
+  ic : float;
+  ib : float;
+  gm_b : float;
+  gpi : float;
+  go : float;
+}
+
+let bjt_current m ~vbe ~vce =
+  let x = vbe /. thermal_voltage in
+  let i_f = m.i_sat_b *. (safe_exp x -. 1.0) in
+  let di_f = m.i_sat_b *. safe_exp_deriv x /. thermal_voltage in
+  let early = 1.0 +. (Float.max 0.0 vce /. m.v_early) in
+  let ic = i_f *. early in
+  {
+    ic;
+    ib = i_f /. m.beta;
+    gm_b = di_f *. early;
+    gpi = di_f /. m.beta;
+    go = (if vce > 0.0 then i_f /. m.v_early else 0.0);
+  }

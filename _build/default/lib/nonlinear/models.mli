@@ -1,0 +1,67 @@
+(** Nonlinear device models and their small-signal derivatives.
+
+    The paper analyses "linear(ized)" circuits: its 741 example is a
+    transistor netlist linearized at the DC operating point.  These models
+    provide that front end: each device evaluates its branch currents and
+    conductances at a trial voltage (for the Newton DC solve) and exposes its
+    small-signal equivalent (for {!Linearize}). *)
+
+val thermal_voltage : float
+(** kT/q at 300 K, ≈ 25.85 mV. *)
+
+type diode = {
+  i_sat : float;  (** saturation current (A) *)
+  emission : float;  (** emission coefficient n *)
+  cj0 : float;  (** small-signal junction capacitance (F) *)
+}
+
+val default_diode : diode
+
+val diode_current : diode -> float -> float * float
+(** [diode_current m v] is [(i, g)] — current and conductance d i/d v at the
+    junction voltage [v].  The exponential is linearised beyond a critical
+    voltage so Newton iterations cannot overflow. *)
+
+type mos_polarity = Nmos | Pmos
+
+type mosfet = {
+  polarity : mos_polarity;
+  kp : float;  (** transconductance factor k' · W/L (A/V²) *)
+  vth : float;  (** threshold voltage (positive for both polarities) *)
+  lambda : float;  (** channel-length modulation (1/V) *)
+  cgs : float;
+  cgd : float;
+}
+
+val default_nmos : mosfet
+val default_pmos : mosfet
+
+type mos_operating = { ids : float; gm : float; gds : float }
+(** Drain current (drain → source for NMOS) and its derivatives w.r.t.
+    [vgs] and [vds]. *)
+
+val mosfet_current : mosfet -> vgs:float -> vds:float -> mos_operating
+(** Square-law model with cutoff/triode/saturation regions; symmetric in
+    drain/source (negative [vds] handled by internal swap). *)
+
+type bjt = {
+  i_sat_b : float;  (** transport saturation current (A) *)
+  beta : float;  (** forward current gain *)
+  v_early : float;  (** Early voltage (V) *)
+  cpi : float;
+  cmu : float;
+}
+
+val default_npn : bjt
+
+type bjt_operating = {
+  ic : float;
+  ib : float;
+  gm_b : float;  (** ∂ic/∂vbe *)
+  gpi : float;  (** ∂ib/∂vbe *)
+  go : float;  (** ∂ic/∂vce *)
+}
+
+val bjt_current : bjt -> vbe:float -> vce:float -> bjt_operating
+(** Forward-active Ebers–Moll (simplified), with the same overflow-safe
+    exponential as the diode. *)

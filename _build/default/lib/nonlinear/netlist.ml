@@ -1,0 +1,66 @@
+type device =
+  | Diode of { name : string; anode : string; cathode : string; model : Models.diode }
+  | Mosfet of {
+      name : string;
+      drain : string;
+      gate : string;
+      source : string;
+      model : Models.mosfet;
+    }
+  | Bjt of {
+      name : string;
+      collector : string;
+      base : string;
+      emitter : string;
+      model : Models.bjt;
+    }
+
+let device_name = function
+  | Diode { name; _ } | Mosfet { name; _ } | Bjt { name; _ } -> name
+
+let device_nodes = function
+  | Diode { anode; cathode; _ } -> [ anode; cathode ]
+  | Mosfet { drain; gate; source; _ } -> [ drain; gate; source ]
+  | Bjt { collector; base; emitter; _ } -> [ collector; base; emitter ]
+
+type t = {
+  linear : Circuit.Element.t list;
+  devices : device list;
+  ac_input : string option;
+  output : Circuit.Netlist.output option;
+}
+
+let empty = { linear = []; devices = []; ac_input = None; output = None }
+
+let names t =
+  List.map (fun (e : Circuit.Element.t) -> e.Circuit.Element.name) t.linear
+  @ List.map device_name t.devices
+
+let check_fresh t name =
+  if List.mem name (names t) then
+    invalid_arg (Printf.sprintf "Nonlinear.Netlist: duplicate name %s" name)
+
+let add_element t e =
+  check_fresh t e.Circuit.Element.name;
+  { t with linear = t.linear @ [ e ] }
+
+let add_device t d =
+  check_fresh t (device_name d);
+  { t with devices = t.devices @ [ d ] }
+
+let with_ac_input t name = { t with ac_input = Some name }
+let with_output t output = { t with output = Some output }
+
+let nodes t =
+  let tbl = Hashtbl.create 32 in
+  let note n = if not (Circuit.Netlist.is_ground n) then Hashtbl.replace tbl n () in
+  List.iter
+    (fun (e : Circuit.Element.t) ->
+      note e.Circuit.Element.pos;
+      note e.Circuit.Element.neg)
+    t.linear;
+  List.iter (fun d -> List.iter note (device_nodes d)) t.devices;
+  Hashtbl.fold (fun n () acc -> n :: acc) tbl [] |> List.sort compare
+
+let find_device t name =
+  List.find_opt (fun d -> device_name d = name) t.devices

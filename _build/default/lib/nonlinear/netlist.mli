@@ -1,0 +1,45 @@
+(** Nonlinear circuit description: a linear netlist plus devices.
+
+    Linear elements reuse {!Circuit.Element}; devices carry their models.
+    Node names share the linear netlist's namespace (["0"]/["gnd"] is
+    ground). *)
+
+type device =
+  | Diode of { name : string; anode : string; cathode : string; model : Models.diode }
+  | Mosfet of {
+      name : string;
+      drain : string;
+      gate : string;
+      source : string;
+      model : Models.mosfet;
+    }
+  | Bjt of {
+      name : string;
+      collector : string;
+      base : string;
+      emitter : string;
+      model : Models.bjt;
+    }
+
+val device_name : device -> string
+val device_nodes : device -> string list
+
+type t = private {
+  linear : Circuit.Element.t list;
+  devices : device list;
+  ac_input : string option;  (** source treated as the small-signal input *)
+  output : Circuit.Netlist.output option;
+}
+
+val empty : t
+val add_element : t -> Circuit.Element.t -> t
+val add_device : t -> device -> t
+(** Both raise [Invalid_argument] on duplicate names (shared namespace). *)
+
+val with_ac_input : t -> string -> t
+val with_output : t -> Circuit.Netlist.output -> t
+
+val nodes : t -> string list
+(** All non-ground nodes, sorted. *)
+
+val find_device : t -> string -> device option

@@ -1,0 +1,185 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+
+type solution = {
+  voltages : (string * float) list;
+  iterations : int;
+  residual : float;
+}
+
+exception No_convergence of string
+
+(* Device contributions at a trial point: currents into the residual,
+   conductances into the Jacobian. *)
+let stamp_devices devices row x residual jacobian =
+  let v node = match row node with -1 -> 0.0 | r -> x.(r) in
+  let add_f node value =
+    match row node with -1 -> () | r -> residual.(r) <- residual.(r) +. value
+  in
+  let add_j a b value =
+    match (row a, row b) with
+    | -1, _ | _, -1 -> ()
+    | ra, cb -> Matrix.add_entry jacobian ra cb value
+  in
+  List.iter
+    (fun device ->
+      match device with
+      | Netlist.Diode { anode; cathode; model; _ } ->
+        let i, g = Models.diode_current model (v anode -. v cathode) in
+        add_f anode i;
+        add_f cathode (-.i);
+        add_j anode anode g;
+        add_j anode cathode (-.g);
+        add_j cathode anode (-.g);
+        add_j cathode cathode g
+      | Netlist.Mosfet { drain; gate; source; model; _ } ->
+        let op =
+          Models.mosfet_current model
+            ~vgs:(v gate -. v source)
+            ~vds:(v drain -. v source)
+        in
+        add_f drain op.Models.ids;
+        add_f source (-.op.Models.ids);
+        let gm = op.Models.gm and gds = op.Models.gds in
+        add_j drain gate gm;
+        add_j drain drain gds;
+        add_j drain source (-.(gm +. gds));
+        add_j source gate (-.gm);
+        add_j source drain (-.gds);
+        add_j source source (gm +. gds)
+      | Netlist.Bjt { collector; base; emitter; model; _ } ->
+        let op =
+          Models.bjt_current model
+            ~vbe:(v base -. v emitter)
+            ~vce:(v collector -. v emitter)
+        in
+        add_f collector op.Models.ic;
+        add_f emitter (-.(op.Models.ic +. op.Models.ib));
+        add_f base op.Models.ib;
+        let gm = op.Models.gm_b and gpi = op.Models.gpi and go = op.Models.go in
+        add_j collector base gm;
+        add_j collector collector go;
+        add_j collector emitter (-.(gm +. go));
+        add_j base base gpi;
+        add_j base emitter (-.gpi);
+        add_j emitter base (-.(gm +. gpi));
+        add_j emitter collector (-.go);
+        add_j emitter emitter (gm +. go +. gpi))
+    devices
+
+let solve_internal ?(max_iterations = 200) ?(tolerance = 1e-9) ?(gmin = 1e-12)
+    nl =
+  let linear_nl =
+    Circuit.Netlist.empty |> Fun.flip Circuit.Netlist.add_all nl.Netlist.linear
+  in
+  let device_nodes = List.concat_map Netlist.device_nodes nl.Netlist.devices in
+  let ix = Mna.index_of_netlist ~extra_nodes:device_nodes linear_nl in
+  let n = Mna.size ix in
+  let num_nodes = Mna.num_nodes ix in
+  let row name = Mna.node_row ix name in
+  (* Linear stamps once. *)
+  let g_lin = Matrix.create n n in
+  let b_full = Array.make n 0.0 in
+  List.iter
+    (fun (e : Circuit.Element.t) ->
+      let st = Mna.stamp_of ix e in
+      let value = Circuit.Element.stamp_value e in
+      List.iter
+        (fun { Mna.row; col; coeff } -> Matrix.add_entry g_lin row col coeff)
+        st.Mna.g_const;
+      List.iter
+        (fun { Mna.row; col; coeff } ->
+          Matrix.add_entry g_lin row col (coeff *. value))
+        st.Mna.g_value;
+      List.iter
+        (fun (r, coeff) ->
+          b_full.(r) <- b_full.(r) +. (coeff *. e.Circuit.Element.value))
+        st.Mna.b_unit)
+    nl.Netlist.linear;
+  for k = 0 to num_nodes - 1 do
+    Matrix.add_entry g_lin k k gmin
+  done;
+  let b_scale = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 b_full in
+  let residual_tol = tolerance *. b_scale in
+
+  let newton ~alpha x =
+    let rec iterate x iter =
+      if iter > max_iterations then None
+      else begin
+        let residual = Matrix.mul_vec g_lin x in
+        Array.iteri (fun k bk -> residual.(k) <- residual.(k) -. (alpha *. bk)) b_full;
+        let jacobian = Matrix.copy g_lin in
+        stamp_devices nl.Netlist.devices row x residual jacobian;
+        let worst_f =
+          Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 residual
+        in
+        match Numeric.Lu.factor jacobian with
+        | exception Numeric.Lu.Singular _ -> None
+        | lu ->
+          let dx = Numeric.Lu.solve lu (Array.map (fun v -> -.v) residual) in
+          let step =
+            Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 dx
+          in
+          (* Junction damping: large voltage excursions destabilize the
+             exponentials, so cap the per-iteration step. *)
+          let damp = if step > 0.5 then 0.5 /. step else 1.0 in
+          let x' = Array.mapi (fun k v -> v +. (damp *. dx.(k))) x in
+          if step *. damp < tolerance && worst_f < residual_tol then
+            Some (x', iter)
+          else iterate x' (iter + 1)
+      end
+    in
+    iterate x 1
+  in
+  let start = Array.make n 0.0 in
+  let final =
+    match newton ~alpha:1.0 start with
+    | Some result -> result
+    | None ->
+      (* Source stepping: ramp the independent sources, reusing each
+         converged point as the next starting guess. *)
+      let steps = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ] in
+      let x, iters =
+        List.fold_left
+          (fun (x, iters) alpha ->
+            match newton ~alpha x with
+            | Some (x', it) -> (x', iters + it)
+            | None ->
+              raise
+                (No_convergence
+                   (Printf.sprintf "source stepping stalled at alpha = %g" alpha)))
+          (start, 0) steps
+      in
+      (x, iters)
+  in
+  let x, iterations = final in
+  (* Final residual for the report. *)
+  let residual = Matrix.mul_vec g_lin x in
+  Array.iteri (fun k bk -> residual.(k) <- residual.(k) -. bk) b_full;
+  let jacobian = Matrix.copy g_lin in
+  stamp_devices nl.Netlist.devices row x residual jacobian;
+  let worst =
+    Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 residual
+  in
+  (x, ix, iterations, worst)
+
+let solve_raw ?max_iterations ?tolerance ?gmin nl =
+  let x, ix, _, _ = solve_internal ?max_iterations ?tolerance ?gmin nl in
+  (x, ix)
+
+let solve ?max_iterations ?tolerance ?gmin nl =
+  let x, ix, iterations, residual =
+    solve_internal ?max_iterations ?tolerance ?gmin nl
+  in
+  let names = Mna.node_names ix in
+  {
+    voltages =
+      Array.to_list
+        (Array.mapi (fun k name -> (name, x.(k))) names);
+    iterations;
+    residual;
+  }
+
+let voltage sol node =
+  if Circuit.Netlist.is_ground node then 0.0
+  else List.assoc node sol.voltages

@@ -1,0 +1,39 @@
+(** Newton–Raphson DC operating point of a nonlinear circuit.
+
+    Solves [F(x) = G·x + I_dev(x) − b = 0] with the Jacobian
+    [J = G + ∂I_dev/∂x], one LU per iteration.  Robustness measures:
+    overflow-safe device exponentials (see {!Models}), junction-voltage step
+    damping, a small [gmin] to ground on every node, and source stepping as
+    a fallback when plain Newton stalls — the standard SPICE recipe. *)
+
+type solution = {
+  voltages : (string * float) list;  (** non-ground node voltages *)
+  iterations : int;
+  residual : float;  (** final ‖F‖∞ *)
+}
+
+exception No_convergence of string
+
+val solve :
+  ?max_iterations:int -> ?tolerance:float -> ?gmin:float -> Netlist.t ->
+  solution
+(** Raises {!No_convergence} when neither plain Newton nor source stepping
+    converges, and [Failure] when the netlist has no DC path structure
+    (singular Jacobian throughout). *)
+
+val voltage : solution -> string -> float
+(** Ground reads 0; raises [Not_found] for unknown nodes. *)
+
+val solve_raw :
+  ?max_iterations:int -> ?tolerance:float -> ?gmin:float -> Netlist.t ->
+  float array * Circuit.Mna.index
+(** The full unknown vector (node voltages {e and} auxiliary branch
+    currents) with its numbering — what {!Tran} needs to seed consistent
+    companion histories. *)
+
+val stamp_devices :
+  Netlist.device list -> (string -> int) -> float array -> float array ->
+  Numeric.Matrix.t -> unit
+(** Add every device's currents to a residual and conductances to a
+    Jacobian at the trial point (the row function maps node names, −1 for
+    ground).  Shared with the transient solver. *)

@@ -1,0 +1,19 @@
+(** Deck parser for nonlinear circuits.
+
+    Extends the linear deck format (see {!Circuit.Parser}) with device
+    cards, dispatched on the first letter:
+    {v
+      Dname  anode cathode [IS=..] [N=..] [CJ0=..]
+      Mname  drain gate source NMOS|PMOS [KP=..] [VTH=..] [LAMBDA=..]
+                                         [CGS=..] [CGD=..]
+      Qname  collector base emitter [IS=..] [BF=..] [VAF=..] [CPI=..] [CMU=..]
+    v}
+    Parameters are [KEY=VALUE] tokens with engineering suffixes; unspecified
+    parameters take the library defaults.  [.input] designates the AC input
+    source; [.output] as in the linear format.  [.symbolic] is rejected here
+    — symbols are chosen after linearization. *)
+
+exception Parse_error of int * string
+
+val parse_string : string -> Netlist.t
+val parse_file : string -> Netlist.t

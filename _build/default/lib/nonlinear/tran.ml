@@ -1,0 +1,221 @@
+module Mna = Circuit.Mna
+module Element = Circuit.Element
+module Matrix = Numeric.Matrix
+
+exception No_convergence of float
+
+(* Per-step state of the reactive companions. *)
+type companion =
+  | Cap of { pos : int; neg : int; geq : float; mutable hist : float }
+    (* i = geq·(v₊−v₋) − hist;  hist updated each accepted step *)
+  | Ind of { pos : int; neg : int; aux : int; req : float; mutable hist : float }
+    (* branch row: v₊−v₋ − req·i = hist *)
+
+let simulate_states ?(max_iterations = 100) ?(tolerance = 1e-9) nl ~input
+    ~t_step ~t_stop =
+  if t_step <= 0.0 || t_stop < 0.0 then
+    invalid_arg "Nonlinear.Tran: need t_step > 0 and t_stop >= 0";
+  let input_name =
+    match nl.Netlist.ac_input with
+    | Some name -> name
+    | None -> failwith "Nonlinear.Tran: no input source designated"
+  in
+  let linear_nl =
+    Circuit.Netlist.empty |> Fun.flip Circuit.Netlist.add_all nl.Netlist.linear
+  in
+  let device_nodes = List.concat_map Netlist.device_nodes nl.Netlist.devices in
+  let ix = Mna.index_of_netlist ~extra_nodes:device_nodes linear_nl in
+  let n = Mna.size ix in
+  let row name = Mna.node_row ix name in
+  (* Static (resistive) stamps plus source patterns; capacitors and
+     inductors become companions. *)
+  let g_static = Matrix.create n n in
+  let b_fixed = Array.make n 0.0 in
+  let b_input = Array.make n 0.0 in
+  let companions = ref [] in
+  List.iter
+    (fun (e : Element.t) ->
+      let st = Mna.stamp_of ix e in
+      let v = Element.stamp_value e in
+      match e.Element.kind with
+      | Element.Capacitor ->
+        companions :=
+          Cap
+            {
+              pos = row e.Element.pos;
+              neg = row e.Element.neg;
+              geq = 2.0 *. v /. t_step;
+              hist = 0.0;
+            }
+          :: !companions
+      | Element.Inductor ->
+        List.iter
+          (fun { Mna.row; col; coeff } -> Matrix.add_entry g_static row col coeff)
+          st.Mna.g_const;
+        companions :=
+          Ind
+            {
+              pos = row e.Element.pos;
+              neg = row e.Element.neg;
+              aux = Mna.aux_row ix e.Element.name;
+              req = 2.0 *. v /. t_step;
+              hist = 0.0;
+            }
+          :: !companions
+      | Element.Mutual _ ->
+        failwith "Nonlinear.Tran: mutual inductance is not supported here"
+      | Element.Resistor | Element.Conductance | Element.Vccs _
+      | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _ | Element.Vsource
+      | Element.Isource ->
+        List.iter
+          (fun { Mna.row; col; coeff } -> Matrix.add_entry g_static row col coeff)
+          st.Mna.g_const;
+        List.iter
+          (fun { Mna.row; col; coeff } ->
+            Matrix.add_entry g_static row col (coeff *. v))
+          st.Mna.g_value;
+        List.iter
+          (fun (r, coeff) ->
+            if e.Element.name = input_name then
+              b_input.(r) <- b_input.(r) +. coeff
+            else b_fixed.(r) <- b_fixed.(r) +. (coeff *. e.Element.value))
+          st.Mna.b_unit)
+    nl.Netlist.linear;
+  (* Companion conductances and branch resistances are h-fixed. *)
+  List.iter
+    (fun c ->
+      match c with
+      | Cap { pos; neg; geq; _ } ->
+        let add r c v = if r >= 0 && c >= 0 then Matrix.add_entry g_static r c v in
+        add pos pos geq;
+        add neg neg geq;
+        add pos neg (-.geq);
+        add neg pos (-.geq)
+      | Ind { aux; req; _ } -> Matrix.add_entry g_static aux aux (-.req))
+    !companions;
+  (* Newton solve of the companion network at one time point. *)
+  let solve_point ~drive ~x_guess t =
+    let x = ref (Array.copy x_guess) in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iterations do
+      incr iter;
+      let residual = Matrix.mul_vec g_static !x in
+      Array.iteri
+        (fun r v ->
+          residual.(r) <- v -. b_fixed.(r) -. (b_input.(r) *. drive))
+        residual;
+      (* Companion history currents/voltages. *)
+      List.iter
+        (fun c ->
+          match c with
+          | Cap { pos; neg; hist; _ } ->
+            if pos >= 0 then residual.(pos) <- residual.(pos) -. hist;
+            if neg >= 0 then residual.(neg) <- residual.(neg) +. hist
+          | Ind { aux; hist; _ } -> residual.(aux) <- residual.(aux) -. hist)
+        !companions;
+      let jacobian = Matrix.copy g_static in
+      Newton.stamp_devices nl.Netlist.devices row !x residual jacobian;
+      match Numeric.Lu.factor jacobian with
+      | exception Numeric.Lu.Singular _ -> raise (No_convergence t)
+      | lu ->
+        let dx = Numeric.Lu.solve lu (Array.map (fun v -> -.v) residual) in
+        let step =
+          Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 dx
+        in
+        let damp = if step > 0.5 then 0.5 /. step else 1.0 in
+        Array.iteri (fun k v -> !x.(k) <- v +. (damp *. dx.(k))) !x;
+        if step *. damp < tolerance then converged := true
+    done;
+    if not !converged then raise (No_convergence t);
+    !x
+  in
+  (* Initial state: DC operating point with the input at input(0); the raw
+     vector carries node voltages AND auxiliary branch currents, so the
+     companion histories start consistent (capacitor current 0, inductor
+     voltage 0 at DC). *)
+  let nl0 =
+    let base =
+      List.fold_left
+        (fun acc (e : Element.t) ->
+          Netlist.add_element acc
+            (if e.Element.name = input_name then
+               Element.with_value e (input 0.0)
+             else e))
+        Netlist.empty nl.Netlist.linear
+    in
+    let base = List.fold_left Netlist.add_device base nl.Netlist.devices in
+    let base = Netlist.with_ac_input base input_name in
+    match nl.Netlist.output with
+    | Some o -> Netlist.with_output base o
+    | None -> base
+  in
+  let x_dc, ix_dc = Newton.solve_raw nl0 in
+  if Mna.size ix_dc <> n then failwith "Nonlinear.Tran: index mismatch";
+  let x0 = Array.copy x_dc in
+  List.iter
+    (fun c ->
+      match c with
+      | Cap ({ pos; neg; geq; _ } as cap) ->
+        let vp = if pos >= 0 then x0.(pos) else 0.0 in
+        let vn = if neg >= 0 then x0.(neg) else 0.0 in
+        (* hist_{n+1} = geq·vₙ + iₙ with i₀ = 0 at DC. *)
+        cap.hist <- geq *. (vp -. vn)
+      | Ind ({ pos; neg; aux; req; _ } as ind) ->
+        let vp = if pos >= 0 then x0.(pos) else 0.0 in
+        let vn = if neg >= 0 then x0.(neg) else 0.0 in
+        ind.hist <- -.(vp -. vn) -. (req *. x0.(aux)))
+    !companions;
+  let steps = int_of_float (Float.ceil (t_stop /. t_step)) in
+  let states = Array.make (steps + 1) x0 in
+  let x = ref x0 in
+  for k = 1 to steps do
+    let t = t_step *. float_of_int k in
+    let next = solve_point ~drive:(input t) ~x_guess:!x t in
+    (* Advance the companion histories. *)
+    List.iter
+      (fun c ->
+        match c with
+        | Cap ({ pos; neg; geq; hist } as cap) ->
+          let vp = if pos >= 0 then next.(pos) else 0.0 in
+          let vn = if neg >= 0 then next.(neg) else 0.0 in
+          let i_now = (geq *. (vp -. vn)) -. hist in
+          cap.hist <- (geq *. (vp -. vn)) +. i_now
+        | Ind ({ pos; neg; aux; req; _ } as ind) ->
+          let vp = if pos >= 0 then next.(pos) else 0.0 in
+          let vn = if neg >= 0 then next.(neg) else 0.0 in
+          ind.hist <- -.(vp -. vn) -. (req *. next.(aux)))
+      !companions;
+    x := next;
+    states.(k) <- next
+  done;
+  (ix, t_step, states)
+
+let simulate ?max_iterations ?tolerance nl ~input ~t_step ~t_stop =
+  let ix, h, states =
+    simulate_states ?max_iterations ?tolerance nl ~input ~t_step ~t_stop
+  in
+  let output =
+    match nl.Netlist.output with
+    | Some o -> o
+    | None -> failwith "Nonlinear.Tran: no output designated"
+  in
+  let pick x =
+    let at node =
+      match Mna.node_row ix node with -1 -> 0.0 | r -> x.(r)
+    in
+    match output with
+    | Circuit.Netlist.Node a -> at a
+    | Circuit.Netlist.Diff (a, b) -> at a -. at b
+  in
+  Array.mapi (fun k x -> (h *. float_of_int k, pick x)) states
+
+let simulate_full ?max_iterations ?tolerance nl ~input ~t_step ~t_stop =
+  let ix, _, states =
+    simulate_states ?max_iterations ?tolerance nl ~input ~t_step ~t_stop
+  in
+  Mna.node_names ix
+  |> Array.to_list
+  |> List.map (fun node ->
+         let r = Mna.node_row ix node in
+         (node, Array.map (fun x -> x.(r)) states))

@@ -1,0 +1,37 @@
+(** Large-signal transient analysis of nonlinear circuits.
+
+    Trapezoidal integration with companion models — a capacitor becomes the
+    conductance [2C/h] plus a history current, an inductor the resistance
+    [2L/h] plus a history voltage — and a Newton solve of the resulting
+    nonlinear resistive network at every timestep.  The designated AC-input
+    source's value follows [input t] (absolute volts/amps, not
+    small-signal); every other source stays at its DC value.
+
+    This closes the loop on the "linearized" methodology: the same
+    transistor circuit can be simulated in full and compared against the
+    small-signal models built from its operating point. *)
+
+exception No_convergence of float
+(** Carries the simulation time at which Newton stalled. *)
+
+val simulate :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  Netlist.t ->
+  input:(float -> float) ->
+  t_step:float ->
+  t_stop:float ->
+  (float * float) array
+(** [(t, y)] samples of the designated output, starting from the DC
+    operating point at [input 0.0].  Raises {!No_convergence} or
+    [Newton.No_convergence] (initial point). *)
+
+val simulate_full :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  Netlist.t ->
+  input:(float -> float) ->
+  t_step:float ->
+  t_stop:float ->
+  (string * float array) list
+(** Per-node waveforms (node name, sample array), same timing grid. *)

@@ -1,0 +1,1 @@
+lib/numeric/cx.ml: Complex Float Format

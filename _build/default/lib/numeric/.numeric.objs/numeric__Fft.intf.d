@@ -1,0 +1,1 @@
+lib/numeric/fft.mli: Cx

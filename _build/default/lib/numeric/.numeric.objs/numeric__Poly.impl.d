@@ -1,0 +1,1 @@
+lib/numeric/poly.ml: Array Cx Float Format Int

@@ -1,0 +1,1 @@
+lib/numeric/poly.mli: Cx Format

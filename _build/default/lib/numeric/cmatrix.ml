@@ -1,0 +1,111 @@
+type t = { nrows : int; ncols : int; data : Cx.t array }
+
+exception Singular of int
+
+let create nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Cmatrix.create: negative size";
+  { nrows; ncols; data = Array.make (nrows * ncols) Cx.zero }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let get m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Cmatrix.get: index out of bounds";
+  m.data.((i * m.ncols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Cmatrix.set: index out of bounds";
+  m.data.((i * m.ncols) + j) <- x
+
+let add_entry m i j x = set m i j (Cx.add (get m i j) x)
+
+let init nrows ncols f =
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      m.data.((i * ncols) + j) <- f i j
+    done
+  done;
+  m
+
+let of_real r =
+  init (Matrix.rows r) (Matrix.cols r) (fun i j -> Cx.of_float (Matrix.get r i j))
+
+let combine g s c =
+  if Matrix.rows g <> Matrix.rows c || Matrix.cols g <> Matrix.cols c then
+    invalid_arg "Cmatrix.combine: shape mismatch";
+  init (Matrix.rows g) (Matrix.cols g) (fun i j ->
+      Cx.add (Cx.of_float (Matrix.get g i j)) (Cx.mul s (Cx.of_float (Matrix.get c i j))))
+
+let mul_vec m v =
+  if Array.length v <> m.ncols then invalid_arg "Cmatrix.mul_vec: size mismatch";
+  Array.init m.nrows (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to m.ncols - 1 do
+        acc := Cx.add !acc (Cx.mul m.data.((i * m.ncols) + j) v.(j))
+      done;
+      !acc)
+
+let solve m b =
+  let n = m.nrows in
+  if m.ncols <> n then invalid_arg "Cmatrix.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Cmatrix.solve: size mismatch";
+  let a = Array.copy m.data in
+  let x = Array.copy b in
+  let at i j = a.((i * n) + j) in
+  let put i j v = a.((i * n) + j) <- v in
+  for k = 0 to n - 1 do
+    let pivot_row = ref k in
+    let pivot_mag = ref (Cx.norm (at k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Cx.norm (at i k) in
+      if mag > !pivot_mag then begin
+        pivot_mag := mag;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag = 0.0 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = at k j in
+        put k j (at !pivot_row j);
+        put !pivot_row j tmp
+      done;
+      let tmp = x.(k) in
+      x.(k) <- x.(!pivot_row);
+      x.(!pivot_row) <- tmp
+    end;
+    let pivot = at k k in
+    for i = k + 1 to n - 1 do
+      let f = Cx.div (at i k) pivot in
+      if f <> Cx.zero then begin
+        for j = k to n - 1 do
+          put i j (Cx.sub (at i j) (Cx.mul f (at k j)))
+        done;
+        x.(i) <- Cx.sub x.(i) (Cx.mul f x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := Cx.sub !acc (Cx.mul (at i j) x.(j))
+    done;
+    x.(i) <- Cx.div !acc (at i i)
+  done;
+  x
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "@[<h>[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Cx.pp ppf (get m i j)
+    done;
+    Format.fprintf ppf "]@]";
+    if i < m.nrows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Dense complex matrices and a complex LU solver.
+
+    Used by AC analysis ([(G + jωC)·x = b]) and by residue computation
+    (Vandermonde systems in the complex poles). *)
+
+type t
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val of_real : Matrix.t -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val add_entry : t -> int -> int -> Cx.t -> unit
+
+val mul_vec : t -> Cx.t array -> Cx.t array
+
+val combine : Matrix.t -> Cx.t -> Matrix.t -> t
+(** [combine g s c] is the complex matrix [g + s·c] — the AC system matrix at
+    complex frequency [s]. *)
+
+exception Singular of int
+
+val solve : t -> Cx.t array -> Cx.t array
+(** Gaussian elimination with partial pivoting; raises {!Singular} on
+    numerically singular input.  The matrix argument is not modified. *)
+
+val pp : Format.formatter -> t -> unit

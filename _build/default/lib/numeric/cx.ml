@@ -1,0 +1,40 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im = { re; im }
+let of_float re = { re; im = 0.0 }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let inv = Complex.inv
+let conj = Complex.conj
+let scale c z = { re = c *. z.re; im = c *. z.im }
+let norm = Complex.norm
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+
+let pow_int z n =
+  if n < 0 then Complex.inv (Complex.pow z (of_float (float_of_int (-n))))
+  else begin
+    (* Repeated squaring keeps integer powers exact-ish for small n. *)
+    let rec go acc base n =
+      if n = 0 then acc
+      else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+      else go acc (mul base base) (n asr 1)
+    in
+    go one z n
+  end
+
+let is_real ?(tol = 1e-9) z =
+  Float.abs z.im <= tol *. Float.max 1.0 (norm z)
+
+let close ?(tol = 1e-9) a b = norm (sub a b) <= tol *. Float.max 1.0 (norm a)
+
+let pp ppf z =
+  if z.im >= 0.0 then Format.fprintf ppf "(%g + %gi)" z.re z.im
+  else Format.fprintf ppf "(%g - %gi)" z.re (-.z.im)

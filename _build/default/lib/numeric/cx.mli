@@ -1,0 +1,34 @@
+(** Thin extensions over [Stdlib.Complex] used throughout the simulator. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val make : float -> float -> t
+val of_float : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+val norm : t -> float
+(** Modulus |z|. *)
+
+val arg : t -> float
+val sqrt : t -> t
+val exp : t -> t
+val pow_int : t -> int -> t
+
+val is_real : ?tol:float -> t -> bool
+(** True when the imaginary part is below [tol] (default [1e-9]) relative to
+    the modulus. *)
+
+val close : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

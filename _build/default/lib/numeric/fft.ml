@@ -1,0 +1,62 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Iterative Cooley–Tukey with bit-reversal permutation. *)
+let fft_in_place sign (a : Cx.t array) =
+  let n = Array.length a in
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = Cx.make (Float.cos ang) (Float.sin ang) in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Cx.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Cx.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Cx.add u v;
+        a.(!i + k + half) <- Cx.sub u v;
+        w := Cx.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+let transform x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length must be 2^k";
+  let a = Array.copy x in
+  fft_in_place (-1.0) a;
+  a
+
+let inverse x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Fft.inverse: length must be 2^k";
+  let a = Array.copy x in
+  fft_in_place 1.0 a;
+  Array.map (Cx.scale (1.0 /. float_of_int n)) a
+
+let magnitudes signal =
+  let n = Array.length signal in
+  if not (is_pow2 n) then invalid_arg "Fft.magnitudes: length must be 2^k";
+  let spectrum = transform (Array.map Cx.of_float signal) in
+  Array.init ((n / 2) + 1) (fun k ->
+      let m = Cx.norm spectrum.(k) /. float_of_int n in
+      if k = 0 || k = n / 2 then m else 2.0 *. m)

@@ -1,0 +1,17 @@
+(** Radix-2 fast Fourier transform.
+
+    Enough spectral machinery to measure harmonic content of steady-state
+    simulator waveforms: forward/inverse complex FFT (power-of-two sizes)
+    and a real-signal spectrum helper. *)
+
+val transform : Cx.t array -> Cx.t array
+(** Forward DFT, [X_k = Σ_n x_n·e^{−2πi·kn/N}].  Raises [Invalid_argument]
+    unless the length is a power of two (and ≥ 1). *)
+
+val inverse : Cx.t array -> Cx.t array
+(** Inverse DFT (normalized by [1/N]): [inverse (transform x) = x]. *)
+
+val magnitudes : float array -> float array
+(** Single-sided amplitude spectrum of a real signal of power-of-two length
+    [N]: entry [k ≤ N/2] is the amplitude of the sinusoid at [k] cycles per
+    window ([2·|X_k|/N], except DC and Nyquist which are [|X_k|/N]). *)

@@ -1,0 +1,121 @@
+exception Singular of int
+
+(* Factors are stored packed in a single matrix: the strict lower triangle
+   holds L (unit diagonal implied), the upper triangle holds U.  [perm] maps
+   factored row index -> original row index of the right-hand side. *)
+type t = { lu : Matrix.t; perm : int array; sign : float }
+
+let size f = Array.length f.perm
+
+let factor a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the largest magnitude entry in column k. *)
+    let pivot_row = ref k in
+    let pivot_mag = ref (Float.abs (Matrix.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Float.abs (Matrix.get lu i k) in
+      if mag > !pivot_mag then begin
+        pivot_mag := mag;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag = 0.0 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot_row j);
+        Matrix.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pivot in
+      Matrix.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Matrix.set lu i j (Matrix.get lu i j -. (factor *. Matrix.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n = size f in
+  if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with upper triangle. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get f.lu i i
+  done;
+  x
+
+(* aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P⁻ᵀ, so solve Uᵀ y = b, then Lᵀ z = y, then undo
+   the permutation: x.(perm.(i)) = z.(i). *)
+let solve_transpose f b =
+  let n = size f in
+  if Array.length b <> n then invalid_arg "Lu.solve_transpose: size mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get f.lu j i *. y.(j))
+    done;
+    y.(i) <- !acc /. Matrix.get f.lu i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.lu j i *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(f.perm.(i)) <- y.(i)
+  done;
+  x
+
+let solve_matrix f b =
+  let n = size f in
+  if Matrix.rows b <> n then invalid_arg "Lu.solve_matrix: size mismatch";
+  let out = Matrix.create n (Matrix.cols b) in
+  for j = 0 to Matrix.cols b - 1 do
+    let x = solve f (Matrix.column b j) in
+    for i = 0 to n - 1 do
+      Matrix.set out i j x.(i)
+    done
+  done;
+  out
+
+let det f =
+  let n = size f in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get f.lu i i
+  done;
+  !d
+
+let inverse f = solve_matrix f (Matrix.identity (size f))
+
+let solve_dense a b = solve (factor a) b

@@ -1,0 +1,35 @@
+(** LU factorization with partial pivoting for real square matrices.
+
+    A factorization is computed once and reused for many right-hand sides —
+    the access pattern AWE moment generation depends on (one factor of the MNA
+    conductance matrix, one triangular solve per moment). *)
+
+type t
+
+exception Singular of int
+(** Raised by {!factor} when no usable pivot exists at the given
+    elimination step. *)
+
+val factor : Matrix.t -> t
+(** [factor a] computes [P·a = L·U].  Raises [Invalid_argument] if [a] is not
+    square and {!Singular} if [a] is numerically singular. *)
+
+val solve : t -> float array -> float array
+(** [solve lu b] solves [a·x = b]. *)
+
+val solve_transpose : t -> float array -> float array
+(** [solve_transpose lu b] solves [aᵀ·x = b] using the same factorization —
+    the adjoint-system solve used by sensitivity analysis. *)
+
+val solve_matrix : t -> Matrix.t -> Matrix.t
+(** Column-by-column solve: [solve_matrix lu b] solves [a·X = b]. *)
+
+val det : t -> float
+(** Determinant of the factored matrix (sign includes row exchanges). *)
+
+val inverse : t -> Matrix.t
+
+val size : t -> int
+
+val solve_dense : Matrix.t -> float array -> float array
+(** One-shot convenience: factor then solve. *)

@@ -1,0 +1,130 @@
+type t = float array
+(* Invariant: either empty (the zero polynomial) or the last entry is
+   non-zero. *)
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0.0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero = [||]
+let of_coeffs a = trim (Array.copy a)
+let const c = if c = 0.0 then zero else [| c |]
+let one = [| 1.0 |]
+let x = [| 0.0; 1.0 |]
+let coeffs p = Array.copy p
+let coeff p k = if k < 0 || k >= Array.length p then 0.0 else p.(k)
+let degree p = Array.length p - 1
+let is_zero p = Array.length p = 0
+
+let add a b =
+  let n = Int.max (Array.length a) (Array.length b) in
+  trim (Array.init n (fun k -> coeff a k +. coeff b k))
+
+let neg a = Array.map (fun c -> -.c) a
+let sub a b = add a (neg b)
+let scale c a = if c = 0.0 then zero else trim (Array.map (fun v -> c *. v) a)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let out = Array.make (Array.length a + Array.length b - 1) 0.0 in
+    Array.iteri
+      (fun i ai ->
+        if ai <> 0.0 then
+          Array.iteri (fun j bj -> out.(i + j) <- out.(i + j) +. (ai *. bj)) b)
+      a;
+    trim out
+  end
+
+let pow p n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+    else go acc (mul base base) (n asr 1)
+  in
+  go one p n
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b in
+  let lead = b.(db) in
+  let rem = Array.copy a in
+  let dq = degree a - db in
+  if dq < 0 then (zero, trim rem)
+  else begin
+    let q = Array.make (dq + 1) 0.0 in
+    for k = dq downto 0 do
+      let c = rem.(k + db) /. lead in
+      q.(k) <- c;
+      if c <> 0.0 then
+        for j = 0 to db - 1 do
+          rem.(k + j) <- rem.(k + j) -. (c *. b.(j))
+        done;
+      (* The leading entry is eliminated exactly by construction; clear it
+         rather than keep rounding dust above the remainder's degree. *)
+      rem.(k + db) <- 0.0
+    done;
+    (trim q, trim rem)
+  end
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else trim (Array.init (Array.length p - 1) (fun k -> float_of_int (k + 1) *. p.(k + 1)))
+
+let eval p v =
+  let acc = ref 0.0 in
+  for k = Array.length p - 1 downto 0 do
+    acc := (!acc *. v) +. p.(k)
+  done;
+  !acc
+
+let eval_complex p z =
+  let acc = ref Cx.zero in
+  for k = Array.length p - 1 downto 0 do
+    acc := Cx.add (Cx.mul !acc z) (Cx.of_float p.(k))
+  done;
+  !acc
+
+let shift_scale p a =
+  let out = Array.copy p in
+  let factor = ref 1.0 in
+  for k = 0 to Array.length out - 1 do
+    out.(k) <- out.(k) *. !factor;
+    factor := !factor *. a
+  done;
+  trim out
+
+let equal ?(tol = 1e-12) a b =
+  let n = Int.max (Array.length a) (Array.length b) in
+  let rec go k = k >= n || (Float.abs (coeff a k -. coeff b k) <= tol && go (k + 1)) in
+  go 0
+
+let pp ?(var = "x") ppf p =
+  if is_zero p then Format.fprintf ppf "0"
+  else begin
+    let first = ref true in
+    for k = Array.length p - 1 downto 0 do
+      let c = p.(k) in
+      if c <> 0.0 then begin
+        if !first then begin
+          if c < 0.0 then Format.fprintf ppf "-";
+          first := false
+        end
+        else if c < 0.0 then Format.fprintf ppf " - "
+        else Format.fprintf ppf " + ";
+        let m = Float.abs c in
+        if k = 0 then Format.fprintf ppf "%g" m
+        else begin
+          if m <> 1.0 then Format.fprintf ppf "%g*" m;
+          if k = 1 then Format.fprintf ppf "%s" var
+          else Format.fprintf ppf "%s^%d" var k
+        end
+      end
+    done
+  end
+
+let to_string ?var p = Format.asprintf "%a" (pp ?var) p

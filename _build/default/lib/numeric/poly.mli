@@ -1,0 +1,51 @@
+(** Univariate real polynomials with float coefficients.
+
+    Coefficients are stored low-degree first: [p = c0 + c1·x + c2·x² + …].
+    The representation is normalized — the leading coefficient of a non-zero
+    polynomial is non-zero, and the zero polynomial is the empty coefficient
+    list (degree [-1]). *)
+
+type t
+
+val zero : t
+val one : t
+val x : t
+
+val of_coeffs : float array -> t
+(** [of_coeffs [|c0; c1; …|]]; trailing zeros are trimmed. *)
+
+val coeffs : t -> float array
+val coeff : t -> int -> float
+(** [coeff p k] is the coefficient of [x^k] (0 beyond the degree). *)
+
+val degree : t -> int
+(** Degree, [-1] for the zero polynomial. *)
+
+val is_zero : t -> bool
+
+val const : float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val pow : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q·b + r], [deg r < deg b].
+    Raises [Division_by_zero] when [b] is zero. *)
+
+val derivative : t -> t
+
+val eval : t -> float -> float
+(** Horner evaluation. *)
+
+val eval_complex : t -> Cx.t -> Cx.t
+
+val shift_scale : t -> float -> t
+(** [shift_scale p a] is [q(x) = p(a·x)] — the substitution used by moment
+    scaling. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : ?var:string -> Format.formatter -> t -> unit
+val to_string : ?var:string -> t -> string

@@ -1,0 +1,156 @@
+let quadratic a b c =
+  if a = 0.0 then invalid_arg "Roots.quadratic: leading coefficient is zero";
+  let disc = (b *. b) -. (4.0 *. a *. c) in
+  if disc >= 0.0 then begin
+    (* Citardauq: avoid cancellation by computing the large-magnitude root
+       first and deriving the other from the product of roots. *)
+    let sq = sqrt disc in
+    let sgn = if b >= 0.0 then 1.0 else -1.0 in
+    let q = -0.5 *. (b +. (sgn *. sq)) in
+    let r1 = q /. a in
+    let r2 = if q = 0.0 then -.b /. (2.0 *. a) else c /. q in
+    (Cx.of_float r1, Cx.of_float r2)
+  end
+  else begin
+    let re = -.b /. (2.0 *. a) in
+    let im = sqrt (-.disc) /. (2.0 *. a) in
+    (Cx.make re im, Cx.make re (-.im))
+  end
+
+let cubic a b c d =
+  (* Depressed-cubic trigonometric/Cardano solution for a·x³+b·x²+c·x+d. *)
+  let b = b /. a and c = c /. a and d = d /. a in
+  let p = c -. (b *. b /. 3.0) in
+  let q = ((2.0 *. b *. b *. b) -. (9.0 *. b *. c)) /. 27.0 +. d in
+  let shift = -.b /. 3.0 in
+  let disc = ((q *. q) /. 4.0) +. ((p *. p *. p) /. 27.0) in
+  if disc > 0.0 then begin
+    let sq = sqrt disc in
+    let cbrt v = if v >= 0.0 then Float.pow v (1.0 /. 3.0) else -.Float.pow (-.v) (1.0 /. 3.0) in
+    let u = cbrt ((-.q /. 2.0) +. sq) in
+    let v = cbrt ((-.q /. 2.0) -. sq) in
+    let r1 = u +. v +. shift in
+    let re = (-.(u +. v) /. 2.0) +. shift in
+    let im = (u -. v) *. sqrt 3.0 /. 2.0 in
+    [| Cx.of_float r1; Cx.make re im; Cx.make re (-.im) |]
+  end
+  else if p = 0.0 && q = 0.0 then [| Cx.of_float shift; Cx.of_float shift; Cx.of_float shift |]
+  else begin
+    (* Three real roots: trigonometric form. *)
+    let m = 2.0 *. sqrt (-.p /. 3.0) in
+    let arg = Float.max (-1.0) (Float.min 1.0 (3.0 *. q /. (p *. m))) in
+    let theta = acos arg /. 3.0 in
+    Array.init 3 (fun k ->
+        Cx.of_float
+          ((m *. cos (theta -. (2.0 *. Float.pi *. float_of_int k /. 3.0))) +. shift))
+  end
+
+let polish p z0 =
+  let dp = Poly.derivative p in
+  let rec go z n =
+    if n = 0 then z
+    else begin
+      let f = Poly.eval_complex p z in
+      let f' = Poly.eval_complex dp z in
+      if Cx.norm f' = 0.0 then z
+      else begin
+        let z' = Cx.sub z (Cx.div f f') in
+        if Cx.norm (Cx.sub z' z) <= 1e-14 *. Float.max 1.0 (Cx.norm z) then z'
+        else go z' (n - 1)
+      end
+    end
+  in
+  go z0 8
+
+(* Aberth–Ehrlich simultaneous iteration.  Physical polynomials (e.g. RC
+   denominators with picofarad coefficients) span dozens of orders of
+   magnitude, so iterate on the rescaled variable x = α·x̂ with α an estimate
+   of the root magnitude, and map the roots back. *)
+let root_scale p =
+  let n = Poly.degree p in
+  let lead = Float.abs (Poly.coeff p n) in
+  let c0 = Float.abs (Poly.coeff p 0) in
+  if c0 > 0.0 then Float.pow (c0 /. lead) (1.0 /. float_of_int n)
+  else begin
+    (* Fall back to the largest per-coefficient magnitude estimate. *)
+    let best = ref 0.0 in
+    for k = 0 to n - 1 do
+      let ck = Float.abs (Poly.coeff p k) in
+      if ck > 0.0 then
+        best :=
+          Float.max !best (Float.pow (ck /. lead) (1.0 /. float_of_int (n - k)))
+    done;
+    if !best > 0.0 then !best else 1.0
+  end
+
+let aberth p_raw =
+  let alpha = root_scale p_raw in
+  let p =
+    (* p̂(x̂) = p(α·x̂), normalized so its leading coefficient is 1. *)
+    let scaled = Poly.shift_scale p_raw alpha in
+    Poly.scale (1.0 /. Poly.coeff scaled (Poly.degree scaled)) scaled
+  in
+  let n = Poly.degree p in
+  let dp = Poly.derivative p in
+  (* Cauchy bound on root magnitude. *)
+  let lead = Float.abs (Poly.coeff p n) in
+  let bound =
+    let worst = ref 0.0 in
+    for k = 0 to n - 1 do
+      worst := Float.max !worst (Float.abs (Poly.coeff p k) /. lead)
+    done;
+    1.0 +. !worst
+  in
+  let radius = Float.max 1e-6 (0.5 *. bound) in
+  let z =
+    Array.init n (fun k ->
+        (* Slightly irrational angle offset breaks symmetric stalls. *)
+        let theta = (2.0 *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4 in
+        Cx.make (radius *. cos theta) (radius *. sin theta))
+  in
+  let max_iter = 200 in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let moved = ref 0.0 in
+    for k = 0 to n - 1 do
+      let f = Poly.eval_complex p z.(k) in
+      let f' = Poly.eval_complex dp z.(k) in
+      if Cx.norm f > 0.0 then begin
+        let newton = if Cx.norm f' = 0.0 then Cx.of_float 1e-12 else Cx.div f f' in
+        let sum = ref Cx.zero in
+        for j = 0 to n - 1 do
+          if j <> k then begin
+            let diff = Cx.sub z.(k) z.(j) in
+            let diff = if Cx.norm diff = 0.0 then Cx.of_float 1e-12 else diff in
+            sum := Cx.add !sum (Cx.inv diff)
+          end
+        done;
+        let denom = Cx.sub Cx.one (Cx.mul newton !sum) in
+        let step = if Cx.norm denom = 0.0 then newton else Cx.div newton denom in
+        z.(k) <- Cx.sub z.(k) step;
+        moved := Float.max !moved (Cx.norm step /. Float.max 1.0 (Cx.norm z.(k)))
+      end
+    done;
+    if !moved <= 1e-14 then converged := true
+  done;
+  Array.map (fun zk -> polish p_raw (Cx.scale alpha (polish p zk))) z
+
+let of_poly p =
+  let n = Poly.degree p in
+  if n < 1 then invalid_arg "Roots.of_poly: degree < 1";
+  match n with
+  | 1 -> [| Cx.of_float (-.Poly.coeff p 0 /. Poly.coeff p 1) |]
+  | 2 ->
+    let r1, r2 = quadratic (Poly.coeff p 2) (Poly.coeff p 1) (Poly.coeff p 0) in
+    [| r1; r2 |]
+  | 3 -> cubic (Poly.coeff p 3) (Poly.coeff p 2) (Poly.coeff p 1) (Poly.coeff p 0)
+  | _ -> aberth p
+
+let real_roots ?(tol = 1e-8) p =
+  of_poly p
+  |> Array.to_list
+  |> List.filter_map (fun z -> if Cx.is_real ~tol z then Some z.Cx.re else None)
+  |> List.sort compare
+  |> Array.of_list

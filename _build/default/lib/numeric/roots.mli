@@ -1,0 +1,21 @@
+(** Polynomial root finding.
+
+    AWE needs the roots of low-degree characteristic polynomials (typically
+    degree ≤ 5).  Degrees 1–3 use closed forms; higher degrees use the
+    Aberth–Ehrlich simultaneous iteration with a Cauchy-bound initial
+    circle. *)
+
+val quadratic : float -> float -> float -> Cx.t * Cx.t
+(** [quadratic a b c] returns the two roots of [a·x² + b·x + c], computed with
+    the numerically stable citardauq form.  Requires [a <> 0]. *)
+
+val of_poly : Poly.t -> Cx.t array
+(** All complex roots of the polynomial, in no particular order.
+    Raises [Invalid_argument] on the zero polynomial or constants. *)
+
+val real_roots : ?tol:float -> Poly.t -> float array
+(** Real roots only (imaginary part below [tol] relative to modulus),
+    sorted ascending. *)
+
+val polish : Poly.t -> Cx.t -> Cx.t
+(** A few Newton steps to refine a root estimate. *)

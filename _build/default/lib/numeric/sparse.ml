@@ -1,0 +1,180 @@
+(* Rows are sorted (column, value) arrays; the matrix is immutable. *)
+type t = { n : int; rows : (int * float) array array }
+
+exception Singular of int
+
+let dims m = m.n
+let nnz m = Array.fold_left (fun acc r -> acc + Array.length r) 0 m.rows
+
+let of_entries n entries =
+  if n < 0 then invalid_arg "Sparse.of_entries: negative size";
+  let accum = Array.init n (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.of_entries: index out of bounds";
+      let tbl = accum.(i) in
+      Hashtbl.replace tbl j (Option.value (Hashtbl.find_opt tbl j) ~default:0.0 +. v))
+    entries;
+  let rows =
+    Array.map
+      (fun tbl ->
+        Hashtbl.fold (fun j v acc -> if v = 0.0 then acc else (j, v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> Array.of_list)
+      accum
+  in
+  { n; rows }
+
+let of_dense d =
+  let n = Matrix.rows d in
+  if Matrix.cols d <> n then invalid_arg "Sparse.of_dense: not square";
+  let rows =
+    Array.init n (fun i ->
+        let out = ref [] in
+        for j = n - 1 downto 0 do
+          let v = Matrix.get d i j in
+          if v <> 0.0 then out := (j, v) :: !out
+        done;
+        Array.of_list !out)
+  in
+  { n; rows }
+
+let to_dense m =
+  let d = Matrix.create m.n m.n in
+  Array.iteri
+    (fun i row -> Array.iter (fun (j, v) -> Matrix.set d i j v) row)
+    m.rows;
+  d
+
+let mul_vec m v =
+  if Array.length v <> m.n then invalid_arg "Sparse.mul_vec: size mismatch";
+  Array.map
+    (fun row ->
+      Array.fold_left (fun acc (j, x) -> acc +. (x *. v.(j))) 0.0 row)
+    m.rows
+
+(* Factored form: P·A = L·U with L unit-diagonal.  Rows of L and U are kept
+   sparse and sorted; [perm.(k)] is the original row placed at pivot
+   position k. *)
+type factored = {
+  n : int;
+  perm : int array;
+  l_rows : (int * float) array array; (* strictly lower, by pivot position *)
+  u_rows : (int * float) array array; (* including the diagonal *)
+  a_nnz : int;
+}
+
+(* Elimination uses a scattered workspace per pivot row: [work] holds the
+   current values of the active row, [pattern] its non-zero columns. *)
+let factor (m : t) =
+  let n = m.n in
+  let a_nnz = nnz m in
+  (* Mutable row table: rows still to be eliminated, as sorted arrays. *)
+  let rows = Array.map Array.copy m.rows in
+  (* Which physical row currently sits at each elimination position. *)
+  let row_of_pos = Array.init n (fun i -> i) in
+  (* Multipliers belong to the physical row: later pivot swaps move the
+     whole row, multipliers included, so L is keyed physically and only
+     reordered into pivot positions at the end. *)
+  let l_phys = Array.make n [] in
+  let u_rows = Array.make n [||] in
+  let work = Array.make n 0.0 in
+  let touched = Array.make n false in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: among remaining rows, the largest |value| in
+       column k. *)
+    let best = ref (-1) in
+    let best_mag = ref 0.0 in
+    for pos = k to n - 1 do
+      let row = rows.(row_of_pos.(pos)) in
+      (* Sorted rows: entries below column k were already eliminated. *)
+      if Array.length row > 0 then begin
+        let j0, v0 = row.(0) in
+        if j0 = k && Float.abs v0 > !best_mag then begin
+          best_mag := Float.abs v0;
+          best := pos
+        end
+      end
+    done;
+    if !best < 0 then raise (Singular k);
+    if !best <> k then begin
+      let tmp = row_of_pos.(k) in
+      row_of_pos.(k) <- row_of_pos.(!best);
+      row_of_pos.(!best) <- tmp
+    end;
+    let pivot_row = rows.(row_of_pos.(k)) in
+    u_rows.(k) <- pivot_row;
+    let pivot = snd pivot_row.(0) in
+    (* Eliminate column k from every remaining row that carries it. *)
+    for pos = k + 1 to n - 1 do
+      let ri = row_of_pos.(pos) in
+      let row = rows.(ri) in
+      if Array.length row > 0 && fst row.(0) = k then begin
+        let factor = snd row.(0) /. pivot in
+        (* Scatter the row (beyond column k). *)
+        let pattern = ref [] in
+        Array.iter
+          (fun (j, v) ->
+            if j > k then begin
+              work.(j) <- v;
+              touched.(j) <- true;
+              pattern := j :: !pattern
+            end)
+          row;
+        (* Subtract factor × pivot row. *)
+        Array.iter
+          (fun (j, v) ->
+            if j > k then begin
+              if not touched.(j) then begin
+                touched.(j) <- true;
+                work.(j) <- 0.0;
+                pattern := j :: !pattern
+              end;
+              work.(j) <- work.(j) -. (factor *. v)
+            end)
+          pivot_row;
+        let cols = List.sort Int.compare !pattern in
+        let out = ref [] in
+        List.iter
+          (fun j ->
+            if work.(j) <> 0.0 then out := (j, work.(j)) :: !out;
+            touched.(j) <- false)
+          cols;
+        rows.(ri) <- Array.of_list (List.rev !out);
+        l_phys.(ri) <- (k, factor) :: l_phys.(ri)
+      end
+    done
+  done;
+  let l_rows =
+    Array.map (fun ri -> Array.of_list (List.rev l_phys.(ri))) row_of_pos
+  in
+  { n; perm = row_of_pos; l_rows; u_rows; a_nnz }
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Sparse.solve: size mismatch";
+  (* Position k's equation is original row perm.(k); the RHS follows the
+     same exchange. *)
+  let x = Array.init f.n (fun pos -> b.(f.perm.(pos))) in
+  for i = 0 to f.n - 1 do
+    let acc = ref x.(i) in
+    Array.iter (fun (j, v) -> acc := !acc -. (v *. x.(j))) f.l_rows.(i);
+    x.(i) <- !acc
+  done;
+  for i = f.n - 1 downto 0 do
+    let row = f.u_rows.(i) in
+    let acc = ref x.(i) in
+    let diag = ref 0.0 in
+    Array.iter
+      (fun (j, v) -> if j = i then diag := v else acc := !acc -. (v *. x.(j)))
+      row;
+    x.(i) <- !acc /. !diag
+  done;
+  x
+
+let fill_in f =
+  let lu_nnz =
+    Array.fold_left (fun acc r -> acc + Array.length r) 0 f.l_rows
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 f.u_rows
+  in
+  lu_nnz - f.a_nnz

@@ -1,0 +1,35 @@
+(** Sparse square matrices and a sparse LU solver.
+
+    Circuit MNA matrices are overwhelmingly sparse (a handful of entries per
+    row); dense factorization is the dominant cost of large-interconnect
+    AWE.  This module provides compressed row storage and a right-looking
+    sparse Gaussian elimination with partial pivoting.  No fill-reducing
+    ordering is applied — chain/tree-structured circuits (ladders, trees,
+    lines) factor with near-zero fill under natural order, which is the
+    workload class that needs it. *)
+
+type t
+
+val of_entries : int -> (int * int * float) list -> t
+(** [of_entries n entries] builds an [n×n] matrix; duplicate [(i, j)]
+    entries accumulate (stamping semantics). *)
+
+val of_dense : Matrix.t -> t
+(** Drops exact zeros. *)
+
+val to_dense : t -> Matrix.t
+val dims : t -> int
+val nnz : t -> int
+val mul_vec : t -> float array -> float array
+
+exception Singular of int
+
+type factored
+
+val factor : t -> factored
+(** Partial pivoting by magnitude within each column.  Raises {!Singular}
+    when no pivot exists. *)
+
+val solve : factored -> float array -> float array
+val fill_in : factored -> int
+(** Non-zeros of L+U minus those of A — a diagnostic for ordering quality. *)

@@ -1,0 +1,1 @@
+lib/spice/noise.ml: Array Circuit Float List Numeric

@@ -1,0 +1,1 @@
+lib/spice/noise.mli: Circuit

@@ -1,0 +1,1 @@
+lib/spice/tran.ml: Array Circuit Float Hashtbl List Numeric

@@ -1,0 +1,25 @@
+module Mna = Circuit.Mna
+module Cx = Numeric.Cx
+
+let transfer mna s =
+  let sys = Numeric.Cmatrix.combine (Mna.g mna) s (Mna.c mna) in
+  let b = Array.map Cx.of_float (Mna.input_vector mna) in
+  let x = Numeric.Cmatrix.solve sys b in
+  let l = Mna.output_vector mna in
+  let acc = ref Cx.zero in
+  Array.iteri (fun k lv -> if lv <> 0.0 then acc := Cx.add !acc (Cx.scale lv x.(k))) l;
+  !acc
+
+let at_frequency mna f = transfer mna (Cx.make 0.0 (2.0 *. Float.pi *. f))
+
+let sweep mna ~f_start ~f_stop ~points =
+  if not (0.0 < f_start && f_start < f_stop) then
+    invalid_arg "Ac.sweep: need 0 < f_start < f_stop";
+  if points < 2 then invalid_arg "Ac.sweep: need points >= 2";
+  let ratio = Float.log (f_stop /. f_start) /. float_of_int (points - 1) in
+  Array.init points (fun k ->
+      let f = f_start *. Float.exp (ratio *. float_of_int k) in
+      (f, at_frequency mna f))
+
+let magnitude_db z = 20.0 *. Float.log10 (Cx.norm z)
+let phase_deg z = Cx.arg z *. 180.0 /. Float.pi

@@ -1,0 +1,17 @@
+(** Frequency-domain analysis by direct complex solves — the ground truth
+    the AWE reduced-order models are validated against. *)
+
+val transfer : Circuit.Mna.t -> Numeric.Cx.t -> Numeric.Cx.t
+(** [transfer mna s] is [H(s) = lᵀ·(G + s·C)⁻¹·b] for unit input. *)
+
+val at_frequency : Circuit.Mna.t -> float -> Numeric.Cx.t
+(** [at_frequency mna f] is [H(j·2πf)] with [f] in hertz. *)
+
+val sweep :
+  Circuit.Mna.t -> f_start:float -> f_stop:float -> points:int ->
+  (float * Numeric.Cx.t) array
+(** Logarithmic frequency sweep; requires [0 < f_start < f_stop] and
+    [points ≥ 2]. *)
+
+val magnitude_db : Numeric.Cx.t -> float
+val phase_deg : Numeric.Cx.t -> float

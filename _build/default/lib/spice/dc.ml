@@ -1,0 +1,9 @@
+module Mna = Circuit.Mna
+
+let solve mna = Numeric.Lu.solve_dense (Mna.g mna) (Mna.source_vector mna)
+let output mna = Mna.output_of mna (solve mna)
+
+let node_voltage mna node =
+  let x = solve mna in
+  let r = Mna.node_row (Mna.index mna) node in
+  if r < 0 then 0.0 else x.(r)

@@ -1,0 +1,11 @@
+(** Linear DC operating point. *)
+
+val solve : Circuit.Mna.t -> float array
+(** Full unknown vector with every independent source at its netlist
+    value. *)
+
+val output : Circuit.Mna.t -> float
+(** The designated output at the DC operating point. *)
+
+val node_voltage : Circuit.Mna.t -> string -> float
+(** Convenience lookup after a full solve. *)

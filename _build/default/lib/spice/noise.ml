@@ -1,0 +1,62 @@
+module Mna = Circuit.Mna
+module Element = Circuit.Element
+module Cx = Numeric.Cx
+module Cmatrix = Numeric.Cmatrix
+
+let boltzmann = 1.380649e-23
+
+(* Adjoint solve: (G + jωC)ᵀ·a = l.  The transposed system is assembled
+   directly (the complex solver has no transpose mode). *)
+let adjoint mna f =
+  let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+  let g = Mna.g mna and c = Mna.c mna in
+  let n = Numeric.Matrix.rows g in
+  let sys =
+    Cmatrix.init n n (fun i j ->
+        Cx.add
+          (Cx.of_float (Numeric.Matrix.get g j i))
+          (Cx.mul s (Cx.of_float (Numeric.Matrix.get c j i))))
+  in
+  let l = Array.map Cx.of_float (Mna.output_vector mna) in
+  Cmatrix.solve sys l
+
+let contributions ?(temperature = 300.0) mna f =
+  let a = adjoint mna f in
+  let ix = Mna.index mna in
+  let at node =
+    match Mna.node_row ix node with -1 -> Cx.zero | r -> a.(r)
+  in
+  Circuit.Netlist.elements (Mna.netlist mna)
+  |> List.filter_map (fun (e : Element.t) ->
+         match e.Element.kind with
+         | Element.Resistor | Element.Conductance ->
+           let g_val = Element.stamp_value e in
+           let z = Cx.sub (at e.Element.pos) (at e.Element.neg) in
+           let density =
+             4.0 *. boltzmann *. temperature *. g_val *. (Cx.norm z ** 2.0)
+           in
+           Some (e.Element.name, density)
+         | Element.Capacitor | Element.Inductor | Element.Vccs _
+         | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _ | Element.Mutual _
+         | Element.Vsource | Element.Isource ->
+           None)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let output_density ?temperature mna f =
+  List.fold_left (fun acc (_, d) -> acc +. d) 0.0 (contributions ?temperature mna f)
+
+let integrated ?temperature ?(points = 200) mna ~f_start ~f_stop =
+  if not (0.0 < f_start && f_start < f_stop) then
+    invalid_arg "Noise.integrated: need 0 < f_start < f_stop";
+  if points < 2 then invalid_arg "Noise.integrated: points >= 2";
+  let ratio = Float.log (f_stop /. f_start) /. float_of_int (points - 1) in
+  let freqs =
+    Array.init points (fun k -> f_start *. Float.exp (ratio *. float_of_int k))
+  in
+  let dens = Array.map (fun f -> output_density ?temperature mna f) freqs in
+  let total = ref 0.0 in
+  for k = 0 to points - 2 do
+    total :=
+      !total +. (0.5 *. (dens.(k) +. dens.(k + 1)) *. (freqs.(k + 1) -. freqs.(k)))
+  done;
+  !total

@@ -1,0 +1,28 @@
+(** Thermal (Johnson–Nyquist) noise analysis.
+
+    Every resistive element contributes a white current-noise source of
+    density [4·k·T·G] A²/Hz across its terminals.  The output noise density
+    is [S(f) = Σ_R 4kT·G_R · |Z_R→out(jω)|²], where the transfer impedances
+    come from {e one} adjoint solve per frequency: with
+    [(G + jωC)ᵀ·a = l], the response at the output to a unit current
+    injected across an element is [a⁺ − a⁻]. *)
+
+val boltzmann : float
+(** 1.380649e-23 J/K. *)
+
+val output_density : ?temperature:float -> Circuit.Mna.t -> float -> float
+(** [output_density mna f] is the one-sided output noise power spectral
+    density (V²/Hz) at frequency [f] (hertz), at [temperature] kelvin
+    (default 300). *)
+
+val contributions :
+  ?temperature:float -> Circuit.Mna.t -> float -> (string * float) list
+(** Per-element density breakdown (same units), largest first. *)
+
+val integrated :
+  ?temperature:float -> ?points:int -> Circuit.Mna.t ->
+  f_start:float -> f_stop:float -> float
+(** Total output noise power (V²) over the band, by log-trapezoidal
+    integration of {!output_density} ([points] defaults to 200).  For a
+    single-pole RC lowpass integrated over all frequencies this approaches
+    the classic [kT/C]. *)

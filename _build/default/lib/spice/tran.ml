@@ -1,0 +1,114 @@
+module Mna = Circuit.Mna
+module Matrix = Numeric.Matrix
+
+type waveform = float -> float
+
+let step_input t = if t <= 0.0 then 0.0 else 1.0
+
+let ramp_input ~rise t =
+  if t <= 0.0 then 0.0 else if t >= rise then 1.0 else t /. rise
+
+let simulate_full ?x0 mna ~input ~t_step ~t_stop =
+  if t_step <= 0.0 || t_stop < 0.0 then
+    invalid_arg "Tran.simulate: need t_step > 0 and t_stop >= 0";
+  let g = Mna.g mna and c = Mna.c mna in
+  let n = Matrix.rows g in
+  let b = Mna.input_vector mna in
+  let x = match x0 with Some x0 -> Array.copy x0 | None -> Array.make n 0.0 in
+  (* Trapezoidal: (C/h + G/2)·x₊ = (C/h − G/2)·x + b·(u₊ + u)/2. *)
+  let lhs = Matrix.add (Matrix.scale (1.0 /. t_step) c) (Matrix.scale 0.5 g) in
+  let rhs_m = Matrix.sub (Matrix.scale (1.0 /. t_step) c) (Matrix.scale 0.5 g) in
+  let lu = Numeric.Lu.factor lhs in
+  let steps = int_of_float (Float.ceil (t_stop /. t_step)) in
+  let out = Array.make (steps + 1) (0.0, [||]) in
+  out.(0) <- (0.0, Array.copy x);
+  let state = ref x in
+  for k = 1 to steps do
+    let t_prev = t_step *. float_of_int (k - 1) in
+    let t = t_step *. float_of_int k in
+    let drive = 0.5 *. (input t +. input t_prev) in
+    let rhs = Matrix.mul_vec rhs_m !state in
+    Array.iteri (fun i bi -> rhs.(i) <- rhs.(i) +. (bi *. drive)) b;
+    state := Numeric.Lu.solve lu rhs;
+    out.(k) <- (t, Array.copy !state)
+  done;
+  out
+
+let simulate ?x0 mna ~input ~t_step ~t_stop =
+  let l = Mna.output_vector mna in
+  let dot x =
+    let acc = ref 0.0 in
+    Array.iteri (fun k lv -> if lv <> 0.0 then acc := !acc +. (lv *. x.(k))) l;
+    !acc
+  in
+  simulate_full ?x0 mna ~input ~t_step ~t_stop
+  |> Array.map (fun (t, x) -> (t, dot x))
+
+let simulate_adaptive ?x0 ?(tol = 1e-6) ?(h_min = 1e-18) ?h_max mna ~input
+    ~t_stop =
+  if t_stop <= 0.0 then invalid_arg "Tran.simulate_adaptive: need t_stop > 0";
+  if tol <= 0.0 then invalid_arg "Tran.simulate_adaptive: need tol > 0";
+  let g = Mna.g mna and c = Mna.c mna in
+  let n = Matrix.rows g in
+  let b = Mna.input_vector mna in
+  let l = Mna.output_vector mna in
+  let dot x =
+    let acc = ref 0.0 in
+    Array.iteri (fun k lv -> if lv <> 0.0 then acc := !acc +. (lv *. x.(k))) l;
+    !acc
+  in
+  let h_max = match h_max with Some h -> h | None -> t_stop /. 10.0 in
+  (* Factorizations are cached per step size: step doubling uses h and h/2
+     together, and the controller revisits the same sizes repeatedly, so the
+     cache keeps refactoring off the per-step path. *)
+  let factors = Hashtbl.create 16 in
+  let solver h =
+    match Hashtbl.find_opt factors h with
+    | Some s -> s
+    | None ->
+      let lhs = Matrix.add (Matrix.scale (1.0 /. h) c) (Matrix.scale 0.5 g) in
+      let rhs_m = Matrix.sub (Matrix.scale (1.0 /. h) c) (Matrix.scale 0.5 g) in
+      let s = (Numeric.Lu.factor lhs, rhs_m) in
+      Hashtbl.replace factors h s;
+      s
+  in
+  let advance h t x =
+    let lu, rhs_m = solver h in
+    let drive = 0.5 *. (input (t +. h) +. input t) in
+    let rhs = Matrix.mul_vec rhs_m x in
+    Array.iteri (fun i bi -> rhs.(i) <- rhs.(i) +. (bi *. drive)) b;
+    Numeric.Lu.solve lu rhs
+  in
+  let out = ref [] in
+  let x = ref (match x0 with Some v -> Array.copy v | None -> Array.make n 0.0) in
+  out := (0.0, dot !x) :: !out;
+  let t = ref 0.0 in
+  let h = ref (Float.min h_max (t_stop /. 1000.0)) in
+  while !t < t_stop -. (1e-12 *. t_stop) do
+    let h_try = Float.min !h (t_stop -. !t) in
+    (* Step doubling: one h step vs two h/2 steps.  Trapezoidal is 2nd
+       order, so err(h) ≈ 4·err(h/2); their difference estimates the local
+       truncation error of the fine solution (Richardson). *)
+    let coarse = advance h_try !t !x in
+    let half = advance (h_try /. 2.0) !t !x in
+    let fine = advance (h_try /. 2.0) (!t +. (h_try /. 2.0)) half in
+    let scale =
+      Array.fold_left (fun a v -> Float.max a (Float.abs v)) 1e-12 fine
+    in
+    let err = ref 0.0 in
+    Array.iteri
+      (fun i v -> err := Float.max !err (Float.abs (v -. coarse.(i))))
+      fine;
+    let err = !err /. (3.0 *. scale) in
+    if err <= tol || h_try <= h_min *. 2.0 then begin
+      (* Accept the fine solution; both half-points are on the trapezoidal
+         grid, so record the midpoint too. *)
+      out := (!t +. (h_try /. 2.0), dot half) :: !out;
+      t := !t +. h_try;
+      x := fine;
+      out := (!t, dot fine) :: !out;
+      if err < tol /. 8.0 then h := Float.min h_max (h_try *. 2.0)
+    end
+    else h := Float.max h_min (h_try /. 2.0)
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,46 @@
+(** Transient analysis by trapezoidal integration of the MNA descriptor
+    system [C·ẋ + G·x = b·u(t)].
+
+    The left-hand matrix [(C/h + G/2)] is factored once for a fixed step, so
+    cost is one triangular solve per timestep — the "traditional circuit
+    simulator" cost AWE is benchmarked against. *)
+
+type waveform = float -> float
+(** Input drive as a function of time. *)
+
+val step_input : waveform
+(** Unit step: 0 for [t <= 0], 1 after (the 0⁻ convention keeps trapezoidal
+    integration consistent with zero initial state). *)
+
+val ramp_input : rise:float -> waveform
+(** 0 → 1 linear ramp over [rise] seconds. *)
+
+val simulate :
+  ?x0:float array ->
+  Circuit.Mna.t -> input:waveform -> t_step:float -> t_stop:float ->
+  (float * float) array
+(** [(t, y(t))] samples of the designated output, including [t = 0].
+    [x0] defaults to the zero state. *)
+
+val simulate_full :
+  ?x0:float array ->
+  Circuit.Mna.t -> input:waveform -> t_step:float -> t_stop:float ->
+  (float * float array) array
+(** Full state trajectories (node voltages and branch currents). *)
+
+val simulate_adaptive :
+  ?x0:float array ->
+  ?tol:float ->
+  ?h_min:float ->
+  ?h_max:float ->
+  Circuit.Mna.t -> input:waveform -> t_stop:float ->
+  (float * float) array
+(** Variable-step trapezoidal integration with step-doubling (Richardson)
+    error control: each step is accepted when the estimated relative local
+    truncation error is below [tol] (default 1e-6), the step halves on
+    rejection and doubles when comfortably inside the budget.  Returns
+    non-uniformly spaced [(t, y)] samples including [t = 0].  Factorizations
+    are cached per step size, so the controller costs three triangular
+    solves per accepted step.  Suited to stiff responses (widely separated
+    time constants), where a fixed step wastes thousands of points on the
+    slow tail. *)

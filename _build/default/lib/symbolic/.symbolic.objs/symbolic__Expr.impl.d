@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Float Format Hashtbl Int List Monomial Mpoly Ratfun Symbol

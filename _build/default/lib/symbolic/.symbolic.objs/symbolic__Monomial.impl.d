@@ -1,0 +1,1 @@
+lib/symbolic/monomial.ml: Array Format Int List Option Symbol

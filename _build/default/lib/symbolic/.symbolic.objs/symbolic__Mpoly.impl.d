@@ -1,0 +1,1 @@
+lib/symbolic/mpoly.ml: Array Float Format Hashtbl Int List Map Monomial Option Symbol

@@ -1,0 +1,1 @@
+lib/symbolic/mpoly.mli: Format Monomial Symbol

@@ -1,0 +1,1 @@
+lib/symbolic/ratfun.ml: Format List Monomial Mpoly

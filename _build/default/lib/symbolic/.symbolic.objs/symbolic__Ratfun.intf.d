@@ -1,0 +1,1 @@
+lib/symbolic/ratfun.mli: Format Mpoly Symbol

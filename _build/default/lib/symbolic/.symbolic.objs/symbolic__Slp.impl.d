@@ -1,0 +1,1 @@
+lib/symbolic/slp.ml: Array Expr Float Format Hashtbl Interval List Printf Symbol

@@ -1,0 +1,1 @@
+lib/symbolic/slp.mli: Expr Format Interval Symbol

@@ -1,0 +1,221 @@
+type t = { id : int; node : node }
+
+and node =
+  | Const of float
+  | Sym of Symbol.t
+  | Add of t * t
+  | Mul of t * t
+  | Neg of t
+  | Inv of t
+  | Sqrt of t
+  | Exp of t
+
+let node e = e.node
+let id e = e.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+(* Hash-consing: one global table keyed by the structural shape with child
+   ids, so structurally equal expressions share one node.  Commutative
+   operands are stored in canonical (id) order. *)
+type key =
+  | KConst of float
+  | KSym of int
+  | KAdd of int * int
+  | KMul of int * int
+  | KNeg of int
+  | KInv of int
+  | KSqrt of int
+  | KExp of int
+
+let table : (key, t) Hashtbl.t = Hashtbl.create 4096
+let next_id = ref 0
+
+let intern key build =
+  match Hashtbl.find_opt table key with
+  | Some e -> e
+  | None ->
+    let e = { id = !next_id; node = build () } in
+    incr next_id;
+    Hashtbl.add table key e;
+    e
+
+let const c = intern (KConst c) (fun () -> Const c)
+let sym s = intern (KSym (Symbol.id s)) (fun () -> Sym s)
+let zero = const 0.0
+let one = const 1.0
+
+let to_const e =
+  match e.node with
+  | Const c -> Some c
+  | Sym _ | Add _ | Mul _ | Neg _ | Inv _ | Sqrt _ | Exp _ -> None
+
+let rec neg a =
+  match a.node with
+  | Const c -> const (-.c)
+  | Neg x -> x
+  | Sym _ | Add _ | Mul _ | Inv _ | Sqrt _ | Exp _ ->
+    intern (KNeg a.id) (fun () -> Neg a)
+
+and add a b =
+  match (a.node, b.node) with
+  | Const 0.0, _ -> b
+  | _, Const 0.0 -> a
+  | Const x, Const y -> const (x +. y)
+  | _, _ when equal a (neg b) -> zero
+  | _ ->
+    let a, b = if a.id <= b.id then (a, b) else (b, a) in
+    intern (KAdd (a.id, b.id)) (fun () -> Add (a, b))
+
+let sub a b = add a (neg b)
+
+let rec mul a b =
+  match (a.node, b.node) with
+  | Const 0.0, _ | _, Const 0.0 -> zero
+  | Const 1.0, _ -> b
+  | _, Const 1.0 -> a
+  | Const x, Const y -> const (x *. y)
+  | Const (-1.0), _ -> neg b
+  | _, Const (-1.0) -> neg a
+  | Neg x, Neg y -> mul x y
+  | Neg x, _ -> neg (mul x b)
+  | _, Neg y -> neg (mul a y)
+  | _ ->
+    let a, b = if a.id <= b.id then (a, b) else (b, a) in
+    intern (KMul (a.id, b.id)) (fun () -> Mul (a, b))
+
+let inv a =
+  match a.node with
+  | Const c ->
+    if c = 0.0 then raise Division_by_zero;
+    const (1.0 /. c)
+  | Inv x -> x
+  | Sym _ | Add _ | Mul _ | Neg _ | Sqrt _ | Exp _ ->
+    intern (KInv a.id) (fun () -> Inv a)
+
+let div a b = mul a (inv b)
+
+let sqrt a =
+  match a.node with
+  | Const c when c >= 0.0 -> const (Float.sqrt c)
+  | Const _ | Sym _ | Add _ | Mul _ | Neg _ | Inv _ | Sqrt _ | Exp _ ->
+    intern (KSqrt a.id) (fun () -> Sqrt a)
+
+let exp a =
+  match a.node with
+  | Const c -> const (Float.exp c)
+  | Sym _ | Add _ | Mul _ | Neg _ | Inv _ | Sqrt _ | Exp _ ->
+    intern (KExp a.id) (fun () -> Exp a)
+
+let pow_int a n =
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+    else go acc (mul base base) (n asr 1)
+  in
+  if n < 0 then inv (go one a (-n)) else go one a n
+
+let sum = List.fold_left add zero
+let product = List.fold_left mul one
+
+let of_mpoly p =
+  Mpoly.terms p
+  |> List.map (fun (c, m) ->
+         let factors =
+           Monomial.to_list m |> List.map (fun (s, e) -> pow_int (sym s) e)
+         in
+         mul (const c) (product factors))
+  |> sum
+
+let of_ratfun r =
+  let n = of_mpoly (Ratfun.num r) and d = of_mpoly (Ratfun.den r) in
+  if equal d one then n else div n d
+
+let eval e env =
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some v -> v
+    | None ->
+      let v =
+        match e.node with
+        | Const c -> c
+        | Sym s -> env s
+        | Add (a, b) -> go a +. go b
+        | Mul (a, b) -> go a *. go b
+        | Neg a -> -.go a
+        | Inv a ->
+          let d = go a in
+          if d = 0.0 then raise Division_by_zero;
+          1.0 /. d
+        | Sqrt a -> Float.sqrt (go a)
+        | Exp a -> Float.exp (go a)
+      in
+      Hashtbl.add memo e.id v;
+      v
+  in
+  go e
+
+let deriv e x =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some d -> d
+    | None ->
+      let d =
+        match e.node with
+        | Const _ -> zero
+        | Sym s -> if Symbol.equal s x then one else zero
+        | Add (a, b) -> add (go a) (go b)
+        | Mul (a, b) -> add (mul (go a) b) (mul a (go b))
+        | Neg a -> neg (go a)
+        | Inv a -> neg (mul (go a) (inv (mul a a)))
+        | Sqrt a -> div (go a) (mul (const 2.0) (sqrt a))
+        | Exp a -> mul (go a) (exp a)
+      in
+      Hashtbl.add memo e.id d;
+      d
+  in
+  go e
+
+let fold_nodes f acc e =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref acc in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      (match e.node with
+      | Const _ | Sym _ -> ()
+      | Add (a, b) | Mul (a, b) ->
+        go a;
+        go b
+      | Neg a | Inv a | Sqrt a | Exp a -> go a);
+      acc := f !acc e
+    end
+  in
+  go e;
+  !acc
+
+let symbols e =
+  fold_nodes
+    (fun acc e ->
+      match e.node with
+      | Sym s -> s :: acc
+      | Const _ | Add _ | Mul _ | Neg _ | Inv _ | Sqrt _ | Exp _ -> acc)
+    [] e
+  |> List.sort_uniq Symbol.compare
+
+let size e = fold_nodes (fun acc _ -> acc + 1) 0 e
+
+let rec pp ppf e =
+  match e.node with
+  | Const c -> Format.fprintf ppf "%g" c
+  | Sym s -> Symbol.pp ppf s
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a
+  | Inv a -> Format.fprintf ppf "(1/%a)" pp a
+  | Sqrt a -> Format.fprintf ppf "sqrt(%a)" pp a
+  | Exp a -> Format.fprintf ppf "exp(%a)" pp a
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,63 @@
+(** Hash-consed symbolic expression DAGs.
+
+    This is the scalable symbolic backend: Gaussian elimination over this
+    field never expands products, it just grows a shared DAG, and the DAG
+    compiles directly into the paper's "reduced set of operations"
+    (see {!Slp}).  Smart constructors perform constant folding and the
+    algebraic identities that keep compiled programs small. *)
+
+type t
+
+type node = private
+  | Const of float
+  | Sym of Symbol.t
+  | Add of t * t
+  | Mul of t * t
+  | Neg of t
+  | Inv of t
+  | Sqrt of t
+  | Exp of t
+
+val node : t -> node
+val id : t -> int
+(** Unique per structurally distinct expression (hash-consing identity). *)
+
+val const : float -> t
+val sym : Symbol.t -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+val sqrt : t -> t
+val exp : t -> t
+val pow_int : t -> int -> t
+val sum : t list -> t
+val product : t list -> t
+
+val of_mpoly : Mpoly.t -> t
+val of_ratfun : Ratfun.t -> t
+
+val to_const : t -> float option
+val equal : t -> t -> bool
+(** Structural identity (same hash-consed node). *)
+
+val compare : t -> t -> int
+
+val eval : t -> (Symbol.t -> float) -> float
+(** Memoized over the DAG, so shared subexpressions are computed once.
+    Raises [Division_by_zero] on division by exact zero. *)
+
+val deriv : t -> Symbol.t -> t
+(** Symbolic partial derivative (DAG-shared forward rule). *)
+
+val symbols : t -> Symbol.t list
+val size : t -> int
+(** Number of distinct DAG nodes reachable from this expression. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,35 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: bad bounds [%g, %g]" lo hi);
+  { lo; hi }
+
+let point v = make v v
+let bounds i = (i.lo, i.hi)
+let width i = i.hi -. i.lo
+let midpoint i = 0.5 *. (i.lo +. i.hi)
+let contains i v = i.lo <= v && v <= i.hi
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  {
+    lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4);
+  }
+
+let inv a =
+  if a.lo <= 0.0 && a.hi >= 0.0 then raise Division_by_zero;
+  { lo = 1.0 /. a.hi; hi = 1.0 /. a.lo }
+
+let sqrt a =
+  if a.lo < 0.0 then invalid_arg "Interval.sqrt: negative lower bound";
+  { lo = Float.sqrt a.lo; hi = Float.sqrt a.hi }
+
+let exp a = { lo = Float.exp a.lo; hi = Float.exp a.hi }
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi

@@ -1,0 +1,33 @@
+(** Closed-interval arithmetic.
+
+    Used to bound a compiled model's outputs over whole boxes of symbol
+    values at once: evaluating the straight-line program with intervals
+    yields guaranteed enclosures (conservative, because interval arithmetic
+    ignores correlations between shared subterms). *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** Raises [Invalid_argument] when [lo > hi] or a bound is NaN. *)
+
+val point : float -> t
+val bounds : t -> float * float
+val width : t -> float
+val midpoint : t -> float
+val contains : t -> float -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** Raises [Division_by_zero] when the interval contains 0. *)
+
+val sqrt : t -> t
+(** Raises [Invalid_argument] on intervals extending below 0. *)
+
+val exp : t -> t
+
+val hull : t -> t -> t
+val pp : Format.formatter -> t -> unit

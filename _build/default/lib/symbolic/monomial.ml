@@ -1,0 +1,184 @@
+type t = (Symbol.t * int) array
+(* Invariant: sorted by symbol id, all exponents >= 1. *)
+
+let one = [||]
+let of_symbol s = [| (s, 1) |]
+
+let of_list l =
+  let l = List.filter (fun (_, e) -> e <> 0) l in
+  List.iter (fun (_, e) -> if e < 0 then invalid_arg "Monomial.of_list: negative exponent") l;
+  let sorted = List.sort (fun (a, _) (b, _) -> Symbol.compare a b) l in
+  let rec merge = function
+    | (s1, e1) :: (s2, e2) :: rest when Symbol.equal s1 s2 -> merge ((s1, e1 + e2) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  Array.of_list (merge sorted)
+
+let to_list m = Array.to_list m
+
+let exponent m s =
+  let rec go k =
+    if k >= Array.length m then 0
+    else begin
+      let sym, e = m.(k) in
+      if Symbol.equal sym s then e else go (k + 1)
+    end
+  in
+  go 0
+
+let mul a b =
+  (* Merge two sorted exponent vectors. *)
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = ref [] in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      if !i >= na then begin
+        out := b.(!j) :: !out;
+        incr j
+      end
+      else if !j >= nb then begin
+        out := a.(!i) :: !out;
+        incr i
+      end
+      else begin
+        let sa, ea = a.(!i) and sb, eb = b.(!j) in
+        let c = Symbol.compare sa sb in
+        if c = 0 then begin
+          out := (sa, ea + eb) :: !out;
+          incr i;
+          incr j
+        end
+        else if c < 0 then begin
+          out := (sa, ea) :: !out;
+          incr i
+        end
+        else begin
+          out := (sb, eb) :: !out;
+          incr j
+        end
+      end
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let pow m n =
+  if n < 0 then invalid_arg "Monomial.pow: negative exponent"
+  else if n = 0 then one
+  else Array.map (fun (s, e) -> (s, e * n)) m
+
+let div a b =
+  let ok = ref true in
+  let out = ref [] in
+  let i = ref 0 in
+  let na = Array.length a in
+  Array.iter
+    (fun (sb, eb) ->
+      (* Advance through a until we find sb. *)
+      let rec scan () =
+        if !i >= na then ok := false
+        else begin
+          let sa, ea = a.(!i) in
+          let c = Symbol.compare sa sb in
+          if c < 0 then begin
+            out := (sa, ea) :: !out;
+            incr i;
+            scan ()
+          end
+          else if c = 0 then begin
+            if ea < eb then ok := false
+            else begin
+              if ea > eb then out := (sa, ea - eb) :: !out;
+              incr i
+            end
+          end
+          else ok := false
+        end
+      in
+      if !ok then scan ())
+    b;
+  if not !ok then None
+  else begin
+    while !i < na do
+      out := a.(!i) :: !out;
+      incr i
+    done;
+    Some (Array.of_list (List.rev !out))
+  end
+
+let divides b a = Option.is_some (div a b)
+
+let gcd a b =
+  let out = ref [] in
+  Array.iter
+    (fun (sa, ea) ->
+      let eb = exponent b sa in
+      if eb > 0 then out := (sa, Int.min ea eb) :: !out)
+    a;
+  Array.of_list (List.rev !out)
+
+let degree m = Array.fold_left (fun acc (_, e) -> acc + e) 0 m
+let degree_in m s = exponent m s
+let is_one m = Array.length m = 0
+let symbols m = Array.to_list m |> List.map fst
+
+let compare a b =
+  let c = Int.compare (degree a) (degree b) in
+  if c <> 0 then c
+  else begin
+    (* Lexicographic on the sorted exponent vectors. *)
+    let na = Array.length a and nb = Array.length b in
+    let rec go k =
+      if k >= na && k >= nb then 0
+      else if k >= na then -1
+      else if k >= nb then 1
+      else begin
+        let sa, ea = a.(k) and sb, eb = b.(k) in
+        let c = Symbol.compare sa sb in
+        (* Smaller symbol id present means "more significant" variable. *)
+        if c <> 0 then -c
+        else begin
+          let c = Int.compare ea eb in
+          if c <> 0 then c else go (k + 1)
+        end
+      end
+    in
+    go 0
+  end
+
+let equal a b = compare a b = 0
+
+let eval m env =
+  Array.fold_left
+    (fun acc (s, e) ->
+      let v = env s in
+      let rec p acc k = if k = 0 then acc else p (acc *. v) (k - 1) in
+      p acc e)
+    1.0 m
+
+let deriv m s =
+  let e = exponent m s in
+  if e = 0 then None
+  else begin
+    let reduced =
+      Array.to_list m
+      |> List.filter_map (fun (sym, k) ->
+             if Symbol.equal sym s then if k = 1 then None else Some (sym, k - 1)
+             else Some (sym, k))
+      |> Array.of_list
+    in
+    Some (e, reduced)
+  end
+
+let pp ppf m =
+  if is_one m then Format.pp_print_string ppf "1"
+  else
+    Array.iteri
+      (fun k (s, e) ->
+        if k > 0 then Format.pp_print_string ppf "*";
+        if e = 1 then Symbol.pp ppf s
+        else Format.fprintf ppf "%a^%d" Symbol.pp s e)
+      m

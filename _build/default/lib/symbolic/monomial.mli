@@ -1,0 +1,45 @@
+(** Power products of symbols: [x₁^e₁ · x₂^e₂ · …].
+
+    Represented sparsely; exponents are strictly positive in the
+    representation, so the empty monomial is [one]. *)
+
+type t
+
+val one : t
+val of_symbol : Symbol.t -> t
+val of_list : (Symbol.t * int) list -> t
+(** Exponents must be positive; duplicate symbols are combined. *)
+
+val to_list : t -> (Symbol.t * int) list
+(** Sorted by symbol. *)
+
+val exponent : t -> Symbol.t -> int
+val mul : t -> t -> t
+val pow : t -> int -> t
+
+val div : t -> t -> t option
+(** [div a b] is [Some (a/b)] when [b] divides [a]. *)
+
+val divides : t -> t -> bool
+(** [divides b a] is true when [b] divides [a]. *)
+
+val gcd : t -> t -> t
+
+val degree : t -> int
+(** Total degree. *)
+
+val degree_in : t -> Symbol.t -> int
+val is_one : t -> bool
+val symbols : t -> Symbol.t list
+
+val compare : t -> t -> int
+(** Graded lexicographic order (by total degree, then lex on symbol ids). *)
+
+val equal : t -> t -> bool
+
+val eval : t -> (Symbol.t -> float) -> float
+
+val deriv : t -> Symbol.t -> (int * t) option
+(** [deriv m x] is [Some (e, m/x)] when [x^e] appears in [m] ([e ≥ 1]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+module Mmap = Map.Make (Monomial)
+
+type t = float Mmap.t
+(* Invariant: no binding carries coefficient 0.0. *)
+
+let zero = Mmap.empty
+let is_zero p = Mmap.is_empty p
+
+let of_terms l =
+  List.fold_left
+    (fun acc (c, m) ->
+      if c = 0.0 then acc
+      else
+        Mmap.update m
+          (fun prev ->
+            let v = Option.value prev ~default:0.0 +. c in
+            if v = 0.0 then None else Some v)
+          acc)
+    zero l
+
+let const c = if c = 0.0 then zero else Mmap.singleton Monomial.one c
+let one = const 1.0
+let of_symbol s = Mmap.singleton (Monomial.of_symbol s) 1.0
+
+let terms p = Mmap.bindings p |> List.rev_map (fun (m, c) -> (c, m))
+let coefficient p m = Option.value (Mmap.find_opt m p) ~default:0.0
+let num_terms p = Mmap.cardinal p
+
+let is_const p =
+  Mmap.cardinal p = 0
+  || (Mmap.cardinal p = 1 && Monomial.is_one (fst (Mmap.min_binding p)))
+
+let to_const p =
+  if is_zero p then Some 0.0
+  else if is_const p then Some (snd (Mmap.min_binding p))
+  else None
+
+let total_degree p = Mmap.fold (fun m _ acc -> Int.max acc (Monomial.degree m)) p (-1)
+let degree_in p s = Mmap.fold (fun m _ acc -> Int.max acc (Monomial.degree_in m s)) p 0
+
+let symbols p =
+  Mmap.fold (fun m _ acc -> List.rev_append (Monomial.symbols m) acc) p []
+  |> List.sort_uniq Symbol.compare
+
+let add a b =
+  Mmap.union
+    (fun _ x y ->
+      let v = x +. y in
+      if v = 0.0 then None else Some v)
+    a b
+
+let neg p = Mmap.map (fun c -> -.c) p
+let sub a b = add a (neg b)
+let scale k p = if k = 0.0 then zero else Mmap.map (fun c -> k *. c) p
+
+let mul_monomial c m p =
+  if c = 0.0 then zero
+  else
+    Mmap.fold
+      (fun m' c' acc ->
+        let v = c *. c' in
+        if v = 0.0 then acc else Mmap.add (Monomial.mul m m') v acc)
+      p zero
+
+let mul a b =
+  if Mmap.cardinal a > Mmap.cardinal b then
+    Mmap.fold (fun m c acc -> add acc (mul_monomial c m b)) a zero
+  else Mmap.fold (fun m c acc -> add acc (mul_monomial c m a)) b zero
+
+let pow p n =
+  if n < 0 then invalid_arg "Mpoly.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+    else go acc (mul base base) (n asr 1)
+  in
+  go one p n
+
+(* Multivariate long division by the leading term; succeeds only when
+   division is exact (used for cofactor recovery in Bareiss elimination).
+   [tol] chops rounding dust left in the remainder, measured against the
+   dividend's largest coefficient. *)
+let div_exact ?(tol = 0.0) a b =
+  if is_zero b then None
+  else begin
+    let lead_m, lead_c = Mmap.max_binding b in
+    let floor = tol *. Mmap.fold (fun _ c acc -> Float.max acc (Float.abs c)) a 0.0 in
+    let chop p =
+      if floor = 0.0 then p
+      else Mmap.filter (fun _ c -> Float.abs c > floor) p
+    in
+    let rec go rem q steps =
+      if is_zero rem then Some q
+      else if steps > 200_000 then None
+      else begin
+        let rm, rc = Mmap.max_binding rem in
+        match Monomial.div rm lead_m with
+        | None -> None
+        | Some m ->
+          let c = rc /. lead_c in
+          let q = add q (Mmap.singleton m c) in
+          let rem = chop (sub rem (mul_monomial c m b)) in
+          go rem q (steps + 1)
+      end
+    in
+    go (chop a) zero 0
+  end
+
+let deriv p s =
+  Mmap.fold
+    (fun m c acc ->
+      match Monomial.deriv m s with
+      | None -> acc
+      | Some (e, m') -> add acc (Mmap.singleton m' (c *. float_of_int e)))
+    p zero
+
+let eval p env = Mmap.fold (fun m c acc -> acc +. (c *. Monomial.eval m env)) p 0.0
+
+let substitute p s q =
+  Mmap.fold
+    (fun m c acc ->
+      match Monomial.deriv m s with
+      | None -> add acc (Mmap.singleton m c)
+      | Some _ ->
+        let e = Monomial.degree_in m s in
+        let rest =
+          Monomial.to_list m
+          |> List.filter (fun (sym, _) -> not (Symbol.equal sym s))
+          |> Monomial.of_list
+        in
+        add acc (mul_monomial c rest (pow q e)))
+    p zero
+
+let coeffs_in p s =
+  if is_zero p then [||]
+  else begin
+    let d = degree_in p s in
+    let out = Array.make (d + 1) zero in
+    Mmap.iter
+      (fun m c ->
+        let e = Monomial.degree_in m s in
+        let rest =
+          Monomial.to_list m
+          |> List.filter (fun (sym, _) -> not (Symbol.equal sym s))
+          |> Monomial.of_list
+        in
+        out.(e) <- add out.(e) (Mmap.singleton rest c))
+      p;
+    out
+  end
+
+let content p = Mmap.fold (fun _ c acc -> Float.max acc (Float.abs c)) p 0.0
+
+let max_monomial_gcd p =
+  match Mmap.min_binding_opt p with
+  | None -> Monomial.one
+  | Some (m0, _) -> Mmap.fold (fun m _ acc -> Monomial.gcd acc m) p m0
+
+let degree_profile p =
+  let tbl = Hashtbl.create 8 in
+  Mmap.iter
+    (fun m _ ->
+      List.iter
+        (fun (s, e) ->
+          let prev = Option.value (Hashtbl.find_opt tbl (Symbol.id s)) ~default:(s, 0) in
+          if e > snd prev then Hashtbl.replace tbl (Symbol.id s) (s, e)
+          else Hashtbl.replace tbl (Symbol.id s) prev)
+        (Monomial.to_list m))
+    p;
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+
+let is_multilinear p =
+  Mmap.for_all
+    (fun m _ -> List.for_all (fun (_, e) -> e <= 1) (Monomial.to_list m))
+    p
+
+let map_coeffs f p =
+  Mmap.fold
+    (fun m c acc ->
+      let v = f c in
+      if v = 0.0 then acc else Mmap.add m v acc)
+    p zero
+
+let equal ?(tol = 1e-9) a b =
+  let scale_ref = Float.max (content a) (content b) in
+  let bound = tol *. Float.max 1.0 scale_ref in
+  let diff = sub a b in
+  Mmap.for_all (fun _ c -> Float.abs c <= bound) diff
+
+let compare a b = Mmap.compare Float.compare a b
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    (* Print highest-order terms first for readability. *)
+    List.iter
+      (fun (c, m) ->
+        if !first then begin
+          first := false;
+          if c < 0.0 then Format.pp_print_string ppf "-"
+        end
+        else if c < 0.0 then Format.pp_print_string ppf " - "
+        else Format.pp_print_string ppf " + ";
+        let mag = Float.abs c in
+        if Monomial.is_one m then Format.fprintf ppf "%g" mag
+        else if mag = 1.0 then Monomial.pp ppf m
+        else Format.fprintf ppf "%g*%a" mag Monomial.pp m)
+      (terms p)
+  end
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,87 @@
+(** Sparse multivariate polynomials with float coefficients.
+
+    The workhorse of the exact symbolic backend: MNA determinants, moment
+    numerators/denominators, and the multi-linear first-order AWEsymbolic
+    forms are all values of this type.  Terms with coefficient exactly [0.0]
+    are never stored. *)
+
+type t
+
+val zero : t
+val one : t
+val const : float -> t
+val of_symbol : Symbol.t -> t
+val of_terms : (float * Monomial.t) list -> t
+
+val terms : t -> (float * Monomial.t) list
+(** In decreasing graded-lex monomial order. *)
+
+val coefficient : t -> Monomial.t -> float
+val is_zero : t -> bool
+val is_const : t -> bool
+val to_const : t -> float option
+(** [Some c] when the polynomial is the constant [c]. *)
+
+val num_terms : t -> int
+val total_degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val degree_in : t -> Symbol.t -> int
+val symbols : t -> Symbol.t list
+(** Symbols occurring with non-zero exponent, sorted. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val pow : t -> int -> t
+
+val mul_monomial : float -> Monomial.t -> t -> t
+
+val div_exact : ?tol:float -> t -> t -> t option
+(** [div_exact a b] is [Some q] when [a = q·b] exactly (multivariate long
+    division with zero remainder).  With float coefficients exactness is up
+    to rounding: remainder terms whose coefficients fall below
+    [tol · content a] are chopped during the division ([tol] defaults to 0,
+    i.e. strict). *)
+
+val deriv : t -> Symbol.t -> t
+
+val eval : t -> (Symbol.t -> float) -> float
+
+val substitute : t -> Symbol.t -> t -> t
+(** [substitute p x q] replaces every occurrence of [x] by the polynomial
+    [q]. *)
+
+val coeffs_in : t -> Symbol.t -> t array
+(** [coeffs_in p x] is the array [c] such that [p = Σ c.(k)·x^k], where the
+    [c.(k)] do not involve [x].  The array has length [degree_in p x + 1]
+    (length 1 for polynomials not involving [x], length 0 for zero). *)
+
+val content : t -> float
+(** Largest absolute coefficient (0 for the zero polynomial); used for
+    normalization. *)
+
+val max_monomial_gcd : t -> Monomial.t
+(** GCD of all monomials of the polynomial ([one] if constant involved). *)
+
+val degree_profile : t -> (Symbol.t * int) list
+(** Maximum exponent of each symbol across all terms — the paper's
+    [P(xⁱ, yʲ)] shorthand for describing the shape of higher-order symbolic
+    forms (its Eq. 15). *)
+
+val is_multilinear : t -> bool
+(** True when no symbol appears with exponent > 1 in any term — the paper's
+    structural property of exact network-function coefficients. *)
+
+val map_coeffs : (float -> float) -> t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+(** Coefficient-wise comparison; [tol] is relative to {!content}. *)
+
+val compare : t -> t -> int
+(** A total structural order (not numerically tolerant). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,107 @@
+type t = { num : Mpoly.t; den : Mpoly.t }
+(* Invariant: den is non-zero with content 1; num = 0 implies den = 1. *)
+
+let num r = r.num
+let den r = r.den
+
+let normalize num den =
+  if Mpoly.is_zero den then raise Division_by_zero;
+  if Mpoly.is_zero num then { num = Mpoly.zero; den = Mpoly.one }
+  else begin
+    (* Cancel the common monomial factor first — cheap and frequent. *)
+    let g = Monomial.gcd (Mpoly.max_monomial_gcd num) (Mpoly.max_monomial_gcd den) in
+    let num, den =
+      if Monomial.is_one g then (num, den)
+      else begin
+        let strip p =
+          Mpoly.terms p
+          |> List.map (fun (c, m) ->
+                 match Monomial.div m g with
+                 | Some m' -> (c, m')
+                 | None -> assert false)
+          |> Mpoly.of_terms
+        in
+        (strip num, strip den)
+      end
+    in
+    (* Attempt exact polynomial cancellation in the two easy directions. *)
+    let num, den =
+      if Mpoly.is_const den then (num, den)
+      else
+        match Mpoly.div_exact num den with
+        | Some q -> (q, Mpoly.one)
+        | None -> (
+          match Mpoly.div_exact den num with
+          | Some q when not (Mpoly.is_zero q) -> (Mpoly.one, q)
+          | _ -> (num, den))
+    in
+    let c = Mpoly.content den in
+    { num = Mpoly.scale (1.0 /. c) num; den = Mpoly.scale (1.0 /. c) den }
+  end
+
+let make num den = normalize num den
+let of_mpoly p = { num = p; den = Mpoly.one }
+let zero = of_mpoly Mpoly.zero
+let one = of_mpoly Mpoly.one
+let const c = of_mpoly (Mpoly.const c)
+let of_symbol s = of_mpoly (Mpoly.of_symbol s)
+let is_zero r = Mpoly.is_zero r.num
+
+let to_const r =
+  match (Mpoly.to_const r.num, Mpoly.to_const r.den) with
+  | Some n, Some d -> Some (n /. d)
+  | _ -> None
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else if Mpoly.compare a.den b.den = 0 then normalize (Mpoly.add a.num b.num) a.den
+  else
+    normalize
+      (Mpoly.add (Mpoly.mul a.num b.den) (Mpoly.mul b.num a.den))
+      (Mpoly.mul a.den b.den)
+
+let neg a = { a with num = Mpoly.neg a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else normalize (Mpoly.mul a.num b.num) (Mpoly.mul a.den b.den)
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  normalize a.den a.num
+
+let div a b = mul a (inv b)
+let scale k a = normalize (Mpoly.scale k a.num) a.den
+
+let pow a n =
+  let whole k = normalize (Mpoly.pow a.num k) (Mpoly.pow a.den k) in
+  if n >= 0 then whole n else inv (whole (-n))
+
+let deriv r s =
+  (* Quotient rule: (n/d)' = (n'·d − n·d') / d². *)
+  let n' = Mpoly.deriv r.num s and d' = Mpoly.deriv r.den s in
+  normalize
+    (Mpoly.sub (Mpoly.mul n' r.den) (Mpoly.mul r.num d'))
+    (Mpoly.mul r.den r.den)
+
+let eval r env =
+  let d = Mpoly.eval r.den env in
+  if d = 0.0 then raise Division_by_zero;
+  Mpoly.eval r.num env /. d
+
+let substitute r s p = normalize (Mpoly.substitute r.num s p) (Mpoly.substitute r.den s p)
+
+let equal ?tol a b =
+  Mpoly.equal ?tol (Mpoly.mul a.num b.den) (Mpoly.mul b.num a.den)
+
+let pp ppf r =
+  if Mpoly.is_const r.den then
+    match Mpoly.to_const r.den with
+    | Some 1.0 -> Mpoly.pp ppf r.num
+    | Some d -> Format.fprintf ppf "(%a) / %g" Mpoly.pp r.num d
+    | None -> assert false
+  else Format.fprintf ppf "(%a) / (%a)" Mpoly.pp r.num Mpoly.pp r.den
+
+let to_string r = Format.asprintf "%a" pp r

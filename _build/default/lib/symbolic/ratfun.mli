@@ -1,0 +1,48 @@
+(** Multivariate rational functions (quotients of {!Mpoly}).
+
+    Symbolic circuit moments are rational in the symbols — a quotient of
+    multi-linear polynomials whose denominator is the symbolic determinant of
+    the port conductance matrix — so this is the coefficient field for the
+    exact symbolic backend.
+
+    Normalization is light (float coefficients preclude true multivariate
+    GCD): common monomial factors are cancelled, exact polynomial divisibility
+    is attempted, and the denominator content is scaled to 1.  Equality is
+    decided by cross-multiplication. *)
+
+type t
+
+val zero : t
+val one : t
+val const : float -> t
+val of_symbol : Symbol.t -> t
+val of_mpoly : Mpoly.t -> t
+
+val make : Mpoly.t -> Mpoly.t -> t
+(** [make num den]; raises [Division_by_zero] when [den] is zero. *)
+
+val num : t -> Mpoly.t
+val den : t -> Mpoly.t
+
+val is_zero : t -> bool
+val to_const : t -> float option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+val scale : float -> t -> t
+val pow : t -> int -> t
+
+val deriv : t -> Symbol.t -> t
+
+val eval : t -> (Symbol.t -> float) -> float
+(** Raises [Division_by_zero] if the denominator vanishes at the point. *)
+
+val substitute : t -> Symbol.t -> Mpoly.t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

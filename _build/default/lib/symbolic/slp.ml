@@ -1,0 +1,171 @@
+(* Instructions operate on a flat float register file.  Every distinct DAG
+   node gets one register; constants are preloaded once at compile time. *)
+type instr =
+  | Load_input of int * int (* reg <- inputs.(slot) *)
+  | Add of int * int * int (* reg <- reg + reg *)
+  | Mul of int * int * int
+  | Neg of int * int
+  | Inv of int * int
+  | Sqrt of int * int
+  | Exp of int * int
+
+type t = {
+  inputs : Symbol.t array;
+  instrs : instr array;
+  init : float array; (* initial register file: constants preloaded *)
+  outputs : int array; (* registers holding the outputs *)
+}
+
+let inputs p = p.inputs
+let num_outputs p = Array.length p.outputs
+let num_instructions p = Array.length p.instrs
+let num_registers p = Array.length p.init
+
+let compile ~inputs outputs =
+  let slot_of_symbol : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri (fun k s -> Hashtbl.replace slot_of_symbol (Symbol.id s) k) inputs;
+  let reg_of_node : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let consts = ref [] in
+  let instrs = ref [] in
+  let next_reg = ref 0 in
+  let fresh () =
+    let r = !next_reg in
+    incr next_reg;
+    r
+  in
+  let rec reg e =
+    match Hashtbl.find_opt reg_of_node (Expr.id e) with
+    | Some r -> r
+    | None ->
+      let r =
+        match Expr.node e with
+        | Expr.Const c ->
+          let r = fresh () in
+          consts := (r, c) :: !consts;
+          r
+        | Expr.Sym s ->
+          let slot =
+            match Hashtbl.find_opt slot_of_symbol (Symbol.id s) with
+            | Some k -> k
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Slp.compile: symbol %s is not an input"
+                   (Symbol.name s))
+          in
+          let r = fresh () in
+          instrs := Load_input (r, slot) :: !instrs;
+          r
+        | Expr.Add (a, b) ->
+          let ra = reg a in
+          let rb = reg b in
+          let r = fresh () in
+          instrs := Add (r, ra, rb) :: !instrs;
+          r
+        | Expr.Mul (a, b) ->
+          let ra = reg a in
+          let rb = reg b in
+          let r = fresh () in
+          instrs := Mul (r, ra, rb) :: !instrs;
+          r
+        | Expr.Neg a ->
+          let ra = reg a in
+          let r = fresh () in
+          instrs := Neg (r, ra) :: !instrs;
+          r
+        | Expr.Inv a ->
+          let ra = reg a in
+          let r = fresh () in
+          instrs := Inv (r, ra) :: !instrs;
+          r
+        | Expr.Sqrt a ->
+          let ra = reg a in
+          let r = fresh () in
+          instrs := Sqrt (r, ra) :: !instrs;
+          r
+        | Expr.Exp a ->
+          let ra = reg a in
+          let r = fresh () in
+          instrs := Exp (r, ra) :: !instrs;
+          r
+      in
+      Hashtbl.replace reg_of_node (Expr.id e) r;
+      r
+  in
+  let out_regs = Array.map reg outputs in
+  let init = Array.make !next_reg 0.0 in
+  List.iter (fun (r, c) -> init.(r) <- c) !consts;
+  {
+    inputs;
+    instrs = Array.of_list (List.rev !instrs);
+    init;
+    outputs = out_regs;
+  }
+
+let run p regs values out =
+  Array.blit p.init 0 regs 0 (Array.length p.init);
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Load_input (r, slot) -> regs.(r) <- values.(slot)
+      | Add (r, a, b) -> regs.(r) <- regs.(a) +. regs.(b)
+      | Mul (r, a, b) -> regs.(r) <- regs.(a) *. regs.(b)
+      | Neg (r, a) -> regs.(r) <- -.regs.(a)
+      | Inv (r, a) -> regs.(r) <- 1.0 /. regs.(a)
+      | Sqrt (r, a) -> regs.(r) <- Float.sqrt regs.(a)
+      | Exp (r, a) -> regs.(r) <- Float.exp regs.(a))
+    p.instrs;
+  Array.iteri (fun k r -> out.(k) <- regs.(r)) p.outputs;
+  out
+
+let eval p values =
+  if Array.length values <> Array.length p.inputs then
+    invalid_arg "Slp.eval: wrong number of input values";
+  run p (Array.make (Array.length p.init) 0.0) values
+    (Array.make (Array.length p.outputs) 0.0)
+
+let make_evaluator p =
+  let regs = Array.make (Array.length p.init) 0.0 in
+  let out = Array.make (Array.length p.outputs) 0.0 in
+  fun values ->
+    if Array.length values <> Array.length p.inputs then
+      invalid_arg "Slp: wrong number of input values";
+    run p regs values out
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>inputs:";
+  Array.iteri (fun k s -> Format.fprintf ppf " %d=%a" k Symbol.pp s) p.inputs;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun k c -> if c <> 0.0 then Format.fprintf ppf "r%d := %g@," k c)
+    p.init;
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Load_input (r, s) -> Format.fprintf ppf "r%d := input[%d]@," r s
+      | Add (r, a, b) -> Format.fprintf ppf "r%d := r%d + r%d@," r a b
+      | Mul (r, a, b) -> Format.fprintf ppf "r%d := r%d * r%d@," r a b
+      | Neg (r, a) -> Format.fprintf ppf "r%d := -r%d@," r a
+      | Inv (r, a) -> Format.fprintf ppf "r%d := 1/r%d@," r a
+      | Sqrt (r, a) -> Format.fprintf ppf "r%d := sqrt r%d@," r a
+      | Exp (r, a) -> Format.fprintf ppf "r%d := exp r%d@," r a)
+    p.instrs;
+  Format.fprintf ppf "outputs:";
+  Array.iter (fun r -> Format.fprintf ppf " r%d" r) p.outputs;
+  Format.fprintf ppf "@]"
+
+let eval_interval p values =
+  if Array.length values <> Array.length p.inputs then
+    invalid_arg "Slp.eval_interval: wrong number of input values";
+  let regs = Array.map Interval.point p.init in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Load_input (r, slot) -> regs.(r) <- values.(slot)
+      | Add (r, a, b) -> regs.(r) <- Interval.add regs.(a) regs.(b)
+      | Mul (r, a, b) -> regs.(r) <- Interval.mul regs.(a) regs.(b)
+      | Neg (r, a) -> regs.(r) <- Interval.neg regs.(a)
+      | Inv (r, a) -> regs.(r) <- Interval.inv regs.(a)
+      | Sqrt (r, a) -> regs.(r) <- Interval.sqrt regs.(a)
+      | Exp (r, a) -> regs.(r) <- Interval.exp regs.(a))
+    p.instrs;
+  Array.map (fun r -> regs.(r)) p.outputs

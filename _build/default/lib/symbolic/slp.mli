@@ -1,0 +1,45 @@
+(** Straight-line-program compilation of expression DAGs.
+
+    This realises the paper's central performance idea: "the symbolic form
+    provides a compiled set of operations which can quickly produce a final
+    AWE approximation, where the operands are the values of the symbols."
+    A compiled program evaluates a whole family of outputs (moments, Padé
+    coefficients, poles, residues, …) with one pass over a float register
+    file — no allocation, no tree walking. *)
+
+type t
+
+val compile : inputs:Symbol.t array -> Expr.t array -> t
+(** [compile ~inputs outputs] compiles the DAG rooted at [outputs].
+    Hash-consing sharing in {!Expr} becomes common-subexpression elimination
+    for free.  Raises [Invalid_argument] if an output mentions a symbol not
+    listed in [inputs]. *)
+
+val inputs : t -> Symbol.t array
+val num_outputs : t -> int
+val num_instructions : t -> int
+(** Operation count of the compiled form — the paper's "reduced set of
+    operations" size. *)
+
+val num_registers : t -> int
+
+val eval : t -> float array -> float array
+(** [eval p values] runs the program with [values.(k)] bound to
+    [inputs.(k)].  Allocates the register file; for tight loops use
+    {!make_evaluator}. *)
+
+val make_evaluator : t -> float array -> float array
+(** [make_evaluator p] returns a closure reusing one preallocated register
+    file and one output buffer across calls — the per-iteration cost Table 1
+    of the paper measures.  The returned array is overwritten by the next
+    call. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly, for debugging and documentation. *)
+
+val eval_interval : t -> Interval.t array -> Interval.t array
+(** Run the program over interval inputs, producing guaranteed (conservative)
+    enclosures of every output for all input values in the box.  Raises
+    [Division_by_zero] when some reciprocal's argument interval spans zero
+    and [Invalid_argument] on a square root of a partially negative
+    interval. *)

@@ -1,0 +1,21 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+    let s = { id = !next_id; name } in
+    incr next_id;
+    Hashtbl.add table name s;
+    s
+
+let name s = s.name
+let id s = s.id
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash s = s.id
+let pp ppf s = Format.pp_print_string ppf s.name
+let count () = !next_id

@@ -1,0 +1,22 @@
+(** Interned symbolic variables.
+
+    Symbols are globally interned: [intern "Ccomp"] always returns the same
+    value, so symbol identity is cheap integer comparison.  Symbol names are
+    the element names chosen for symbolic treatment (e.g. ["gout_q14"]). *)
+
+type t
+
+val intern : string -> t
+(** Look up or create the symbol with the given name. *)
+
+val name : t -> string
+val id : t -> int
+(** A dense non-negative integer, stable for the process lifetime. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val count : unit -> int
+(** Number of symbols interned so far. *)

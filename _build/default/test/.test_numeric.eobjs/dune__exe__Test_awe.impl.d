@@ -1,0 +1,1 @@
+test/test_awe.ml: Alcotest Array Awe Circuit Exact Float Format List Numeric Option Printf QCheck2 QCheck_alcotest Spice

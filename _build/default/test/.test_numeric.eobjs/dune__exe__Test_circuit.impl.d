@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Awe Circuit Float List Numeric Option Printf QCheck2 QCheck_alcotest Spice Symbolic

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Awe Awesymbolic Circuit Exact Float Format Fun List Numeric Option Printf QCheck2 QCheck_alcotest Spice String Symbolic

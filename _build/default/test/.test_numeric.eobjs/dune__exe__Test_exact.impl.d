@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Awe Circuit Exact Float List Numeric Printf QCheck2 QCheck_alcotest Spice String Symbolic

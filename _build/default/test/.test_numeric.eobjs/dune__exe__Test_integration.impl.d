@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Awe Awesymbolic Circuit Filename Float Format Fun List Nonlinear Numeric Option Printf QCheck2 QCheck_alcotest Spice Symbolic Sys Unix

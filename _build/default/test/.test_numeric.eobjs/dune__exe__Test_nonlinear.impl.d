@@ -1,0 +1,1 @@
+test/test_nonlinear.ml: Alcotest Array Awe Awesymbolic Circuit Float Fun List Nonlinear Numeric Option Printf Spice String Symbolic

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Circuit Float Format List Numeric Printf QCheck2 QCheck_alcotest

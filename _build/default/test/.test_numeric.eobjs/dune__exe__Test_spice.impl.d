@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Circuit Float Format List Numeric Printf Spice

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Float Format List Option QCheck2 QCheck_alcotest String Symbolic

@@ -1,0 +1,372 @@
+(* Tests for the exact symbolic baseline: Bareiss elimination, symbolic
+   transfer functions (the paper's Eqs. 5 and 6), symbolic moments, and the
+   unreliable-pruning demonstration. *)
+
+module Mpoly = Symbolic.Mpoly
+module Monomial = Symbolic.Monomial
+module Ratfun = Symbolic.Ratfun
+module Sym = Symbolic.Symbol
+module Builders = Circuit.Builders
+module Netlist = Circuit.Netlist
+module Parser = Circuit.Parser
+module Cx = Numeric.Cx
+
+let check_float ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let sym = Sym.intern
+let mono l = Monomial.of_list (List.map (fun (n, e) -> (sym n, e)) l)
+
+(* ------------------------------------------------------------------ *)
+(* Bareiss *)
+
+let const_m c = Mpoly.const c
+
+let test_bareiss_numeric_det () =
+  let m =
+    [| [| const_m 4.0; const_m 3.0 |]; [| const_m 6.0; const_m 3.0 |] |]
+  in
+  match Mpoly.to_const (Exact.Bareiss.det m) with
+  | Some d -> check_float "det" (-6.0) d
+  | None -> Alcotest.fail "expected constant determinant"
+
+let test_bareiss_symbolic_det () =
+  (* det [[x, 1], [1, x]] = x² − 1. *)
+  let x = Mpoly.of_symbol (sym "x") in
+  let m = [| [| x; Mpoly.one |]; [| Mpoly.one; x |] |] in
+  let expected = Mpoly.sub (Mpoly.pow x 2) Mpoly.one in
+  Alcotest.(check bool) "x²−1" true (Mpoly.equal (Exact.Bareiss.det m) expected)
+
+let test_bareiss_det_3x3 () =
+  (* Vandermonde(1, x, y): det = (x−1)(y−1)(y−x). *)
+  let x = Mpoly.of_symbol (sym "x") and y = Mpoly.of_symbol (sym "y") in
+  let row v = [| Mpoly.one; v; Mpoly.mul v v |] in
+  let m = [| row Mpoly.one; row x; row y |] in
+  let expected =
+    Mpoly.mul
+      (Mpoly.sub x Mpoly.one)
+      (Mpoly.mul (Mpoly.sub y Mpoly.one) (Mpoly.sub y x))
+  in
+  Alcotest.(check bool) "vandermonde" true
+    (Mpoly.equal (Exact.Bareiss.det m) expected)
+
+let test_bareiss_singular () =
+  let x = Mpoly.of_symbol (sym "x") in
+  let m = [| [| x; x |]; [| x; x |] |] in
+  Alcotest.(check bool) "singular" true (Mpoly.is_zero (Exact.Bareiss.det m))
+
+let test_bareiss_solve () =
+  (* [[2, 1], [1, 1]]·v = [x+1, 1] has solution v = [x, 1−x]. *)
+  let x = Mpoly.of_symbol (sym "x") in
+  let a =
+    [| [| const_m 2.0; Mpoly.one |]; [| Mpoly.one; Mpoly.one |] |]
+  in
+  let b = [| Mpoly.add x Mpoly.one; Mpoly.one |] in
+  let nums, den = Exact.Bareiss.solve_cramer a b in
+  let x0 = Ratfun.make nums.(0) den and x1 = Ratfun.make nums.(1) den in
+  Alcotest.(check bool) "x0 = x" true (Ratfun.equal x0 (Ratfun.of_symbol (sym "x")));
+  Alcotest.(check bool) "x1 = 1−x" true
+    (Ratfun.equal x1 (Ratfun.sub Ratfun.one (Ratfun.of_symbol (sym "x"))))
+
+let test_bareiss_det_permutation_sign () =
+  (* A matrix needing a row swap before any pivot exists: det tracks the
+     permutation sign. *)
+  let x = Mpoly.of_symbol (sym "x") in
+  let m = [| [| Mpoly.zero; x |]; [| Mpoly.one; Mpoly.zero |] |] in
+  let expected = Mpoly.neg x in
+  Alcotest.(check bool) "det = -x" true
+    (Mpoly.equal (Exact.Bareiss.det m) expected)
+
+let test_bareiss_det_matches_lu () =
+  (* Constant matrices: fraction-free det equals dense LU det. *)
+  let rand =
+    let s = ref 42 in
+    fun () ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !s /. float_of_int 0x3FFFFFFF) -. 0.5
+  in
+  for n = 2 to 6 do
+    let entries = Array.init n (fun _ -> Array.init n (fun _ -> rand ())) in
+    let poly_m = Array.map (Array.map Mpoly.const) entries in
+    let lu_det = Numeric.Lu.det (Numeric.Lu.factor (Numeric.Matrix.of_arrays entries)) in
+    match Mpoly.to_const (Exact.Bareiss.det poly_m) with
+    | Some d -> check_float ~tol:1e-9 (Printf.sprintf "det %dx%d" n n) lu_det d
+    | None -> Alcotest.fail "expected constant det"
+  done
+
+let prop_bareiss_multilinear_expansion =
+  (* det of a random constant matrix with one symbolic row is linear in that
+     symbol: det = det(x=0) + x·(det(x=1) − det(x=0)). *)
+  QCheck2.Test.make ~name:"bareiss: det linear in a single symbolic row"
+    ~count:50
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 1000))
+    (fun (n, seed) ->
+      let s = ref (seed + 1) in
+      let rand () =
+        s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+        (float_of_int !s /. float_of_int 0x3FFFFFFF) -. 0.5
+      in
+      let base = Array.init n (fun _ -> Array.init n (fun _ -> rand ())) in
+      let row = !s mod n in
+      let x = sym "x" in
+      let m =
+        Array.mapi
+          (fun i r ->
+            Array.map
+              (fun v ->
+                if i = row then Mpoly.scale v (Mpoly.of_symbol x)
+                else Mpoly.const v)
+              r)
+          base
+      in
+      let d = Exact.Bareiss.det m in
+      (* degree in x must be exactly <= 1, and evaluation must interpolate *)
+      let at v = Mpoly.eval d (fun _ -> v) in
+      let d0 = at 0.0 and d1 = at 1.0 in
+      let mid = at 0.5 in
+      Mpoly.degree_in d x <= 1
+      && Float.abs (mid -. (0.5 *. (d0 +. d1)))
+         <= 1e-9 *. Float.max 1.0 (Float.abs d1))
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions: the paper's Eq. (5) and Eq. (6) *)
+
+let test_eq5_full_symbolic () =
+  let nl = Builders.fig1 () in
+  let tf = Exact.Network.transfer_function ~all_symbolic:true nl in
+  (* H = G1G2 / (C1C2 s² + (G2C1 + G2C2 + G1C2) s + G1G2)  — Eq. (5). *)
+  Alcotest.(check int) "denominator degree 2" 2 (Exact.Network.order tf);
+  let g1g2 = Mpoly.of_terms [ (1.0, mono [ ("G1", 1); ("G2", 1) ]) ] in
+  let d1 =
+    Mpoly.of_terms
+      [ (1.0, mono [ ("G2", 1); ("C1", 1) ]);
+        (1.0, mono [ ("G2", 1); ("C2", 1) ]);
+        (1.0, mono [ ("G1", 1); ("C2", 1) ]) ]
+  in
+  let d2 = Mpoly.of_terms [ (1.0, mono [ ("C1", 1); ("C2", 1) ]) ] in
+  (* Both sides are defined up to one common constant; normalize by the
+     numerator's content. *)
+  let scale = Mpoly.content tf.Exact.Network.num.(0) in
+  let norm p = Mpoly.scale (1.0 /. scale) p in
+  Alcotest.(check bool) "numerator = G1·G2" true
+    (Mpoly.equal (norm tf.Exact.Network.num.(0)) g1g2);
+  Alcotest.(check bool) "den s⁰ = G1·G2" true
+    (Mpoly.equal (norm tf.Exact.Network.den.(0)) g1g2);
+  Alcotest.(check bool) "den s¹ = G2C1 + G2C2 + G1C2" true
+    (Mpoly.equal (norm tf.Exact.Network.den.(1)) d1);
+  Alcotest.(check bool) "den s² = C1·C2" true
+    (Mpoly.equal (norm tf.Exact.Network.den.(2)) d2);
+  (* The paper's structural claim: all coefficients multi-linear. *)
+  Array.iter
+    (fun p -> Alcotest.(check bool) "multilinear" true (Mpoly.is_multilinear p))
+    (Array.append tf.Exact.Network.num tf.Exact.Network.den)
+
+let test_eq6_mixed () =
+  (* Eq. (6): set G1 = 5 numerically, keep the rest symbolic. *)
+  let nl = Builders.fig1 ~g1:5.0 () in
+  let nl =
+    List.fold_left
+      (fun nl name -> Netlist.mark_symbolic nl name (sym name))
+      nl [ "G2"; "C1"; "C2" ]
+  in
+  let tf = Exact.Network.transfer_function nl in
+  let scale = Mpoly.content tf.Exact.Network.num.(0) /. 5.0 in
+  let norm p = Mpoly.scale (1.0 /. scale) p in
+  let expected_num = Mpoly.of_terms [ (5.0, mono [ ("G2", 1) ]) ] in
+  let expected_d1 =
+    Mpoly.of_terms
+      [ (1.0, mono [ ("G2", 1); ("C1", 1) ]);
+        (1.0, mono [ ("G2", 1); ("C2", 1) ]);
+        (5.0, mono [ ("C2", 1) ]) ]
+  in
+  Alcotest.(check bool) "num = 5·G2" true
+    (Mpoly.equal (norm tf.Exact.Network.num.(0)) expected_num);
+  Alcotest.(check bool) "den s¹ = G2C1 + G2C2 + 5C2" true
+    (Mpoly.equal (norm tf.Exact.Network.den.(1)) expected_d1)
+
+let test_tf_matches_ac () =
+  (* Numeric evaluation of the exact symbolic TF must equal direct AC
+     analysis, on a circuit with controlled sources. *)
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 1
+R1 in a 1k
+C1 a 0 2p
+G1 b 0 a 0 1m
+R2 b 0 10k
+C2 b 0 1p
+L1 b out 1u
+R3 out 0 50
+.output v(out)
+|}
+  in
+  let tf = Exact.Network.transfer_function nl in
+  let mna = Circuit.Mna.build nl in
+  let env _ = Alcotest.fail "no symbols expected" in
+  List.iter
+    (fun f ->
+      let sv = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+      let ex = Spice.Ac.transfer mna sv in
+      let got = Exact.Network.eval tf env sv in
+      if Cx.norm (Cx.sub ex got) > 1e-6 *. Float.max 1e-9 (Cx.norm ex) then
+        Alcotest.failf "H mismatch at %g Hz" f)
+    [ 1e3; 1e6; 1e8; 1e9 ]
+
+let test_tf_poles_match_awe () =
+  (* Fig. 1 with numbers: exact denominator roots = AWE order-2 poles. *)
+  let nl = Builders.fig1 ~g1:2.0 ~g2:3.0 ~c1:0.5 ~c2:1.5 () in
+  let tf = Exact.Network.transfer_function nl in
+  let env _ = 0.0 in
+  let exact_poles =
+    Exact.Network.poles tf env |> Array.map (fun (p : Cx.t) -> p.Cx.re)
+    |> Array.to_list |> List.sort compare
+  in
+  let rom = (Awe.Driver.analyze ~order:2 nl).Awe.Driver.rom in
+  let awe_poles =
+    Array.map (fun (p : Cx.t) -> p.Cx.re) rom.Awe.Rom.poles
+    |> Array.to_list |> List.sort compare
+  in
+  List.iter2 (fun a b -> check_float ~tol:1e-6 "pole" a b) exact_poles awe_poles
+
+let test_tf_physical_values_ladder () =
+  (* Regression: picofarad-scale coefficients once lost their constant term
+     to over-aggressive rounding-dust chopping, planting a bogus pole at the
+     origin.  The exact TF of a physical ladder must match AC analysis and
+     have its dominant pole where high-order AWE puts it. *)
+  let nl = Builders.rc_ladder ~sections:6 ~r:100.0 ~c:1e-12 () in
+  let tf = Exact.Network.transfer_function nl in
+  let env _ = 0.0 in
+  let mna = Circuit.Mna.build nl in
+  List.iter
+    (fun f ->
+      let sv = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+      let ex = Spice.Ac.transfer mna sv in
+      let got = Exact.Network.eval tf env sv in
+      if Cx.norm (Cx.sub ex got) > 1e-6 *. Float.max 1e-9 (Cx.norm ex) then
+        Alcotest.failf "H mismatch at %g Hz" f)
+    [ 1e6; 1e8; 1e9; 1e10 ];
+  let dominant =
+    Exact.Network.poles tf env
+    |> Array.fold_left (fun acc p -> Float.min acc (Cx.norm p)) Float.infinity
+  in
+  let rom = (Awe.Driver.analyze ~order:5 nl).Awe.Driver.rom in
+  let awe_dom = Cx.norm (Awe.Rom.dominant_pole rom) in
+  check_float ~tol:1e-6 "dominant pole agrees with AWE" awe_dom dominant
+
+let test_symbolic_moments_match_numeric () =
+  (* Exact symbolic moments evaluated at the numbers = numeric AWE moments. *)
+  let nl = Builders.fig1 () in
+  let nl = Netlist.mark_symbolic nl "C1" (sym "C1") in
+  let nl = Netlist.mark_symbolic nl "G2" (sym "G2") in
+  let tf = Exact.Network.transfer_function nl in
+  let sym_moments = Exact.Network.moments ~count:6 tf in
+  List.iter
+    (fun (c1v, g2v) ->
+      let env s =
+        match Sym.name s with
+        | "C1" -> c1v
+        | "G2" -> g2v
+        | other -> Alcotest.failf "unexpected symbol %s" other
+      in
+      let nl_num =
+        Builders.fig1 ~c1:c1v ~g2:g2v ()
+      in
+      let m_num =
+        Awe.Moments.output_moments
+          (Awe.Moments.compute ~count:6 (Circuit.Mna.build nl_num))
+      in
+      Array.iteri
+        (fun k rf ->
+          check_float ~tol:1e-9
+            (Printf.sprintf "m%d at C1=%g G2=%g" k c1v g2v)
+            m_num.(k) (Ratfun.eval rf env))
+        sym_moments)
+    [ (1.0, 1.0); (2.0, 0.5); (0.1, 10.0); (5.0, 5.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Pruning unreliability (the paper's Sec. 1 argument) *)
+
+let test_prune_reduces_terms () =
+  let nl = Builders.rc_ladder ~sections:4 ~r:1.0 ~c:1.0 () in
+  let tf = Exact.Network.transfer_function ~all_symbolic:true nl in
+  let before = Exact.Prune.term_count tf in
+  (* Nominal point with widely spread element values so term magnitudes
+     differ (uniform values would make every term equal). *)
+  let env s =
+    let name = Sym.name s in
+    let k = int_of_string (String.sub name 1 (String.length name - 1)) in
+    match name.[0] with
+    | 'R' -> 10.0 ** float_of_int k
+    | 'C' -> 10.0 ** float_of_int (-k)
+    | _ -> 1.0
+  in
+  let pruned = Exact.Prune.prune ~threshold:0.2 ~env tf in
+  let after = Exact.Prune.term_count pruned in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruning shrinks %d -> %d" before after)
+    true (after < before)
+
+let test_prune_misleads_poles () =
+  (* Prune at a nominal point, then move a symbol across its range: the
+     pruned form's dominant pole must go wrong while the exact one is fine.
+     This is the failure mode AWEsymbolic avoids. *)
+  let nl = Builders.fig1 () in
+  let nl = Netlist.mark_symbolic nl "C1" (sym "C1") in
+  let tf = Exact.Network.transfer_function nl in
+  let nominal s =
+    match Sym.name s with
+    | "C1" -> 1e-3 (* tiny at the nominal point *)
+    | other -> Alcotest.failf "unexpected symbol %s" other
+  in
+  let pruned = Exact.Prune.prune ~threshold:0.05 ~env:nominal tf in
+  (* Far from nominal, C1 dominates the response. *)
+  let far s =
+    match Sym.name s with
+    | "C1" -> 100.0
+    | other -> Alcotest.failf "unexpected symbol %s" other
+  in
+  let dominant t env =
+    Exact.Network.poles t env
+    |> Array.fold_left
+         (fun acc (p : Cx.t) -> Float.min acc (Cx.norm p))
+         Float.infinity
+  in
+  let exact_dom = dominant tf far in
+  let pruned_dom = dominant pruned far in
+  let rel_err = Float.abs (pruned_dom -. exact_dom) /. exact_dom in
+  Alcotest.(check bool)
+    (Printf.sprintf "pruned dominant pole off by %.0f%%" (100.0 *. rel_err))
+    true (rel_err > 0.5)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "exact"
+    [
+      ( "bareiss",
+        [
+          quick "numeric determinant" test_bareiss_numeric_det;
+          quick "symbolic 2x2" test_bareiss_symbolic_det;
+          quick "symbolic vandermonde 3x3" test_bareiss_det_3x3;
+          quick "singular detection" test_bareiss_singular;
+          quick "cramer solve" test_bareiss_solve;
+          quick "permutation sign" test_bareiss_det_permutation_sign;
+          quick "matches dense LU determinants" test_bareiss_det_matches_lu;
+          QCheck_alcotest.to_alcotest prop_bareiss_multilinear_expansion;
+        ] );
+      ( "network",
+        [
+          quick "Eq. (5): full symbolic fig1" test_eq5_full_symbolic;
+          quick "Eq. (6): mixed numeric-symbolic" test_eq6_mixed;
+          quick "numeric TF matches AC analysis" test_tf_matches_ac;
+          quick "exact poles match order-2 AWE" test_tf_poles_match_awe;
+          quick "physical ladder values (regression)" test_tf_physical_values_ladder;
+          quick "symbolic moments match numeric AWE" test_symbolic_moments_match_numeric;
+        ] );
+      ( "pruning",
+        [
+          quick "pruning reduces term count" test_prune_reduces_terms;
+          quick "pruning corrupts poles off-nominal" test_prune_misleads_poles;
+        ] );
+    ]

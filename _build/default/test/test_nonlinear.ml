@@ -1,0 +1,807 @@
+(* Tests for the nonlinear front end: device models, the Newton DC solver,
+   and small-signal linearization (the "linearized" in the paper's title). *)
+
+module Element = Circuit.Element
+module Models = Nonlinear.Models
+module Nl = Nonlinear.Netlist
+module Newton = Nonlinear.Newton
+module Linearize = Nonlinear.Linearize
+
+let check_float ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let resistor name pos neg value =
+  Element.make ~name ~kind:Element.Resistor ~pos ~neg ~value ()
+
+let capacitor name pos neg value =
+  Element.make ~name ~kind:Element.Capacitor ~pos ~neg ~value ()
+
+let vsource name pos neg value =
+  Element.make ~name ~kind:Element.Vsource ~pos ~neg ~value ()
+
+(* ------------------------------------------------------------------ *)
+(* Device models *)
+
+let test_diode_model () =
+  let m = Models.default_diode in
+  let i0, _ = Models.diode_current m 0.0 in
+  check_float "zero bias current" 0.0 i0;
+  (* Derivative consistency by central differences over the useful range. *)
+  List.iter
+    (fun v ->
+      let h = 1e-7 in
+      let ip, _ = Models.diode_current m (v +. h) in
+      let im, _ = Models.diode_current m (v -. h) in
+      let _, g = Models.diode_current m v in
+      let fd = (ip -. im) /. (2.0 *. h) in
+      check_float ~tol:1e-4 (Printf.sprintf "g at %g" v) fd g)
+    [ -0.5; 0.0; 0.3; 0.6; 0.7 ]
+
+let test_diode_overflow_safe () =
+  let m = Models.default_diode in
+  let i, g = Models.diode_current m 100.0 in
+  Alcotest.(check bool) "finite current at 100 V" true (Float.is_finite i);
+  Alcotest.(check bool) "finite conductance" true (Float.is_finite g);
+  Alcotest.(check bool) "monotone" true (i > 0.0 && g > 0.0)
+
+let test_mosfet_regions () =
+  let m = { Models.default_nmos with lambda = 0.0 } in
+  (* Cutoff. *)
+  let op = Models.mosfet_current m ~vgs:0.3 ~vds:1.0 in
+  check_float "cutoff ids" 0.0 op.Models.ids;
+  (* Saturation: ids = kp/2·vov². *)
+  let op = Models.mosfet_current m ~vgs:1.5 ~vds:2.0 in
+  check_float "saturation ids" (0.5 *. 200e-6 *. 1.0) op.Models.ids;
+  check_float "saturation gm" (200e-6 *. 1.0) op.Models.gm;
+  check_float "saturation gds (lambda 0)" 0.0 op.Models.gds;
+  (* Triode: ids = kp(vov·vds − vds²/2). *)
+  let op = Models.mosfet_current m ~vgs:1.5 ~vds:0.4 in
+  check_float "triode ids" (200e-6 *. ((1.0 *. 0.4) -. 0.08)) op.Models.ids
+
+let test_mosfet_derivatives_fd () =
+  let m = Models.default_nmos in
+  let h = 1e-6 in
+  List.iter
+    (fun (vgs, vds) ->
+      let op = Models.mosfet_current m ~vgs ~vds in
+      let fd_gm =
+        (let a = Models.mosfet_current m ~vgs:(vgs +. h) ~vds in
+         let b = Models.mosfet_current m ~vgs:(vgs -. h) ~vds in
+         (a.Models.ids -. b.Models.ids) /. (2.0 *. h))
+      in
+      let fd_gds =
+        (let a = Models.mosfet_current m ~vgs ~vds:(vds +. h) in
+         let b = Models.mosfet_current m ~vgs ~vds:(vds -. h) in
+         (a.Models.ids -. b.Models.ids) /. (2.0 *. h))
+      in
+      check_float ~tol:1e-3 (Printf.sprintf "gm at %g,%g" vgs vds) fd_gm op.Models.gm;
+      check_float ~tol:1e-3 (Printf.sprintf "gds at %g,%g" vgs vds) fd_gds
+        op.Models.gds)
+    [ (1.5, 2.0); (1.5, 0.4); (1.2, -0.5); (0.8, 1.0) ]
+
+let test_mosfet_reverse_symmetry () =
+  (* Swapping drain and source negates the current: ids(vg−vs, vd−vs) with
+     roles reversed. *)
+  let m = { Models.default_nmos with lambda = 0.0 } in
+  let vg = 1.8 and vd = 0.4 and vs = 1.0 in
+  let forward = Models.mosfet_current m ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+  let swapped = Models.mosfet_current m ~vgs:(vg -. vd) ~vds:(vs -. vd) in
+  check_float ~tol:1e-12 "reverse symmetry" (-.swapped.Models.ids)
+    forward.Models.ids
+
+let test_pmos_mirror () =
+  let n = { Models.default_nmos with lambda = 0.0 } in
+  let p = { n with polarity = Models.Pmos; kp = n.Models.kp } in
+  let opn = Models.mosfet_current n ~vgs:1.5 ~vds:2.0 in
+  let opp = Models.mosfet_current p ~vgs:(-1.5) ~vds:(-2.0) in
+  check_float "pmos mirrors nmos" (-.opn.Models.ids) opp.Models.ids;
+  check_float "pmos gm positive w.r.t. |vgs|" opn.Models.gm opp.Models.gm
+
+let test_bjt_model () =
+  let m = Models.default_npn in
+  let op = Models.bjt_current m ~vbe:0.65 ~vce:2.0 in
+  Alcotest.(check bool) "collector current flows" true (op.Models.ic > 1e-6);
+  check_float ~tol:1e-6 "beta relation" (op.Models.ic /. (m.Models.beta *. (1.0 +. (2.0 /. m.Models.v_early))))
+    (op.Models.ib *. 1.0);
+  check_float ~tol:1e-3 "gm = ic/vt (to Early factor)"
+    (op.Models.ic /. Models.thermal_voltage /. (1.0 +. (2.0 /. m.Models.v_early)) *. (1.0 +. (2.0 /. m.Models.v_early)))
+    op.Models.gm_b
+
+(* ------------------------------------------------------------------ *)
+(* Newton DC solve *)
+
+let diode_resistor ~vdd ~r =
+  Nl.empty
+  |> Fun.flip Nl.add_element (vsource "Vdd" "vdd" "0" vdd)
+  |> Fun.flip Nl.add_element (resistor "R1" "vdd" "d" r)
+  |> Fun.flip Nl.add_device
+       (Nl.Diode { name = "D1"; anode = "d"; cathode = "0"; model = Models.default_diode })
+
+(* Reference solution of (vdd − v)/r = Is(exp(v/vt) − 1) by bisection. *)
+let diode_reference ~vdd ~r =
+  let m = Models.default_diode in
+  let f v =
+    let i, _ = Models.diode_current m v in
+    ((vdd -. v) /. r) -. i
+  in
+  let rec bisect lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if f mid > 0.0 then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+    end
+  in
+  bisect 0.0 (Float.min vdd 2.0) 100
+
+let test_newton_diode () =
+  let vdd = 5.0 and r = 1e3 in
+  let sol = Newton.solve (diode_resistor ~vdd ~r) in
+  let expected = diode_reference ~vdd ~r in
+  check_float ~tol:1e-7 "diode junction voltage" expected
+    (Newton.voltage sol "d");
+  Alcotest.(check bool) "residual small" true (sol.Newton.residual < 1e-8)
+
+let test_newton_diode_small_drive () =
+  (* Sub-threshold drive: the diode barely conducts. *)
+  let vdd = 0.2 and r = 1e3 in
+  let sol = Newton.solve (diode_resistor ~vdd ~r) in
+  let expected = diode_reference ~vdd ~r in
+  check_float ~tol:1e-8 "weak drive" expected (Newton.voltage sol "d")
+
+let common_source ~vdd ~vg ~rd =
+  Nl.empty
+  |> Fun.flip Nl.add_element (vsource "Vdd" "vdd" "0" vdd)
+  |> Fun.flip Nl.add_element (vsource "Vg" "g" "0" vg)
+  |> Fun.flip Nl.add_element (resistor "Rd" "vdd" "d" rd)
+  |> Fun.flip Nl.add_device
+       (Nl.Mosfet
+          { name = "M1"; drain = "d"; gate = "g"; source = "0";
+            model = Models.default_nmos })
+  |> Fun.flip Nl.with_ac_input "Vg"
+  |> Fun.flip Nl.with_output (Circuit.Netlist.Node "d")
+
+let cs_reference ~vdd ~vg ~rd =
+  let m = Models.default_nmos in
+  let f v =
+    let op = Models.mosfet_current m ~vgs:vg ~vds:v in
+    ((vdd -. v) /. rd) -. op.Models.ids
+  in
+  let rec bisect lo hi n =
+    if n = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if f mid > 0.0 then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+    end
+  in
+  bisect 0.0 vdd 100
+
+let test_newton_common_source () =
+  let vdd = 3.3 and vg = 1.0 and rd = 10e3 in
+  let sol = Newton.solve (common_source ~vdd ~vg ~rd) in
+  check_float ~tol:1e-7 "drain voltage" (cs_reference ~vdd ~vg ~rd)
+    (Newton.voltage sol "d");
+  check_float ~tol:1e-9 "source fixes gate" vg (Newton.voltage sol "g")
+
+let test_newton_bjt_stage () =
+  (* Common-emitter stage with base current from a large resistor. *)
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vcc" "vcc" "0" 5.0)
+    |> Fun.flip Nl.add_element (resistor "Rb" "vcc" "b" 500e3)
+    |> Fun.flip Nl.add_element (resistor "Rc" "vcc" "c" 2e3)
+    |> Fun.flip Nl.add_device
+         (Nl.Bjt
+            { name = "Q1"; collector = "c"; base = "b"; emitter = "0";
+              model = Models.default_npn })
+  in
+  let sol = Newton.solve nl in
+  let vbe = Newton.voltage sol "b" in
+  let vc = Newton.voltage sol "c" in
+  Alcotest.(check bool) "vbe in the junction range" true (vbe > 0.5 && vbe < 0.8);
+  Alcotest.(check bool) "transistor pulled the collector down" true
+    (vc < 4.0 && vc > 0.0);
+  (* KCL at the collector. *)
+  let op = Models.bjt_current Models.default_npn ~vbe ~vce:vc in
+  check_float ~tol:1e-6 "collector KCL" ((5.0 -. vc) /. 2e3) op.Models.ic
+
+let test_newton_nonconvergence_reported () =
+  (* A device with no DC path at all gives a singular system; the solver
+     must fail loudly rather than return garbage. *)
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (capacitor "C1" "a" "0" 1e-12)
+    |> Fun.flip Nl.add_device
+         (Nl.Diode { name = "D1"; anode = "b"; cathode = "a"; model = Models.default_diode })
+  in
+  match Newton.solve ~gmin:0.0 nl with
+  | exception (Newton.No_convergence _ | Failure _) -> ()
+  | _sol -> Alcotest.fail "expected a failure on a singular DC system"
+
+(* ------------------------------------------------------------------ *)
+(* Linearization *)
+
+let test_linearize_gain_matches_fd () =
+  (* The small-signal DC gain of the linearized netlist must match the
+     finite-difference slope of the nonlinear transfer curve. *)
+  let vdd = 3.3 and vg = 1.0 and rd = 10e3 in
+  let nl = common_source ~vdd ~vg ~rd in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  let gain_lin = Spice.Dc.output (Circuit.Mna.build lin) in
+  let out v =
+    Newton.voltage (Newton.solve (common_source ~vdd ~vg:v ~rd)) "d"
+  in
+  let h = 1e-5 in
+  let gain_fd = (out (vg +. h) -. out (vg -. h)) /. (2.0 *. h) in
+  check_float ~tol:1e-4 "linearized dc gain = slope of transfer curve" gain_fd
+    gain_lin;
+  Alcotest.(check bool) "inverting stage" true (gain_lin < -1.0)
+
+let test_linearize_analytic_gain () =
+  (* Saturation: gain = −gm·(Rd ∥ 1/gds). *)
+  let vdd = 3.3 and vg = 1.0 and rd = 10e3 in
+  let nl = common_source ~vdd ~vg ~rd in
+  let sol = Newton.solve nl in
+  let vd = Newton.voltage sol "d" in
+  let op = Models.mosfet_current Models.default_nmos ~vgs:vg ~vds:vd in
+  let r_out = 1.0 /. ((1.0 /. rd) +. op.Models.gds) in
+  let expected = -.op.Models.gm *. r_out in
+  let lin = Linearize.netlist nl sol in
+  check_float ~tol:1e-9 "analytic small-signal gain" expected
+    (Spice.Dc.output (Circuit.Mna.build lin))
+
+let test_linearize_element_inventory () =
+  let nl = common_source ~vdd:3.3 ~vg:1.0 ~rd:10e3 in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  (* Rd + gm VCCS + gds + cgs + cgd (plus two 0/1-amplitude V sources). *)
+  let total, storage = Circuit.Netlist.stats lin in
+  Alcotest.(check int) "element count" 5 total;
+  Alcotest.(check int) "capacitors" 2 storage;
+  Alcotest.(check bool) "gm element exists" true
+    (Option.is_some (Circuit.Netlist.find lin "gM1_m"))
+
+let test_linearized_awe_pipeline () =
+  (* End-to-end: nonlinear stage -> operating point -> linearized netlist ->
+     AWE model; the dominant pole must match 1/(2π·Rout·Cload). *)
+  let cs = common_source ~vdd:3.3 ~vg:1.0 ~rd:10e3 in
+  let nl = Nl.add_element cs (capacitor "Cl" "d" "0" 1e-12) in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  let rom = (Awe.Driver.analyze ~order:2 lin).Awe.Driver.rom in
+  let vd = Newton.voltage sol "d" in
+  let op = Models.mosfet_current Models.default_nmos ~vgs:1.0 ~vds:vd in
+  let r_out = 1.0 /. ((1.0 /. 10e3) +. op.Models.gds) in
+  let c_total = 1e-12 +. Models.default_nmos.Models.cgd in
+  (* Miller effect on cgd is small here but not negligible; allow a few
+     percent. *)
+  let f_expected = 1.0 /. (2.0 *. Float.pi *. r_out *. c_total) in
+  let f_measured = Awe.Measures.dominant_pole_hz rom in
+  if Float.abs (f_measured -. f_expected) > 0.2 *. f_expected then
+    Alcotest.failf "dominant pole %g Hz vs RC estimate %g Hz" f_measured
+      f_expected
+
+let test_linearized_awesymbolic () =
+  (* The full paper pipeline on a transistor circuit: linearize, mark the
+     load capacitance symbolic, compile, and check the identity against
+     numeric AWE. *)
+  let cs = common_source ~vdd:3.3 ~vg:1.0 ~rd:10e3 in
+  let nl = Nl.add_element cs (capacitor "Cl" "d" "0" 1e-12) in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  let lin = Circuit.Netlist.mark_symbolic lin "Cl" (Symbolic.Symbol.intern "Cl") in
+  let model = Awesymbolic.Model.build ~order:2 lin in
+  List.iter
+    (fun cl ->
+      let v = Awesymbolic.Model.values model [ ("Cl", cl) ] in
+      let m_sym = Awesymbolic.Model.eval_moments model v in
+      let lin_num =
+        Circuit.Netlist.replace lin
+          (Element.set_stamp_value
+             (Option.get (Circuit.Netlist.find lin "Cl"))
+             cl)
+      in
+      let m_num =
+        Awe.Moments.output_moments
+          (Awe.Moments.compute ~count:4 (Circuit.Mna.build lin_num))
+      in
+      Array.iteri
+        (fun k mk ->
+          check_float ~tol:1e-9 (Printf.sprintf "m%d at Cl=%g" k cl) mk
+            m_sym.(k))
+        m_num)
+    [ 0.2e-12; 1e-12; 5e-12 ]
+
+let test_operating_report () =
+  let nl = common_source ~vdd:3.3 ~vg:1.0 ~rd:10e3 in
+  let sol = Newton.solve nl in
+  let report = Linearize.operating_report nl sol in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go k = k + n <= h && (String.sub haystack k n = needle || go (k + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the device" true (contains report "M1");
+  Alcotest.(check bool) "mentions gm" true (contains report "gm")
+
+(* ------------------------------------------------------------------ *)
+(* Nonlinear deck parser *)
+
+let nonlinear_deck =
+  {|
+* mixed-device deck
+Vdd vdd 0 3.3
+Vin g 0 1.0
+Rd vdd d 10k
+M1 d g 0 NMOS KP=300u VTH=0.6 LAMBDA=0
+D1 d 0 IS=1e-15 CJ0=2p
+Q1 c b 0 BF=100
+Rb vdd b 1meg
+Rc vdd c 2k
+.input Vin
+.output v(d)
+|}
+
+let test_nl_parser_devices () =
+  let nl = Nonlinear.Parser.parse_string nonlinear_deck in
+  Alcotest.(check int) "5 linear elements" 5 (List.length nl.Nl.linear);
+  Alcotest.(check int) "3 devices" 3 (List.length nl.Nl.devices);
+  (match Nl.find_device nl "M1" with
+  | Some (Nl.Mosfet { model; _ }) ->
+    check_float "KP" 300e-6 model.Models.kp;
+    check_float "VTH" 0.6 model.Models.vth;
+    check_float "LAMBDA" 0.0 model.Models.lambda;
+    check_float "default CGS kept" Models.default_nmos.Models.cgs model.Models.cgs
+  | _ -> Alcotest.fail "M1 missing or wrong kind");
+  (match Nl.find_device nl "D1" with
+  | Some (Nl.Diode { model; _ }) ->
+    check_float "IS" 1e-15 model.Models.i_sat;
+    check_float "CJ0" 2e-12 model.Models.cj0
+  | _ -> Alcotest.fail "D1 missing");
+  (match Nl.find_device nl "Q1" with
+  | Some (Nl.Bjt { model; _ }) -> check_float "BF" 100.0 model.Models.beta
+  | _ -> Alcotest.fail "Q1 missing");
+  Alcotest.(check (option string)) "ac input" (Some "Vin") nl.Nl.ac_input
+
+let test_nl_parser_errors () =
+  let expect text =
+    match Nonlinear.Parser.parse_string text with
+    | exception Nonlinear.Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect "M1 d g 0 CMOS";
+  expect "M1 d g NMOS";
+  expect "D1 a b IS=oops";
+  expect "R1 a b 1k\n.symbolic R1"
+
+let test_nl_parser_pipeline () =
+  (* Deck → bias → linearize → AWE end to end. *)
+  let nl =
+    Nonlinear.Parser.parse_string
+      {|
+Vdd vdd 0 3.3
+Vin g 0 1.0
+Rd vdd d 10k
+M1 d g 0 NMOS
+Cl d 0 1p
+.input Vin
+.output v(d)
+|}
+  in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  let rom = (Awe.Driver.analyze ~order:2 lin).Awe.Driver.rom in
+  Alcotest.(check bool) "inverting gain > 1" true
+    (Awe.Rom.dc_gain rom < -1.0);
+  (* Deck text survives an export/parse/AWE round-trip. *)
+  let lin2 = Circuit.Parser.parse_string (Circuit.Export.to_deck lin) in
+  let rom2 = (Awe.Driver.analyze ~order:2 lin2).Awe.Driver.rom in
+  check_float ~tol:1e-12 "round-tripped model identical"
+    (Awe.Rom.dc_gain rom) (Awe.Rom.dc_gain rom2)
+
+(* ------------------------------------------------------------------ *)
+(* Large-signal transient *)
+
+let test_tran_linear_matches_spice () =
+  (* With no devices, the nonlinear transient must agree with the linear
+     trapezoidal simulator (same method, different formulation). *)
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.0)
+    |> Fun.flip Nl.add_element (resistor "R1" "in" "out" r)
+    |> Fun.flip Nl.add_element (capacitor "C1" "out" "0" c)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let input = Spice.Tran.step_input in
+  let wave_nl =
+    Nonlinear.Tran.simulate nl ~input ~t_step:(tau /. 100.0) ~t_stop:(4.0 *. tau)
+  in
+  let lin =
+    Circuit.Parser.parse_string
+      (Printf.sprintf {|
+V1 in 0 1
+R1 in out %g
+C1 out 0 %g
+.output v(out)
+|} r c)
+  in
+  let wave_lin =
+    Spice.Tran.simulate (Circuit.Mna.build lin) ~input ~t_step:(tau /. 100.0)
+      ~t_stop:(4.0 *. tau)
+  in
+  Array.iteri
+    (fun k (t, y) ->
+      let _, y_ref = wave_lin.(k) in
+      check_float ~tol:1e-9 (Printf.sprintf "t=%g" t) y_ref y)
+    wave_nl
+
+let inductor name pos neg value =
+  Element.make ~name ~kind:Element.Inductor ~pos ~neg ~value ()
+
+let test_tran_rl_matches_spice () =
+  (* Inductor companion path: a linear RL circuit through the nonlinear
+     engine must agree with the linear trapezoidal simulator exactly. *)
+  let r = 100.0 and l = 1e-6 in
+  let tau = l /. r in
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.0)
+    |> Fun.flip Nl.add_element (resistor "R1" "in" "out" r)
+    |> Fun.flip Nl.add_element (inductor "L1" "out" "0" l)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let input = Spice.Tran.step_input in
+  let wave_nl =
+    Nonlinear.Tran.simulate nl ~input ~t_step:(tau /. 100.0)
+      ~t_stop:(4.0 *. tau)
+  in
+  let lin =
+    Circuit.Parser.parse_string
+      (Printf.sprintf {|
+V1 in 0 1
+R1 in out %g
+L1 out 0 %g
+.output v(out)
+|} r l)
+  in
+  let wave_lin =
+    Spice.Tran.simulate (Circuit.Mna.build lin) ~input ~t_step:(tau /. 100.0)
+      ~t_stop:(4.0 *. tau)
+  in
+  Array.iteri
+    (fun k (t, y) ->
+      let _, y_ref = wave_lin.(k) in
+      check_float ~tol:1e-9 (Printf.sprintf "RL t=%g" t) y_ref y)
+    wave_nl
+
+let test_tran_flyback_clamp () =
+  (* Interrupting an inductor current forces the switch node negative; a
+     freewheel diode clamps the kick near one forward drop.  Exercises the
+     inductor companion history together with the Newton device solve. *)
+  let l = 10e-6 in
+  let t_off = 50e-6 in
+  let build ~with_diode =
+    let base =
+      Nl.empty
+      |> Fun.flip Nl.add_element
+           (Element.make ~name:"Iin" ~kind:Element.Isource ~pos:"out" ~neg:"0"
+              ~value:10e-3 ())
+      |> Fun.flip Nl.add_element (inductor "L1" "out" "0" l)
+      (* The bleed keeps the no-diode case solvable after turn-off; 2 kΩ
+         gives a decay constant L/R = 5 ns the timestep can resolve. *)
+      |> Fun.flip Nl.add_element (resistor "Rbleed" "out" "0" 2e3)
+    in
+    let base =
+      if with_diode then
+        Nl.add_device base
+          (Nl.Diode
+             { name = "D1"; anode = "0"; cathode = "out";
+               model = Models.default_diode })
+      else base
+    in
+    base
+    |> Fun.flip Nl.with_ac_input "Iin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  (* Ideal current interruption: 10 mA through the inductor, then open. *)
+  let input t = if t < t_off then 10e-3 else 0.0 in
+  let minimum nl =
+    Nonlinear.Tran.simulate nl ~input ~t_step:0.5e-9 ~t_stop:(t_off +. 100e-9)
+    |> Array.fold_left (fun acc (_, y) -> Float.min acc y) infinity
+  in
+  let v_clamped = minimum (build ~with_diode:true) in
+  let v_open = minimum (build ~with_diode:false) in
+  (* Without the diode the inductor drives the node toward −i·Rbleed =
+     −20 V; with it the node stops near a diode drop below ground. *)
+  if v_open > -15.0 then
+    Alcotest.failf "expected a large unclamped kick, got %.1f V" v_open;
+  if v_clamped < -1.0 || v_clamped > -0.3 then
+    Alcotest.failf "diode clamp failed: minimum %.3f V" v_clamped
+
+let test_tran_rectifier () =
+  (* Half-wave rectifier with an RC reservoir: output sits one diode drop
+     under the sine peak and ripples mildly. *)
+  let f = 1e3 in
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.0)
+    |> Fun.flip Nl.add_device
+         (Nl.Diode { name = "D1"; anode = "in"; cathode = "out";
+                     model = Nonlinear.Models.default_diode })
+    |> Fun.flip Nl.add_element (resistor "Rl" "out" "0" 10e3)
+    |> Fun.flip Nl.add_element (capacitor "Cl" "out" "0" 10e-6)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let input t = 5.0 *. Float.sin (2.0 *. Float.pi *. f *. t) in
+  let wave =
+    Nonlinear.Tran.simulate nl ~input ~t_step:(1.0 /. f /. 200.0)
+      ~t_stop:(5.0 /. f)
+  in
+  (* Look at the last cycle only (settled). *)
+  let settled =
+    Array.to_list wave |> List.filter (fun (t, _) -> t > 4.0 /. f)
+  in
+  let vmax = List.fold_left (fun acc (_, y) -> Float.max acc y) neg_infinity settled in
+  let vmin = List.fold_left (fun acc (_, y) -> Float.min acc y) infinity settled in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.3f within a diode drop of 5" vmax)
+    true
+    (vmax > 4.0 && vmax < 5.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "ripple %.3f bounded" (vmax -. vmin))
+    true
+    (vmax -. vmin < 0.6 && vmax -. vmin > 0.001)
+
+let test_tran_settles_to_dc () =
+  (* Step the gate of the common-source stage: the output must settle to
+     the DC solution at the final input. *)
+  let nl =
+    Nl.add_element (common_source ~vdd:3.3 ~vg:0.8 ~rd:10e3)
+      (capacitor "Cl" "d" "0" 1e-12)
+  in
+  let input t = if t <= 0.0 then 0.8 else 1.1 in
+  let wave =
+    Nonlinear.Tran.simulate nl ~input ~t_step:2e-10 ~t_stop:2e-7
+  in
+  let _, y_final = wave.(Array.length wave - 1) in
+  let dc_final =
+    Newton.voltage (Newton.solve (common_source ~vdd:3.3 ~vg:1.1 ~rd:10e3)) "d"
+  in
+  check_float ~tol:1e-6 "settles to the new operating point" dc_final y_final;
+  let _, y0 = wave.(0) in
+  let dc_start =
+    Newton.voltage (Newton.solve (common_source ~vdd:3.3 ~vg:0.8 ~rd:10e3)) "d"
+  in
+  check_float ~tol:1e-9 "starts at the old operating point" dc_start y0
+
+let test_tran_small_signal_consistency () =
+  (* THE cross-check of the linearized methodology: drive the stage with a
+     small sine around bias; the settled output amplitude must match the
+     linearized netlist's |H(jf)|. *)
+  let vdd = 3.3 and vg = 1.0 and rd = 10e3 in
+  let nl =
+    Nl.add_element (common_source ~vdd ~vg ~rd) (capacitor "Cl" "d" "0" 100e-12)
+  in
+  let f = 1e5 in
+  let amp = 1e-3 in
+  let input t = vg +. (amp *. Float.sin (2.0 *. Float.pi *. f *. t)) in
+  let wave =
+    Nonlinear.Tran.simulate nl ~input ~t_step:(1.0 /. f /. 400.0)
+      ~t_stop:(6.0 /. f)
+  in
+  let settled =
+    Array.to_list wave |> List.filter (fun (t, _) -> t > 5.0 /. f)
+  in
+  let vmax = List.fold_left (fun acc (_, y) -> Float.max acc y) neg_infinity settled in
+  let vmin = List.fold_left (fun acc (_, y) -> Float.min acc y) infinity settled in
+  let measured_gain = (vmax -. vmin) /. 2.0 /. amp in
+  let sol = Newton.solve nl in
+  let lin = Linearize.netlist nl sol in
+  let h = Spice.Ac.at_frequency (Circuit.Mna.build lin) f in
+  check_float ~tol:2e-2 "large-signal amplitude = small-signal |H|"
+    (Numeric.Cx.norm h) measured_gain
+
+(* ------------------------------------------------------------------ *)
+(* Distortion *)
+
+module Distortion = Nonlinear.Distortion
+
+(* A square-law stage with λ = 0 has an exact harmonic expansion:
+   iD = K(Vov + a·sinθ)² = K(Vov² + a²/2) + 2KVov·a·sinθ − (Ka²/2)·cos2θ,
+   so HD2 = a / (4·Vov) exactly and HD3 = 0. *)
+let square_law_stage ~vg =
+  let model = { Models.default_nmos with Models.lambda = 0.0 } in
+  Nl.empty
+  |> Fun.flip Nl.add_element (vsource "Vdd" "vdd" "0" 3.3)
+  |> Fun.flip Nl.add_element (vsource "Vg" "g" "0" vg)
+  |> Fun.flip Nl.add_element (resistor "Rd" "vdd" "d" 40e3)
+  |> Fun.flip Nl.add_device
+       (Nl.Mosfet { name = "M1"; drain = "d"; gate = "g"; source = "0"; model })
+  |> Fun.flip Nl.with_ac_input "Vg"
+  |> Fun.flip Nl.with_output (Circuit.Netlist.Node "d")
+
+let test_distortion_square_law_hd2 () =
+  let vg = 1.0 in
+  let vov = vg -. Models.default_nmos.Models.vth in
+  let run a =
+    Distortion.measure (square_law_stage ~vg) ~bias:vg ~f:1e3 ~amplitude:a
+  in
+  let a = 0.05 in
+  let d = run a in
+  check_float ~tol:1e-4 "HD2 = a/(4·Vov)" (a /. (4.0 *. vov))
+    (Distortion.hd2 d);
+  check_float ~tol:1e-6 "HD3 = 0 for pure square law" 0.0 (Distortion.hd3 d);
+  (* Even-order distortion grows linearly with drive amplitude. *)
+  let d2 = run (2.0 *. a) in
+  check_float ~tol:1e-3 "HD2 doubles with amplitude" 2.0
+    (Distortion.hd2 d2 /. Distortion.hd2 d)
+
+let test_distortion_linear_circuit_clean () =
+  (* A linear RC low-pass produces no harmonics at all. *)
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.0)
+    |> Fun.flip Nl.add_element (resistor "R1" "in" "out" 1e3)
+    |> Fun.flip Nl.add_element (capacitor "C1" "out" "0" 100e-9)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let d = Distortion.measure nl ~f:1e3 ~amplitude:1.0 in
+  if d.Distortion.thd > 1e-6 then
+    Alcotest.failf "linear circuit shows THD %.3e" d.Distortion.thd;
+  if d.Distortion.fundamental < 0.5 then
+    Alcotest.failf "fundamental lost: %.3e" d.Distortion.fundamental
+
+let test_distortion_half_wave_clipper () =
+  (* A diode clipper half-wave-rectifies the sine: a textbook Fourier
+     series with DC ≈ A/π, fundamental ≈ A/2 and h2 ≈ 2A/(3π). *)
+  let nl =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.0)
+    |> Fun.flip Nl.add_device
+         (Nl.Diode
+            { name = "D1"; anode = "in"; cathode = "out";
+              model = Models.default_diode })
+    |> Fun.flip Nl.add_element (resistor "Rl" "out" "0" 10e3)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let a = 5.0 in
+  let d = Distortion.measure nl ~f:1e3 ~amplitude:a ~max_harmonic:4 in
+  let hd2 = Distortion.hd2 d in
+  if hd2 < 0.2 || hd2 > 0.6 then
+    Alcotest.failf "clipper HD2 out of band: %.3f" hd2;
+  if d.Distortion.harmonics.(0) < 0.8 then
+    Alcotest.failf "missing rectified DC component: %.3f"
+      d.Distortion.harmonics.(0);
+  if d.Distortion.thd < 0.2 then
+    Alcotest.failf "clipper THD suspiciously low: %.3f" d.Distortion.thd
+
+let test_two_tone_square_law () =
+  (* Square-law stage, two tones: IM2/fundamental = a/(2·Vov) exactly, and
+     a pure second-order nonlinearity produces no IM3 at all. *)
+  let vg = 1.0 in
+  let vov = vg -. Models.default_nmos.Models.vth in
+  let a = 0.02 in
+  let d =
+    Distortion.two_tone (square_law_stage ~vg) ~bias:vg ~f_base:1e3 ~k1:9
+      ~k2:10 ~amplitude:a
+  in
+  check_float ~tol:1e-4 "IM2 = a/(2·Vov)"
+    (a /. (2.0 *. vov))
+    (d.Distortion.im2 /. d.Distortion.fund1);
+  check_float ~tol:1e-6 "IM3 = 0 for square law" 0.0
+    (d.Distortion.im3 /. d.Distortion.fund1);
+  check_float ~tol:1e-3 "equal tones respond equally" 1.0
+    (d.Distortion.fund2 /. d.Distortion.fund1)
+
+let test_two_tone_exponential_im3_slope () =
+  (* An exponential nonlinearity (diode) has genuine third-order products;
+     IM3/fundamental must grow as amplitude² (doubling a quadruples it). *)
+  let stage =
+    Nl.empty
+    |> Fun.flip Nl.add_element (vsource "Vin" "in" "0" 0.75)
+    |> Fun.flip Nl.add_device
+         (Nl.Diode
+            { name = "D1"; anode = "in"; cathode = "out";
+              model = Models.default_diode })
+    |> Fun.flip Nl.add_element (resistor "Rl" "out" "0" 50.0)
+    |> Fun.flip Nl.with_ac_input "Vin"
+    |> Fun.flip Nl.with_output (Circuit.Netlist.Node "out")
+  in
+  let run a =
+    let d =
+      Distortion.two_tone stage ~bias:0.75 ~f_base:1e3 ~k1:9 ~k2:10
+        ~amplitude:a ~samples:512
+    in
+    d.Distortion.im3 /. d.Distortion.fund1
+  in
+  let r1 = run 2e-3 and r2 = run 4e-3 in
+  if r1 < 1e-9 then Alcotest.failf "expected nonzero IM3, got %.3g" r1;
+  let slope = r2 /. r1 in
+  if slope < 3.0 || slope > 5.0 then
+    Alcotest.failf "IM3 should scale ~4x with 2x drive, got %.2fx" slope
+
+let test_two_tone_rejects_bad_args () =
+  let nl = square_law_stage ~vg:1.0 in
+  Alcotest.check_raises "k1 >= k2"
+    (Invalid_argument "Distortion.two_tone: need 0 < k1 < k2") (fun () ->
+      ignore
+        (Distortion.two_tone nl ~f_base:1e3 ~k1:5 ~k2:5 ~amplitude:0.01));
+  Alcotest.check_raises "too few samples"
+    (Invalid_argument "Distortion.two_tone: samples too few for the IM3 products")
+    (fun () ->
+      ignore
+        (Distortion.two_tone nl ~f_base:1e3 ~k1:30 ~k2:40 ~samples:64
+           ~amplitude:0.01))
+
+let test_distortion_rejects_bad_window () =
+  let nl = square_law_stage ~vg:1.0 in
+  Alcotest.check_raises "cycles = 3"
+    (Invalid_argument
+       "Distortion.measure: cycles and samples_per_cycle must be 2^k")
+    (fun () -> ignore (Distortion.measure nl ~cycles:3 ~f:1e3 ~amplitude:0.01))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "nonlinear"
+    [
+      ( "models",
+        [
+          quick "diode current/conductance" test_diode_model;
+          quick "diode overflow-safe" test_diode_overflow_safe;
+          quick "mosfet regions" test_mosfet_regions;
+          quick "mosfet derivatives vs FD" test_mosfet_derivatives_fd;
+          quick "mosfet reverse symmetry" test_mosfet_reverse_symmetry;
+          quick "pmos mirrors nmos" test_pmos_mirror;
+          quick "bjt basics" test_bjt_model;
+        ] );
+      ( "newton",
+        [
+          quick "diode-resistor vs bisection" test_newton_diode;
+          quick "weak drive" test_newton_diode_small_drive;
+          quick "common-source bias" test_newton_common_source;
+          quick "bjt stage bias" test_newton_bjt_stage;
+          quick "singular system fails loudly" test_newton_nonconvergence_reported;
+        ] );
+      ( "parser",
+        [
+          quick "device cards and parameters" test_nl_parser_devices;
+          quick "malformed cards rejected" test_nl_parser_errors;
+          quick "deck-to-AWE pipeline" test_nl_parser_pipeline;
+        ] );
+      ( "transient",
+        [
+          quick "linear circuit matches Spice.Tran" test_tran_linear_matches_spice;
+          quick "linear RL matches Spice.Tran" test_tran_rl_matches_spice;
+          quick "flyback kick clamped by diode" test_tran_flyback_clamp;
+          quick "half-wave rectifier" test_tran_rectifier;
+          quick "step settles to the new DC point" test_tran_settles_to_dc;
+          quick "small-signal consistency" test_tran_small_signal_consistency;
+        ] );
+      ( "distortion",
+        [
+          quick "square-law HD2 = a/(4·Vov)" test_distortion_square_law_hd2;
+          quick "linear circuit is clean" test_distortion_linear_circuit_clean;
+          quick "diode clipper harmonics" test_distortion_half_wave_clipper;
+          quick "window must be power-of-two" test_distortion_rejects_bad_window;
+          quick "two-tone IM2 = a/(2·Vov)" test_two_tone_square_law;
+          quick "two-tone IM3 cubic slope" test_two_tone_exponential_im3_slope;
+          quick "two-tone argument validation" test_two_tone_rejects_bad_args;
+        ] );
+      ( "linearize",
+        [
+          quick "gain = transfer-curve slope" test_linearize_gain_matches_fd;
+          quick "analytic small-signal gain" test_linearize_analytic_gain;
+          quick "element inventory" test_linearize_element_inventory;
+          quick "linearized AWE pipeline" test_linearized_awe_pipeline;
+          quick "linearized AWEsymbolic identity" test_linearized_awesymbolic;
+          quick "operating report" test_operating_report;
+        ] );
+    ]

@@ -1,0 +1,479 @@
+(* Tests for the baseline simulator: DC, AC, and transient vs analytic
+   results for small RC circuits. *)
+
+module Parser = Circuit.Parser
+module Mna = Circuit.Mna
+module Builders = Circuit.Builders
+module Cx = Numeric.Cx
+
+let check_float ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let rc_lowpass ~r ~c =
+  Parser.parse_string
+    (Printf.sprintf {|
+V1 in 0 1
+R1 in out %g
+C1 out 0 %g
+.output v(out)
+|} r c)
+
+(* ------------------------------------------------------------------ *)
+(* DC *)
+
+let test_dc_divider () =
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 10
+R1 in out 3k
+R2 out 0 1k
+.output v(out)
+|}
+  in
+  check_float "divider" 2.5 (Spice.Dc.output (Mna.build nl))
+
+let test_dc_node_voltage () =
+  let nl = rc_lowpass ~r:1e3 ~c:1e-9 in
+  let mna = Mna.build nl in
+  check_float "cap blocks DC" 1.0 (Spice.Dc.node_voltage mna "out");
+  check_float "ground" 0.0 (Spice.Dc.node_voltage mna "0")
+
+(* ------------------------------------------------------------------ *)
+(* AC: first-order RC lowpass, H(jw) = 1/(1 + jwRC) *)
+
+let test_ac_lowpass () =
+  let r = 1e3 and c = 1e-9 in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let tau = r *. c in
+  List.iter
+    (fun f ->
+      let w = 2.0 *. Float.pi *. f in
+      let expected = Cx.inv (Cx.make 1.0 (w *. tau)) in
+      let actual = Spice.Ac.at_frequency mna f in
+      if Cx.norm (Cx.sub expected actual) > 1e-9 then
+        Alcotest.failf "H at %g Hz: expected %s got %s" f
+          (Format.asprintf "%a" Cx.pp expected)
+          (Format.asprintf "%a" Cx.pp actual))
+    [ 1e3; 1e5; 1.0 /. (2.0 *. Float.pi *. tau); 1e7 ]
+
+let test_ac_corner_is_3db () =
+  let r = 1e3 and c = 1e-9 in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let f_corner = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  let mag_db = Spice.Ac.magnitude_db (Spice.Ac.at_frequency mna f_corner) in
+  check_float ~tol:1e-6 "corner magnitude" (-10.0 *. Float.log10 2.0) mag_db;
+  let phase = Spice.Ac.phase_deg (Spice.Ac.at_frequency mna f_corner) in
+  check_float ~tol:1e-6 "corner phase" (-45.0) phase
+
+let test_ac_sweep_monotone () =
+  let mna = Mna.build (rc_lowpass ~r:1e3 ~c:1e-9) in
+  let pts = Spice.Ac.sweep mna ~f_start:1e3 ~f_stop:1e9 ~points:40 in
+  Alcotest.(check int) "points" 40 (Array.length pts);
+  let mags = Array.map (fun (_, h) -> Cx.norm h) pts in
+  Array.iteri
+    (fun k m ->
+      if k > 0 && m > mags.(k - 1) +. 1e-12 then
+        Alcotest.fail "lowpass magnitude should decrease with frequency")
+    mags
+
+let test_ac_rlc_resonance () =
+  (* Series RLC: at resonance the inductor and capacitor cancel, so the
+     output across R equals the input. *)
+  let l = 1e-6 and c = 1e-12 and r = 10.0 in
+  let nl =
+    Parser.parse_string
+      (Printf.sprintf {|
+V1 in 0 1
+L1 in a %g
+C1 a b %g
+R1 b 0 %g
+.output v(b)
+|} l c r)
+  in
+  let mna = Mna.build nl in
+  let f0 = 1.0 /. (2.0 *. Float.pi *. Float.sqrt (l *. c)) in
+  let h = Spice.Ac.at_frequency mna f0 in
+  check_float ~tol:1e-6 "resonance magnitude" 1.0 (Cx.norm h)
+
+(* ------------------------------------------------------------------ *)
+(* Transient: RC step response = 1 − exp(−t/τ). *)
+
+let test_tran_rc_step () =
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let h = tau /. 200.0 in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:h
+      ~t_stop:(5.0 *. tau)
+  in
+  (* Trapezoidal integration sees the discontinuous step as a one-interval
+     ramp, so the discrete response is the analytic one delayed by h/2. *)
+  Array.iter
+    (fun (t, y) ->
+      if t > 0.0 then begin
+        let expected = 1.0 -. Float.exp (-.(t -. (h /. 2.0)) /. tau) in
+        if Float.abs (y -. expected) > 2e-4 then
+          Alcotest.failf "t=%g: expected %g got %g" t expected y
+      end)
+    wave
+
+let test_tran_initial_state () =
+  let mna = Mna.build (rc_lowpass ~r:1e3 ~c:1e-9) in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:1e-8
+      ~t_stop:1e-7
+  in
+  let t0, y0 = wave.(0) in
+  check_float "starts at t=0" 0.0 t0;
+  check_float "starts at rest" 0.0 y0
+
+let test_tran_ramp_settles () =
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let wave =
+    Spice.Tran.simulate mna
+      ~input:(Spice.Tran.ramp_input ~rise:tau)
+      ~t_step:(tau /. 100.0) ~t_stop:(10.0 *. tau)
+  in
+  let _, y_final = wave.(Array.length wave - 1) in
+  check_float ~tol:1e-3 "ramp settles to 1" 1.0 y_final
+
+let test_tran_energy_decay () =
+  (* With a zero input and a charged capacitor, the state decays
+     exponentially. *)
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let n = Numeric.Matrix.rows (Mna.g mna) in
+  let x0 = Array.make n 0.0 in
+  let out_row = Mna.node_row (Mna.index mna) "out" in
+  x0.(out_row) <- 1.0;
+  let wave =
+    Spice.Tran.simulate ~x0 mna
+      ~input:(fun _ -> 0.0)
+      ~t_step:(tau /. 200.0) ~t_stop:(3.0 *. tau)
+  in
+  Array.iter
+    (fun (t, y) ->
+      if t > 0.1 *. tau then begin
+        let expected = Float.exp (-.t /. tau) in
+        if Float.abs (y -. expected) > 1e-3 then
+          Alcotest.failf "decay t=%g: expected %g got %g" t expected y
+      end)
+    wave
+
+let test_tran_coupled_lines_crosstalk_shape () =
+  (* Crosstalk on the quiet line: starts at 0, ends at 0, and is non-zero in
+     between (the non-monotonic response the paper models with a 2nd-order
+     approximation). *)
+  let nl = Builders.coupled_lines ~segments:8 () in
+  let mna = Mna.build nl in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:2e-12
+      ~t_stop:20e-9
+  in
+  let _, y_final = wave.(Array.length wave - 1) in
+  check_float ~tol:1e-4 "crosstalk decays to zero" 0.0 y_final;
+  let peak =
+    Array.fold_left (fun acc (_, y) -> Float.max acc (Float.abs y)) 0.0 wave
+  in
+  Alcotest.(check bool) "crosstalk pulse exists" true (peak > 1e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Differential outputs and current-controlled sources *)
+
+let test_diff_output () =
+  (* Wheatstone-ish divider pair: v(a) − v(b) known exactly. *)
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 6
+R1 in a 1k
+R2 a 0 2k
+R3 in b 2k
+R4 b 0 1k
+.output v(a,b)
+|}
+  in
+  (* v(a) = 6·2/3 = 4, v(b) = 6·1/3 = 2. *)
+  check_float "differential output" 2.0 (Spice.Dc.output (Mna.build nl))
+
+let test_ccvs () =
+  (* H1 senses i(V1) through R1 and produces v = r·i. *)
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 1
+R1 in 0 500
+H1 out 0 V1 2k
+R2 out 0 1k
+.output v(out)
+|}
+  in
+  (* i(V1) = −2 mA (leaving +, through circuit); v(out) = 2000·(−2m)·−1?
+     With our convention the branch current is −2 mA, so v(out) = −4 V. *)
+  check_float "CCVS output" (-4.0) (Spice.Dc.output (Mna.build nl))
+
+let test_vccs_gain () =
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 1
+R1 in 0 1k
+G1 out 0 in 0 5m
+R2 out 0 2k
+.output v(out)
+|}
+  in
+  (* Current 5m·1 leaves out: v(out) = −5m·2k = −10. *)
+  check_float "VCCS output" (-10.0) (Spice.Dc.output (Mna.build nl))
+
+(* ------------------------------------------------------------------ *)
+(* RL transient and superposition *)
+
+let rl_circuit ~r ~l =
+  Parser.parse_string
+    (Printf.sprintf {|
+V1 in 0 1
+R1 in out %g
+L1 out 0 %g
+.output v(out)
+|} r l)
+
+let test_tran_rl_step () =
+  (* Inductor to ground: v(out) = exp(−t·R/L) after a unit step (all the
+     drive appears across L at t = 0, none at t = ∞). *)
+  let r = 100.0 and l = 1e-6 in
+  let tau = l /. r in
+  let h = tau /. 200.0 in
+  let mna = Mna.build (rl_circuit ~r ~l) in
+  let wave =
+    Spice.Tran.simulate mna ~input:Spice.Tran.step_input ~t_step:h
+      ~t_stop:(5.0 *. tau)
+  in
+  Array.iter
+    (fun (t, y) ->
+      if t > 0.0 then begin
+        let expected = Float.exp (-.(t -. (h /. 2.0)) /. tau) in
+        if Float.abs (y -. expected) > 2e-4 then
+          Alcotest.failf "RL t=%g: expected %g got %g" t expected y
+      end)
+    wave
+
+let test_ac_rl_highpass () =
+  (* Same circuit in frequency domain: H = jωL/R / (1 + jωL/R). *)
+  let r = 100.0 and l = 1e-6 in
+  let mna = Mna.build (rl_circuit ~r ~l) in
+  List.iter
+    (fun f ->
+      let w = 2.0 *. Float.pi *. f in
+      let jwt = Cx.make 0.0 (w *. l /. r) in
+      let expected = Cx.div jwt (Cx.add Cx.one jwt) in
+      let actual = Spice.Ac.at_frequency mna f in
+      if Cx.norm (Cx.sub expected actual) > 1e-9 then
+        Alcotest.failf "RL H at %g Hz" f)
+    [ 1e5; 1e7; 1e9 ]
+
+let test_ac_corner_phase () =
+  (* At f = 1/(2πτ) the lowpass phase is exactly −45°. *)
+  let r = 1e3 and c = 1e-9 in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let f_corner = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  check_float ~tol:1e-9 "corner phase"
+    (-45.0)
+    (Spice.Ac.phase_deg (Spice.Ac.at_frequency mna f_corner))
+
+let test_tran_superposition () =
+  (* The simulator is linear: response to a+b equals response to a plus
+     response to b, point for point. *)
+  let mna = Mna.build (rc_lowpass ~r:1e3 ~c:1e-9) in
+  let f1 t = if t > 0.0 then 1.0 else 0.0 in
+  let f2 t = Float.sin (2.0 *. Float.pi *. 3e5 *. t) in
+  let run input =
+    Spice.Tran.simulate mna ~input ~t_step:5e-9 ~t_stop:2e-6
+  in
+  let wa = run f1 and wb = run f2 in
+  let wab = run (fun t -> f1 t +. f2 t) in
+  Array.iteri
+    (fun k (t, y) ->
+      let expected = snd wa.(k) +. snd wb.(k) in
+      if Float.abs (y -. expected) > 1e-9 then
+        Alcotest.failf "superposition fails at t=%g" t)
+    wab
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive transient *)
+
+let test_tran_adaptive_rc_accuracy () =
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let wave =
+    Spice.Tran.simulate_adaptive ~tol:1e-7 mna ~input:Spice.Tran.step_input
+      ~t_stop:(5.0 *. tau)
+  in
+  Array.iter
+    (fun (t, y) ->
+      if t > 0.2 *. tau then begin
+        let expected = 1.0 -. Float.exp (-.t /. tau) in
+        if Float.abs (y -. expected) > 5e-5 then
+          Alcotest.failf "adaptive t=%g: expected %g got %g" t expected y
+      end)
+    wave
+
+let test_tran_adaptive_stiff_efficiency () =
+  (* tau = 1 µs but simulated for 1 s (10⁶ time constants): a fixed step
+     resolving the edge would need ~10⁸ points; the controller should do it
+     in well under 10⁴ and still settle to the right value. *)
+  let r = 1e3 and c = 1e-9 in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let wave =
+    Spice.Tran.simulate_adaptive ~tol:1e-6 mna ~input:Spice.Tran.step_input
+      ~t_stop:1.0
+  in
+  let points = Array.length wave in
+  if points > 10_000 then
+    Alcotest.failf "adaptive used %d points on a stiff interval" points;
+  let _, y_final = wave.(points - 1) in
+  check_float ~tol:1e-6 "settles to 1" 1.0 y_final;
+  (* Times must be strictly increasing and end at t_stop. *)
+  let t_last, _ = wave.(points - 1) in
+  check_float ~tol:1e-9 "reaches t_stop" 1.0 t_last;
+  Array.iteri
+    (fun k (t, _) ->
+      if k > 0 && t <= fst wave.(k - 1) then
+        Alcotest.failf "non-monotone time axis at index %d" k)
+    wave
+
+let test_tran_adaptive_tolerance_scaling () =
+  (* Tighter tolerance -> more points and no worse accuracy. *)
+  let r = 1e3 and c = 1e-9 in
+  let tau = r *. c in
+  let mna = Mna.build (rc_lowpass ~r ~c) in
+  let run tol =
+    let wave =
+      Spice.Tran.simulate_adaptive ~tol mna ~input:Spice.Tran.step_input
+        ~t_stop:(5.0 *. tau)
+    in
+    let worst = ref 0.0 in
+    Array.iter
+      (fun (t, y) ->
+        if t > 0.0 then
+          worst :=
+            Float.max !worst
+              (Float.abs (y -. (1.0 -. Float.exp (-.t /. tau)))))
+      wave;
+    (Array.length wave, !worst)
+  in
+  let n_loose, err_loose = run 1e-4 in
+  let n_tight, err_tight = run 1e-8 in
+  if n_tight <= n_loose then
+    Alcotest.failf "tight tol used %d points, loose used %d" n_tight n_loose;
+  if err_tight > err_loose then
+    Alcotest.failf "tight tol less accurate (%.3g > %.3g)" err_tight err_loose
+
+(* ------------------------------------------------------------------ *)
+(* Thermal noise *)
+
+let test_noise_resistor_density () =
+  (* Resistor loaded by an open output: S = 4kTR at low frequency. *)
+  let r = 10e3 in
+  let nl =
+    Parser.parse_string
+      (Printf.sprintf {|
+I1 out 0 0
+R1 out 0 %g
+C1 out 0 1f
+.output v(out)
+|} r)
+  in
+  let mna = Mna.build nl in
+  let s_out = Spice.Noise.output_density mna 1.0 in
+  check_float ~tol:1e-6 "4kTR" (4.0 *. Spice.Noise.boltzmann *. 300.0 *. r) s_out
+
+let test_noise_kt_over_c () =
+  (* The classic result: total noise of an RC lowpass integrated over all
+     frequency is kT/C, independent of R. *)
+  List.iter
+    (fun (r, c) ->
+      let mna = Mna.build (rc_lowpass ~r ~c) in
+      let f_pole = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+      let total =
+        Spice.Noise.integrated ~points:400 mna ~f_start:(f_pole /. 1e4)
+          ~f_stop:(f_pole *. 1e4)
+      in
+      let expected = Spice.Noise.boltzmann *. 300.0 /. c in
+      check_float ~tol:2e-3
+        (Printf.sprintf "kT/C for R=%g C=%g" r c)
+        expected total)
+    [ (1e3, 1e-9); (50e3, 1e-12) ]
+
+let test_noise_contributions_ranked () =
+  (* In a two-resistor divider the smaller resistor... contributions must
+     sum to the total and be sorted descending. *)
+  let nl =
+    Parser.parse_string
+      {|
+V1 in 0 1
+R1 in out 1k
+R2 out 0 9k
+C1 out 0 1p
+.output v(out)
+|}
+  in
+  let mna = Mna.build nl in
+  let parts = Spice.Noise.contributions mna 1e3 in
+  Alcotest.(check int) "two noisy elements" 2 (List.length parts);
+  let total = Spice.Noise.output_density mna 1e3 in
+  check_float ~tol:1e-9 "parts sum to total" total
+    (List.fold_left (fun acc (_, d) -> acc +. d) 0.0 parts);
+  (match parts with
+  | (_, a) :: (_, b) :: _ ->
+    Alcotest.(check bool) "sorted descending" true (a >= b)
+  | _ -> Alcotest.fail "expected two entries")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "spice"
+    [
+      ( "dc",
+        [
+          quick "voltage divider" test_dc_divider;
+          quick "node voltages" test_dc_node_voltage;
+          quick "differential output" test_diff_output;
+          quick "CCVS" test_ccvs;
+          quick "VCCS" test_vccs_gain;
+        ] );
+      ( "ac",
+        [
+          quick "RC lowpass matches analytic H(jw)" test_ac_lowpass;
+          quick "corner frequency is −3 dB, −45°" test_ac_corner_is_3db;
+          quick "log sweep monotone for lowpass" test_ac_sweep_monotone;
+          quick "series RLC resonance" test_ac_rlc_resonance;
+          quick "RL highpass matches analytic H(jw)" test_ac_rl_highpass;
+          quick "exact -45 deg at the corner" test_ac_corner_phase;
+        ] );
+      ( "noise",
+        [
+          quick "4kTR density" test_noise_resistor_density;
+          quick "kT/C integrated noise" test_noise_kt_over_c;
+          quick "contribution breakdown" test_noise_contributions_ranked;
+        ] );
+      ( "tran",
+        [
+          quick "RC step response analytic" test_tran_rc_step;
+          quick "initial state" test_tran_initial_state;
+          quick "ramp input settles" test_tran_ramp_settles;
+          quick "free decay from initial condition" test_tran_energy_decay;
+          quick "coupled-line crosstalk pulse" test_tran_coupled_lines_crosstalk_shape;
+          quick "RL step response analytic" test_tran_rl_step;
+          quick "superposition holds pointwise" test_tran_superposition;
+          quick "adaptive step accuracy" test_tran_adaptive_rc_accuracy;
+          quick "adaptive step on stiff interval" test_tran_adaptive_stiff_efficiency;
+          quick "adaptive tolerance scaling" test_tran_adaptive_tolerance_scaling;
+        ] );
+    ]

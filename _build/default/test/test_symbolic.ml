@@ -1,0 +1,616 @@
+(* Unit and property tests for the symbolic engine. *)
+
+module Sym = Symbolic.Symbol
+module Monomial = Symbolic.Monomial
+module Mpoly = Symbolic.Mpoly
+module Ratfun = Symbolic.Ratfun
+module Expr = Symbolic.Expr
+module Slp = Symbolic.Slp
+
+let x = Sym.intern "x"
+let y = Sym.intern "y"
+let z = Sym.intern "z"
+let px = Mpoly.of_symbol x
+let py = Mpoly.of_symbol y
+let pz = Mpoly.of_symbol z
+
+let env_of bindings s =
+  match List.assoc_opt (Sym.name s) bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "no binding for %s" (Sym.name s)
+
+let check_float ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Symbols *)
+
+let test_symbol_interning () =
+  Alcotest.(check bool) "same name same symbol" true
+    (Sym.equal (Sym.intern "a_sym") (Sym.intern "a_sym"));
+  Alcotest.(check bool) "distinct names differ" false
+    (Sym.equal (Sym.intern "a_sym") (Sym.intern "b_sym"))
+
+(* ------------------------------------------------------------------ *)
+(* Monomials *)
+
+let test_monomial_mul_div () =
+  let m1 = Monomial.of_list [ (x, 2); (y, 1) ] in
+  let m2 = Monomial.of_list [ (x, 1); (z, 3) ] in
+  let m = Monomial.mul m1 m2 in
+  Alcotest.(check int) "x exponent" 3 (Monomial.exponent m x);
+  Alcotest.(check int) "y exponent" 1 (Monomial.exponent m y);
+  Alcotest.(check int) "z exponent" 3 (Monomial.exponent m z);
+  (match Monomial.div m m1 with
+  | Some q -> Alcotest.(check bool) "m/m1 = m2" true (Monomial.equal q m2)
+  | None -> Alcotest.fail "expected divisible");
+  Alcotest.(check bool) "m1 does not divide m2" false (Monomial.divides m1 m2)
+
+let test_monomial_gcd () =
+  let m1 = Monomial.of_list [ (x, 2); (y, 1) ] in
+  let m2 = Monomial.of_list [ (x, 1); (y, 3); (z, 1) ] in
+  let g = Monomial.gcd m1 m2 in
+  Alcotest.(check bool) "gcd = x·y" true
+    (Monomial.equal g (Monomial.of_list [ (x, 1); (y, 1) ]))
+
+let test_monomial_deriv () =
+  let m = Monomial.of_list [ (x, 3); (y, 1) ] in
+  match Monomial.deriv m x with
+  | Some (e, m') ->
+    Alcotest.(check int) "exponent factor" 3 e;
+    Alcotest.(check bool) "reduced monomial" true
+      (Monomial.equal m' (Monomial.of_list [ (x, 2); (y, 1) ]))
+  | None -> Alcotest.fail "expected Some"
+
+(* ------------------------------------------------------------------ *)
+(* Mpoly *)
+
+let test_mpoly_arith () =
+  (* (x + y)² = x² + 2xy + y² *)
+  let lhs = Mpoly.pow (Mpoly.add px py) 2 in
+  let rhs =
+    Mpoly.of_terms
+      [ (1.0, Monomial.of_list [ (x, 2) ]);
+        (2.0, Monomial.of_list [ (x, 1); (y, 1) ]);
+        (1.0, Monomial.of_list [ (y, 2) ]) ]
+  in
+  Alcotest.(check bool) "binomial square" true (Mpoly.equal lhs rhs)
+
+let test_mpoly_cancellation () =
+  let p = Mpoly.sub (Mpoly.add px py) (Mpoly.add px py) in
+  Alcotest.(check bool) "x+y − (x+y) = 0" true (Mpoly.is_zero p)
+
+let test_mpoly_eval () =
+  let p = Mpoly.add (Mpoly.mul px py) (Mpoly.scale 3.0 pz) in
+  let v = Mpoly.eval p (env_of [ ("x", 2.0); ("y", 5.0); ("z", -1.0) ]) in
+  check_float "eval x·y + 3z" 7.0 v
+
+let test_mpoly_deriv () =
+  (* d/dx (x²y + x + y) = 2xy + 1 *)
+  let p =
+    Mpoly.of_terms
+      [ (1.0, Monomial.of_list [ (x, 2); (y, 1) ]);
+        (1.0, Monomial.of_symbol x);
+        (1.0, Monomial.of_symbol y) ]
+  in
+  let d = Mpoly.deriv p x in
+  let expected =
+    Mpoly.of_terms
+      [ (2.0, Monomial.of_list [ (x, 1); (y, 1) ]); (1.0, Monomial.one) ]
+  in
+  Alcotest.(check bool) "derivative" true (Mpoly.equal d expected)
+
+let test_mpoly_substitute () =
+  (* x²+y with x := y+1 gives y² + 3y + 1. *)
+  let p = Mpoly.add (Mpoly.pow px 2) py in
+  let q = Mpoly.substitute p x (Mpoly.add py Mpoly.one) in
+  let expected =
+    Mpoly.of_terms
+      [ (1.0, Monomial.of_list [ (y, 2) ]); (3.0, Monomial.of_symbol y);
+        (1.0, Monomial.one) ]
+  in
+  Alcotest.(check bool) "substitution" true (Mpoly.equal q expected)
+
+let test_mpoly_coeffs_in () =
+  (* p = (y+1)·x² + 3·x + z, coefficients in x. *)
+  let p =
+    Mpoly.add
+      (Mpoly.mul (Mpoly.add py Mpoly.one) (Mpoly.pow px 2))
+      (Mpoly.add (Mpoly.scale 3.0 px) pz)
+  in
+  let c = Mpoly.coeffs_in p x in
+  Alcotest.(check int) "3 coefficients" 3 (Array.length c);
+  Alcotest.(check bool) "c0 = z" true (Mpoly.equal c.(0) pz);
+  Alcotest.(check bool) "c1 = 3" true (Mpoly.equal c.(1) (Mpoly.const 3.0));
+  Alcotest.(check bool) "c2 = y+1" true (Mpoly.equal c.(2) (Mpoly.add py Mpoly.one))
+
+let test_mpoly_div_exact () =
+  let p = Mpoly.mul (Mpoly.add px py) (Mpoly.add px (Mpoly.const 2.0)) in
+  (match Mpoly.div_exact p (Mpoly.add px py) with
+  | Some q ->
+    Alcotest.(check bool) "quotient" true
+      (Mpoly.equal q (Mpoly.add px (Mpoly.const 2.0)))
+  | None -> Alcotest.fail "expected exact division");
+  Alcotest.(check bool) "inexact returns None" true
+    (Option.is_none (Mpoly.div_exact (Mpoly.add p Mpoly.one) (Mpoly.add px py)))
+
+let test_mpoly_multilinear () =
+  Alcotest.(check bool) "x·y + z is multilinear" true
+    (Mpoly.is_multilinear (Mpoly.add (Mpoly.mul px py) pz));
+  Alcotest.(check bool) "x² is not" false (Mpoly.is_multilinear (Mpoly.pow px 2))
+
+let mpoly_gen =
+  (* Random polynomial over x, y, z with small degrees. *)
+  QCheck2.Gen.(
+    let term =
+      let* c = float_range (-3.0) 3.0 in
+      let* ex = int_range 0 2 in
+      let* ey = int_range 0 2 in
+      let* ez = int_range 0 2 in
+      return (c, Monomial.of_list [ (x, ex); (y, ey); (z, ez) ])
+    in
+    let* terms = list_size (int_range 0 6) term in
+    return (Mpoly.of_terms terms))
+
+let prop_mpoly_ring =
+  QCheck2.Test.make ~name:"mpoly distributivity and commutativity" ~count:200
+    QCheck2.Gen.(triple mpoly_gen mpoly_gen mpoly_gen)
+    (fun (a, b, c) ->
+      Mpoly.equal (Mpoly.mul a b) (Mpoly.mul b a)
+      && Mpoly.equal
+           (Mpoly.mul (Mpoly.add a b) c)
+           (Mpoly.add (Mpoly.mul a c) (Mpoly.mul b c)))
+
+let prop_mpoly_eval_hom =
+  QCheck2.Test.make ~name:"evaluation is a ring homomorphism" ~count:200
+    QCheck2.Gen.(
+      quad mpoly_gen mpoly_gen (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (a, b, vx, vy) ->
+      let env s =
+        if Sym.equal s x then vx else if Sym.equal s y then vy else 0.5
+      in
+      let lhs = Mpoly.eval (Mpoly.mul a b) env in
+      let rhs = Mpoly.eval a env *. Mpoly.eval b env in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1.0 (Float.abs rhs))
+
+let prop_mpoly_deriv_linear =
+  QCheck2.Test.make ~name:"derivative is linear and Leibniz" ~count:200
+    QCheck2.Gen.(pair mpoly_gen mpoly_gen)
+    (fun (a, b) ->
+      Mpoly.equal
+        (Mpoly.deriv (Mpoly.add a b) x)
+        (Mpoly.add (Mpoly.deriv a x) (Mpoly.deriv b x))
+      && Mpoly.equal
+           (Mpoly.deriv (Mpoly.mul a b) x)
+           (Mpoly.add
+              (Mpoly.mul (Mpoly.deriv a x) b)
+              (Mpoly.mul a (Mpoly.deriv b x))))
+
+(* ------------------------------------------------------------------ *)
+(* Ratfun *)
+
+let test_ratfun_simplify () =
+  (* (x·y) / (x·z) cancels the common monomial x. *)
+  let r = Ratfun.make (Mpoly.mul px py) (Mpoly.mul px pz) in
+  Alcotest.(check bool) "num = y (up to scale)" true
+    (Ratfun.equal r (Ratfun.div (Ratfun.of_symbol y) (Ratfun.of_symbol z)))
+
+let test_ratfun_field_ops () =
+  let a = Ratfun.div (Ratfun.of_symbol x) (Ratfun.add (Ratfun.of_symbol y) Ratfun.one) in
+  let b = Ratfun.of_symbol z in
+  let sum = Ratfun.add a b in
+  let env = env_of [ ("x", 2.0); ("y", 3.0); ("z", 0.5) ] in
+  check_float "eval sum" ((2.0 /. 4.0) +. 0.5) (Ratfun.eval sum env);
+  let back = Ratfun.sub sum b in
+  Alcotest.(check bool) "sum − b = a" true (Ratfun.equal back a)
+
+let test_ratfun_inv () =
+  let a = Ratfun.make (Mpoly.add px py) pz in
+  Alcotest.(check bool) "a · a⁻¹ = 1" true
+    (Ratfun.equal (Ratfun.mul a (Ratfun.inv a)) Ratfun.one)
+
+let test_ratfun_deriv () =
+  (* d/dx (x/(x+1)) = 1/(x+1)². *)
+  let a = Ratfun.div (Ratfun.of_symbol x) (Ratfun.add (Ratfun.of_symbol x) Ratfun.one) in
+  let d = Ratfun.deriv a x in
+  let expected = Ratfun.inv (Ratfun.mul (Ratfun.add (Ratfun.of_symbol x) Ratfun.one) (Ratfun.add (Ratfun.of_symbol x) Ratfun.one)) in
+  Alcotest.(check bool) "quotient rule" true (Ratfun.equal d expected)
+
+let test_ratfun_zero_den () =
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Ratfun.make Mpoly.one Mpoly.zero))
+
+let prop_ratfun_field =
+  let rf_gen =
+    QCheck2.Gen.(
+      let* n = mpoly_gen in
+      let* d = mpoly_gen in
+      return
+        (try
+           if Mpoly.is_zero d then Ratfun.of_mpoly n else Ratfun.make n d
+         with Division_by_zero -> Ratfun.of_mpoly n))
+  in
+  QCheck2.Test.make ~name:"ratfun add/mul distributivity" ~count:100
+    QCheck2.Gen.(triple rf_gen rf_gen rf_gen)
+    (fun (a, b, c) ->
+      Ratfun.equal ~tol:1e-6
+        (Ratfun.mul (Ratfun.add a b) c)
+        (Ratfun.add (Ratfun.mul a c) (Ratfun.mul b c)))
+
+(* ------------------------------------------------------------------ *)
+(* Expr + Slp *)
+
+let test_expr_fold_identities () =
+  let e = Expr.add (Expr.sym x) Expr.zero in
+  Alcotest.(check bool) "x + 0 = x" true (Expr.equal e (Expr.sym x));
+  let e = Expr.mul (Expr.sym x) Expr.one in
+  Alcotest.(check bool) "x · 1 = x" true (Expr.equal e (Expr.sym x));
+  let e = Expr.mul (Expr.sym x) Expr.zero in
+  Alcotest.(check bool) "x · 0 = 0" true (Expr.equal e Expr.zero);
+  let e = Expr.neg (Expr.neg (Expr.sym x)) in
+  Alcotest.(check bool) "−(−x) = x" true (Expr.equal e (Expr.sym x));
+  let e = Expr.inv (Expr.inv (Expr.sym x)) in
+  Alcotest.(check bool) "1/(1/x) = x" true (Expr.equal e (Expr.sym x))
+
+let test_expr_hash_consing () =
+  let a = Expr.add (Expr.sym x) (Expr.sym y) in
+  let b = Expr.add (Expr.sym y) (Expr.sym x) in
+  Alcotest.(check bool) "commutative sharing" true (Expr.equal a b)
+
+let test_expr_eval () =
+  let e = Expr.div (Expr.add (Expr.sym x) (Expr.const 1.0)) (Expr.sym y) in
+  check_float "(x+1)/y" 1.5 (Expr.eval e (env_of [ ("x", 2.0); ("y", 2.0) ]))
+
+let test_expr_deriv () =
+  (* d/dx of x²/(x+y) at (x,y) = (2,1): (2x(x+y) − x²)/(x+y)² = (12−4)/9. *)
+  let e =
+    Expr.div (Expr.pow_int (Expr.sym x) 2) (Expr.add (Expr.sym x) (Expr.sym y))
+  in
+  let d = Expr.deriv e x in
+  check_float "symbolic derivative" (8.0 /. 9.0)
+    (Expr.eval d (env_of [ ("x", 2.0); ("y", 1.0) ]))
+
+let test_expr_of_ratfun () =
+  let r = Ratfun.div (Ratfun.add (Ratfun.of_symbol x) Ratfun.one) (Ratfun.of_symbol y) in
+  let e = Expr.of_ratfun r in
+  let env = env_of [ ("x", 3.0); ("y", 2.0) ] in
+  check_float "expr matches ratfun" (Ratfun.eval r env) (Expr.eval e env)
+
+let test_slp_eval () =
+  let e =
+    Expr.sqrt (Expr.add (Expr.mul (Expr.sym x) (Expr.sym x)) (Expr.mul (Expr.sym y) (Expr.sym y)))
+  in
+  let p = Slp.compile ~inputs:[| x; y |] [| e |] in
+  let out = Slp.eval p [| 3.0; 4.0 |] in
+  check_float "hypotenuse" 5.0 out.(0)
+
+let test_slp_cse () =
+  (* (x+y)·(x+y) shares the sum: one Add instruction, one Mul. *)
+  let s = Expr.add (Expr.sym x) (Expr.sym y) in
+  let e = Expr.mul s s in
+  let p = Slp.compile ~inputs:[| x; y |] [| e |] in
+  Alcotest.(check int) "4 instructions (2 loads, add, mul)" 4
+    (Slp.num_instructions p)
+
+let test_slp_missing_input () =
+  let e = Expr.sym z in
+  match Slp.compile ~inputs:[| x |] [| e |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_slp_evaluator_reuse () =
+  let e = Expr.add (Expr.sym x) (Expr.const 1.0) in
+  let eval = Slp.make_evaluator (Slp.compile ~inputs:[| x |] [| e |]) in
+  check_float "first call" 2.0 (eval [| 1.0 |]).(0);
+  check_float "second call" 11.0 (eval [| 10.0 |]).(0)
+
+let expr_gen =
+  (* Random expression over x, y with guarded inverses. *)
+  QCheck2.Gen.(
+    sized_size (int_range 0 8) @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map Expr.const (float_range (-3.0) 3.0);
+              oneofl [ Expr.sym x; Expr.sym y ] ]
+        else
+          oneof
+            [ map2 Expr.add (self (n / 2)) (self (n / 2));
+              map2 Expr.mul (self (n / 2)) (self (n / 2));
+              map Expr.neg (self (n - 1));
+              map
+                (fun e -> Expr.inv (Expr.add (Expr.mul e e) (Expr.const 1.0)))
+                (self (n - 1)) ]))
+
+let prop_slp_matches_eval =
+  QCheck2.Test.make ~name:"compiled SLP ≡ direct DAG evaluation" ~count:300
+    QCheck2.Gen.(triple expr_gen (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (e, vx, vy) ->
+      let env s = if Sym.equal s x then vx else vy in
+      let direct = Expr.eval e env in
+      let p = Slp.compile ~inputs:[| x; y |] [| e |] in
+      let compiled = (Slp.eval p [| vx; vy |]).(0) in
+      (Float.is_nan direct && Float.is_nan compiled)
+      || Float.abs (direct -. compiled) <= 1e-9 *. Float.max 1.0 (Float.abs direct))
+
+let prop_expr_deriv_numeric =
+  QCheck2.Test.make ~name:"symbolic derivative matches finite difference"
+    ~count:200
+    QCheck2.Gen.(triple expr_gen (float_range 0.5 2.0) (float_range 0.5 2.0))
+    (fun (e, vx, vy) ->
+      let env vx s = if Sym.equal s x then vx else vy in
+      let h = 1e-6 in
+      let fd = (Expr.eval e (env (vx +. h)) -. Expr.eval e (env (vx -. h))) /. (2.0 *. h) in
+      let sym_d = Expr.eval (Expr.deriv e x) (env vx) in
+      Float.abs (fd -. sym_d) <= 1e-3 *. Float.max 1.0 (Float.abs sym_d))
+
+(* ------------------------------------------------------------------ *)
+(* Second tranche: ordering laws, reconstruction properties, SLP details *)
+
+let monomial_gen =
+  QCheck2.Gen.(
+    let* ex = int_range 0 3 in
+    let* ey = int_range 0 3 in
+    let* ez = int_range 0 3 in
+    return (Monomial.of_list [ (x, ex); (y, ey); (z, ez) ]))
+
+let prop_monomial_order_total =
+  QCheck2.Test.make ~name:"monomial order: antisymmetric and transitive"
+    ~count:300
+    QCheck2.Gen.(triple monomial_gen monomial_gen monomial_gen)
+    (fun (a, b, c) ->
+      let ab = Monomial.compare a b and ba = Monomial.compare b a in
+      (compare (ab > 0) (ba < 0) = 0 || ab = 0)
+      && (not (Monomial.compare a b <= 0 && Monomial.compare b c <= 0)
+         || Monomial.compare a c <= 0))
+
+let prop_monomial_mul_respects_order =
+  (* Graded orders are compatible with multiplication. *)
+  QCheck2.Test.make ~name:"monomial order compatible with multiplication"
+    ~count:300
+    QCheck2.Gen.(triple monomial_gen monomial_gen monomial_gen)
+    (fun (a, b, c) ->
+      let ab = Monomial.compare a b in
+      ab = 0 || compare (Monomial.compare (Monomial.mul a c) (Monomial.mul b c) > 0) (ab > 0) = 0)
+
+let prop_coeffs_in_reconstruct =
+  QCheck2.Test.make ~name:"coeffs_in reconstructs the polynomial" ~count:200
+    mpoly_gen (fun p ->
+      let c = Mpoly.coeffs_in p x in
+      let back = ref Mpoly.zero in
+      Array.iteri
+        (fun k ck ->
+          back := Mpoly.add !back (Mpoly.mul ck (Mpoly.pow (Mpoly.of_symbol x) k)))
+        c;
+      Mpoly.equal p !back)
+
+let prop_ratfun_substitute =
+  QCheck2.Test.make ~name:"ratfun substitution commutes with evaluation"
+    ~count:150
+    QCheck2.Gen.(triple mpoly_gen mpoly_gen (float_range 0.5 2.0))
+    (fun (n, q, vy) ->
+      let r = Ratfun.make (Mpoly.add n Mpoly.one) (Mpoly.add (Mpoly.mul q q) Mpoly.one) in
+      (* x := y + 1, then evaluate; versus evaluate with x = y + 1. *)
+      let substituted = Ratfun.substitute r x (Mpoly.add (Mpoly.of_symbol y) Mpoly.one) in
+      let env_sub s = if Sym.equal s y then vy else 0.25 in
+      let env_dir s =
+        if Sym.equal s x then vy +. 1.0 else if Sym.equal s y then vy else 0.25
+      in
+      match
+        (Ratfun.eval substituted env_sub, Ratfun.eval r env_dir)
+      with
+      | a, b -> Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+      | exception Division_by_zero -> QCheck2.assume_fail ())
+
+let test_expr_symbols_and_size () =
+  let e = Expr.mul (Expr.add (Expr.sym x) (Expr.sym y)) (Expr.add (Expr.sym x) (Expr.sym y)) in
+  Alcotest.(check int) "two symbols" 2 (List.length (Expr.symbols e));
+  (* Nodes: x, y, x+y (shared), product = 4. *)
+  Alcotest.(check int) "shared DAG size" 4 (Expr.size e)
+
+let test_slp_pp_smoke () =
+  let e = Expr.div (Expr.add (Expr.sym x) (Expr.const 2.0)) (Expr.sym y) in
+  let p = Slp.compile ~inputs:[| x; y |] [| e |] in
+  let text = Format.asprintf "%a" Slp.pp p in
+  Alcotest.(check bool) "disassembly mentions inputs" true
+    (String.length text > 20)
+
+let test_slp_multiple_outputs () =
+  let e1 = Expr.add (Expr.sym x) (Expr.sym y) in
+  let e2 = Expr.mul e1 e1 in
+  let e3 = Expr.neg e1 in
+  let p = Slp.compile ~inputs:[| x; y |] [| e1; e2; e3 |] in
+  Alcotest.(check int) "three outputs" 3 (Slp.num_outputs p);
+  let out = Slp.eval p [| 3.0; 4.0 |] in
+  check_float "o1" 7.0 out.(0);
+  check_float "o2" 49.0 out.(1);
+  check_float "o3" (-7.0) out.(2);
+  (* Sharing: e1 computed once. *)
+  Alcotest.(check int) "5 instructions for the family" 5 (Slp.num_instructions p)
+
+let test_slp_constants_preloaded () =
+  let e = Expr.mul (Expr.const 3.0) (Expr.const 0.0) in
+  (* Folded to the constant 0 at construction: no instructions at all. *)
+  let p = Slp.compile ~inputs:[||] [| e |] in
+  Alcotest.(check int) "no instructions" 0 (Slp.num_instructions p);
+  check_float "constant output" 0.0 (Slp.eval p [||]).(0)
+
+let prop_expr_eval_matches_mpoly =
+  QCheck2.Test.make ~name:"of_mpoly preserves evaluation" ~count:200
+    QCheck2.Gen.(triple mpoly_gen (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (p, vx, vy) ->
+      let env s = if Sym.equal s x then vx else if Sym.equal s y then vy else 0.5 in
+      let direct = Mpoly.eval p env in
+      let via_expr = Expr.eval (Expr.of_mpoly p) env in
+      Float.abs (direct -. via_expr) <= 1e-7 *. Float.max 1.0 (Float.abs direct))
+
+(* ------------------------------------------------------------------ *)
+(* Misc coverage: printers, conversions, small API corners *)
+
+let test_mpoly_printer () =
+  let p =
+    Mpoly.of_terms
+      [ (2.0, Monomial.of_list [ (x, 2) ]); (-1.0, Monomial.of_symbol y);
+        (3.0, Monomial.one) ]
+  in
+  Alcotest.(check string) "rendering" "2*x^2 - y + 3" (Mpoly.to_string p);
+  Alcotest.(check string) "zero" "0" (Mpoly.to_string Mpoly.zero)
+
+let test_mpoly_degree_profile () =
+  let p =
+    Mpoly.of_terms
+      [ (1.0, Monomial.of_list [ (x, 2); (y, 1) ]);
+        (1.0, Monomial.of_list [ (x, 1); (z, 3) ]) ]
+  in
+  let profile = Mpoly.degree_profile p in
+  Alcotest.(check (list (pair string int)))
+    "profile"
+    [ ("x", 2); ("y", 1); ("z", 3) ]
+    (List.map (fun (s, e) -> (Sym.name s, e)) profile)
+
+let test_expr_pow_negative () =
+  let e = Expr.pow_int (Expr.sym x) (-2) in
+  check_float "x^-2 at 4" (1.0 /. 16.0) (Expr.eval e (env_of [ ("x", 4.0) ]))
+
+let test_ratfun_pow () =
+  let r = Ratfun.div (Ratfun.of_symbol x) (Ratfun.add (Ratfun.of_symbol y) Ratfun.one) in
+  let env = env_of [ ("x", 2.0); ("y", 1.0) ] in
+  check_float "r^3" 1.0 (Ratfun.eval (Ratfun.pow r 3) env);
+  check_float "r^-2" 1.0 (Ratfun.eval (Ratfun.pow r (-2)) env)
+
+let test_slp_num_registers () =
+  let e = Expr.add (Expr.sym x) (Expr.const 2.0) in
+  let p = Slp.compile ~inputs:[| x |] [| e |] in
+  Alcotest.(check bool) "registers counted" true (Slp.num_registers p >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic and interval program evaluation *)
+
+module Interval = Symbolic.Interval
+
+let test_interval_basic () =
+  let a = Interval.make 1.0 2.0 and b = Interval.make (-1.0) 3.0 in
+  let lo, hi = Interval.bounds (Interval.mul a b) in
+  check_float "mul lo" (-2.0) lo;
+  check_float "mul hi" 6.0 hi;
+  let lo, hi = Interval.bounds (Interval.sub a b) in
+  check_float "sub lo" (-2.0) lo;
+  check_float "sub hi" 3.0 hi;
+  let lo, hi = Interval.bounds (Interval.inv a) in
+  check_float "inv lo" 0.5 lo;
+  check_float "inv hi" 1.0 hi
+
+let test_interval_guards () =
+  (match Interval.make 2.0 1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted bounds accepted");
+  (match Interval.inv (Interval.make (-1.0) 1.0) with
+  | exception Division_by_zero -> ()
+  | _ -> Alcotest.fail "inv through zero accepted");
+  match Interval.sqrt (Interval.make (-1.0) 1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sqrt of negative accepted"
+
+let prop_interval_soundness =
+  (* Every sampled evaluation lies inside the interval evaluation. *)
+  QCheck2.Test.make ~name:"interval SLP evaluation encloses all samples"
+    ~count:200
+    QCheck2.Gen.(
+      quad expr_gen (float_range 0.5 2.0) (float_range 0.5 2.0)
+        (pair (float_range 0.0 0.5) (float_range 0.0 0.5)))
+    (fun (e, vx, vy, (wx, wy)) ->
+      let p = Slp.compile ~inputs:[| x; y |] [| e |] in
+      let boxes =
+        [| Interval.make (vx -. wx) (vx +. wx);
+           Interval.make (vy -. wy) (vy +. wy) |]
+      in
+      match Slp.eval_interval p boxes with
+      | exception Division_by_zero -> QCheck2.assume_fail ()
+      | enclosure ->
+        (* Sample the corners and the center. *)
+        List.for_all
+          (fun (sx, sy) ->
+            let v = (Slp.eval p [| sx; sy |]).(0) in
+            Float.is_nan v
+            || Interval.contains enclosure.(0) v
+            || Float.abs v *. 1e-12 > 0.0
+               && Interval.contains
+                    (Interval.make
+                       (fst (Interval.bounds enclosure.(0)) -. (1e-9 *. Float.abs v))
+                       (snd (Interval.bounds enclosure.(0)) +. (1e-9 *. Float.abs v)))
+                    v)
+          [ (vx -. wx, vy -. wy); (vx -. wx, vy +. wy); (vx +. wx, vy -. wy);
+            (vx +. wx, vy +. wy); (vx, vy) ])
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "symbolic"
+    [
+      ("symbol", [ quick "interning" test_symbol_interning ]);
+      ( "monomial",
+        [
+          quick "mul/div" test_monomial_mul_div;
+          quick "gcd" test_monomial_gcd;
+          quick "derivative" test_monomial_deriv;
+        ]
+        @ props [ prop_monomial_order_total; prop_monomial_mul_respects_order ] );
+      ( "mpoly",
+        [
+          quick "binomial arithmetic" test_mpoly_arith;
+          quick "cancellation to zero" test_mpoly_cancellation;
+          quick "evaluation" test_mpoly_eval;
+          quick "derivative" test_mpoly_deriv;
+          quick "substitution" test_mpoly_substitute;
+          quick "coefficients in a variable" test_mpoly_coeffs_in;
+          quick "exact division" test_mpoly_div_exact;
+          quick "multilinearity predicate" test_mpoly_multilinear;
+        ]
+        @ props
+            [ prop_mpoly_ring; prop_mpoly_eval_hom; prop_mpoly_deriv_linear;
+              prop_coeffs_in_reconstruct ] );
+      ( "ratfun",
+        [
+          quick "monomial cancellation" test_ratfun_simplify;
+          quick "field operations" test_ratfun_field_ops;
+          quick "inverse" test_ratfun_inv;
+          quick "derivative quotient rule" test_ratfun_deriv;
+          quick "zero denominator raises" test_ratfun_zero_den;
+        ]
+        @ props [ prop_ratfun_field; prop_ratfun_substitute ] );
+      ( "expr",
+        [
+          quick "constant folding identities" test_expr_fold_identities;
+          quick "hash-consing commutative sharing" test_expr_hash_consing;
+          quick "evaluation" test_expr_eval;
+          quick "derivative" test_expr_deriv;
+          quick "of_ratfun faithful" test_expr_of_ratfun;
+          quick "symbols and DAG size" test_expr_symbols_and_size;
+        ]
+        @ props [ prop_expr_deriv_numeric; prop_expr_eval_matches_mpoly ] );
+      ( "slp",
+        [
+          quick "compile and evaluate" test_slp_eval;
+          quick "common subexpressions shared" test_slp_cse;
+          quick "missing input rejected" test_slp_missing_input;
+          quick "evaluator reuse" test_slp_evaluator_reuse;
+          quick "disassembly smoke" test_slp_pp_smoke;
+          quick "multiple outputs share work" test_slp_multiple_outputs;
+          quick "constants preloaded" test_slp_constants_preloaded;
+        ]
+        @ props [ prop_slp_matches_eval ] );
+      ( "misc",
+        [
+          quick "mpoly printer" test_mpoly_printer;
+          quick "degree profile" test_mpoly_degree_profile;
+          quick "negative integer powers" test_expr_pow_negative;
+          quick "ratfun powers" test_ratfun_pow;
+          quick "register accounting" test_slp_num_registers;
+        ] );
+      ( "interval",
+        [
+          quick "arithmetic" test_interval_basic;
+          quick "guards" test_interval_guards;
+        ]
+        @ props [ prop_interval_soundness ] );
+    ]
