@@ -2,9 +2,12 @@
    evaluation section, plus the ablations called out in DESIGN.md.
 
    Usage:
-     dune exec bench/main.exe             # run everything
-     dune exec bench/main.exe -- tab1     # one experiment
-     dune exec bench/main.exe -- list     # list experiment ids
+     dune exec bench/main.exe                  # run everything
+     dune exec bench/main.exe -- tab1          # one experiment
+     dune exec bench/main.exe -- list          # list experiment ids
+     dune exec bench/main.exe -- --json F.json [ids]
+                                               # also write machine-readable
+                                               # per-experiment stats
 
    Absolute times are machine-dependent; the claims under reproduction are
    the *ratios* and *shapes* (see EXPERIMENTS.md). *)
@@ -21,19 +24,14 @@ module Cx = Numeric.Cx
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+(* Timing and the deterministic value stream both come from Obs now, so the
+   bench measures with the same clock the pipeline spans use. *)
+let wall f = Obs.Span.timed f
+let wall_only f = snd (Obs.Span.timed f)
 
-let wall_only f = snd (wall f)
-
-(* Deterministic value stream for random evaluation points. *)
 let lcg seed =
-  let state = ref seed in
-  fun () ->
-    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
-    float_of_int ((!state lsr 17) land 0xFFFFFF) /. float_of_int 0xFFFFFF
+  let rng = Obs.Rng.create seed in
+  fun () -> Obs.Rng.float rng
 
 (* ------------------------------------------------------------------ *)
 (* Shared circuit setups *)
@@ -794,19 +792,54 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+let select ids =
+  match ids with
+  | [] -> experiments
+  | ids ->
+    List.map
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some f -> (id, f)
+        | None ->
+          Printf.eprintf "unknown experiment %s (try: list)\n" id;
+          exit 1)
+      ids
+
+(* Machine-readable mode: each experiment runs with telemetry on, and the
+   report carries its wall time plus every kernel counter it tripped. *)
+let run_json path ids =
+  let module J = Obs.Json in
+  Obs.enabled := true;
+  let entries =
+    List.map
+      (fun (id, f) ->
+        Obs.reset ();
+        let (), wall_s = Obs.Span.timed f in
+        J.Obj
+          [
+            ("id", J.Str id);
+            ("wall_s", J.Num wall_s);
+            ("metrics", Obs.Metrics.snapshot ());
+          ])
+      (select ids)
+  in
+  Obs.enabled := false;
+  J.to_file path
+    (J.Obj
+       [
+         ("schema", J.Str "awesymbolic-bench/1");
+         ("machine", Obs.machine_info ());
+         ("experiments", J.List entries);
+       ]);
+  Printf.printf "\nbench stats written to %s\n" path
+
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ()
   | _ :: [ "list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
+  | _ :: "--json" :: path :: ids -> run_json path ids
   | _ :: ids ->
-    List.iter
-      (fun id ->
-        match List.assoc_opt id experiments with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown experiment %s (try: list)\n" id;
-          exit 1)
-      ids;
+    List.iter (fun (_, f) -> f ()) (select ids);
     print_newline ()

@@ -41,6 +41,49 @@ let or_die = function
     prerr_endline msg;
     exit 1
 
+(* Shared telemetry flags: every subcommand takes --stats/--trace and runs
+   under [with_obs], which turns the Obs subsystem on only when asked so the
+   default path keeps its zero-overhead guarantee. *)
+let obs_args =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a phase-time tree and kernel counter tables to stderr \
+             after the command runs.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write recorded spans as Chrome-trace JSON (load in \
+             chrome://tracing or Perfetto).")
+  in
+  Term.(const (fun stats trace -> (stats, trace)) $ stats $ trace)
+
+let with_obs (stats, trace) f =
+  if not (stats || trace <> None) then f ()
+  else begin
+    Obs.enabled := true;
+    Obs.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        if stats then Format.eprintf "%a@?" Obs.report ();
+        Option.iter
+          (fun path ->
+            match Obs.write_trace path with
+            | () -> Printf.eprintf "trace written to %s\n%!" path
+            | exception Sys_error msg ->
+              Printf.eprintf "awesym: cannot write trace: %s\n%!" msg;
+              exit 1)
+          trace;
+        Obs.enabled := false)
+      f
+  end
+
 let print_rom rom =
   Format.printf "%a@." Awe.Rom.pp rom;
   Printf.printf "dc gain        : %g (%.2f dB)\n" (Awe.Measures.dc_gain rom)
@@ -60,7 +103,8 @@ let print_rom rom =
 (* ------------------------------------------------------------------ *)
 
 let awe_cmd =
-  let run deck order krylov sparse realize_path =
+  let run obs deck order krylov sparse realize_path =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let result =
       if krylov then Awe.Krylov.analyze ~order (Circuit.Mna.build nl)
@@ -99,7 +143,7 @@ let awe_cmd =
   in
   let doc = "Numeric AWE analysis: reduced-order model of the deck." in
   Cmd.v (Cmd.info "awe" ~doc)
-    Term.(const run $ deck_arg $ order_arg $ krylov_arg $ sparse_arg
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ krylov_arg $ sparse_arg
           $ realize_arg)
 
 let bindings_arg =
@@ -120,7 +164,8 @@ let parse_binding s =
     | None -> Error (Printf.sprintf "malformed value in %S" s))
 
 let symbolic_cmd =
-  let run deck order bindings show_program =
+  let run obs deck order bindings show_program =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let model = Awesymbolic.Model.build ~order nl in
     let symbols = Awesymbolic.Model.symbols model in
@@ -163,10 +208,12 @@ let symbolic_cmd =
   let doc = "AWEsymbolic: compiled symbolic analysis of the deck." in
   Cmd.v
     (Cmd.info "symbolic" ~doc)
-    Term.(const run $ deck_arg $ order_arg $ bindings_arg $ program_arg)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ bindings_arg
+          $ program_arg)
 
 let exact_cmd =
-  let run deck all_symbolic =
+  let run obs deck all_symbolic =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let tf = Exact.Network.transfer_function ~all_symbolic nl in
     Printf.printf "H(s) = %s\n" (Exact.Network.to_string tf)
@@ -177,10 +224,11 @@ let exact_cmd =
       & info [ "all-symbolic" ] ~doc:"Treat every element as a symbol.")
   in
   let doc = "Exact symbolic transfer function (classical baseline)." in
-  Cmd.v (Cmd.info "exact" ~doc) Term.(const run $ deck_arg $ all_arg)
+  Cmd.v (Cmd.info "exact" ~doc) Term.(const run $ obs_args $ deck_arg $ all_arg)
 
 let ac_cmd =
-  let run deck f_start f_stop points =
+  let run obs deck f_start f_stop points =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let mna = Circuit.Mna.build nl in
     Printf.printf "%14s %14s %12s\n" "freq (Hz)" "mag (dB)" "phase (deg)";
@@ -200,10 +248,12 @@ let ac_cmd =
     Arg.(value & opt int 30 & info [ "points"; "n" ] ~doc:"Sweep points.")
   in
   let doc = "AC sweep by direct complex solves." in
-  Cmd.v (Cmd.info "ac" ~doc) Term.(const run $ deck_arg $ f_start $ f_stop $ points)
+  Cmd.v (Cmd.info "ac" ~doc)
+    Term.(const run $ obs_args $ deck_arg $ f_start $ f_stop $ points)
 
 let tran_cmd =
-  let run deck t_step t_stop adaptive tol =
+  let run obs deck t_step t_stop adaptive tol =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let mna = Circuit.Mna.build nl in
     let wave =
@@ -243,10 +293,12 @@ let tran_cmd =
   in
   let doc = "Transient step response (trapezoidal integration)." in
   Cmd.v (Cmd.info "tran" ~doc)
-    Term.(const run $ deck_arg $ t_step $ t_stop $ adaptive_arg $ tol_arg)
+    Term.(const run $ obs_args $ deck_arg $ t_step $ t_stop $ adaptive_arg
+          $ tol_arg)
 
 let rank_cmd =
-  let run deck order top =
+  let run obs deck order top =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let ranked = Awe.Sensitivity.rank ~order nl in
     Printf.printf "%4s %-20s %14s\n" "#" "element" "sensitivity";
@@ -260,10 +312,12 @@ let rank_cmd =
     Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many elements to list.")
   in
   let doc = "Rank elements by AWE pole/gain sensitivity." in
-  Cmd.v (Cmd.info "rank" ~doc) Term.(const run $ deck_arg $ order_arg $ top_arg)
+  Cmd.v (Cmd.info "rank" ~doc)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ top_arg)
 
 let linearize_cmd =
-  let run deck out_path analyze =
+  let run obs deck out_path analyze =
+    with_obs obs @@ fun () ->
     let nl =
       try Nonlinear.Parser.parse_file deck with
       | Nonlinear.Parser.Parse_error (line, msg) ->
@@ -304,10 +358,11 @@ let linearize_cmd =
   let doc = "Bias a transistor-level deck and emit its linearized netlist." in
   Cmd.v
     (Cmd.info "linearize" ~doc)
-    Term.(const run $ deck_arg $ out_arg $ analyze_arg)
+    Term.(const run $ obs_args $ deck_arg $ out_arg $ analyze_arg)
 
 let distortion_cmd =
-  let run deck f amplitude bias harmonics two_tone =
+  let run obs deck f amplitude bias harmonics two_tone =
+    with_obs obs @@ fun () ->
     let nl =
       try Nonlinear.Parser.parse_file deck with
       | Nonlinear.Parser.Parse_error (line, msg) ->
@@ -402,11 +457,12 @@ let distortion_cmd =
   in
   Cmd.v
     (Cmd.info "distortion" ~doc)
-    Term.(const run $ deck_arg $ f_arg $ amp_arg $ bias_arg $ harmonics_arg
-          $ two_tone_arg)
+    Term.(const run $ obs_args $ deck_arg $ f_arg $ amp_arg $ bias_arg
+          $ harmonics_arg $ two_tone_arg)
 
 let sens_cmd =
-  let run deck order bindings =
+  let run obs deck order bindings =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let model = Awesymbolic.Model.build ~order nl in
     let symbols = Awesymbolic.Model.symbols model in
@@ -456,10 +512,12 @@ let sens_cmd =
     "Compiled symbolic sensitivities: d(moment)/d(symbol) and, for orders \
      1-2, d(pole)/d(symbol)."
   in
-  Cmd.v (Cmd.info "sens" ~doc) Term.(const run $ deck_arg $ order_arg $ bindings_arg)
+  Cmd.v (Cmd.info "sens" ~doc)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ bindings_arg)
 
 let validate_cmd =
-  let run deck order points ranges =
+  let run obs deck order points ranges =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let model = Awesymbolic.Model.build ~order nl in
     let parse_range s =
@@ -503,10 +561,12 @@ let validate_cmd =
   let doc = "Validate the compiled model against full numeric AWE." in
   Cmd.v
     (Cmd.info "validate" ~doc)
-    Term.(const run $ deck_arg $ order_arg $ points_arg $ ranges_arg)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ points_arg
+          $ ranges_arg)
 
 let macromodel_cmd =
-  let run deck order ports f_probe out_path ts_path =
+  let run obs deck order ports f_probe out_path ts_path =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     if ports = [] then begin
       prerr_endline "need at least one --port";
@@ -583,11 +643,12 @@ let macromodel_cmd =
   let doc = "Reduce a network block to an N-port pole/residue macromodel." in
   Cmd.v
     (Cmd.info "macromodel" ~doc)
-    Term.(const run $ deck_arg $ order_arg $ ports_arg $ probe_arg $ out_arg
-          $ ts_arg)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ ports_arg $ probe_arg
+          $ out_arg $ ts_arg)
 
 let noise_cmd =
-  let run deck f_probe f_start f_stop top =
+  let run obs deck f_probe f_start f_stop top =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let mna = Circuit.Mna.build nl in
     let density = Spice.Noise.output_density mna f_probe in
@@ -618,10 +679,12 @@ let noise_cmd =
   in
   let doc = "Thermal (4kTR) output noise: density, breakdown, integral." in
   Cmd.v (Cmd.info "noise" ~doc)
-    Term.(const run $ deck_arg $ f_probe $ f_start $ f_stop $ top_arg)
+    Term.(const run $ obs_args $ deck_arg $ f_probe $ f_start $ f_stop
+          $ top_arg)
 
 let moments_cmd =
-  let run deck count =
+  let run obs deck count =
+    with_obs obs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let mna = Circuit.Mna.build nl in
     let m = Awe.Moments.output_moments (Awe.Moments.compute ~count mna) in
@@ -631,7 +694,8 @@ let moments_cmd =
     Arg.(value & opt int 8 & info [ "count"; "n" ] ~doc:"Number of moments.")
   in
   let doc = "Raw circuit moments of the designated output." in
-  Cmd.v (Cmd.info "moments" ~doc) Term.(const run $ deck_arg $ count_arg)
+  Cmd.v (Cmd.info "moments" ~doc)
+    Term.(const run $ obs_args $ deck_arg $ count_arg)
 
 let () =
   let doc = "compiled symbolic circuit analysis via asymptotic waveform evaluation" in

@@ -1,14 +1,67 @@
+type health = {
+  dim : int;
+  pivot_min : float;
+  pivot_max : float;
+  pivot_growth : float;
+  condition_est : float;
+  near_singular : bool;
+  warnings : string list;
+}
+
 type result = {
   rom : Rom.t;
   moments : float array;
   mna : Circuit.Mna.t;
+  health : health;
 }
+
+(* An LU whose smallest pivot sits within a few digits of underflow relative
+   to the largest, or whose elimination grew elements by many orders of
+   magnitude, produces moment vectors with few (or no) correct digits — and
+   a Padé fit that is quietly wrong.  These thresholds are deliberately
+   loose: they flag the catastrophic cases, not mild conditioning. *)
+let pivot_ratio_floor = 1e-12
+let growth_ceiling = 1e8
+
+let health_of_lu (h : Numeric.Lu.health) =
+  let condition_est =
+    if h.Numeric.Lu.pivot_min > 0.0 then
+      h.Numeric.Lu.pivot_max /. h.Numeric.Lu.pivot_min
+    else Float.infinity
+  in
+  let warnings = ref [] in
+  if h.Numeric.Lu.pivot_min <= pivot_ratio_floor *. h.Numeric.Lu.pivot_max then
+    warnings :=
+      Printf.sprintf
+        "near-singular conductance matrix: pivot ratio %.2e (min %.3e, max \
+         %.3e)"
+        condition_est h.Numeric.Lu.pivot_min h.Numeric.Lu.pivot_max
+      :: !warnings;
+  if h.Numeric.Lu.growth > growth_ceiling then
+    warnings :=
+      Printf.sprintf "unstable elimination: element growth %.2e"
+        h.Numeric.Lu.growth
+      :: !warnings;
+  let near_singular = !warnings <> [] in
+  if near_singular && !Obs.enabled then
+    Obs.Metrics.incr "driver.near_singular.count";
+  {
+    dim = h.Numeric.Lu.dim;
+    pivot_min = h.Numeric.Lu.pivot_min;
+    pivot_max = h.Numeric.Lu.pivot_max;
+    pivot_growth = h.Numeric.Lu.growth;
+    condition_est;
+    near_singular;
+    warnings = List.rev !warnings;
+  }
 
 let analyze_mna ?(order = 4) ?(extra_moments = 0) ?(shift = 0.0)
     ?(with_direct = false) ?(sparse = false) mna =
   if order < 1 then invalid_arg "Driver.analyze: order must be >= 1";
+  Obs.Span.with_ ~name:"awe.analyze" @@ fun () ->
   let count = (2 * order) + extra_moments + (if with_direct then 1 else 0) in
   let moments = Moments.compute ~count ~shift ~sparse mna in
+  let health = health_of_lu (Moments.health moments) in
   let m = Moments.output_moments moments in
   (* Stability filtering compares against the shifted origin, which is
      meaningless away from DC; shifted expansions are pole-location
@@ -26,7 +79,7 @@ let analyze_mna ?(order = 4) ?(extra_moments = 0) ?(shift = 0.0)
              rom.Rom.poles)
         ~residues:rom.Rom.residues ()
   in
-  { rom; moments = m; mna }
+  { rom; moments = m; mna; health }
 
 let analyze ?order ?extra_moments ?shift ?with_direct ?sparse nl =
   analyze_mna ?order ?extra_moments ?shift ?with_direct ?sparse

@@ -1,10 +1,31 @@
 (** Top-level numeric AWE analysis: netlist in, reduced-order model out. *)
 
+type health = {
+  dim : int;  (** MNA system size *)
+  pivot_min : float;
+  pivot_max : float;
+  pivot_growth : float;  (** element growth of the elimination *)
+  condition_est : float;  (** [pivot_max / pivot_min] *)
+  near_singular : bool;
+      (** true when any warning fired — the moments (and hence the fit)
+          should not be trusted without independent validation *)
+  warnings : string list;  (** human-readable diagnoses, empty when clean *)
+}
+(** Numeric health of the conductance factorization behind a result.
+    Historically these warnings were silently swallowed; they now ride
+    along so validation sweeps can flag ill-conditioned moment matrices
+    instead of comparing quietly wrong fits. *)
+
 type result = {
   rom : Rom.t;
   moments : float array;  (** the output moments used for the fit *)
   mna : Circuit.Mna.t;
+  health : health;
 }
+
+val health_of_lu : Numeric.Lu.health -> health
+(** Grade raw pivot statistics into the {!health} record (used by the
+    alternative analysis front ends, e.g. {!Krylov}). *)
 
 val analyze :
   ?order:int -> ?extra_moments:int -> ?shift:float -> ?with_direct:bool ->

@@ -174,6 +174,7 @@ let poles gq cq =
   | None -> poles_via_interpolation gq cq
 
 let analyze ?(order = 4) mna =
+  Obs.Span.with_ ~name:"awe.krylov.analyze" @@ fun () ->
   let v = basis ~order mna in
   let q = Matrix.cols v in
   if q = 0 then raise (Pade.Degenerate "Krylov basis is empty");
@@ -188,10 +189,8 @@ let analyze ?(order = 4) mna =
     raise (Pade.Degenerate "no stable pole in the reduced pencil");
   (* Residues: match the leading circuit moments (scaled for conditioning,
      as in the Padé path). *)
-  let m =
-    Moments.output_moments
-      (Moments.compute ~count:(Int.max q (Array.length pencil_poles)) mna)
-  in
+  let mom = Moments.compute ~count:(Int.max q (Array.length pencil_poles)) mna in
+  let m = Moments.output_moments mom in
   let alpha = Pade.moment_scale m in
   let m_hat =
     Array.mapi (fun k v -> v *. Float.pow alpha (float_of_int k)) m
@@ -206,4 +205,5 @@ let analyze ?(order = 4) mna =
       ~residues:(Array.map (Cx.scale alpha) res_hat)
       ()
   in
-  { Driver.rom; moments = m; mna }
+  let health = Driver.health_of_lu (Moments.health mom) in
+  { Driver.rom; moments = m; mna; health }

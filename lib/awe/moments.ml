@@ -14,6 +14,13 @@ type t = {
 
 let compute ?(count = 8) ?(shift = 0.0) ?(sparse = false) mna =
   if count < 1 then invalid_arg "Moments.compute: count must be >= 1";
+  Obs.Span.with_ ~name:"awe.moments" @@ fun () ->
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "moments.compute.count";
+    Obs.Metrics.add "moments.recursion.steps" (count - 1);
+    Obs.Metrics.observe "moments.system.dim"
+      (float_of_int (Mna.size (Mna.index mna)))
+  end;
   (* The sparse path assembles straight from the stamp entries, so the dense
      n×n matrices are never materialized on large circuits. *)
   let solver, mul_c =
@@ -74,6 +81,11 @@ let factor t =
   match t.solver with
   | Dense_lu lu -> lu
   | Sparse_lu _ -> failwith "Moments.factor: computed with the sparse backend"
+
+let health t =
+  match t.solver with
+  | Dense_lu lu -> Numeric.Lu.health lu
+  | Sparse_lu f -> Numeric.Sparse.health f
 
 let shift t = t.shift
 

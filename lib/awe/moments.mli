@@ -45,3 +45,7 @@ val factor : t -> Numeric.Lu.t
 (** The dense LU factorization of [G], reusable for adjoint solves.
     Raises [Failure] when the moments were computed with [~sparse:true]
     (the sparse factorization has no transpose solve). *)
+
+val health : t -> Numeric.Lu.health
+(** Pivot/growth statistics of whichever factorization (dense or sparse)
+    produced the moment vectors. *)

@@ -157,10 +157,17 @@ let fit ?(enforce_stability = true) ?(with_direct = false) ~order m =
     invalid_arg "Pade.fit: not enough moments";
   if Array.for_all (fun v -> v = 0.0) m then
     raise (Degenerate "all moments are zero");
+  Obs.Span.with_ ~name:"awe.pade.fit" @@ fun () ->
   let alpha = moment_scale m in
   let m_hat = scaled_moments alpha m in
   let rom_hat = fit_scaled ~offset ~order m_hat in
   let rom_hat = if enforce_stability then stabilize ~offset rom_hat m_hat else rom_hat in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "pade.fit.count";
+    Obs.Metrics.observe "pade.fit.order" (float_of_int (Rom.order rom_hat));
+    if Rom.order rom_hat < order then
+      Obs.Metrics.incr "pade.order_reduction.count"
+  end;
   (* Map back from the scaled frequency ŝ = s/α: p = α·p̂, k = α·k̂; the
      direct term is scale invariant. *)
   Rom.make ~direct:rom_hat.Rom.direct

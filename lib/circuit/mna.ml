@@ -180,8 +180,13 @@ let dense_of_entries n entries =
   m
 
 let build nl =
+  Obs.Span.with_ ~name:"mna.build" @@ fun () ->
   let ix = index_of_netlist nl in
   let n = ix.total in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "mna.build.count";
+    Obs.Metrics.observe "mna.build.dim" (float_of_int n)
+  end;
   let ge = ref [] and ce = ref [] in
   let b_input = Array.make n 0.0 and b_all = Array.make n 0.0 in
   let input_name = (Netlist.input nl).Element.name in

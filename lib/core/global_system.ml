@@ -39,6 +39,7 @@ let selector_for t output =
   List.map (fun (r, c) -> (r, c *. t.scale.(r))) raw
 
 let build partition reduction =
+  Obs.Span.with_ ~name:"model.global_system" @@ fun () ->
   let ports = partition.Partition.ports in
   (* Global netlist: input source, symbolic elements, and the numeric
      companions their stamps reference, indexed over the full port frame so
@@ -222,6 +223,9 @@ type raw = { raw_det : Mpoly.t; vectors : Mpoly.t array array }
    and Cramer gives Pₖ directly (the solve's denominator is det itself). *)
 let solve_raw t ~count =
   if count < 1 then invalid_arg "Global_system.solve_moments: count >= 1";
+  Obs.Span.with_ ~name:"model.solve_fraction_free" @@ fun () ->
+  if !Obs.enabled then
+    Obs.Metrics.observe "global.system.size" (float_of_int t.n);
   let y0 = t.matrices.(0) in
   let depth = Array.length t.matrices in
   let mul_mat_vec m v =
@@ -292,6 +296,9 @@ let solve_vectors_expr t ~nominal ~count =
   let module E = Symbolic.Expr in
   if count < 1 then
     invalid_arg "Global_system.moments_expr_by_elimination: count >= 1";
+  Obs.Span.with_ ~name:"model.eliminate" @@ fun () ->
+  if !Obs.enabled then
+    Obs.Metrics.observe "global.system.size" (float_of_int t.n);
   let n = t.n in
   let value e = try Float.abs (E.eval e nominal) with Division_by_zero -> 0.0 in
   let to_expr m = Array.map (Array.map E.of_mpoly) m in

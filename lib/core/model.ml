@@ -85,6 +85,8 @@ let assemble partition order moment_exprs bounds_program =
 
 let build ?(order = 2) ?(sparse = false) nl =
   if order < 1 then invalid_arg "Model.build: order must be >= 1";
+  Obs.Span.with_ ~name:"model.compile" @@ fun () ->
+  if !Obs.enabled then Obs.Metrics.incr "model.build.count";
   let partition = Partition.make nl in
   let count = 2 * order in
   let reduction = Port_reduction.compute ~sparse ~count partition in
@@ -104,6 +106,8 @@ let build ?(order = 2) ?(sparse = false) nl =
 let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
   if order < 1 then invalid_arg "Model.build_many: order must be >= 1";
   if outputs = [] then invalid_arg "Model.build_many: no outputs";
+  Obs.Span.with_ ~name:"model.compile" @@ fun () ->
+  if !Obs.enabled then Obs.Metrics.incr "model.build.count";
   (* One partition / port reduction / elimination serves every output: only
      the selector differs, so the marginal cost per extra output is a
      projection plus a compile. *)

@@ -23,6 +23,7 @@ let element_nodes (e : Element.t) =
     base
 
 let make ?(extra_outputs = []) nl =
+  Obs.Span.with_ ~name:"model.partition" @@ fun () ->
   let symbolic = Netlist.symbolic_elements nl in
   if symbolic = [] then
     failwith "Partition.make: no symbolic elements in the netlist";
@@ -136,6 +137,13 @@ let make ?(extra_outputs = []) nl =
     Netlist.empty
     |> Fun.flip Netlist.add_all (numeric_elements @ port_sources)
   in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "partition.make.count";
+    Obs.Metrics.observe "partition.port_count"
+      (float_of_int (List.length ports));
+    Obs.Metrics.observe "partition.symbol_count"
+      (float_of_int (Array.length symbols))
+  end;
   {
     netlist = nl;
     symbolic;

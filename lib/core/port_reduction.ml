@@ -43,6 +43,8 @@ let run ~sparse ~count mna aux_rows ports =
 
 let compute ?(sparse = false) ~count partition =
   if count < 1 then invalid_arg "Port_reduction.compute: count must be >= 1";
+  Obs.Span.with_ ~name:"model.port_reduction" @@ fun () ->
+  if !Obs.enabled then Obs.Metrics.incr "port_reduction.compute.count";
   let ports = partition.Partition.ports in
   (* The partition netlist's only sources are the 0-V port probes, so the
      standard MNA build applies (its notion of "input" is irrelevant here —

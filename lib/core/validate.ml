@@ -8,13 +8,9 @@ type report = {
   max_moment_error : float;
   max_pole_error : float;
   worst_point : (string * float) list;
+  ill_conditioned : int;
+  health_warnings : string list;
 }
-
-let lcg seed =
-  let state = ref seed in
-  fun () ->
-    state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
-    float_of_int ((!state lsr 17) land 0xFFFFFF) /. float_of_int 0xFFFFFF
 
 let substitute nl bindings =
   Netlist.map_elements
@@ -25,7 +21,8 @@ let substitute nl bindings =
     nl
 
 let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
-  let rand = lcg seed in
+  let rng = Obs.Rng.create seed in
+  let rand () = Obs.Rng.float rng in
   let symbols = Model.symbols model in
   let range_for s =
     match
@@ -43,6 +40,8 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
   let order = Model.order model in
   let worst_m = ref 0.0 and worst_p = ref 0.0 in
   let worst_point = ref [] in
+  let ill = ref 0 in
+  let warnings = ref [] in
   for _ = 1 to points do
     let bindings =
       Array.to_list
@@ -57,6 +56,12 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
     let v = Model.values model bindings in
     let m_sym = Model.eval_moments model v in
     let reference = Awe.Driver.analyze ~order (substitute nl bindings) in
+    if reference.Awe.Driver.health.Awe.Driver.near_singular then begin
+      incr ill;
+      List.iter
+        (fun w -> if not (List.mem w !warnings) then warnings := w :: !warnings)
+        reference.Awe.Driver.health.Awe.Driver.warnings
+    end;
     let m_err = ref 0.0 in
     Array.iteri
       (fun k mk ->
@@ -78,6 +83,8 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
     max_moment_error = !worst_m;
     max_pole_error = !worst_p;
     worst_point = !worst_point;
+    ill_conditioned = !ill;
+    health_warnings = List.rev !warnings;
   }
 
 let pp ppf r =
@@ -86,4 +93,11 @@ let pp ppf r =
      max relative dominant-pole error: %.3e@,worst at:"
     r.points r.max_moment_error r.max_pole_error;
   List.iter (fun (n, v) -> Format.fprintf ppf " %s=%g" n v) r.worst_point;
+  if r.ill_conditioned > 0 then begin
+    Format.fprintf ppf
+      "@,WARNING: %d/%d reference factorizations were near-singular; errors \
+       at those points are not trustworthy"
+      r.ill_conditioned r.points;
+    List.iter (fun w -> Format.fprintf ppf "@,  %s" w) r.health_warnings
+  end;
   Format.fprintf ppf "@]"

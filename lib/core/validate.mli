@@ -11,6 +11,11 @@ type report = {
   max_moment_error : float;  (** worst relative moment discrepancy *)
   max_pole_error : float;  (** worst relative dominant-pole discrepancy *)
   worst_point : (string * float) list;  (** bindings where the worst occurred *)
+  ill_conditioned : int;
+      (** number of sample points whose reference factorization was graded
+          near-singular (see {!Awe.Driver.health}) — error bounds at those
+          points compare against quietly unreliable references *)
+  health_warnings : string list;  (** distinct health diagnoses encountered *)
 }
 
 val run :

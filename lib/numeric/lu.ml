@@ -1,15 +1,29 @@
 exception Singular of int
 
+type health = {
+  dim : int;
+  pivot_min : float;
+  pivot_max : float;
+  growth : float;
+}
+
 (* Factors are stored packed in a single matrix: the strict lower triangle
    holds L (unit diagonal implied), the upper triangle holds U.  [perm] maps
    factored row index -> original row index of the right-hand side. *)
-type t = { lu : Matrix.t; perm : int array; sign : float }
+type t = { lu : Matrix.t; perm : int array; sign : float; health : health }
 
 let size f = Array.length f.perm
+let health f = f.health
 
 let factor a =
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  let max_a = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      max_a := Float.max !max_a (Float.abs (Matrix.get a i j))
+    done
+  done;
   let lu = Matrix.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
@@ -46,11 +60,38 @@ let factor a =
         done
     done
   done;
-  { lu; perm; sign = !sign }
+  (* Pivot statistics drive the numeric-health reporting upstream: the
+     min/max pivot ratio is a cheap condition estimate, and element growth
+     relative to the input flags unstable eliminations. *)
+  let pivot_min = ref Float.infinity in
+  let pivot_max = ref 0.0 in
+  let max_u = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = Float.abs (Matrix.get lu i i) in
+    pivot_min := Float.min !pivot_min d;
+    pivot_max := Float.max !pivot_max d;
+    for j = i to n - 1 do
+      max_u := Float.max !max_u (Float.abs (Matrix.get lu i j))
+    done
+  done;
+  let health =
+    {
+      dim = n;
+      pivot_min = (if n = 0 then 0.0 else !pivot_min);
+      pivot_max = !pivot_max;
+      growth = (if !max_a > 0.0 then !max_u /. !max_a else 1.0);
+    }
+  in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "lu.factor.count";
+    Obs.Metrics.observe "lu.factor.dim" (float_of_int n)
+  end;
+  { lu; perm; sign = !sign; health }
 
 let solve f b =
   let n = size f in
   if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";
+  if !Obs.enabled then Obs.Metrics.incr "lu.solve.count";
   let x = Array.init n (fun i -> b.(f.perm.(i))) in
   (* Forward substitution with unit lower triangle. *)
   for i = 1 to n - 1 do

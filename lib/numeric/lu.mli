@@ -10,6 +10,18 @@ exception Singular of int
 (** Raised by {!factor} when no usable pivot exists at the given
     elimination step. *)
 
+type health = {
+  dim : int;  (** system size *)
+  pivot_min : float;  (** smallest pivot magnitude *)
+  pivot_max : float;  (** largest pivot magnitude *)
+  growth : float;  (** max |U| over max |A|: element growth of the
+                       elimination; large values flag instability *)
+}
+(** Numeric-health statistics of a factorization; [pivot_max/pivot_min] is a
+    cheap condition estimate.  Shared with {!Sparse}. *)
+
+val health : t -> health
+
 val factor : Matrix.t -> t
 (** [factor a] computes [P·a = L·U].  Raises [Invalid_argument] if [a] is not
     square and {!Singular} if [a] is numerically singular. *)

@@ -135,11 +135,17 @@ let aberth p_raw =
     done;
     if !moved <= 1e-14 then converged := true
   done;
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "roots.aberth.count";
+    Obs.Metrics.add "roots.iterations" !iter;
+    Obs.Metrics.observe "roots.aberth.degree" (float_of_int n)
+  end;
   Array.map (fun zk -> polish p_raw (Cx.scale alpha (polish p zk))) z
 
 let of_poly p =
   let n = Poly.degree p in
   if n < 1 then invalid_arg "Roots.of_poly: degree < 1";
+  if !Obs.enabled then Obs.Metrics.incr "roots.of_poly.count";
   match n with
   | 1 -> [| Cx.of_float (-.Poly.coeff p 0 /. Poly.coeff p 1) |]
   | 2 ->

@@ -63,13 +63,29 @@ type factored = {
   l_rows : (int * float) array array; (* strictly lower, by pivot position *)
   u_rows : (int * float) array array; (* including the diagonal *)
   a_nnz : int;
+  health : Lu.health;
 }
+
+let health f = f.health
+
+let fill_in_count f =
+  let lu_nnz =
+    Array.fold_left (fun acc r -> acc + Array.length r) 0 f.l_rows
+    + Array.fold_left (fun acc r -> acc + Array.length r) 0 f.u_rows
+  in
+  lu_nnz - f.a_nnz
 
 (* Elimination uses a scattered workspace per pivot row: [work] holds the
    current values of the active row, [pattern] its non-zero columns. *)
 let factor (m : t) =
   let n = m.n in
   let a_nnz = nnz m in
+  let max_a =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) acc row)
+      0.0 m.rows
+  in
   (* Mutable row table: rows still to be eliminated, as sorted arrays. *)
   let rows = Array.map Array.copy m.rows in
   (* Which physical row currently sits at each elimination position. *)
@@ -149,10 +165,43 @@ let factor (m : t) =
   let l_rows =
     Array.map (fun ri -> Array.of_list (List.rev l_phys.(ri))) row_of_pos
   in
-  { n; perm = row_of_pos; l_rows; u_rows; a_nnz }
+  (* Same pivot/growth statistics as the dense path (see Lu.health): the
+     diagonal of U holds the pivots, and every stored U entry bounds the
+     elimination's element growth. *)
+  let pivot_min = ref Float.infinity in
+  let pivot_max = ref 0.0 in
+  let max_u = ref 0.0 in
+  Array.iteri
+    (fun k row ->
+      Array.iter
+        (fun (j, v) ->
+          let mag = Float.abs v in
+          max_u := Float.max !max_u mag;
+          if j = k then begin
+            pivot_min := Float.min !pivot_min mag;
+            pivot_max := Float.max !pivot_max mag
+          end)
+        row)
+    u_rows;
+  let health =
+    {
+      Lu.dim = n;
+      pivot_min = (if n = 0 then 0.0 else !pivot_min);
+      pivot_max = !pivot_max;
+      growth = (if max_a > 0.0 then !max_u /. max_a else 1.0);
+    }
+  in
+  let f = { n; perm = row_of_pos; l_rows; u_rows; a_nnz; health } in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "sparse.factor.count";
+    Obs.Metrics.observe "sparse.factor.dim" (float_of_int n);
+    Obs.Metrics.observe "sparse.factor.fill_in" (float_of_int (fill_in_count f))
+  end;
+  f
 
 let solve f b =
   if Array.length b <> f.n then invalid_arg "Sparse.solve: size mismatch";
+  if !Obs.enabled then Obs.Metrics.incr "sparse.solve.count";
   (* Position k's equation is original row perm.(k); the RHS follows the
      same exchange. *)
   let x = Array.init f.n (fun pos -> b.(f.perm.(pos))) in
@@ -172,9 +221,4 @@ let solve f b =
   done;
   x
 
-let fill_in f =
-  let lu_nnz =
-    Array.fold_left (fun acc r -> acc + Array.length r) 0 f.l_rows
-    + Array.fold_left (fun acc r -> acc + Array.length r) 0 f.u_rows
-  in
-  lu_nnz - f.a_nnz
+let fill_in = fill_in_count

@@ -33,3 +33,7 @@ val factor : t -> factored
 val solve : factored -> float array -> float array
 val fill_in : factored -> int
 (** Non-zeros of L+U minus those of A — a diagnostic for ordering quality. *)
+
+val health : factored -> Lu.health
+(** Pivot/growth statistics of the factorization (same convention as the
+    dense {!Lu.health}). *)

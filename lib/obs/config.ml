@@ -1,0 +1,4 @@
+(* The single global switch.  Instrumented call sites across the libraries
+   test this ref (directly or through the Span/Metrics entry points) before
+   doing any work, so a disabled build pays one load-and-branch per site. *)
+let enabled = ref false

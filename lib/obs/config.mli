@@ -1,0 +1,2 @@
+val enabled : bool ref
+(** Master switch for the telemetry subsystem; default [false]. *)

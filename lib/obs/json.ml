@@ -1,0 +1,296 @@
+(* Minimal JSON document type: enough to emit Chrome traces and bench
+   reports, and to parse them back in tests — the toolchain has no JSON
+   package baked in, and the subset below is all the subsystem needs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Shortest decimal representation that round-trips; JSON has no syntax for
+   non-finite numbers, so those degrade to null at the value level. *)
+let float_repr v =
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v ->
+    if Float.is_finite v then Buffer.add_string buf (float_repr v)
+    else Buffer.add_string buf "null"
+  | Str s -> escape buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun k x ->
+        if k > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun k (name, x) ->
+        if k > 0 then Buffer.add_char buf ',';
+        escape buf name;
+        Buffer.add_char buf ':';
+        write buf x)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* Indented variant for committed artifacts, so diffs stay reviewable. *)
+let rec write_pretty buf indent = function
+  | List (_ :: _ as xs) ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun k x ->
+        if k > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  ";
+        write_pretty buf (indent + 2) x)
+      xs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf ']'
+  | Obj (_ :: _ as fields) ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun k (name, x) ->
+        if k > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf pad;
+        Buffer.add_string buf "  ";
+        escape buf name;
+        Buffer.add_string buf ": ";
+        write_pretty buf (indent + 2) x)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '}'
+  | v -> write buf v
+
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  write_pretty buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser.  Strict enough to reject the malformed, not a
+   validator of every dark corner of RFC 8259. *)
+
+exception Malformed of string * int
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let cp = hex4 () in
+          let cp =
+            (* Combine a surrogate pair when one follows. *)
+            if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n && s.[!pos] = '\\'
+               && s.[!pos + 1] = 'u'
+            then begin
+              pos := !pos + 2;
+              let lo = hex4 () in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+              else fail "invalid low surrogate"
+            end
+            else cp
+          in
+          add_utf8 buf cp
+        | _ -> fail "bad escape");
+        go ())
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let chunk = String.sub s start (!pos - start) in
+    match float_of_string_opt chunk with
+    | Some v -> Num v
+    | None -> fail (Printf.sprintf "bad number %S" chunk)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := parse_value () :: !items;
+            more ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        more ();
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let name = parse_string () in
+          skip_ws ();
+          expect ':';
+          (name, parse_value ())
+        in
+        let fields = ref [ field () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields := field () :: !fields;
+            more ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        more ();
+        Obj (List.rev !fields)
+      end
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  | exception Malformed (msg, at) ->
+    Error (Printf.sprintf "%s at offset %d" msg at)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

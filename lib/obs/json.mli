@@ -1,0 +1,25 @@
+(** Minimal JSON documents: emission (compact and pretty) plus a strict
+    parser, used for Chrome traces, counter snapshots and bench reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line serialization.  Non-finite numbers become [null]. *)
+
+val to_string_pretty : t -> string
+(** Indented serialization with a trailing newline, for committed files. *)
+
+val to_file : string -> t -> unit
+(** Write the pretty form to [path]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries position context. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing fields. *)

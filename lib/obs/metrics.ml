@@ -1,0 +1,161 @@
+(* Named monotonic counters and log-scale histograms.  Writers are no-ops
+   while the subsystem is disabled; readers always see whatever the last
+   enabled run accumulated, so a CLI can disable recording before printing
+   its report. *)
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  buckets : int array; (* power-of-two buckets, index = exponent + bias *)
+}
+
+type stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list; (* (upper bound, count), non-empty only *)
+}
+
+let bias = 64
+let num_buckets = 160
+
+let mutex = Mutex.create ()
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset counters;
+  Hashtbl.reset histograms;
+  Mutex.unlock mutex
+
+let incr ?(by = 1) name =
+  if !Config.enabled then begin
+    Mutex.lock mutex;
+    (match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counters name (ref by));
+    Mutex.unlock mutex
+  end
+
+let add name by = incr ~by name
+
+(* v lies in [2^(e-1), 2^e) with e = frexp exponent, so bucket e holds it
+   and 2^e is the bucket's upper bound.  Non-positive values land in
+   bucket 0. *)
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    Int.max 0 (Int.min (num_buckets - 1) (e + bias))
+
+let bucket_bound idx = Float.ldexp 1.0 (idx - bias)
+
+let observe name v =
+  if !Config.enabled then begin
+    Mutex.lock mutex;
+    let h =
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h : histogram =
+          {
+            count = 0;
+            sum = 0.0;
+            min = Float.infinity;
+            max = Float.neg_infinity;
+            buckets = Array.make num_buckets 0;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    h.min <- Float.min h.min v;
+    h.max <- Float.max h.max v;
+    let idx = bucket_of v in
+    h.buckets.(idx) <- h.buckets.(idx) + 1;
+    Mutex.unlock mutex
+  end
+
+let counter name =
+  Mutex.lock mutex;
+  let v = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0 in
+  Mutex.unlock mutex;
+  v
+
+let counters_list () =
+  Mutex.lock mutex;
+  let out = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters [] in
+  Mutex.unlock mutex;
+  List.sort compare out
+
+let stats_of (h : histogram) : stats =
+  let buckets = ref [] in
+  for idx = num_buckets - 1 downto 0 do
+    if h.buckets.(idx) > 0 then
+      buckets := (bucket_bound idx, h.buckets.(idx)) :: !buckets
+  done;
+  { count = h.count; sum = h.sum; min = h.min; max = h.max; buckets = !buckets }
+
+let histogram name =
+  Mutex.lock mutex;
+  let out = Option.map stats_of (Hashtbl.find_opt histograms name) in
+  Mutex.unlock mutex;
+  out
+
+let histograms_list () =
+  Mutex.lock mutex;
+  let out =
+    Hashtbl.fold (fun name h acc -> (name, stats_of h) :: acc) histograms []
+  in
+  Mutex.unlock mutex;
+  List.sort compare out
+
+let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+let snapshot () =
+  let counter_fields =
+    List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) (counters_list ())
+  in
+  let histogram_fields =
+    List.map
+      (fun (n, s) ->
+        ( n,
+          Json.Obj
+            [
+              ("count", Json.Num (float_of_int s.count));
+              ("sum", Json.Num s.sum);
+              ("min", Json.Num s.min);
+              ("max", Json.Num s.max);
+              ("mean", Json.Num (mean s));
+            ] ))
+      (histograms_list ())
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counter_fields);
+      ("histograms", Json.Obj histogram_fields) ]
+
+let pp_table ppf () =
+  Format.fprintf ppf "@[<v>";
+  let cs = counters_list () in
+  if cs <> [] then begin
+    Format.fprintf ppf "%-42s %12s@," "counter" "value";
+    List.iter (fun (n, v) -> Format.fprintf ppf "%-42s %12d@," n v) cs
+  end;
+  let hs = histograms_list () in
+  if hs <> [] then begin
+    if cs <> [] then Format.fprintf ppf "@,";
+    Format.fprintf ppf "%-42s %8s %10s %10s %10s@," "histogram" "count" "min"
+      "mean" "max";
+    List.iter
+      (fun (n, s) ->
+        Format.fprintf ppf "%-42s %8d %10.4g %10.4g %10.4g@," n s.count s.min
+          (mean s) s.max)
+      hs
+  end;
+  Format.fprintf ppf "@]"

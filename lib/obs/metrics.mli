@@ -1,0 +1,42 @@
+(** Named monotonic counters and log-scale (power-of-two bucket) histograms.
+
+    Writers ({!incr}, {!add}, {!observe}) are no-ops while [Obs.enabled] is
+    unset.  Readers never depend on the flag, so reports can be printed
+    after recording stops. *)
+
+type stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+      (** non-empty power-of-two buckets as [(upper_bound, count)] *)
+}
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (created on first use); [by] defaults to 1. *)
+
+val add : string -> int -> unit
+(** [add name n] is [incr ~by:n name]. *)
+
+val observe : string -> float -> unit
+(** Record one histogram sample. *)
+
+val counter : string -> int
+(** Current counter value; 0 when it was never bumped. *)
+
+val counters_list : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histogram : string -> stats option
+val histograms_list : unit -> (string * stats) list
+
+val mean : stats -> float
+
+val snapshot : unit -> Json.t
+(** Counters and histogram summaries as one JSON object. *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable counter/histogram tables. *)
+
+val reset : unit -> unit

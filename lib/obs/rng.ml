@@ -1,0 +1,25 @@
+(* The 48-bit LCG the bench harness has always used (java.util.Random
+   multiplier), factored out so benchmarks, validation sweeps and tests draw
+   from one deterministic stream implementation. *)
+
+type t = { mutable state : int }
+
+let mask = 0xFFFFFFFFFFFF
+
+let create seed = { state = seed land mask }
+
+let next t =
+  t.state <- ((t.state * 0x5DEECE66D) + 0xB) land mask;
+  t.state
+
+let float t = float_of_int ((next t lsr 17) land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (next t lsr 17) mod bound
+
+let uniform t ~lo ~hi = lo +. (float t *. (hi -. lo))
+
+let log_uniform t ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Rng.log_uniform: need 0 < lo <= hi";
+  lo *. Float.exp (float t *. Float.log (hi /. lo))

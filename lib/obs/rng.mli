@@ -1,0 +1,20 @@
+(** Deterministic 48-bit LCG value streams (shared by bench and tests so
+    "random" evaluation points are reproducible across machines). *)
+
+type t
+
+val create : int -> t
+(** A fresh stream from the given seed. *)
+
+val float : t -> float
+(** Next draw, uniform on [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]; [bound > 0]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform on [\[lo, hi)]. *)
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Log-uniform on [\[lo, hi\]] — even coverage per decade; requires
+    [0 < lo <= hi]. *)

@@ -1,0 +1,140 @@
+(* Nested wall-clock spans recorded into a process-global, mutex-guarded
+   sink.  A span is opened by [with_], closed when its thunk returns (or
+   raises), and remembers its parent so the sink can be rendered either as
+   a Chrome-trace event stream or as an aggregated phase-time tree. *)
+
+type t = {
+  id : int;
+  parent : int; (* -1 for roots *)
+  name : string;
+  start : float; (* seconds since the sink epoch *)
+  dur : float; (* seconds *)
+}
+
+let mutex = Mutex.create ()
+let epoch = ref (Unix.gettimeofday ())
+let next_id = ref 0
+let completed : t list ref = ref [] (* reverse completion order *)
+let stack : int list ref = ref []
+
+let reset () =
+  Mutex.lock mutex;
+  epoch := Unix.gettimeofday ();
+  next_id := 0;
+  completed := [];
+  stack := [];
+  Mutex.unlock mutex
+
+let with_ ~name f =
+  if not !Config.enabled then f ()
+  else begin
+    Mutex.lock mutex;
+    let id = !next_id in
+    incr next_id;
+    let parent = match !stack with [] -> -1 | p :: _ -> p in
+    stack := id :: !stack;
+    Mutex.unlock mutex;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Unix.gettimeofday () in
+        Mutex.lock mutex;
+        (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        completed :=
+          { id; parent; name; start = t0 -. !epoch; dur = t1 -. t0 }
+          :: !completed;
+        Mutex.unlock mutex)
+      f
+  end
+
+let timed ?name f =
+  match name with
+  | Some name when !Config.enabled ->
+    let dur = ref 0.0 in
+    let result =
+      with_ ~name (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          dur := Unix.gettimeofday () -. t0;
+          r)
+    in
+    (result, !dur)
+  | _ ->
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+
+let spans () =
+  Mutex.lock mutex;
+  let out = List.rev !completed in
+  Mutex.unlock mutex;
+  out
+
+let to_chrome () =
+  let events =
+    List.rev_map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.Str s.name);
+            ("cat", Json.Str "awe");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (s.start *. 1e6));
+            ("dur", Json.Num (s.dur *. 1e6));
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num 1.0);
+          ])
+      (spans ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let pp_duration ppf seconds =
+  if seconds >= 1.0 then Format.fprintf ppf "%8.3f s " seconds
+  else if seconds >= 1e-3 then Format.fprintf ppf "%8.3f ms" (seconds *. 1e3)
+  else Format.fprintf ppf "%8.1f us" (seconds *. 1e6)
+
+(* Aggregated tree: siblings sharing a name fold into one line carrying a
+   call count and a total, and their children are aggregated together —
+   that keeps a 1000-evaluation sweep readable. *)
+let pp_tree ppf () =
+  let all = spans () in
+  let children : (int, t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace children s.parent
+        (s :: Option.value (Hashtbl.find_opt children s.parent) ~default:[]))
+    all;
+  let kids id =
+    Option.value (Hashtbl.find_opt children id) ~default:[]
+    |> List.sort (fun a b -> Float.compare a.start b.start)
+  in
+  let rec group depth siblings =
+    let order = ref [] in
+    let by_name : (string, t list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt by_name s.name with
+        | Some l -> l := s :: !l
+        | None ->
+          Hashtbl.add by_name s.name (ref [ s ]);
+          order := s.name :: !order)
+      siblings;
+    List.iter
+      (fun name ->
+        let members = List.rev !(Hashtbl.find by_name name) in
+        let total = List.fold_left (fun acc s -> acc +. s.dur) 0.0 members in
+        let count = List.length members in
+        let label = String.make (2 * depth) ' ' ^ name in
+        Format.fprintf ppf "%-42s %a" label pp_duration total;
+        if count > 1 then Format.fprintf ppf "  x%d" count;
+        Format.fprintf ppf "@,";
+        group (depth + 1) (List.concat_map (fun s -> kids s.id) members))
+      (List.rev !order)
+  in
+  Format.fprintf ppf "@[<v>";
+  group 0 (kids (-1));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Nested wall-clock tracing spans.
+
+    Spans are recorded into a process-global thread-safe sink only while
+    [Obs.enabled] is set; a disabled [with_] is a direct tail call into its
+    thunk. *)
+
+type t = {
+  id : int;
+  parent : int;  (** [-1] for root spans *)
+  name : string;
+  start : float;  (** seconds since the sink epoch (last {!reset}) *)
+  dur : float;  (** seconds *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The span closes (and is recorded)
+    even if the thunk raises. *)
+
+val timed : ?name:string -> (unit -> 'a) -> 'a * float
+(** Always measure the thunk's wall time and return it alongside the
+    result; additionally record a span when [name] is given and the
+    subsystem is enabled.  This is the bench harness's clock path. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans and restart the sink epoch. *)
+
+val spans : unit -> t list
+(** Completed spans in completion order. *)
+
+val to_chrome : unit -> Json.t
+(** The sink as a Chrome-trace document ([chrome://tracing] / Perfetto):
+    one complete ("ph":"X") event per span, timestamps in microseconds. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Aggregated phase-time tree: same-named siblings fold into one line with
+    a call count and total duration. *)

@@ -94,14 +94,27 @@ let compile ~inputs outputs =
   let out_regs = Array.map reg outputs in
   let init = Array.make !next_reg 0.0 in
   List.iter (fun (r, c) -> init.(r) <- c) !consts;
-  {
-    inputs;
-    instrs = Array.of_list (List.rev !instrs);
-    init;
-    outputs = out_regs;
-  }
+  let p =
+    {
+      inputs;
+      instrs = Array.of_list (List.rev !instrs);
+      init;
+      outputs = out_regs;
+    }
+  in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "slp.compile.count";
+    Obs.Metrics.observe "slp.program.ops" (float_of_int (Array.length p.instrs))
+  end;
+  p
 
 let run p regs values out =
+  (* One flag test per evaluation (not per instruction): the op count is
+     known statically, so the whole program is charged in two bumps. *)
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "slp.eval.count";
+    Obs.Metrics.add "slp.eval.ops" (Array.length p.instrs)
+  end;
   Array.blit p.init 0 regs 0 (Array.length p.init);
   Array.iter
     (fun instr ->

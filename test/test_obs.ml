@@ -1,0 +1,233 @@
+(* Obs telemetry: spans, metrics, JSON round-trips and pipeline wiring. *)
+
+let with_enabled f =
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.enabled := false) f
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_nesting () =
+  with_enabled @@ fun () ->
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner_a" (fun () -> ());
+      Obs.Span.with_ ~name:"inner_b" (fun () -> ()));
+  let spans = Obs.Span.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name = List.find (fun s -> s.Obs.Span.name = name) spans in
+  let outer = find "outer" in
+  Alcotest.(check int) "outer is a root" (-1) outer.Obs.Span.parent;
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (n ^ " nested under outer")
+        outer.Obs.Span.id (find n).Obs.Span.parent)
+    [ "inner_a"; "inner_b" ];
+  (* Children complete before their parent. *)
+  let names = List.map (fun s -> s.Obs.Span.name) spans in
+  Alcotest.(check (list string))
+    "completion order" [ "inner_a"; "inner_b"; "outer" ] names
+
+let test_span_raise () =
+  with_enabled @@ fun () ->
+  (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded on raise" 1
+    (List.length (Obs.Span.spans ()))
+
+let test_span_disabled () =
+  Obs.enabled := false;
+  Obs.reset ();
+  let r = Obs.Span.with_ ~name:"ghost" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Span.spans ()))
+
+let test_timed () =
+  Obs.enabled := false;
+  Obs.reset ();
+  let r, dt = Obs.Span.timed (fun () -> 7) in
+  Alcotest.(check int) "timed result" 7 r;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0);
+  Alcotest.(check int) "timed alone records nothing" 0
+    (List.length (Obs.Span.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counters () =
+  with_enabled @@ fun () ->
+  Obs.Metrics.incr "a";
+  Obs.Metrics.incr ~by:4 "a";
+  Obs.Metrics.incr "b";
+  Alcotest.(check int) "a" 5 (Obs.Metrics.counter "a");
+  Alcotest.(check int) "b" 1 (Obs.Metrics.counter "b");
+  Alcotest.(check int) "absent" 0 (Obs.Metrics.counter "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("a", 5); ("b", 1) ]
+    (Obs.Metrics.counters_list ())
+
+let test_histograms () =
+  with_enabled @@ fun () ->
+  List.iter (Obs.Metrics.observe "h") [ 1.0; 2.0; 4.0 ];
+  match Obs.Metrics.histogram "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some st ->
+    Alcotest.(check int) "count" 3 st.Obs.Metrics.count;
+    Alcotest.(check (float 1e-12)) "sum" 7.0 st.Obs.Metrics.sum;
+    Alcotest.(check (float 1e-12)) "min" 1.0 st.Obs.Metrics.min;
+    Alcotest.(check (float 1e-12)) "max" 4.0 st.Obs.Metrics.max;
+    Alcotest.(check (float 1e-12)) "mean" (7.0 /. 3.0) (Obs.Metrics.mean st);
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 st.Obs.Metrics.buckets in
+    Alcotest.(check int) "bucket mass equals count" 3 total
+
+let test_metrics_disabled () =
+  Obs.enabled := false;
+  Obs.reset ();
+  Obs.Metrics.incr "silent";
+  Obs.Metrics.observe "silent.h" 3.0;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter "silent");
+  Alcotest.(check bool) "histogram untouched" true
+    (Obs.Metrics.histogram "silent.h" = None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let module J = Obs.Json in
+  let doc =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\n\t");
+        ("n", J.Num 1.25e-3);
+        ("neg", J.Num (-17.0));
+        ("flag", J.Bool true);
+        ("nothing", J.Null);
+        ("xs", J.List [ J.Num 1.0; J.Num 2.0; J.Num 3.0 ]);
+      ]
+  in
+  match J.of_string (J.to_string doc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc' -> Alcotest.(check bool) "round trip" true (doc = doc')
+
+let test_json_parse_errors () =
+  let module J = Obs.Json in
+  List.iter
+    (fun src ->
+      match J.of_string src with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" src)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\":1} trailing"; "" ]
+
+let test_chrome_trace () =
+  let module J = Obs.Json in
+  with_enabled @@ fun () ->
+  Obs.Span.with_ ~name:"phase" (fun () ->
+      Obs.Span.with_ ~name:"step" (fun () -> ()));
+  let doc = Obs.Span.to_chrome () in
+  (* The emitted document must parse back and carry one complete event per
+     span, timestamps in microseconds. *)
+  match J.of_string (J.to_string doc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc' -> (
+    match J.member "traceEvents" doc' with
+    | Some (J.List events) ->
+      Alcotest.(check int) "one event per span" 2 (List.length events);
+      List.iter
+        (fun ev ->
+          (match J.member "ph" ev with
+          | Some (J.Str "X") -> ()
+          | _ -> Alcotest.fail "expected complete (ph=X) events");
+          match J.member "dur" ev with
+          | Some (J.Num d) ->
+            Alcotest.(check bool) "duration in range" true (d >= 0.0 && d < 1e6)
+          | _ -> Alcotest.fail "missing dur")
+        events
+    | _ -> Alcotest.fail "missing traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng () =
+  let r1 = Obs.Rng.create 42 and r2 = Obs.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "deterministic" (Obs.Rng.float r1)
+      (Obs.Rng.float r2)
+  done;
+  let r = Obs.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Obs.Rng.float r in
+    Alcotest.(check bool) "unit interval" true (v >= 0.0 && v <= 1.0);
+    let u = Obs.Rng.uniform ~lo:2.0 ~hi:5.0 r in
+    Alcotest.(check bool) "uniform in range" true (u >= 2.0 && u <= 5.0);
+    let lg = Obs.Rng.log_uniform ~lo:1e-12 ~hi:1e-6 r in
+    Alcotest.(check bool) "log_uniform in range" true (lg >= 1e-12 && lg <= 1e-6)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline wiring *)
+
+let rc_deck () =
+  Circuit.Builders.rc_ladder ~sections:4 ~r:100.0 ~c:1e-12 ()
+
+let test_driver_phases () =
+  with_enabled @@ fun () ->
+  let result = Awe.Driver.analyze ~order:2 (rc_deck ()) in
+  Alcotest.(check bool) "healthy factorization" false
+    result.Awe.Driver.health.Awe.Driver.near_singular;
+  Alcotest.(check bool) "positive pivots" true
+    (result.Awe.Driver.health.Awe.Driver.pivot_min > 0.0);
+  let names =
+    Obs.Span.spans () |> List.map (fun s -> s.Obs.Span.name)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s recorded" expected)
+        true (List.mem expected names))
+    [ "mna.build"; "awe.analyze"; "awe.moments"; "awe.pade.fit" ];
+  Alcotest.(check bool) "lu counter tripped" true
+    (Obs.Metrics.counter "lu.factor.count" > 0);
+  Alcotest.(check bool) "moment recursion counted" true
+    (Obs.Metrics.counter "moments.recursion.steps" > 0)
+
+let test_disabled_is_quiet () =
+  Obs.enabled := false;
+  Obs.reset ();
+  let _ = Awe.Driver.analyze ~order:2 (rc_deck ()) in
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Span.spans ()));
+  Alcotest.(check (list (pair string int)))
+    "no counters" []
+    (Obs.Metrics.counters_list ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on raise" `Quick test_span_raise;
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled;
+          Alcotest.test_case "timed" `Quick test_timed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        ] );
+      ("rng", [ Alcotest.test_case "determinism and ranges" `Quick test_rng ]);
+      ( "pipeline",
+        [
+          Alcotest.test_case "driver phases" `Quick test_driver_phases;
+          Alcotest.test_case "disabled stays quiet" `Quick test_disabled_is_quiet;
+        ] );
+    ]
