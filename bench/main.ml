@@ -663,6 +663,109 @@ let ext_sens () =
      sensitivity\nmachinery — the derivative DAGs ride along for free\n"
 
 (* ------------------------------------------------------------------ *)
+(* SWEEP: batched SLP kernel vs per-point evaluation *)
+
+let sweep_bench () =
+  banner "SWEEP: batched kernel vs per-point loop (10k-point Monte-Carlo)";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let prog = Model.program model in
+  let n = 10_000 in
+  let axes =
+    [
+      { Sweep.Plan.name = gname;
+        dist = Sweep.Dist.uniform ~lo:0.5e-6 ~hi:8.5e-6 };
+      { Sweep.Plan.name = cname;
+        dist = Sweep.Dist.uniform ~lo:5e-12 ~hi:65e-12 };
+    ]
+  in
+  let plan = Sweep.Plan.make (Sweep.Plan.Monte_carlo n) axes in
+  let cols =
+    Sweep.Plan.columns
+      ~symbols:(Array.map Sym.name (Model.symbols model))
+      ~nominals:(Model.nominal_values model)
+      ~rng:(Obs.Rng.create 42) plan
+  in
+  let nsym = Array.length cols in
+  let point i = Array.init nsym (fun k -> cols.(k).(i)) in
+  let sink = ref 0.0 in
+  (* Naive loop: what a user sweep over [Model.eval_moments] costs — a fresh
+     register file and output array every point. *)
+  let t_naive =
+    wall_only (fun () ->
+        for i = 0 to n - 1 do
+          sink := !sink +. (Model.eval_moments model (point i)).(0)
+        done)
+  in
+  (* Scalar fast path: preallocated register file, still one instruction
+     dispatch per operation per point. *)
+  let run = Symbolic.Slp.make_evaluator prog in
+  let t_scalar =
+    wall_only (fun () ->
+        for i = 0 to n - 1 do
+          sink := !sink +. (run (point i)).(0)
+        done)
+  in
+  (* Batched kernel: structure-of-arrays register file, dispatch amortized
+     over 256-lane blocks. *)
+  let batched, t_batch =
+    wall (fun () -> Symbolic.Slp.eval_batch prog cols)
+  in
+  (* Bit-identity of the whole sweep, not just a spot check. *)
+  let identical = ref true in
+  for i = 0 to n - 1 do
+    let out = run (point i) in
+    Array.iteri
+      (fun j v ->
+        if Int64.bits_of_float v <> Int64.bits_of_float batched.(j).(i) then
+          identical := false)
+      out
+  done;
+  let per_point t = t /. float_of_int n *. 1e9 in
+  Printf.printf "%d points, %d operations/point (order 2)\n\n" n
+    (Model.num_operations model);
+  Printf.printf "naive Model.eval_moments loop:   %8.1f ns/point\n"
+    (per_point t_naive);
+  Printf.printf "scalar make_evaluator loop:      %8.1f ns/point\n"
+    (per_point t_scalar);
+  Printf.printf "batched eval_batch kernel:       %8.1f ns/point\n"
+    (per_point t_batch);
+  Printf.printf "\nbatched speedup vs naive loop:   %.1fx\n"
+    (t_naive /. t_batch);
+  Printf.printf "batched speedup vs scalar loop:  %.1fx\n"
+    (t_scalar /. t_batch);
+  Printf.printf "bit-identical to per-point eval: %b\n" !identical;
+  (* Land the numbers in the --json report (counters are no-ops unless
+     telemetry is on). *)
+  Obs.Metrics.add "bench.sweep.points" n;
+  Obs.Metrics.add "bench.sweep.naive_ns" (int_of_float (t_naive *. 1e9));
+  Obs.Metrics.add "bench.sweep.scalar_ns" (int_of_float (t_scalar *. 1e9));
+  Obs.Metrics.add "bench.sweep.batched_ns" (int_of_float (t_batch *. 1e9));
+  Obs.Metrics.add "bench.sweep.speedup_pct"
+    (int_of_float (100.0 *. t_naive /. t_batch));
+  Obs.Metrics.add "bench.sweep.bit_identical" (if !identical then 1 else 0);
+  (* And the full engine on top of the kernel: statistics plus yield. *)
+  let result =
+    Sweep.Engine.run ~seed:42
+      ~measures:[ Sweep.Engine.Dominant_pole_hz; Sweep.Engine.Phase_margin ]
+      ~specs:
+        [
+          { Sweep.Engine.measure = Sweep.Engine.Phase_margin;
+            bound = Sweep.Engine.Ge 60.0 };
+        ]
+      model plan
+  in
+  List.iter
+    (fun (m, (s : Sweep.Stats.summary)) ->
+      Printf.printf "\n%s: mean %.4g, std %.4g over %d points"
+        (Sweep.Engine.measure_name m)
+        s.Sweep.Stats.mean s.Sweep.Stats.std s.Sweep.Stats.n)
+    result.Sweep.Engine.summaries;
+  Option.iter
+    (fun y -> Printf.printf "\nyield (phase margin >= 60 deg): %.1f%%\n" (100.0 *. y))
+    result.Sweep.Engine.yield
+
+(* ------------------------------------------------------------------ *)
 (* IDENT: the identity claim, measured *)
 
 let ident () =
@@ -778,6 +881,7 @@ let experiments =
     ("fig9", fig9);
     ("fig10", fig10);
     ("time32", time32);
+    ("sweep", sweep_bench);
     ("ident", ident);
     ("abl-partition", abl_partition);
     ("abl-prune", abl_prune);

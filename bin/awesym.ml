@@ -14,6 +14,9 @@
      validate   compiled model vs full numeric AWE over symbol ranges
      macromodel N-port pole/residue reduction of a network block
      moments    raw circuit moments
+     compile    build the symbolic model and save a versioned artifact
+     eval       evaluate a saved model artifact at symbol values
+     sweep      Monte-Carlo/LHS/corner/grid sweeps through the batch kernel
 
    All subcommands read a SPICE-like deck (see Circuit.Parser; device cards
    per Nonlinear.Parser for linearize) with .input, .output and optional
@@ -682,6 +685,389 @@ let noise_cmd =
     Term.(const run $ obs_args $ deck_arg $ f_probe $ f_start $ f_stop
           $ top_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-model artifacts and sweeps *)
+
+let die msg =
+  prerr_endline ("awesym: " ^ msg);
+  exit 1
+
+let load_model path =
+  try Awesymbolic.Model.load path with
+  | Awesymbolic.Artifact.Format_error msg ->
+    die (Printf.sprintf "cannot load %s: %s" path msg)
+  | Sys_error msg -> die msg
+
+let compile_cmd =
+  let run obs deck order sparse out cache =
+    with_obs obs @@ fun () ->
+    let nl = or_die (read_netlist deck) in
+    let model =
+      if cache then Awesymbolic.Model.build_cached ~order ~sparse nl
+      else Awesymbolic.Model.build ~order ~sparse nl
+    in
+    let out =
+      match out with
+      | Some o -> o
+      | None -> Filename.remove_extension (Filename.basename deck) ^ ".awm"
+    in
+    Awesymbolic.Model.save model out;
+    let symbols = Awesymbolic.Model.symbols model in
+    Printf.printf "compiled %s -> %s\n" deck out;
+    Printf.printf "order %d, symbols: %s\n"
+      (Awesymbolic.Model.order model)
+      (String.concat ", "
+         (Array.to_list (Array.map Symbolic.Symbol.name symbols)));
+    Printf.printf "%d operations over %d registers\n"
+      (Awesymbolic.Model.num_operations model)
+      (Symbolic.Slp.num_registers (Awesymbolic.Model.program model))
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Artifact path (default: the deck's basename with .awm).")
+  in
+  let sparse_arg =
+    Arg.(value & flag & info [ "sparse" ] ~doc:"Use the sparse factorization.")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Consult and populate the content-addressed model cache \
+             (\\$AWESYM_CACHE_DIR or .awesym-cache).")
+  in
+  let doc =
+    "Compile the deck's symbolic model and save it as a versioned, \
+     checksummed artifact for later `eval` and `sweep` runs."
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ obs_args $ deck_arg $ order_arg $ sparse_arg $ out_arg
+          $ cache_arg)
+
+let model_arg =
+  let doc = "Load a compiled model artifact instead of building a deck." in
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "model"; "m" ] ~docv:"FILE" ~doc)
+
+let eval_cmd =
+  let run obs model_path bindings show_moments =
+    with_obs obs @@ fun () ->
+    let model_path =
+      match model_path with
+      | Some p -> p
+      | None -> die "need --model FILE (produce one with `awesym compile`)"
+    in
+    let model = load_model model_path in
+    let symbols = Awesymbolic.Model.symbols model in
+    let names = Array.map Symbolic.Symbol.name symbols in
+    let bound = List.map (fun b -> or_die (parse_binding b)) bindings in
+    List.iter
+      (fun (n, _) ->
+        if not (Array.exists (( = ) n) names) then
+          die
+            (Printf.sprintf "unknown symbol %s (model has: %s)" n
+               (String.concat ", " (Array.to_list names))))
+      bound;
+    let nominals = Awesymbolic.Model.nominal_values model in
+    let v =
+      Array.mapi
+        (fun k n ->
+          match List.find_opt (fun (b, _) -> b = n) bound with
+          | Some (_, x) -> x
+          | None -> nominals.(k))
+        names
+    in
+    Printf.printf "model %s: order %d\n" model_path
+      (Awesymbolic.Model.order model);
+    Printf.printf "at %s\n\n"
+      (String.concat ", "
+         (Array.to_list
+            (Array.mapi (fun k n -> Printf.sprintf "%s=%g" n v.(k)) names)));
+    if show_moments then begin
+      Array.iteri
+        (fun k m -> Printf.printf "m%-2d = %.12g\n" k m)
+        (Awesymbolic.Model.eval_moments model v);
+      print_newline ()
+    end;
+    print_rom (Awesymbolic.Model.rom model v)
+  in
+  let moments_arg =
+    Arg.(value & flag & info [ "moments" ] ~doc:"Also print the raw moments.")
+  in
+  let doc =
+    "Evaluate a compiled model artifact at symbol values (defaults: the \
+     nominal values stored in the artifact)."
+  in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(const run $ obs_args $ model_arg $ bindings_arg $ moments_arg)
+
+let parse_vary s =
+  match String.index_opt s '=' with
+  | None ->
+    Error (Printf.sprintf "malformed --vary %S (want NAME=DIST)" s)
+  | Some k -> (
+    let name = String.sub s 0 k in
+    let rest = String.sub s (k + 1) (String.length s - k - 1) in
+    let num v =
+      match Circuit.Units.parse v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "malformed value %S in --vary %S" v s)
+    in
+    let dist mk a b =
+      match (num a, num b) with
+      | Ok a, Ok b -> (
+        try Ok (name, `Dist (mk a b))
+        with Invalid_argument msg -> Error msg)
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+    in
+    match String.split_on_char ':' rest with
+    | [ "pct"; p ] -> (
+      match float_of_string_opt p with
+      | Some p when p > 0.0 -> Ok (name, `Pct p)
+      | _ -> Error (Printf.sprintf "malformed percentage in --vary %S" s))
+    | [ "uniform"; lo; hi ] ->
+      dist (fun lo hi -> Sweep.Dist.uniform ~lo ~hi) lo hi
+    | [ "normal"; mean; std ] ->
+      dist (fun mean std -> Sweep.Dist.normal ~mean ~std) mean std
+    | [ "lognormal"; mu; sigma ] ->
+      dist (fun mu sigma -> Sweep.Dist.lognormal ~mu ~sigma) mu sigma
+    | _ ->
+      Error
+        (Printf.sprintf
+           "malformed --vary %S (want NAME=pct:P, NAME=uniform:LO:HI, \
+            NAME=normal:MEAN:STD, or NAME=lognormal:MU:SIGMA)"
+           s))
+
+let describe_dist = function
+  | Sweep.Dist.Uniform { lo; hi } -> Printf.sprintf "uniform[%g, %g]" lo hi
+  | Sweep.Dist.Normal { mean; std } -> Printf.sprintf "normal(%g, %g)" mean std
+  | Sweep.Dist.Lognormal { mu; sigma } ->
+    Printf.sprintf "lognormal(%g, %g)" mu sigma
+
+let sweep_cmd =
+  let run obs deck model_path order sparse cache varies mc lhs corners grid
+      measures specs seed block json_path =
+    with_obs obs @@ fun () ->
+    let model =
+      match (model_path, deck) with
+      | Some _, Some _ -> die "give either a DECK or --model, not both"
+      | None, None -> die "need a DECK or --model FILE"
+      | Some p, None -> load_model p
+      | None, Some d ->
+        let nl = or_die (read_netlist d) in
+        if cache then Awesymbolic.Model.build_cached ~order ~sparse nl
+        else Awesymbolic.Model.build ~order ~sparse nl
+    in
+    let names =
+      Array.map Symbolic.Symbol.name (Awesymbolic.Model.symbols model)
+    in
+    let nominals = Awesymbolic.Model.nominal_values model in
+    let nominal_of name =
+      let rec go k =
+        if k >= Array.length names then
+          die
+            (Printf.sprintf "unknown symbol %s (model has: %s)" name
+               (String.concat ", " (Array.to_list names)))
+        else if names.(k) = name then nominals.(k)
+        else go (k + 1)
+      in
+      go 0
+    in
+    let axes =
+      if varies = [] then
+        (* Nothing specified: sweep every symbol over a ±20% band. *)
+        Array.to_list
+          (Array.mapi
+             (fun k name ->
+               { Sweep.Plan.name;
+                 dist = Sweep.Dist.around ~nominal:nominals.(k) ~pct:20.0 })
+             names)
+      else
+        List.map
+          (fun v ->
+            match or_die (parse_vary v) with
+            | name, `Dist d -> { Sweep.Plan.name; dist = d }
+            | name, `Pct p ->
+              { Sweep.Plan.name;
+                dist = Sweep.Dist.around ~nominal:(nominal_of name) ~pct:p })
+          varies
+    in
+    let kind =
+      match (mc, lhs, corners, grid) with
+      | Some n, None, false, None -> Sweep.Plan.Monte_carlo n
+      | None, Some n, false, None -> Sweep.Plan.Latin_hypercube n
+      | None, None, true, None -> Sweep.Plan.Corners
+      | None, None, false, Some n -> Sweep.Plan.Grid n
+      | None, None, false, None -> Sweep.Plan.Monte_carlo 1000
+      | _ -> die "choose at most one of --mc, --lhs, --corners, --grid"
+    in
+    let measures =
+      match measures with
+      | [] -> Sweep.Engine.default_measures
+      | ms -> List.map (fun m -> or_die (Sweep.Engine.measure_of_string m)) ms
+    in
+    let specs =
+      List.map (fun s -> or_die (Sweep.Engine.spec_of_string s)) specs
+    in
+    let plan =
+      try Sweep.Plan.make kind axes with Invalid_argument msg -> die msg
+    in
+    let result =
+      try Sweep.Engine.run ~seed ?block ~measures ~specs model plan with
+      | Failure msg | Invalid_argument msg -> die msg
+    in
+    Printf.printf "sweep: %s, %d points, seed %d\n"
+      (Sweep.Plan.kind_name plan.Sweep.Plan.kind)
+      result.Sweep.Engine.n seed;
+    List.iter
+      (fun (a : Sweep.Plan.axis) ->
+        Printf.printf "  %s ~ %s\n" a.Sweep.Plan.name (describe_dist a.dist))
+      plan.Sweep.Plan.axes;
+    print_newline ();
+    Printf.printf "%-22s %12s %12s %12s %12s %12s %9s\n" "measure" "mean"
+      "std" "min" "median" "max" "finite";
+    List.iter
+      (fun (m, (s : Sweep.Stats.summary)) ->
+        let median =
+          match List.assoc_opt 0.5 s.Sweep.Stats.quantiles with
+          | Some v -> v
+          | None -> nan
+        in
+        Printf.printf "%-22s %12.5g %12.5g %12.5g %12.5g %12.5g %5d/%-4d\n"
+          (Sweep.Engine.measure_name m)
+          s.Sweep.Stats.mean s.Sweep.Stats.std s.Sweep.Stats.min median
+          s.Sweep.Stats.max s.Sweep.Stats.finite s.Sweep.Stats.n)
+      result.Sweep.Engine.summaries;
+    if result.Sweep.Engine.spec_yields <> [] then begin
+      print_newline ();
+      List.iter
+        (fun (s, y) ->
+          Printf.printf "spec %-24s yield %6.2f%%\n"
+            (Sweep.Engine.spec_to_string s)
+            (100.0 *. y))
+        result.Sweep.Engine.spec_yields;
+      Option.iter
+        (fun y -> Printf.printf "overall yield %6.2f%%\n" (100.0 *. y))
+        result.Sweep.Engine.yield
+    end;
+    match json_path with
+    | None -> ()
+    | Some "-" ->
+      print_newline ();
+      print_endline (Obs.Json.to_string (Sweep.Engine.to_json result))
+    | Some path ->
+      Obs.Json.to_file path (Sweep.Engine.to_json result);
+      Printf.printf "\nsweep report written to %s\n" path
+  in
+  let deck_opt_arg =
+    let doc = "Input netlist deck (alternative to --model)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DECK" ~doc)
+  in
+  let sparse_arg =
+    Arg.(value & flag & info [ "sparse" ] ~doc:"Use the sparse factorization.")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Consult and populate the content-addressed model cache when \
+             building from a deck.")
+  in
+  let vary_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "vary" ] ~docv:"NAME=DIST"
+          ~doc:
+            "Sweep a symbol: NAME=pct:P (uniform ±P% around nominal), \
+             NAME=uniform:LO:HI, NAME=normal:MEAN:STD, or \
+             NAME=lognormal:MU:SIGMA.  Repeatable.  Default: every symbol \
+             at pct:20.")
+  in
+  let mc_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mc" ] ~docv:"N"
+          ~doc:"Monte-Carlo sampling with N points (the default, N=1000).")
+  in
+  let lhs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lhs" ] ~docv:"N" ~doc:"Latin-hypercube sampling with N points.")
+  in
+  let corners_arg =
+    Arg.(
+      value & flag
+      & info [ "corners" ]
+          ~doc:"Evaluate all 2^k corner combinations of the axis bounds.")
+  in
+  let grid_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "grid" ] ~docv:"N"
+          ~doc:"Full cartesian grid, N points per axis.")
+  in
+  let measure_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "measure" ] ~docv:"NAME"
+          ~doc:
+            "Performance measure to summarize (dc_gain, dc_gain_db, \
+             dominant_pole_hz, unity_gain_frequency, phase_margin, \
+             delay_50, rise_time, elmore_delay, or m0, m1, ...).  \
+             Repeatable; default dc_gain, dominant_pole_hz, delay_50.")
+  in
+  let spec_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "spec" ] ~docv:"MEASURE<=LIMIT"
+          ~doc:
+            "Yield requirement, e.g. 'delay_50<=1e-9' or 'dc_gain>=0.5'.  \
+             Repeatable; the overall yield is the fraction of points \
+             passing every spec.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Obs.Rng seed for the sampling stream; recorded in the JSON \
+             report so runs are reproducible.")
+  in
+  let block_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block" ] ~docv:"N"
+          ~doc:"Batch kernel block size (default 256 lanes).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable sweep report here ('-' = stdout).")
+  in
+  let doc =
+    "Statistical sweep of a compiled model: Monte-Carlo, Latin-hypercube, \
+     corner, or grid plans over element distributions, evaluated through \
+     the batched SLP kernel into summaries and yield."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ obs_args $ deck_opt_arg $ model_arg $ order_arg $ sparse_arg
+      $ cache_arg $ vary_arg $ mc_arg $ lhs_arg $ corners_arg $ grid_arg
+      $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg)
+
 let moments_cmd =
   let run obs deck count =
     with_obs obs @@ fun () ->
@@ -703,4 +1089,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
     [ awe_cmd; symbolic_cmd; exact_cmd; ac_cmd; tran_cmd; rank_cmd; linearize_cmd;
       distortion_cmd; sens_cmd; validate_cmd; macromodel_cmd; noise_cmd;
-      moments_cmd ]))
+      moments_cmd; compile_cmd; eval_cmd; sweep_cmd ]))

@@ -1,0 +1,35 @@
+(* Content-addressed store for compiled-model artifacts.
+
+   The key hashes the canonical deck text (Circuit.Export.to_deck
+   round-trips elements, values, symbols, input and output), the build
+   options that change the compiled program, and the artifact format
+   version — so a format bump or a netlist edit misses cleanly instead of
+   loading a stale model. *)
+
+let key ?(order = 2) ?(sparse = false) nl =
+  let canonical =
+    String.concat "\x00"
+      [
+        "awesymbolic-model";
+        string_of_int Artifact.version;
+        string_of_int order;
+        string_of_bool sparse;
+        Circuit.Export.to_deck nl;
+      ]
+  in
+  Digest.to_hex (Digest.string canonical)
+
+let default_dir () =
+  match Sys.getenv_opt "AWESYM_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> ".awesym-cache"
+
+let path ~dir k = Filename.concat dir (k ^ ".awm")
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end

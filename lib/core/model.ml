@@ -4,9 +4,13 @@ module Sym = Symbolic.Symbol
 module Cx = Numeric.Cx
 
 type t = {
-  partition : Partition.t;
+  partition : Partition.t option;
+      (* [None] for models loaded from an artifact: the netlist analysis is
+         not stored on disk, only its compiled results. *)
   order : int;
   symbols : Sym.t array;
+  nominals : float array;
+  output : Circuit.Netlist.output option;
   moment_exprs : E.t array;
   moment_program : Slp.t;
   closed : (Closed_form.order2 * Slp.t) option;
@@ -19,10 +23,39 @@ type t = {
   pole_sensitivity : Slp.t option Lazy.t;
 }
 
+(* Derivative programs are rebuilt from the moment/closed-form DAGs, so
+   they exist for loaded artifacts too (via [Slp.to_exprs]). *)
+let derived_lazies symbols moment_exprs closed =
+  let sensitivity =
+    lazy
+      (let rows =
+         Array.map
+           (fun m -> Array.map (fun s -> E.deriv m s) symbols)
+           moment_exprs
+       in
+       Slp.compile ~inputs:symbols (Array.concat (Array.to_list rows)))
+  in
+  let pole_sensitivity =
+    lazy
+      (Option.map
+         (fun (cf, _) ->
+           let exprs =
+             Array.concat
+               [
+                 Array.map (E.deriv cf.Closed_form.pole1) symbols;
+                 Array.map (E.deriv cf.Closed_form.pole2) symbols;
+               ]
+           in
+           Slp.compile ~inputs:symbols exprs)
+         closed)
+  in
+  (sensitivity, pole_sensitivity)
+
 (* Shared tail of [build]/[build_many]: everything downstream of the
    symbolic moment DAGs. *)
-let assemble partition order moment_exprs bounds_program =
+let assemble partition ~output order moment_exprs bounds_program =
   let symbols = partition.Partition.symbols in
+  let nominals = Array.map (Partition.nominal partition) symbols in
   let moment_program = Slp.compile ~inputs:symbols moment_exprs in
   let closed =
     (* Structurally degenerate moment sequences (e.g. exactly geometric —
@@ -57,31 +90,12 @@ let assemble partition order moment_exprs bounds_program =
       | exception Division_by_zero -> None)
     | _ -> None
   in
-  let sensitivity =
-    lazy
-      (let rows =
-         Array.map
-           (fun m -> Array.map (fun s -> E.deriv m s) symbols)
-           moment_exprs
-       in
-       Slp.compile ~inputs:symbols (Array.concat (Array.to_list rows)))
+  let sensitivity, pole_sensitivity =
+    derived_lazies symbols moment_exprs closed
   in
-  let pole_sensitivity =
-    lazy
-      (Option.map
-         (fun (cf, _) ->
-           let exprs =
-             Array.concat
-               [
-                 Array.map (E.deriv cf.Closed_form.pole1) symbols;
-                 Array.map (E.deriv cf.Closed_form.pole2) symbols;
-               ]
-           in
-           Slp.compile ~inputs:symbols exprs)
-         closed)
-  in
-  { partition; order; symbols; moment_exprs; moment_program; closed;
-    bounds_program; sensitivity; pole_sensitivity }
+  { partition = Some partition; order; symbols; nominals; output;
+    moment_exprs; moment_program; closed; bounds_program; sensitivity;
+    pole_sensitivity }
 
 let build ?(order = 2) ?(sparse = false) nl =
   if order < 1 then invalid_arg "Model.build: order must be >= 1";
@@ -101,7 +115,8 @@ let build ?(order = 2) ?(sparse = false) nl =
        Slp.compile ~inputs:partition.Partition.symbols
          (Global_system.moments_expr solved))
   in
-  assemble partition order moment_exprs bounds_program
+  assemble partition ~output:(Circuit.Netlist.output_opt nl) order
+    moment_exprs bounds_program
 
 let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
   if order < 1 then invalid_arg "Model.build_many: order must be >= 1";
@@ -128,12 +143,22 @@ let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
              (Global_system.moments_expr
                 (Global_system.project system (Lazy.force raw) sel)))
       in
-      assemble partition order moment_exprs bounds_program)
+      assemble partition ~output:(Some output) order moment_exprs
+        bounds_program)
     outputs
 
 let order t = t.order
 let symbols t = Array.copy t.symbols
-let partition t = t.partition
+let nominal_values t = Array.copy t.nominals
+let output_meta t = t.output
+
+let partition t =
+  match t.partition with
+  | Some p -> p
+  | None ->
+    failwith
+      "Model.partition: this model was loaded from an artifact and carries \
+       no netlist analysis; rebuild it from the deck"
 let moment_exprs t = Array.copy t.moment_exprs
 let program t = t.moment_program
 let num_operations t = Slp.num_instructions t.moment_program
@@ -307,3 +332,115 @@ let frequency_program t =
     let re2, im2 = branch cf.Closed_form.pole2 cf.Closed_form.residue2 in
     let inputs = Array.append t.symbols [| omega_symbol |] in
     Some (Slp.compile ~inputs [| E.add re1 re2; E.add im1 im2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+let to_payload t =
+  {
+    Artifact.order = t.order;
+    symbol_names = Array.map Sym.name t.symbols;
+    nominals = Array.copy t.nominals;
+    output = t.output;
+    moment_program = t.moment_program;
+    closed_program = Option.map snd t.closed;
+  }
+
+let of_payload (p : Artifact.payload) =
+  let symbols = Array.map Sym.intern p.symbol_names in
+  if Array.length p.nominals <> Array.length symbols then
+    raise (Artifact.Format_error "nominal/symbol count mismatch");
+  if Slp.inputs p.moment_program <> symbols then
+    raise
+      (Artifact.Format_error
+         "moment program inputs disagree with the symbol table");
+  if Slp.num_outputs p.moment_program <> 2 * p.order then
+    raise
+      (Artifact.Format_error
+         (Printf.sprintf "order-%d model with %d moment outputs" p.order
+            (Slp.num_outputs p.moment_program)));
+  (* Symbolic forms come back from the bytecode, so the derivative,
+     Elmore, and time/frequency machinery keeps working on loaded
+     models; only the netlist-side analyses (partition, moment bounds)
+     stay unavailable. *)
+  let moment_exprs = Slp.to_exprs p.moment_program in
+  let closed =
+    match p.closed_program with
+    | None -> None
+    | Some prog ->
+      let expected = if p.order = 1 then 2 else 4 in
+      if Slp.num_outputs prog <> expected then
+        raise
+          (Artifact.Format_error
+             (Printf.sprintf "closed-form program with %d outputs, wanted %d"
+                (Slp.num_outputs prog) expected));
+      let es = Slp.to_exprs prog in
+      let cf =
+        if p.order = 1 then
+          {
+            Closed_form.pole1 = es.(0);
+            pole2 = E.zero;
+            residue1 = es.(1);
+            residue2 = E.zero;
+          }
+        else
+          {
+            Closed_form.pole1 = es.(0);
+            pole2 = es.(1);
+            residue1 = es.(2);
+            residue2 = es.(3);
+          }
+      in
+      Some (cf, prog)
+  in
+  let sensitivity, pole_sensitivity =
+    derived_lazies symbols moment_exprs closed
+  in
+  {
+    partition = None;
+    order = p.order;
+    symbols;
+    nominals = Array.copy p.nominals;
+    output = p.output;
+    moment_exprs;
+    moment_program = p.moment_program;
+    closed;
+    bounds_program =
+      lazy
+        (failwith
+           "Model.moment_bounds: unavailable for a model loaded from an \
+            artifact; rebuild it from the deck");
+    sensitivity;
+    pole_sensitivity;
+  }
+
+let save t path = Artifact.save path (to_payload t)
+let load path = of_payload (Artifact.load path)
+
+let build_cached ?cache_dir ?(order = 2) ?(sparse = false) nl =
+  let dir =
+    match cache_dir with Some d -> d | None -> Cache.default_dir ()
+  in
+  let key = Cache.key ~order ~sparse nl in
+  let file = Cache.path ~dir key in
+  let cached =
+    if Sys.file_exists file then
+      match load file with
+      | m ->
+        if !Obs.enabled then Obs.Metrics.incr "model.cache.hit";
+        Some m
+      | exception (Artifact.Format_error _ | Sys_error _) ->
+        (* Stale, corrupted, or concurrently written: rebuild below. *)
+        None
+    else None
+  in
+  match cached with
+  | Some m -> m
+  | None ->
+    if !Obs.enabled then Obs.Metrics.incr "model.cache.miss";
+    let m = build ~order ~sparse nl in
+    (try
+       Cache.ensure_dir dir;
+       save m file
+     with Sys_error _ -> ());
+    m

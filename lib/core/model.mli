@@ -36,7 +36,17 @@ val symbols : t -> Symbolic.Symbol.t array
 (** The model's inputs, in the positional order every evaluation function
     expects. *)
 
+val nominal_values : t -> float array
+(** The netlist's element values for each symbol, in {!symbols} order — the
+    center point sweeps perturb around.  Preserved across save/load. *)
+
+val output_meta : t -> Circuit.Netlist.output option
+(** Which netlist quantity the transfer function measures (the designated
+    [.output]), when one was recorded.  Preserved across save/load. *)
+
 val partition : t -> Partition.t
+(** The netlist analysis behind a built model.  Raises [Failure] for models
+    loaded from an artifact — the partition is not serialized. *)
 
 val moment_exprs : t -> Symbolic.Expr.t array
 (** The symbolic output moments [m₀ … m_{2q−1}] as expression DAGs. *)
@@ -139,6 +149,29 @@ val transient_program : t -> Symbolic.Slp.t option
     way.  [None] for orders ≥ 3 (no closed form); NaN at evaluation when the
     poles go complex at the given symbol values (use {!rom} +
     [Awe.Rom.step] there). *)
+
+val save : t -> string -> unit
+(** [save t path] writes the compiled model as a versioned, checksummed
+    artifact (see {!Artifact}): moment bytecode, closed-form bytecode,
+    symbols, nominal values, order, and output metadata. *)
+
+val load : string -> t
+(** Read a model back.  Evaluations ({!eval_moments}, {!rom},
+    {!closed_form_rom}, batch sweeps) are bit-identical to the model that
+    was saved; symbolic forms are reconstructed from the bytecode so the
+    derivative/Elmore/time/frequency programs keep working.  Only
+    {!partition} and {!moment_bounds} require the original netlist and
+    raise [Failure].  Raises {!Artifact.Format_error} on corrupted or
+    version-incompatible files. *)
+
+val build_cached :
+  ?cache_dir:string -> ?order:int -> ?sparse:bool -> Circuit.Netlist.t -> t
+(** Like {!build}, but consults a content-addressed on-disk cache first
+    (keyed by {!Cache.key}: deck text + build options + artifact version)
+    and writes the artifact back on a miss, so repeated runs skip the
+    one-time analysis.  Default directory {!Cache.default_dir}; corrupt or
+    stale entries are rebuilt silently.  Obs counters [model.cache.hit] /
+    [model.cache.miss] record the outcome. *)
 
 val omega_symbol : Symbolic.Symbol.t
 (** The pseudo-symbol (named ["__omega"]) carrying the angular frequency in

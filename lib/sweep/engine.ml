@@ -1,0 +1,230 @@
+module Model = Awesymbolic.Model
+module Slp = Symbolic.Slp
+module Sym = Symbolic.Symbol
+module Measures = Awe.Measures
+
+type measure =
+  | Dc_gain
+  | Dc_gain_db
+  | Dominant_pole_hz
+  | Unity_gain_frequency
+  | Phase_margin
+  | Delay_50
+  | Rise_time
+  | Elmore_delay
+  | Moment of int
+
+let measure_name = function
+  | Dc_gain -> "dc_gain"
+  | Dc_gain_db -> "dc_gain_db"
+  | Dominant_pole_hz -> "dominant_pole_hz"
+  | Unity_gain_frequency -> "unity_gain_frequency"
+  | Phase_margin -> "phase_margin"
+  | Delay_50 -> "delay_50"
+  | Rise_time -> "rise_time"
+  | Elmore_delay -> "elmore_delay"
+  | Moment k -> Printf.sprintf "m%d" k
+
+let named_measures =
+  [
+    Dc_gain; Dc_gain_db; Dominant_pole_hz; Unity_gain_frequency;
+    Phase_margin; Delay_50; Rise_time; Elmore_delay;
+  ]
+
+let measure_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match List.find_opt (fun m -> measure_name m = s) named_measures with
+  | Some m -> Ok m
+  | None -> (
+    let moment =
+      if String.length s >= 2 && s.[0] = 'm' then
+        int_of_string_opt (String.sub s 1 (String.length s - 1))
+      else None
+    in
+    match moment with
+    | Some k when k >= 0 -> Ok (Moment k)
+    | _ ->
+      Error
+        (Printf.sprintf "unknown measure %S (try %s, or m0, m1, ...)" s
+           (String.concat ", " (List.map measure_name named_measures))))
+
+type bound = Le of float | Ge of float
+
+type spec = { measure : measure; bound : bound }
+
+let spec_of_string s =
+  let split op =
+    match String.index_opt s op.[0] with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '='
+           && String.length op = 2 ->
+      Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+    | _ -> None
+  in
+  let parse name limit mk =
+    match (measure_of_string name, float_of_string_opt (String.trim limit)) with
+    | Ok m, Some v -> Ok { measure = m; bound = mk v }
+    | (Error _ as e), _ -> e
+    | _, None -> Error (Printf.sprintf "bad limit in spec %S" s)
+  in
+  match (split "<=", split ">=") with
+  | Some (name, limit), _ -> parse name limit (fun v -> Le v)
+  | None, Some (name, limit) -> parse name limit (fun v -> Ge v)
+  | None, None ->
+    Error
+      (Printf.sprintf "spec %S must look like measure<=limit or measure>=limit"
+         s)
+
+let spec_to_string { measure; bound } =
+  match bound with
+  | Le v -> Printf.sprintf "%s<=%g" (measure_name measure) v
+  | Ge v -> Printf.sprintf "%s>=%g" (measure_name measure) v
+
+let passes bound v =
+  Float.is_finite v
+  && match bound with Le limit -> v <= limit | Ge limit -> v >= limit
+
+type result = {
+  seed : int;
+  plan : Plan.t;
+  n : int;
+  order : int;
+  summaries : (measure * Stats.summary) list;
+  spec_yields : (spec * float) list;
+  yield : float option;
+}
+
+let default_measures = [ Dc_gain; Dominant_pole_hz; Delay_50 ]
+
+let eval_point nm moments rom_of = function
+  | Moment k -> if k < nm then moments.(k) else nan
+  | Elmore_delay -> Measures.elmore_delay moments
+  | m -> (
+    match rom_of () with
+    | None -> nan
+    | Some rom -> (
+      match m with
+      | Dc_gain -> Measures.dc_gain rom
+      | Dc_gain_db -> Measures.dc_gain_db rom
+      | Dominant_pole_hz -> Measures.dominant_pole_hz rom
+      | Unity_gain_frequency ->
+        Option.value ~default:nan (Measures.unity_gain_frequency rom)
+      | Phase_margin -> Option.value ~default:nan (Measures.phase_margin rom)
+      | Delay_50 -> Option.value ~default:nan (Measures.delay_50 rom)
+      | Rise_time -> Option.value ~default:nan (Measures.rise_time rom)
+      | Moment _ | Elmore_delay -> assert false))
+
+let run ?(seed = 42) ?block ?(measures = default_measures) ?(specs = [])
+    model plan =
+  Obs.Span.with_ ~name:"sweep.run" @@ fun () ->
+  let order = Model.order model in
+  let nm = 2 * order in
+  (* Union the spec measures in so every spec has a summary to report. *)
+  let measures =
+    List.fold_left
+      (fun acc s -> if List.mem s.measure acc then acc else acc @ [ s.measure ])
+      measures specs
+  in
+  List.iter
+    (function
+      | Moment k when k >= nm ->
+        invalid_arg
+          (Printf.sprintf "Sweep.run: m%d out of range (model has m0..m%d)" k
+             (nm - 1))
+      | _ -> ())
+    measures;
+  let symbols = Array.map Sym.name (Model.symbols model) in
+  let nominals = Model.nominal_values model in
+  let rng = Obs.Rng.create seed in
+  let cols = Plan.columns ~symbols ~nominals ~rng plan in
+  let mcols = Slp.eval_batch ?block (Model.program model) cols in
+  let n = Plan.num_points plan in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "sweep.run.count";
+    Obs.Metrics.add "sweep.run.points" n
+  end;
+  let marr = Array.of_list measures in
+  let vals = Array.map (fun _ -> Array.make n nan) marr in
+  let moments = Array.make nm 0.0 in
+  for i = 0 to n - 1 do
+    for k = 0 to nm - 1 do
+      moments.(k) <- mcols.(k).(i)
+    done;
+    (* The Padé finish is shared by every ROM-based measure at this point;
+       a degenerate moment sequence marks all of them NaN. *)
+    let rom = ref None in
+    let rom_forced = ref false in
+    let rom_of () =
+      if not !rom_forced then begin
+        rom_forced := true;
+        rom :=
+          (try Some (Awe.Pade.fit ~order moments)
+           with Awe.Pade.Degenerate _ -> None)
+      end;
+      !rom
+    in
+    Array.iteri
+      (fun j m -> vals.(j).(i) <- eval_point nm moments rom_of m)
+      marr
+  done;
+  let summaries =
+    Array.to_list (Array.mapi (fun j m -> (m, Stats.summarize vals.(j))) marr)
+  in
+  let index_of m =
+    let rec go j = if marr.(j) = m then j else go (j + 1) in
+    go 0
+  in
+  let spec_yields =
+    List.map
+      (fun s ->
+        (s, Stats.yield ~pass:(passes s.bound) vals.(index_of s.measure)))
+      specs
+  in
+  let yield =
+    if specs = [] then None
+    else begin
+      let ok = ref 0 in
+      for i = 0 to n - 1 do
+        if
+          List.for_all
+            (fun s -> passes s.bound vals.(index_of s.measure).(i))
+            specs
+        then incr ok
+      done;
+      Some (float_of_int !ok /. float_of_int n)
+    end
+  in
+  { seed; plan; n; order; summaries; spec_yields; yield }
+
+let to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str "awesymbolic-sweep/1");
+      ("seed", Num (float_of_int r.seed));
+      ("points", Num (float_of_int r.n));
+      ("order", Num (float_of_int r.order));
+      ("plan", Plan.to_json r.plan);
+      ( "measures",
+        Obj
+          (List.map
+             (fun (m, s) -> (measure_name m, Stats.to_json s))
+             r.summaries) );
+      ( "specs",
+        List
+          (List.map
+             (fun (s, y) ->
+               Obj
+                 [
+                   ("spec", Str (spec_to_string s));
+                   ("measure", Str (measure_name s.measure));
+                   ( "op",
+                     Str (match s.bound with Le _ -> "<=" | Ge _ -> ">=") );
+                   ( "limit",
+                     Num (match s.bound with Le v | Ge v -> v) );
+                   ("yield", Num y);
+                 ])
+             r.spec_yields) );
+      ("yield", match r.yield with Some y -> Num y | None -> Null);
+    ]

@@ -1,0 +1,68 @@
+(** The sweep engine: plan → batched moment evaluation → measures →
+    statistics and yield.
+
+    [run] materializes the plan's points as input columns, evaluates the
+    model's compiled moment program over all of them with
+    [Slp.eval_batch] (bit-identical to a per-point [Model.eval_moments]
+    loop, but one instruction dispatch per block), finishes each point with
+    the fixed-order Padé fit, extracts the requested performance measures,
+    and summarizes.  Everything downstream of the seed is deterministic. *)
+
+type measure =
+  | Dc_gain
+  | Dc_gain_db
+  | Dominant_pole_hz
+  | Unity_gain_frequency
+  | Phase_margin
+  | Delay_50
+  | Rise_time
+  | Elmore_delay
+  | Moment of int  (** The raw compiled moment [m_k], no Padé finish. *)
+
+val measure_name : measure -> string
+val measure_of_string : string -> (measure, string) result
+(** Accepts the {!measure_name} spellings plus [m0], [m1], … *)
+
+type bound =
+  | Le of float  (** pass iff value ≤ limit *)
+  | Ge of float  (** pass iff value ≥ limit *)
+
+type spec = { measure : measure; bound : bound }
+(** A performance-measure requirement; non-finite values always fail. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses ["delay_50<=1e-9"] / ["dc_gain>=0.5"] style strings. *)
+
+val spec_to_string : spec -> string
+
+type result = {
+  seed : int;
+  plan : Plan.t;
+  n : int;
+  order : int;
+  summaries : (measure * Stats.summary) list;
+  spec_yields : (spec * float) list;  (** Per-spec pass fraction. *)
+  yield : float option;
+      (** Fraction of points passing {e every} spec; [None] without specs. *)
+}
+
+val default_measures : measure list
+(** [Dc_gain; Dominant_pole_hz; Delay_50]. *)
+
+val run :
+  ?seed:int ->
+  ?block:int ->
+  ?measures:measure list ->
+  ?specs:spec list ->
+  Awesymbolic.Model.t ->
+  Plan.t ->
+  result
+(** Default seed 42; [block] is forwarded to [Slp.eval_batch].  Spec
+    measures are automatically added to the summarized set.  Raises
+    [Invalid_argument] on a [Moment k] beyond the model's [2·order]
+    moments, [Failure] when the plan sweeps a non-model symbol.  Obs
+    counters: [sweep.run.count], [sweep.run.points]; span [sweep.run]. *)
+
+val to_json : result -> Obs.Json.t
+(** Machine-readable report (schema ["awesymbolic-sweep/1"]), recording the
+    seed so any run can be reproduced exactly. *)

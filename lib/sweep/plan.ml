@@ -1,0 +1,149 @@
+type axis = { name : string; dist : Dist.t }
+
+type kind =
+  | Monte_carlo of int
+  | Latin_hypercube of int
+  | Corners
+  | Grid of int
+
+type t = { kind : kind; axes : axis list }
+
+let make kind axes =
+  if axes = [] then invalid_arg "Plan.make: no axes to sweep";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a.name then
+        invalid_arg (Printf.sprintf "Plan.make: duplicate axis %s" a.name);
+      Hashtbl.add seen a.name ())
+    axes;
+  (match kind with
+  | Monte_carlo n | Latin_hypercube n ->
+    if n < 1 then invalid_arg "Plan.make: need at least one point"
+  | Grid n ->
+    if n < 2 then invalid_arg "Plan.make: grid needs >= 2 points per axis"
+  | Corners -> ());
+  let p = { kind; axes } in
+  (* Cartesian kinds explode with dimension; fail at plan time, not after
+     an hour of sampling. *)
+  (match kind with
+  | Corners when List.length axes > 20 ->
+    invalid_arg "Plan.make: corner plan over more than 20 axes"
+  | Grid n
+    when float_of_int (List.length axes) *. log (float_of_int n)
+         > log 1_000_000.0 ->
+    invalid_arg "Plan.make: grid plan exceeds 1,000,000 points"
+  | _ -> ());
+  p
+
+let num_points t =
+  let k = List.length t.axes in
+  match t.kind with
+  | Monte_carlo n | Latin_hypercube n -> n
+  | Corners -> 1 lsl k
+  | Grid n ->
+    let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+    pow 1 k
+
+let kind_name = function
+  | Monte_carlo _ -> "monte-carlo"
+  | Latin_hypercube _ -> "latin-hypercube"
+  | Corners -> "corners"
+  | Grid _ -> "grid"
+
+(* Map plan axes onto the model's input slots: every model symbol gets a
+   column; un-swept symbols hold their nominal value in every lane. *)
+let slot_of_axis symbols a =
+  let rec find k =
+    if k >= Array.length symbols then
+      failwith
+        (Printf.sprintf "Plan: swept symbol %s is not a model symbol (have: %s)"
+           a.name
+           (String.concat ", " (Array.to_list symbols)))
+    else if symbols.(k) = a.name then k
+    else find (k + 1)
+  in
+  find 0
+
+let columns ~symbols ~nominals ~rng t =
+  if Array.length symbols <> Array.length nominals then
+    invalid_arg "Plan.columns: symbols/nominals length mismatch";
+  let n = num_points t in
+  let axes = Array.of_list t.axes in
+  let slots = Array.map (slot_of_axis symbols) axes in
+  let cols =
+    Array.init (Array.length symbols) (fun k -> Array.make n nominals.(k))
+  in
+  (match t.kind with
+  | Monte_carlo _ ->
+    (* Point-major order: all axes of point i are drawn before point i+1,
+       so adding an axis changes other axes' draws but adding points never
+       changes earlier points. *)
+    for i = 0 to n - 1 do
+      Array.iteri
+        (fun j a -> cols.(slots.(j)).(i) <- Dist.sample a.dist rng)
+        axes
+    done
+  | Latin_hypercube _ ->
+    (* One stratified sample per stratum per axis, then a Fisher–Yates
+       shuffle decorrelates the axes. *)
+    let perm = Array.init n (fun i -> i) in
+    Array.iteri
+      (fun j a ->
+        for i = n - 1 downto 1 do
+          let k = Obs.Rng.int rng (i + 1) in
+          let tmp = perm.(i) in
+          perm.(i) <- perm.(k);
+          perm.(k) <- tmp
+        done;
+        let col = cols.(slots.(j)) in
+        for i = 0 to n - 1 do
+          let u =
+            (float_of_int perm.(i) +. Obs.Rng.float rng) /. float_of_int n
+          in
+          (* Clamp away from the open endpoints quantile rejects. *)
+          let u = Float.max 1e-12 (Float.min (1.0 -. 1e-12) u) in
+          col.(i) <- Dist.quantile a.dist u
+        done)
+      axes
+  | Corners ->
+    Array.iteri
+      (fun j a ->
+        let lo, hi = Dist.bounds a.dist in
+        let col = cols.(slots.(j)) in
+        for i = 0 to n - 1 do
+          col.(i) <- (if i land (1 lsl j) = 0 then lo else hi)
+        done)
+      axes
+  | Grid per_axis ->
+    Array.iteri
+      (fun j a ->
+        let lo, hi = Dist.bounds a.dist in
+        let step = (hi -. lo) /. float_of_int (per_axis - 1) in
+        let col = cols.(slots.(j)) in
+        (* Axis j varies fastest for low j: index i decomposes in base
+           [per_axis] with digit j selecting axis j's grid line. *)
+        let rec digit i k = if k = 0 then i mod per_axis else digit (i / per_axis) (k - 1) in
+        for i = 0 to n - 1 do
+          col.(i) <- lo +. (float_of_int (digit i j) *. step)
+        done)
+      axes);
+  cols
+
+let to_json t =
+  let open Obs.Json in
+  let base =
+    [
+      ("kind", Str (kind_name t.kind));
+      ("points", Num (float_of_int (num_points t)));
+      ( "axes",
+        List
+          (List.map
+             (fun a ->
+               Obj [ ("symbol", Str a.name); ("dist", Dist.to_json a.dist) ])
+             t.axes) );
+    ]
+  in
+  match t.kind with
+  | Grid n -> Obj (base @ [ ("per_axis", Num (float_of_int n)) ])
+  | _ -> Obj base

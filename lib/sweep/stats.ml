@@ -1,0 +1,127 @@
+type summary = {
+  n : int;
+  finite : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  quantiles : (float * float) list;
+  histogram : (float * float * int) array;
+}
+
+let default_probs = [ 0.05; 0.25; 0.5; 0.75; 0.95 ]
+
+let quantile_sorted sorted p =
+  (* Hyndman–Fan type 7 (linear interpolation), the numpy/R default. *)
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let lo = if lo >= n - 1 then n - 2 else if lo < 0 then 0 else lo in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+let summarize ?(bins = 20) ?(probs = default_probs) xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  if bins < 1 then invalid_arg "Stats.summarize: bins must be >= 1";
+  let finite = Array.of_seq (Seq.filter Float.is_finite (Array.to_seq xs)) in
+  let nf = Array.length finite in
+  if nf = 0 then
+    {
+      n;
+      finite = 0;
+      mean = nan;
+      std = nan;
+      min = nan;
+      max = nan;
+      quantiles = List.map (fun p -> (p, nan)) probs;
+      histogram = [||];
+    }
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 finite /. float_of_int nf in
+    let var =
+      if nf < 2 then 0.0
+      else
+        Array.fold_left
+          (fun acc x ->
+            let d = x -. mean in
+            acc +. (d *. d))
+          0.0 finite
+        /. float_of_int (nf - 1)
+    in
+    let sorted = Array.copy finite in
+    Array.sort compare sorted;
+    let mn = sorted.(0) and mx = sorted.(nf - 1) in
+    let quantiles = List.map (fun p -> (p, quantile_sorted sorted p)) probs in
+    let histogram =
+      if mn = mx then [| (mn, mx, nf) |]
+      else begin
+        let counts = Array.make bins 0 in
+        let w = (mx -. mn) /. float_of_int bins in
+        Array.iter
+          (fun x ->
+            let b = int_of_float ((x -. mn) /. w) in
+            let b = if b >= bins then bins - 1 else b in
+            counts.(b) <- counts.(b) + 1)
+          finite;
+        Array.mapi
+          (fun b c ->
+            ( mn +. (float_of_int b *. w),
+              (if b = bins - 1 then mx else mn +. (float_of_int (b + 1) *. w)),
+              c ))
+          counts
+      end
+    in
+    {
+      n;
+      finite = nf;
+      mean;
+      std = sqrt var;
+      min = mn;
+      max = mx;
+      quantiles;
+      histogram;
+    }
+  end
+
+let yield ~pass xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.yield: empty sample";
+  let ok =
+    Array.fold_left
+      (fun acc x -> if Float.is_finite x && pass x then acc + 1 else acc)
+      0 xs
+  in
+  float_of_int ok /. float_of_int n
+
+let to_json s =
+  let open Obs.Json in
+  Obj
+    [
+      ("n", Num (float_of_int s.n));
+      ("finite", Num (float_of_int s.finite));
+      ("mean", Num s.mean);
+      ("std", Num s.std);
+      ("min", Num s.min);
+      ("max", Num s.max);
+      ( "quantiles",
+        Obj
+          (List.map
+             (fun (p, v) -> (Printf.sprintf "p%02.0f" (100.0 *. p), Num v))
+             s.quantiles) );
+      ( "histogram",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (lo, hi, c) ->
+                  Obj
+                    [
+                      ("lo", Num lo);
+                      ("hi", Num hi);
+                      ("count", Num (float_of_int c));
+                    ])
+                s.histogram)) );
+    ]

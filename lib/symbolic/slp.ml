@@ -1,5 +1,8 @@
-(* Instructions operate on a flat float register file.  Every distinct DAG
-   node gets one register; constants are preloaded once at compile time. *)
+(* Instructions operate on a flat float register file.  [compile] first emits
+   SSA-style code (every distinct DAG node gets one register; constants are
+   preloaded once at compile time), then runs the optimization passes below —
+   constant folding, dead-code elimination and linear-scan register reuse —
+   so the program that ships is the compact form sweeps iterate over. *)
 type instr =
   | Load_input of int * int (* reg <- inputs.(slot) *)
   | Add of int * int * int (* reg <- reg + reg *)
@@ -20,8 +23,265 @@ let inputs p = p.inputs
 let num_outputs p = Array.length p.outputs
 let num_instructions p = Array.length p.instrs
 let num_registers p = Array.length p.init
+let instructions p = Array.copy p.instrs
+let init_registers p = Array.copy p.init
+let output_registers p = Array.copy p.outputs
 
-let compile ~inputs outputs =
+let dest = function
+  | Load_input (r, _)
+  | Add (r, _, _)
+  | Mul (r, _, _)
+  | Neg (r, _)
+  | Inv (r, _)
+  | Sqrt (r, _)
+  | Exp (r, _) -> r
+
+let sources = function
+  | Load_input _ -> []
+  | Add (_, a, b) | Mul (_, a, b) -> [ a; b ]
+  | Neg (_, a) | Inv (_, a) | Sqrt (_, a) | Exp (_, a) -> [ a ]
+
+let of_parts ~inputs ~instrs ~init ~outputs =
+  let nregs = Array.length init in
+  let nin = Array.length inputs in
+  let check_reg what r =
+    if r < 0 || r >= nregs then
+      invalid_arg
+        (Printf.sprintf "Slp.of_parts: %s register %d out of range [0, %d)"
+           what r nregs)
+  in
+  Array.iter
+    (fun i ->
+      check_reg "destination" (dest i);
+      List.iter (check_reg "source") (sources i);
+      match i with
+      | Load_input (_, slot) ->
+        if slot < 0 || slot >= nin then
+          invalid_arg
+            (Printf.sprintf "Slp.of_parts: input slot %d out of range [0, %d)"
+               slot nin)
+      | _ -> ())
+    instrs;
+  Array.iter (check_reg "output") outputs;
+  { inputs; instrs; init; outputs }
+
+(* ------------------------------------------------------------------ *)
+(* Optimization passes.
+
+   The pipeline renames to SSA while folding constants, removes dead code,
+   then allocates registers by linear scan so a register is reused as soon
+   as its last consumer has run.  Folding performs the very float operation
+   the interpreter would, so optimized programs are bit-identical to their
+   unoptimized forms.  Register reuse is safe because the interpreters read
+   every source before writing the destination. *)
+
+type operand = Cst of float | Ssa of int
+
+type sop =
+  | S_load of int
+  | S_add of operand * operand
+  | S_mul of operand * operand
+  | S_neg of operand
+  | S_inv of operand
+  | S_sqrt of operand
+  | S_exp of operand
+
+let sop_operands = function
+  | S_load _ -> []
+  | S_add (a, b) | S_mul (a, b) -> [ a; b ]
+  | S_neg a | S_inv a | S_sqrt a | S_exp a -> [ a ]
+
+let optimize p =
+  (* Pass 1: rename to SSA, folding every instruction whose operands are all
+     compile-time constants (with the interpreter's own float ops). *)
+  let cur = Array.map (fun c -> Cst c) p.init in
+  let emitted = ref [] in
+  let count = ref 0 in
+  let emit sop =
+    let id = !count in
+    incr count;
+    emitted := sop :: !emitted;
+    Ssa id
+  in
+  Array.iter
+    (fun instr ->
+      let v =
+        match instr with
+        | Load_input (_, slot) -> emit (S_load slot)
+        | Add (_, a, b) -> (
+          match (cur.(a), cur.(b)) with
+          | Cst x, Cst y -> Cst (x +. y)
+          | a, b -> emit (S_add (a, b)))
+        | Mul (_, a, b) -> (
+          match (cur.(a), cur.(b)) with
+          | Cst x, Cst y -> Cst (x *. y)
+          | a, b -> emit (S_mul (a, b)))
+        | Neg (_, a) -> (
+          match cur.(a) with
+          | Cst x -> Cst (-.x)
+          | a -> emit (S_neg a))
+        | Inv (_, a) -> (
+          match cur.(a) with
+          | Cst x -> Cst (1.0 /. x)
+          | a -> emit (S_inv a))
+        | Sqrt (_, a) -> (
+          match cur.(a) with
+          | Cst x -> Cst (Float.sqrt x)
+          | a -> emit (S_sqrt a))
+        | Exp (_, a) -> (
+          match cur.(a) with
+          | Cst x -> Cst (Float.exp x)
+          | a -> emit (S_exp a))
+      in
+      cur.(dest instr) <- v)
+    p.instrs;
+  let body = Array.of_list (List.rev !emitted) in
+  let out_vals = Array.map (fun r -> cur.(r)) p.outputs in
+  (* Pass 2: dead-code elimination — keep only SSA values reachable from the
+     outputs (walking backwards keeps transitive uses). *)
+  let live = Array.make (Array.length body) false in
+  Array.iter
+    (function Ssa i -> live.(i) <- true | Cst _ -> ())
+    out_vals;
+  for i = Array.length body - 1 downto 0 do
+    if live.(i) then
+      List.iter
+        (function Ssa j -> live.(j) <- true | Cst _ -> ())
+        (sop_operands body.(i))
+  done;
+  let renum = Array.make (Array.length body) (-1) in
+  let kept = ref [] in
+  let nkept = ref 0 in
+  Array.iteri
+    (fun i sop ->
+      if live.(i) then begin
+        renum.(i) <- !nkept;
+        incr nkept;
+        kept := sop :: !kept
+      end)
+    body;
+  let rename = function
+    | Cst c -> Cst c
+    | Ssa i -> Ssa renum.(i)
+  in
+  let body =
+    Array.of_list (List.rev !kept)
+    |> Array.map (function
+         | S_load s -> S_load s
+         | S_add (a, b) -> S_add (rename a, rename b)
+         | S_mul (a, b) -> S_mul (rename a, rename b)
+         | S_neg a -> S_neg (rename a)
+         | S_inv a -> S_inv (rename a)
+         | S_sqrt a -> S_sqrt (rename a)
+         | S_exp a -> S_exp (rename a))
+  in
+  let out_vals = Array.map rename out_vals in
+  let m = Array.length body in
+  (* Pass 3: linear-scan register allocation.  Distinct constants (by bit
+     pattern, so 0.0 / -0.0 / NaN payloads survive) live from program entry;
+     an SSA value lives from its defining instruction; both end at their
+     last use — position [m] meaning "read by the outputs". *)
+  let const_ids = Hashtbl.create 16 in
+  let const_vals = ref [] in
+  let nconsts = ref 0 in
+  let const_id c =
+    let key = Int64.bits_of_float c in
+    match Hashtbl.find_opt const_ids key with
+    | Some id -> id
+    | None ->
+      let id = !nconsts in
+      incr nconsts;
+      Hashtbl.add const_ids key id;
+      const_vals := c :: !const_vals;
+      id
+  in
+  (* Virtual ids: constants first, then SSA values offset by the constant
+     count (assigned after the scan below fixes !nconsts). *)
+  let last_use_ssa = Array.make m (-1) in
+  let last_use_const = Hashtbl.create 16 in
+  let touch pos = function
+    | Cst c ->
+      let id = const_id c in
+      Hashtbl.replace last_use_const id pos
+    | Ssa i -> last_use_ssa.(i) <- pos
+  in
+  Array.iteri
+    (fun pos sop -> List.iter (touch pos) (sop_operands sop))
+    body;
+  Array.iter (touch m) out_vals;
+  let nc = !nconsts in
+  let expire = Array.make (m + 1) [] in
+  Array.iteri
+    (fun i pos -> if pos >= 0 && pos < m then expire.(pos) <- (nc + i) :: expire.(pos))
+    last_use_ssa;
+  Hashtbl.iter
+    (fun id pos -> if pos < m then expire.(pos) <- id :: expire.(pos))
+    last_use_const;
+  let reg_of = Array.make (nc + m) (-1) in
+  let free = ref [] in
+  let next_reg = ref 0 in
+  let alloc id =
+    let r =
+      match !free with
+      | r :: rest ->
+        free := rest;
+        r
+      | [] ->
+        let r = !next_reg in
+        incr next_reg;
+        r
+    in
+    reg_of.(id) <- r;
+    r
+  in
+  (* Constants are all live at entry: allocate them up front. *)
+  for id = 0 to nc - 1 do
+    ignore (alloc id)
+  done;
+  let reg_of_operand = function
+    | Cst c -> reg_of.(const_id c)
+    | Ssa i -> reg_of.(nc + i)
+  in
+  let instrs =
+    Array.mapi
+      (fun pos sop ->
+        (* Free values whose last read is this instruction before binding the
+           destination: the interpreters read sources before writing, so the
+           destination may legally recycle a source register. *)
+        List.iter (fun id -> free := reg_of.(id) :: !free) expire.(pos);
+        let srcs = List.map reg_of_operand (sop_operands sop) in
+        let d = alloc (nc + pos) in
+        match (sop, srcs) with
+        | S_load slot, [] -> Load_input (d, slot)
+        | S_add _, [ a; b ] -> Add (d, a, b)
+        | S_mul _, [ a; b ] -> Mul (d, a, b)
+        | S_neg _, [ a ] -> Neg (d, a)
+        | S_inv _, [ a ] -> Inv (d, a)
+        | S_sqrt _, [ a ] -> Sqrt (d, a)
+        | S_exp _, [ a ] -> Exp (d, a)
+        | _ -> assert false)
+      body
+  in
+  let init = Array.make (Int.max !next_reg 1) 0.0 in
+  List.iteri
+    (fun k c ->
+      (* const_vals is reversed: entry k holds constant id nc-1-k. *)
+      init.(reg_of.(nc - 1 - k)) <- c)
+    !const_vals;
+  let outputs = Array.map reg_of_operand out_vals in
+  if !Obs.enabled then begin
+    Obs.Metrics.add "slp.optimize.folded_ops"
+      (Array.length p.instrs - Array.length instrs);
+    Obs.Metrics.add "slp.optimize.saved_regs"
+      (Int.max 0 (Array.length p.init - Array.length init))
+  end;
+  { inputs = p.inputs; instrs; init; outputs }
+
+(* ------------------------------------------------------------------ *)
+
+let optimize_pass = optimize
+
+let compile ?(optimize = true) ~inputs outputs =
   let slot_of_symbol : (int, int) Hashtbl.t = Hashtbl.create 8 in
   Array.iteri (fun k s -> Hashtbl.replace slot_of_symbol (Symbol.id s) k) inputs;
   let reg_of_node : (int, int) Hashtbl.t = Hashtbl.create 256 in
@@ -92,7 +352,7 @@ let compile ~inputs outputs =
       r
   in
   let out_regs = Array.map reg outputs in
-  let init = Array.make !next_reg 0.0 in
+  let init = Array.make (Int.max !next_reg 1) 0.0 in
   List.iter (fun (r, c) -> init.(r) <- c) !consts;
   let p =
     {
@@ -102,6 +362,7 @@ let compile ~inputs outputs =
       outputs = out_regs;
     }
   in
+  let p = if optimize then optimize_pass p else p in
   if !Obs.enabled then begin
     Obs.Metrics.incr "slp.compile.count";
     Obs.Metrics.observe "slp.program.ops" (float_of_int (Array.length p.instrs))
@@ -143,6 +404,125 @@ let make_evaluator p =
     if Array.length values <> Array.length p.inputs then
       invalid_arg "Slp: wrong number of input values";
     run p regs values out
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation: one structure-of-arrays register file of [block]
+   lanes, interpreted block-by-block so instruction dispatch amortizes over
+   the lanes and the whole file stays cache-resident.  Each lane computes
+   exactly the scalar interpreter's operation sequence, so results are
+   bit-identical to [eval] / [make_evaluator] point by point. *)
+
+(* Registers that the program reads before writing (preloaded constants and
+   const outputs) must be refilled at every block boundary — everything else
+   is defined before use and may stay dirty from the previous block. *)
+let preloaded_registers p =
+  let n = Array.length p.init in
+  let written = Array.make n false in
+  let needed = Array.make n false in
+  Array.iter
+    (fun instr ->
+      List.iter (fun s -> if not written.(s) then needed.(s) <- true)
+        (sources instr);
+      written.(dest instr) <- true)
+    p.instrs;
+  Array.iter (fun r -> if not written.(r) then needed.(r) <- true) p.outputs;
+  let acc = ref [] in
+  for r = n - 1 downto 0 do
+    if needed.(r) then acc := r :: !acc
+  done;
+  Array.of_list !acc
+
+let default_block = 256
+
+let make_batch_evaluator ?(block = default_block) p =
+  if block <= 0 then invalid_arg "Slp.make_batch_evaluator: block must be > 0";
+  let nregs = Array.length p.init in
+  let regs = Array.init nregs (fun _ -> Array.make block 0.0) in
+  let preload = preloaded_registers p in
+  fun inputs ->
+    if Array.length inputs <> Array.length p.inputs then
+      invalid_arg "Slp.eval_batch: wrong number of input columns";
+    if Array.length inputs = 0 then
+      invalid_arg "Slp.eval_batch: program has no inputs (use eval)";
+    let n = Array.length inputs.(0) in
+    Array.iteri
+      (fun k col ->
+        if Array.length col <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Slp.eval_batch: input column %d has %d points, expected %d" k
+               (Array.length col) n))
+      inputs;
+    if !Obs.enabled then begin
+      Obs.Metrics.incr "slp.eval_batch.count";
+      Obs.Metrics.add "slp.eval_batch.points" n;
+      Obs.Metrics.add "slp.eval_batch.ops" (n * Array.length p.instrs)
+    end;
+    let outs = Array.map (fun _ -> Array.make n 0.0) p.outputs in
+    let lo = ref 0 in
+    while !lo < n do
+      let len = Int.min block (n - !lo) in
+      Array.iter (fun r -> Array.fill regs.(r) 0 len p.init.(r)) preload;
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Load_input (r, slot) -> Array.blit inputs.(slot) !lo regs.(r) 0 len
+          | Add (r, a, b) ->
+            let d = regs.(r) and x = regs.(a) and y = regs.(b) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i
+                (Array.unsafe_get x i +. Array.unsafe_get y i)
+            done
+          | Mul (r, a, b) ->
+            let d = regs.(r) and x = regs.(a) and y = regs.(b) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i
+                (Array.unsafe_get x i *. Array.unsafe_get y i)
+            done
+          | Neg (r, a) ->
+            let d = regs.(r) and x = regs.(a) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i (-.(Array.unsafe_get x i))
+            done
+          | Inv (r, a) ->
+            let d = regs.(r) and x = regs.(a) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i (1.0 /. Array.unsafe_get x i)
+            done
+          | Sqrt (r, a) ->
+            let d = regs.(r) and x = regs.(a) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i (Float.sqrt (Array.unsafe_get x i))
+            done
+          | Exp (r, a) ->
+            let d = regs.(r) and x = regs.(a) in
+            for i = 0 to len - 1 do
+              Array.unsafe_set d i (Float.exp (Array.unsafe_get x i))
+            done)
+        p.instrs;
+      Array.iteri (fun k r -> Array.blit regs.(r) 0 outs.(k) !lo len) p.outputs;
+      lo := !lo + len
+    done;
+    outs
+
+let eval_batch ?block p inputs = make_batch_evaluator ?block p inputs
+
+(* ------------------------------------------------------------------ *)
+
+let to_exprs p =
+  let vals = Array.map Expr.const p.init in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Load_input (r, slot) -> vals.(r) <- Expr.sym p.inputs.(slot)
+      | Add (r, a, b) -> vals.(r) <- Expr.add vals.(a) vals.(b)
+      | Mul (r, a, b) -> vals.(r) <- Expr.mul vals.(a) vals.(b)
+      | Neg (r, a) -> vals.(r) <- Expr.neg vals.(a)
+      | Inv (r, a) -> vals.(r) <- Expr.inv vals.(a)
+      | Sqrt (r, a) -> vals.(r) <- Expr.sqrt vals.(a)
+      | Exp (r, a) -> vals.(r) <- Expr.exp vals.(a))
+    p.instrs;
+  Array.map (fun r -> vals.(r)) p.outputs
 
 let pp ppf p =
   Format.fprintf ppf "@[<v>inputs:";

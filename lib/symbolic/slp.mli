@@ -5,15 +5,39 @@
     AWE approximation, where the operands are the values of the symbols."
     A compiled program evaluates a whole family of outputs (moments, Padé
     coefficients, poles, residues, …) with one pass over a float register
-    file — no allocation, no tree walking. *)
+    file — no allocation, no tree walking.  Compilation runs an optimizer
+    (constant folding, dead-code elimination, linear-scan register reuse)
+    so the shipped program is the compact form sweeps iterate over;
+    {!num_instructions} and {!num_registers} report the optimized sizes. *)
 
 type t
 
-val compile : inputs:Symbol.t array -> Expr.t array -> t
+type instr =
+  | Load_input of int * int  (** [reg <- inputs.(slot)] *)
+  | Add of int * int * int  (** [reg <- reg + reg] *)
+  | Mul of int * int * int
+  | Neg of int * int
+  | Inv of int * int
+  | Sqrt of int * int
+  | Exp of int * int
+      (** The bytecode, public so model artifacts can serialize programs
+          (see [Awesymbolic.Artifact]).  Destination register first. *)
+
+val compile : ?optimize:bool -> inputs:Symbol.t array -> Expr.t array -> t
 (** [compile ~inputs outputs] compiles the DAG rooted at [outputs].
     Hash-consing sharing in {!Expr} becomes common-subexpression elimination
-    for free.  Raises [Invalid_argument] if an output mentions a symbol not
-    listed in [inputs]. *)
+    for free.  The optimization passes (on by default; [~optimize:false]
+    keeps the raw SSA form) never change results: folded constants are
+    computed with the interpreter's own float operations, so optimized and
+    unoptimized programs are bit-identical point for point.  Raises
+    [Invalid_argument] if an output mentions a symbol not listed in
+    [inputs]. *)
+
+val optimize : t -> t
+(** Re-run the optimization pipeline on an existing program: constant
+    folding, dead-code elimination, then linear-scan register allocation
+    that recycles a register as soon as its last consumer has run.
+    Idempotent; evaluation results are bit-identical. *)
 
 val inputs : t -> Symbol.t array
 val num_outputs : t -> int
@@ -23,6 +47,27 @@ val num_instructions : t -> int
 
 val num_registers : t -> int
 
+val instructions : t -> instr array
+(** A copy of the instruction stream, for serialization and inspection. *)
+
+val init_registers : t -> float array
+(** A copy of the initial register file (preloaded constants). *)
+
+val output_registers : t -> int array
+(** A copy of the output register indices. *)
+
+val of_parts :
+  inputs:Symbol.t array ->
+  instrs:instr array ->
+  init:float array ->
+  outputs:int array ->
+  t
+(** Reassemble a program from its serialized parts (inverse of
+    {!instructions}/{!init_registers}/{!output_registers} plus {!inputs}).
+    Validates every register index and input slot; raises
+    [Invalid_argument] on out-of-range references so corrupted artifacts
+    fail loudly instead of evaluating garbage. *)
+
 val eval : t -> float array -> float array
 (** [eval p values] runs the program with [values.(k)] bound to
     [inputs.(k)].  Allocates the register file; for tight loops use
@@ -31,8 +76,40 @@ val eval : t -> float array -> float array
 val make_evaluator : t -> float array -> float array
 (** [make_evaluator p] returns a closure reusing one preallocated register
     file and one output buffer across calls — the per-iteration cost Table 1
-    of the paper measures.  The returned array is overwritten by the next
-    call. *)
+    of the paper measures.
+
+    {b Aliasing contract:} every call returns the {e same} output array,
+    overwritten in place by the next call.  Callers that retain results
+    across calls (sweep loops, statistics accumulators) must copy the array
+    — e.g. [Array.copy (run v)] — before evaluating the next point; see the
+    regression test [slp aliasing contract] in [test_symbolic.ml]. *)
+
+val eval_batch : ?block:int -> t -> float array array -> float array array
+(** [eval_batch p cols] evaluates the program at [n] points in one call:
+    [cols.(k).(i)] is the value of input [k] at point [i] (all columns must
+    share the same length [n]), and [(eval_batch p cols).(j).(i)] is output
+    [j] at point [i].  Points are processed in blocks of [block] lanes
+    (default 256) over one structure-of-arrays register file, so instruction
+    dispatch amortizes across the block and the file stays cache-resident —
+    the fast path under Monte-Carlo and corner sweeps.  Results are
+    bit-identical to calling {!eval} point by point.  The returned arrays
+    are freshly allocated (no aliasing).  Raises [Invalid_argument] on
+    column-length mismatch, a wrong column count, or a program with no
+    inputs. *)
+
+val make_batch_evaluator :
+  ?block:int -> t -> float array array -> float array array
+(** Pre-allocates the blocked register file once and returns the batch
+    evaluation closure — {!eval_batch} is [make_batch_evaluator] applied
+    immediately.  Unlike {!make_evaluator}, returned output columns are
+    fresh on every call. *)
+
+val to_exprs : t -> Expr.t array
+(** Reconstruct the output expression DAGs from the bytecode (the inverse of
+    {!compile} up to the smart constructors' algebraic normalization).
+    Loaded model artifacts use this to recover symbolic forms — derivative
+    and closed-form programs can then be rebuilt without the original
+    netlist. *)
 
 val pp : Format.formatter -> t -> unit
 (** Disassembly, for debugging and documentation. *)

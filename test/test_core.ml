@@ -1026,6 +1026,204 @@ let test_macromodel_bad_port () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "unknown port accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-model artifacts: save/load round trips, integrity checks,
+   and the content-addressed build cache *)
+
+module Artifact = Awesymbolic.Artifact
+module Cache = Awesymbolic.Cache
+
+let bits = Int64.bits_of_float
+
+let with_temp_file f =
+  let path = Filename.temp_file "awesym-test" ".awm" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let check_bits name expected actual =
+  Array.iteri
+    (fun k x ->
+      if bits x <> bits actual.(k) then
+        Alcotest.failf "%s: entry %d differs: %h vs %h" name k x actual.(k))
+    expected
+
+let test_artifact_roundtrip () =
+  let nl = fig1_c1_g2 () in
+  let model = Model.build ~order:2 nl in
+  with_temp_file @@ fun path ->
+  Model.save model path;
+  let loaded = Model.load path in
+  Alcotest.(check int) "order survives" (Model.order model) (Model.order loaded);
+  Alcotest.(check (list string))
+    "symbols survive"
+    (Array.to_list (Array.map Sym.name (Model.symbols model)))
+    (Array.to_list (Array.map Sym.name (Model.symbols loaded)));
+  check_bits "nominals survive" (Model.nominal_values model)
+    (Model.nominal_values loaded);
+  Alcotest.(check bool) "output metadata survives" true
+    (Model.output_meta model = Model.output_meta loaded);
+  (* Evaluations must be bit-identical, not merely close. *)
+  List.iter
+    (fun point ->
+      let v = Model.values model point in
+      check_bits "moments bit-identical"
+        (Model.eval_moments model v)
+        (Model.eval_moments loaded v);
+      match (Model.closed_form_rom model v, Model.closed_form_rom loaded v) with
+      | Some a, Some b ->
+        check_bits "closed-form poles bit-identical"
+          (Array.map (fun (p : Cx.t) -> p.Cx.re) a.Awe.Rom.poles)
+          (Array.map (fun (p : Cx.t) -> p.Cx.re) b.Awe.Rom.poles)
+      | None, None -> ()
+      | _ -> Alcotest.fail "closed-form availability changed across save/load")
+    points_fig1;
+  (* Reconstructed symbolic forms keep the derived programs working. *)
+  let v = Model.values loaded [ ("C1", 1.5); ("G2", 0.8) ] in
+  check_float "loaded Elmore program"
+    (Awe.Measures.elmore_delay (Model.eval_moments loaded v))
+    (Symbolic.Slp.eval (Model.elmore_program loaded) v).(0);
+  (* Only the netlist analysis itself is gone. *)
+  match Model.partition loaded with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "partition should be unavailable on a loaded model"
+
+let test_artifact_save_is_deterministic () =
+  let model = Model.build ~order:2 (fig1_c1_g2 ()) in
+  with_temp_file @@ fun p1 ->
+  with_temp_file @@ fun p2 ->
+  Model.save model p1;
+  Model.save model p2;
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  Alcotest.(check bool) "same bytes on every save" true (read p1 = read p2)
+
+let expect_format_error ~substring path =
+  match Model.load path with
+  | exception Artifact.Format_error msg ->
+    if
+      not
+        (String.length msg >= String.length substring
+        && (let found = ref false in
+            for i = 0 to String.length msg - String.length substring do
+              if String.sub msg i (String.length substring) = substring then
+                found := true
+            done;
+            !found))
+    then
+      Alcotest.failf "Format_error message %S does not mention %S" msg substring
+  | exception e ->
+    Alcotest.failf "expected Format_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "corrupted artifact loaded without complaint"
+
+let rewrite path f =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let data = f (Bytes.of_string data) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc data)
+
+let test_artifact_corruption_detected () =
+  let model = Model.build ~order:2 (fig1_c1_g2 ()) in
+  with_temp_file @@ fun path ->
+  Model.save model path;
+  (* Flip one payload byte: the MD5 check must catch it. *)
+  rewrite path (fun b ->
+      let i = Bytes.length b - 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+      b);
+  expect_format_error ~substring:"corrupted" path
+
+let test_artifact_version_drift_detected () =
+  let model = Model.build ~order:2 (fig1_c1_g2 ()) in
+  with_temp_file @@ fun path ->
+  Model.save model path;
+  (* Bump the version field (it sits right after the magic string). *)
+  rewrite path (fun b ->
+      Bytes.set_int32_le b (String.length Artifact.magic)
+        (Int32.of_int (Artifact.version + 1));
+      b);
+  expect_format_error ~substring:"version" path
+
+let test_artifact_truncation_detected () =
+  let model = Model.build ~order:2 (fig1_c1_g2 ()) in
+  with_temp_file @@ fun path ->
+  Model.save model path;
+  rewrite path (fun b -> Bytes.sub b 0 (Bytes.length b / 2));
+  (* Half a file keeps the header but loses payload bytes. *)
+  (match Model.load path with
+  | exception Artifact.Format_error _ -> ()
+  | _ -> Alcotest.fail "truncated artifact loaded");
+  rewrite path (fun b -> Bytes.sub b 0 7);
+  expect_format_error ~substring:"too short" path
+
+let test_artifact_bad_magic_detected () =
+  let model = Model.build ~order:2 (fig1_c1_g2 ()) in
+  with_temp_file @@ fun path ->
+  Model.save model path;
+  rewrite path (fun b ->
+      Bytes.set b 0 'X';
+      b);
+  expect_format_error ~substring:"magic" path
+
+let test_build_cached_roundtrip () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "awesym-cache-test-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let nl = fig1_c1_g2 () in
+  let key = Cache.key ~order:2 nl in
+  let entry = Cache.path ~dir key in
+  (* Miss: builds and writes the artifact. *)
+  let fresh = Model.build_cached ~cache_dir:dir ~order:2 nl in
+  Alcotest.(check bool) "artifact written on miss" true (Sys.file_exists entry);
+  (* Hit: loads the artifact, bit-identical evaluations. *)
+  let cached = Model.build_cached ~cache_dir:dir ~order:2 nl in
+  List.iter
+    (fun point ->
+      let v = Model.values fresh point in
+      check_bits "cache hit bit-identical"
+        (Model.eval_moments fresh v)
+        (Model.eval_moments cached v))
+    points_fig1;
+  (* A different order is a different key: no false sharing. *)
+  Alcotest.(check bool) "order is part of the key" true
+    (Cache.key ~order:3 nl <> key);
+  (* Corrupt the entry: build_cached must rebuild silently. *)
+  rewrite entry (fun b ->
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+      b);
+  let rebuilt = Model.build_cached ~cache_dir:dir ~order:2 nl in
+  let v = Model.values fresh [ ("C1", 2.0); ("G2", 0.5) ] in
+  check_bits "rebuilt after corruption"
+    (Model.eval_moments fresh v)
+    (Model.eval_moments rebuilt v)
+
+let test_artifact_golden () =
+  (* A committed artifact pins the on-disk format: if [Artifact.version] (or
+     the byte layout) drifts without regenerating the golden file — see
+     test/golden/README.md — this load fails and CI goes red. *)
+  let model = Model.load "golden/fig1_order2.awm" in
+  Alcotest.(check int) "golden order" 2 (Model.order model);
+  Alcotest.(check (list string))
+    "golden symbols" [ "C1"; "G2" ]
+    (Array.to_list (Array.map Sym.name (Model.symbols model)));
+  (* fig1 with C1 = G2 = 1 has moments 1, −3, 8, −21 (paper Sec. 2.1). *)
+  let m =
+    Model.eval_moments model (Model.values model [ ("C1", 1.0); ("G2", 1.0) ])
+  in
+  check_float "golden m0" 1.0 m.(0);
+  check_float "golden m1" (-3.0) m.(1);
+  check_float "golden m2" 8.0 m.(2);
+  check_float "golden m3" (-21.0) m.(3)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let props = List.map QCheck_alcotest.to_alcotest in
@@ -1105,5 +1303,16 @@ let () =
           quick "passive S-parameters" test_macromodel_s_parameters;
           quick "unknown port rejected" test_macromodel_bad_port;
           quick "touchstone export" test_macromodel_touchstone;
+        ] );
+      ( "artifact",
+        [
+          quick "save/load round trip bit-identical" test_artifact_roundtrip;
+          quick "save is deterministic" test_artifact_save_is_deterministic;
+          quick "corruption detected" test_artifact_corruption_detected;
+          quick "version drift detected" test_artifact_version_drift_detected;
+          quick "truncation detected" test_artifact_truncation_detected;
+          quick "bad magic detected" test_artifact_bad_magic_detected;
+          quick "build cache miss/hit/corruption" test_build_cached_roundtrip;
+          quick "committed golden artifact loads" test_artifact_golden;
         ] );
     ]

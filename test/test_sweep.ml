@@ -1,0 +1,452 @@
+(* Tests for the sweep engine: distributions, plans, statistics, and the
+   batched Monte-Carlo pipeline — including the acceptance criterion that a
+   10,000-point sweep through the batch kernel matches a per-point
+   [Model.eval_moments] loop to 1e-12 relative error (it is in fact
+   bit-identical). *)
+
+module Netlist = Circuit.Netlist
+module Builders = Circuit.Builders
+module Sym = Symbolic.Symbol
+module Slp = Symbolic.Slp
+module Model = Awesymbolic.Model
+module Dist = Sweep.Dist
+module Plan = Sweep.Plan
+module Stats = Sweep.Stats
+module Engine = Sweep.Engine
+
+let check_float ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let fig1_c1_g2 () =
+  let nl = Builders.fig1 () in
+  let nl = Netlist.mark_symbolic nl "C1" (Sym.intern "C1") in
+  Netlist.mark_symbolic nl "G2" (Sym.intern "G2")
+
+let fig1_model = lazy (Model.build ~order:2 (fig1_c1_g2 ()))
+
+let plan_c1_g2 kind =
+  Plan.make kind
+    [
+      { Plan.name = "C1"; dist = Dist.uniform ~lo:0.5 ~hi:2.0 };
+      { Plan.name = "G2"; dist = Dist.uniform ~lo:0.5 ~hi:2.0 };
+    ]
+
+let columns model plan ~seed =
+  Plan.columns
+    ~symbols:(Array.map Sym.name (Model.symbols model))
+    ~nominals:(Model.nominal_values model)
+    ~rng:(Obs.Rng.create seed) plan
+
+(* ------------------------------------------------------------------ *)
+(* Distributions *)
+
+let test_dist_uniform () =
+  let d = Dist.uniform ~lo:2.0 ~hi:4.0 in
+  check_float "median" 3.0 (Dist.quantile d 0.5);
+  check_float "lo quantile" 2.0 (Dist.quantile d 0.0);
+  check_float "hi quantile" 4.0 (Dist.quantile d 1.0);
+  let lo, hi = Dist.bounds d in
+  check_float "bounds lo" 2.0 lo;
+  check_float "bounds hi" 4.0 hi;
+  let rng = Obs.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Dist.sample d rng in
+    if v < 2.0 || v >= 4.0 then Alcotest.failf "sample %g escapes support" v
+  done
+
+let test_dist_normal () =
+  let d = Dist.normal ~mean:5.0 ~std:2.0 in
+  check_float "median is the mean" 5.0 (Dist.quantile d 0.5);
+  (* Φ⁻¹(0.975) = 1.959964…: the Acklam approximation must be accurate. *)
+  check_float ~tol:1e-8 "97.5% quantile" (5.0 +. (1.9599639845400545 *. 2.0))
+    (Dist.quantile d 0.975);
+  let lo, hi = Dist.bounds d in
+  check_float "lo = mean - 3 std" (-1.0) lo;
+  check_float "hi = mean + 3 std" 11.0 hi;
+  (* Sample moments converge on the parameters. *)
+  let rng = Obs.Rng.create 2 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> Dist.sample d rng) in
+  let s = Stats.summarize samples in
+  check_float ~tol:5e-2 "sample mean" 5.0 s.Stats.mean;
+  check_float ~tol:5e-2 "sample std" 2.0 s.Stats.std
+
+let test_dist_lognormal () =
+  let d = Dist.lognormal ~mu:0.0 ~sigma:0.5 in
+  check_float "median = exp(mu)" 1.0 (Dist.quantile d 0.5);
+  let rng = Obs.Rng.create 3 in
+  for _ = 1 to 1000 do
+    if Dist.sample d rng <= 0.0 then Alcotest.fail "lognormal must be positive"
+  done
+
+let test_dist_around () =
+  match Dist.around ~nominal:100.0 ~pct:5.0 with
+  | Dist.Uniform { lo; hi } ->
+    check_float "lo" 95.0 lo;
+    check_float "hi" 105.0 hi
+  | _ -> Alcotest.fail "around is a uniform band"
+
+let test_dist_guards () =
+  let rejected f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid distribution accepted"
+  in
+  rejected (fun () -> Dist.uniform ~lo:1.0 ~hi:1.0);
+  rejected (fun () -> Dist.normal ~mean:0.0 ~std:0.0);
+  rejected (fun () -> Dist.lognormal ~mu:0.0 ~sigma:(-1.0));
+  rejected (fun () -> Dist.around ~nominal:0.0 ~pct:10.0);
+  rejected (fun () -> Dist.quantile (Dist.uniform ~lo:0.0 ~hi:1.0) 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+let test_plan_guards () =
+  let axis = { Plan.name = "x"; dist = Dist.uniform ~lo:0.0 ~hi:1.0 } in
+  let rejected f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid plan accepted"
+  in
+  rejected (fun () -> Plan.make (Plan.Monte_carlo 10) []);
+  rejected (fun () -> Plan.make (Plan.Monte_carlo 0) [ axis ]);
+  rejected (fun () -> Plan.make (Plan.Grid 1) [ axis ]);
+  rejected (fun () -> Plan.make (Plan.Monte_carlo 10) [ axis; axis ])
+
+let test_plan_sizes () =
+  let p = plan_c1_g2 (Plan.Monte_carlo 123) in
+  Alcotest.(check int) "mc points" 123 (Plan.num_points p);
+  Alcotest.(check int) "corner points" 4
+    (Plan.num_points (plan_c1_g2 Plan.Corners));
+  Alcotest.(check int) "grid points" 25
+    (Plan.num_points (plan_c1_g2 (Plan.Grid 5)))
+
+let test_plan_unknown_symbol () =
+  let model = Lazy.force fig1_model in
+  let p =
+    Plan.make (Plan.Monte_carlo 4)
+      [ { Plan.name = "R99"; dist = Dist.uniform ~lo:0.0 ~hi:1.0 } ]
+  in
+  match columns model p ~seed:1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown swept symbol accepted"
+
+let test_plan_pins_unswept_at_nominal () =
+  let model = Lazy.force fig1_model in
+  let p =
+    Plan.make (Plan.Monte_carlo 8)
+      [ { Plan.name = "C1"; dist = Dist.uniform ~lo:0.5 ~hi:2.0 } ]
+  in
+  let cols = columns model p ~seed:5 in
+  let nominals = Model.nominal_values model in
+  (* fig1's G2 slot stays at its netlist value in every lane. *)
+  let syms = Array.map Sym.name (Model.symbols model) in
+  Array.iteri
+    (fun k name ->
+      if name = "G2" then
+        Array.iter (fun v -> check_float "pinned G2" nominals.(k) v) cols.(k))
+    syms
+
+let test_plan_lhs_stratified () =
+  (* Latin hypercube: each axis places exactly one sample in each of the n
+     equal-probability strata. *)
+  let n = 16 in
+  let lo = 0.5 and hi = 2.0 in
+  let model = Lazy.force fig1_model in
+  let p = plan_c1_g2 (Plan.Latin_hypercube n) in
+  let cols = columns model p ~seed:11 in
+  Array.iter
+    (fun col ->
+      let counts = Array.make n 0 in
+      Array.iter
+        (fun v ->
+          let u = (v -. lo) /. (hi -. lo) in
+          let s = Int.min (n - 1) (int_of_float (u *. float_of_int n)) in
+          counts.(s) <- counts.(s) + 1)
+        col;
+      Array.iteri
+        (fun s c ->
+          if c <> 1 then Alcotest.failf "stratum %d holds %d samples" s c)
+        counts)
+    cols
+
+let test_plan_corners () =
+  let model = Lazy.force fig1_model in
+  let p = plan_c1_g2 Plan.Corners in
+  let cols = columns model p ~seed:1 in
+  Alcotest.(check int) "4 corner points" 4 (Array.length cols.(0));
+  (* All four (lo|hi, lo|hi) combinations appear exactly once. *)
+  let seen = Hashtbl.create 4 in
+  for i = 0 to 3 do
+    Hashtbl.replace seen (cols.(0).(i), cols.(1).(i)) ()
+  done;
+  Alcotest.(check int) "distinct corners" 4 (Hashtbl.length seen);
+  Hashtbl.iter
+    (fun (a, b) () ->
+      if not (List.mem a [ 0.5; 2.0 ]) || not (List.mem b [ 0.5; 2.0 ]) then
+        Alcotest.failf "corner (%g, %g) is not at the bounds" a b)
+    seen
+
+let test_plan_grid () =
+  let model = Lazy.force fig1_model in
+  let p = plan_c1_g2 (Plan.Grid 4) in
+  let cols = columns model p ~seed:1 in
+  Alcotest.(check int) "16 grid points" 16 (Array.length cols.(0));
+  (* Evenly spaced lines spanning the bounds, axis 0 varying fastest. *)
+  check_float "first line" 0.5 cols.(0).(0);
+  check_float "second line" 1.0 cols.(0).(1);
+  check_float "last line" 2.0 cols.(0).(3);
+  check_float "axis 1 held" cols.(1).(0) cols.(1).(3);
+  check_float "axis 1 advances" 1.0 cols.(1).(4)
+
+let test_plan_determinism () =
+  let model = Lazy.force fig1_model in
+  let p = plan_c1_g2 (Plan.Monte_carlo 64) in
+  let a = columns model p ~seed:9 and b = columns model p ~seed:9 in
+  Alcotest.(check bool) "same seed, same points" true (a = b);
+  let c = columns model p ~seed:10 in
+  Alcotest.(check bool) "different seed, different points" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let test_stats_basic () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  Alcotest.(check int) "finite" 5 s.Stats.finite;
+  check_float "mean" 3.0 s.Stats.mean;
+  check_float "std" (Float.sqrt 2.5) s.Stats.std;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 5.0 s.Stats.max;
+  check_float "median" 3.0 (List.assoc 0.5 s.Stats.quantiles);
+  (* Hyndman–Fan type 7 on [1..5]: q(0.25) = 2. *)
+  check_float "first quartile" 2.0 (List.assoc 0.25 s.Stats.quantiles);
+  let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 s.Stats.histogram in
+  Alcotest.(check int) "histogram covers all samples" 5 total
+
+let test_stats_non_finite () =
+  let s = Stats.summarize [| 1.0; Float.nan; 3.0; Float.infinity |] in
+  Alcotest.(check int) "n counts everything" 4 s.Stats.n;
+  Alcotest.(check int) "finite excludes NaN/inf" 2 s.Stats.finite;
+  check_float "mean over finite only" 2.0 s.Stats.mean;
+  let all_nan = Stats.summarize [| Float.nan; Float.nan |] in
+  Alcotest.(check bool) "all-NaN mean is NaN" true (Float.is_nan all_nan.Stats.mean);
+  Alcotest.(check int) "all-NaN histogram empty" 0
+    (Array.length all_nan.Stats.histogram)
+
+let test_stats_yield () =
+  let samples = [| 1.0; 2.0; 3.0; Float.nan |] in
+  check_float "non-finite fails" 0.5
+    (Stats.yield ~pass:(fun v -> v <= 2.0) samples);
+  check_float "all pass except NaN" 0.75
+    (Stats.yield ~pass:(fun _ -> true) samples)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_spec_parsing () =
+  (match Engine.spec_of_string "delay_50<=1e-9" with
+  | Ok { Engine.measure = Engine.Delay_50; bound = Engine.Le limit } ->
+    check_float "limit" 1e-9 limit
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.fail e);
+  (match Engine.spec_of_string "phase_margin>=60" with
+  | Ok { Engine.measure = Engine.Phase_margin; bound = Engine.Ge limit } ->
+    check_float "limit" 60.0 limit
+  | _ -> Alcotest.fail "wrong parse");
+  (match Engine.spec_of_string "m1>=-5" with
+  | Ok { Engine.measure = Engine.Moment 1; _ } -> ()
+  | _ -> Alcotest.fail "moment measure not parsed");
+  (match Engine.spec_of_string "nonsense<=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown measure accepted");
+  match Engine.spec_of_string "delay_50" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing bound accepted"
+
+let test_measure_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Engine.measure_of_string (Engine.measure_name m) with
+      | Ok m' when m' = m -> ()
+      | _ -> Alcotest.failf "%s does not round-trip" (Engine.measure_name m))
+    [
+      Engine.Dc_gain; Engine.Dc_gain_db; Engine.Dominant_pole_hz;
+      Engine.Unity_gain_frequency; Engine.Phase_margin; Engine.Delay_50;
+      Engine.Rise_time; Engine.Elmore_delay; Engine.Moment 3;
+    ]
+
+(* The PR's acceptance criterion: a 10k-point Monte-Carlo sweep through the
+   batch kernel agrees with a per-point Model.eval_moments loop to 1e-12
+   relative error on every moment of every point. *)
+let test_mc_10k_matches_per_point () =
+  let model = Lazy.force fig1_model in
+  let n = 10_000 in
+  let plan = plan_c1_g2 (Plan.Monte_carlo n) in
+  let cols = columns model plan ~seed:42 in
+  let batch = Slp.eval_batch (Model.program model) cols in
+  let num_symbols = Array.length (Model.symbols model) in
+  let v = Array.make num_symbols 0.0 in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    for k = 0 to num_symbols - 1 do
+      v.(k) <- cols.(k).(i)
+    done;
+    let m = Model.eval_moments model v in
+    Array.iteri
+      (fun j mj ->
+        let rel =
+          Float.abs (batch.(j).(i) -. mj) /. Float.max 1.0 (Float.abs mj)
+        in
+        if rel > !worst then worst := rel)
+      m
+  done;
+  if !worst > 1e-12 then
+    Alcotest.failf "batched sweep drifts from per-point: rel err %g" !worst
+
+let test_engine_run_summaries () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Monte_carlo 500) in
+  let specs =
+    [
+      { Engine.measure = Engine.Dc_gain; bound = Engine.Ge 0.9 };
+      { Engine.measure = Engine.Moment 1; bound = Engine.Le 0.0 };
+    ]
+  in
+  let r = Engine.run ~seed:7 ~specs model plan in
+  Alcotest.(check int) "points" 500 r.Engine.n;
+  Alcotest.(check int) "seed recorded" 7 r.Engine.seed;
+  (* fig1 is a unity-DC-gain RC ladder: dc_gain = 1 at every point, and m1 =
+     −(C1 + 2C2(=2)·…) < 0 always, so both specs pass everywhere. *)
+  let gain =
+    List.assoc Engine.Dc_gain r.Engine.summaries
+  in
+  check_float "dc gain mean" 1.0 gain.Stats.mean;
+  check_float "dc gain spread" 0.0 gain.Stats.std;
+  Alcotest.(check int) "all points finite" 500 gain.Stats.finite;
+  List.iter
+    (fun (_, y) -> check_float "spec yield" 1.0 y)
+    r.Engine.spec_yields;
+  (match r.Engine.yield with
+  | Some y -> check_float "joint yield" 1.0 y
+  | None -> Alcotest.fail "specs given, yield expected");
+  (* Without specs there is no yield figure. *)
+  let r0 = Engine.run ~seed:7 model plan in
+  Alcotest.(check bool) "no specs, no yield" true (r0.Engine.yield = None)
+
+let test_engine_failing_spec () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Monte_carlo 200) in
+  (* dc_gain is exactly 1.0 everywhere, so requiring ≥ 2 fails every point. *)
+  let specs = [ { Engine.measure = Engine.Dc_gain; bound = Engine.Ge 2.0 } ] in
+  let r = Engine.run ~seed:3 ~specs model plan in
+  match r.Engine.yield with
+  | Some y -> check_float "zero yield" 0.0 y
+  | None -> Alcotest.fail "yield expected"
+
+let test_engine_deterministic () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Monte_carlo 300) in
+  let a = Engine.run ~seed:5 model plan in
+  let b = Engine.run ~seed:5 model plan in
+  Alcotest.(check bool) "same seed, identical result" true
+    (Obs.Json.to_string (Engine.to_json a) = Obs.Json.to_string (Engine.to_json b));
+  let c = Engine.run ~seed:6 ~measures:[ Engine.Moment 1 ] model plan in
+  let d = Engine.run ~seed:5 ~measures:[ Engine.Moment 1 ] model plan in
+  let m1 r = (List.assoc (Engine.Moment 1) r.Engine.summaries).Stats.mean in
+  Alcotest.(check bool) "different seed, different draw" true (m1 c <> m1 d)
+
+let test_engine_moment_out_of_range () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Monte_carlo 4) in
+  match Engine.run ~measures:[ Engine.Moment 17 ] model plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "moment beyond 2*order accepted"
+
+let test_engine_json_schema () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Latin_hypercube 50) in
+  let specs = [ { Engine.measure = Engine.Delay_50; bound = Engine.Le 100.0 } ] in
+  let r = Engine.run ~seed:1234 ~specs model plan in
+  let text = Obs.Json.to_string (Engine.to_json r) in
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "sweep JSON does not parse: %s" e
+  | Ok doc ->
+    let member name =
+      match Obs.Json.member name doc with
+      | Some v -> v
+      | None -> Alcotest.failf "missing %s field" name
+    in
+    (match member "schema" with
+    | Obs.Json.Str s ->
+      Alcotest.(check string) "schema" "awesymbolic-sweep/1" s
+    | _ -> Alcotest.fail "schema is not a string");
+    (match member "seed" with
+    | Obs.Json.Num s -> check_float "seed recorded in JSON" 1234.0 s
+    | _ -> Alcotest.fail "seed is not a number");
+    (match member "plan" with
+    | Obs.Json.Obj _ -> ()
+    | _ -> Alcotest.fail "plan is not an object");
+    match member "yield" with
+    | Obs.Json.Num _ -> ()
+    | _ -> Alcotest.fail "yield is not a number"
+
+(* Engine measures agree with direct single-point evaluation: spot-check the
+   batched + memoized path against Awe.Measures on the ROM. *)
+let test_engine_measures_match_direct () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 Plan.Corners in
+  let r =
+    Engine.run ~measures:[ Engine.Elmore_delay ] model plan
+  in
+  let s = List.assoc Engine.Elmore_delay r.Engine.summaries in
+  let cols = columns model plan ~seed:42 in
+  let direct = Array.init 4 (fun i ->
+      let v = Array.map (fun col -> col.(i)) cols in
+      Awe.Measures.elmore_delay (Model.eval_moments model v))
+  in
+  let dsum = Stats.summarize direct in
+  check_float ~tol:1e-12 "corner Elmore mean" dsum.Stats.mean s.Stats.mean;
+  check_float ~tol:1e-12 "corner Elmore max" dsum.Stats.max s.Stats.max
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sweep"
+    [
+      ( "dist",
+        [
+          quick "uniform" test_dist_uniform;
+          quick "normal quantiles and moments" test_dist_normal;
+          quick "lognormal positivity" test_dist_lognormal;
+          quick "tolerance band shorthand" test_dist_around;
+          quick "parameter guards" test_dist_guards;
+        ] );
+      ( "plan",
+        [
+          quick "validation guards" test_plan_guards;
+          quick "point counts" test_plan_sizes;
+          quick "unknown symbol rejected" test_plan_unknown_symbol;
+          quick "unswept symbols pinned at nominal" test_plan_pins_unswept_at_nominal;
+          quick "latin hypercube stratification" test_plan_lhs_stratified;
+          quick "corners hit the bounds" test_plan_corners;
+          quick "grid spacing and ordering" test_plan_grid;
+          quick "seeded determinism" test_plan_determinism;
+        ] );
+      ( "stats",
+        [
+          quick "moments and quantiles" test_stats_basic;
+          quick "non-finite handling" test_stats_non_finite;
+          quick "yield" test_stats_yield;
+        ] );
+      ( "engine",
+        [
+          quick "spec parsing" test_spec_parsing;
+          quick "measure names round-trip" test_measure_names_roundtrip;
+          quick "10k-point MC ≡ per-point evaluation" test_mc_10k_matches_per_point;
+          quick "summaries and yields" test_engine_run_summaries;
+          quick "failing spec, zero yield" test_engine_failing_spec;
+          quick "seeded determinism" test_engine_deterministic;
+          quick "moment index validated" test_engine_moment_out_of_range;
+          quick "JSON report schema" test_engine_json_schema;
+          quick "measures match direct evaluation" test_engine_measures_match_direct;
+        ] );
+    ]

@@ -480,8 +480,91 @@ let test_ratfun_pow () =
 
 let test_slp_num_registers () =
   let e = Expr.add (Expr.sym x) (Expr.const 2.0) in
+  let raw = Slp.compile ~optimize:false ~inputs:[| x |] [| e |] in
+  (* SSA form: one register per DAG node (const, load, add). *)
+  Alcotest.(check bool) "SSA registers counted" true
+    (Slp.num_registers raw >= 3);
+  (* The optimizer recycles the operand registers: the add may overwrite
+     either of its sources, so two registers suffice. *)
   let p = Slp.compile ~inputs:[| x |] [| e |] in
-  Alcotest.(check bool) "registers counted" true (Slp.num_registers p >= 3)
+  Alcotest.(check int) "compacted register file" 2 (Slp.num_registers p);
+  check_float "optimized result" 7.0 (Slp.eval p [| 5.0 |]).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation and optimizer equivalence.  Bit-identity is the
+   contract, so compare raw IEEE-754 bit patterns, not tolerances. *)
+
+let bits = Int64.bits_of_float
+
+let prop_slp_batch_matches_scalar =
+  QCheck2.Test.make ~name:"eval_batch bit-identical to make_evaluator"
+    ~count:100
+    QCheck2.Gen.(
+      pair expr_gen
+        (list_size (int_range 1 40)
+           (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))))
+    (fun (e, points) ->
+      (* Two outputs sharing work, and a small block so multi-block and
+         remainder lanes are both exercised. *)
+      let p = Slp.compile ~inputs:[| x; y |] [| e; Expr.mul e e |] in
+      let n = List.length points in
+      let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+      List.iteri
+        (fun i (vx, vy) ->
+          xs.(i) <- vx;
+          ys.(i) <- vy)
+        points;
+      let batch = Slp.eval_batch ~block:7 p [| xs; ys |] in
+      let run = Slp.make_evaluator p in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let out = run [| xs.(i); ys.(i) |] in
+        for j = 0 to Slp.num_outputs p - 1 do
+          if bits out.(j) <> bits batch.(j).(i) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_slp_optimizer_bit_identical =
+  QCheck2.Test.make ~name:"optimized program bit-identical to raw SSA"
+    ~count:200
+    QCheck2.Gen.(
+      triple expr_gen (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (e, vx, vy) ->
+      let raw = Slp.compile ~optimize:false ~inputs:[| x; y |] [| e |] in
+      let opt = Slp.compile ~inputs:[| x; y |] [| e |] in
+      let twice = Slp.optimize opt in
+      let v = [| vx; vy |] in
+      let a = (Slp.eval raw v).(0)
+      and b = (Slp.eval opt v).(0)
+      and c = (Slp.eval twice v).(0) in
+      (* Idempotent pipeline, and folding never perturbs a bit. *)
+      Slp.num_instructions twice = Slp.num_instructions opt
+      && bits a = bits b
+      && bits b = bits c)
+
+let test_slp_aliasing_contract () =
+  (* make_evaluator documents that every call returns the *same* output
+     buffer, overwritten in place: retained results must be copied. *)
+  let e1 = Expr.add (Expr.sym x) (Expr.sym y) in
+  let e2 = Expr.mul (Expr.sym x) (Expr.sym y) in
+  let p = Slp.compile ~inputs:[| x; y |] [| e1; e2 |] in
+  let run = Slp.make_evaluator p in
+  let first = run [| 1.0; 2.0 |] in
+  check_float "first sum" 3.0 first.(0);
+  let saved = Array.copy first in
+  let second = run [| 10.0; 20.0 |] in
+  Alcotest.(check bool) "same physical buffer returned" true (first == second);
+  check_float "first call's view overwritten in place" 30.0 first.(0);
+  check_float "copy preserves the earlier sum" 3.0 saved.(0);
+  check_float "copy preserves the earlier product" 2.0 saved.(1);
+  (* eval_batch, by contrast, hands out fresh columns every call. *)
+  let batch_run = Slp.make_batch_evaluator p in
+  let cols = [| [| 1.0 |]; [| 2.0 |] |] in
+  let b1 = batch_run cols in
+  let b2 = batch_run cols in
+  Alcotest.(check bool) "batch columns are fresh" true (b1.(0) != b2.(0));
+  check_float "batch sum" 3.0 b1.(0).(0)
 
 (* ------------------------------------------------------------------ *)
 (* Interval arithmetic and interval program evaluation *)
@@ -597,8 +680,11 @@ let () =
           quick "disassembly smoke" test_slp_pp_smoke;
           quick "multiple outputs share work" test_slp_multiple_outputs;
           quick "constants preloaded" test_slp_constants_preloaded;
+          quick "slp aliasing contract" test_slp_aliasing_contract;
         ]
-        @ props [ prop_slp_matches_eval ] );
+        @ props
+            [ prop_slp_matches_eval; prop_slp_batch_matches_scalar;
+              prop_slp_optimizer_bit_identical ] );
       ( "misc",
         [
           quick "mpoly printer" test_mpoly_printer;
