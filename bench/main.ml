@@ -766,6 +766,67 @@ let sweep_bench () =
     result.Sweep.Engine.yield
 
 (* ------------------------------------------------------------------ *)
+(* SWEEP-SCALING: domain-parallel sweep throughput vs jobs *)
+
+let sweep_scaling () =
+  banner "SWEEP-SCALING: 10k-point Monte-Carlo sweep vs worker domains";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let n = 10_000 in
+  let axes =
+    [
+      { Sweep.Plan.name = gname;
+        dist = Sweep.Dist.uniform ~lo:0.5e-6 ~hi:8.5e-6 };
+      { Sweep.Plan.name = cname;
+        dist = Sweep.Dist.uniform ~lo:5e-12 ~hi:65e-12 };
+    ]
+  in
+  let plan = Sweep.Plan.make (Sweep.Plan.Monte_carlo n) axes in
+  let run_at jobs = Sweep.Engine.run ~seed:42 ~jobs model plan in
+  (* Warm once (pool spawn, first-touch scratch), then keep the best of 3 —
+     the steady-state throughput a long sweep sees. *)
+  let time_at jobs =
+    ignore (run_at jobs);
+    let best = ref Float.infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let r, t = wall (fun () -> run_at jobs) in
+      if t < !best then best := t;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let r1, t1 = time_at 1 in
+  let r2, t2 = time_at 2 in
+  let r4, t4 = time_at 4 in
+  let identical =
+    let j r = Obs.Json.to_string (Sweep.Engine.to_json r) in
+    j r2 = j r1 && j r4 = j r1
+  in
+  let pps t = float_of_int n /. t in
+  Printf.printf "hardware domains available: %d\n\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%6s %12s %14s %10s\n" "jobs" "best (s)" "points/s" "speedup";
+  List.iter
+    (fun (jobs, t) ->
+      Printf.printf "%6d %12.4f %14.0f %9.2fx\n" jobs t (pps t) (t1 /. t))
+    [ (1, t1); (2, t2); (4, t4) ];
+  Printf.printf "\nreports byte-identical across jobs in {1, 2, 4}: %b\n"
+    identical;
+  Obs.Metrics.add "bench.sweep_scaling.points" n;
+  Obs.Metrics.add "bench.sweep_scaling.domains"
+    (Domain.recommended_domain_count ());
+  Obs.Metrics.add "bench.sweep_scaling.jobs1_pps" (int_of_float (pps t1));
+  Obs.Metrics.add "bench.sweep_scaling.jobs2_pps" (int_of_float (pps t2));
+  Obs.Metrics.add "bench.sweep_scaling.jobs4_pps" (int_of_float (pps t4));
+  Obs.Metrics.add "bench.sweep_scaling.speedup2_x100"
+    (int_of_float (100.0 *. t1 /. t2));
+  Obs.Metrics.add "bench.sweep_scaling.speedup4_x100"
+    (int_of_float (100.0 *. t1 /. t4));
+  Obs.Metrics.add "bench.sweep_scaling.byte_identical"
+    (if identical then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 (* IDENT: the identity claim, measured *)
 
 let ident () =
@@ -882,6 +943,7 @@ let experiments =
     ("fig10", fig10);
     ("time32", time32);
     ("sweep", sweep_bench);
+    ("sweep-scaling", sweep_scaling);
     ("ident", ident);
     ("abl-partition", abl_partition);
     ("abl-prune", abl_prune);
@@ -938,7 +1000,20 @@ let run_json path ids =
   Printf.printf "\nbench stats written to %s\n" path
 
 let () =
-  match Array.to_list Sys.argv with
+  (* [--jobs N] anywhere on the line sets the process-wide worker default
+     (same resolution as the awesym CLI: --jobs > AWESYM_JOBS > 1). *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j -> Runtime.set_default_jobs (Some j)
+      | None ->
+        Printf.eprintf "bench: malformed --jobs %s\n" n;
+        exit 1);
+      strip_jobs rest
+    | x :: rest -> x :: strip_jobs rest
+    | [] -> []
+  in
+  match strip_jobs (Array.to_list Sys.argv) with
   | [] | _ :: [] ->
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ()

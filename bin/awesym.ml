@@ -67,6 +67,24 @@ let obs_args =
   in
   Term.(const (fun stats trace -> (stats, trace)) $ stats $ trace)
 
+(* Shared worker-count flag for the compiled-model commands.  Setting the
+   process-wide default (rather than threading the count through every
+   call) keeps library signatures optional: anything that takes [?jobs]
+   picks the flag up via [Runtime.default_jobs].  Resolution order is
+   --jobs > AWESYM_JOBS > 1; results are bit-identical for every count. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel stages (default: \\$AWESYM_JOBS, \
+           else 1).  Results are bit-identical for every jobs count.")
+
+let with_jobs jobs f =
+  Runtime.set_default_jobs jobs;
+  f ()
+
 let with_obs (stats, trace) f =
   if not (stats || trace <> None) then f ()
   else begin
@@ -699,8 +717,9 @@ let load_model path =
   | Sys_error msg -> die msg
 
 let compile_cmd =
-  let run obs deck order sparse out cache =
+  let run obs jobs deck order sparse out cache =
     with_obs obs @@ fun () ->
+    with_jobs jobs @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let model =
       if cache then Awesymbolic.Model.build_cached ~order ~sparse nl
@@ -745,8 +764,8 @@ let compile_cmd =
      checksummed artifact for later `eval` and `sweep` runs."
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ obs_args $ deck_arg $ order_arg $ sparse_arg $ out_arg
-          $ cache_arg)
+    Term.(const run $ obs_args $ jobs_arg $ deck_arg $ order_arg $ sparse_arg
+          $ out_arg $ cache_arg)
 
 let model_arg =
   let doc = "Load a compiled model artifact instead of building a deck." in
@@ -756,8 +775,9 @@ let model_arg =
     & info [ "model"; "m" ] ~docv:"FILE" ~doc)
 
 let eval_cmd =
-  let run obs model_path bindings show_moments =
+  let run obs jobs model_path bindings show_moments =
     with_obs obs @@ fun () ->
+    with_jobs jobs @@ fun () ->
     let model_path =
       match model_path with
       | Some p -> p
@@ -805,7 +825,8 @@ let eval_cmd =
      nominal values stored in the artifact)."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ obs_args $ model_arg $ bindings_arg $ moments_arg)
+    Term.(const run $ obs_args $ jobs_arg $ model_arg $ bindings_arg
+          $ moments_arg)
 
 let parse_vary s =
   match String.index_opt s '=' with
@@ -851,9 +872,10 @@ let describe_dist = function
     Printf.sprintf "lognormal(%g, %g)" mu sigma
 
 let sweep_cmd =
-  let run obs deck model_path order sparse cache varies mc lhs corners grid
-      measures specs seed block json_path =
+  let run obs jobs deck model_path order sparse cache varies mc lhs corners
+      grid measures specs seed block json_path =
     with_obs obs @@ fun () ->
+    with_jobs jobs @@ fun () ->
     let model =
       match (model_path, deck) with
       | Some _, Some _ -> die "give either a DECK or --model, not both"
@@ -1064,9 +1086,9 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ obs_args $ deck_opt_arg $ model_arg $ order_arg $ sparse_arg
-      $ cache_arg $ vary_arg $ mc_arg $ lhs_arg $ corners_arg $ grid_arg
-      $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg)
+      const run $ obs_args $ jobs_arg $ deck_opt_arg $ model_arg $ order_arg
+      $ sparse_arg $ cache_arg $ vary_arg $ mc_arg $ lhs_arg $ corners_arg
+      $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg)
 
 let moments_cmd =
   let run obs deck count =

@@ -33,3 +33,18 @@ let rec ensure_dir dir =
     try Sys.mkdir dir 0o755
     with Sys_error _ when Sys.is_directory dir -> ()
   end
+
+(* Crash/race safety: write into a unique dot-temp IN the destination
+   directory (rename is only atomic within a filesystem), then rename
+   into place.  Readers either see the old complete entry or the new
+   complete entry — never a half-written file — and concurrent builders
+   racing on one key just overwrite each other with identical content.
+   The ".tmp" suffix keeps temps from ever matching [path]'s ".awm". *)
+let atomic_write dest write =
+  let dir = Filename.dirname dest in
+  let tmp = Filename.temp_file ~temp_dir:dir ".awesym-" ".tmp" in
+  match write tmp with
+  | () -> Sys.rename tmp dest
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

@@ -19,3 +19,11 @@ val path : dir:string -> string -> string
 
 val ensure_dir : string -> unit
 (** Create the cache directory (and parents) if missing. *)
+
+val atomic_write : string -> (string -> unit) -> unit
+(** [atomic_write dest write] calls [write tmp] on a fresh temp file in
+    [dest]'s directory, then atomically renames it over [dest] — readers
+    never observe a partially written entry, and concurrent writers of
+    the same key are last-wins instead of corrupting.  If [write] raises,
+    the temp file is removed and the exception re-raised; [dest] is
+    untouched. *)

@@ -51,45 +51,47 @@ let derived_lazies symbols moment_exprs closed =
   in
   (sensitivity, pole_sensitivity)
 
-(* Shared tail of [build]/[build_many]: everything downstream of the
-   symbolic moment DAGs. *)
-let assemble partition ~output order moment_exprs bounds_program =
+(* Closed-form pole/residue DAGs for the orders that have them.  This is
+   Expr-constructing (hash-consing) work, so it must run on the domain
+   that owns the DAG — never inside pool workers. *)
+let closed_exprs order moment_exprs =
+  (* Structurally degenerate moment sequences (e.g. exactly geometric —
+     the circuit is effectively single-pole in the symbols) make the
+     closed forms divide by a folded zero; such models simply have no
+     closed form and use the compiled-moment path. *)
+  match order with
+  | 1 -> (
+    match
+      ( Closed_form.pole_order1 moment_exprs,
+        Closed_form.residue_order1 moment_exprs )
+    with
+    | p, k ->
+      let cf =
+        {
+          Closed_form.pole1 = p;
+          pole2 = E.zero;
+          residue1 = k;
+          residue2 = E.zero;
+        }
+      in
+      Some (cf, [| p; k |])
+    | exception Division_by_zero -> None)
+  | 2 -> (
+    match Closed_form.order2 moment_exprs with
+    | cf ->
+      Some
+        ( cf,
+          [| cf.Closed_form.pole1; cf.Closed_form.pole2;
+             cf.Closed_form.residue1; cf.Closed_form.residue2 |] )
+    | exception Division_by_zero -> None)
+  | _ -> None
+
+(* Record assembly from already-compiled programs — the part shared by
+   the sequential and the parallel build paths. *)
+let assemble_compiled partition ~output order moment_exprs bounds_program
+    ~moment_program ~closed =
   let symbols = partition.Partition.symbols in
   let nominals = Array.map (Partition.nominal partition) symbols in
-  let moment_program = Slp.compile ~inputs:symbols moment_exprs in
-  let closed =
-    (* Structurally degenerate moment sequences (e.g. exactly geometric —
-       the circuit is effectively single-pole in the symbols) make the
-       closed forms divide by a folded zero; such models simply have no
-       closed form and use the compiled-moment path. *)
-    match order with
-    | 1 -> (
-      match
-        ( Closed_form.pole_order1 moment_exprs,
-          Closed_form.residue_order1 moment_exprs )
-      with
-      | p, k ->
-        let cf =
-          {
-            Closed_form.pole1 = p;
-            pole2 = E.zero;
-            residue1 = k;
-            residue2 = E.zero;
-          }
-        in
-        Some (cf, Slp.compile ~inputs:symbols [| p; k |])
-      | exception Division_by_zero -> None)
-    | 2 -> (
-      match Closed_form.order2 moment_exprs with
-      | cf ->
-        Some
-          ( cf,
-            Slp.compile ~inputs:symbols
-              [| cf.Closed_form.pole1; cf.Closed_form.pole2;
-                 cf.Closed_form.residue1; cf.Closed_form.residue2 |] )
-      | exception Division_by_zero -> None)
-    | _ -> None
-  in
   let sensitivity, pole_sensitivity =
     derived_lazies symbols moment_exprs closed
   in
@@ -97,13 +99,26 @@ let assemble partition ~output order moment_exprs bounds_program =
     moment_exprs; moment_program; closed; bounds_program; sensitivity;
     pole_sensitivity }
 
-let build ?(order = 2) ?(sparse = false) nl =
+(* Shared tail of [build]/[build_many]: everything downstream of the
+   symbolic moment DAGs. *)
+let assemble partition ~output order moment_exprs bounds_program =
+  let symbols = partition.Partition.symbols in
+  let moment_program = Slp.compile ~inputs:symbols moment_exprs in
+  let closed =
+    Option.map
+      (fun (cf, es) -> (cf, Slp.compile ~inputs:symbols es))
+      (closed_exprs order moment_exprs)
+  in
+  assemble_compiled partition ~output order moment_exprs bounds_program
+    ~moment_program ~closed
+
+let build ?(order = 2) ?(sparse = false) ?jobs nl =
   if order < 1 then invalid_arg "Model.build: order must be >= 1";
   Obs.Span.with_ ~name:"model.compile" @@ fun () ->
   if !Obs.enabled then Obs.Metrics.incr "model.build.count";
   let partition = Partition.make nl in
   let count = 2 * order in
-  let reduction = Port_reduction.compute ~sparse ~count partition in
+  let reduction = Port_reduction.compute ~sparse ?jobs ~count partition in
   let system = Global_system.build partition reduction in
   let nominal sym = Partition.nominal partition sym in
   let moment_exprs =
@@ -118,7 +133,7 @@ let build ?(order = 2) ?(sparse = false) nl =
   assemble partition ~output:(Circuit.Netlist.output_opt nl) order
     moment_exprs bounds_program
 
-let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
+let build_many ?(order = 2) ?(sparse = false) ?jobs nl ~outputs =
   if order < 1 then invalid_arg "Model.build_many: order must be >= 1";
   if outputs = [] then invalid_arg "Model.build_many: no outputs";
   Obs.Span.with_ ~name:"model.compile" @@ fun () ->
@@ -128,29 +143,55 @@ let build_many ?(order = 2) ?(sparse = false) nl ~outputs =
      projection plus a compile. *)
   let partition = Partition.make ~extra_outputs:outputs nl in
   let count = 2 * order in
-  let reduction = Port_reduction.compute ~sparse ~count partition in
+  let reduction = Port_reduction.compute ~sparse ?jobs ~count partition in
   let system = Global_system.build partition reduction in
   let nominal sym = Partition.nominal partition sym in
   let vectors = Global_system.solve_vectors_expr system ~nominal ~count in
   let raw = lazy (Global_system.solve_raw system ~count) in
-  List.map
-    (fun output ->
-      let sel = Global_system.selector_for system output in
-      let moment_exprs = Global_system.project_expr system vectors sel in
-      let bounds_program =
-        lazy
-          (Slp.compile ~inputs:partition.Partition.symbols
-             (Global_system.moments_expr
-                (Global_system.project system (Lazy.force raw) sel)))
-      in
-      assemble partition ~output:(Some output) order moment_exprs
-        bounds_program)
-    outputs
+  let symbols = partition.Partition.symbols in
+  (* Phase 1 (sequential): all Expr-DAG construction — projections and
+     closed forms go through the global hash-consing tables, which are
+     single-domain only. *)
+  let prepared =
+    Array.of_list
+      (List.map
+         (fun output ->
+           let sel = Global_system.selector_for system output in
+           let moment_exprs = Global_system.project_expr system vectors sel in
+           let bounds_program =
+             lazy
+               (Slp.compile ~inputs:symbols
+                  (Global_system.moments_expr
+                     (Global_system.project system (Lazy.force raw) sel)))
+           in
+           (output, moment_exprs, closed_exprs order moment_exprs,
+            bounds_program))
+         outputs)
+  in
+  (* Phase 2 (parallel): per-output compiles only READ the shared DAG
+     (node ids and structure), so they fan out across domains. *)
+  let compiled =
+    Runtime.parallel_map ?jobs
+      (fun (_, moment_exprs, cx, _) ->
+        ( Slp.compile ~inputs:symbols moment_exprs,
+          Option.map (fun (cf, es) -> (cf, Slp.compile ~inputs:symbols es)) cx
+        ))
+      prepared
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i (output, moment_exprs, _, bounds_program) ->
+         let moment_program, closed = compiled.(i) in
+         assemble_compiled partition ~output:(Some output) order moment_exprs
+           bounds_program ~moment_program ~closed)
+       prepared)
 
 let order t = t.order
 let symbols t = Array.copy t.symbols
 let nominal_values t = Array.copy t.nominals
 let output_meta t = t.output
+
+let partition_opt t = t.partition
 
 let partition t =
   match t.partition with
@@ -417,7 +458,7 @@ let of_payload (p : Artifact.payload) =
 let save t path = Artifact.save path (to_payload t)
 let load path = of_payload (Artifact.load path)
 
-let build_cached ?cache_dir ?(order = 2) ?(sparse = false) nl =
+let build_cached ?cache_dir ?(order = 2) ?(sparse = false) ?jobs nl =
   let dir =
     match cache_dir with Some d -> d | None -> Cache.default_dir ()
   in
@@ -438,9 +479,12 @@ let build_cached ?cache_dir ?(order = 2) ?(sparse = false) nl =
   | Some m -> m
   | None ->
     if !Obs.enabled then Obs.Metrics.incr "model.cache.miss";
-    let m = build ~order ~sparse nl in
+    let m = build ~order ~sparse ?jobs nl in
     (try
        Cache.ensure_dir dir;
-       save m file
+       (* Temp-file + rename: concurrent builders racing on this key each
+          publish a complete artifact, and a crash mid-save leaves no
+          partial file to poison later hits. *)
+       Cache.atomic_write file (save m)
      with Sys_error _ -> ());
     m

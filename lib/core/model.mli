@@ -10,16 +10,19 @@
 
 type t
 
-val build : ?order:int -> ?sparse:bool -> Circuit.Netlist.t -> t
+val build : ?order:int -> ?sparse:bool -> ?jobs:int -> Circuit.Netlist.t -> t
 (** Default order 2 (the paper's workhorse).  The netlist must carry at
     least one symbolic element (mark with [Netlist.mark_symbolic], the
     [.symbolic] deck directive, or [Awe.Sensitivity.select_symbols]).
     [~sparse:true] routes the numeric port reduction through the sparse
-    solver — the right choice for large interconnect. *)
+    solver — the right choice for large interconnect.  [jobs] (default
+    [Runtime.default_jobs ()]) parallelizes the numeric port reduction
+    across ports; results are identical for every jobs count. *)
 
 val build_many :
   ?order:int ->
   ?sparse:bool ->
+  ?jobs:int ->
   Circuit.Netlist.t ->
   outputs:Circuit.Netlist.output list ->
   t list
@@ -29,7 +32,9 @@ val build_many :
     costs only a projection and a compile.  Use it when one compiled sweep
     must observe several nodes (e.g. near- and far-end crosstalk from the
     same coupled-line model).  The netlist's own designated output need not
-    appear in [outputs]. *)
+    appear in [outputs].  [jobs] parallelizes the port reduction and the
+    per-output program compiles (the symbolic projections stay on the
+    calling domain — expression construction is single-domain). *)
 
 val order : t -> int
 val symbols : t -> Symbolic.Symbol.t array
@@ -44,9 +49,14 @@ val output_meta : t -> Circuit.Netlist.output option
 (** Which netlist quantity the transfer function measures (the designated
     [.output]), when one was recorded.  Preserved across save/load. *)
 
+val partition_opt : t -> Partition.t option
+(** The netlist analysis behind a built model, or [None] for models loaded
+    from an artifact — the partition is not serialized. *)
+
 val partition : t -> Partition.t
-(** The netlist analysis behind a built model.  Raises [Failure] for models
-    loaded from an artifact — the partition is not serialized. *)
+  [@@ocaml.deprecated "use Model.partition_opt"]
+(** Raising shim over {!partition_opt}: raises [Failure] for
+    artifact-loaded models.  Deprecated — match on {!partition_opt}. *)
 
 val moment_exprs : t -> Symbolic.Expr.t array
 (** The symbolic output moments [m₀ … m_{2q−1}] as expression DAGs. *)
@@ -165,13 +175,21 @@ val load : string -> t
     version-incompatible files. *)
 
 val build_cached :
-  ?cache_dir:string -> ?order:int -> ?sparse:bool -> Circuit.Netlist.t -> t
+  ?cache_dir:string ->
+  ?order:int ->
+  ?sparse:bool ->
+  ?jobs:int ->
+  Circuit.Netlist.t ->
+  t
 (** Like {!build}, but consults a content-addressed on-disk cache first
     (keyed by {!Cache.key}: deck text + build options + artifact version)
     and writes the artifact back on a miss, so repeated runs skip the
-    one-time analysis.  Default directory {!Cache.default_dir}; corrupt or
-    stale entries are rebuilt silently.  Obs counters [model.cache.hit] /
-    [model.cache.miss] record the outcome. *)
+    one-time analysis.  Cache writes go through {!Cache.atomic_write}
+    (temp file + rename), so concurrent builders and crashes never leave a
+    half-written entry for later runs to trip over.  Default directory
+    {!Cache.default_dir}; corrupt or stale entries are rebuilt silently.
+    Obs counters [model.cache.hit] / [model.cache.miss] record the
+    outcome. *)
 
 val omega_symbol : Symbolic.Symbol.t
 (** The pseudo-symbol (named ["__omega"]) carrying the angular frequency in

@@ -4,8 +4,11 @@ module Matrix = Numeric.Matrix
 type t = { ports : string array; series : Matrix.t array }
 
 (* Shared core: the netlist must already carry one 0-V probe source per
-   port (rows given by [aux_rows]). *)
-let run ~sparse ~count mna aux_rows ports =
+   port (rows given by [aux_rows]).  The per-port chained solves are
+   independent — port k writes only column k of every series matrix, and
+   the factored system plus mul_c are pure readers allocating fresh
+   vectors — so the ports fan out across the domain pool. *)
+let run ~sparse ~jobs ~count mna aux_rows ports =
   let p = Array.length ports in
   let n = Mna.size (Mna.index mna) in
   let solve, mul_c =
@@ -21,27 +24,26 @@ let run ~sparse ~count mna aux_rows ports =
     end
   in
   let series = Array.init count (fun _ -> Matrix.create p p) in
-  for k = 0 to p - 1 do
-    (* Unit voltage at port k: RHS 1 at the port source's branch row. *)
-    let b = Array.make n 0.0 in
-    b.(aux_rows.(k)) <- 1.0;
-    let x = ref (solve b) in
-    for m = 0 to count - 1 do
-      if m > 0 then begin
-        let rhs = mul_c !x in
-        Array.iteri (fun i v -> rhs.(i) <- -.v) rhs;
-        x := solve rhs
-      end;
-      (* The branch current of port j's probe source leaves the network;
-         the admittance entry is the current flowing in. *)
-      Array.iteri
-        (fun j row -> Matrix.set series.(m) j k (-. !x.(row)))
-        aux_rows
-    done
-  done;
+  Runtime.parallel_iter ?jobs p (fun ~worker:_ k ->
+      (* Unit voltage at port k: RHS 1 at the port source's branch row. *)
+      let b = Array.make n 0.0 in
+      b.(aux_rows.(k)) <- 1.0;
+      let x = ref (solve b) in
+      for m = 0 to count - 1 do
+        if m > 0 then begin
+          let rhs = mul_c !x in
+          Array.iteri (fun i v -> rhs.(i) <- -.v) rhs;
+          x := solve rhs
+        end;
+        (* The branch current of port j's probe source leaves the network;
+           the admittance entry is the current flowing in. *)
+        Array.iteri
+          (fun j row -> Matrix.set series.(m) j k (-. !x.(row)))
+          aux_rows
+      done);
   { ports; series }
 
-let compute ?(sparse = false) ~count partition =
+let compute ?(sparse = false) ?jobs ~count partition =
   if count < 1 then invalid_arg "Port_reduction.compute: count must be >= 1";
   Obs.Span.with_ ~name:"model.port_reduction" @@ fun () ->
   if !Obs.enabled then Obs.Metrics.incr "port_reduction.compute.count";
@@ -54,9 +56,9 @@ let compute ?(sparse = false) ~count partition =
   let aux_rows =
     Array.map (fun node -> Mna.aux_row ix (Partition.port_source_name node)) ports
   in
-  run ~sparse ~count mna aux_rows ports
+  run ~sparse ~jobs ~count mna aux_rows ports
 
-let of_netlist ?(sparse = false) ~count ~ports nl =
+let of_netlist ?(sparse = false) ?jobs ~count ~ports nl =
   if count < 1 then invalid_arg "Port_reduction.of_netlist: count must be >= 1";
   Array.iter
     (fun node ->
@@ -79,7 +81,7 @@ let of_netlist ?(sparse = false) ~count ~ports nl =
       (fun node -> Mna.aux_row ix (Partition.port_source_name node))
       ports
   in
-  run ~sparse ~count mna aux_rows ports
+  run ~sparse ~jobs ~count mna aux_rows ports
 
 let admittance_at t s =
   let p = Array.length t.ports in

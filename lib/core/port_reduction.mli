@@ -14,14 +14,21 @@ type t = private {
   series : Numeric.Matrix.t array;  (** [series.(m) = Yᵐ], port × port *)
 }
 
-val compute : ?sparse:bool -> count:int -> Partition.t -> t
-(** [count] moment matrices [Y⁰ … Y^{count−1}].  Raises
-    [Numeric.Lu.Singular] when the numeric partition has no DC solution
-    (e.g. an internal node with no resistive path once the symbolic
-    elements are removed). *)
+val compute : ?sparse:bool -> ?jobs:int -> count:int -> Partition.t -> t
+(** [count] moment matrices [Y⁰ … Y^{count−1}].  [jobs] (default
+    [Runtime.default_jobs ()]) fans the per-port moment recursions across
+    domains — each port fills its own column of every [Yᵐ], so results
+    are identical for every jobs count.  Raises [Numeric.Lu.Singular]
+    when the numeric partition has no DC solution (e.g. an internal node
+    with no resistive path once the symbolic elements are removed). *)
 
 val of_netlist :
-  ?sparse:bool -> count:int -> ports:string array -> Circuit.Netlist.t -> t
+  ?sparse:bool ->
+  ?jobs:int ->
+  count:int ->
+  ports:string array ->
+  Circuit.Netlist.t ->
+  t
 (** Reduce an arbitrary source-free netlist seen from the given port nodes
     (probe sources are attached internally).  The building block behind
     both {!compute} and {!Macromodel}. *)

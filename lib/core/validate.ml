@@ -36,7 +36,14 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
         (Printf.sprintf "Validate.run: no range for symbol %s" (Sym.name s))
   in
   let bounds = Array.map range_for symbols in
-  let nl = (Model.partition model).Partition.netlist in
+  let nl =
+    match Model.partition_opt model with
+    | Some p -> p.Partition.netlist
+    | None ->
+      failwith
+        "Validate.run: model was loaded from an artifact and carries no \
+         netlist; rebuild it from the deck"
+  in
   let order = Model.order model in
   let worst_m = ref 0.0 and worst_p = ref 0.0 in
   let worst_point = ref [] in

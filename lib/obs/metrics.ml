@@ -26,20 +26,37 @@ let mutex = Mutex.create ()
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
+(* Per-domain shards: a pool worker records into private tables (no
+   mutex, no cross-domain cache traffic on the hot path) and merges them
+   into the global tables when its generation ends, so totals stay exact
+   under parallel execution. *)
+type shard = {
+  s_counters : (string, int ref) Hashtbl.t;
+  s_histograms : (string, histogram) Hashtbl.t;
+}
+
+let shard_key : shard option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let reset () =
   Mutex.lock mutex;
   Hashtbl.reset counters;
   Hashtbl.reset histograms;
   Mutex.unlock mutex
 
+let bump tbl name by =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add tbl name (ref by)
+
 let incr ?(by = 1) name =
-  if !Config.enabled then begin
-    Mutex.lock mutex;
-    (match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add counters name (ref by));
-    Mutex.unlock mutex
-  end
+  if !Config.enabled then
+    match !(Domain.DLS.get shard_key) with
+    | Some sh -> bump sh.s_counters name by
+    | None ->
+      Mutex.lock mutex;
+      bump counters name by;
+      Mutex.unlock mutex
 
 let add name by = incr ~by name
 
@@ -54,33 +71,72 @@ let bucket_of v =
 
 let bucket_bound idx = Float.ldexp 1.0 (idx - bias)
 
-let observe name v =
-  if !Config.enabled then begin
-    Mutex.lock mutex;
-    let h =
-      match Hashtbl.find_opt histograms name with
-      | Some h -> h
-      | None ->
-        let h : histogram =
-          {
-            count = 0;
-            sum = 0.0;
-            min = Float.infinity;
-            max = Float.neg_infinity;
-            buckets = Array.make num_buckets 0;
-          }
-        in
-        Hashtbl.add histograms name h;
-        h
+let find_or_create_histogram tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h : histogram =
+      {
+        count = 0;
+        sum = 0.0;
+        min = Float.infinity;
+        max = Float.neg_infinity;
+        buckets = Array.make num_buckets 0;
+      }
     in
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    h.min <- Float.min h.min v;
-    h.max <- Float.max h.max v;
-    let idx = bucket_of v in
-    h.buckets.(idx) <- h.buckets.(idx) + 1;
+    Hashtbl.add tbl name h;
+    h
+
+let record (h : histogram) v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  h.min <- Float.min h.min v;
+  h.max <- Float.max h.max v;
+  let idx = bucket_of v in
+  h.buckets.(idx) <- h.buckets.(idx) + 1
+
+let observe name v =
+  if !Config.enabled then
+    match !(Domain.DLS.get shard_key) with
+    | Some sh -> record (find_or_create_histogram sh.s_histograms name) v
+    | None ->
+      Mutex.lock mutex;
+      record (find_or_create_histogram histograms name) v;
+      Mutex.unlock mutex
+
+let merge_shard sh =
+  if Hashtbl.length sh.s_counters > 0 || Hashtbl.length sh.s_histograms > 0
+  then begin
+    Mutex.lock mutex;
+    Hashtbl.iter (fun name r -> bump counters name !r) sh.s_counters;
+    Hashtbl.iter
+      (fun name (h : histogram) ->
+        let g = find_or_create_histogram histograms name in
+        g.count <- g.count + h.count;
+        g.sum <- g.sum +. h.sum;
+        g.min <- Float.min g.min h.min;
+        g.max <- Float.max g.max h.max;
+        Array.iteri
+          (fun i c -> if c > 0 then g.buckets.(i) <- g.buckets.(i) + c)
+          h.buckets)
+      sh.s_histograms;
     Mutex.unlock mutex
   end
+
+let with_shard f =
+  let slot = Domain.DLS.get shard_key in
+  match !slot with
+  | Some _ -> f () (* already sharded on this domain; nest transparently *)
+  | None ->
+    let sh =
+      { s_counters = Hashtbl.create 16; s_histograms = Hashtbl.create 16 }
+    in
+    slot := Some sh;
+    Fun.protect
+      ~finally:(fun () ->
+        slot := None;
+        merge_shard sh)
+      f
 
 let counter name =
   Mutex.lock mutex;

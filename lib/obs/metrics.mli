@@ -39,4 +39,12 @@ val snapshot : unit -> Json.t
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable counter/histogram tables. *)
 
+val with_shard : (unit -> 'a) -> 'a
+(** Run [f] with this domain's writers redirected into a private shard,
+    merged exactly (counter sums, histogram unions) into the global
+    tables when [f] returns or raises.  Worker domains wrap task
+    batches in this so hot-path [incr]/[observe] calls take no lock;
+    nested calls on the same domain reuse the active shard.  Readers on
+    other domains do not see the shard until the merge. *)
+
 val reset : unit -> unit

@@ -18,6 +18,36 @@ let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (next t lsr 17) mod bound
 
+let copy t = { state = t.state }
+
+(* a*b mod 2^48 without overflowing 63-bit native ints: split both
+   operands into 24-bit halves; the high*high term is 0 mod 2^48. *)
+let mul48 a b =
+  let al = a land 0xFFFFFF and ah = a lsr 24 in
+  let bl = b land 0xFFFFFF and bh = b lsr 24 in
+  ((al * bl) + ((((al * bh) + (ah * bl)) land 0xFFFFFF) lsl 24)) land mask
+
+(* Jump the stream forward k steps in O(log k): compose k copies of the
+   affine step x -> g*x + c by double-and-add on (multiplier, offset)
+   pairs.  [acc_a, acc_b] is the accumulated map, [ga, gc] the current
+   power-of-two map; applying g after acc gives (g*a, g*b + c) and
+   squaring g gives (g*g, g*c + c). *)
+let skip t k =
+  if k < 0 then invalid_arg "Rng.skip: negative count";
+  let acc_a = ref 1 and acc_b = ref 0 in
+  let ga = ref 0x5DEECE66D and gc = ref 0xB in
+  let k = ref k in
+  while !k > 0 do
+    if !k land 1 = 1 then begin
+      acc_b := (mul48 !ga !acc_b + !gc) land mask;
+      acc_a := mul48 !ga !acc_a
+    end;
+    gc := (mul48 !ga !gc + !gc) land mask;
+    ga := mul48 !ga !ga;
+    k := !k lsr 1
+  done;
+  t.state <- (mul48 !acc_a t.state + !acc_b) land mask
+
 let uniform t ~lo ~hi = lo +. (float t *. (hi -. lo))
 
 let log_uniform t ~lo ~hi =

@@ -6,6 +6,17 @@ type t
 val create : int -> t
 (** A fresh stream from the given seed. *)
 
+val copy : t -> t
+(** An independent stream starting at [t]'s current position.  Combined
+    with {!skip} this splits one seeded stream into per-chunk streams
+    whose draws are exactly the draws the sequential stream would have
+    made — the basis of jobs-invariant parallel sampling. *)
+
+val skip : t -> int -> unit
+(** [skip t k] advances the stream by [k] raw draws in [O(log k)] —
+    equivalent to [k] ignored {!float}/{!int} calls (each consumes one
+    draw).  Raises [Invalid_argument] when [k < 0]. *)
+
 val float : t -> float
 (** Next draw, uniform on [\[0, 1)]. *)
 

@@ -15,31 +15,38 @@ let mutex = Mutex.create ()
 let epoch = ref (Unix.gettimeofday ())
 let next_id = ref 0
 let completed : t list ref = ref [] (* reverse completion order *)
-let stack : int list ref = ref []
+
+(* The open-span stack is domain-local: spans opened by pool workers
+   nest among themselves (their roots show as top-level entries in the
+   tree) instead of interleaving with the master domain's stack.  The
+   sink itself stays global and mutex-guarded. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let reset () =
   Mutex.lock mutex;
   epoch := Unix.gettimeofday ();
   next_id := 0;
   completed := [];
-  stack := [];
-  Mutex.unlock mutex
+  Mutex.unlock mutex;
+  Domain.DLS.get stack_key := []
 
 let with_ ~name f =
   if not !Config.enabled then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     Mutex.lock mutex;
     let id = !next_id in
     incr next_id;
+    Mutex.unlock mutex;
     let parent = match !stack with [] -> -1 | p :: _ -> p in
     stack := id :: !stack;
-    Mutex.unlock mutex;
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Unix.gettimeofday () in
-        Mutex.lock mutex;
         (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
+        Mutex.lock mutex;
         completed :=
           { id; parent; name; start = t0 -. !epoch; dur = t1 -. t0 }
           :: !completed;

@@ -1,0 +1,18 @@
+(* Deterministic work decomposition.  The grid is a pure function of
+   (n, block) alone — the jobs count never moves a chunk boundary — so any
+   stage that derives per-chunk state (RNG stream positions, scratch
+   buffers, output ranges) from the chunk produces the same values no
+   matter how many domains execute it, or in which order. *)
+
+type t = { index : int; lo : int; len : int }
+
+let count ~n ~block =
+  if n < 0 then invalid_arg "Runtime.Chunk.count: negative point count";
+  if block < 1 then invalid_arg "Runtime.Chunk.count: block must be >= 1";
+  (n + block - 1) / block
+
+let layout ~n ~block =
+  let chunks = count ~n ~block in
+  Array.init chunks (fun index ->
+      let lo = index * block in
+      { index; lo; len = Int.min block (n - lo) })

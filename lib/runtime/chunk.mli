@@ -1,0 +1,21 @@
+(** Deterministic work chunking.
+
+    [layout ~n ~block] tiles the index range [0, n) into consecutive
+    chunks of at most [block] points.  The grid depends on [(n, block)]
+    only — never on the executing jobs count — which is the foundation of
+    the runtime's determinism contract: per-chunk state (RNG positions,
+    output slices) is identical under any parallel schedule. *)
+
+type t = {
+  index : int;  (** position in the grid, [0 <= index < count] *)
+  lo : int;  (** first point of the chunk *)
+  len : int;  (** number of points; [> 0] *)
+}
+
+val count : n:int -> block:int -> int
+(** [ceil (n / block)]; 0 when [n = 0].  Raises [Invalid_argument] on a
+    negative [n] or a non-positive [block]. *)
+
+val layout : n:int -> block:int -> t array
+(** The full ordered grid: [lo = index * block], lengths summing to [n],
+    last chunk possibly short.  Same validation as {!count}. *)

@@ -1,0 +1,70 @@
+module Chunk = Chunk
+module Pool = Pool
+
+let clamp_jobs j = Int.max 1 (Int.min 128 j)
+let override : int option ref = ref None
+let set_default_jobs j = override := Option.map clamp_jobs j
+
+let default_jobs () =
+  match !override with
+  | Some j -> j
+  | None -> (
+      match Sys.getenv_opt "AWESYM_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some j -> clamp_jobs j
+          | None -> 1)
+      | None -> 1)
+
+let resolve = function Some j -> clamp_jobs j | None -> default_jobs ()
+
+(* One long-lived pool, recycled while the jobs count is stable.  Sized
+   pools are cheap to swap (shutdown joins parked domains), and a single
+   shared pool keeps the total domain count bounded by the largest jobs
+   value in use rather than by the number of call sites. *)
+let pool_mutex = Mutex.create ()
+let global_pool : Pool.t option ref = ref None
+
+let get_pool ~jobs =
+  Mutex.lock pool_mutex;
+  let p =
+    match !global_pool with
+    | Some p when Pool.size p = jobs -> p
+    | prev ->
+        Option.iter Pool.shutdown prev;
+        let p = Pool.create ~jobs in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock pool_mutex;
+  p
+
+let parallel_iter ?jobs n f =
+  let jobs = resolve jobs in
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      f ~worker:0 i
+    done
+  else Pool.run (get_pool ~jobs) ~tasks:n f
+
+let iter_chunks ?jobs ~n ~block f =
+  let jobs = resolve jobs in
+  let chunks = Chunk.layout ~n ~block in
+  let nc = Array.length chunks in
+  if jobs <= 1 || nc <= 1 then Array.iter (fun c -> f ~worker:0 c) chunks
+  else
+    Pool.run (get_pool ~jobs) ~tasks:nc (fun ~worker i -> f ~worker chunks.(i))
+
+let parallel_map ?jobs f arr =
+  let jobs = resolve jobs in
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    Pool.run (get_pool ~jobs) ~tasks:n (fun ~worker:_ i ->
+        out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_reduce ?jobs ~map ~fold init arr =
+  Array.fold_left fold init (parallel_map ?jobs map arr)

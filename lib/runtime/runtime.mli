@@ -1,0 +1,40 @@
+(** Domain-parallel execution runtime.
+
+    A shared plan–executor core for the evaluation stack: deterministic
+    {!Chunk} grids, a reusable {!Pool} of domains, and ordered map /
+    reduce helpers.  The determinism contract (see docs/PARALLELISM.md):
+    work decomposition is a pure function of the problem size, reduction
+    is ordered by index, so any [jobs] count produces bit-identical
+    results to [jobs = 1]. *)
+
+module Chunk = Chunk
+module Pool = Pool
+
+val default_jobs : unit -> int
+(** Worker count used when a [?jobs] argument is omitted: the
+    {!set_default_jobs} override if set, else [AWESYM_JOBS] from the
+    environment, else 1.  Clamped to [1, 128]; unparsable values fall
+    back to 1. *)
+
+val set_default_jobs : int option -> unit
+(** Process-wide override (the CLI's [--jobs]); [None] restores the
+    environment/default resolution. *)
+
+val parallel_iter : ?jobs:int -> int -> (worker:int -> int -> unit) -> unit
+(** [parallel_iter n f] runs [f ~worker i] for [i] in [0 .. n - 1] on the
+    shared pool.  Inline (zero spawns) when the resolved jobs count is 1
+    or [n <= 1]. *)
+
+val iter_chunks :
+  ?jobs:int -> n:int -> block:int -> (worker:int -> Chunk.t -> unit) -> unit
+(** Run one task per chunk of [Chunk.layout ~n ~block].  [worker] indexes
+    per-worker scratch (register files, accumulators). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Ordered map: element [i] of the result is [f arr.(i)] regardless of
+    schedule.  Inline [Array.map] when jobs is 1 or the array is short. *)
+
+val parallel_reduce :
+  ?jobs:int -> map:('a -> 'b) -> fold:('c -> 'b -> 'c) -> 'c -> 'a array -> 'c
+(** Parallel {!parallel_map} followed by a sequential left fold in index
+    order — associativity of [fold] is not required for determinism. *)

@@ -82,6 +82,11 @@ let std_normal rng =
   let u2 = Obs.Rng.float rng in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
+(* Raw Rng draws one [sample] consumes — the stream stride parallel plans
+   use with [Obs.Rng.skip] to position per-chunk streams.  Must stay in
+   lock-step with [sample]: uniform draws once, Box–Muller twice. *)
+let draws = function Uniform _ -> 1 | Normal _ | Lognormal _ -> 2
+
 let sample t rng =
   match t with
   | Uniform { lo; hi } -> Obs.Rng.uniform rng ~lo ~hi

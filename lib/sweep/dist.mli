@@ -27,6 +27,11 @@ val around : nominal:float -> pct:float -> t
 val sample : t -> Obs.Rng.t -> float
 (** One draw (normal/lognormal use Box–Muller over the stream). *)
 
+val draws : t -> int
+(** Raw stream draws one {!sample} consumes (1 for uniform, 2 for the
+    Box–Muller kinds).  Parallel plans use this as the [Obs.Rng.skip]
+    stride when splitting a seeded stream into per-chunk streams. *)
+
 val quantile : t -> float -> float
 (** Inverse CDF, used to map Latin-hypercube strata onto the distribution.
     Normal quantiles use Acklam's approximation (relative error < 1.2e-9).

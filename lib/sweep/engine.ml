@@ -115,9 +115,12 @@ let eval_point nm moments rom_of = function
       | Rise_time -> Option.value ~default:nan (Measures.rise_time rom)
       | Moment _ | Elmore_delay -> assert false))
 
-let run ?(seed = 42) ?block ?(measures = default_measures) ?(specs = [])
+let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
     model plan =
   Obs.Span.with_ ~name:"sweep.run" @@ fun () ->
+  let jobs =
+    match jobs with Some j -> Int.max 1 j | None -> Runtime.default_jobs ()
+  in
   let order = Model.order model in
   let nm = 2 * order in
   (* Union the spec measures in so every spec has a summary to report. *)
@@ -137,8 +140,9 @@ let run ?(seed = 42) ?block ?(measures = default_measures) ?(specs = [])
   let symbols = Array.map Sym.name (Model.symbols model) in
   let nominals = Model.nominal_values model in
   let rng = Obs.Rng.create seed in
-  let cols = Plan.columns ~symbols ~nominals ~rng plan in
-  let mcols = Slp.eval_batch ?block (Model.program model) cols in
+  let blk = match block with Some b when b > 0 -> b | _ -> Slp.default_block in
+  let cols = Plan.columns ~symbols ~nominals ~rng ~jobs ~block:blk plan in
+  let mcols = Slp.eval_batch ?block ~jobs (Model.program model) cols in
   let n = Plan.num_points plan in
   if !Obs.enabled then begin
     Obs.Metrics.incr "sweep.run.count";
@@ -146,28 +150,33 @@ let run ?(seed = 42) ?block ?(measures = default_measures) ?(specs = [])
   end;
   let marr = Array.of_list measures in
   let vals = Array.map (fun _ -> Array.make n nan) marr in
-  let moments = Array.make nm 0.0 in
-  for i = 0 to n - 1 do
-    for k = 0 to nm - 1 do
-      moments.(k) <- mcols.(k).(i)
-    done;
-    (* The Padé finish is shared by every ROM-based measure at this point;
-       a degenerate moment sequence marks all of them NaN. *)
-    let rom = ref None in
-    let rom_forced = ref false in
-    let rom_of () =
-      if not !rom_forced then begin
-        rom_forced := true;
-        rom :=
-          (try Some (Awe.Pade.fit ~order moments)
-           with Awe.Pade.Degenerate _ -> None)
-      end;
-      !rom
-    in
-    Array.iteri
-      (fun j m -> vals.(j).(i) <- eval_point nm moments rom_of m)
-      marr
-  done;
+  (* The measure finish (Padé fit + extraction) is pure per point and
+     writes only column i of each vals row, so chunks fan out across the
+     pool; jobs counts cannot change any value. *)
+  Runtime.iter_chunks ~jobs ~n ~block:blk
+    (fun ~worker:_ (c : Runtime.Chunk.t) ->
+      let moments = Array.make nm 0.0 in
+      for i = c.lo to c.lo + c.len - 1 do
+        for k = 0 to nm - 1 do
+          moments.(k) <- mcols.(k).(i)
+        done;
+        (* The Padé finish is shared by every ROM-based measure at this
+           point; a degenerate moment sequence marks all of them NaN. *)
+        let rom = ref None in
+        let rom_forced = ref false in
+        let rom_of () =
+          if not !rom_forced then begin
+            rom_forced := true;
+            rom :=
+              (try Some (Awe.Pade.fit ~order moments)
+               with Awe.Pade.Degenerate _ -> None)
+          end;
+          !rom
+        in
+        Array.iteri
+          (fun j m -> vals.(j).(i) <- eval_point nm moments rom_of m)
+          marr
+      done);
   let summaries =
     Array.to_list (Array.mapi (fun j m -> (m, Stats.summarize vals.(j))) marr)
   in

@@ -52,13 +52,18 @@ val default_measures : measure list
 val run :
   ?seed:int ->
   ?block:int ->
+  ?jobs:int ->
   ?measures:measure list ->
   ?specs:spec list ->
   Awesymbolic.Model.t ->
   Plan.t ->
   result
-(** Default seed 42; [block] is forwarded to [Slp.eval_batch].  Spec
-    measures are automatically added to the summarized set.  Raises
+(** Default seed 42; [block] is forwarded to [Slp.eval_batch].  [jobs]
+    (default [Runtime.default_jobs ()]) fans sampling, batched moment
+    evaluation, and the per-point measure finish across that many domains;
+    the determinism contract guarantees the result — and its
+    {!to_json} serialization — is bit-identical for every jobs count.
+    Spec measures are automatically added to the summarized set.  Raises
     [Invalid_argument] on a [Moment k] beyond the model's [2·order]
     moments, [Failure] when the plan sweeps a non-model symbol.  Obs
     counters: [sweep.run.count], [sweep.run.points]; span [sweep.run]. *)

@@ -34,12 +34,19 @@ val columns :
   symbols:string array ->
   nominals:float array ->
   rng:Obs.Rng.t ->
+  ?jobs:int ->
+  ?block:int ->
   t ->
   float array array
 (** [columns ~symbols ~nominals ~rng t] is the structure-of-arrays input
     block: result[k].(i) is the value of [symbols.(k)] at point [i].
-    Deterministic given the rng state.  Raises [Failure] naming the symbol
-    when an axis is not a model symbol. *)
+    Deterministic given the rng state — including under [jobs > 1]
+    (default [Runtime.default_jobs ()]), where chunks of [block] points
+    (default 256) sample from jump-ahead copies of the same stream
+    ({!Obs.Rng.copy} / {!Obs.Rng.skip}), so every jobs count produces the
+    exact sequential values and leaves [rng] in the sequential end state.
+    Raises [Failure] naming the symbol when an axis is not a model
+    symbol. *)
 
 val to_json : t -> Obs.Json.t
 (** Plan descriptor recorded in sweep results (kind, point count, axes). *)

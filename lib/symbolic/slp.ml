@@ -434,10 +434,61 @@ let preloaded_registers p =
 
 let default_block = 256
 
-let make_batch_evaluator ?(block = default_block) p =
+(* One block of the SoA kernel: refill the preloaded registers, interpret
+   the program over [len] lanes starting at point [lo], blit the outputs.
+   Blocks touch disjoint [lo, lo+len) ranges of [inputs]/[outs] and each
+   lane runs the scalar operation sequence, so blocks may execute in any
+   order — or on different domains with private [regs] — and the outputs
+   stay bit-identical. *)
+let run_block p preload regs inputs outs lo len =
+  Array.iter (fun r -> Array.fill regs.(r) 0 len p.init.(r)) preload;
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Load_input (r, slot) -> Array.blit inputs.(slot) lo regs.(r) 0 len
+      | Add (r, a, b) ->
+        let d = regs.(r) and x = regs.(a) and y = regs.(b) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (Array.unsafe_get x i +. Array.unsafe_get y i)
+        done
+      | Mul (r, a, b) ->
+        let d = regs.(r) and x = regs.(a) and y = regs.(b) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (Array.unsafe_get x i *. Array.unsafe_get y i)
+        done
+      | Neg (r, a) ->
+        let d = regs.(r) and x = regs.(a) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (-.(Array.unsafe_get x i))
+        done
+      | Inv (r, a) ->
+        let d = regs.(r) and x = regs.(a) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (1.0 /. Array.unsafe_get x i)
+        done
+      | Sqrt (r, a) ->
+        let d = regs.(r) and x = regs.(a) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (Float.sqrt (Array.unsafe_get x i))
+        done
+      | Exp (r, a) ->
+        let d = regs.(r) and x = regs.(a) in
+        for i = 0 to len - 1 do
+          Array.unsafe_set d i (Float.exp (Array.unsafe_get x i))
+        done)
+    p.instrs;
+  Array.iteri (fun k r -> Array.blit regs.(r) 0 outs.(k) lo len) p.outputs
+
+let make_batch_evaluator ?(block = default_block) ?jobs p =
   if block <= 0 then invalid_arg "Slp.make_batch_evaluator: block must be > 0";
+  let jobs =
+    match jobs with Some j -> Int.max 1 j | None -> Runtime.default_jobs ()
+  in
   let nregs = Array.length p.init in
-  let regs = Array.init nregs (fun _ -> Array.make block 0.0) in
+  (* One register file per worker; file 0 doubles as the sequential
+     path's.  The evaluator closure owns them, so it must not be called
+     concurrently with itself. *)
+  let files = Array.init jobs (fun _ -> Array.init nregs (fun _ -> Array.make block 0.0)) in
   let preload = preloaded_registers p in
   fun inputs ->
     if Array.length inputs <> Array.length p.inputs then
@@ -459,53 +510,22 @@ let make_batch_evaluator ?(block = default_block) p =
       Obs.Metrics.add "slp.eval_batch.ops" (n * Array.length p.instrs)
     end;
     let outs = Array.map (fun _ -> Array.make n 0.0) p.outputs in
-    let lo = ref 0 in
-    while !lo < n do
-      let len = Int.min block (n - !lo) in
-      Array.iter (fun r -> Array.fill regs.(r) 0 len p.init.(r)) preload;
-      Array.iter
-        (fun instr ->
-          match instr with
-          | Load_input (r, slot) -> Array.blit inputs.(slot) !lo regs.(r) 0 len
-          | Add (r, a, b) ->
-            let d = regs.(r) and x = regs.(a) and y = regs.(b) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i
-                (Array.unsafe_get x i +. Array.unsafe_get y i)
-            done
-          | Mul (r, a, b) ->
-            let d = regs.(r) and x = regs.(a) and y = regs.(b) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i
-                (Array.unsafe_get x i *. Array.unsafe_get y i)
-            done
-          | Neg (r, a) ->
-            let d = regs.(r) and x = regs.(a) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i (-.(Array.unsafe_get x i))
-            done
-          | Inv (r, a) ->
-            let d = regs.(r) and x = regs.(a) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i (1.0 /. Array.unsafe_get x i)
-            done
-          | Sqrt (r, a) ->
-            let d = regs.(r) and x = regs.(a) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i (Float.sqrt (Array.unsafe_get x i))
-            done
-          | Exp (r, a) ->
-            let d = regs.(r) and x = regs.(a) in
-            for i = 0 to len - 1 do
-              Array.unsafe_set d i (Float.exp (Array.unsafe_get x i))
-            done)
-        p.instrs;
-      Array.iteri (fun k r -> Array.blit regs.(r) 0 outs.(k) !lo len) p.outputs;
-      lo := !lo + len
-    done;
+    if jobs = 1 || n <= block then begin
+      let regs = files.(0) in
+      let lo = ref 0 in
+      while !lo < n do
+        let len = Int.min block (n - !lo) in
+        run_block p preload regs inputs outs !lo len;
+        lo := !lo + len
+      done
+    end
+    else
+      Runtime.iter_chunks ~jobs ~n ~block
+        (fun ~worker (c : Runtime.Chunk.t) ->
+          run_block p preload files.(worker) inputs outs c.lo c.len);
     outs
 
-let eval_batch ?block p inputs = make_batch_evaluator ?block p inputs
+let eval_batch ?block ?jobs p inputs = make_batch_evaluator ?block ?jobs p inputs
 
 (* ------------------------------------------------------------------ *)
 

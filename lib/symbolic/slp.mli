@@ -84,25 +84,39 @@ val make_evaluator : t -> float array -> float array
     — e.g. [Array.copy (run v)] — before evaluating the next point; see the
     regression test [slp aliasing contract] in [test_symbolic.ml]. *)
 
-val eval_batch : ?block:int -> t -> float array array -> float array array
+val default_block : int
+(** Lane count per block when [?block] is omitted (256) — shared by every
+    chunked stage so sweep chunk grids line up with the batch kernel's. *)
+
+val eval_batch :
+  ?block:int -> ?jobs:int -> t -> float array array -> float array array
 (** [eval_batch p cols] evaluates the program at [n] points in one call:
     [cols.(k).(i)] is the value of input [k] at point [i] (all columns must
     share the same length [n]), and [(eval_batch p cols).(j).(i)] is output
     [j] at point [i].  Points are processed in blocks of [block] lanes
     (default 256) over one structure-of-arrays register file, so instruction
     dispatch amortizes across the block and the file stays cache-resident —
-    the fast path under Monte-Carlo and corner sweeps.  Results are
-    bit-identical to calling {!eval} point by point.  The returned arrays
-    are freshly allocated (no aliasing).  Raises [Invalid_argument] on
-    column-length mismatch, a wrong column count, or a program with no
-    inputs. *)
+    the fast path under Monte-Carlo and corner sweeps.
+
+    [jobs] (default [Runtime.default_jobs ()]) fans the blocks across that
+    many domains, each with a private register file.  Blocks cover disjoint
+    point ranges and every lane runs the scalar operation sequence, so the
+    result is bit-identical for every jobs count — and to calling {!eval}
+    point by point.  [jobs = 1] (or [n <= block]) takes the sequential path
+    with zero domain involvement.
+
+    The returned arrays are freshly allocated (no aliasing).  Raises
+    [Invalid_argument] on column-length mismatch, a wrong column count, or
+    a program with no inputs. *)
 
 val make_batch_evaluator :
-  ?block:int -> t -> float array array -> float array array
-(** Pre-allocates the blocked register file once and returns the batch
-    evaluation closure — {!eval_batch} is [make_batch_evaluator] applied
-    immediately.  Unlike {!make_evaluator}, returned output columns are
-    fresh on every call. *)
+  ?block:int -> ?jobs:int -> t -> float array array -> float array array
+(** Pre-allocates the blocked register files once ([jobs] of them, resolved
+    at creation) and returns the batch evaluation closure — {!eval_batch}
+    is [make_batch_evaluator] applied immediately.  Unlike
+    {!make_evaluator}, returned output columns are fresh on every call.
+    The closure owns its register files: do not call one closure from
+    multiple domains concurrently. *)
 
 val to_exprs : t -> Expr.t array
 (** Reconstruct the output expression DAGs from the bytecode (the inverse of

@@ -1084,9 +1084,13 @@ let test_artifact_roundtrip () =
     (Awe.Measures.elmore_delay (Model.eval_moments loaded v))
     (Symbolic.Slp.eval (Model.elmore_program loaded) v).(0);
   (* Only the netlist analysis itself is gone. *)
-  match Model.partition loaded with
+  (match Model.partition_opt loaded with
+  | None -> ()
+  | Some _ -> Alcotest.fail "partition should be unavailable on a loaded model");
+  (* The deprecated raising shim keeps its contract. *)
+  match (Model.partition [@alert "-deprecated"]) loaded with
   | exception Failure _ -> ()
-  | _ -> Alcotest.fail "partition should be unavailable on a loaded model"
+  | _ -> Alcotest.fail "deprecated partition should raise on a loaded model"
 
 let test_artifact_save_is_deterministic () =
   let model = Model.build ~order:2 (fig1_c1_g2 ()) in
@@ -1206,6 +1210,59 @@ let test_build_cached_roundtrip () =
     (Model.eval_moments fresh v)
     (Model.eval_moments rebuilt v)
 
+let test_cache_atomic_write () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "awesym-atomic-test-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Cache.ensure_dir dir;
+  let nl = fig1_c1_g2 () in
+  let entry = Cache.path ~dir (Cache.key ~order:2 nl) in
+  (* A crashed writer — half an artifact, then an exception — must leave
+     no entry behind: a later build_cached sees a clean miss, never a
+     half-written hit. *)
+  let model = Model.build ~order:2 nl in
+  (match
+     Cache.atomic_write entry (fun tmp ->
+         Model.save model tmp;
+         let len = (Unix.stat tmp).Unix.st_size in
+         let truncated = open_out_gen [ Open_wronly ] 0o644 tmp in
+         Unix.ftruncate (Unix.descr_of_out_channel truncated) (len / 2);
+         close_out truncated;
+         failwith "simulated crash mid-write")
+   with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "crashing writer did not raise");
+  Alcotest.(check bool) "no destination after crash" false
+    (Sys.file_exists entry);
+  Alcotest.(check bool) "no temp litter after crash" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir dir));
+  (* build_cached on the same key treats the aborted write as a miss and
+     produces a working entry. *)
+  let rebuilt = Model.build_cached ~cache_dir:dir ~order:2 nl in
+  Alcotest.(check bool) "entry published after clean write" true
+    (Sys.file_exists entry);
+  let v = Model.values model [ ("C1", 2.0); ("G2", 0.5) ] in
+  check_bits "post-recovery model intact"
+    (Model.eval_moments model v)
+    (Model.eval_moments rebuilt v);
+  (* A successful atomic_write replaces the entry in one step. *)
+  Cache.atomic_write entry (fun tmp -> Model.save model tmp);
+  let loaded = Model.load entry in
+  check_bits "atomically replaced entry loads"
+    (Model.eval_moments model v)
+    (Model.eval_moments loaded v)
+
 let test_artifact_golden () =
   (* A committed artifact pins the on-disk format: if [Artifact.version] (or
      the byte layout) drifts without regenerating the golden file — see
@@ -1313,6 +1370,7 @@ let () =
           quick "truncation detected" test_artifact_truncation_detected;
           quick "bad magic detected" test_artifact_bad_magic_detected;
           quick "build cache miss/hit/corruption" test_build_cached_roundtrip;
+          quick "atomic cache writes" test_cache_atomic_write;
           quick "committed golden artifact loads" test_artifact_golden;
         ] );
     ]

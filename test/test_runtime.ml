@@ -1,0 +1,309 @@
+(* Tests for the domain-parallel execution runtime: chunk grids, the
+   domain pool, ordered map/reduce, RNG stream splitting, and per-domain
+   metric shards.  The load-bearing property throughout is the
+   determinism contract of docs/PARALLELISM.md: work decomposition is a
+   pure function of the problem size and reduction is ordered, so any
+   jobs count produces bit-identical results to jobs = 1. *)
+
+module Chunk = Runtime.Chunk
+module Pool = Runtime.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Chunk grids *)
+
+let test_chunk_layout_basic () =
+  let chunks = Chunk.layout ~n:10 ~block:4 in
+  Alcotest.(check int) "count" 3 (Array.length chunks);
+  Alcotest.(check int) "count agrees" 3 (Chunk.count ~n:10 ~block:4);
+  let c = chunks.(2) in
+  Alcotest.(check int) "last lo" 8 c.Chunk.lo;
+  Alcotest.(check int) "last len is the remainder" 2 c.Chunk.len
+
+let test_chunk_layout_edges () =
+  Alcotest.(check int) "n = 0 yields no chunks" 0
+    (Array.length (Chunk.layout ~n:0 ~block:8));
+  let single = Chunk.layout ~n:3 ~block:8 in
+  Alcotest.(check int) "n < block is one chunk" 1 (Array.length single);
+  Alcotest.(check int) "short chunk len" 3 single.(0).Chunk.len;
+  let exact = Chunk.layout ~n:16 ~block:4 in
+  Alcotest.(check int) "exact multiple" 4 (Array.length exact);
+  Array.iter
+    (fun c -> Alcotest.(check int) "full blocks" 4 c.Chunk.len)
+    exact;
+  (match Chunk.layout ~n:(-1) ~block:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n accepted");
+  match Chunk.layout ~n:4 ~block:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero block accepted"
+
+(* The grid is a partition: every index appears in exactly one chunk, in
+   order, regardless of (n, block). *)
+let prop_chunk_partition =
+  QCheck2.Test.make ~name:"chunk grid partitions [0, n)" ~count:200
+    QCheck2.Gen.(pair (int_range 0 5000) (int_range 1 600))
+    (fun (n, block) ->
+      let chunks = Chunk.layout ~n ~block in
+      let next = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c.Chunk.index <> i then failwith "index mismatch";
+          if c.Chunk.lo <> !next then failwith "gap or overlap";
+          if c.Chunk.len < 1 || c.Chunk.len > block then failwith "bad len";
+          next := c.Chunk.lo + c.Chunk.len)
+        chunks;
+      !next = n)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_jobs1_spawns_nothing () =
+  let before = Pool.spawned_total () in
+  let p = Pool.create ~jobs:1 in
+  let hits = Array.make 8 0 in
+  Pool.run p ~tasks:8 (fun ~worker i ->
+      Alcotest.(check int) "inline worker id" 0 worker;
+      hits.(i) <- hits.(i) + 1);
+  Pool.shutdown p;
+  Alcotest.(check int) "no domains spawned" before (Pool.spawned_total ());
+  Alcotest.(check int) "num_domains" 0 (Pool.num_domains p);
+  Array.iter (fun h -> Alcotest.(check int) "each task once" 1 h) hits
+
+let test_pool_runs_every_task () =
+  let p = Pool.create ~jobs:4 in
+  Alcotest.(check int) "size" 4 (Pool.size p);
+  Alcotest.(check int) "background domains" 3 (Pool.num_domains p);
+  let hits = Array.make 1000 0 in
+  (* Disjoint per-index writes; repeated generations reuse the parked
+     workers. *)
+  for _ = 1 to 20 do
+    Array.fill hits 0 (Array.length hits) 0;
+    Pool.run p ~tasks:1000 (fun ~worker:_ i -> hits.(i) <- hits.(i) + 1);
+    Array.iteri
+      (fun i h -> if h <> 1 then Alcotest.failf "task %d ran %d times" i h)
+      hits
+  done;
+  Pool.shutdown p
+
+let test_pool_fewer_tasks_than_workers () =
+  let p = Pool.create ~jobs:4 in
+  let hits = Array.make 2 0 in
+  Pool.run p ~tasks:2 (fun ~worker:_ i -> hits.(i) <- hits.(i) + 1);
+  Array.iter (fun h -> Alcotest.(check int) "once" 1 h) hits;
+  let ran = ref false in
+  Pool.run p ~tasks:0 (fun ~worker:_ _ -> ran := true);
+  Alcotest.(check bool) "zero tasks run nothing" false !ran;
+  (match Pool.run p ~tasks:(-1) (fun ~worker:_ _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative task count accepted");
+  Pool.shutdown p
+
+let test_pool_exception_propagates () =
+  let p = Pool.create ~jobs:4 in
+  let survivors = Atomic.make 0 in
+  (match
+     Pool.run p ~tasks:64 (fun ~worker:_ i ->
+         if i = 13 then failwith "boom" else Atomic.incr survivors)
+   with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | () -> Alcotest.fail "task exception swallowed");
+  Alcotest.(check int) "other tasks still ran" 63 (Atomic.get survivors);
+  (* The pool survives a failed generation. *)
+  let count = Atomic.make 0 in
+  Pool.run p ~tasks:32 (fun ~worker:_ _ -> Atomic.incr count);
+  Alcotest.(check int) "next generation clean" 32 (Atomic.get count);
+  Pool.shutdown p;
+  match Pool.run p ~tasks:1 (fun ~worker:_ _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> ()
+(* tasks = 1 runs inline even after shutdown — the inline path needs no
+   domains; a multi-task run would raise. *)
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~jobs:3 in
+  Pool.run p ~tasks:10 (fun ~worker:_ _ -> ());
+  Pool.shutdown p;
+  Pool.shutdown p;
+  match Pool.run p ~tasks:4 (fun ~worker:_ _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "run after shutdown accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Ordered helpers *)
+
+let test_parallel_map_ordered () =
+  let input = Array.init 500 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) input in
+  List.iter
+    (fun jobs ->
+      let got = Runtime.parallel_map ~jobs (fun i -> i * i) input in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d ordered" jobs)
+        true (got = expect))
+    [ 1; 2; 4 ]
+
+let test_parallel_reduce_ordered () =
+  (* Float summation is order-sensitive; the ordered fold makes the
+     reduction independent of the jobs count bit-for-bit. *)
+  let input = Array.init 1000 (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let at jobs =
+    Runtime.parallel_reduce ~jobs ~map:Float.sqrt ~fold:( +. ) 0.0 input
+  in
+  let seq = at 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d bit-identical" jobs)
+        true
+        (Int64.bits_of_float (at jobs) = Int64.bits_of_float seq))
+    [ 2; 4 ]
+
+let test_iter_chunks_covers () =
+  let n = 1003 in
+  let hits = Array.make n 0 in
+  Runtime.iter_chunks ~jobs:4 ~n ~block:64 (fun ~worker:_ c ->
+      for i = c.Chunk.lo to c.Chunk.lo + c.Chunk.len - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "index %d visited %d times" i h)
+    hits
+
+(* ------------------------------------------------------------------ *)
+(* RNG stream splitting *)
+
+let prop_rng_skip_equals_draws =
+  QCheck2.Test.make ~name:"Rng.skip k ≡ k discarded draws" ~count:100
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      let a = Obs.Rng.create seed in
+      let b = Obs.Rng.create seed in
+      for _ = 1 to k do
+        ignore (Obs.Rng.float a)
+      done;
+      Obs.Rng.skip b k;
+      Obs.Rng.float a = Obs.Rng.float b)
+
+let test_rng_copy_independent () =
+  let a = Obs.Rng.create 7 in
+  ignore (Obs.Rng.float a);
+  let b = Obs.Rng.copy a in
+  let va = Obs.Rng.float a in
+  (* Advancing the copy leaves the original untouched and vice versa. *)
+  let vb = Obs.Rng.float b in
+  Alcotest.(check bool) "same position, same draw" true (va = vb);
+  ignore (Obs.Rng.float b);
+  ignore (Obs.Rng.float b);
+  let va2 = Obs.Rng.float a and vb3 = Obs.Rng.float b in
+  Alcotest.(check bool) "streams diverge independently" true (va2 <> vb3);
+  match Obs.Rng.skip a (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative skip accepted"
+
+(* Chunked sampling: per-chunk copy+skip streams reproduce exactly the
+   sequential draw sequence — the mechanism Plan.columns rests on. *)
+let test_rng_chunked_stream_split () =
+  let n = 977 and dpp = 3 in
+  let master = Obs.Rng.create 42 in
+  let seq = Array.init (n * dpp) (fun _ -> Obs.Rng.float master) in
+  let par = Array.make (n * dpp) 0.0 in
+  let master2 = Obs.Rng.create 42 in
+  Array.iter
+    (fun (c : Chunk.t) ->
+      let r = Obs.Rng.copy master2 in
+      Obs.Rng.skip r (c.Chunk.lo * dpp);
+      for i = c.Chunk.lo * dpp to ((c.Chunk.lo + c.Chunk.len) * dpp) - 1 do
+        par.(i) <- Obs.Rng.float r
+      done)
+    (Chunk.layout ~n ~block:128);
+  Alcotest.(check bool) "split streams ≡ sequential" true (par = seq)
+
+(* ------------------------------------------------------------------ *)
+(* Metric shards *)
+
+let test_metrics_shard_merge () =
+  let was = !Obs.enabled in
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.enabled := was)
+    (fun () ->
+      Obs.Metrics.incr "shard.direct";
+      let v =
+        Obs.Metrics.with_shard (fun () ->
+            Obs.Metrics.incr ~by:5 "shard.counted";
+            Obs.Metrics.observe "shard.hist" 2.0;
+            Obs.Metrics.observe "shard.hist" 8.0;
+            (* Nested with_shard reuses the active shard. *)
+            Obs.Metrics.with_shard (fun () ->
+                Obs.Metrics.incr "shard.counted");
+            17)
+      in
+      Alcotest.(check int) "with_shard returns" 17 v;
+      Alcotest.(check int) "counter merged" 6
+        (Obs.Metrics.counter "shard.counted");
+      Alcotest.(check int) "outside unaffected" 1
+        (Obs.Metrics.counter "shard.direct");
+      match Obs.Metrics.histogram "shard.hist" with
+      | None -> Alcotest.fail "histogram not merged"
+      | Some h ->
+        Alcotest.(check int) "histogram count" 2 h.Obs.Metrics.count;
+        Alcotest.(check (float 1e-12)) "histogram sum" 10.0 h.Obs.Metrics.sum)
+
+(* Pool-driven counters land in the global tables after the run, no
+   matter which domain bumped them. *)
+let test_metrics_counted_across_domains () =
+  let was = !Obs.enabled in
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.enabled := was)
+    (fun () ->
+      let p = Pool.create ~jobs:4 in
+      Pool.run p ~tasks:200 (fun ~worker:_ _ ->
+          Obs.Metrics.with_shard (fun () -> Obs.Metrics.incr "shard.pool"));
+      Pool.shutdown p;
+      Alcotest.(check int) "every task counted" 200
+        (Obs.Metrics.counter "shard.pool"))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "runtime"
+    [
+      ( "chunk",
+        [
+          quick "layout arithmetic" test_chunk_layout_basic;
+          quick "edge cases" test_chunk_layout_edges;
+        ]
+        @ props [ prop_chunk_partition ] );
+      ( "pool",
+        [
+          quick "jobs = 1 spawns nothing" test_pool_jobs1_spawns_nothing;
+          quick "every task runs exactly once" test_pool_runs_every_task;
+          quick "n < jobs and n = 0" test_pool_fewer_tasks_than_workers;
+          quick "task exception propagates" test_pool_exception_propagates;
+          quick "shutdown is idempotent" test_pool_shutdown_idempotent;
+        ] );
+      ( "helpers",
+        [
+          quick "parallel_map is ordered" test_parallel_map_ordered;
+          quick "parallel_reduce is bit-stable" test_parallel_reduce_ordered;
+          quick "iter_chunks covers the range" test_iter_chunks_covers;
+        ] );
+      ( "rng",
+        [
+          quick "copy is independent" test_rng_copy_independent;
+          quick "chunked split ≡ sequential draws" test_rng_chunked_stream_split;
+        ]
+        @ props [ prop_rng_skip_equals_draws ] );
+      ( "metrics",
+        [
+          quick "shard merge is exact" test_metrics_shard_merge;
+          quick "pool counters merge" test_metrics_counted_across_domains;
+        ] );
+    ]

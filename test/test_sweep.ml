@@ -206,6 +206,72 @@ let test_plan_determinism () =
   let c = columns model p ~seed:10 in
   Alcotest.(check bool) "different seed, different points" true (a <> c)
 
+(* The parallel determinism contract: any jobs count produces exactly the
+   draws, points, and reports of jobs = 1. *)
+
+let test_plan_columns_jobs_invariant () =
+  let model = Lazy.force fig1_model in
+  (* Mixed draw widths (uniform = 1 draw/point, normal = 2) exercise the
+     per-chunk RNG skip arithmetic. *)
+  let mixed =
+    Plan.make (Plan.Monte_carlo 4097)
+      [
+        { Plan.name = "C1"; dist = Dist.uniform ~lo:0.5 ~hi:2.0 };
+        { Plan.name = "G2"; dist = Dist.normal ~mean:1.0 ~std:0.2 };
+      ]
+  in
+  let at plan ?jobs () =
+    Plan.columns
+      ~symbols:(Array.map Sym.name (Model.symbols model))
+      ~nominals:(Model.nominal_values model)
+      ~rng:(Obs.Rng.create 42) ?jobs plan
+  in
+  List.iter
+    (fun plan ->
+      let seq = at plan ~jobs:1 () in
+      List.iter
+        (fun jobs ->
+          if at plan ~jobs () <> seq then
+            Alcotest.failf "columns differ at jobs=%d" jobs)
+        [ 2; 4 ])
+    [
+      mixed;
+      plan_c1_g2 (Plan.Latin_hypercube 512);
+      plan_c1_g2 (Plan.Grid 23);
+      plan_c1_g2 Plan.Corners;
+    ]
+
+let test_eval_batch_jobs_invariant () =
+  let model = Lazy.force fig1_model in
+  let n = 10_000 in
+  let plan = plan_c1_g2 (Plan.Monte_carlo n) in
+  let cols = columns model plan ~seed:42 in
+  let seq = Slp.eval_batch ~jobs:1 (Model.program model) cols in
+  let par = Slp.eval_batch ~jobs:4 (Model.program model) cols in
+  Array.iteri
+    (fun j row ->
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float par.(j).(i) then
+            Alcotest.failf "output %d lane %d differs across jobs" j i)
+        row)
+    seq
+
+let test_engine_json_jobs_invariant () =
+  let model = Lazy.force fig1_model in
+  let plan = plan_c1_g2 (Plan.Monte_carlo 10_000) in
+  let specs = [ { Engine.measure = Engine.Dc_gain; bound = Engine.Ge 0.9 } ] in
+  let report jobs =
+    Obs.Json.to_string
+      (Engine.to_json (Engine.run ~seed:42 ~jobs ~specs model plan))
+  in
+  let seq = report 1 in
+  List.iter
+    (fun jobs ->
+      if report jobs <> seq then
+        Alcotest.failf "sweep JSON differs at jobs=%d" jobs)
+    [ 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
 
@@ -430,6 +496,7 @@ let () =
           quick "corners hit the bounds" test_plan_corners;
           quick "grid spacing and ordering" test_plan_grid;
           quick "seeded determinism" test_plan_determinism;
+          quick "columns invariant across jobs" test_plan_columns_jobs_invariant;
         ] );
       ( "stats",
         [
@@ -448,5 +515,7 @@ let () =
           quick "moment index validated" test_engine_moment_out_of_range;
           quick "JSON report schema" test_engine_json_schema;
           quick "measures match direct evaluation" test_engine_measures_match_direct;
+          quick "eval_batch bit-identical across jobs" test_eval_batch_jobs_invariant;
+          quick "10k sweep JSON byte-identical across jobs" test_engine_json_jobs_invariant;
         ] );
     ]
