@@ -86,6 +86,15 @@ let with_jobs jobs f =
   f ()
 
 let with_obs (stats, trace) f =
+  (* Every command body runs under this wrapper, so classified failures
+     from anywhere in the pipeline exit with one readable line instead of
+     an OCaml backtrace. *)
+  let f () =
+    try f ()
+    with Awesym_error.Error e ->
+      prerr_endline ("awesym: error: " ^ Awesym_error.to_string e);
+      exit 1
+  in
   if not (stats || trace <> None) then f ()
   else begin
     Obs.enabled := true;
@@ -873,7 +882,7 @@ let describe_dist = function
 
 let sweep_cmd =
   let run obs jobs deck model_path order sparse cache varies mc lhs corners
-      grid measures specs seed block json_path =
+      grid measures specs seed block json_path on_fault checkpoint resume =
     with_obs obs @@ fun () ->
     with_jobs jobs @@ fun () ->
     let model =
@@ -940,13 +949,38 @@ let sweep_cmd =
     let plan =
       try Sweep.Plan.make kind axes with Invalid_argument msg -> die msg
     in
+    let policy = or_die (Sweep.Engine.policy_of_string on_fault) in
+    if resume && checkpoint = None then
+      die "--resume needs --checkpoint FILE to resume from";
     let result =
-      try Sweep.Engine.run ~seed ?block ~measures ~specs model plan with
+      try
+        Sweep.Engine.run ~seed ?block ~measures ~specs ~policy ?checkpoint
+          ~resume model plan
+      with
       | Failure msg | Invalid_argument msg -> die msg
     in
     Printf.printf "sweep: %s, %d points, seed %d\n"
       (Sweep.Plan.kind_name plan.Sweep.Plan.kind)
       result.Sweep.Engine.n seed;
+    (match result.Sweep.Engine.failed with
+    | [] -> ()
+    | failed ->
+      Printf.printf
+        "  %d of %d points failed (policy %s); statistics cover the %d \
+         survivors\n"
+        (List.length failed) result.Sweep.Engine.n
+        (Sweep.Engine.policy_name policy)
+        (Sweep.Engine.survivors result);
+      List.iteri
+        (fun i (fp : Sweep.Engine.failed_point) ->
+          if i < 5 then
+            Printf.printf "    point %d (%d attempts): %s\n" fp.point
+              fp.attempts
+              (Awesym_error.to_string fp.error))
+        failed;
+      if List.length failed > 5 then
+        Printf.printf "    ... and %d more (see the JSON report)\n"
+          (List.length failed - 5));
     List.iter
       (fun (a : Sweep.Plan.axis) ->
         Printf.printf "  %s ~ %s\n" a.Sweep.Plan.name (describe_dist a.dist))
@@ -1079,16 +1113,46 @@ let sweep_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable sweep report here ('-' = stdout).")
   in
+  let on_fault_arg =
+    Arg.(
+      value & opt string "skip"
+      & info [ "on-fault" ] ~docv:"POLICY"
+          ~doc:
+            "What a failing point does to the sweep: 'fail_fast' aborts, \
+             'skip' (default) quarantines the point into failed_points and \
+             keeps going, 'retry' / 'retry:N' re-attempts N times (default \
+             2) with Pad\xc3\xa9 order reduction before quarantining.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Record completed chunks in FILE (atomically) so an \
+             interrupted sweep can be resumed with --resume.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore completed chunks from --checkpoint FILE and evaluate \
+             only the remainder; the report is byte-identical to an \
+             uninterrupted run.")
+  in
   let doc =
     "Statistical sweep of a compiled model: Monte-Carlo, Latin-hypercube, \
      corner, or grid plans over element distributions, evaluated through \
-     the batched SLP kernel into summaries and yield."
+     the batched SLP kernel into summaries and yield, with per-point fault \
+     isolation and checkpoint/resume."
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ obs_args $ jobs_arg $ deck_opt_arg $ model_arg $ order_arg
       $ sparse_arg $ cache_arg $ vary_arg $ mc_arg $ lhs_arg $ corners_arg
-      $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg)
+      $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg
+      $ on_fault_arg $ checkpoint_arg $ resume_arg)
 
 let moments_cmd =
   let run obs deck count =

@@ -3,6 +3,7 @@ type health = {
   pivot_min : float;
   pivot_max : float;
   pivot_growth : float;
+  rcond : float;
   condition_est : float;
   near_singular : bool;
   warnings : string list;
@@ -23,19 +24,36 @@ type result = {
 let pivot_ratio_floor = 1e-12
 let growth_ceiling = 1e8
 
+(* An rcond at (or below) a few hundred ulps means the factorization
+   carries essentially no trustworthy digits in a 53-bit mantissa. *)
+let rcond_floor = 1e-13
+
 let health_of_lu (h : Numeric.Lu.health) =
+  let rcond = h.Numeric.Lu.rcond in
+  (* Prefer the factor-time estimator; fall back to the pivot ratio when
+     the estimate saturated (rcond = 0 also means "hopeless", which the
+     warning below reports directly). *)
   let condition_est =
-    if h.Numeric.Lu.pivot_min > 0.0 then
+    if rcond > 0.0 then 1.0 /. rcond
+    else if h.Numeric.Lu.pivot_min > 0.0 then
       h.Numeric.Lu.pivot_max /. h.Numeric.Lu.pivot_min
     else Float.infinity
   in
   let warnings = ref [] in
+  if rcond <= rcond_floor then
+    warnings :=
+      Printf.sprintf
+        "ill-conditioned conductance matrix: rcond %.2e (solution digits \
+         are untrustworthy)"
+        rcond
+      :: !warnings;
   if h.Numeric.Lu.pivot_min <= pivot_ratio_floor *. h.Numeric.Lu.pivot_max then
     warnings :=
       Printf.sprintf
         "near-singular conductance matrix: pivot ratio %.2e (min %.3e, max \
          %.3e)"
-        condition_est h.Numeric.Lu.pivot_min h.Numeric.Lu.pivot_max
+        (h.Numeric.Lu.pivot_max /. Float.max h.Numeric.Lu.pivot_min 1e-300)
+        h.Numeric.Lu.pivot_min h.Numeric.Lu.pivot_max
       :: !warnings;
   if h.Numeric.Lu.growth > growth_ceiling then
     warnings :=
@@ -50,6 +68,7 @@ let health_of_lu (h : Numeric.Lu.health) =
     pivot_min = h.Numeric.Lu.pivot_min;
     pivot_max = h.Numeric.Lu.pivot_max;
     pivot_growth = h.Numeric.Lu.growth;
+    rcond;
     condition_est;
     near_singular;
     warnings = List.rev !warnings;

@@ -5,7 +5,12 @@ type health = {
   pivot_min : float;
   pivot_max : float;
   pivot_growth : float;  (** element growth of the elimination *)
-  condition_est : float;  (** [pivot_max / pivot_min] *)
+  rcond : float;
+      (** reciprocal condition estimate from factor time (see
+          {!Numeric.Lu.health}); near 0 ⇒ no trustworthy digits *)
+  condition_est : float;
+      (** condition-number estimate: [1 / rcond] when the estimator
+          produced one, else the [pivot_max / pivot_min] fallback *)
   near_singular : bool;
       (** true when any warning fired — the moments (and hence the fit)
           should not be trusted without independent validation *)

@@ -174,3 +174,12 @@ let fit ?(enforce_stability = true) ?(with_direct = false) ~order m =
     ~poles:(Array.map (Cx.scale alpha) rom_hat.Rom.poles)
     ~residues:(Array.map (Cx.scale alpha) rom_hat.Rom.residues)
     ()
+
+(* Taxonomy bridge: callers (and tests) match [Degenerate] directly; the
+   classifier folds it into the shared taxonomy for policy layers (the
+   sweep engine retries this kind at a reduced order). *)
+let () =
+  Awesym_error.register (function
+    | Degenerate msg ->
+        Some (Awesym_error.make Unstable_pade ~where:"pade.fit" msg)
+    | _ -> None)

@@ -13,10 +13,13 @@ let tokens line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun t -> t <> "")
 
-let value_of lineno s =
+let value_of ?card lineno s =
   match Units.parse s with
   | Some v -> v
-  | None -> fail lineno "malformed value %S" s
+  | None -> (
+    match card with
+    | Some c -> fail lineno "malformed value %S in card %S" s c
+    | None -> fail lineno "malformed value %S" s)
 
 let parse_output lineno spec =
   (* Only the "v(" wrapper is case-insensitive; node names keep their case. *)
@@ -32,10 +35,21 @@ let parse_output lineno spec =
   match String.split_on_char ',' inner with
   | [ a ] -> Netlist.Node (String.trim a)
   | [ a; b ] -> Netlist.Diff (String.trim a, String.trim b)
-  | _ -> fail lineno "malformed output spec %S" spec
+  | _ -> fail lineno "malformed output spec %S (too many nodes)" spec
 
-let element_of_card lineno name rest =
+(* Operand shapes per element letter, used to pinpoint arity mistakes:
+   each entry is (field count, human-readable operand list). *)
+let arities = function
+  | 'r' | 'c' | 'l' | 'v' | 'i' -> [ (3, "pos neg value") ]
+  | 'g' -> [ (3, "pos neg conductance"); (5, "pos neg cpos cneg gain") ]
+  | 'e' -> [ (5, "pos neg cpos cneg gain") ]
+  | 'f' | 'h' -> [ (4, "pos neg vctrl gain") ]
+  | 'k' -> [ (3, "l1 l2 coupling") ]
+  | _ -> []
+
+let element_of_card lineno card name rest =
   let kind_letter = Char.lowercase_ascii name.[0] in
+  let value_of lineno v = value_of ~card lineno v in
   match (kind_letter, rest) with
   | 'r', [ p; n; v ] ->
     Element.make ~name ~kind:Element.Resistor ~pos:p ~neg:n
@@ -72,8 +86,18 @@ let element_of_card lineno name rest =
     Element.make ~name ~kind:(Element.Mutual (l1, l2)) ~pos:"0" ~neg:"0"
       ~value:(value_of lineno v) ()
   | ('r' | 'c' | 'l' | 'v' | 'i' | 'g' | 'e' | 'f' | 'h' | 'k'), _ ->
-    fail lineno "wrong number of fields for element %s" name
-  | _ -> fail lineno "unknown element type %C in %s" name.[0] name
+    let want =
+      arities kind_letter
+      |> List.map (fun (n, shape) -> Printf.sprintf "%d (%s %s)" n name shape)
+      |> String.concat " or "
+    in
+    fail lineno
+      "wrong number of fields for element %s: card %S has %d operands, \
+       expected %s"
+      name card (List.length rest) want
+  | _ ->
+    fail lineno "unknown element type %C in card %S (element %s)" name.[0]
+      card name
 
 let parse_string text =
   let lines = String.split_on_char '\n' text in
@@ -98,10 +122,11 @@ let parse_string text =
           | ".symbolic", [ name; sym ] -> (
             try nl := Netlist.mark_symbolic !nl name (Symbolic.Symbol.intern sym)
             with Not_found -> fail lineno ".symbolic: no element named %s" name)
-          | d, _ -> fail lineno "unknown or malformed directive %s" d)
+          | d, _ ->
+            fail lineno "unknown or malformed directive %s in line %S" d line)
         | name :: rest -> (
-          try nl := Netlist.add !nl (element_of_card lineno name rest)
-          with Invalid_argument m -> fail lineno "%s" m)
+          try nl := Netlist.add !nl (element_of_card lineno line name rest)
+          with Invalid_argument m -> fail lineno "%s (card %S)" m line)
       end)
     lines;
   !nl
@@ -111,3 +136,11 @@ let parse_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+(* Taxonomy bridge: the CLI and tests match [Parse_error] directly; the
+   classifier carries the line number into the structured taxonomy. *)
+let () =
+  Awesym_error.register (function
+    | Parse_error (lineno, msg) ->
+        Some (Awesym_error.make Parse ~where:"parser" ~line:lineno msg)
+    | _ -> None)

@@ -19,7 +19,9 @@
     (see {!Units}). *)
 
 exception Parse_error of int * string
-(** [(line_number, message)]. *)
+(** [(line_number, message)] — 1-based line number; the message names the
+    offending token and cites the card text.  A registered classifier
+    folds this into [Awesym_error] (kind [Parse]) for policy layers. *)
 
 val parse_string : string -> Netlist.t
 val parse_file : string -> Netlist.t

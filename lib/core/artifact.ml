@@ -284,6 +284,7 @@ let save path p =
 
 let load path =
   Obs.Span.with_ ~name:"model.load" @@ fun () ->
+  Runtime.Fault.cut "artifact.read" ~key:(Hashtbl.hash path);
   let ic = open_in_bin path in
   let data =
     Fun.protect
@@ -293,3 +294,11 @@ let load path =
   let p = of_string data in
   if !Obs.enabled then Obs.Metrics.incr "model.load.count";
   p
+
+(* Taxonomy bridge: [Format_error] stays (callers match it to trigger
+   cache rebuilds); the classifier folds it into the shared taxonomy. *)
+let () =
+  Awesym_error.register (function
+    | Format_error msg ->
+        Some (Awesym_error.make Artifact_corrupt ~where:"artifact.load" msg)
+    | _ -> None)

@@ -1,0 +1,136 @@
+(* Structured error taxonomy.  See awesym_error.mli for the contract. *)
+
+type kind =
+  | Parse
+  | Singular_system
+  | Unstable_pade
+  | Nonfinite_result
+  | Artifact_corrupt
+  | Worker_crash
+  | Injected_fault
+  | Invalid_request
+  | Internal
+
+type t = {
+  kind : kind;
+  where : string;
+  message : string;
+  file : string option;
+  line : int option;
+  condition : float option;
+  context : (string * string) list;
+}
+
+exception Error of t
+
+let all_kinds =
+  [
+    Parse;
+    Singular_system;
+    Unstable_pade;
+    Nonfinite_result;
+    Artifact_corrupt;
+    Worker_crash;
+    Injected_fault;
+    Invalid_request;
+    Internal;
+  ]
+
+let kind_name = function
+  | Parse -> "parse"
+  | Singular_system -> "singular_system"
+  | Unstable_pade -> "unstable_pade"
+  | Nonfinite_result -> "nonfinite_result"
+  | Artifact_corrupt -> "artifact_corrupt"
+  | Worker_crash -> "worker_crash"
+  | Injected_fault -> "injected_fault"
+  | Invalid_request -> "invalid_request"
+  | Internal -> "internal"
+
+let kind_of_name s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+let make ?file ?line ?condition ?(context = []) kind ~where message =
+  { kind; where; message; file; line; condition; context }
+
+let raise_error ?file ?line ?condition ?context kind ~where message =
+  raise (Error (make ?file ?line ?condition ?context kind ~where message))
+
+let errorf ?file ?line ?condition ?context kind ~where fmt =
+  Format.kasprintf
+    (fun message ->
+      raise_error ?file ?line ?condition ?context kind ~where message)
+    fmt
+
+let to_string e =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (kind_name e.kind);
+  Buffer.add_string b " at ";
+  Buffer.add_string b e.where;
+  Buffer.add_string b ": ";
+  Buffer.add_string b e.message;
+  (match (e.file, e.line) with
+  | Some f, Some l -> Buffer.add_string b (Printf.sprintf " (%s:%d)" f l)
+  | Some f, None -> Buffer.add_string b (Printf.sprintf " (%s)" f)
+  | None, Some l -> Buffer.add_string b (Printf.sprintf " (line %d)" l)
+  | None, None -> ());
+  (match e.condition with
+  | Some c -> Buffer.add_string b (Printf.sprintf " [cond~%.3g]" c)
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf " [%s=%s]" k v))
+    e.context;
+  Buffer.contents b
+
+let to_json e =
+  let open Obs.Json in
+  let base =
+    [
+      ("kind", Str (kind_name e.kind));
+      ("where", Str e.where);
+      ("message", Str e.message);
+    ]
+  in
+  let opt name conv = function
+    | None -> []
+    | Some v -> [ (name, conv v) ]
+  in
+  let ctx =
+    match e.context with
+    | [] -> []
+    | kvs -> [ ("context", Obj (List.map (fun (k, v) -> (k, Str v)) kvs)) ]
+  in
+  Obj
+    (base
+    @ opt "file" (fun f -> Str f) e.file
+    @ opt "line" (fun l -> Num (float_of_int l)) e.line
+    @ opt "condition" (fun c -> Num c) e.condition
+    @ ctx)
+
+(* Classifier chain: libraries that keep typed exceptions (Lu.Singular,
+   Pade.Degenerate, Parser.Parse_error, ...) register a mapping here at
+   module-init time.  LIFO, first Some wins. *)
+
+let classifiers : (exn -> t option) list ref = ref []
+let register f = classifiers := f :: !classifiers
+
+let classify = function
+  | Error t -> t
+  | exn ->
+      let rec try_all = function
+        | [] ->
+            make Internal ~where:"unclassified" (Printexc.to_string exn)
+        | f :: rest -> (
+            match f exn with
+            | Some t -> t
+            | None -> try_all rest
+            | exception _ -> try_all rest)
+      in
+      try_all !classifiers
+
+(* Printexc integration: uncaught Error values print the structured
+   one-liner instead of the bare constructor dump. *)
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Awesym_error.Error: " ^ to_string t)
+    | _ -> None)

@@ -192,14 +192,6 @@ let nominal_values t = Array.copy t.nominals
 let output_meta t = t.output
 
 let partition_opt t = t.partition
-
-let partition t =
-  match t.partition with
-  | Some p -> p
-  | None ->
-    failwith
-      "Model.partition: this model was loaded from an artifact and carries \
-       no netlist analysis; rebuild it from the deck"
 let moment_exprs t = Array.copy t.moment_exprs
 let program t = t.moment_program
 let num_operations t = Slp.num_instructions t.moment_program
@@ -209,7 +201,11 @@ let values t bindings =
     (fun s ->
       match List.assoc_opt (Sym.name s) bindings with
       | Some v -> v
-      | None -> failwith (Printf.sprintf "Model.values: no value for %s" (Sym.name s)))
+      | None ->
+        Awesym_error.errorf Invalid_request ~where:"model.values"
+          "no value bound for symbol %s (the model needs every one of its \
+           symbols bound)"
+          (Sym.name s))
     t.symbols
 
 let eval_moments t v = Slp.eval t.moment_program v
@@ -279,8 +275,8 @@ let moment_bounds t ranges =
         match List.find_opt (fun (n, _, _) -> n = Sym.name s) ranges with
         | Some (_, lo, hi) -> Symbolic.Interval.make lo hi
         | None ->
-          failwith
-            (Printf.sprintf "Model.moment_bounds: no range for %s" (Sym.name s)))
+          Awesym_error.errorf Invalid_request ~where:"model.moment_bounds"
+            "no range given for symbol %s" (Sym.name s))
       t.symbols
   in
   Slp.eval_interval (Lazy.force t.bounds_program) boxes
@@ -448,9 +444,10 @@ let of_payload (p : Artifact.payload) =
     closed;
     bounds_program =
       lazy
-        (failwith
-           "Model.moment_bounds: unavailable for a model loaded from an \
-            artifact; rebuild it from the deck");
+        (Awesym_error.raise_error Invalid_request
+           ~where:"model.moment_bounds"
+           "unavailable for a model loaded from an artifact; rebuild it \
+            from the deck");
     sensitivity;
     pole_sensitivity;
   }
@@ -466,12 +463,20 @@ let build_cached ?cache_dir ?(order = 2) ?(sparse = false) ?jobs nl =
   let file = Cache.path ~dir key in
   let cached =
     if Sys.file_exists file then
-      match load file with
+      match
+        Runtime.Fault.cut "cache.read" ~key:(Hashtbl.hash key);
+        load file
+      with
       | m ->
         if !Obs.enabled then Obs.Metrics.incr "model.cache.hit";
         Some m
       | exception (Artifact.Format_error _ | Sys_error _) ->
         (* Stale, corrupted, or concurrently written: rebuild below. *)
+        None
+      | exception Awesym_error.Error { kind = Injected_fault | Artifact_corrupt; _ }
+        ->
+        (* Fault containment: a cache entry is always reproducible, so a
+           failed read — injected or real — degrades to a rebuild. *)
         None
     else None
   in

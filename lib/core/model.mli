@@ -53,11 +53,6 @@ val partition_opt : t -> Partition.t option
 (** The netlist analysis behind a built model, or [None] for models loaded
     from an artifact — the partition is not serialized. *)
 
-val partition : t -> Partition.t
-  [@@ocaml.deprecated "use Model.partition_opt"]
-(** Raising shim over {!partition_opt}: raises [Failure] for
-    artifact-loaded models.  Deprecated — match on {!partition_opt}. *)
-
 val moment_exprs : t -> Symbolic.Expr.t array
 (** The symbolic output moments [m₀ … m_{2q−1}] as expression DAGs. *)
 
@@ -67,8 +62,9 @@ val program : t -> Symbolic.Slp.t
 val num_operations : t -> int
 
 val values : t -> (string * float) list -> float array
-(** Positional value vector from name/value bindings.
-    Raises [Failure] on a missing or unknown symbol name. *)
+(** Positional value vector from name/value bindings.  Raises
+    [Awesym_error.Error] (kind [Invalid_request]) on a missing or unknown
+    symbol name. *)
 
 val eval_moments : t -> float array -> float array
 
@@ -106,8 +102,9 @@ val moment_bounds :
     [(name, lo, hi)] box — the rigorous version of the paper's advice to
     "validate the choice of symbolic elements over the range spanned by the
     symbolic elements".  Conservative (interval arithmetic over-approximates
-    shared-term correlations).  Raises [Failure] on a missing symbol range,
-    [Division_by_zero] when a compiled reciprocal's range spans zero. *)
+    shared-term correlations).  Raises [Awesym_error.Error] (kind
+    [Invalid_request]) on a missing symbol range, [Division_by_zero] when a
+    compiled reciprocal's range spans zero. *)
 
 val elmore_program : t -> Symbolic.Slp.t
 (** The Elmore delay estimate [−m₁/m₀] compiled as a symbolic form of the
@@ -170,9 +167,9 @@ val load : string -> t
     {!closed_form_rom}, batch sweeps) are bit-identical to the model that
     was saved; symbolic forms are reconstructed from the bytecode so the
     derivative/Elmore/time/frequency programs keep working.  Only
-    {!partition} and {!moment_bounds} require the original netlist and
-    raise [Failure].  Raises {!Artifact.Format_error} on corrupted or
-    version-incompatible files. *)
+    {!partition_opt} (which returns [None]) and {!moment_bounds} (which
+    raises [Awesym_error.Error]) require the original netlist.  Raises
+    {!Artifact.Format_error} on corrupted or version-incompatible files. *)
 
 val build_cached :
   ?cache_dir:string ->

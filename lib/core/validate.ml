@@ -9,6 +9,7 @@ type report = {
   max_pole_error : float;
   worst_point : (string * float) list;
   ill_conditioned : int;
+  worst_rcond : float;
   health_warnings : string list;
 }
 
@@ -29,23 +30,25 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
       List.find_opt (fun (name, _, _) -> name = Sym.name s) ranges
     with
     | Some (_, lo, hi) when 0.0 < lo && lo <= hi -> (lo, hi)
-    | Some (name, _, _) ->
-      failwith (Printf.sprintf "Validate.run: bad range for %s" name)
+    | Some (name, lo, hi) ->
+      Awesym_error.errorf Invalid_request ~where:"validate.run"
+        "bad range for %s: [%g, %g] (need 0 < lo <= hi)" name lo hi
     | None ->
-      failwith
-        (Printf.sprintf "Validate.run: no range for symbol %s" (Sym.name s))
+      Awesym_error.errorf Invalid_request ~where:"validate.run"
+        "no range for symbol %s" (Sym.name s)
   in
   let bounds = Array.map range_for symbols in
   let nl =
     match Model.partition_opt model with
     | Some p -> p.Partition.netlist
     | None ->
-      failwith
-        "Validate.run: model was loaded from an artifact and carries no \
-         netlist; rebuild it from the deck"
+      Awesym_error.raise_error Invalid_request ~where:"validate.run"
+        "model was loaded from an artifact and carries no netlist; rebuild \
+         it from the deck"
   in
   let order = Model.order model in
   let worst_m = ref 0.0 and worst_p = ref 0.0 in
+  let worst_rcond = ref 1.0 in
   let worst_point = ref [] in
   let ill = ref 0 in
   let warnings = ref [] in
@@ -63,6 +66,8 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
     let v = Model.values model bindings in
     let m_sym = Model.eval_moments model v in
     let reference = Awe.Driver.analyze ~order (substitute nl bindings) in
+    worst_rcond :=
+      Float.min !worst_rcond reference.Awe.Driver.health.Awe.Driver.rcond;
     if reference.Awe.Driver.health.Awe.Driver.near_singular then begin
       incr ill;
       List.iter
@@ -91,6 +96,7 @@ let run ?(points = 50) ?(seed = 0x5EED) ~ranges model =
     max_pole_error = !worst_p;
     worst_point = !worst_point;
     ill_conditioned = !ill;
+    worst_rcond = !worst_rcond;
     health_warnings = List.rev !warnings;
   }
 
@@ -100,6 +106,7 @@ let pp ppf r =
      max relative dominant-pole error: %.3e@,worst at:"
     r.points r.max_moment_error r.max_pole_error;
   List.iter (fun (n, v) -> Format.fprintf ppf " %s=%g" n v) r.worst_point;
+  Format.fprintf ppf "@,worst reference rcond: %.3e" r.worst_rcond;
   if r.ill_conditioned > 0 then begin
     Format.fprintf ppf
       "@,WARNING: %d/%d reference factorizations were near-singular; errors \

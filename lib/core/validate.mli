@@ -15,6 +15,10 @@ type report = {
       (** number of sample points whose reference factorization was graded
           near-singular (see {!Awe.Driver.health}) — error bounds at those
           points compare against quietly unreliable references *)
+  worst_rcond : float;
+      (** smallest reciprocal-condition estimate seen across reference
+          factorizations — how close the validation sweep came to a
+          numerically meaningless comparison *)
   health_warnings : string list;  (** distinct health diagnoses encountered *)
 }
 
@@ -27,7 +31,8 @@ val run :
 (** [run ~ranges model] draws [points] (default 50) log-uniform samples from
     the per-symbol [(name, lo, hi)] ranges, evaluates the compiled model,
     re-runs full numeric AWE on the substituted netlist, and reports the
-    worst discrepancies.  Raises [Failure] if a range is missing for some
-    model symbol or has non-positive bounds. *)
+    worst discrepancies.  Raises [Awesym_error.Error] (kind
+    [Invalid_request]) if a range is missing for some model symbol or has
+    non-positive bounds. *)
 
 val pp : Format.formatter -> report -> unit

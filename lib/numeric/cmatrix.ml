@@ -109,3 +109,17 @@ let pp ppf m =
     if i < m.nrows - 1 then Format.fprintf ppf "@,"
   done;
   Format.fprintf ppf "@]"
+
+(* Taxonomy bridge (see Lu): complex eliminations that find no pivot are
+   the same failure class as real ones. *)
+let () =
+  Awesym_error.register (function
+    | Singular k ->
+        Some
+          (Awesym_error.make Singular_system ~where:"cmatrix.solve"
+             ~context:[ ("column", string_of_int k) ]
+             (Printf.sprintf
+                "no usable pivot at elimination column %d of the complex \
+                 system"
+                k))
+    | _ -> None)

@@ -16,9 +16,16 @@ type health = {
   pivot_max : float;  (** largest pivot magnitude *)
   growth : float;  (** max |U| over max |A|: element growth of the
                        elimination; large values flag instability *)
+  rcond : float;
+      (** estimated reciprocal 1-norm condition number,
+          [1 / (‖A‖₁·‖A⁻¹‖₁)], from a Hager/Higham LINPACK-style
+          estimator (a few extra O(n²) solves at factor time).  In
+          [(0, 1]]; values near the unit roundoff mean the factorization
+          carries no trustworthy digits.  The sparse backend reports a
+          cruder pivot-ratio/growth proxy in the same field. *)
 }
-(** Numeric-health statistics of a factorization; [pivot_max/pivot_min] is a
-    cheap condition estimate.  Shared with {!Sparse}. *)
+(** Numeric-health statistics of a factorization.  Shared with
+    {!Sparse}. *)
 
 val health : t -> health
 

@@ -183,12 +183,22 @@ let factor (m : t) =
           end)
         row)
     u_rows;
+  let growth = if max_a > 0.0 then !max_u /. max_a else 1.0 in
+  let pivot_min = if n = 0 then 0.0 else !pivot_min in
   let health =
     {
       Lu.dim = n;
-      pivot_min = (if n = 0 then 0.0 else !pivot_min);
+      pivot_min;
       pivot_max = !pivot_max;
-      growth = (if max_a > 0.0 then !max_u /. max_a else 1.0);
+      growth;
+      (* The sparse path has no transpose solve, so instead of the dense
+         Hager estimate we report the pivot-ratio/growth proxy — a crude
+         but monotone stand-in that flags the same catastrophic cases. *)
+      rcond =
+        (if n = 0 then 1.0
+         else if !pivot_max > 0.0 && Float.is_finite growth then
+           pivot_min /. !pivot_max /. Float.max 1.0 growth
+         else 0.0);
     }
   in
   let f = { n; perm = row_of_pos; l_rows; u_rows; a_nnz; health } in
@@ -222,3 +232,16 @@ let solve f b =
   x
 
 let fill_in = fill_in_count
+
+(* Taxonomy bridge (see Lu). *)
+let () =
+  Awesym_error.register (function
+    | Singular k ->
+        Some
+          (Awesym_error.make Singular_system ~where:"sparse.factor"
+             ~context:[ ("column", string_of_int k) ]
+             (Printf.sprintf
+                "no usable pivot at elimination column %d: sparse matrix is \
+                 numerically singular"
+                k))
+    | _ -> None)

@@ -1,0 +1,120 @@
+(* Seeded fault injection.  See fault.mli for the spec grammar and the
+   determinism contract. *)
+
+type rule = { pattern : string; p : float; sticky : bool }
+type config = { seed : int; rules : rule list }
+
+(* The active config travels through an Atomic so pool workers (separate
+   domains) observe a consistent pointer; [None] = not yet initialized
+   from the environment, [Some None] = explicitly disarmed. *)
+let state : config option option Atomic.t = Atomic.make None
+
+let parse_rule ~spec s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ pattern; p ] | [ pattern; p; "sticky" ] -> (
+      let pattern = String.trim pattern in
+      if pattern = "" then
+        invalid_arg (Printf.sprintf "AWESYM_FAULTS: empty site in %S" spec);
+      match float_of_string_opt (String.trim p) with
+      | Some p when p >= 0.0 && p <= 1.0 ->
+          let sticky =
+            match String.split_on_char ':' s with
+            | [ _; _; _ ] -> true
+            | _ -> false
+          in
+          { pattern; p; sticky }
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "AWESYM_FAULTS: probability %S not in [0,1] in %S" p spec))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "AWESYM_FAULTS: rule %S is not site:p[:sticky] in %S" s spec)
+
+let parse_spec ~seed spec =
+  let rules =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (parse_rule ~spec)
+  in
+  if rules = [] then None else Some { seed; rules }
+
+let of_env () =
+  match Sys.getenv_opt "AWESYM_FAULTS" with
+  | None | Some "" -> None
+  | Some spec ->
+      let seed =
+        match Sys.getenv_opt "AWESYM_FAULT_SEED" with
+        | None -> 0
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "AWESYM_FAULT_SEED: not an integer: %S" s))
+      in
+      parse_spec ~seed spec
+
+let config () =
+  match Atomic.get state with
+  | Some c -> c
+  | None ->
+      let c = of_env () in
+      (* First-use init; a concurrent arm/disarm wins the race. *)
+      ignore (Atomic.compare_and_set state None (Some c));
+      (match Atomic.get state with Some c -> c | None -> c)
+
+let arm ?(seed = 0) spec =
+  match parse_spec ~seed spec with
+  | None -> invalid_arg "Fault.arm: empty spec"
+  | some -> Atomic.set state (Some some)
+
+let disarm () = Atomic.set state (Some None)
+let armed () = config () <> None
+
+let matches pattern site =
+  if pattern = "*" then true
+  else
+    let n = String.length pattern in
+    if n > 0 && pattern.[n - 1] = '*' then
+      let prefix = String.sub pattern 0 (n - 1) in
+      String.length site >= n - 1 && String.sub site 0 (n - 1) = prefix
+    else pattern = site
+
+(* splitmix64 finalizer: a well-mixed pure function of the 64-bit input,
+   identical on every platform and schedule. *)
+let mix64 (z : int64) =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash01 ~seed ~site ~key =
+  let h = ref (mix64 (Int64.of_int seed)) in
+  String.iter
+    (fun c ->
+      h := mix64 (Int64.add !h (Int64.of_int (Char.code c + 0x9e37))))
+    site;
+  let h = mix64 (Int64.add !h (Int64.of_int key)) in
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let would_fire ?(key = 0) ?(attempt = 0) site =
+  match config () with
+  | None -> false
+  | Some { seed; rules } -> (
+      match List.find_opt (fun r -> matches r.pattern site) rules with
+      | None -> false
+      | Some { p; sticky; _ } ->
+          (attempt = 0 || sticky)
+          && (p >= 1.0 || hash01 ~seed ~site ~key < p))
+
+let cut ?(key = 0) ?(attempt = 0) site =
+  if Atomic.get state <> Some None && would_fire ~key ~attempt site then begin
+    Obs.Metrics.incr "fault.injected.count";
+    Awesym_error.raise_error Injected_fault ~where:site
+      ~context:
+        [ ("key", string_of_int key); ("attempt", string_of_int attempt) ]
+      "injected fault"
+  end

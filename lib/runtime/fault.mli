@@ -1,0 +1,59 @@
+(** Seeded, site-labelled fault injection.
+
+    Production code marks its failure-prone sites with {!cut}:
+
+    {[
+      Fault.cut "slp.eval_batch" ~key:chunk.lo
+    ]}
+
+    Unarmed (the default), a cut is a single load-and-branch no-op.
+    Armed — via the [AWESYM_FAULTS] environment variable or the
+    programmatic {!arm} — a cut raises
+    [Awesym_error.Error { kind = Injected_fault; _ }] with probability
+    [p] at matching sites, decided by a pure hash of
+    [(seed, site, key)].  Determinism contract: whether a given
+    [(site, key)] fires depends only on the armed spec and seed — never
+    on jobs count, scheduling, or wall clock — so recovery paths can be
+    tested byte-for-byte against fault-free runs.
+
+    Spec grammar (comma-separated rules, first match wins):
+
+    {v
+      spec  ::= rule ("," rule)*
+      rule  ::= site ":" p [":sticky"]
+      site  ::= exact label | prefix ending in "*" | "*"
+      p     ::= probability in [0, 1]
+    v}
+
+    e.g. [AWESYM_FAULTS='slp.eval_batch:0.05,cache.*:1:sticky'].
+
+    A plain rule injects a {e transient} fault: it fires only on
+    [attempt = 0], so a retrying caller succeeds on the second try.  A
+    [:sticky] rule fires on every attempt — a permanent fault that must
+    be quarantined or propagated.  [AWESYM_FAULT_SEED] (default 0)
+    perturbs the site/key hash. *)
+
+val armed : unit -> bool
+(** [true] when a non-empty fault spec is active. *)
+
+val arm : ?seed:int -> string -> unit
+(** Activate [spec] programmatically, replacing any active spec
+    (including one from the environment).  Raises [Invalid_argument]
+    on a malformed spec.  [seed] defaults to 0. *)
+
+val disarm : unit -> unit
+(** Deactivate fault injection entirely (also masks [AWESYM_FAULTS]
+    for the rest of the process). *)
+
+val would_fire : ?key:int -> ?attempt:int -> string -> bool
+(** Pure predicate: would {!cut} raise at this site with this key and
+    attempt under the active spec?  Lets tests predict the exact
+    failure set. *)
+
+val cut : ?key:int -> ?attempt:int -> string -> unit
+(** [cut site ~key ~attempt] raises
+    [Awesym_error.Error { kind = Injected_fault; where = site; _ }]
+    iff {!would_fire}.  [key] (default 0) distinguishes instances of
+    the same site (point index, chunk lo, block start); [attempt]
+    (default 0) is the caller's retry count.  Bumps the
+    ["fault.injected.count"] Obs counter when it fires. *)

@@ -1,5 +1,6 @@
 module Chunk = Chunk
 module Pool = Pool
+module Fault = Fault
 
 let clamp_jobs j = Int.max 1 (Int.min 128 j)
 let override : int option ref = ref None

@@ -9,6 +9,7 @@
 
 module Chunk = Chunk
 module Pool = Pool
+module Fault = Fault
 
 val default_jobs : unit -> int
 (** Worker count used when a [?jobs] argument is omitted: the

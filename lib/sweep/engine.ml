@@ -1,7 +1,9 @@
 module Model = Awesymbolic.Model
+module Cache = Awesymbolic.Cache
 module Slp = Symbolic.Slp
 module Sym = Symbolic.Symbol
 module Measures = Awe.Measures
+module Err = Awesym_error
 
 type measure =
   | Dc_gain
@@ -85,37 +87,126 @@ let passes bound v =
   Float.is_finite v
   && match bound with Le limit -> v <= limit | Ge limit -> v >= limit
 
+(* ------------------------------------------------------------------ *)
+(* Degradation policies *)
+
+type policy = Fail_fast | Skip | Retry of int
+
+let policy_name = function
+  | Fail_fast -> "fail_fast"
+  | Skip -> "skip"
+  | Retry k -> Printf.sprintf "retry:%d" k
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fail_fast" | "fail-fast" | "failfast" -> Ok Fail_fast
+  | "skip" -> Ok Skip
+  | "retry" -> Ok (Retry 2)
+  | s -> (
+    match String.split_on_char ':' s with
+    | [ "retry"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (Retry k)
+      | _ -> Error (Printf.sprintf "retry attempts must be >= 1 in %S" s))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown fault policy %S (try fail_fast, skip, retry, retry:N)" s))
+
+type failed_point = { point : int; attempts : int; error : Err.t }
+
 type result = {
   seed : int;
   plan : Plan.t;
   n : int;
   order : int;
+  policy : policy;
   summaries : (measure * Stats.summary) list;
   spec_yields : (spec * float) list;
   yield : float option;
+  failed : failed_point list;
 }
+
+let survivors r = r.n - List.length r.failed
 
 let default_measures = [ Dc_gain; Dominant_pole_hz; Delay_50 ]
 
-let eval_point nm moments rom_of = function
+(* Strict per-point measure extraction: [rom_of] raises (rather than
+   degrading to NaN) when the Padé finish fails, so the policy layer in
+   [run] decides what a degenerate fit means.  A NaN from a {e successful}
+   fit (no unity-gain crossing, say) is a legitimate value, not a fault. *)
+let eval_measure nm moments rom_of = function
   | Moment k -> if k < nm then moments.(k) else nan
   | Elmore_delay -> Measures.elmore_delay moments
   | m -> (
-    match rom_of () with
-    | None -> nan
-    | Some rom -> (
-      match m with
-      | Dc_gain -> Measures.dc_gain rom
-      | Dc_gain_db -> Measures.dc_gain_db rom
-      | Dominant_pole_hz -> Measures.dominant_pole_hz rom
-      | Unity_gain_frequency ->
-        Option.value ~default:nan (Measures.unity_gain_frequency rom)
-      | Phase_margin -> Option.value ~default:nan (Measures.phase_margin rom)
-      | Delay_50 -> Option.value ~default:nan (Measures.delay_50 rom)
-      | Rise_time -> Option.value ~default:nan (Measures.rise_time rom)
-      | Moment _ | Elmore_delay -> assert false))
+    let rom = rom_of () in
+    match m with
+    | Dc_gain -> Measures.dc_gain rom
+    | Dc_gain_db -> Measures.dc_gain_db rom
+    | Dominant_pole_hz -> Measures.dominant_pole_hz rom
+    | Unity_gain_frequency ->
+      Option.value ~default:nan (Measures.unity_gain_frequency rom)
+    | Phase_margin -> Option.value ~default:nan (Measures.phase_margin rom)
+    | Delay_50 -> Option.value ~default:nan (Measures.delay_50 rom)
+    | Rise_time -> Option.value ~default:nan (Measures.rise_time rom)
+    | Moment _ | Elmore_delay -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint format (schema awesymbolic-ckpt/1)
+
+   { schema, key, chunks: [ { lo, len,
+                              vals: [ [hex-f64 ...] per measure ],
+                              failed: [ { point, attempts, error } ] } ] }
+
+   Floats travel as IEEE-754 bit patterns in hex because the JSON layer
+   renders non-finite numbers as null; bit patterns also make restore
+   trivially bit-exact, which the byte-identical-resume contract needs. *)
+
+let hexbits v = Printf.sprintf "%016Lx" (Int64.bits_of_float v)
+
+let failed_point_json fp =
+  let open Obs.Json in
+  Obj
+    [
+      ("point", Num (float_of_int fp.point));
+      ("attempts", Num (float_of_int fp.attempts));
+      ("error", Err.to_json fp.error);
+    ]
+
+let error_of_json j =
+  let str k =
+    match Obs.Json.member k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+  in
+  let num k =
+    match Obs.Json.member k j with Some (Obs.Json.Num v) -> Some v | _ -> None
+  in
+  let kind =
+    match Option.map Err.kind_of_name (str "kind") with
+    | Some (Some k) -> k
+    | _ -> Err.Internal
+  in
+  let context =
+    match Obs.Json.member "context" j with
+    | Some (Obs.Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with Obs.Json.Str s -> Some (k, s) | _ -> None)
+        kvs
+    | _ -> []
+  in
+  Err.make kind
+    ~where:(Option.value ~default:"?" (str "where"))
+    ?file:(str "file")
+    ?line:(Option.map int_of_float (num "line"))
+    ?condition:(num "condition") ~context
+    (Option.value ~default:"" (str "message"))
+
+let ckpt_schema = "awesymbolic-ckpt/1"
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
+    ?(policy = Skip) ?checkpoint ?(resume = false) ?(checkpoint_every = 1)
     model plan =
   Obs.Span.with_ ~name:"sweep.run" @@ fun () ->
   let jobs =
@@ -132,53 +223,399 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
   List.iter
     (function
       | Moment k when k >= nm ->
-        invalid_arg
-          (Printf.sprintf "Sweep.run: m%d out of range (model has m0..m%d)" k
-             (nm - 1))
+        Err.errorf Invalid_request ~where:"sweep.run"
+          "m%d out of range (model has m0..m%d)" k (nm - 1)
       | _ -> ())
     measures;
+  (match policy with
+  | Retry k when k < 1 ->
+    Err.errorf Invalid_request ~where:"sweep.run"
+      "retry policy needs at least 1 extra attempt, got %d" k
+  | _ -> ());
+  if checkpoint_every < 1 then
+    invalid_arg "Sweep.run: checkpoint_every must be >= 1";
   let symbols = Array.map Sym.name (Model.symbols model) in
   let nominals = Model.nominal_values model in
   let rng = Obs.Rng.create seed in
   let blk = match block with Some b when b > 0 -> b | _ -> Slp.default_block in
   let cols = Plan.columns ~symbols ~nominals ~rng ~jobs ~block:blk plan in
-  let mcols = Slp.eval_batch ?block ~jobs (Model.program model) cols in
   let n = Plan.num_points plan in
   if !Obs.enabled then begin
     Obs.Metrics.incr "sweep.run.count";
     Obs.Metrics.add "sweep.run.points" n
   end;
   let marr = Array.of_list measures in
+  let nmeas = Array.length marr in
   let vals = Array.map (fun _ -> Array.make n nan) marr in
-  (* The measure finish (Padé fit + extraction) is pure per point and
-     writes only column i of each vals row, so chunks fan out across the
-     pool; jobs counts cannot change any value. *)
-  Runtime.iter_chunks ~jobs ~n ~block:blk
-    (fun ~worker:_ (c : Runtime.Chunk.t) ->
-      let moments = Array.make nm 0.0 in
-      for i = c.lo to c.lo + c.len - 1 do
-        for k = 0 to nm - 1 do
-          moments.(k) <- mcols.(k).(i)
-        done;
-        (* The Padé finish is shared by every ROM-based measure at this
-           point; a degenerate moment sequence marks all of them NaN. *)
-        let rom = ref None in
-        let rom_forced = ref false in
-        let rom_of () =
-          if not !rom_forced then begin
-            rom_forced := true;
-            rom :=
-              (try Some (Awe.Pade.fit ~order moments)
-               with Awe.Pade.Degenerate _ -> None)
-          end;
-          !rom
+  let failed_arr : failed_point option array = Array.make n None in
+  let chunks = Runtime.Chunk.layout ~n ~block:blk in
+  let done_chunks = Array.make (Array.length chunks) false in
+  let max_attempts = match policy with Retry k -> 1 + k | _ -> 1 in
+  (* The checkpoint key binds everything the stored values depend on:
+     replaying against a different plan, seed, model shape, or policy must
+     be rejected, not silently blended.  (Program size stands in for a
+     full model digest — combined with symbols/nominals/order it pins the
+     compiled model for any realistic workflow.) *)
+  let ckpt_key =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            ([
+               ckpt_schema;
+               Obs.Json.to_string (Plan.to_json plan);
+               string_of_int seed;
+               string_of_int order;
+               string_of_int blk;
+               string_of_int n;
+               policy_name policy;
+               string_of_int (Model.num_operations model);
+             ]
+            @ List.map measure_name measures
+            @ List.map spec_to_string specs
+            @ Array.to_list symbols
+            @ List.map hexbits (Array.to_list nominals))))
+  in
+  let ckpt_mutex = Mutex.create () in
+  let ckpt_records : (int, Obs.Json.t) Hashtbl.t = Hashtbl.create 64 in
+  let since_write = ref 0 in
+  let write_checkpoint path =
+    (* Called with [ckpt_mutex] held.  Records are sorted by chunk index
+       so the final file is deterministic for every jobs count. *)
+    let recs =
+      Hashtbl.fold (fun idx _ acc -> idx :: acc) ckpt_records []
+      |> List.sort compare
+      |> List.map (fun idx -> Hashtbl.find ckpt_records idx)
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str ckpt_schema);
+          ("key", Obs.Json.Str ckpt_key);
+          ("points", Obs.Json.Num (float_of_int n));
+          ("chunks", Obs.Json.List recs);
+        ]
+    in
+    let dir = Filename.dirname path in
+    if dir <> "." && not (Sys.file_exists dir) then Cache.ensure_dir dir;
+    Cache.atomic_write path (fun tmp ->
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc)))
+  in
+  let chunk_record (c : Runtime.Chunk.t) =
+    let open Obs.Json in
+    let vals_json =
+      List
+        (Array.to_list
+           (Array.map
+              (fun row ->
+                List (List.init c.len (fun li -> Str (hexbits row.(c.lo + li)))))
+              vals))
+    in
+    let failed_json =
+      let fs = ref [] in
+      for li = c.len - 1 downto 0 do
+        match failed_arr.(c.lo + li) with
+        | Some fp -> fs := failed_point_json fp :: !fs
+        | None -> ()
+      done;
+      List !fs
+    in
+    Obj
+      [
+        ("lo", Num (float_of_int c.lo));
+        ("len", Num (float_of_int c.len));
+        ("vals", vals_json);
+        ("failed", failed_json);
+      ]
+  in
+  let record_done (c : Runtime.Chunk.t) =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      let record = chunk_record c in
+      Mutex.lock ckpt_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock ckpt_mutex)
+        (fun () ->
+          Hashtbl.replace ckpt_records c.index record;
+          Obs.Metrics.incr "sweep.checkpoint.chunks_written";
+          incr since_write;
+          if !since_write >= checkpoint_every then begin
+            since_write := 0;
+            write_checkpoint path
+          end)
+  in
+  (* ---- resume: restore completed chunks bit-exactly ---- *)
+  let restore_chunk ~path record =
+    let bad fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Err.raise_error Artifact_corrupt ~where:"sweep.checkpoint"
+            ~file:path msg)
+        fmt
+    in
+    let geti k =
+      match Obs.Json.member k record with
+      | Some (Obs.Json.Num v) -> int_of_float v
+      | _ -> bad "chunk record missing %s" k
+    in
+    let lo = geti "lo" in
+    let len = geti "len" in
+    if lo < 0 || len < 1 || lo + len > n || lo mod blk <> 0 then
+      bad "chunk [%d, +%d) does not fit the %d-point grid" lo len n;
+    let idx = lo / blk in
+    if chunks.(idx).lo <> lo || chunks.(idx).len <> len then
+      bad "chunk [%d, +%d) disagrees with the block-%d layout" lo len blk;
+    (match Obs.Json.member "vals" record with
+    | Some (Obs.Json.List rows) ->
+      if List.length rows <> nmeas then
+        bad "chunk at %d has %d measure rows, expected %d" lo
+          (List.length rows) nmeas;
+      List.iteri
+        (fun j row ->
+          match row with
+          | Obs.Json.List cells when List.length cells = len ->
+            List.iteri
+              (fun li cell ->
+                match cell with
+                | Obs.Json.Str hex -> (
+                  match Int64.of_string_opt ("0x" ^ hex) with
+                  | Some bits -> vals.(j).(lo + li) <- Int64.float_of_bits bits
+                  | None -> bad "bad float bits %S at %d" hex (lo + li))
+                | _ -> bad "non-hex value cell at %d" (lo + li))
+              cells
+          | _ -> bad "malformed measure row %d of chunk at %d" j lo)
+        rows
+    | _ -> bad "chunk at %d has no vals" lo);
+    (match Obs.Json.member "failed" record with
+    | Some (Obs.Json.List fps) ->
+      List.iter
+        (fun fj ->
+          let fgeti k =
+            match Obs.Json.member k fj with
+            | Some (Obs.Json.Num v) -> int_of_float v
+            | _ -> bad "failed-point record missing %s in chunk at %d" k lo
+          in
+          let point = fgeti "point" in
+          if point < lo || point >= lo + len then
+            bad "failed point %d outside its chunk [%d, +%d)" point lo len;
+          let error =
+            match Obs.Json.member "error" fj with
+            | Some ej -> error_of_json ej
+            | None -> bad "failed point %d has no error" point
+          in
+          failed_arr.(point) <- Some { point; attempts = fgeti "attempts"; error })
+        fps
+    | _ -> bad "chunk at %d has no failed list" lo);
+    done_chunks.(idx) <- true;
+    Hashtbl.replace ckpt_records idx record;
+    Obs.Metrics.incr "sweep.checkpoint.chunks_resumed"
+  in
+  (match checkpoint with
+  | Some path when resume && Sys.file_exists path -> (
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let doc =
+      match Obs.Json.of_string data with
+      | Ok d -> d
+      | Error msg ->
+        Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+          "unreadable checkpoint: %s" msg
+    in
+    (match Obs.Json.member "schema" doc with
+    | Some (Obs.Json.Str s) when s = ckpt_schema -> ()
+    | _ ->
+      Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+        "not a %s file" ckpt_schema);
+    (match Obs.Json.member "key" doc with
+    | Some (Obs.Json.Str k) when k = ckpt_key -> ()
+    | _ ->
+      Err.errorf Invalid_request ~where:"sweep.checkpoint" ~file:path
+        "checkpoint was written by a different sweep (plan, seed, model, \
+         block, measures, or policy changed); delete it or drop --resume");
+    match Obs.Json.member "chunks" doc with
+    | Some (Obs.Json.List recs) -> List.iter (restore_chunk ~path) recs
+    | _ ->
+      Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+        "checkpoint has no chunks")
+  | _ -> ());
+  (* ---- evaluate the remaining chunks ---- *)
+  let prog = Model.program model in
+  let process_chunk ~worker:_ (c : Runtime.Chunk.t) =
+    if not done_chunks.(c.index) then begin
+      let sub = Array.map (fun col -> Array.sub col c.lo c.len) cols in
+      (* Chunk stage: batched moment evaluation.  A fault here (injected
+         worker crash, injected kernel fault) is retried chunk-wise under
+         Retry; a permanent one quarantines the whole chunk under Skip. *)
+      let mcols =
+        let rec go attempt =
+          match
+            Runtime.Fault.cut "pool.worker" ~key:c.lo ~attempt;
+            Slp.eval_batch ~block:blk ~jobs:1 prog sub
+          with
+          | m ->
+            if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
+            Ok m
+          | exception e ->
+            let err = Err.classify e in
+            Obs.Metrics.incr "sweep.fault.seen";
+            if attempt + 1 < max_attempts then begin
+              Obs.Metrics.incr "sweep.fault.retried";
+              go (attempt + 1)
+            end
+            else Error (err, attempt + 1)
         in
-        Array.iteri
-          (fun j m -> vals.(j).(i) <- eval_point nm moments rom_of m)
-          marr
-      done);
+        go 0
+      in
+      (match mcols with
+      | Error (err, attempts) -> (
+        match policy with
+        | Fail_fast -> raise (Err.Error err)
+        | Skip | Retry _ ->
+          Obs.Metrics.add "sweep.fault.quarantined" c.len;
+          for li = 0 to c.len - 1 do
+            let i = c.lo + li in
+            failed_arr.(i) <-
+              Some
+                {
+                  point = i;
+                  attempts;
+                  error =
+                    {
+                      err with
+                      Err.context =
+                        ("point", string_of_int i) :: err.Err.context;
+                    };
+                }
+          done)
+      | Ok mcols ->
+        (* Point stage: measure finish with per-point isolation. *)
+        let moments = Array.make nm 0.0 in
+        for li = 0 to c.len - 1 do
+          let i = c.lo + li in
+          let eval_once attempt =
+            Runtime.Fault.cut "sweep.point" ~key:i ~attempt;
+            for k = 0 to nm - 1 do
+              moments.(k) <- mcols.(k).(li)
+            done;
+            for k = 0 to nm - 1 do
+              if not (Float.is_finite moments.(k)) then
+                Err.errorf Nonfinite_result ~where:"sweep.point"
+                  ~context:
+                    [
+                      ("point", string_of_int i);
+                      ("moment", Printf.sprintf "m%d" k);
+                    ]
+                  "compiled moment m%d is non-finite (%h) at point %d" k
+                  moments.(k) i
+            done;
+            let romq = ref None in
+            let rom_of () =
+              match !romq with
+              | Some r -> r
+              | None ->
+                let r =
+                  match Awe.Pade.fit ~order moments with
+                  | rom -> rom
+                  | exception (Awe.Pade.Degenerate _ as e) -> (
+                    match policy with
+                    | Retry _ ->
+                      (* Order-reduction fallback: an unstable or
+                         degenerate fit at q often fits fine at q-1
+                         (fewer spurious poles chasing noise moments). *)
+                      let rec down q =
+                        if q < 1 then raise e
+                        else
+                          match Awe.Pade.fit ~order:q moments with
+                          | rom ->
+                            Obs.Metrics.incr "sweep.fault.order_reduced";
+                            rom
+                          | exception Awe.Pade.Degenerate _ -> down (q - 1)
+                      in
+                      down (order - 1)
+                    | Fail_fast | Skip -> raise e)
+                in
+                romq := Some r;
+                r
+            in
+            Array.map (fun m -> eval_measure nm moments rom_of m) marr
+          in
+          let rec point_try attempt =
+            match eval_once attempt with
+            | row ->
+              if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
+              Ok row
+            | exception e ->
+              let err = Err.classify e in
+              Obs.Metrics.incr "sweep.fault.seen";
+              (* A non-finite moment is a pure function of the inputs:
+                 re-running cannot change it, so don't burn attempts. *)
+              let retryable = err.Err.kind <> Err.Nonfinite_result in
+              if retryable && attempt + 1 < max_attempts then begin
+                Obs.Metrics.incr "sweep.fault.retried";
+                point_try (attempt + 1)
+              end
+              else Error (err, attempt + 1)
+          in
+          match point_try 0 with
+          | Ok row ->
+            Array.iteri (fun j v -> vals.(j).(i) <- v) row
+          | Error (err, attempts) -> (
+            match policy with
+            | Fail_fast -> raise (Err.Error err)
+            | Skip | Retry _ ->
+              Obs.Metrics.incr "sweep.fault.quarantined";
+              failed_arr.(i) <- Some { point = i; attempts; error = err })
+        done);
+      record_done c
+    end
+  in
+  Runtime.iter_chunks ~jobs ~n ~block:blk process_chunk;
+  (* Final checkpoint write: the on-disk state reflects the finished run
+     whatever checkpoint_every was. *)
+  (match checkpoint with
+  | Some path ->
+    Mutex.lock ckpt_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock ckpt_mutex)
+      (fun () ->
+        since_write := 0;
+        write_checkpoint path)
+  | None -> ());
+  (* ---- statistics over surviving points ---- *)
+  let failed =
+    Array.to_list failed_arr |> List.filter_map (fun fp -> fp)
+  in
+  let n_failed = List.length failed in
+  let n_survive = n - n_failed in
+  if n_survive = 0 && n > 0 then begin
+    let first = List.hd failed in
+    raise
+      (Err.Error
+         {
+           first.error with
+           Err.message =
+             Printf.sprintf "every point of the %d-point sweep failed; \
+                             first error: %s"
+               n first.error.Err.message;
+         })
+  end;
+  let filter row =
+    if n_failed = 0 then row
+    else begin
+      let out = Array.make n_survive nan in
+      let w = ref 0 in
+      for i = 0 to n - 1 do
+        if failed_arr.(i) = None then begin
+          out.(!w) <- row.(i);
+          incr w
+        end
+      done;
+      out
+    end
+  in
+  let fvals = Array.map filter vals in
   let summaries =
-    Array.to_list (Array.mapi (fun j m -> (m, Stats.summarize vals.(j))) marr)
+    Array.to_list (Array.mapi (fun j m -> (m, Stats.summarize fvals.(j))) marr)
   in
   let index_of m =
     let rec go j = if marr.(j) = m then j else go (j + 1) in
@@ -187,33 +624,35 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
   let spec_yields =
     List.map
       (fun s ->
-        (s, Stats.yield ~pass:(passes s.bound) vals.(index_of s.measure)))
+        (s, Stats.yield ~pass:(passes s.bound) fvals.(index_of s.measure)))
       specs
   in
   let yield =
     if specs = [] then None
     else begin
       let ok = ref 0 in
-      for i = 0 to n - 1 do
+      for i = 0 to n_survive - 1 do
         if
           List.for_all
-            (fun s -> passes s.bound vals.(index_of s.measure).(i))
+            (fun s -> passes s.bound fvals.(index_of s.measure).(i))
             specs
         then incr ok
       done;
-      Some (float_of_int !ok /. float_of_int n)
+      Some (float_of_int !ok /. float_of_int n_survive)
     end
   in
-  { seed; plan; n; order; summaries; spec_yields; yield }
+  { seed; plan; n; order; policy; summaries; spec_yields; yield; failed }
 
 let to_json r =
   let open Obs.Json in
   Obj
     [
-      ("schema", Str "awesymbolic-sweep/1");
+      ("schema", Str "awesymbolic-sweep/2");
       ("seed", Num (float_of_int r.seed));
       ("points", Num (float_of_int r.n));
+      ("survivors", Num (float_of_int (survivors r)));
       ("order", Num (float_of_int r.order));
+      ("policy", Str (policy_name r.policy));
       ("plan", Plan.to_json r.plan);
       ( "measures",
         Obj
@@ -236,4 +675,5 @@ let to_json r =
                  ])
              r.spec_yields) );
       ("yield", match r.yield with Some y -> Num y | None -> Null);
+      ("failed_points", List (List.map failed_point_json r.failed));
     ]

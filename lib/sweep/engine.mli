@@ -1,12 +1,43 @@
 (** The sweep engine: plan → batched moment evaluation → measures →
-    statistics and yield.
+    statistics and yield, with per-point fault isolation and
+    chunk-granular checkpoint/resume.
 
     [run] materializes the plan's points as input columns, evaluates the
-    model's compiled moment program over all of them with
-    [Slp.eval_batch] (bit-identical to a per-point [Model.eval_moments]
-    loop, but one instruction dispatch per block), finishes each point with
-    the fixed-order Padé fit, extracts the requested performance measures,
-    and summarizes.  Everything downstream of the seed is deterministic. *)
+    model's compiled moment program chunk-by-chunk with [Slp.eval_batch]
+    (bit-identical to a per-point [Model.eval_moments] loop, but one
+    instruction dispatch per block), finishes each point with the
+    fixed-order Padé fit, extracts the requested performance measures,
+    and summarizes.  Everything downstream of the seed is deterministic.
+
+    {2 Fault isolation}
+
+    AWE sweeps hit genuinely bad points: ill-conditioned moment
+    matrices, singular MNA factorizations, unstable Padé fits.  Instead
+    of dying wholesale, the engine classifies each failure into the
+    {!Awesym_error} taxonomy and applies the configured {!policy}:
+    failed points are quarantined into {!result.failed} (and the JSON
+    report's ["failed_points"] section), statistics and yields are
+    computed over the surviving points only, and the quarantine decision
+    is a pure function of the data — every [jobs] count quarantines the
+    same points and produces byte-identical reports.
+
+    What counts as a point fault: an exception escaping the point's
+    evaluation (singular system, degenerate Padé when a ROM-based
+    measure was requested, injected fault) or a non-finite compiled
+    moment.  A NaN {e measure} from a successful model evaluation (e.g.
+    no unity-gain crossing) is a property of the circuit, not a fault —
+    it stays in the report and is excluded per-measure by {!Stats} as
+    before.
+
+    {2 Checkpoint/resume}
+
+    With [?checkpoint], completed chunks are appended to an on-disk
+    checkpoint through [Cache.atomic_write] (readers never observe a
+    torn file, so a SIGKILL at any instant leaves either the previous
+    checkpoint or the new one).  Re-running with [~resume:true] restores
+    completed chunks bit-exactly — float values travel as IEEE-754 bit
+    patterns — and recomputes only the rest, so a resumed run's report
+    is byte-identical to an uninterrupted one. *)
 
 type measure =
   | Dc_gain
@@ -35,16 +66,51 @@ val spec_of_string : string -> (spec, string) result
 
 val spec_to_string : spec -> string
 
+type policy =
+  | Fail_fast  (** first fault aborts the sweep ([Awesym_error.Error]) *)
+  | Skip  (** quarantine the failing point and move on (default) *)
+  | Retry of int
+      (** like [Skip], but first retry the failing point/chunk up to the
+          given number of extra attempts (> 0) — transient injected
+          faults clear on re-execution — and retry a degenerate Padé fit
+          at reduced orders [q-1 … 1] before quarantining *)
+
+val policy_name : policy -> string
+(** ["fail_fast"], ["skip"], ["retry:N"]. *)
+
+val policy_of_string : string -> (policy, string) result
+(** Accepts ["fail_fast"]/["fail-fast"], ["skip"], ["retry"] (two extra
+    attempts) and ["retry:N"]. *)
+
+type failed_point = {
+  point : int;  (** plan point index, [0 <= point < n] *)
+  attempts : int;  (** evaluation attempts consumed, >= 1 *)
+  error : Awesym_error.t;  (** the last failure *)
+}
+
 type result = {
   seed : int;
   plan : Plan.t;
   n : int;
   order : int;
+  policy : policy;
   summaries : (measure * Stats.summary) list;
-  spec_yields : (spec * float) list;  (** Per-spec pass fraction. *)
+      (** over surviving points only *)
+  spec_yields : (spec * float) list;
+      (** Per-spec pass fraction over surviving points. *)
   yield : float option;
-      (** Fraction of points passing {e every} spec; [None] without specs. *)
+      (** Fraction of surviving points passing {e every} spec; [None]
+          without specs. *)
+  failed : failed_point list;
+      (** permanently failed (quarantined) points, ascending by index;
+          empty under [Fail_fast] (it raises instead) and on clean
+          sweeps.  Points recovered by retries do {e not} appear here —
+          they are visible in the Obs counters only, keeping reports
+          byte-identical to a fault-free run. *)
 }
+
+val survivors : result -> int
+(** [n] minus the quarantined count. *)
 
 val default_measures : measure list
 (** [Dc_gain; Dominant_pole_hz; Delay_50]. *)
@@ -55,19 +121,48 @@ val run :
   ?jobs:int ->
   ?measures:measure list ->
   ?specs:spec list ->
+  ?policy:policy ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?checkpoint_every:int ->
   Awesymbolic.Model.t ->
   Plan.t ->
   result
 (** Default seed 42; [block] is forwarded to [Slp.eval_batch].  [jobs]
     (default [Runtime.default_jobs ()]) fans sampling, batched moment
-    evaluation, and the per-point measure finish across that many domains;
-    the determinism contract guarantees the result — and its
-    {!to_json} serialization — is bit-identical for every jobs count.
-    Spec measures are automatically added to the summarized set.  Raises
-    [Invalid_argument] on a [Moment k] beyond the model's [2·order]
-    moments, [Failure] when the plan sweeps a non-model symbol.  Obs
-    counters: [sweep.run.count], [sweep.run.points]; span [sweep.run]. *)
+    evaluation, and the per-point measure finish across that many
+    domains; the determinism contract guarantees the result — and its
+    {!to_json} serialization — is bit-identical for every jobs count,
+    fault policy decisions included.  Spec measures are automatically
+    added to the summarized set.
+
+    [policy] (default {!Skip}) governs fault handling; see the module
+    docs for what counts as a fault.  Fault-injection sites crossed per
+    point/chunk: ["sweep.point"] (keyed by point index), ["pool.worker"]
+    (keyed by chunk start), plus ["slp.eval_batch"] inside the kernel.
+
+    [checkpoint] names a checkpoint file updated after every
+    [checkpoint_every] (default 1) completed chunks and at the end of
+    the run.  With [resume = true], a compatible existing checkpoint
+    seeds the run: completed chunks are restored bit-exactly and only
+    the remainder is evaluated.  A checkpoint written by a different
+    (plan, seed, order, block, measures, specs, policy, model) is
+    rejected with [Awesym_error.Error] (kind [Invalid_request]); an
+    unreadable one with kind [Artifact_corrupt]; a missing file is
+    simply a fresh start.
+
+    Raises [Awesym_error.Error] (kind [Invalid_request]) on a [Moment k]
+    beyond the model's [2·order] moments or when the plan sweeps a
+    non-model symbol, and (kind of the first failure) when every point
+    of the sweep was quarantined.  Obs counters: [sweep.run.count],
+    [sweep.run.points], [sweep.fault.seen], [sweep.fault.retried],
+    [sweep.fault.recovered], [sweep.fault.order_reduced],
+    [sweep.fault.quarantined], [sweep.checkpoint.chunks_written],
+    [sweep.checkpoint.chunks_resumed]; span [sweep.run]. *)
 
 val to_json : result -> Obs.Json.t
-(** Machine-readable report (schema ["awesymbolic-sweep/1"]), recording the
-    seed so any run can be reproduced exactly. *)
+(** Machine-readable report (schema ["awesymbolic-sweep/2"]), recording
+    the seed so any run can be reproduced exactly.  Relative to schema
+    /1 it adds ["survivors"], ["policy"], and ["failed_points"] (a list
+    of [{point, attempts, error}] objects, error rendered via
+    [Awesym_error.to_json]). *)

@@ -56,10 +56,9 @@ let kind_name = function
 let slot_of_axis symbols a =
   let rec find k =
     if k >= Array.length symbols then
-      failwith
-        (Printf.sprintf "Plan: swept symbol %s is not a model symbol (have: %s)"
-           a.name
-           (String.concat ", " (Array.to_list symbols)))
+      Awesym_error.errorf Invalid_request ~where:"plan.columns"
+        "swept symbol %s is not a model symbol (have: %s)" a.name
+        (String.concat ", " (Array.to_list symbols))
     else if symbols.(k) = a.name then k
     else find (k + 1)
   in

@@ -45,8 +45,8 @@ val columns :
     (default 256) sample from jump-ahead copies of the same stream
     ({!Obs.Rng.copy} / {!Obs.Rng.skip}), so every jobs count produces the
     exact sequential values and leaves [rng] in the sequential end state.
-    Raises [Failure] naming the symbol when an axis is not a model
-    symbol. *)
+    Raises [Awesym_error.Error] (kind [Invalid_request]) naming the
+    symbol when an axis is not a model symbol. *)
 
 val to_json : t -> Obs.Json.t
 (** Plan descriptor recorded in sweep results (kind, point count, axes). *)

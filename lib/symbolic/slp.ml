@@ -441,6 +441,10 @@ let default_block = 256
    order — or on different domains with private [regs] — and the outputs
    stay bit-identical. *)
 let run_block p preload regs inputs outs lo len =
+  (* Injection site for the resilience harness: a no-op unless armed via
+     AWESYM_FAULTS (see Runtime.Fault); keyed by the block's offset within
+     this eval so firing is schedule-independent. *)
+  Runtime.Fault.cut "slp.eval_batch" ~key:lo;
   Array.iter (fun r -> Array.fill regs.(r) 0 len p.init.(r)) preload;
   Array.iter
     (fun instr ->

@@ -439,8 +439,9 @@ let test_evaluator_consistent () =
 let test_values_missing_symbol () =
   let model = Model.build ~order:1 (fig1_c1_g2 ()) in
   match Model.values model [ ("C1", 1.0) ] with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure on missing binding"
+  | exception Awesym_error.Error { kind = Awesym_error.Invalid_request; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected invalid_request on missing binding"
 
 (* ---- compiled sensitivity programs ---- *)
 
@@ -735,8 +736,9 @@ let test_validate_missing_range () =
   match
     Awesymbolic.Validate.run ~points:3 ~ranges:[ ("C1", 0.1, 1.0) ] model
   with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure without a G2 range"
+  | exception Awesym_error.Error { kind = Awesym_error.Invalid_request; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected invalid_request without a G2 range"
 
 let test_moment_bounds () =
   (* The interval enclosure must contain the moments at every sampled point
@@ -763,8 +765,9 @@ let test_moment_bounds () =
 let test_moment_bounds_missing () =
   let model = Model.build ~order:1 (fig1_c1_g2 ()) in
   match Model.moment_bounds model [ ("C1", 0.5, 2.0) ] with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected failure without a G2 range"
+  | exception Awesym_error.Error { kind = Awesym_error.Invalid_request; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected invalid_request without a G2 range"
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic transient response (the paper's time-domain claim) *)
@@ -1084,13 +1087,9 @@ let test_artifact_roundtrip () =
     (Awe.Measures.elmore_delay (Model.eval_moments loaded v))
     (Symbolic.Slp.eval (Model.elmore_program loaded) v).(0);
   (* Only the netlist analysis itself is gone. *)
-  (match Model.partition_opt loaded with
+  match Model.partition_opt loaded with
   | None -> ()
-  | Some _ -> Alcotest.fail "partition should be unavailable on a loaded model");
-  (* The deprecated raising shim keeps its contract. *)
-  match (Model.partition [@alert "-deprecated"]) loaded with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "deprecated partition should raise on a loaded model"
+  | Some _ -> Alcotest.fail "partition should be unavailable on a loaded model"
 
 let test_artifact_save_is_deterministic () =
   let model = Model.build ~order:2 (fig1_c1_g2 ()) in

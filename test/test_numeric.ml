@@ -92,6 +92,37 @@ let test_lu_inverse () =
   Alcotest.(check bool) "A·A⁻¹ = I" true
     (Matrix.equal ~tol:1e-9 (Matrix.mul a inv) (Matrix.identity 2))
 
+(* The Hager/Higham reciprocal-condition estimate: exact on identity-like
+   matrices, honest (tiny) on near-singular and notoriously ill-conditioned
+   ones, and always in [0, 1]. *)
+let test_lu_rcond () =
+  let rcond a = (Lu.health (Lu.factor a)).Lu.rcond in
+  check_float "identity" 1.0 (rcond (Matrix.identity 5));
+  check_float "scaled identity" 1.0
+    (rcond (Matrix.of_arrays [| [| 1e6; 0.0 |]; [| 0.0; 1e6 |] |]));
+  let near_singular =
+    Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-12 |] |]
+  in
+  Alcotest.(check bool) "near-singular is tiny" true
+    (rcond near_singular < 1e-10);
+  let hilbert n = Matrix.init n n (fun i j -> 1.0 /. float_of_int (i + j + 1)) in
+  Alcotest.(check bool) "hilbert 8 is tiny" true (rcond (hilbert 8) < 1e-7);
+  List.iter
+    (fun a ->
+      let r = rcond a in
+      Alcotest.(check bool) "in [0, 1]" true (0.0 <= r && r <= 1.0))
+    [ Matrix.identity 3; near_singular; hilbert 6; hilbert 10 ];
+  (* Well-conditioned but not trivially so: the estimate stays O(1). *)
+  let a = Matrix.of_arrays [| [| 4.0; 3.0 |]; [| 6.0; 3.0 |] |] in
+  Alcotest.(check bool) "well-conditioned is O(1)" true (rcond a > 1e-3)
+
+let test_sparse_rcond_proxy () =
+  let dense = Matrix.of_arrays [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let sp = Numeric.Sparse.of_dense dense in
+  let h = Numeric.Sparse.health (Numeric.Sparse.factor sp) in
+  Alcotest.(check bool) "sparse proxy in (0, 1]" true
+    (0.0 < h.Lu.rcond && h.Lu.rcond <= 1.0)
+
 (* Property: LU solve residual is tiny for random diagonally dominant
    systems. *)
 let prop_lu_residual =
@@ -559,6 +590,7 @@ let () =
           quick "singular detection" test_lu_singular;
           quick "transpose solve" test_lu_transpose_solve;
           quick "inverse" test_lu_inverse;
+          quick "rcond estimate" test_lu_rcond;
         ]
         @ props [ prop_lu_residual; prop_lu_transpose_consistent ] );
       ("complex", [ quick "arithmetic" test_cx_arith ]);
@@ -577,6 +609,7 @@ let () =
           quick "pivoting row exchange" test_sparse_needs_pivoting;
           quick "singular detection" test_sparse_singular;
           quick "tridiagonal zero fill" test_sparse_tridiagonal_no_fill;
+          quick "rcond proxy" test_sparse_rcond_proxy;
         ]
         @ props [ prop_sparse_matches_dense; prop_sparse_circuit_matrices ] );
       ( "poly",

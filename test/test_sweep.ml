@@ -127,7 +127,7 @@ let test_plan_unknown_symbol () =
       [ { Plan.name = "R99"; dist = Dist.uniform ~lo:0.0 ~hi:1.0 } ]
   in
   match columns model p ~seed:1 with
-  | exception Failure _ -> ()
+  | exception Awesym_error.Error { kind = Awesym_error.Invalid_request; _ } -> ()
   | _ -> Alcotest.fail "unknown swept symbol accepted"
 
 let test_plan_pins_unswept_at_nominal () =
@@ -425,7 +425,7 @@ let test_engine_moment_out_of_range () =
   let model = Lazy.force fig1_model in
   let plan = plan_c1_g2 (Plan.Monte_carlo 4) in
   match Engine.run ~measures:[ Engine.Moment 17 ] model plan with
-  | exception Invalid_argument _ -> ()
+  | exception Awesym_error.Error { kind = Awesym_error.Invalid_request; _ } -> ()
   | _ -> Alcotest.fail "moment beyond 2*order accepted"
 
 let test_engine_json_schema () =
@@ -444,7 +444,7 @@ let test_engine_json_schema () =
     in
     (match member "schema" with
     | Obs.Json.Str s ->
-      Alcotest.(check string) "schema" "awesymbolic-sweep/1" s
+      Alcotest.(check string) "schema" "awesymbolic-sweep/2" s
     | _ -> Alcotest.fail "schema is not a string");
     (match member "seed" with
     | Obs.Json.Num s -> check_float "seed recorded in JSON" 1234.0 s
