@@ -827,6 +827,122 @@ let sweep_scaling () =
     (if identical then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: daemon throughput and latency vs per-request process spawn *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let serve_bench () =
+  banner "SERVE: micro-batched daemon vs per-request process spawn";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let dir = Filename.temp_file "awesym_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let artifact = Filename.concat dir "opamp.awm" in
+  Model.save model artifact;
+  let sock = Filename.concat dir "s.sock" in
+  (* Closed-loop clients (one point per request, next request only after
+     the reply) are the linger knob's worst case: waiting for company
+     adds latency but no occupancy.  Serve such loads with a short
+     linger — batching still coalesces whatever the clients' concurrency
+     aligns. *)
+  let config =
+    {
+      Serve.Server.socket_path = sock;
+      batch = { Serve.Batcher.default_config with Serve.Batcher.linger_s = 2e-4 };
+      max_models = 4;
+      cache_gc_bytes = None;
+      versions = Serve.Server.default_versions;
+    }
+  in
+  let server = Serve.Server.create config in
+  let stop = ref false in
+  let loop =
+    Domain.spawn (fun () -> while Serve.Server.step server ~stop do () done)
+  in
+  let nclients = 4 and reqs = 250 in
+  let run_client ci =
+    Domain.spawn (fun () ->
+        let rand = lcg (0x5E54 + ci) in
+        let c =
+          match Serve.Client.connect sock with
+          | Ok c -> c
+          | Error e -> failwith (Awesym_error.to_string e)
+        in
+        let lat = Array.make reqs 0.0 in
+        for i = 0 to reqs - 1 do
+          let g = 0.5e-6 +. (rand () *. 8e-6) in
+          let cv = 5e-12 +. (rand () *. 60e-12) in
+          let point =
+            Model.values model [ (gname, g); (cname, cv) ]
+          in
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.eval c ~model:artifact [| point |] with
+          | Ok _ -> ()
+          | Error e -> failwith (Awesym_error.to_string e));
+          lat.(i) <- Unix.gettimeofday () -. t0
+        done;
+        Serve.Client.close c;
+        lat)
+  in
+  let t0 = Unix.gettimeofday () in
+  let lats =
+    List.init nclients run_client |> List.map Domain.join |> Array.concat
+  in
+  let served_wall = Unix.gettimeofday () -. t0 in
+  stop := true;
+  Domain.join loop;
+  Serve.Server.shutdown server;
+  Array.sort Float.compare lats;
+  let total = nclients * reqs in
+  let served_rps = float_of_int total /. served_wall in
+  let p q = percentile lats q *. 1e6 in
+  Printf.printf
+    "daemon: %d requests from %d clients in %.3f s = %.0f req/s\n"
+    total nclients served_wall served_rps;
+  Printf.printf "latency p50 %.0f us, p90 %.0f us, p99 %.0f us\n" (p 0.50)
+    (p 0.90) (p 0.99);
+  (* Baseline: the same evaluation as one process spawn per request —
+     what serving replaces.  Each spawn pays process startup plus a full
+     artifact load. *)
+  let awesym =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/awesym.exe"
+  in
+  if not (Sys.file_exists awesym) then
+    Printf.printf
+      "per-request spawn baseline skipped (%s not built)\n" awesym
+  else begin
+    let spawns = 20 in
+    let cmd =
+      Printf.sprintf "%s eval --model %s >/dev/null 2>&1"
+        (Filename.quote awesym) (Filename.quote artifact)
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to spawns do
+      if Sys.command cmd <> 0 then failwith "spawn baseline failed"
+    done;
+    let spawn_wall = Unix.gettimeofday () -. t0 in
+    let spawn_rps = float_of_int spawns /. spawn_wall in
+    let speedup = served_rps /. spawn_rps in
+    Printf.printf
+      "spawn: %d x `awesym eval` in %.3f s = %.1f req/s -> daemon is \
+       %.1fx\n"
+      spawns spawn_wall spawn_rps speedup;
+    Obs.Metrics.add "bench.serve.spawn_rps" (int_of_float spawn_rps);
+    Obs.Metrics.add "bench.serve.speedup_x100" (int_of_float (100.0 *. speedup))
+  end;
+  Obs.Metrics.add "bench.serve.requests" total;
+  Obs.Metrics.add "bench.serve.rps" (int_of_float served_rps);
+  Obs.Metrics.add "bench.serve.p50_us" (int_of_float (p 0.50));
+  Obs.Metrics.add "bench.serve.p90_us" (int_of_float (p 0.90));
+  Obs.Metrics.add "bench.serve.p99_us" (int_of_float (p 0.99))
+
+(* ------------------------------------------------------------------ *)
 (* IDENT: the identity claim, measured *)
 
 let ident () =
@@ -944,6 +1060,7 @@ let experiments =
     ("time32", time32);
     ("sweep", sweep_bench);
     ("sweep-scaling", sweep_scaling);
+    ("serve", serve_bench);
     ("ident", ident);
     ("abl-partition", abl_partition);
     ("abl-prune", abl_prune);

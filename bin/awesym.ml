@@ -17,6 +17,9 @@
      compile    build the symbolic model and save a versioned artifact
      eval       evaluate a saved model artifact at symbol values
      sweep      Monte-Carlo/LHS/corner/grid sweeps through the batch kernel
+     serve      persistent evaluation daemon with micro-batched kernel calls
+     call       client for a running daemon (byte-identical to eval)
+     cache      model-cache maintenance (gc)
 
    All subcommands read a SPICE-like deck (see Circuit.Parser; device cards
    per Nonlinear.Parser for linearize) with .input, .output and optional
@@ -783,6 +786,42 @@ let model_arg =
     & opt (some file) None
     & info [ "model"; "m" ] ~docv:"FILE" ~doc)
 
+(* Positional value vector from --set bindings over the model's symbol
+   names, defaulting to nominals.  Shared by `eval` and `call` so both
+   resolve a point identically. *)
+let point_of_bindings ~names ~nominals bindings =
+  let bound = List.map (fun b -> or_die (parse_binding b)) bindings in
+  List.iter
+    (fun (n, _) ->
+      if not (Array.exists (( = ) n) names) then
+        die
+          (Printf.sprintf "unknown symbol %s (model has: %s)" n
+             (String.concat ", " (Array.to_list names))))
+    bound;
+  Array.mapi
+    (fun k n ->
+      match List.find_opt (fun (b, _) -> b = n) bound with
+      | Some (_, x) -> x
+      | None -> nominals.(k))
+    names
+
+(* The one point-evaluation printer.  `eval` (offline) and `call` (served)
+   both end here, so for the same model and point they print the same
+   bytes — the CI smoke job diffs their outputs to prove the daemon is
+   bit-exact.  The Padé finish is deterministic, so printing from raw
+   moments is identical to [Model.rom]. *)
+let print_point_eval ~model_path ~order ~names ~values ~moments ~show_moments =
+  Printf.printf "model %s: order %d\n" model_path order;
+  Printf.printf "at %s\n\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.mapi (fun k n -> Printf.sprintf "%s=%g" n values.(k)) names)));
+  if show_moments then begin
+    Array.iteri (fun k m -> Printf.printf "m%-2d = %.12g\n" k m) moments;
+    print_newline ()
+  end;
+  print_rom (Awe.Pade.fit ~order moments)
+
 let eval_cmd =
   let run obs jobs model_path bindings show_moments =
     with_obs obs @@ fun () ->
@@ -795,36 +834,13 @@ let eval_cmd =
     let model = load_model model_path in
     let symbols = Awesymbolic.Model.symbols model in
     let names = Array.map Symbolic.Symbol.name symbols in
-    let bound = List.map (fun b -> or_die (parse_binding b)) bindings in
-    List.iter
-      (fun (n, _) ->
-        if not (Array.exists (( = ) n) names) then
-          die
-            (Printf.sprintf "unknown symbol %s (model has: %s)" n
-               (String.concat ", " (Array.to_list names))))
-      bound;
     let nominals = Awesymbolic.Model.nominal_values model in
-    let v =
-      Array.mapi
-        (fun k n ->
-          match List.find_opt (fun (b, _) -> b = n) bound with
-          | Some (_, x) -> x
-          | None -> nominals.(k))
-        names
-    in
-    Printf.printf "model %s: order %d\n" model_path
-      (Awesymbolic.Model.order model);
-    Printf.printf "at %s\n\n"
-      (String.concat ", "
-         (Array.to_list
-            (Array.mapi (fun k n -> Printf.sprintf "%s=%g" n v.(k)) names)));
-    if show_moments then begin
-      Array.iteri
-        (fun k m -> Printf.printf "m%-2d = %.12g\n" k m)
-        (Awesymbolic.Model.eval_moments model v);
-      print_newline ()
-    end;
-    print_rom (Awesymbolic.Model.rom model v)
+    let v = point_of_bindings ~names ~nominals bindings in
+    print_point_eval ~model_path
+      ~order:(Awesymbolic.Model.order model)
+      ~names ~values:v
+      ~moments:(Awesymbolic.Model.eval_moments model v)
+      ~show_moments
   in
   let moments_arg =
     Arg.(value & flag & info [ "moments" ] ~doc:"Also print the raw moments.")
@@ -1169,10 +1185,249 @@ let moments_cmd =
   Cmd.v (Cmd.info "moments" ~doc)
     Term.(const run $ obs_args $ deck_arg $ count_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: the evaluation daemon and its client *)
+
+let binary_version = "1.1.0"
+
+(* Every schema this binary speaks, one place.  `awesym --version` prints
+   the inventory, `awesym serve` answers it to pings, and mismatched
+   peers reject each other by schema string — so version skew between a
+   daemon and its clients is diagnosable from either end. *)
+let version_inventory =
+  [
+    ("awesym", binary_version);
+    ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
+    ("sweep", Sweep.Engine.schema);
+    ("serve", Serve.Protocol.schema);
+  ]
+
+(* Keep this under cmdliner's ~78-column formatter margin or the spaces
+   become line breaks and the "one greppable line" property is lost. *)
+let version_string =
+  Printf.sprintf "awesym %s (%s)" binary_version
+    (String.concat "; "
+       (List.filter_map
+          (fun (k, v) ->
+            if k = "awesym" then None
+            else if k = "artifact" then Some (k ^ " " ^ v)
+            else Some v)
+          version_inventory))
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the serving daemon." in
+  Arg.(
+    value
+    & opt string ".awesym.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run jobs socket max_batch linger_ms queue max_models gc_mb =
+    with_jobs jobs @@ fun () ->
+    if max_batch < 1 || queue < 1 || linger_ms < 0.0 then
+      die "serve: --max-batch and --queue must be >= 1, --linger-ms >= 0";
+    let config =
+      {
+        Serve.Server.socket_path = socket;
+        batch =
+          {
+            Serve.Batcher.max_batch;
+            linger_s = linger_ms /. 1e3;
+            max_queue = queue;
+          };
+        max_models;
+        cache_gc_bytes =
+          (if gc_mb <= 0 then None else Some (gc_mb * 1024 * 1024));
+        versions = version_inventory;
+      }
+    in
+    try Serve.Server.run ~log:prerr_endline config
+    with Unix.Unix_error (e, _, _) ->
+      die (Printf.sprintf "serve: cannot bind %s: %s" socket
+             (Unix.error_message e))
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int Serve.Batcher.default_config.Serve.Batcher.max_batch
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Pending points that force an immediate flush.")
+  in
+  let linger_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "linger-ms" ] ~docv:"MS"
+          ~doc:
+            "How long the oldest queued request waits for company before \
+             its batch flushes.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int Serve.Batcher.default_config.Serve.Batcher.max_queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue depth; beyond it requests are rejected with \
+             an `overloaded` error (backpressure).")
+  in
+  let max_models_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-models" ] ~docv:"N"
+          ~doc:"Resident compiled models (LRU beyond this).")
+  in
+  let gc_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-gc-mb" ] ~docv:"MB"
+          ~doc:
+            "Run `cache gc` with this budget at startup so an unattended \
+             daemon bounds what it inherits from past compiles; 0 skips.")
+  in
+  let doc =
+    "Run the model-serving daemon: a persistent process that keeps \
+     compiled artifacts resident and coalesces concurrent evaluation \
+     requests into micro-batched kernel calls.  Results are bit-identical \
+     to offline `awesym eval`.  SIGTERM drains gracefully."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ jobs_arg $ socket_arg $ max_batch_arg $ linger_arg
+      $ queue_arg $ max_models_arg $ gc_arg)
+
+let call_cmd =
+  let run socket model_path bindings show_moments deadline_ms ping stats
+      shutdown =
+    let fail e = die (Awesym_error.to_string e) in
+    let with_client f =
+      match Serve.Client.connect socket with
+      | Error e -> fail e
+      | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+    in
+    match (ping, stats, shutdown) with
+    | true, _, _ ->
+      with_client @@ fun c ->
+      (match Serve.Client.ping c with
+      | Error e -> fail e
+      | Ok versions ->
+        print_endline "pong";
+        List.iter (fun (k, v) -> Printf.printf "  %s %s\n" k v) versions)
+    | _, true, _ ->
+      with_client @@ fun c ->
+      (match Serve.Client.stats c with
+      | Error e -> fail e
+      | Ok s -> print_endline (Obs.Json.to_string s))
+    | _, _, true ->
+      with_client @@ fun c ->
+      (match Serve.Client.shutdown c with
+      | Error e -> fail e
+      | Ok () -> print_endline "draining")
+    | false, false, false ->
+      let model_path =
+        match model_path with
+        | Some p -> p
+        | None -> die "need --model PATH (an artifact path on the server)"
+      in
+      with_client @@ fun c ->
+      let info =
+        match Serve.Client.info c model_path with
+        | Error e -> fail e
+        | Ok i -> i
+      in
+      let names = info.Serve.Protocol.symbols in
+      let v =
+        point_of_bindings ~names ~nominals:info.Serve.Protocol.nominals
+          bindings
+      in
+      (match Serve.Client.eval c ?deadline_ms ~model:model_path [| v |] with
+      | Error e -> fail e
+      | Ok r ->
+        print_point_eval ~model_path ~order:r.Serve.Protocol.order ~names
+          ~values:v
+          ~moments:r.Serve.Protocol.moments.(0)
+          ~show_moments)
+  in
+  let moments_arg =
+    Arg.(value & flag & info [ "moments" ] ~doc:"Also print the raw moments.")
+  in
+  let server_model_arg =
+    let doc = "Artifact path, resolved on the server." in
+    Arg.(value & opt (some string) None & info [ "model"; "m" ] ~docv:"PATH" ~doc)
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Relative deadline; the server answers a `timeout` error \
+             instead of evaluating once it expires.")
+  in
+  let ping_arg =
+    Arg.(value & flag
+         & info [ "ping" ] ~doc:"Liveness probe: print the server's versions.")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print the server's metrics snapshot as JSON.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let doc =
+    "Call a running `awesym serve` daemon.  The default operation \
+     evaluates a model at symbol values and prints exactly what offline \
+     `awesym eval` prints — floats cross the wire as IEEE-754 bit \
+     patterns, so the outputs are byte-identical."
+  in
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(
+      const run $ socket_arg $ server_model_arg $ bindings_arg $ moments_arg
+      $ deadline_arg $ ping_arg $ stats_arg $ shutdown_arg)
+
+let cache_cmd =
+  let gc =
+    let run max_mb dir =
+      let stats =
+        try Awesymbolic.Cache.gc ?dir ~max_bytes:(max_mb * 1024 * 1024) ()
+        with Invalid_argument msg -> die msg
+      in
+      Printf.printf
+        "cache gc: scanned %d entries, deleted %d; %d -> %d bytes (budget \
+         %d MiB)\n"
+        stats.Awesymbolic.Cache.scanned stats.Awesymbolic.Cache.deleted
+        stats.Awesymbolic.Cache.bytes_before stats.Awesymbolic.Cache.bytes_after
+        max_mb
+    in
+    let max_mb_arg =
+      Arg.(
+        value & opt int 256
+        & info [ "max-mb" ] ~docv:"MB"
+            ~doc:"Size budget; oldest entries beyond it are deleted.")
+    in
+    let dir_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "dir" ] ~docv:"DIR"
+            ~doc:
+              "Cache directory (default: \\$AWESYM_CACHE_DIR, else \
+               .awesym-cache).")
+    in
+    let doc =
+      "Evict oldest-used model-cache entries until the cache fits a size \
+       budget.  Deletion is atomic per entry; a concurrent compile is \
+       never corrupted.  `awesym serve` runs this at startup."
+    in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ max_mb_arg $ dir_arg)
+  in
+  let doc = "Operate on the content-addressed model cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ gc ]
+
 let () =
   let doc = "compiled symbolic circuit analysis via asymptotic waveform evaluation" in
-  let info = Cmd.info "awesym" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "awesym" ~version:version_string ~doc in
   exit (Cmd.eval (Cmd.group info
     [ awe_cmd; symbolic_cmd; exact_cmd; ac_cmd; tran_cmd; rank_cmd; linearize_cmd;
       distortion_cmd; sens_cmd; validate_cmd; macromodel_cmd; noise_cmd;
-      moments_cmd; compile_cmd; eval_cmd; sweep_cmd ]))
+      moments_cmd; compile_cmd; eval_cmd; sweep_cmd; serve_cmd; call_cmd;
+      cache_cmd ]))

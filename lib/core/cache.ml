@@ -48,3 +48,69 @@ let atomic_write dest write =
   | exception e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection: the cache otherwise grows one artifact per
+   (deck, options, format) forever.  Eviction is oldest-access-first —
+   [Unix.stat] atime where the filesystem tracks it, mtime as the
+   floor — and each removal is a single unlink, so a concurrent reader
+   either opened the entry before the unlink (and keeps reading the
+   still-open file) or misses and rebuilds; no entry is ever observed
+   half-deleted.  Stale ".tmp" leftovers from crashed [atomic_write]
+   runs are swept unconditionally. *)
+
+type gc_stats = {
+  scanned : int;
+  deleted : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let gc ?dir ~max_bytes () =
+  if max_bytes < 0 then invalid_arg "Cache.gc: max_bytes must be >= 0";
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let names =
+    match Sys.readdir dir with
+    | names -> Array.to_list names
+    | exception Sys_error _ -> []
+  in
+  (* Crash leftovers first: they are never readable entries. *)
+  List.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    names;
+  let entries =
+    List.filter_map
+      (fun name ->
+        if not (Filename.check_suffix name ".awm") then None
+        else
+          let p = Filename.concat dir name in
+          match Unix.stat p with
+          | st when st.Unix.st_kind = Unix.S_REG ->
+            let atime = Float.max st.Unix.st_atime st.Unix.st_mtime in
+            Some (p, st.Unix.st_size, atime)
+          | _ | (exception Unix.Unix_error _) -> None)
+      names
+  in
+  let bytes_before = List.fold_left (fun a (_, sz, _) -> a + sz) 0 entries in
+  let by_age =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) entries
+  in
+  let total = ref bytes_before and deleted = ref 0 in
+  List.iter
+    (fun (p, sz, _) ->
+      if !total > max_bytes then
+        match Sys.remove p with
+        | () ->
+          total := !total - sz;
+          incr deleted;
+          Obs.Metrics.incr "cache.gc.deleted"
+        | exception Sys_error _ -> ())
+    by_age;
+  {
+    scanned = List.length entries;
+    deleted = !deleted;
+    bytes_before;
+    bytes_after = !total;
+  }

@@ -27,3 +27,22 @@ val atomic_write : string -> (string -> unit) -> unit
     the same key are last-wins instead of corrupting.  If [write] raises,
     the temp file is removed and the exception re-raised; [dest] is
     untouched. *)
+
+type gc_stats = {
+  scanned : int;  (** cache entries found (post-sweep, pre-eviction) *)
+  deleted : int;  (** entries evicted this run *)
+  bytes_before : int;  (** total entry bytes before eviction *)
+  bytes_after : int;  (** total entry bytes after eviction *)
+}
+
+val gc : ?dir:string -> max_bytes:int -> unit -> gc_stats
+(** Bound the cache directory (default {!default_dir}) to [max_bytes] of
+    [.awm] entries by deleting oldest-access-first (atime when the
+    filesystem tracks it, else mtime) until the total fits.  Each
+    eviction is one atomic unlink — concurrent readers either opened the
+    entry first and keep their handle, or miss and rebuild; nothing is
+    observed half-deleted.  Also sweeps stale [.tmp] files left by
+    crashed {!atomic_write} runs.  A missing directory is an empty
+    cache, not an error.  Obs counter: [cache.gc.deleted].  The serve
+    registry runs this at startup; the CLI exposes it as
+    [awesym cache gc].  Raises [Invalid_argument] when [max_bytes < 0]. *)

@@ -9,6 +9,8 @@ type kind =
   | Worker_crash
   | Injected_fault
   | Invalid_request
+  | Timeout
+  | Overloaded
   | Internal
 
 type t = {
@@ -33,6 +35,8 @@ let all_kinds =
     Worker_crash;
     Injected_fault;
     Invalid_request;
+    Timeout;
+    Overloaded;
     Internal;
   ]
 
@@ -45,6 +49,8 @@ let kind_name = function
   | Worker_crash -> "worker_crash"
   | Injected_fault -> "injected_fault"
   | Invalid_request -> "invalid_request"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let kind_of_name s =

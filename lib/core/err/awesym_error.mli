@@ -24,6 +24,10 @@ type kind =
   | Worker_crash  (** a pool worker died mid-chunk *)
   | Injected_fault  (** raised by the {!Runtime.Fault} harness *)
   | Invalid_request  (** well-formed input asking for something impossible *)
+  | Timeout  (** a request's deadline expired before its work ran *)
+  | Overloaded
+      (** load shed: a bounded queue (e.g. the serve daemon's admission
+          queue) was full and the request was rejected unprocessed *)
   | Internal  (** unclassified exception; a bug until proven otherwise *)
 
 type t = {

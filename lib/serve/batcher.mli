@@ -1,0 +1,61 @@
+(** Micro-batching scheduler: coalesces concurrent point-evaluation
+    requests for the same model into single batch-kernel calls.
+
+    Requests are admitted into a bounded FIFO ({!submit}); a flush is due
+    ({!ready}) once the oldest request has lingered [linger_s], once
+    [max_batch] points are pending, or once any pending deadline is about
+    to pass.  {!flush} drains the whole queue: expired requests answer
+    [Timeout], the rest group by model digest and each group becomes one
+    call into the entry's single-owner batch evaluator.  Lanes of the
+    batch kernel are independent, so result bits never depend on how
+    requests were coalesced — served evaluations are bit-identical to
+    offline [awesym eval] at any batch/jobs setting.
+
+    Obs: counters [serve.batch.count], [serve.points],
+    [serve.rejected.timeout], [serve.rejected.overloaded]; histograms
+    [serve.batch.points] (occupancy), [serve.queue.depth],
+    [serve.latency_us]. *)
+
+type config = {
+  max_batch : int;  (** pending points that force an immediate flush *)
+  linger_s : float;  (** max seconds the oldest request waits for company *)
+  max_queue : int;  (** pending-request cap; beyond it {!submit} rejects *)
+}
+
+val default_config : config
+(** 4096-point batches, 2 ms linger, 1024-request queue. *)
+
+type pending = {
+  key : int;  (** connection slot, opaque to the batcher *)
+  id : Obs.Json.t option;  (** request id, echoed into the response *)
+  entry : Registry.entry;
+  points : float array array;  (** row-major, widths pre-validated *)
+  arrived : float;  (** admission timestamp, seconds *)
+  deadline : float option;  (** absolute deadline, seconds *)
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on non-positive capacities or a negative
+    linger. *)
+
+val length : t -> int
+val points_pending : t -> int
+
+val submit : t -> pending -> (unit, Awesym_error.t) result
+(** Admit a request; [Error] (kind [Overloaded]) when the queue is full —
+    the daemon's backpressure signal. *)
+
+val due : t -> now:float -> float option
+(** Seconds until the next flush must run ([Some 0.] = overdue), [None]
+    when the queue is empty.  The serving loop's select timeout. *)
+
+val ready : t -> now:float -> bool
+
+val flush :
+  t -> now:float -> (int * Obs.Json.t option * Protocol.response) list
+(** Drain and evaluate everything pending; returns [(key, id, response)]
+    per request, in request order within each model group.  Never raises:
+    a batch-kernel failure answers every member of that group with the
+    classified error. *)

@@ -1,0 +1,87 @@
+(* Blocking client for the serving daemon: one connection, synchronous
+   request/response.  The CLI (`awesym call`) and the load generator
+   (`bench serve`) both sit on this; each of the load generator's client
+   domains owns a private connection, so no locking is needed here. *)
+
+module Json = Obs.Json
+module Err = Awesym_error
+
+type t = { fd : Unix.file_descr; mutable seq : int }
+
+let protocol_error ~where fmt =
+  Printf.ksprintf (fun m -> Err.make Parse ~where m) fmt
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX path) with
+  | () -> Ok { fd; seq = 0 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Err.make Invalid_request ~where:"serve.client"
+         (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  t.seq <- t.seq + 1;
+  let id = Json.Num (float_of_int t.seq) in
+  match
+    Protocol.write_frame t.fd (Json.to_string (Protocol.request_to_json ~id req))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Err.make Worker_crash ~where:"serve.client"
+         ("send failed: " ^ Unix.error_message e))
+  | () -> (
+    match Protocol.read_frame t.fd with
+    | Error `Closed ->
+      Error
+        (Err.make Worker_crash ~where:"serve.client"
+           "server closed the connection mid-response")
+    | Error (`Oversized n) ->
+      Error
+        (protocol_error ~where:"serve.client" "oversized response frame (%d bytes)"
+           n)
+    | Ok payload -> (
+      match Json.of_string payload with
+      | Error msg ->
+        Error
+          (protocol_error ~where:"serve.client" "malformed response JSON: %s" msg)
+      | Ok j -> (
+        match Protocol.response_of_json j with
+        | Error e -> Error e
+        | Ok (_id, Protocol.R_error e) -> Error e
+        | Ok (_id, resp) -> Ok resp)))
+
+let ping t =
+  match rpc t Protocol.Ping with
+  | Ok (Protocol.R_pong versions) -> Ok versions
+  | Ok _ -> Error (protocol_error ~where:"serve.client" "unexpected reply to ping")
+  | Error e -> Error e
+
+let info t model =
+  match rpc t (Protocol.Info model) with
+  | Ok (Protocol.R_info i) -> Ok i
+  | Ok _ -> Error (protocol_error ~where:"serve.client" "unexpected reply to info")
+  | Error e -> Error e
+
+let eval t ?deadline_ms ~model points =
+  match rpc t (Protocol.Eval { Protocol.model; points; deadline_ms }) with
+  | Ok (Protocol.R_eval e) -> Ok e
+  | Ok _ -> Error (protocol_error ~where:"serve.client" "unexpected reply to eval")
+  | Error e -> Error e
+
+let stats t =
+  match rpc t Protocol.Stats with
+  | Ok (Protocol.R_stats s) -> Ok s
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to stats")
+  | Error e -> Error e
+
+let shutdown t =
+  match rpc t Protocol.Shutdown with
+  | Ok Protocol.R_draining -> Ok ()
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to shutdown")
+  | Error e -> Error e

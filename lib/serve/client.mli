@@ -1,0 +1,37 @@
+(** Blocking client for the serving daemon.
+
+    One connection, synchronous request/response; requests carry a
+    monotone id echoed back by the server.  Not thread-safe — give each
+    domain its own connection (the [bench serve] load generator does
+    exactly that).  Server-side errors come back as the [Error] arm of
+    each call, already classified through the {!Awesym_error} taxonomy
+    ([Timeout] for expired deadlines, [Overloaded] for load shed, ...). *)
+
+type t
+
+val connect : string -> (t, Awesym_error.t) result
+(** Connect to a daemon's socket path. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> (Protocol.response, Awesym_error.t) result
+(** One framed round-trip.  [R_error] replies are folded into [Error]. *)
+
+val ping : t -> ((string * string) list, Awesym_error.t) result
+(** Liveness probe; returns the server's version inventory. *)
+
+val info : t -> string -> (Protocol.info_result, Awesym_error.t) result
+(** Model metadata for a server-side artifact path. *)
+
+val eval :
+  t ->
+  ?deadline_ms:float ->
+  model:string ->
+  float array array ->
+  (Protocol.eval_result, Awesym_error.t) result
+(** Evaluate points (row-major, in the model's positional symbol order).
+    Result moments are bit-identical to offline [Slp.eval_batch]. *)
+
+val stats : t -> (Obs.Json.t, Awesym_error.t) result
+val shutdown : t -> (unit, Awesym_error.t) result
+(** Ask the server to drain and exit; returns once acknowledged. *)

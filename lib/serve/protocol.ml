@@ -1,0 +1,360 @@
+(* Wire protocol of the serving daemon: length-prefixed JSON frames over a
+   Unix-domain socket, schema "awesymbolic-serve/1".
+
+   A frame is a 4-byte big-endian payload length followed by that many
+   bytes of JSON.  Every float crossing the wire — request points, nominal
+   values, result moments — travels as its IEEE-754 bit pattern in 16 hex
+   digits, so a served evaluation is bit-identical to the same evaluation
+   run offline: no decimal round-trip sits between the client and the
+   batch kernel.  Human-readable JSON numbers are reserved for metadata
+   (ids, orders, deadlines, stats). *)
+
+module Json = Obs.Json
+module Err = Awesym_error
+
+let schema = "awesymbolic-serve/1"
+
+(* Largest admissible frame.  At 16 hex digits + quotes + comma per float
+   this is room for ~3M points in one request — far past the batching
+   sweet spot — while bounding what a garbage length prefix can make the
+   server allocate. *)
+let max_frame = 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Bit-exact floats *)
+
+let hex_of_float v = Printf.sprintf "%016Lx" (Int64.bits_of_float v)
+
+let float_of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some bits -> Some (Int64.float_of_bits bits)
+    | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let frame_of_json j = frame (Json.to_string j)
+
+(* Incremental frame extraction from a connection's receive buffer.
+   [`Frame payload] consumes the frame from [buf]; [`Need_more] leaves it
+   untouched; [`Oversized n] reports a length prefix past {!max_frame} —
+   the stream cannot be resynchronized after that, so the caller should
+   answer with an error and close. *)
+let pop_frame buf =
+  let have = Buffer.length buf in
+  if have < 4 then `Need_more
+  else begin
+    let header = Buffer.sub buf 0 4 in
+    let n = Int32.to_int (String.get_int32_be header 0) in
+    if n < 0 || n > max_frame then `Oversized n
+    else if have < 4 + n then `Need_more
+    else begin
+      let payload = Buffer.sub buf 4 n in
+      let rest = Buffer.sub buf (4 + n) (have - 4 - n) in
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      `Frame payload
+    end
+  end
+
+(* Blocking frame I/O for clients (and tests).  The server side never
+   blocks on a peer; it uses {!pop_frame} under select instead. *)
+
+let write_frame fd payload =
+  let s = frame payload in
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let read_frame fd =
+  let rec exactly b off len =
+    if len = 0 then true
+    else
+      match Unix.read fd b off len with
+      | 0 -> false
+      | k -> exactly b (off + k) (len - k)
+  in
+  let header = Bytes.create 4 in
+  if not (exactly header 0 4) then Error `Closed
+  else
+    let n = Int32.to_int (Bytes.get_int32_be header 0) in
+    if n < 0 || n > max_frame then Error (`Oversized n)
+    else
+      let payload = Bytes.create n in
+      if not (exactly payload 0 n) then Error `Closed
+      else Ok (Bytes.unsafe_to_string payload)
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type eval = {
+  model : string;  (** server-side artifact path *)
+  points : float array array;  (** row-major: [points.(i).(k)] = symbol k *)
+  deadline_ms : float option;
+}
+
+type request =
+  | Ping
+  | Info of string
+  | Eval of eval
+  | Stats
+  | Shutdown
+
+let floats_to_json vs =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Str (hex_of_float v)) vs))
+
+let floats_of_json ~what = function
+  | Json.List items ->
+    let n = List.length items in
+    let out = Array.make n 0.0 in
+    let rec go i = function
+      | [] -> Some out
+      | Json.Str s :: rest -> (
+        match float_of_hex s with
+        | Some v ->
+          out.(i) <- v;
+          go (i + 1) rest
+        | None -> None)
+      | _ -> None
+    in
+    ignore what;
+    go 0 items
+  | _ -> None
+
+let request_to_json ?id req =
+  let base = [ ("schema", Json.Str schema) ] in
+  let base =
+    match id with None -> base | Some id -> base @ [ ("id", id) ]
+  in
+  let fields =
+    match req with
+    | Ping -> [ ("op", Json.Str "ping") ]
+    | Stats -> [ ("op", Json.Str "stats") ]
+    | Shutdown -> [ ("op", Json.Str "shutdown") ]
+    | Info model -> [ ("op", Json.Str "info"); ("model", Json.Str model) ]
+    | Eval e ->
+      [ ("op", Json.Str "eval");
+        ("model", Json.Str e.model);
+        ( "points",
+          Json.List (Array.to_list (Array.map floats_to_json e.points)) );
+      ]
+      @ (match e.deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline_ms", Json.Num ms) ])
+  in
+  Json.Obj (base @ fields)
+
+let bad ~where fmt = Printf.ksprintf (fun m -> Error (Err.make Parse ~where m)) fmt
+
+let check_schema j =
+  match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> Ok ()
+  | Some (Json.Str s) ->
+    bad ~where:"serve.frame" "schema mismatch: peer speaks %S, this end %S" s
+      schema
+  | _ -> bad ~where:"serve.frame" "missing schema field (want %S)" schema
+
+let member_string name j =
+  match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+
+let request_of_json j =
+  match check_schema j with
+  | Error _ as e -> e
+  | Ok () -> (
+    let id = Json.member "id" j in
+    let with_id r = Ok (id, r) in
+    match member_string "op" j with
+    | Some "ping" -> with_id Ping
+    | Some "stats" -> with_id Stats
+    | Some "shutdown" -> with_id Shutdown
+    | Some "info" -> (
+      match member_string "model" j with
+      | Some m -> with_id (Info m)
+      | None -> bad ~where:"serve.request" "info without a model field")
+    | Some "eval" -> (
+      match (member_string "model" j, Json.member "points" j) with
+      | None, _ -> bad ~where:"serve.request" "eval without a model field"
+      | _, None -> bad ~where:"serve.request" "eval without a points field"
+      | Some model, Some (Json.List rows) -> (
+        let n = List.length rows in
+        let points = Array.make n [||] in
+        let rec go i = function
+          | [] -> true
+          | row :: rest -> (
+            match floats_of_json ~what:"point" row with
+            | Some vs ->
+              points.(i) <- vs;
+              go (i + 1) rest
+            | None -> false)
+        in
+        if not (go 0 rows) then
+          bad ~where:"serve.request"
+            "malformed point (want arrays of 16-hex-digit float bits)"
+        else
+          match Json.member "deadline_ms" j with
+          | None -> with_id (Eval { model; points; deadline_ms = None })
+          | Some (Json.Num ms) ->
+            with_id (Eval { model; points; deadline_ms = Some ms })
+          | Some _ ->
+            bad ~where:"serve.request" "malformed deadline_ms (want a number)")
+      | _, Some _ ->
+        bad ~where:"serve.request" "malformed points (want a list of points)")
+    | Some op -> bad ~where:"serve.request" "unknown op %S" op
+    | None -> bad ~where:"serve.request" "missing op field")
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+type info_result = {
+  digest : string;  (** hex MD5 of the artifact bytes — the registry key *)
+  order : int;
+  symbols : string array;
+  nominals : float array;
+}
+
+type eval_result = {
+  digest : string;
+  order : int;
+  moments : float array array;  (** row-major, one row per request point *)
+}
+
+type response =
+  | R_pong of (string * string) list  (** (component, version) pairs *)
+  | R_info of info_result
+  | R_eval of eval_result
+  | R_stats of Json.t
+  | R_draining
+  | R_error of Err.t
+
+let response_to_json ?id resp =
+  let base = [ ("schema", Json.Str schema) ] in
+  let base =
+    match id with None -> base | Some id -> base @ [ ("id", id) ]
+  in
+  let ok = [ ("ok", Json.Bool true) ] in
+  let fields =
+    match resp with
+    | R_pong versions ->
+      ok
+      @ [ ("pong", Json.Bool true);
+          ("versions", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) versions));
+        ]
+    | R_info i ->
+      ok
+      @ [ ("digest", Json.Str i.digest);
+          ("order", Json.Num (float_of_int i.order));
+          ( "symbols",
+            Json.List
+              (Array.to_list (Array.map (fun s -> Json.Str s) i.symbols)) );
+          ("nominals", floats_to_json i.nominals);
+        ]
+    | R_eval e ->
+      ok
+      @ [ ("digest", Json.Str e.digest);
+          ("order", Json.Num (float_of_int e.order));
+          ( "moments",
+            Json.List (Array.to_list (Array.map floats_to_json e.moments)) );
+        ]
+    | R_stats s -> ok @ [ ("stats", s) ]
+    | R_draining -> ok @ [ ("draining", Json.Bool true) ]
+    | R_error e -> [ ("ok", Json.Bool false); ("error", Err.to_json e) ]
+  in
+  Json.Obj (base @ fields)
+
+let error_of_json j =
+  let get name =
+    match Json.member name j with Some (Json.Str s) -> s | _ -> ""
+  in
+  let kind =
+    match Err.kind_of_name (get "kind") with
+    | Some k -> k
+    | None -> Err.Internal
+  in
+  Err.make kind ~where:(get "where") (get "message")
+
+let response_of_json j =
+  match check_schema j with
+  | Error _ as e -> e
+  | Ok () -> (
+    let id = Json.member "id" j in
+    let with_id r = Ok (id, r) in
+    match Json.member "ok" j with
+    | Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some ej -> with_id (R_error (error_of_json ej))
+      | None -> bad ~where:"serve.response" "error response without error")
+    | Some (Json.Bool true) -> (
+      let digest_order () =
+        match (member_string "digest" j, Json.member "order" j) with
+        | Some d, Some (Json.Num o) -> Some (d, int_of_float o)
+        | _ -> None
+      in
+      match Json.member "pong" j with
+      | Some (Json.Bool true) ->
+        let versions =
+          match Json.member "versions" j with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (function k, Json.Str v -> Some (k, v) | _ -> None)
+              kvs
+          | _ -> []
+        in
+        with_id (R_pong versions)
+      | _ -> (
+        match Json.member "draining" j with
+        | Some (Json.Bool true) -> with_id R_draining
+        | _ -> (
+          match Json.member "stats" j with
+          | Some s -> with_id (R_stats s)
+          | None -> (
+            match (Json.member "symbols" j, Json.member "nominals" j) with
+            | Some (Json.List syms), Some nj -> (
+              let symbols =
+                List.filter_map
+                  (function Json.Str s -> Some s | _ -> None)
+                  syms
+              in
+              match (digest_order (), floats_of_json ~what:"nominals" nj) with
+              | Some (digest, order), Some nominals
+                when List.length syms = List.length symbols ->
+                with_id
+                  (R_info
+                     { digest;
+                       order;
+                       symbols = Array.of_list symbols;
+                       nominals;
+                     })
+              | _ -> bad ~where:"serve.response" "malformed info response")
+            | _ -> (
+              match Json.member "moments" j with
+              | Some (Json.List rows) -> (
+                let n = List.length rows in
+                let moments = Array.make n [||] in
+                let rec go i = function
+                  | [] -> true
+                  | row :: rest -> (
+                    match floats_of_json ~what:"moments" row with
+                    | Some vs ->
+                      moments.(i) <- vs;
+                      go (i + 1) rest
+                    | None -> false)
+                in
+                match (digest_order (), go 0 rows) with
+                | Some (digest, order), true ->
+                  with_id (R_eval { digest; order; moments })
+                | _ -> bad ~where:"serve.response" "malformed eval response")
+              | _ ->
+                bad ~where:"serve.response" "unrecognized response shape")))))
+    | _ -> bad ~where:"serve.response" "missing ok field")

@@ -1,0 +1,102 @@
+(** Wire protocol of the serving daemon (schema ["awesymbolic-serve/1"]).
+
+    Frames are a 4-byte big-endian payload length followed by that many
+    bytes of JSON.  Every float on the wire — request points, nominals,
+    result moments — is carried as its IEEE-754 bit pattern in 16 hex
+    digits, so served evaluations are bit-identical to offline ones: no
+    decimal round-trip sits between the client and the batch kernel.
+    Requests and responses both carry a ["schema"] field; either end
+    rejects a mismatched peer with a classified [Parse] error, which is
+    what makes client/server version skew diagnosable (see also
+    [awesym --version]). *)
+
+val schema : string
+(** ["awesymbolic-serve/1"]. *)
+
+val max_frame : int
+(** Largest admissible frame payload (64 MiB).  A length prefix past this
+    is rejected before any allocation and the connection is closed — the
+    stream cannot be resynchronized. *)
+
+(** {1 Bit-exact floats} *)
+
+val hex_of_float : float -> string
+(** 16 hex digits of [Int64.bits_of_float]. *)
+
+val float_of_hex : string -> float option
+(** Inverse of {!hex_of_float}; [None] unless exactly 16 hex digits. *)
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** Prepend the 4-byte length header. *)
+
+val frame_of_json : Obs.Json.t -> string
+(** [frame] of the compact serialization. *)
+
+val pop_frame : Buffer.t -> [ `Frame of string | `Need_more | `Oversized of int ]
+(** Extract (and consume) the next complete frame from a receive buffer.
+    [`Need_more] leaves the buffer untouched; [`Oversized] reports a
+    hostile or corrupt length prefix. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking framed write (client side). *)
+
+val read_frame :
+  Unix.file_descr -> (string, [ `Closed | `Oversized of int ]) result
+(** Blocking framed read (client side).  [`Closed] on EOF, including EOF
+    mid-frame (a truncated frame). *)
+
+(** {1 Requests} *)
+
+type eval = {
+  model : string;  (** server-side artifact path *)
+  points : float array array;
+      (** row-major: [points.(i).(k)] is symbol [k] of point [i], in the
+          model's positional symbol order *)
+  deadline_ms : float option;
+      (** relative deadline; the server answers [Timeout] instead of
+          evaluating once it expires *)
+}
+
+type request =
+  | Ping  (** liveness + version inventory *)
+  | Info of string  (** model metadata: digest, order, symbols, nominals *)
+  | Eval of eval
+  | Stats  (** serve metrics snapshot *)
+  | Shutdown  (** graceful drain: finish queued work, then exit *)
+
+val request_to_json : ?id:Obs.Json.t -> request -> Obs.Json.t
+val request_of_json :
+  Obs.Json.t -> (Obs.Json.t option * request, Awesym_error.t) result
+(** Decode a request envelope; the [id] field (any JSON value) is echoed
+    in the response so clients may pipeline. *)
+
+(** {1 Responses} *)
+
+type info_result = {
+  digest : string;  (** hex MD5 of the artifact bytes — the registry key *)
+  order : int;
+  symbols : string array;
+  nominals : float array;
+}
+
+type eval_result = {
+  digest : string;
+  order : int;
+  moments : float array array;  (** one row per request point *)
+}
+
+type response =
+  | R_pong of (string * string) list  (** (component, version) pairs *)
+  | R_info of info_result
+  | R_eval of eval_result
+  | R_stats of Obs.Json.t
+  | R_draining
+  | R_error of Awesym_error.t
+
+val response_to_json : ?id:Obs.Json.t -> response -> Obs.Json.t
+val response_of_json :
+  Obs.Json.t -> (Obs.Json.t option * response, Awesym_error.t) result
+(** [response_of_json (response_to_json r) = Ok r] up to float bits — the
+    round-trip property test in [test_serve.ml]. *)

@@ -1,0 +1,384 @@
+(* The serving daemon: a single select loop over a Unix-domain socket.
+
+   One domain owns all connection state and the batcher; evaluation
+   itself fans out across the worker pool inside the batch kernel, so
+   the loop stays single-owner (the Slp evaluator contract) while the
+   machine still saturates.  The loop:
+
+     select(readables, writables, due) ->
+       accept new connections (unless draining)
+       read + frame + decode + dispatch requests
+       flush the batcher when a micro-batch is due
+       write queued response frames
+
+   SIGTERM (or a `shutdown` request) starts a graceful drain: the listen
+   socket closes, queued evaluations finish and their responses flush,
+   then the loop exits — zero in-flight requests are lost.  Malformed
+   input never kills the daemon: garbage frames answer a classified
+   Parse error, oversized length prefixes answer and close (the stream
+   cannot be resynchronized), and connection errors just drop the
+   connection. *)
+
+module Json = Obs.Json
+module Err = Awesym_error
+
+type config = {
+  socket_path : string;
+  batch : Batcher.config;
+  max_models : int;
+  cache_gc_bytes : int option;
+  versions : (string * string) list;
+      (* the pong/version inventory; the CLI passes the full schema list *)
+}
+
+let default_versions =
+  [
+    ("serve", Protocol.schema);
+    ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
+  ]
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    batch = Batcher.default_config;
+    max_models = 8;
+    cache_gc_bytes = Some (256 * 1024 * 1024);
+    versions = default_versions;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  key : int;
+  inbuf : Buffer.t;
+  outq : string Queue.t;  (* encoded frames awaiting write *)
+  mutable out_off : int;  (* bytes of the head frame already written *)
+  mutable inflight : int;  (* batched requests not yet answered *)
+  mutable eof : bool;  (* peer half-closed; stop reading *)
+  mutable close_after_flush : bool;  (* unrecoverable stream; drop once quiet *)
+}
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  batcher : Batcher.t;
+  listen_fd : Unix.file_descr;
+  read_buf : Bytes.t;
+  conns : (int, conn) Hashtbl.t;
+  started : float;
+  mutable next_key : int;
+  mutable draining : bool;
+  mutable accepting : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+
+let stats_json t =
+  let c name = Json.Num (float_of_int (Obs.Metrics.counter name)) in
+  let uptime = now () -. t.started in
+  let requests = Obs.Metrics.counter "serve.requests" in
+  Json.Obj
+    [
+      ("uptime_s", Json.Num uptime);
+      ("requests", c "serve.requests");
+      ("points", c "serve.points");
+      ("qps", Json.Num (float_of_int requests /. Float.max uptime 1e-9));
+      ("batches", c "serve.batch.count");
+      ("queue_depth", Json.Num (float_of_int (Batcher.length t.batcher)));
+      ("models_loaded", Json.Num (float_of_int (Registry.loaded t.registry)));
+      ( "registry",
+        Json.Obj
+          [
+            ("hit", c "serve.registry.hit");
+            ("miss", c "serve.registry.miss");
+            ("evict", c "serve.registry.evict");
+          ] );
+      ( "rejected",
+        Json.Obj
+          [
+            ("timeout", c "serve.rejected.timeout");
+            ("overloaded", c "serve.rejected.overloaded");
+          ] );
+      ("metrics", Obs.Metrics.snapshot ());
+    ]
+
+let enqueue_response t conn ?id resp =
+  ignore t;
+  Queue.add (Protocol.frame_of_json (Protocol.response_to_json ?id resp))
+    conn.outq
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch *)
+
+let dispatch t conn ?id req =
+  Obs.Metrics.incr "serve.requests";
+  match req with
+  | Protocol.Ping -> enqueue_response t conn ?id (Protocol.R_pong t.config.versions)
+  | Protocol.Stats -> enqueue_response t conn ?id (Protocol.R_stats (stats_json t))
+  | Protocol.Shutdown ->
+    t.draining <- true;
+    enqueue_response t conn ?id Protocol.R_draining
+  | Protocol.Info path -> (
+    match Registry.find t.registry path with
+    | Error e -> enqueue_response t conn ?id (Protocol.R_error e)
+    | Ok entry ->
+      enqueue_response t conn ?id
+        (Protocol.R_info
+           {
+             Protocol.digest = entry.Registry.digest;
+             order = entry.Registry.order;
+             symbols = entry.Registry.symbols;
+             nominals = entry.Registry.nominals;
+           }))
+  | Protocol.Eval e -> (
+    match Registry.find t.registry e.Protocol.model with
+    | Error err -> enqueue_response t conn ?id (Protocol.R_error err)
+    | Ok entry -> (
+      let nsym = Array.length entry.Registry.symbols in
+      let bad_row =
+        Array.exists (fun row -> Array.length row <> nsym) e.Protocol.points
+      in
+      if bad_row then
+        enqueue_response t conn ?id
+          (Protocol.R_error
+             (Err.make Invalid_request ~where:"serve.request"
+                (Printf.sprintf "point width mismatch: model has %d symbols"
+                   nsym)))
+      else
+        let arrived = now () in
+        let pending =
+          {
+            Batcher.key = conn.key;
+            id;
+            entry;
+            points = e.Protocol.points;
+            arrived;
+            deadline =
+              Option.map (fun ms -> arrived +. (ms /. 1e3)) e.Protocol.deadline_ms;
+          }
+        in
+        match Batcher.submit t.batcher pending with
+        | Ok () -> conn.inflight <- conn.inflight + 1
+        | Error err -> enqueue_response t conn ?id (Protocol.R_error err)))
+
+let handle_frame t conn payload =
+  match Json.of_string payload with
+  | Error msg ->
+    enqueue_response t conn
+      (Protocol.R_error
+         (Err.make Parse ~where:"serve.frame" ("malformed JSON frame: " ^ msg)))
+  | Ok j -> (
+    match Protocol.request_of_json j with
+    | Error e -> enqueue_response t conn (Protocol.R_error e)
+    | Ok (id, req) -> dispatch t conn ?id req)
+
+(* Drain [conn.inbuf] of every complete frame. *)
+let rec handle_buffered t conn =
+  match Protocol.pop_frame conn.inbuf with
+  | `Need_more -> ()
+  | `Oversized n ->
+    enqueue_response t conn
+      (Protocol.R_error
+         (Err.make Parse ~where:"serve.frame"
+            (Printf.sprintf "frame of %d bytes exceeds max %d" n
+               Protocol.max_frame)));
+    conn.close_after_flush <- true
+  | `Frame payload ->
+    handle_frame t conn payload;
+    if not conn.close_after_flush then handle_buffered t conn
+
+(* ------------------------------------------------------------------ *)
+(* Connection I/O *)
+
+let drop_conn t conn =
+  Hashtbl.remove t.conns conn.key;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let service_read t conn =
+  match Unix.read conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | 0 -> conn.eof <- true
+  | k ->
+    Buffer.add_subbytes conn.inbuf t.read_buf 0 k;
+    handle_buffered t conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn t conn
+
+let service_write t conn =
+  match Queue.peek_opt conn.outq with
+  | None -> ()
+  | Some head -> (
+    let len = String.length head - conn.out_off in
+    match
+      Unix.write_substring conn.fd head conn.out_off len
+    with
+    | k ->
+      if k = len then begin
+        ignore (Queue.pop conn.outq);
+        conn.out_off <- 0
+      end
+      else conn.out_off <- conn.out_off + k
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+      drop_conn t conn)
+
+let accept_loop t =
+  let continue = ref t.accepting in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let key = t.next_key in
+      t.next_key <- key + 1;
+      Hashtbl.replace t.conns key
+        {
+          fd;
+          key;
+          inbuf = Buffer.create 4096;
+          outq = Queue.create ();
+          out_off = 0;
+          inflight = 0;
+          eof = false;
+          close_after_flush = false;
+        };
+      Obs.Metrics.incr "serve.connections"
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let create config =
+  let registry =
+    Registry.create ?cache_gc_bytes:config.cache_gc_bytes
+      ~max_models:config.max_models ()
+  in
+  (if Sys.file_exists config.socket_path then
+     try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listen_fd (ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  {
+    config;
+    registry;
+    batcher = Batcher.create config.batch;
+    listen_fd;
+    read_buf = Bytes.create 65536;
+    conns = Hashtbl.create 16;
+    started = now ();
+    next_key = 0;
+    draining = false;
+    accepting = true;
+  }
+
+let quiescent t =
+  Batcher.length t.batcher = 0
+  && Hashtbl.fold
+       (fun _ c acc -> acc && Queue.is_empty c.outq && c.inflight = 0)
+       t.conns true
+
+let stop_accepting t =
+  if t.accepting then begin
+    t.accepting <- false;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+
+(* One loop iteration; returns false once the daemon should exit. *)
+let step t ~stop =
+  if !stop then t.draining <- true;
+  if t.draining then stop_accepting t;
+  if t.draining && quiescent t then false
+  else begin
+    let readables =
+      (if t.accepting then [ t.listen_fd ] else [])
+      @ Hashtbl.fold
+          (fun _ c acc -> if c.eof || c.close_after_flush then acc else c.fd :: acc)
+          t.conns []
+    in
+    let writables =
+      Hashtbl.fold
+        (fun _ c acc -> if Queue.is_empty c.outq then acc else c.fd :: acc)
+        t.conns []
+    in
+    let timeout =
+      match Batcher.due t.batcher ~now:(now ()) with
+      | Some s -> Float.min s 0.5
+      | None -> 0.5
+    in
+    (match Unix.select readables writables [] timeout with
+    | rs, ws, _ ->
+      if List.memq t.listen_fd rs then accept_loop t;
+      (* Service reads on a stable snapshot: dispatch may drop conns. *)
+      let by_fd fds =
+        Hashtbl.fold
+          (fun _ c acc -> if List.memq c.fd fds then c :: acc else acc)
+          t.conns []
+      in
+      List.iter (fun c -> service_read t c) (by_fd rs);
+      let n = now () in
+      if
+        Batcher.ready t.batcher ~now:n
+        || (t.draining && Batcher.length t.batcher > 0)
+      then begin
+        let responses = Batcher.flush t.batcher ~now:n in
+        List.iter
+          (fun (key, id, resp) ->
+            match Hashtbl.find_opt t.conns key with
+            | None -> () (* peer vanished; response has nowhere to go *)
+            | Some c ->
+              c.inflight <- c.inflight - 1;
+              enqueue_response t c ?id resp)
+          responses
+      end;
+      List.iter (fun c -> service_write t c) (by_fd ws);
+      (* Reap connections that are finished. *)
+      let doomed =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if
+              Queue.is_empty c.outq && c.inflight = 0
+              && (c.eof || c.close_after_flush)
+            then c :: acc
+            else acc)
+          t.conns []
+      in
+      List.iter (fun c -> drop_conn t c) doomed
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    true
+  end
+
+let shutdown t =
+  stop_accepting t;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  Hashtbl.reset t.conns
+
+let run ?(log = ignore) config =
+  (* Serve metrics must record without the CLI --stats flag; the daemon
+     owns the process, so flipping the master switch is its call.  Spans
+     stay rare (model loads only), so the sink cannot grow unboundedly
+     under steady traffic. *)
+  Obs.enabled := true;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let previous =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let t = create config in
+  log
+    (Printf.sprintf "awesym serve: listening on %s (max batch %d, linger %g ms)"
+       config.socket_path config.batch.Batcher.max_batch
+       (config.batch.Batcher.linger_s *. 1e3));
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown t;
+      Sys.set_signal Sys.sigterm previous;
+      log
+        (Printf.sprintf "awesym serve: drained; final stats: %s"
+           (Json.to_string (stats_json t))))
+    (fun () ->
+      while step t ~stop do
+        ()
+      done)

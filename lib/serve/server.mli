@@ -1,0 +1,55 @@
+(** The serving daemon: one select loop over a Unix-domain socket.
+
+    A single domain owns all connection state, the model {!Registry}, and
+    the {!Batcher}; evaluation fans across the worker pool inside the
+    batch kernel, so the loop honors the single-owner evaluator contract
+    while still saturating the machine.  SIGTERM (or a [shutdown]
+    request) starts a graceful drain: the listen socket closes, queued
+    evaluations finish, their responses flush, and the loop exits without
+    losing any in-flight request.  Malformed frames answer classified
+    errors rather than killing the daemon.
+
+    Operational details live in [docs/SERVING.md]. *)
+
+type config = {
+  socket_path : string;
+  batch : Batcher.config;
+  max_models : int;  (** registry LRU capacity *)
+  cache_gc_bytes : int option;
+      (** run [Cache.gc] at startup with this budget; [None] skips *)
+  versions : (string * string) list;
+      (** the pong version inventory; the CLI passes the full schema
+          list that [awesym --version] prints *)
+}
+
+val default_versions : (string * string) list
+(** Serve schema + artifact format; the CLI prepends binary and sweep
+    versions. *)
+
+val default_config : socket_path:string -> config
+(** Default batching knobs, 8 resident models, 256 MiB cache budget. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (replacing any stale socket file).  Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
+
+val step : t -> stop:bool ref -> bool
+(** One loop iteration: select, accept, read, dispatch, flush due
+    batches, write.  Returns [false] once draining has completed and the
+    daemon should exit.  Exposed so tests can drive the loop in-process;
+    [run] is the production wrapper. *)
+
+val stats_json : t -> Obs.Json.t
+(** The payload a [stats] request answers with. *)
+
+val shutdown : t -> unit
+(** Close the listen socket, unlink the socket path, drop every
+    connection.  Idempotent. *)
+
+val run : ?log:(string -> unit) -> config -> unit
+(** Create, install signal handlers (SIGTERM drains, SIGPIPE ignored),
+    loop until drained, then tear down and report final stats via
+    [log].  Sets [Obs.enabled] — a daemon always records its own
+    metrics. *)

@@ -643,11 +643,13 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
   in
   { seed; plan; n; order; policy; summaries; spec_yields; yield; failed }
 
+let schema = "awesymbolic-sweep/2"
+
 let to_json r =
   let open Obs.Json in
   Obj
     [
-      ("schema", Str "awesymbolic-sweep/2");
+      ("schema", Str schema);
       ("seed", Num (float_of_int r.seed));
       ("points", Num (float_of_int r.n));
       ("survivors", Num (float_of_int (survivors r)));

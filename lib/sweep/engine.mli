@@ -160,6 +160,10 @@ val run :
     [sweep.fault.quarantined], [sweep.checkpoint.chunks_written],
     [sweep.checkpoint.chunks_resumed]; span [sweep.run]. *)
 
+val schema : string
+(** Report schema identifier (["awesymbolic-sweep/2"]), exported so
+    [awesym --version] can enumerate every wire/artifact format. *)
+
 val to_json : result -> Obs.Json.t
 (** Machine-readable report (schema ["awesymbolic-sweep/2"]), recording
     the seed so any run can be reproduced exactly.  Relative to schema

@@ -490,11 +490,21 @@ let make_batch_evaluator ?(block = default_block) ?jobs p =
   in
   let nregs = Array.length p.init in
   (* One register file per worker; file 0 doubles as the sequential
-     path's.  The evaluator closure owns them, so it must not be called
-     concurrently with itself. *)
+     path's.  The evaluator closure owns them — its register files are
+     single-owner state, so two overlapping calls would interleave
+     writes into the same lanes and silently corrupt both results.  The
+     [busy] latch turns that data race into an immediate
+     [Invalid_argument]: callers wanting concurrent batches (e.g. a
+     serving scheduler) must keep one evaluator per owning domain. *)
   let files = Array.init jobs (fun _ -> Array.init nregs (fun _ -> Array.make block 0.0)) in
   let preload = preloaded_registers p in
+  let busy = Atomic.make false in
   fun inputs ->
+    if not (Atomic.compare_and_set busy false true) then
+      invalid_arg
+        "Slp.make_batch_evaluator: evaluator called concurrently (its \
+         register file is single-owner; make one evaluator per domain)";
+    Fun.protect ~finally:(fun () -> Atomic.set busy false) @@ fun () ->
     if Array.length inputs <> Array.length p.inputs then
       invalid_arg "Slp.eval_batch: wrong number of input columns";
     if Array.length inputs = 0 then

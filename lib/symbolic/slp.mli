@@ -115,8 +115,17 @@ val make_batch_evaluator :
     at creation) and returns the batch evaluation closure — {!eval_batch}
     is [make_batch_evaluator] applied immediately.  Unlike
     {!make_evaluator}, returned output columns are fresh on every call.
-    The closure owns its register files: do not call one closure from
-    multiple domains concurrently. *)
+
+    {b Ownership contract:} the closure's register files are
+    {e single-owner} — one call at a time.  Two overlapping calls from
+    different domains would interleave writes into the same lanes, so the
+    closure latches a busy flag and the losing call raises
+    [Invalid_argument] instead of corrupting both results (enforced by the
+    [batch evaluator is single-owner] test in [test_symbolic.ml]).
+    Callers that evaluate concurrently — e.g. the serve scheduler — must
+    keep one evaluator per owning domain; note each evaluator already fans
+    its own blocks across [jobs] domains internally, so a single owner
+    still saturates the pool. *)
 
 val to_exprs : t -> Expr.t array
 (** Reconstruct the output expression DAGs from the bytecode (the inverse of

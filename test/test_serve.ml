@@ -1,0 +1,488 @@
+(* Tests for the serving daemon: wire-protocol round-trips, malformed
+   frame rejection, bit-identity with offline evaluation under concurrent
+   clients, deadline expiry, backpressure, graceful drain, and the cache
+   GC the daemon runs at startup.
+
+   The in-process harness spawns the server loop in its own domain and
+   drives it through real Unix-domain sockets with the blocking client —
+   the same code paths production takes, minus the process boundary.
+   Drain tests flip the same [stop] ref the SIGTERM handler flips. *)
+
+module Protocol = Serve.Protocol
+module Json = Obs.Json
+module Err = Awesym_error
+module Model = Awesymbolic.Model
+module Netlist = Circuit.Netlist
+
+let bits = Int64.bits_of_float
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+(* Compiled-model fixture: fig1 with two symbols, saved as an artifact. *)
+let fixture =
+  lazy
+    (let nl = Circuit.Builders.fig1 () in
+     let nl = Netlist.mark_symbolic nl "C1" (Symbolic.Symbol.intern "C1") in
+     let nl = Netlist.mark_symbolic nl "G2" (Symbolic.Symbol.intern "G2") in
+     let model = Model.build ~order:2 nl in
+     let dir = temp_dir "awesym_serve_model" in
+     let path = Filename.concat dir "fig1.awm" in
+     Model.save model path;
+     (model, path))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: bit-exact floats and codec round-trips *)
+
+let special_floats =
+  [ 0.0; -0.0; 1.0; -1.0; Float.pi; 1e-300; -1e300; Float.epsilon;
+    Float.infinity; Float.neg_infinity; Float.nan; Float.min_float;
+    Float.max_float ]
+
+let test_hex_float_round_trip () =
+  List.iter
+    (fun v ->
+      match Protocol.float_of_hex (Protocol.hex_of_float v) with
+      | Some v' ->
+        Alcotest.(check int64) "bits preserved" (bits v) (bits v')
+      | None -> Alcotest.fail "hex round-trip refused its own encoding")
+    special_floats;
+  Alcotest.(check (option (float 0.0))) "short rejected" None
+    (Protocol.float_of_hex "abc");
+  Alcotest.(check (option (float 0.0))) "non-hex rejected" None
+    (Protocol.float_of_hex "zzzzzzzzzzzzzzzz")
+
+let gen_weird_float =
+  QCheck2.Gen.(
+    oneof [ float; oneofl special_floats; map Int64.float_of_bits int64 ])
+
+let gen_points =
+  QCheck2.Gen.(
+    let* rows = int_range 0 4 in
+    let* cols = int_range 1 3 in
+    array_repeat rows (array_repeat cols gen_weird_float))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Protocol.Ping;
+        return Protocol.Stats;
+        return Protocol.Shutdown;
+        map (fun m -> Protocol.Info m) string_printable;
+        (let* model = string_printable in
+         let* points = gen_points in
+         let* deadline_ms = option (map Float.abs float) in
+         return (Protocol.Eval { Protocol.model; points; deadline_ms }));
+      ])
+
+let gen_id =
+  QCheck2.Gen.(
+    option
+      (oneof
+         [ map (fun n -> Json.Num (float_of_int n)) nat;
+           map (fun s -> Json.Str s) string_printable ]))
+
+(* encode∘decode = id, compared through the canonical serialization —
+   floats travel as hex bit patterns, so string equality is bit
+   equality. *)
+let prop_request_round_trip =
+  QCheck2.Test.make ~name:"protocol request round trip" ~count:200
+    QCheck2.Gen.(pair gen_id gen_request)
+    (fun (id, req) ->
+      let j = Protocol.request_to_json ?id req in
+      match Protocol.request_of_json j with
+      | Error e -> QCheck2.Test.fail_report (Err.to_string e)
+      | Ok (id', req') ->
+        Json.to_string j = Json.to_string (Protocol.request_to_json ?id:id' req'))
+
+let gen_response =
+  QCheck2.Gen.(
+    let hex16 =
+      map (fun v -> Protocol.hex_of_float v) gen_weird_float
+    in
+    ignore hex16;
+    oneof
+      [
+        return Protocol.R_draining;
+        map (fun kvs -> Protocol.R_pong kvs)
+          (small_list (pair string_printable string_printable));
+        (let* digest = string_printable in
+         let* order = int_range 1 8 in
+         let* nominals = array_repeat 3 gen_weird_float in
+         return
+           (Protocol.R_info
+              { Protocol.digest; order; symbols = [| "a"; "b"; "c" |]; nominals }));
+        (let* digest = string_printable in
+         let* order = int_range 1 8 in
+         let* moments = gen_points in
+         return (Protocol.R_eval { Protocol.digest; order; moments }));
+        return (Protocol.R_stats (Json.Obj [ ("x", Json.Num 1.0) ]));
+        (let* kind = oneofl Err.all_kinds in
+         let* msg = string_printable in
+         return (Protocol.R_error (Err.make kind ~where:"serve.test" msg)));
+      ])
+
+let prop_response_round_trip =
+  QCheck2.Test.make ~name:"protocol response round trip" ~count:200
+    QCheck2.Gen.(pair gen_id gen_response)
+    (fun (id, resp) ->
+      let j = Protocol.response_to_json ?id resp in
+      match Protocol.response_of_json j with
+      | Error e -> QCheck2.Test.fail_report (Err.to_string e)
+      | Ok (id', resp') ->
+        Json.to_string j = Json.to_string (Protocol.response_to_json ?id:id' resp'))
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let test_pop_frame_incremental () =
+  let payload = {|{"schema":"awesymbolic-serve/1","op":"ping"}|} in
+  let wire = Protocol.frame payload ^ Protocol.frame "second" in
+  let buf = Buffer.create 16 in
+  (* Deliver byte by byte: nothing pops until the first frame completes. *)
+  let first = Protocol.frame payload in
+  String.iteri
+    (fun i c ->
+      if i < String.length first - 1 then begin
+        Buffer.add_char buf c;
+        match Protocol.pop_frame buf with
+        | `Need_more -> ()
+        | _ -> Alcotest.fail "popped before the frame was complete"
+      end)
+    wire;
+  Buffer.add_substring buf wire (String.length first - 1)
+    (String.length wire - String.length first + 1);
+  (match Protocol.pop_frame buf with
+  | `Frame p -> Alcotest.(check string) "first payload" payload p
+  | _ -> Alcotest.fail "first frame should pop");
+  match Protocol.pop_frame buf with
+  | `Frame p -> Alcotest.(check string) "second payload" "second" p
+  | _ -> Alcotest.fail "second frame should pop"
+
+let test_pop_frame_oversized () =
+  let buf = Buffer.create 8 in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Protocol.max_frame + 1));
+  Buffer.add_bytes buf header;
+  match Protocol.pop_frame buf with
+  | `Oversized n -> Alcotest.(check int) "reported size" (Protocol.max_frame + 1) n
+  | _ -> Alcotest.fail "oversized prefix must be rejected"
+
+let test_read_frame_truncated () =
+  (* A peer that dies mid-frame must read as [`Closed], not hang or
+     return a short payload. *)
+  let r, w = Unix.pipe () in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 100l;
+  ignore (Unix.write w header 0 4);
+  ignore (Unix.write_substring w "only ten b" 0 10);
+  Unix.close w;
+  (match Protocol.read_frame r with
+  | Error `Closed -> ()
+  | Error (`Oversized _) -> Alcotest.fail "truncated read as oversized"
+  | Ok _ -> Alcotest.fail "truncated frame must not decode");
+  Unix.close r
+
+let expect_parse_error = function
+  | Error e when e.Err.kind = Err.Parse -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "malformed input must be rejected"
+
+let test_garbage_requests_rejected () =
+  let decode s =
+    match Json.of_string s with
+    | Error _ -> Alcotest.fail "fixture JSON must parse"
+    | Ok j -> Protocol.request_of_json j
+  in
+  expect_parse_error (decode {|{"op":"ping"}|});
+  expect_parse_error (decode {|{"schema":"awesymbolic-serve/0","op":"ping"}|});
+  expect_parse_error (decode {|{"schema":"awesymbolic-serve/1","op":"mystery"}|});
+  expect_parse_error (decode {|{"schema":"awesymbolic-serve/1"}|});
+  expect_parse_error
+    (decode {|{"schema":"awesymbolic-serve/1","op":"eval","model":"m"}|});
+  expect_parse_error
+    (decode
+       {|{"schema":"awesymbolic-serve/1","op":"eval","model":"m","points":[["xyz"]]}|})
+
+(* ------------------------------------------------------------------ *)
+(* In-process server harness *)
+
+let with_server ?batch ?(max_models = 8) f =
+  let batch =
+    match batch with Some b -> b | None -> Serve.Batcher.default_config
+  in
+  let dir = temp_dir "awesym_serve_sock" in
+  let sock = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Serve.Server.socket_path = sock;
+      batch;
+      max_models;
+      cache_gc_bytes = None;
+      versions = Serve.Server.default_versions;
+    }
+  in
+  let t = Serve.Server.create config in
+  let stop = ref false in
+  let loop = Domain.spawn (fun () -> while Serve.Server.step t ~stop do () done) in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Domain.join loop;
+      Serve.Server.shutdown t)
+    (fun () -> f ~sock ~stop)
+
+let client sock =
+  match Serve.Client.connect sock with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Err.to_string e)
+
+let ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (Err.to_string e)
+
+let check_moments_match model points (r : Protocol.eval_result) =
+  Array.iteri
+    (fun i pt ->
+      let expected = Model.eval_moments model pt in
+      Alcotest.(check int) "moment count" (Array.length expected)
+        (Array.length r.Protocol.moments.(i));
+      Array.iteri
+        (fun j m ->
+          if bits m <> bits expected.(j) then
+            Alcotest.failf "point %d moment %d: served %h <> offline %h" i j m
+              expected.(j))
+        r.Protocol.moments.(i))
+    points
+
+let test_ping_and_info () =
+  let model, path = Lazy.force fixture in
+  with_server @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  let versions = ok "ping" (Serve.Client.ping c) in
+  Alcotest.(check (option string)) "serve schema advertised"
+    (Some Protocol.schema)
+    (List.assoc_opt "serve" versions);
+  let info = ok "info" (Serve.Client.info c path) in
+  Alcotest.(check int) "order" (Model.order model) info.Protocol.order;
+  Alcotest.(check (array string)) "symbols"
+    (Array.map Symbolic.Symbol.name (Model.symbols model))
+    info.Protocol.symbols;
+  (* Same bytes under a second path = same registry identity. *)
+  let copy = Filename.concat (Filename.dirname path) "copy.awm" in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin copy (fun oc -> Out_channel.output_string oc data);
+  let info2 = ok "info copy" (Serve.Client.info c copy) in
+  Alcotest.(check string) "content-checksum identity" info.Protocol.digest
+    info2.Protocol.digest;
+  (match Serve.Client.info c (Filename.concat (Filename.dirname path) "no.awm") with
+  | Error e when e.Err.kind = Err.Invalid_request -> ()
+  | Error e -> Alcotest.failf "wrong kind for missing artifact: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "missing artifact must error");
+  Serve.Client.close c
+
+(* The acceptance criterion: concurrent clients, random batch shapes,
+   every response bit-identical to offline evaluation. *)
+let test_concurrent_clients_bit_identical () =
+  let model, path = Lazy.force fixture in
+  let nominals = Model.nominal_values model in
+  with_server @@ fun ~sock ~stop:_ ->
+  let nclients = 4 and iters = 15 in
+  let worker ci =
+    Domain.spawn (fun () ->
+        let rng = Random.State.make [| 0xbeef; ci |] in
+        let c = client sock in
+        let out = ref [] in
+        for _ = 1 to iters do
+          let n = 1 + Random.State.int rng 4 in
+          let points =
+            Array.init n (fun _ ->
+                Array.map
+                  (fun nom -> nom *. (0.5 +. Random.State.float rng 1.0))
+                  nominals)
+          in
+          let r = ok "eval" (Serve.Client.eval c ~model:path points) in
+          out := (points, r) :: !out
+        done;
+        Serve.Client.close c;
+        !out)
+  in
+  let domains = List.init nclients worker in
+  let results = List.concat_map Domain.join domains in
+  Alcotest.(check int) "all requests answered" (nclients * iters)
+    (List.length results);
+  List.iter (fun (points, r) -> check_moments_match model points r) results
+
+let test_deadline_expiry () =
+  let _, path = Lazy.force fixture in
+  (* A long linger so the deadline, not the linger, triggers the flush. *)
+  let batch =
+    { Serve.Batcher.max_batch = 4096; linger_s = 5.0; max_queue = 16 }
+  in
+  with_server ~batch @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  (* A negative relative deadline is expired on arrival, deterministically
+     — a deadline of 0 can survive if admission and flush land on the
+     same clock tick. *)
+  (match Serve.Client.eval c ~deadline_ms:(-1.0) ~model:path [| [| 1.0; 1.0 |] |] with
+  | Error e when e.Err.kind = Err.Timeout -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "an already-expired deadline must answer timeout");
+  Serve.Client.close c
+
+let queue_depth c =
+  match ok "stats" (Serve.Client.stats c) with
+  | s -> (
+    match Json.member "queue_depth" s with
+    | Some (Json.Num d) -> int_of_float d
+    | _ -> Alcotest.fail "stats without queue_depth")
+
+let rec wait_for_depth c want tries =
+  if tries = 0 then Alcotest.failf "queue never reached depth %d" want
+  else if queue_depth c >= want then ()
+  else begin
+    Unix.sleepf 0.02;
+    wait_for_depth c want (tries - 1)
+  end
+
+let test_backpressure_overload () =
+  let model, path = Lazy.force fixture in
+  let batch =
+    { Serve.Batcher.max_batch = 4096; linger_s = 10.0; max_queue = 1 }
+  in
+  with_server ~batch @@ fun ~sock ~stop ->
+  let point = [| Model.nominal_values model |] in
+  (* First request parks in the queue (10 s linger keeps it there). *)
+  let parked =
+    Domain.spawn (fun () ->
+        let c = client sock in
+        let r = Serve.Client.eval c ~model:path point in
+        Serve.Client.close c;
+        r)
+  in
+  let c = client sock in
+  wait_for_depth c 1 200;
+  (* Queue full: the next admission is load-shed, not buffered. *)
+  (match Serve.Client.eval c ~model:path point with
+  | Error e when e.Err.kind = Err.Overloaded -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "a full queue must shed load");
+  Serve.Client.close c;
+  (* Drain: the parked request still completes, correctly. *)
+  stop := true;
+  let r = ok "parked eval" (Domain.join parked) in
+  check_moments_match model point r
+
+(* SIGTERM drain loses zero in-flight requests: park several requests
+   behind a long linger, flip the stop ref (exactly what the SIGTERM
+   handler does), and require every parked client to get a correct
+   response before the loop exits. *)
+let test_drain_completes_in_flight () =
+  let model, path = Lazy.force fixture in
+  let nominals = Model.nominal_values model in
+  let batch =
+    { Serve.Batcher.max_batch = 4096; linger_s = 10.0; max_queue = 64 }
+  in
+  with_server ~batch @@ fun ~sock ~stop ->
+  let nclients = 3 in
+  let workers =
+    List.init nclients (fun ci ->
+        Domain.spawn (fun () ->
+            let c = client sock in
+            let points =
+              [| Array.map (fun v -> v *. (1.0 +. (0.1 *. float_of_int ci))) nominals |]
+            in
+            let r = Serve.Client.eval c ~model:path points in
+            Serve.Client.close c;
+            (points, r)))
+  in
+  let c = client sock in
+  wait_for_depth c nclients 200;
+  Serve.Client.close c;
+  stop := true;
+  List.iter
+    (fun d ->
+      let points, r = Domain.join d in
+      check_moments_match model points (ok "drained eval" r))
+    workers
+
+(* The `shutdown` request takes the same drain path as SIGTERM. *)
+let test_shutdown_request_drains () =
+  let _, path = Lazy.force fixture in
+  with_server @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  let r = ok "eval" (Serve.Client.eval c ~model:path [| [| 1.0; 1.0 |] |]) in
+  Alcotest.(check int) "answered before shutdown" 1
+    (Array.length r.Protocol.moments);
+  ok "shutdown" (Serve.Client.shutdown c);
+  Serve.Client.close c
+
+(* ------------------------------------------------------------------ *)
+(* Cache GC (the daemon runs this at startup; `awesym cache gc` too) *)
+
+let test_cache_gc () =
+  let dir = temp_dir "awesym_cache_gc" in
+  let write name size mtime =
+    let p = Filename.concat dir name in
+    Out_channel.with_open_bin p (fun oc ->
+        Out_channel.output_string oc (String.make size 'x'));
+    Unix.utimes p mtime mtime;
+    p
+  in
+  let now = Unix.gettimeofday () in
+  let oldest = write "a.awm" 1000 (now -. 300.0) in
+  let newer = write "b.awm" 1000 (now -. 100.0) in
+  let newest = write "c.awm" 1000 now in
+  let leftover = write "crash.tmp" 50 now in
+  let stats = Awesymbolic.Cache.gc ~dir ~max_bytes:2000 () in
+  Alcotest.(check int) "scanned" 3 stats.Awesymbolic.Cache.scanned;
+  Alcotest.(check int) "deleted oldest only" 1 stats.Awesymbolic.Cache.deleted;
+  Alcotest.(check int) "bytes before" 3000 stats.Awesymbolic.Cache.bytes_before;
+  Alcotest.(check int) "bytes after" 2000 stats.Awesymbolic.Cache.bytes_after;
+  Alcotest.(check bool) "oldest evicted" false (Sys.file_exists oldest);
+  Alcotest.(check bool) "newer kept" true (Sys.file_exists newer);
+  Alcotest.(check bool) "newest kept" true (Sys.file_exists newest);
+  Alcotest.(check bool) ".tmp leftovers swept" false (Sys.file_exists leftover);
+  (* Idempotent under budget; a missing directory is an empty cache. *)
+  let again = Awesymbolic.Cache.gc ~dir ~max_bytes:2000 () in
+  Alcotest.(check int) "no further deletions" 0 again.Awesymbolic.Cache.deleted;
+  let missing = Awesymbolic.Cache.gc ~dir:(Filename.concat dir "nope") ~max_bytes:0 () in
+  Alcotest.(check int) "missing dir scans nothing" 0
+    missing.Awesymbolic.Cache.scanned;
+  match Awesymbolic.Cache.gc ~dir ~max_bytes:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative budget must be rejected"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let props = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          quick "hex float round trip" test_hex_float_round_trip;
+          quick "incremental frame extraction" test_pop_frame_incremental;
+          quick "oversized frame rejected" test_pop_frame_oversized;
+          quick "truncated frame reads as closed" test_read_frame_truncated;
+          quick "garbage requests rejected" test_garbage_requests_rejected;
+        ]
+        @ props [ prop_request_round_trip; prop_response_round_trip ] );
+      ( "daemon",
+        [
+          quick "ping and model info" test_ping_and_info;
+          quick "concurrent clients bit-identical to offline"
+            test_concurrent_clients_bit_identical;
+          quick "deadline expiry classified as timeout" test_deadline_expiry;
+          quick "full queue sheds load" test_backpressure_overload;
+          quick "drain completes in-flight requests"
+            test_drain_completes_in_flight;
+          quick "shutdown request drains" test_shutdown_request_drains;
+        ] );
+      ("cache", [ quick "gc evicts oldest first" test_cache_gc ]);
+    ]
