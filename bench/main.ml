@@ -851,11 +851,11 @@ let serve_bench () =
      aligns. *)
   let config =
     {
-      Serve.Server.socket_path = sock;
-      batch = { Serve.Batcher.default_config with Serve.Batcher.linger_s = 2e-4 };
+      (Serve.Server.default_config ~socket_path:sock) with
+      Serve.Server.batch =
+        { Serve.Batcher.default_config with Serve.Batcher.linger_s = 2e-4 };
       max_models = 4;
       cache_gc_bytes = None;
-      versions = Serve.Server.default_versions;
     }
   in
   let server = Serve.Server.create config in
@@ -1116,6 +1116,277 @@ let run_json path ids =
        ]);
   Printf.printf "\nbench stats written to %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* `check`: the perf-regression guard.  Compares a fresh bench run (or a
+   fresh --json file) against the committed baseline and fails with a
+   readable delta table when a directional metric regresses beyond the
+   experiment's tolerance. *)
+
+type bench_run = { wall_s : float; counters : (string * float) list }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_bench_doc path : (string * bench_run) list =
+  let module J = Obs.Json in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "bench check: %s: %s\n" path m;
+        exit 2)
+      fmt
+  in
+  let doc =
+    match J.of_string (read_file path) with
+    | Ok d -> d
+    | Error msg -> fail "malformed JSON: %s" msg
+    | exception Sys_error msg -> fail "%s" msg
+  in
+  (match J.member "schema" doc with
+  | Some (J.Str "awesymbolic-bench/1") -> ()
+  | Some (J.Str s) -> fail "schema mismatch: %s (want awesymbolic-bench/1)" s
+  | _ -> fail "missing schema field");
+  match J.member "experiments" doc with
+  | Some (J.List entries) ->
+    List.filter_map
+      (fun e ->
+        match (J.member "id" e, J.member "wall_s" e) with
+        | Some (J.Str id), Some (J.Num wall_s) ->
+          let counters =
+            match
+              Option.bind (J.member "metrics" e) (J.member "counters")
+            with
+            | Some (J.Obj fields) ->
+              List.filter_map
+                (function n, J.Num v -> Some (n, v) | _ -> None)
+                fields
+            | _ -> []
+          in
+          Some (id, { wall_s; counters })
+        | _ -> None)
+      entries
+  | _ -> fail "missing experiments list"
+
+(* Re-run experiments in-process and collect the same shape run_json
+   writes, so `check` can either re-measure or diff two files. *)
+let collect_runs ids : (string * bench_run) list =
+  Obs.enabled := true;
+  let out =
+    List.map
+      (fun (id, f) ->
+        Obs.reset ();
+        let (), wall_s = Obs.Span.timed f in
+        let counters =
+          List.map
+            (fun (n, v) -> (n, float_of_int v))
+            (Obs.Metrics.counters_list ())
+        in
+        (id, { wall_s; counters }))
+      (select ids)
+  in
+  Obs.enabled := false;
+  out
+
+type direction = Lower_better | Higher_better | Exact | Info
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Direction is inferred from the metric-name convention the experiments
+   already follow: _ns/_us totals and wall time want to shrink, rates and
+   speedups want to grow, *identical flags must not drop, and plain
+   workload counters (lu.factor.count, ...) are informational. *)
+let direction_of name =
+  (* Suffixes attach to the final dot-segment: bench.serve.rps is a rate
+     even though there is no underscore before "rps". *)
+  let leaf =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let rate suffix = leaf = suffix || String.ends_with ~suffix:("_" ^ suffix) leaf in
+  if contains_sub name "identical" then Exact
+  else if name = "wall_s" || rate "ns" || rate "us" then Lower_better
+  else if rate "rps" || rate "pps" || contains_sub name "speedup" then
+    Higher_better
+  else Info
+
+(* Per-experiment tolerances (fraction of the baseline value).  Serving
+   and scaling experiments measure latency under real concurrency, so
+   they get the widest band; anything unlisted uses the default (which
+   --tolerance overrides). *)
+let default_tolerance = 0.5
+
+let experiment_tolerances =
+  [ ("serve", 0.75); ("sweep", 0.75); ("sweep-scaling", 0.75) ]
+
+(* Wall times below timer noise make relative deltas meaningless. *)
+let wall_s_floor = 0.05
+
+type delta = {
+  d_exp : string;
+  d_metric : string;
+  d_base : float;
+  d_fresh : float option;  (* None: metric vanished from the fresh run *)
+  d_tol : float;
+  d_regressed : bool;
+}
+
+let compare_runs ~tolerance baseline fresh =
+  List.concat_map
+    (fun (id, base) ->
+      match List.assoc_opt id fresh with
+      | None -> []
+      | Some fr ->
+        let tol =
+          match List.assoc_opt id experiment_tolerances with
+          | Some t -> Float.max t tolerance
+          | None -> tolerance
+        in
+        let check name bv fv_opt =
+          match direction_of name with
+          | Info -> None
+          | dir ->
+            let regressed =
+              match fv_opt with
+              | None -> true
+              | Some fv -> (
+                match dir with
+                | Exact -> fv < bv
+                | Lower_better ->
+                  (name <> "wall_s" || bv >= wall_s_floor)
+                  && bv > 0.0
+                  && fv > bv *. (1.0 +. tol)
+                | Higher_better -> bv > 0.0 && fv < bv *. (1.0 -. tol)
+                | Info -> false)
+            in
+            Some
+              {
+                d_exp = id;
+                d_metric = name;
+                d_base = bv;
+                d_fresh = fv_opt;
+                d_tol = tol;
+                d_regressed = regressed;
+              }
+        in
+        List.filter_map Fun.id
+          (check "wall_s" base.wall_s (Some fr.wall_s)
+          :: List.map
+               (fun (name, bv) ->
+                 check name bv (List.assoc_opt name fr.counters))
+               base.counters))
+    baseline
+
+let render_deltas out deltas =
+  Printf.fprintf out "%-14s %-34s %14s %14s %9s %6s  %s\n" "experiment"
+    "metric" "baseline" "fresh" "delta" "tol" "status";
+  List.iter
+    (fun d ->
+      let fresh_s, delta_s =
+        match d.d_fresh with
+        | None -> ("-", "-")
+        | Some fv ->
+          ( Printf.sprintf "%.6g" fv,
+            if d.d_base = 0.0 then "-"
+            else
+              Printf.sprintf "%+.1f%%" ((fv -. d.d_base) /. d.d_base *. 100.0)
+          )
+      in
+      Printf.fprintf out "%-14s %-34s %14.6g %14s %9s %5.0f%%  %s\n" d.d_exp
+        d.d_metric d.d_base fresh_s delta_s (d.d_tol *. 100.0)
+        (if d.d_regressed then
+           if d.d_fresh = None then "MISSING"
+           else "REGRESSED"
+         else "ok"))
+    deltas
+
+let run_check args =
+  let usage () =
+    prerr_endline
+      "usage: bench check [--baseline FILE] [--json FILE] [--report-only] \
+       [--tolerance PCT] [--out FILE] [ids...]";
+    exit 2
+  in
+  let baseline_path = ref "BENCH_pipeline.json" in
+  let fresh_path = ref None in
+  let report_only = ref false in
+  let tolerance = ref default_tolerance in
+  let out_path = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | "--baseline" :: p :: rest ->
+      baseline_path := p;
+      parse rest
+    | "--json" :: p :: rest ->
+      fresh_path := Some p;
+      parse rest
+    | "--report-only" :: rest ->
+      report_only := true;
+      parse rest
+    | "--tolerance" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> tolerance := p /. 100.0
+      | _ -> usage ());
+      parse rest
+    | "--out" :: p :: rest ->
+      out_path := Some p;
+      parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | id :: rest ->
+      ids := id :: !ids;
+      parse rest
+    | [] -> ()
+  in
+  parse args;
+  let ids = List.rev !ids in
+  let baseline = parse_bench_doc !baseline_path in
+  let baseline =
+    match ids with
+    | [] -> baseline
+    | _ -> List.filter (fun (id, _) -> List.mem id ids) baseline
+  in
+  if baseline = [] then begin
+    Printf.eprintf "bench check: no experiments selected from %s\n"
+      !baseline_path;
+    exit 2
+  end;
+  let fresh =
+    match !fresh_path with
+    | Some p -> parse_bench_doc p
+    | None ->
+      Printf.printf "bench check: re-running %d experiments...\n%!"
+        (List.length baseline);
+      collect_runs (List.map fst baseline)
+  in
+  let deltas = compare_runs ~tolerance:!tolerance baseline fresh in
+  let skipped =
+    List.filter (fun (id, _) -> not (List.mem_assoc id fresh)) baseline
+  in
+  render_deltas stdout deltas;
+  Option.iter
+    (fun p ->
+      let oc = open_out p in
+      render_deltas oc deltas;
+      close_out oc)
+    !out_path;
+  List.iter
+    (fun (id, _) ->
+      Printf.printf "note: experiment %s absent from fresh run; skipped\n" id)
+    skipped;
+  let regressions = List.filter (fun d -> d.d_regressed) deltas in
+  Printf.printf "bench check: %d metrics compared, %d regressed (baseline %s)\n"
+    (List.length deltas) (List.length regressions) !baseline_path;
+  if regressions <> [] then
+    if !report_only then
+      print_endline "bench check: report-only mode; not failing the build"
+    else exit 1
+
 let () =
   (* [--jobs N] anywhere on the line sets the process-wide worker default
      (same resolution as the awesym CLI: --jobs > AWESYM_JOBS > 1). *)
@@ -1136,6 +1407,7 @@ let () =
     print_newline ()
   | _ :: [ "list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
   | _ :: "--json" :: path :: ids -> run_json path ids
+  | _ :: "check" :: rest -> run_check rest
   | _ :: ids ->
     List.iter (fun (_, f) -> f ()) (select ids);
     print_newline ()

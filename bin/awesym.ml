@@ -1200,17 +1200,19 @@ let version_inventory =
     ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
     ("sweep", Sweep.Engine.schema);
     ("serve", Serve.Protocol.schema);
+    ("reqtrace", Serve.Reqtrace.schema);
   ]
 
-(* Keep this under cmdliner's ~78-column formatter margin or the spaces
-   become line breaks and the "one greppable line" property is lost. *)
+(* cmdliner's formatter wraps at ~78 columns but only breaks at spaces,
+   so the whole string is one space-free token: the "one greppable line"
+   property survives however many schemas accumulate. *)
 let version_string =
-  Printf.sprintf "awesym %s (%s)" binary_version
-    (String.concat "; "
+  Printf.sprintf "awesym/%s(%s)" binary_version
+    (String.concat ";"
        (List.filter_map
           (fun (k, v) ->
             if k = "awesym" then None
-            else if k = "artifact" then Some (k ^ " " ^ v)
+            else if k = "artifact" then Some (k ^ "-" ^ v)
             else Some v)
           version_inventory))
 
@@ -1222,10 +1224,12 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run jobs socket max_batch linger_ms queue max_models gc_mb =
+  let run jobs socket max_batch linger_ms queue max_models gc_mb trace_log
+      trace_log_max_mb =
     with_jobs jobs @@ fun () ->
     if max_batch < 1 || queue < 1 || linger_ms < 0.0 then
       die "serve: --max-batch and --queue must be >= 1, --linger-ms >= 0";
+    if trace_log_max_mb < 1 then die "serve: --trace-log-max-mb must be >= 1";
     let config =
       {
         Serve.Server.socket_path = socket;
@@ -1239,6 +1243,9 @@ let serve_cmd =
         cache_gc_bytes =
           (if gc_mb <= 0 then None else Some (gc_mb * 1024 * 1024));
         versions = version_inventory;
+        trace_log;
+        trace_log_max_bytes = trace_log_max_mb * 1024 * 1024;
+        trace_capacity = 256;
       }
     in
     try Serve.Server.run ~log:prerr_endline config
@@ -1282,6 +1289,22 @@ let serve_cmd =
             "Run `cache gc` with this budget at startup so an unattended \
              daemon bounds what it inherits from past compiles; 0 skips.")
   in
+  let trace_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-log" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed request trace as one JSONL line here \
+             (schema awesymbolic-reqtrace/1, floats as IEEE-754 hex bits); \
+             rotated to FILE.1 past --trace-log-max-mb.")
+  in
+  let trace_log_max_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "trace-log-max-mb" ] ~docv:"MB"
+          ~doc:"Trace-log size that triggers rotation.")
+  in
   let doc =
     "Run the model-serving daemon: a persistent process that keeps \
      compiled artifacts resident and coalesces concurrent evaluation \
@@ -1291,40 +1314,61 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ jobs_arg $ socket_arg $ max_batch_arg $ linger_arg
-      $ queue_arg $ max_models_arg $ gc_arg)
+      $ queue_arg $ max_models_arg $ gc_arg $ trace_log_arg
+      $ trace_log_max_arg)
 
 let call_cmd =
   let run socket model_path bindings show_moments deadline_ms ping stats
-      shutdown =
+      metrics traces_n trace_id shutdown =
     let fail e = die (Awesym_error.to_string e) in
     let with_client f =
       match Serve.Client.connect socket with
       | Error e -> fail e
       | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
     in
-    match (ping, stats, shutdown) with
-    | true, _, _ ->
+    if ping then
       with_client @@ fun c ->
-      (match Serve.Client.ping c with
+      match Serve.Client.ping c with
       | Error e -> fail e
       | Ok versions ->
         print_endline "pong";
-        List.iter (fun (k, v) -> Printf.printf "  %s %s\n" k v) versions)
-    | _, true, _ ->
+        List.iter (fun (k, v) -> Printf.printf "  %s %s\n" k v) versions
+    else if stats then
       with_client @@ fun c ->
-      (match Serve.Client.stats c with
+      match Serve.Client.stats c with
       | Error e -> fail e
-      | Ok s -> print_endline (Obs.Json.to_string s))
-    | _, _, true ->
+      | Ok s -> print_endline (Obs.Json.to_string s)
+    else if metrics then
       with_client @@ fun c ->
-      (match Serve.Client.shutdown c with
+      match Serve.Client.metrics c with
       | Error e -> fail e
-      | Ok () -> print_endline "draining")
-    | false, false, false ->
+      | Ok text -> print_string text
+    else if traces_n <> None then
+      with_client @@ fun c ->
+      match Serve.Client.traces c ~limit:(Option.get traces_n) with
+      | Error e -> fail e
+      | Ok ts -> List.iter (fun tr -> print_endline (Obs.Json.to_string tr)) ts
+    else if shutdown then
+      with_client @@ fun c ->
+      match Serve.Client.shutdown c with
+      | Error e -> fail e
+      | Ok () -> print_endline "draining"
+    else begin
       let model_path =
         match model_path with
         | Some p -> p
         | None -> die "need --model PATH (an artifact path on the server)"
+      in
+      let trace =
+        Option.map
+          (fun id ->
+            let id =
+              if id = "" then Serve.Client.new_trace_id () else id
+            in
+            (* On stderr so stdout stays byte-identical to offline eval. *)
+            Printf.eprintf "trace_id %s\n%!" id;
+            { Serve.Protocol.trace_id = id; parent_span = "awesym.call" })
+          trace_id
       in
       with_client @@ fun c ->
       let info =
@@ -1337,13 +1381,16 @@ let call_cmd =
         point_of_bindings ~names ~nominals:info.Serve.Protocol.nominals
           bindings
       in
-      (match Serve.Client.eval c ?deadline_ms ~model:model_path [| v |] with
+      match
+        Serve.Client.eval c ?trace ?deadline_ms ~model:model_path [| v |]
+      with
       | Error e -> fail e
       | Ok r ->
         print_point_eval ~model_path ~order:r.Serve.Protocol.order ~names
           ~values:v
           ~moments:r.Serve.Protocol.moments.(0)
-          ~show_moments)
+          ~show_moments
+    end
   in
   let moments_arg =
     Arg.(value & flag & info [ "moments" ] ~doc:"Also print the raw moments.")
@@ -1369,6 +1416,33 @@ let call_cmd =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Print the server's metrics snapshot as JSON.")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the server's metric surface in Prometheus text \
+             exposition format (counters, gauges, latency quantiles).")
+  in
+  let traces_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 16) (some int) None
+      & info [ "traces" ] ~docv:"N"
+          ~doc:
+            "Print the server's N most recent completed request traces, \
+             one JSON object per line (default 16).")
+  in
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Attach a trace context to the evaluation so it can be found \
+             in the server's trace ring / --trace-log.  With no ID a \
+             fresh one is generated; either way it is echoed on stderr.")
+  in
   let shutdown_arg =
     Arg.(value & flag
          & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
@@ -1382,7 +1456,93 @@ let call_cmd =
   Cmd.v (Cmd.info "call" ~doc)
     Term.(
       const run $ socket_arg $ server_model_arg $ bindings_arg $ moments_arg
-      $ deadline_arg $ ping_arg $ stats_arg $ shutdown_arg)
+      $ deadline_arg $ ping_arg $ stats_arg $ metrics_arg $ traces_arg
+      $ trace_id_arg $ shutdown_arg)
+
+let top_cmd =
+  let module J = Obs.Json in
+  (* Pull a number out of a nested stats payload; absent fields render
+     as 0 rather than failing, so `top` works across schema growth. *)
+  let rec path j = function
+    | [] -> Some j
+    | name :: rest -> (
+      match J.member name j with Some j' -> path j' rest | None -> None)
+  in
+  let num j p = match path j p with Some (J.Num v) -> v | _ -> 0.0 in
+  let render socket s =
+    let lat p = num s [ "metrics"; "histograms"; "serve.latency_us"; p ] in
+    Printf.printf "awesym top — %s   uptime %.1fs\n" socket
+      (num s [ "uptime_s" ]);
+    Printf.printf "requests %12.0f   points %12.0f   qps %10.1f\n"
+      (num s [ "requests" ]) (num s [ "points" ]) (num s [ "qps" ]);
+    Printf.printf
+      "queue_depth %8.0f   inflight %8.0f   resident_models %4.0f   \
+       batches %8.0f\n"
+      (num s [ "gauges"; "serve.queue_depth" ])
+      (num s [ "gauges"; "batcher.inflight" ])
+      (num s [ "gauges"; "registry.resident_models" ])
+      (num s [ "batches" ]);
+    Printf.printf
+      "registry hit/miss/evict %.0f/%.0f/%.0f   rejected \
+       timeout/overloaded %.0f/%.0f   traces %.0f\n"
+      (num s [ "registry"; "hit" ])
+      (num s [ "registry"; "miss" ])
+      (num s [ "registry"; "evict" ])
+      (num s [ "rejected"; "timeout" ])
+      (num s [ "rejected"; "overloaded" ])
+      (num s [ "traces_completed" ]);
+    let n = num s [ "metrics"; "histograms"; "serve.latency_us"; "count" ] in
+    if n > 0.0 then
+      Printf.printf
+        "latency_us p50 %10.1f   p90 %10.1f   p99 %10.1f   (n=%.0f)\n"
+        (lat "p50") (lat "p90") (lat "p99") n;
+    print_newline ()
+  in
+  let run socket interval count =
+    let fail e = die (Awesym_error.to_string e) in
+    let once () =
+      match Serve.Client.connect socket with
+      | Error e -> fail e
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.stats c with
+            | Error e -> fail e
+            | Ok s -> render socket s)
+    in
+    match interval with
+    | None -> once ()
+    | Some dt ->
+      if dt <= 0.0 then die "top: --interval must be > 0";
+      let remaining = ref count in
+      while !remaining <> 0 do
+        once ();
+        if !remaining > 0 then decr remaining;
+        if !remaining <> 0 then Unix.sleepf dt
+      done
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Refresh every SECONDS instead of printing once.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"With --interval, stop after N refreshes (default: forever).")
+  in
+  let doc =
+    "Human one-shot (or --interval) view of a running daemon's occupancy \
+     and latency: requests, queue depth, in-flight batches, resident \
+     models, and latency quantiles — the same data `awesym call --stats` \
+     and `--metrics` expose machine-readably."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 let cache_cmd =
   let gc =
@@ -1430,4 +1590,4 @@ let () =
     [ awe_cmd; symbolic_cmd; exact_cmd; ac_cmd; tran_cmd; rank_cmd; linearize_cmd;
       distortion_cmd; sens_cmd; validate_cmd; macromodel_cmd; noise_cmd;
       moments_cmd; compile_cmd; eval_cmd; sweep_cmd; serve_cmd; call_cmd;
-      cache_cmd ]))
+      top_cmd; cache_cmd ]))

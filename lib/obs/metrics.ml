@@ -26,6 +26,11 @@ let mutex = Mutex.create ()
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
+(* Gauges are set-valued (last write wins) so they are never sharded:
+   occupancy numbers like queue depth only make sense as a single current
+   value, and writes are rare enough that the mutex is fine. *)
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
 (* Per-domain shards: a pool worker records into private tables (no
    mutex, no cross-domain cache traffic on the hot path) and merges them
    into the global tables when its generation ends, so totals stay exact
@@ -42,6 +47,7 @@ let reset () =
   Mutex.lock mutex;
   Hashtbl.reset counters;
   Hashtbl.reset histograms;
+  Hashtbl.reset gauges;
   Mutex.unlock mutex
 
 let bump tbl name by =
@@ -144,11 +150,37 @@ let counter name =
   Mutex.unlock mutex;
   v
 
+(* Sort by name only: the payloads may carry floats (histogram stats can
+   hold NaN for empty series), and polymorphic compare over those is a
+   trap.  Name-keyed order is also what goldens want. *)
+let by_name (a, _) (b, _) = String.compare a b
+
 let counters_list () =
   Mutex.lock mutex;
   let out = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters [] in
   Mutex.unlock mutex;
-  List.sort compare out
+  List.sort by_name out
+
+let set_gauge name v =
+  if !Config.enabled then begin
+    Mutex.lock mutex;
+    (match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add gauges name (ref v));
+    Mutex.unlock mutex
+  end
+
+let gauge name =
+  Mutex.lock mutex;
+  let v = Option.map ( ! ) (Hashtbl.find_opt gauges name) in
+  Mutex.unlock mutex;
+  v
+
+let gauges_list () =
+  Mutex.lock mutex;
+  let out = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) gauges [] in
+  Mutex.unlock mutex;
+  List.sort by_name out
 
 let stats_of (h : histogram) : stats =
   let buckets = ref [] in
@@ -170,13 +202,40 @@ let histograms_list () =
     Hashtbl.fold (fun name h acc -> (name, stats_of h) :: acc) histograms []
   in
   Mutex.unlock mutex;
-  List.sort compare out
+  List.sort by_name out
 
 let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+(* Quantile estimate from the log-scale buckets: find the bucket holding
+   the q-th sample and interpolate linearly inside it.  Each bucket spans
+   [upper/2, upper); the extremes are clamped to the observed min/max, so
+   q=0 and q=1 are exact. *)
+let quantile s q =
+  if s.count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int s.count in
+    let rec walk seen = function
+      | [] -> s.max
+      | (upper, c) :: rest ->
+        let seen' = seen +. float_of_int c in
+        if seen' >= target && c > 0 then begin
+          let lo = Float.max s.min (upper /. 2.0) in
+          let hi = Float.min s.max upper in
+          let frac = (target -. seen) /. float_of_int c in
+          lo +. (frac *. (hi -. lo))
+        end
+        else walk seen' rest
+    in
+    walk 0.0 s.buckets
+  end
 
 let snapshot () =
   let counter_fields =
     List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) (counters_list ())
+  in
+  let gauge_fields =
+    List.map (fun (n, v) -> (n, Json.Num v)) (gauges_list ())
   in
   let histogram_fields =
     List.map
@@ -189,12 +248,67 @@ let snapshot () =
               ("min", Json.Num s.min);
               ("max", Json.Num s.max);
               ("mean", Json.Num (mean s));
+              ("p50", Json.Num (quantile s 0.5));
+              ("p90", Json.Num (quantile s 0.9));
+              ("p99", Json.Num (quantile s 0.99));
             ] ))
       (histograms_list ())
   in
   Json.Obj
-    [ ("counters", Json.Obj counter_fields);
-      ("histograms", Json.Obj histogram_fields) ]
+    [
+      ("counters", Json.Obj counter_fields);
+      ("gauges", Json.Obj gauge_fields);
+      ("histograms", Json.Obj histogram_fields);
+    ]
+
+(* Prometheus text exposition (version 0.0.4).  Metric names keep only
+   [a-zA-Z0-9_:]; the dotted internal names map dots to underscores under
+   an `awesym_` namespace.  Histograms surface as summaries: quantile
+   series computed from the log-scale buckets, plus _sum and _count. *)
+let prometheus_name n =
+  let b = Bytes.of_string ("awesym_" ^ n) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prometheus_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (n, v) ->
+      let pn = prometheus_name n in
+      line "# TYPE %s counter\n" pn;
+      line "%s %d\n" pn v)
+    (counters_list ());
+  List.iter
+    (fun (n, v) ->
+      let pn = prometheus_name n in
+      line "# TYPE %s gauge\n" pn;
+      line "%s %s\n" pn (prometheus_float v))
+    (gauges_list ());
+  List.iter
+    (fun (n, s) ->
+      let pn = prometheus_name n in
+      line "# TYPE %s summary\n" pn;
+      List.iter
+        (fun q ->
+          line "%s{quantile=\"%g\"} %s\n" pn q
+            (prometheus_float (quantile s q)))
+        [ 0.5; 0.9; 0.99 ];
+      line "%s_sum %s\n" pn (prometheus_float s.sum);
+      line "%s_count %d\n" pn s.count)
+    (histograms_list ());
+  Buffer.contents buf
 
 let pp_table ppf () =
   Format.fprintf ppf "@[<v>";
@@ -203,15 +317,21 @@ let pp_table ppf () =
     Format.fprintf ppf "%-42s %12s@," "counter" "value";
     List.iter (fun (n, v) -> Format.fprintf ppf "%-42s %12d@," n v) cs
   end;
+  let gs = gauges_list () in
+  if gs <> [] then begin
+    if cs <> [] then Format.fprintf ppf "@,";
+    Format.fprintf ppf "%-42s %12s@," "gauge" "value";
+    List.iter (fun (n, v) -> Format.fprintf ppf "%-42s %12.4g@," n v) gs
+  end;
   let hs = histograms_list () in
   if hs <> [] then begin
-    if cs <> [] then Format.fprintf ppf "@,";
-    Format.fprintf ppf "%-42s %8s %10s %10s %10s@," "histogram" "count" "min"
-      "mean" "max";
+    if cs <> [] || gs <> [] then Format.fprintf ppf "@,";
+    Format.fprintf ppf "%-42s %8s %10s %10s %10s %10s@," "histogram" "count"
+      "min" "p50" "p99" "max";
     List.iter
       (fun (n, s) ->
-        Format.fprintf ppf "%-42s %8d %10.4g %10.4g %10.4g@," n s.count s.min
-          (mean s) s.max)
+        Format.fprintf ppf "%-42s %8d %10.4g %10.4g %10.4g %10.4g@," n s.count
+          s.min (quantile s 0.5) (quantile s 0.99) s.max)
       hs
   end;
   Format.fprintf ppf "@]"

@@ -22,22 +22,48 @@ val add : string -> int -> unit
 val observe : string -> float -> unit
 (** Record one histogram sample. *)
 
+val set_gauge : string -> float -> unit
+(** Set a gauge to its current value (last write wins).  Gauges carry
+    instantaneous occupancy — queue depth, resident models — and are
+    never sharded. *)
+
 val counter : string -> int
 (** Current counter value; 0 when it was never bumped. *)
 
 val counters_list : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+val gauge : string -> float option
+(** Current gauge value; [None] when it was never set. *)
+
+val gauges_list : unit -> (string * float) list
+(** All gauges, sorted by name. *)
+
 val histogram : string -> stats option
+
 val histograms_list : unit -> (string * stats) list
+(** All histograms, sorted by name. *)
 
 val mean : stats -> float
 
+val quantile : stats -> float -> float
+(** [quantile s q] estimates the [q]-th quantile ([0..1]) from the
+    power-of-two buckets, interpolating linearly inside the bucket that
+    holds the target rank and clamping to the observed min/max (so [q=0]
+    and [q=1] are exact).  [nan] when the series is empty. *)
+
 val snapshot : unit -> Json.t
-(** Counters and histogram summaries as one JSON object. *)
+(** Counters, gauges and histogram summaries (count/sum/min/max/mean and
+    p50/p90/p99) as one JSON object, all tables sorted by name. *)
+
+val to_prometheus : unit -> string
+(** The whole metric surface in Prometheus text exposition format:
+    counters, gauges, and histograms as summaries with
+    [quantile="0.5"/"0.9"/"0.99"] series plus [_sum]/[_count].  Dotted
+    names map to underscores under an [awesym_] prefix. *)
 
 val pp_table : Format.formatter -> unit -> unit
-(** Human-readable counter/histogram tables. *)
+(** Human-readable counter/gauge/histogram tables, sorted by name. *)
 
 val with_shard : (unit -> 'a) -> 'a
 (** Run [f] with this domain's writers redirected into a private shard,

@@ -16,6 +16,11 @@ let epoch = ref (Unix.gettimeofday ())
 let next_id = ref 0
 let completed : t list ref = ref [] (* reverse completion order *)
 
+(* Spans that have been opened but not yet closed, keyed by id.  Tracked
+   so a trace written mid-phase (e.g. from a signal handler or a crashing
+   sweep) can still emit well-formed events for them. *)
+let opens : (int, int * string * float) Hashtbl.t = Hashtbl.create 32
+
 (* The open-span stack is domain-local: spans opened by pool workers
    nest among themselves (their roots show as top-level entries in the
    tree) instead of interleaving with the master domain's stack.  The
@@ -28,6 +33,7 @@ let reset () =
   epoch := Unix.gettimeofday ();
   next_id := 0;
   completed := [];
+  Hashtbl.reset opens;
   Mutex.unlock mutex;
   Domain.DLS.get stack_key := []
 
@@ -35,18 +41,20 @@ let with_ ~name f =
   if not !Config.enabled then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> -1 | p :: _ -> p in
+    let t0 = Unix.gettimeofday () in
     Mutex.lock mutex;
     let id = !next_id in
     incr next_id;
+    Hashtbl.replace opens id (parent, name, t0 -. !epoch);
     Mutex.unlock mutex;
-    let parent = match !stack with [] -> -1 | p :: _ -> p in
     stack := id :: !stack;
-    let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Unix.gettimeofday () in
         (match !stack with s :: rest when s = id -> stack := rest | _ -> ());
         Mutex.lock mutex;
+        Hashtbl.remove opens id;
         completed :=
           { id; parent; name; start = t0 -. !epoch; dur = t1 -. t0 }
           :: !completed;
@@ -77,25 +85,46 @@ let spans () =
   Mutex.unlock mutex;
   out
 
-let to_chrome () =
-  let events =
-    List.rev_map
-      (fun s ->
-        Json.Obj
-          [
-            ("name", Json.Str s.name);
-            ("cat", Json.Str "awe");
-            ("ph", Json.Str "X");
-            ("ts", Json.Num (s.start *. 1e6));
-            ("dur", Json.Num (s.dur *. 1e6));
-            ("pid", Json.Num 1.0);
-            ("tid", Json.Num 1.0);
-          ])
-      (spans ())
+(* Still-open spans, closed artificially at call time so the caller can
+   render a consistent snapshot.  Ordered by id (open order). *)
+let open_spans () =
+  let now = Unix.gettimeofday () in
+  Mutex.lock mutex;
+  let rel_now = now -. !epoch in
+  let out =
+    Hashtbl.fold
+      (fun id (parent, name, start) acc ->
+        { id; parent; name; start; dur = rel_now -. start } :: acc)
+      opens []
   in
+  Mutex.unlock mutex;
+  List.sort (fun a b -> Int.compare a.id b.id) out
+
+let to_chrome () =
+  let event ?(truncated = false) s =
+    let base =
+      [
+        ("name", Json.Str s.name);
+        ("cat", Json.Str "awe");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (s.start *. 1e6));
+        ("dur", Json.Num (s.dur *. 1e6));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+      ]
+    in
+    Json.Obj
+      (if truncated then
+         base @ [ ("args", Json.Obj [ ("truncated", Json.Bool true) ]) ]
+       else base)
+  in
+  let completed = List.map (fun s -> event s) (spans ()) in
+  (* A trace written mid-phase must still be well-formed: emit every
+     still-open span as a complete event ending now, flagged truncated. *)
+  let truncated = List.map (event ~truncated:true) (open_spans ()) in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.rev events));
+      ("traceEvents", Json.List (completed @ truncated));
       ("displayTimeUnit", Json.Str "ms");
     ]
 

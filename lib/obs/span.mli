@@ -27,9 +27,17 @@ val reset : unit -> unit
 val spans : unit -> t list
 (** Completed spans in completion order. *)
 
+val open_spans : unit -> t list
+(** Spans opened but not yet closed, with [dur] measured up to the call
+    time, ordered by open order.  Lets a mid-phase snapshot account for
+    work in progress. *)
+
 val to_chrome : unit -> Json.t
 (** The sink as a Chrome-trace document ([chrome://tracing] / Perfetto):
-    one complete ("ph":"X") event per span, timestamps in microseconds. *)
+    one complete ("ph":"X") event per span, timestamps in microseconds.
+    Still-open spans are emitted with end-time = write-time and an
+    [{"truncated": true}] args object, so the document is well-formed
+    even when written mid-phase. *)
 
 val pp_tree : Format.formatter -> unit -> unit
 (** Aggregated phase-time tree: same-named siblings fold into one line with

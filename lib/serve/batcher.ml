@@ -37,6 +37,9 @@ type pending = {
   points : float array array;
   arrived : float;
   deadline : float option;  (* absolute, seconds *)
+  trace : Reqtrace.builder option;
+      (* request trace; the batcher records queue-wait and kernel-eval
+         spans into it and hands it back with the response *)
 }
 
 type t = {
@@ -101,6 +104,9 @@ let ready t ~now =
 let observe_latency ~now p =
   Obs.Metrics.observe "serve.latency_us" ((now -. p.arrived) *. 1e6)
 
+let trace_span p ~name ~start ~stop =
+  Option.iter (fun b -> Reqtrace.add_span b ~name ~start ~stop) p.trace
+
 let flush t ~now =
   let items = List.rev t.rev_queue in
   t.rev_queue <- [];
@@ -120,8 +126,10 @@ let flush t ~now =
         (fun p ->
           Obs.Metrics.incr "serve.rejected.timeout";
           observe_latency ~now p;
+          trace_span p ~name:"serve.queue.wait" ~start:p.arrived ~stop:now;
           ( p.key,
             p.id,
+            p.trace,
             Protocol.R_error
               (Err.make Timeout ~where:"serve.deadline"
                  (Printf.sprintf "deadline expired %.3f ms ago"
@@ -162,18 +170,27 @@ let flush t ~now =
                   incr row)
                 p.points)
             group;
+          let eval_start = Unix.gettimeofday () in
+          let group_spans p ~stop =
+            trace_span p ~name:"serve.queue.wait" ~start:p.arrived
+              ~stop:eval_start;
+            trace_span p ~name:"serve.kernel.eval" ~start:eval_start ~stop
+          in
           match entry.Registry.evaluate cols with
           | exception e ->
             (* A whole-batch failure (injected fault, nonfinite guard)
                answers every member with the classified error rather
                than killing the daemon. *)
+            let eval_stop = Unix.gettimeofday () in
             let err = Err.classify e in
             List.map
               (fun p ->
                 observe_latency ~now p;
-                (p.key, p.id, Protocol.R_error err))
+                group_spans p ~stop:eval_stop;
+                (p.key, p.id, p.trace, Protocol.R_error err))
               group
           | outs ->
+            let eval_stop = Unix.gettimeofday () in
             let nmom = Array.length outs in
             let off = ref 0 in
             List.map
@@ -185,9 +202,11 @@ let flush t ~now =
                 in
                 off := !off + count;
                 observe_latency ~now p;
+                group_spans p ~stop:eval_stop;
                 Obs.Metrics.add "serve.points" count;
                 ( p.key,
                   p.id,
+                  p.trace,
                   Protocol.R_eval
                     {
                       Protocol.digest = entry.Registry.digest;

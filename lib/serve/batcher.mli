@@ -32,6 +32,10 @@ type pending = {
   points : float array array;  (** row-major, widths pre-validated *)
   arrived : float;  (** admission timestamp, seconds *)
   deadline : float option;  (** absolute deadline, seconds *)
+  trace : Reqtrace.builder option;
+      (** request trace; {!flush} records [serve.queue.wait] and
+          [serve.kernel.eval] spans into it and hands it back with the
+          response so the server can finish the record *)
 }
 
 type t
@@ -54,8 +58,10 @@ val due : t -> now:float -> float option
 val ready : t -> now:float -> bool
 
 val flush :
-  t -> now:float -> (int * Obs.Json.t option * Protocol.response) list
-(** Drain and evaluate everything pending; returns [(key, id, response)]
-    per request, in request order within each model group.  Never raises:
-    a batch-kernel failure answers every member of that group with the
-    classified error. *)
+  t ->
+  now:float ->
+  (int * Obs.Json.t option * Reqtrace.builder option * Protocol.response) list
+(** Drain and evaluate everything pending; returns
+    [(key, id, trace, response)] per request, in request order within
+    each model group.  Never raises: a batch-kernel failure answers
+    every member of that group with the classified error. *)

@@ -23,11 +23,22 @@ let connect path =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let rpc t req =
+(* Client-generated trace ids: unique per process without any global
+   coordination — pid + wall clock + a per-process counter. *)
+let trace_counter = ref 0
+
+let new_trace_id () =
+  Stdlib.incr trace_counter;
+  Printf.sprintf "cli-%d-%.0f-%d" (Unix.getpid ())
+    (Unix.gettimeofday () *. 1e6)
+    !trace_counter
+
+let rpc ?trace t req =
   t.seq <- t.seq + 1;
   let id = Json.Num (float_of_int t.seq) in
   match
-    Protocol.write_frame t.fd (Json.to_string (Protocol.request_to_json ~id req))
+    Protocol.write_frame t.fd
+      (Json.to_string (Protocol.request_to_json ~id ?trace req))
   with
   | exception Unix.Unix_error (e, _, _) ->
     Error
@@ -66,8 +77,8 @@ let info t model =
   | Ok _ -> Error (protocol_error ~where:"serve.client" "unexpected reply to info")
   | Error e -> Error e
 
-let eval t ?deadline_ms ~model points =
-  match rpc t (Protocol.Eval { Protocol.model; points; deadline_ms }) with
+let eval t ?trace ?deadline_ms ~model points =
+  match rpc ?trace t (Protocol.Eval { Protocol.model; points; deadline_ms }) with
   | Ok (Protocol.R_eval e) -> Ok e
   | Ok _ -> Error (protocol_error ~where:"serve.client" "unexpected reply to eval")
   | Error e -> Error e
@@ -77,6 +88,20 @@ let stats t =
   | Ok (Protocol.R_stats s) -> Ok s
   | Ok _ ->
     Error (protocol_error ~where:"serve.client" "unexpected reply to stats")
+  | Error e -> Error e
+
+let metrics t =
+  match rpc t Protocol.Metrics with
+  | Ok (Protocol.R_metrics text) -> Ok text
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to metrics")
+  | Error e -> Error e
+
+let traces t ~limit =
+  match rpc t (Protocol.Trace limit) with
+  | Ok (Protocol.R_traces ts) -> Ok ts
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to trace")
   | Error e -> Error e
 
 let shutdown t =

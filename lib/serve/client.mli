@@ -14,7 +14,16 @@ val connect : string -> (t, Awesym_error.t) result
 
 val close : t -> unit
 
-val rpc : t -> Protocol.request -> (Protocol.response, Awesym_error.t) result
+val new_trace_id : unit -> string
+(** A fresh client-generated trace id (pid + clock + counter), unique
+    per process.  Pass it in a {!Protocol.trace_context} to find this
+    request again in the server's trace ring / [--trace-log]. *)
+
+val rpc :
+  ?trace:Protocol.trace_context ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, Awesym_error.t) result
 (** One framed round-trip.  [R_error] replies are folded into [Error]. *)
 
 val ping : t -> ((string * string) list, Awesym_error.t) result
@@ -25,6 +34,7 @@ val info : t -> string -> (Protocol.info_result, Awesym_error.t) result
 
 val eval :
   t ->
+  ?trace:Protocol.trace_context ->
   ?deadline_ms:float ->
   model:string ->
   float array array ->
@@ -33,5 +43,12 @@ val eval :
     Result moments are bit-identical to offline [Slp.eval_batch]. *)
 
 val stats : t -> (Obs.Json.t, Awesym_error.t) result
+
+val metrics : t -> (string, Awesym_error.t) result
+(** The server's metric surface in Prometheus text exposition format. *)
+
+val traces : t -> limit:int -> (Obs.Json.t list, Awesym_error.t) result
+(** The server's most recent completed request traces, oldest first. *)
+
 val shutdown : t -> (unit, Awesym_error.t) result
 (** Ask the server to drain and exit; returns once acknowledged. *)

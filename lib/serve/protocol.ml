@@ -105,11 +105,18 @@ type eval = {
   deadline_ms : float option;
 }
 
+(* Client-generated trace context, carried at the envelope level so every
+   op can be traced.  Both fields are opaque strings; the server copies
+   them into the request's trace record verbatim. *)
+type trace_context = { trace_id : string; parent_span : string }
+
 type request =
   | Ping
   | Info of string
   | Eval of eval
   | Stats
+  | Metrics
+  | Trace of int
   | Shutdown
 
 let floats_to_json vs =
@@ -133,15 +140,32 @@ let floats_of_json ~what = function
     go 0 items
   | _ -> None
 
-let request_to_json ?id req =
+let request_to_json ?id ?trace req =
   let base = [ ("schema", Json.Str schema) ] in
   let base =
     match id with None -> base | Some id -> base @ [ ("id", id) ]
+  in
+  let base =
+    match trace with
+    | None -> base
+    | Some t ->
+      base
+      @ [
+          ( "trace",
+            Json.Obj
+              [
+                ("trace_id", Json.Str t.trace_id);
+                ("parent_span", Json.Str t.parent_span);
+              ] );
+        ]
   in
   let fields =
     match req with
     | Ping -> [ ("op", Json.Str "ping") ]
     | Stats -> [ ("op", Json.Str "stats") ]
+    | Metrics -> [ ("op", Json.Str "metrics") ]
+    | Trace limit ->
+      [ ("op", Json.Str "trace"); ("limit", Json.Num (float_of_int limit)) ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
     | Info model -> [ ("op", Json.Str "info"); ("model", Json.Str model) ]
     | Eval e ->
@@ -169,15 +193,34 @@ let check_schema j =
 let member_string name j =
   match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
 
+let trace_of_json j =
+  match Json.member "trace" j with
+  | None -> Ok None
+  | Some tj -> (
+    match (member_string "trace_id" tj, member_string "parent_span" tj) with
+    | Some trace_id, Some parent_span -> Ok (Some { trace_id; parent_span })
+    | _ ->
+      bad ~where:"serve.request"
+        "malformed trace context (want trace_id and parent_span strings)")
+
 let request_of_json j =
   match check_schema j with
   | Error _ as e -> e
   | Ok () -> (
+    match trace_of_json j with
+    | Error _ as e -> e
+    | Ok trace -> (
     let id = Json.member "id" j in
-    let with_id r = Ok (id, r) in
+    let with_id r = Ok (id, trace, r) in
     match member_string "op" j with
     | Some "ping" -> with_id Ping
     | Some "stats" -> with_id Stats
+    | Some "metrics" -> with_id Metrics
+    | Some "trace" -> (
+      match Json.member "limit" j with
+      | Some (Json.Num l) -> with_id (Trace (int_of_float l))
+      | None -> with_id (Trace 16)
+      | Some _ -> bad ~where:"serve.request" "malformed limit (want a number)")
     | Some "shutdown" -> with_id Shutdown
     | Some "info" -> (
       match member_string "model" j with
@@ -212,7 +255,7 @@ let request_of_json j =
       | _, Some _ ->
         bad ~where:"serve.request" "malformed points (want a list of points)")
     | Some op -> bad ~where:"serve.request" "unknown op %S" op
-    | None -> bad ~where:"serve.request" "missing op field")
+    | None -> bad ~where:"serve.request" "missing op field"))
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -235,6 +278,8 @@ type response =
   | R_info of info_result
   | R_eval of eval_result
   | R_stats of Json.t
+  | R_metrics of string
+  | R_traces of Json.t list
   | R_draining
   | R_error of Err.t
 
@@ -268,6 +313,8 @@ let response_to_json ?id resp =
             Json.List (Array.to_list (Array.map floats_to_json e.moments)) );
         ]
     | R_stats s -> ok @ [ ("stats", s) ]
+    | R_metrics text -> ok @ [ ("metrics_text", Json.Str text) ]
+    | R_traces ts -> ok @ [ ("traces", Json.List ts) ]
     | R_draining -> ok @ [ ("draining", Json.Bool true) ]
     | R_error e -> [ ("ok", Json.Bool false); ("error", Err.to_json e) ]
   in
@@ -316,6 +363,12 @@ let response_of_json j =
         match Json.member "draining" j with
         | Some (Json.Bool true) -> with_id R_draining
         | _ -> (
+          match Json.member "metrics_text" j with
+          | Some (Json.Str text) -> with_id (R_metrics text)
+          | _ -> (
+          match Json.member "traces" j with
+          | Some (Json.List ts) -> with_id (R_traces ts)
+          | _ -> (
           match Json.member "stats" j with
           | Some s -> with_id (R_stats s)
           | None -> (
@@ -356,5 +409,5 @@ let response_of_json j =
                   with_id (R_eval { digest; order; moments })
                 | _ -> bad ~where:"serve.response" "malformed eval response")
               | _ ->
-                bad ~where:"serve.response" "unrecognized response shape")))))
+                bad ~where:"serve.response" "unrecognized response shape")))))))
     | _ -> bad ~where:"serve.response" "missing ok field")

@@ -59,18 +59,32 @@ type eval = {
           evaluating once it expires *)
 }
 
+type trace_context = {
+  trace_id : string;  (** client-generated, opaque to the server *)
+  parent_span : string;  (** the client-side span this request belongs to *)
+}
+(** Optional envelope-level trace context.  The server copies both fields
+    verbatim into the request's server-side trace record, which is what
+    lets a client-generated id be found again in [--trace-log] output. *)
+
 type request =
   | Ping  (** liveness + version inventory *)
   | Info of string  (** model metadata: digest, order, symbols, nominals *)
   | Eval of eval
   | Stats  (** serve metrics snapshot *)
+  | Metrics  (** Prometheus text exposition of the metric surface *)
+  | Trace of int  (** the [n] most recent completed request traces *)
   | Shutdown  (** graceful drain: finish queued work, then exit *)
 
-val request_to_json : ?id:Obs.Json.t -> request -> Obs.Json.t
+val request_to_json :
+  ?id:Obs.Json.t -> ?trace:trace_context -> request -> Obs.Json.t
+
 val request_of_json :
-  Obs.Json.t -> (Obs.Json.t option * request, Awesym_error.t) result
+  Obs.Json.t ->
+  (Obs.Json.t option * trace_context option * request, Awesym_error.t) result
 (** Decode a request envelope; the [id] field (any JSON value) is echoed
-    in the response so clients may pipeline. *)
+    in the response so clients may pipeline, and the optional [trace]
+    context is propagated into the server-side request trace. *)
 
 (** {1 Responses} *)
 
@@ -92,6 +106,8 @@ type response =
   | R_info of info_result
   | R_eval of eval_result
   | R_stats of Obs.Json.t
+  | R_metrics of string  (** Prometheus text exposition *)
+  | R_traces of Obs.Json.t list  (** recent request traces, oldest first *)
   | R_draining
   | R_error of Awesym_error.t
 

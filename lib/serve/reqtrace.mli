@@ -1,0 +1,61 @@
+(** Per-request trace recording for the serving daemon.
+
+    Each request the server dispatches gets a {!builder} carrying the
+    client's propagated trace context (or server-generated ids when the
+    client sent none) and a list of named child spans covering the
+    request's life: parse, registry lookup, batch enqueue, queue wait,
+    kernel eval, respond.  Finishing a builder produces one JSON record
+    that lands in a bounded in-memory ring (served back by the [trace]
+    request type) and, when configured, is appended as one JSONL line to
+    a log file with size-based rotation.
+
+    Timestamps and durations follow the sweep-schema convention: exact
+    IEEE-754 bits in 16 hex digits ([start_s], [dur_s]), with a decimal
+    [dur_us] alongside for human and [jq] consumption. *)
+
+type t
+(** The ring plus optional JSONL sink.  Owned by the serving domain;
+    not thread-safe. *)
+
+type builder
+(** One in-flight request trace. *)
+
+val schema : string
+(** ["awesymbolic-reqtrace/1"], the [schema] field of every record. *)
+
+val create : ?capacity:int -> ?log:string -> ?log_max_bytes:int -> unit -> t
+(** [capacity] bounds the in-memory ring (default 256 completed traces;
+    older ones are overwritten).  [log] enables the JSONL sink; once the
+    file passes [log_max_bytes] (default 16 MiB) it is renamed to
+    [log ^ ".1"] (replacing any previous rotation) and a fresh file is
+    started.  Raises [Sys_error] if the log cannot be opened. *)
+
+val start :
+  ?trace_id:string ->
+  ?parent_span:string ->
+  op:string ->
+  conn:int ->
+  ?req_id:Obs.Json.t ->
+  now:float ->
+  unit ->
+  builder
+(** Begin a request trace at absolute time [now].  Missing trace ids get
+    a server-generated one (prefixed ["srv-"]) so untraced requests
+    still produce complete records. *)
+
+val add_span : builder -> name:string -> start:float -> stop:float -> unit
+(** Record one named child span; [start]/[stop] are absolute times and
+    are stored relative to the request start. *)
+
+val finish : t -> builder -> now:float -> status:string -> unit
+(** Close the trace with the given status (["ok"] or an error-kind
+    name), push the record into the ring, and append it to the sink. *)
+
+val recent : t -> int -> Obs.Json.t list
+(** The up-to-[n] most recently completed records, oldest first. *)
+
+val completed : t -> int
+(** Total number of traces finished since {!create}. *)
+
+val close : t -> unit
+(** Flush and close the sink, if any.  The ring stays readable. *)

@@ -29,11 +29,16 @@ type config = {
   cache_gc_bytes : int option;
   versions : (string * string) list;
       (* the pong/version inventory; the CLI passes the full schema list *)
+  trace_log : string option;
+      (* append completed request traces as JSONL here *)
+  trace_log_max_bytes : int;  (* rotate the trace log past this size *)
+  trace_capacity : int;  (* in-memory ring of completed traces *)
 }
 
 let default_versions =
   [
     ("serve", Protocol.schema);
+    ("reqtrace", Reqtrace.schema);
     ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
   ]
 
@@ -44,6 +49,9 @@ let default_config ~socket_path =
     max_models = 8;
     cache_gc_bytes = Some (256 * 1024 * 1024);
     versions = default_versions;
+    trace_log = None;
+    trace_log_max_bytes = 16 * 1024 * 1024;
+    trace_capacity = 256;
   }
 
 type conn = {
@@ -61,6 +69,7 @@ type t = {
   config : config;
   registry : Registry.t;
   batcher : Batcher.t;
+  traces : Reqtrace.t;
   listen_fd : Unix.file_descr;
   read_buf : Bytes.t;
   conns : (int, conn) Hashtbl.t;
@@ -74,7 +83,20 @@ let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
 
+let inflight_total t =
+  Hashtbl.fold (fun _ c acc -> acc + c.inflight) t.conns 0
+
+(* Occupancy gauges, refreshed before every snapshot/exposition so a
+   scrape always sees current values. *)
+let update_gauges t =
+  Obs.Metrics.set_gauge "serve.queue_depth"
+    (float_of_int (Batcher.length t.batcher));
+  Obs.Metrics.set_gauge "batcher.inflight" (float_of_int (inflight_total t));
+  Obs.Metrics.set_gauge "registry.resident_models"
+    (float_of_int (Registry.loaded t.registry))
+
 let stats_json t =
+  update_gauges t;
   let c name = Json.Num (float_of_int (Obs.Metrics.counter name)) in
   let uptime = now () -. t.started in
   let requests = Obs.Metrics.counter "serve.requests" in
@@ -100,6 +122,12 @@ let stats_json t =
             ("timeout", c "serve.rejected.timeout");
             ("overloaded", c "serve.rejected.overloaded");
           ] );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, v) -> (n, Json.Num v))
+             (Obs.Metrics.gauges_list ())) );
+      ("traces_completed", Json.Num (float_of_int (Reqtrace.completed t.traces)));
       ("metrics", Obs.Metrics.snapshot ());
     ]
 
@@ -111,19 +139,43 @@ let enqueue_response t conn ?id resp =
 (* ------------------------------------------------------------------ *)
 (* Request dispatch *)
 
-let dispatch t conn ?id req =
+let status_of_response = function
+  | Protocol.R_error e -> Err.kind_name e.Err.kind
+  | _ -> "ok"
+
+(* Answer a traced request: the response enqueue is the trace's final
+   [serve.respond] span, after which the record is complete. *)
+let respond_traced t conn ?id tb resp =
+  let t0 = now () in
+  enqueue_response t conn ?id resp;
+  let t1 = now () in
+  Reqtrace.add_span tb ~name:"serve.respond" ~start:t0 ~stop:t1;
+  Reqtrace.finish t.traces tb ~now:t1 ~status:(status_of_response resp)
+
+let dispatch t conn ?id ~trace:tb req =
   Obs.Metrics.incr "serve.requests";
   match req with
-  | Protocol.Ping -> enqueue_response t conn ?id (Protocol.R_pong t.config.versions)
-  | Protocol.Stats -> enqueue_response t conn ?id (Protocol.R_stats (stats_json t))
+  | Protocol.Ping ->
+    respond_traced t conn ?id tb (Protocol.R_pong t.config.versions)
+  | Protocol.Stats ->
+    respond_traced t conn ?id tb (Protocol.R_stats (stats_json t))
+  | Protocol.Metrics ->
+    update_gauges t;
+    respond_traced t conn ?id tb (Protocol.R_metrics (Obs.Metrics.to_prometheus ()))
+  | Protocol.Trace limit ->
+    respond_traced t conn ?id tb
+      (Protocol.R_traces (Reqtrace.recent t.traces limit))
   | Protocol.Shutdown ->
     t.draining <- true;
-    enqueue_response t conn ?id Protocol.R_draining
+    respond_traced t conn ?id tb Protocol.R_draining
   | Protocol.Info path -> (
-    match Registry.find t.registry path with
-    | Error e -> enqueue_response t conn ?id (Protocol.R_error e)
+    let t0 = now () in
+    let found = Registry.find t.registry path in
+    Reqtrace.add_span tb ~name:"serve.registry.lookup" ~start:t0 ~stop:(now ());
+    match found with
+    | Error e -> respond_traced t conn ?id tb (Protocol.R_error e)
     | Ok entry ->
-      enqueue_response t conn ?id
+      respond_traced t conn ?id tb
         (Protocol.R_info
            {
              Protocol.digest = entry.Registry.digest;
@@ -132,15 +184,18 @@ let dispatch t conn ?id req =
              nominals = entry.Registry.nominals;
            }))
   | Protocol.Eval e -> (
-    match Registry.find t.registry e.Protocol.model with
-    | Error err -> enqueue_response t conn ?id (Protocol.R_error err)
+    let t0 = now () in
+    let found = Registry.find t.registry e.Protocol.model in
+    Reqtrace.add_span tb ~name:"serve.registry.lookup" ~start:t0 ~stop:(now ());
+    match found with
+    | Error err -> respond_traced t conn ?id tb (Protocol.R_error err)
     | Ok entry -> (
       let nsym = Array.length entry.Registry.symbols in
       let bad_row =
         Array.exists (fun row -> Array.length row <> nsym) e.Protocol.points
       in
       if bad_row then
-        enqueue_response t conn ?id
+        respond_traced t conn ?id tb
           (Protocol.R_error
              (Err.make Invalid_request ~where:"serve.request"
                 (Printf.sprintf "point width mismatch: model has %d symbols"
@@ -156,13 +211,27 @@ let dispatch t conn ?id req =
             arrived;
             deadline =
               Option.map (fun ms -> arrived +. (ms /. 1e3)) e.Protocol.deadline_ms;
+            trace = Some tb;
           }
         in
         match Batcher.submit t.batcher pending with
-        | Ok () -> conn.inflight <- conn.inflight + 1
-        | Error err -> enqueue_response t conn ?id (Protocol.R_error err)))
+        | Ok () ->
+          Reqtrace.add_span tb ~name:"serve.batch.enqueue" ~start:arrived
+            ~stop:(now ());
+          conn.inflight <- conn.inflight + 1
+        | Error err -> respond_traced t conn ?id tb (Protocol.R_error err)))
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Info _ -> "info"
+  | Protocol.Eval _ -> "eval"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Trace _ -> "trace"
+  | Protocol.Shutdown -> "shutdown"
 
 let handle_frame t conn payload =
+  let t0 = now () in
   match Json.of_string payload with
   | Error msg ->
     enqueue_response t conn
@@ -171,7 +240,16 @@ let handle_frame t conn payload =
   | Ok j -> (
     match Protocol.request_of_json j with
     | Error e -> enqueue_response t conn (Protocol.R_error e)
-    | Ok (id, req) -> dispatch t conn ?id req)
+    | Ok (id, tc, req) ->
+      let t1 = now () in
+      let tb =
+        Reqtrace.start
+          ?trace_id:(Option.map (fun c -> c.Protocol.trace_id) tc)
+          ?parent_span:(Option.map (fun c -> c.Protocol.parent_span) tc)
+          ~op:(op_name req) ~conn:conn.key ?req_id:id ~now:t0 ()
+      in
+      Reqtrace.add_span tb ~name:"serve.parse" ~start:t0 ~stop:t1;
+      dispatch t conn ?id ~trace:tb req)
 
 (* Drain [conn.inbuf] of every complete frame. *)
 let rec handle_buffered t conn =
@@ -264,6 +342,9 @@ let create config =
     config;
     registry;
     batcher = Batcher.create config.batch;
+    traces =
+      Reqtrace.create ~capacity:config.trace_capacity ?log:config.trace_log
+        ~log_max_bytes:config.trace_log_max_bytes ();
     listen_fd;
     read_buf = Bytes.create 65536;
     conns = Hashtbl.create 16;
@@ -325,12 +406,21 @@ let step t ~stop =
       then begin
         let responses = Batcher.flush t.batcher ~now:n in
         List.iter
-          (fun (key, id, resp) ->
+          (fun (key, id, tr, resp) ->
             match Hashtbl.find_opt t.conns key with
-            | None -> () (* peer vanished; response has nowhere to go *)
-            | Some c ->
+            | None ->
+              (* peer vanished; response has nowhere to go, but the
+                 trace record still completes *)
+              Option.iter
+                (fun tb ->
+                  Reqtrace.finish t.traces tb ~now:(now ())
+                    ~status:"abandoned")
+                tr
+            | Some c -> (
               c.inflight <- c.inflight - 1;
-              enqueue_response t c ?id resp)
+              match tr with
+              | Some tb -> respond_traced t c ?id tb resp
+              | None -> enqueue_response t c ?id resp))
           responses
       end;
       List.iter (fun c -> service_write t c) (by_fd ws);
@@ -353,7 +443,8 @@ let step t ~stop =
 let shutdown t =
   stop_accepting t;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
-  Hashtbl.reset t.conns
+  Hashtbl.reset t.conns;
+  Reqtrace.close t.traces
 
 let run ?(log = ignore) config =
   (* Serve metrics must record without the CLI --stats flag; the daemon
@@ -371,13 +462,25 @@ let run ?(log = ignore) config =
     (Printf.sprintf "awesym serve: listening on %s (max batch %d, linger %g ms)"
        config.socket_path config.batch.Batcher.max_batch
        (config.batch.Batcher.linger_s *. 1e3));
+  (match config.trace_log with
+  | Some path -> log (Printf.sprintf "awesym serve: tracing requests to %s" path)
+  | None -> ());
   Fun.protect
     ~finally:(fun () ->
+      let final = Json.to_string (stats_json t) in
+      let gauge name =
+        Option.value (Obs.Metrics.gauge name) ~default:0.0
+      in
       shutdown t;
       Sys.set_signal Sys.sigterm previous;
       log
-        (Printf.sprintf "awesym serve: drained; final stats: %s"
-           (Json.to_string (stats_json t))))
+        (Printf.sprintf
+           "awesym serve: drained; gauges: serve.queue_depth=%g \
+            registry.resident_models=%g batcher.inflight=%g"
+           (gauge "serve.queue_depth")
+           (gauge "registry.resident_models")
+           (gauge "batcher.inflight"));
+      log (Printf.sprintf "awesym serve: drained; final stats: %s" final))
     (fun () ->
       while step t ~stop do
         ()

@@ -20,6 +20,15 @@ type config = {
   versions : (string * string) list;
       (** the pong version inventory; the CLI passes the full schema
           list that [awesym --version] prints *)
+  trace_log : string option;
+      (** append completed request traces as JSONL here ([None] keeps
+          only the in-memory ring); see {!Reqtrace} for the record
+          schema *)
+  trace_log_max_bytes : int;
+      (** rotate the trace log (rename to [path ^ ".1"]) past this size *)
+  trace_capacity : int;
+      (** bounded in-memory ring of completed traces, served by the
+          [trace] request type *)
 }
 
 val default_versions : (string * string) list
@@ -27,7 +36,8 @@ val default_versions : (string * string) list
     versions. *)
 
 val default_config : socket_path:string -> config
-(** Default batching knobs, 8 resident models, 256 MiB cache budget. *)
+(** Default batching knobs, 8 resident models, 256 MiB cache budget, no
+    trace log, 256-trace ring, 16 MiB rotation threshold. *)
 
 type t
 

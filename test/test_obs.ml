@@ -87,9 +87,100 @@ let test_metrics_disabled () =
   Obs.reset ();
   Obs.Metrics.incr "silent";
   Obs.Metrics.observe "silent.h" 3.0;
+  Obs.Metrics.set_gauge "silent.g" 1.0;
   Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter "silent");
   Alcotest.(check bool) "histogram untouched" true
-    (Obs.Metrics.histogram "silent.h" = None)
+    (Obs.Metrics.histogram "silent.h" = None);
+  Alcotest.(check bool) "gauge untouched" true
+    (Obs.Metrics.gauge "silent.g" = None)
+
+let test_gauges () =
+  with_enabled @@ fun () ->
+  Obs.Metrics.set_gauge "z.depth" 4.0;
+  Obs.Metrics.set_gauge "a.inflight" 1.0;
+  Obs.Metrics.set_gauge "z.depth" 2.5;
+  Alcotest.(check (option (float 0.0)))
+    "last write wins" (Some 2.5)
+    (Obs.Metrics.gauge "z.depth");
+  Alcotest.(check (option (float 0.0))) "absent" None (Obs.Metrics.gauge "nope");
+  (* Listings are name-sorted so stats output and goldens are stable. *)
+  Alcotest.(check (list (pair string (float 0.0))))
+    "sorted listing"
+    [ ("a.inflight", 1.0); ("z.depth", 2.5) ]
+    (Obs.Metrics.gauges_list ())
+
+let test_quantiles () =
+  with_enabled @@ fun () ->
+  List.iter (Obs.Metrics.observe "q") [ 1.0; 2.0; 4.0 ];
+  match Obs.Metrics.histogram "q" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+    let q p = Obs.Metrics.quantile s p in
+    Alcotest.(check (float 1e-12)) "q=0 is the observed min" 1.0 (q 0.0);
+    Alcotest.(check (float 1e-12)) "q=1 is the observed max" 4.0 (q 1.0);
+    Alcotest.(check bool) "monotone" true (q 0.5 <= q 0.9 && q 0.9 <= q 0.99);
+    List.iter
+      (fun p ->
+        let v = q p in
+        Alcotest.(check bool)
+          (Printf.sprintf "q=%g within observed range" p)
+          true
+          (v >= 1.0 && v <= 4.0))
+      [ 0.25; 0.5; 0.75; 0.9; 0.99 ];
+    let empty =
+      { s with Obs.Metrics.count = 0; buckets = [] }
+    in
+    Alcotest.(check bool) "empty series has no quantile" true
+      (Float.is_nan (Obs.Metrics.quantile empty 0.5))
+
+(* Merging per-domain shards must be exact: recording a stream split
+   across shards yields the same histogram as recording it in one go.
+   Integer-valued observations keep the sums exact, so equality is
+   structural, not approximate. *)
+let prop_shard_merge_exact =
+  QCheck2.Test.make ~name:"shard merge equals single recording" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 40) (int_range 1 1000))
+        (int_range 0 40))
+    (fun (raw, cut) ->
+      let values = List.map float_of_int raw in
+      let cut = Stdlib.min cut (List.length values) in
+      let fst_half = List.filteri (fun i _ -> i < cut) values in
+      let snd_half = List.filteri (fun i _ -> i >= cut) values in
+      with_enabled @@ fun () ->
+      List.iter (Obs.Metrics.observe "direct") values;
+      Obs.Metrics.with_shard (fun () ->
+          List.iter (Obs.Metrics.observe "sharded") fst_half);
+      Obs.Metrics.with_shard (fun () ->
+          List.iter (Obs.Metrics.observe "sharded") snd_half);
+      match (Obs.Metrics.histogram "direct", Obs.Metrics.histogram "sharded") with
+      | Some d, Some s -> d = s
+      | _ -> false)
+
+let test_prometheus_golden () =
+  with_enabled @@ fun () ->
+  Obs.Metrics.incr ~by:3 "req.count";
+  Obs.Metrics.set_gauge "g.depth" 2.5;
+  List.iter (Obs.Metrics.observe "lat.us") [ 1.0; 2.0; 4.0 ];
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE awesym_req_count counter";
+        "awesym_req_count 3";
+        "# TYPE awesym_g_depth gauge";
+        "awesym_g_depth 2.5";
+        "# TYPE awesym_lat_us summary";
+        "awesym_lat_us{quantile=\"0.5\"} 3";
+        "awesym_lat_us{quantile=\"0.9\"} 4";
+        "awesym_lat_us{quantile=\"0.99\"} 4";
+        "awesym_lat_us_sum 7";
+        "awesym_lat_us_count 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition text" expected
+    (Obs.Metrics.to_prometheus ())
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
@@ -145,6 +236,51 @@ let test_chrome_trace () =
           | _ -> Alcotest.fail "missing dur")
         events
     | _ -> Alcotest.fail "missing traceEvents")
+
+(* A trace written mid-phase must still be well-formed: spans that are
+   open at write time appear as complete events flagged truncated. *)
+let test_chrome_trace_truncated () =
+  let module J = Obs.Json in
+  with_enabled @@ fun () ->
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"done" (fun () -> ());
+      (match Obs.Span.open_spans () with
+      | [ s ] ->
+        Alcotest.(check string) "open span is outer" "outer" s.Obs.Span.name;
+        Alcotest.(check bool) "duration measured so far" true
+          (s.Obs.Span.dur >= 0.0)
+      | l -> Alcotest.failf "expected one open span, got %d" (List.length l));
+      let doc = Obs.Span.to_chrome () in
+      match J.member "traceEvents" doc with
+      | Some (J.List events) ->
+        Alcotest.(check int) "completed + truncated" 2 (List.length events);
+        let truncated =
+          List.filter
+            (fun ev ->
+              match J.member "args" ev with
+              | Some args -> J.member "truncated" args = Some (J.Bool true)
+              | None -> false)
+            events
+        in
+        (match truncated with
+        | [ ev ] -> (
+          (match J.member "name" ev with
+          | Some (J.Str "outer") -> ()
+          | _ -> Alcotest.fail "the open span is the truncated one");
+          match J.member "ph" ev with
+          | Some (J.Str "X") -> ()
+          | _ -> Alcotest.fail "truncated events still complete (ph=X)")
+        | l -> Alcotest.failf "expected one truncated event, got %d"
+                 (List.length l));
+        Alcotest.(check bool) "completed child is not truncated" true
+          (List.exists
+             (fun ev ->
+               J.member "name" ev = Some (J.Str "done")
+               && J.member "args" ev = None)
+             events)
+      | _ -> Alcotest.fail "missing traceEvents");
+  Alcotest.(check int) "no open spans after close" 0
+    (List.length (Obs.Span.open_spans ()))
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -217,12 +353,19 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
           Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          QCheck_alcotest.to_alcotest prop_shard_merge_exact;
+          Alcotest.test_case "prometheus exposition golden" `Quick
+            test_prometheus_golden;
         ] );
       ( "json",
         [
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "chrome trace mid-phase truncation" `Quick
+            test_chrome_trace_truncated;
         ] );
       ("rng", [ Alcotest.test_case "determinism and ranges" `Quick test_rng ]);
       ( "pipeline",

@@ -71,7 +71,9 @@ let gen_request =
       [
         return Protocol.Ping;
         return Protocol.Stats;
+        return Protocol.Metrics;
         return Protocol.Shutdown;
+        map (fun n -> Protocol.Trace n) nat;
         map (fun m -> Protocol.Info m) string_printable;
         (let* model = string_printable in
          let* points = gen_points in
@@ -86,18 +88,26 @@ let gen_id =
          [ map (fun n -> Json.Num (float_of_int n)) nat;
            map (fun s -> Json.Str s) string_printable ]))
 
+let gen_trace =
+  QCheck2.Gen.(
+    option
+      (let* trace_id = string_printable in
+       let* parent_span = string_printable in
+       return { Protocol.trace_id; parent_span }))
+
 (* encode∘decode = id, compared through the canonical serialization —
    floats travel as hex bit patterns, so string equality is bit
    equality. *)
 let prop_request_round_trip =
   QCheck2.Test.make ~name:"protocol request round trip" ~count:200
-    QCheck2.Gen.(pair gen_id gen_request)
-    (fun (id, req) ->
-      let j = Protocol.request_to_json ?id req in
+    QCheck2.Gen.(triple gen_id gen_trace gen_request)
+    (fun (id, trace, req) ->
+      let j = Protocol.request_to_json ?id ?trace req in
       match Protocol.request_of_json j with
       | Error e -> QCheck2.Test.fail_report (Err.to_string e)
-      | Ok (id', req') ->
-        Json.to_string j = Json.to_string (Protocol.request_to_json ?id:id' req'))
+      | Ok (id', trace', req') ->
+        Json.to_string j
+        = Json.to_string (Protocol.request_to_json ?id:id' ?trace:trace' req'))
 
 let gen_response =
   QCheck2.Gen.(
@@ -121,6 +131,12 @@ let gen_response =
          let* moments = gen_points in
          return (Protocol.R_eval { Protocol.digest; order; moments }));
         return (Protocol.R_stats (Json.Obj [ ("x", Json.Num 1.0) ]));
+        map (fun text -> Protocol.R_metrics text) string_printable;
+        map
+          (fun ss ->
+            Protocol.R_traces
+              (List.map (fun s -> Json.Obj [ ("trace_id", Json.Str s) ]) ss))
+          (small_list string_printable);
         (let* kind = oneofl Err.all_kinds in
          let* msg = string_printable in
          return (Protocol.R_error (Err.make kind ~where:"serve.test" msg)));
@@ -211,7 +227,7 @@ let test_garbage_requests_rejected () =
 (* ------------------------------------------------------------------ *)
 (* In-process server harness *)
 
-let with_server ?batch ?(max_models = 8) f =
+let with_server ?batch ?(max_models = 8) ?trace_log f =
   let batch =
     match batch with Some b -> b | None -> Serve.Batcher.default_config
   in
@@ -219,11 +235,11 @@ let with_server ?batch ?(max_models = 8) f =
   let sock = Filename.concat dir "s.sock" in
   let config =
     {
-      Serve.Server.socket_path = sock;
+      (Serve.Server.default_config ~socket_path:sock) with
       batch;
       max_models;
       cache_gc_bytes = None;
-      versions = Serve.Server.default_versions;
+      trace_log;
     }
   in
   let t = Serve.Server.create config in
@@ -422,6 +438,126 @@ let test_shutdown_request_drains () =
   Serve.Client.close c
 
 (* ------------------------------------------------------------------ *)
+(* Request tracing + metrics exposition *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let trace_record_spans j =
+  match Json.member "spans" j with
+  | Some (Json.List spans) ->
+    List.filter_map
+      (fun s ->
+        match Json.member "name" s with Some (Json.Str n) -> Some n | _ -> None)
+      spans
+  | _ -> []
+
+let check_span_tree label j =
+  let spans = trace_record_spans j in
+  if List.length spans < 4 then
+    Alcotest.failf "%s: expected >= 4 child spans, got [%s]" label
+      (String.concat "; " spans);
+  List.iter
+    (fun name ->
+      if not (List.mem name spans) then
+        Alcotest.failf "%s: span %s missing from [%s]" label name
+          (String.concat "; " spans))
+    [
+      "serve.parse";
+      "serve.registry.lookup";
+      "serve.batch.enqueue";
+      "serve.kernel.eval";
+    ]
+
+(* The tentpole acceptance: a client-chosen trace id round-trips through
+   the daemon and lands in the JSONL trace log attached to a span tree
+   naming the stations the request passed through. *)
+let test_trace_context_round_trip () =
+  let model, path = Lazy.force fixture in
+  let dir = temp_dir "awesym_trace_log" in
+  let log = Filename.concat dir "traces.jsonl" in
+  ( with_server ~trace_log:log @@ fun ~sock ~stop:_ ->
+    let c = client sock in
+    let trace =
+      { Protocol.trace_id = "test-trace-123"; parent_span = "test.parent" }
+    in
+    let r =
+      ok "eval"
+        (Serve.Client.eval c ~trace ~model:path [| Model.nominal_values model |])
+    in
+    check_moments_match model [| Model.nominal_values model |] r;
+    (* The completed trace is also queryable in-band, newest last. *)
+    let ring = ok "traces" (Serve.Client.traces c ~limit:16) in
+    (match
+       List.find_opt
+         (fun j -> Json.member "trace_id" j = Some (Json.Str "test-trace-123"))
+         ring
+     with
+    | None -> Alcotest.fail "client trace id absent from the server ring"
+    | Some j ->
+      Alcotest.(check (option string))
+        "parent span propagated" (Some "test.parent")
+        (match Json.member "parent_span" j with
+        | Some (Json.Str s) -> Some s
+        | _ -> None);
+      check_span_tree "ring record" j);
+    Serve.Client.close c );
+  (* Every record in the log is one line of valid JSON; ours is there
+     with the full span tree. *)
+  let lines = In_channel.with_open_text log In_channel.input_lines in
+  let records =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "trace log line is not JSON (%s): %s" m line)
+      lines
+  in
+  match
+    List.find_opt
+      (fun j -> Json.member "trace_id" j = Some (Json.Str "test-trace-123"))
+      records
+  with
+  | None -> Alcotest.fail "client trace id absent from the trace log"
+  | Some j ->
+    Alcotest.(check (option string))
+      "logged op" (Some "eval")
+      (match Json.member "op" j with Some (Json.Str s) -> Some s | _ -> None);
+    check_span_tree "logged record" j
+
+let test_metrics_exposition () =
+  let model, path = Lazy.force fixture in
+  Obs.reset ();
+  Obs.enabled := true;
+  Fun.protect ~finally:(fun () ->
+      Obs.enabled := false;
+      Obs.reset ())
+  @@ fun () ->
+  with_server @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  let _ =
+    ok "eval" (Serve.Client.eval c ~model:path [| Model.nominal_values model |])
+  in
+  let text = ok "metrics" (Serve.Client.metrics c) in
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "metrics exposition missing %S in:\n%s" needle text)
+    [
+      "# TYPE awesym_serve_latency_us summary";
+      "awesym_serve_latency_us{quantile=\"0.5\"}";
+      "awesym_serve_latency_us{quantile=\"0.99\"}";
+      "awesym_serve_latency_us_count 1";
+      "# TYPE awesym_serve_queue_depth gauge";
+      "awesym_registry_resident_models 1";
+      "awesym_batcher_inflight";
+      "# TYPE awesym_serve_requests counter";
+    ];
+  Serve.Client.close c
+
+(* ------------------------------------------------------------------ *)
 (* Cache GC (the daemon runs this at startup; `awesym cache gc` too) *)
 
 let test_cache_gc () =
@@ -483,6 +619,10 @@ let () =
           quick "drain completes in-flight requests"
             test_drain_completes_in_flight;
           quick "shutdown request drains" test_shutdown_request_drains;
+          quick "trace context round-trips into the trace log"
+            test_trace_context_round_trip;
+          quick "metrics exposition names the serving surface"
+            test_metrics_exposition;
         ] );
       ("cache", [ quick "gc evicts oldest first" test_cache_gc ]);
     ]
