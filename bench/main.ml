@@ -766,6 +766,159 @@ let sweep_bench () =
     result.Sweep.Engine.yield
 
 (* ------------------------------------------------------------------ *)
+(* SLP-CODEGEN: native compiled kernels vs the bytecode interpreter *)
+
+let codegen_bench () =
+  banner "SLP-CODEGEN: native .cmxs kernels vs bytecode interpreter";
+  (* A private cache so the compile time below measures a cold miss, not
+     whatever a previous run left behind. *)
+  let saved_cache = Option.value ~default:"" (Sys.getenv_opt "AWESYM_CACHE_DIR") in
+  let cache =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "awesym-bench-codegen-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "AWESYM_CACHE_DIR" cache;
+  let cleanup () =
+    (match Sys.readdir cache with
+    | names ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat cache f) with Sys_error _ -> ())
+        names;
+      (try Sys.rmdir cache with Sys_error _ -> ())
+    | exception Sys_error _ -> ());
+    Unix.putenv "AWESYM_CACHE_DIR" saved_cache;
+    Symbolic.Slp.set_backend Symbolic.Slp.Auto;
+    Codegen.uninstall ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let prog = Model.program model in
+  let n = 10_000 in
+  let axes =
+    [
+      { Sweep.Plan.name = gname;
+        dist = Sweep.Dist.uniform ~lo:0.5e-6 ~hi:8.5e-6 };
+      { Sweep.Plan.name = cname;
+        dist = Sweep.Dist.uniform ~lo:5e-12 ~hi:65e-12 };
+    ]
+  in
+  let plan = Sweep.Plan.make (Sweep.Plan.Monte_carlo n) axes in
+  let cols =
+    Sweep.Plan.columns
+      ~symbols:(Array.map Sym.name (Model.symbols model))
+      ~nominals:(Model.nominal_values model)
+      ~rng:(Obs.Rng.create 42) plan
+  in
+  let nsym = Array.length cols in
+  let point i = Array.init nsym (fun k -> cols.(k).(i)) in
+  let sink = ref 0.0 in
+  let reps = 5 in
+  let scalar_loop run =
+    for i = 0 to n - 1 do
+      sink := !sink +. (run (point i)).(0)
+    done
+  in
+  (* Interpreter first (no provider involved at all). *)
+  Symbolic.Slp.set_backend Symbolic.Slp.Interp;
+  let run_interp = Symbolic.Slp.make_evaluator prog in
+  let t_scalar_interp = wall_only (fun () -> scalar_loop run_interp) in
+  let batch_interp = Symbolic.Slp.eval_batch ~jobs:1 prog cols in
+  let t_batch_interp =
+    wall_only (fun () ->
+        for _ = 1 to reps do
+          ignore (Symbolic.Slp.eval_batch ~jobs:1 prog cols)
+        done)
+    /. float_of_int reps
+  in
+  (* One-time cost of the native backend: emit + ocamlopt + dynlink on a
+     cold cache. *)
+  Codegen.install ();
+  Symbolic.Slp.set_backend Symbolic.Slp.Native;
+  let compiled, t_compile = wall (fun () -> Codegen.available prog) in
+  if not compiled then
+    Printf.printf "native kernels unavailable (%s); timings below are \
+                   interp vs interp\n"
+      (match Codegen.last_error () with
+      | Some e -> Awesym_error.to_string e
+      | None -> "declined");
+  let run_native = Symbolic.Slp.make_evaluator prog in
+  let t_scalar_native = wall_only (fun () -> scalar_loop run_native) in
+  let batch_native = Symbolic.Slp.eval_batch ~jobs:1 prog cols in
+  let t_batch_native =
+    wall_only (fun () ->
+        for _ = 1 to reps do
+          ignore (Symbolic.Slp.eval_batch ~jobs:1 prog cols)
+        done)
+    /. float_of_int reps
+  in
+  ignore !sink;
+  (* The backend contract, measured over the whole sweep: every output of
+     every point bit-identical, scalar and batched. *)
+  let identical = ref true in
+  for i = 0 to n - 1 do
+    let a = run_interp (point i) in
+    Symbolic.Slp.set_backend Symbolic.Slp.Native;
+    let b = run_native (point i) in
+    Symbolic.Slp.set_backend Symbolic.Slp.Interp;
+    Array.iteri
+      (fun j v ->
+        if
+          Int64.bits_of_float v <> Int64.bits_of_float b.(j)
+          || Int64.bits_of_float batch_interp.(j).(i)
+             <> Int64.bits_of_float batch_native.(j).(i)
+        then identical := false)
+      a
+  done;
+  let per_point t = t /. float_of_int n *. 1e9 in
+  let batched_speedup = t_batch_interp /. Float.max t_batch_native 1e-12 in
+  let scalar_speedup = t_scalar_interp /. Float.max t_scalar_native 1e-12 in
+  (* The headline: what the native batched kernel buys over the scalar
+     interpreter loop that eval/serve requests ran before this backend
+     existed.  (Batched-interp vs batched-native is reported too, but the
+     SoA interpreter already amortizes dispatch over 256 lanes and both
+     kernels end up memory/port bound, so that ratio sits near 2-3x.) *)
+  let kernel_speedup = t_scalar_interp /. Float.max t_batch_native 1e-12 in
+  (* How many batched points pay off the one-time ocamlopt run. *)
+  let amortize =
+    let save = (t_batch_interp -. t_batch_native) /. float_of_int n in
+    if save <= 0.0 then Float.infinity else t_compile /. save
+  in
+  Printf.printf "%d points, %d operations/point, block %d\n\n" n
+    (Model.num_operations model) Symbolic.Slp.default_block;
+  Printf.printf "one-time compile (emit+ocamlopt+dynlink): %7.1f ms\n\n"
+    (t_compile *. 1e3);
+  Printf.printf "scalar  interp: %8.1f ns/point\n" (per_point t_scalar_interp);
+  Printf.printf "scalar  native: %8.1f ns/point   %5.1fx\n"
+    (per_point t_scalar_native) scalar_speedup;
+  Printf.printf "batched interp: %8.1f ns/point\n" (per_point t_batch_interp);
+  Printf.printf "batched native: %8.1f ns/point   %5.1fx\n"
+    (per_point t_batch_native) batched_speedup;
+  Printf.printf "\nbatched native vs interpreted eval:  %5.1fx\n" kernel_speedup;
+  Printf.printf "bit-identical across backends: %b\n" !identical;
+  Printf.printf "compile amortized after %.0f batched points\n" amortize;
+  Obs.Metrics.add "bench.codegen.points" n;
+  Obs.Metrics.add "bench.codegen.scalar_interp_ns"
+    (int_of_float (t_scalar_interp *. 1e9));
+  Obs.Metrics.add "bench.codegen.scalar_native_ns"
+    (int_of_float (t_scalar_native *. 1e9));
+  Obs.Metrics.add "bench.codegen.batched_interp_ns"
+    (int_of_float (t_batch_interp *. 1e9));
+  Obs.Metrics.add "bench.codegen.batched_native_ns"
+    (int_of_float (t_batch_native *. 1e9));
+  Obs.Metrics.add "bench.codegen.compile_ms" (int_of_float (t_compile *. 1e3));
+  Obs.Metrics.add "bench.codegen.batched_speedup_pct"
+    (int_of_float (100.0 *. batched_speedup));
+  Obs.Metrics.add "bench.codegen.scalar_speedup_pct"
+    (int_of_float (100.0 *. scalar_speedup));
+  Obs.Metrics.add "bench.codegen.kernel_speedup_pct"
+    (int_of_float (100.0 *. kernel_speedup));
+  Obs.Metrics.add "bench.codegen.bit_identical" (if !identical then 1 else 0);
+  Obs.Metrics.add "bench.codegen.amortize_points"
+    (if Float.is_finite amortize then int_of_float amortize else -1)
+
+(* ------------------------------------------------------------------ *)
 (* SWEEP-SCALING: domain-parallel sweep throughput vs jobs *)
 
 let sweep_scaling () =
@@ -1059,6 +1212,7 @@ let experiments =
     ("fig10", fig10);
     ("time32", time32);
     ("sweep", sweep_bench);
+    ("slp-codegen", codegen_bench);
     ("sweep-scaling", sweep_scaling);
     ("serve", serve_bench);
     ("ident", ident);
@@ -1223,7 +1377,14 @@ let direction_of name =
 let default_tolerance = 0.5
 
 let experiment_tolerances =
-  [ ("serve", 0.75); ("sweep", 0.75); ("sweep-scaling", 0.75) ]
+  [
+    ("serve", 0.75); ("sweep", 0.75); ("sweep-scaling", 0.75);
+    (* ocamlopt time dominates wall_s, and the interpreter-side timings
+       swing ~2x with machine load.  The committed kernel_speedup_pct
+       baseline (batched-native vs the interpreted per-point path) is
+       ~16x, so even the widest band still guards the ≥5x contract. *)
+    ("slp-codegen", 0.75);
+  ]
 
 (* Wall times below timer noise make relative deltas meaningless. *)
 let wall_s_floor = 0.05

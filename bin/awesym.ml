@@ -88,6 +88,40 @@ let with_jobs jobs f =
   Runtime.set_default_jobs jobs;
   f ()
 
+(* Shared evaluation-backend flag for the compiled-model commands (see
+   docs/CODEGEN.md).  Like --jobs it sets process-wide state: libraries
+   dispatch through [Slp]'s backend hooks, so nothing threads the choice
+   through call signatures.  [interp] never even installs the provider;
+   [native] turns on strict warnings so a fallback is visible. *)
+let backend_arg =
+  let backend_conv =
+    Arg.enum
+      [
+        ("auto", Symbolic.Slp.Auto);
+        ("native", Symbolic.Slp.Native);
+        ("interp", Symbolic.Slp.Interp);
+      ]
+  in
+  Arg.(
+    value & opt backend_conv Symbolic.Slp.Auto
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "SLP evaluation backend: $(b,auto) (default: compiled native \
+           kernels when the OCaml toolchain can deliver them, the bytecode \
+           interpreter otherwise), $(b,native) (same, but warn on stderr \
+           when falling back), or $(b,interp) (interpreter only).  Results \
+           are bit-identical whichever backend runs.")
+
+let with_backend backend f =
+  Symbolic.Slp.set_backend backend;
+  (match backend with
+  | Symbolic.Slp.Interp -> ()
+  | Symbolic.Slp.Auto -> Codegen.install ()
+  | Symbolic.Slp.Native ->
+    Codegen.set_strict true;
+    Codegen.install ());
+  f ()
+
 let with_obs (stats, trace) f =
   (* Every command body runs under this wrapper, so classified failures
      from anywhere in the pipeline exit with one readable line instead of
@@ -729,9 +763,10 @@ let load_model path =
   | Sys_error msg -> die msg
 
 let compile_cmd =
-  let run obs jobs deck order sparse out cache =
+  let run obs jobs backend deck order sparse out cache =
     with_obs obs @@ fun () ->
     with_jobs jobs @@ fun () ->
+    with_backend backend @@ fun () ->
     let nl = or_die (read_netlist deck) in
     let model =
       if cache then Awesymbolic.Model.build_cached ~order ~sparse nl
@@ -751,7 +786,21 @@ let compile_cmd =
          (Array.to_list (Array.map Symbolic.Symbol.name symbols)));
     Printf.printf "%d operations over %d registers\n"
       (Awesymbolic.Model.num_operations model)
-      (Symbolic.Slp.num_registers (Awesymbolic.Model.program model))
+      (Symbolic.Slp.num_registers (Awesymbolic.Model.program model));
+    (* Prewarm the kernel cache: later eval/sweep/serve runs on this
+       artifact hit the compiled object instead of paying ocamlopt. *)
+    (match backend with
+    | Symbolic.Slp.Interp -> ()
+    | Symbolic.Slp.Auto | Symbolic.Slp.Native ->
+      let p = Awesymbolic.Model.program model in
+      if Codegen.available p then
+        Printf.printf "native kernel cached: %s\n"
+          (Filename.basename (Codegen.cache_path p))
+      else
+        Printf.printf "native kernel unavailable (%s); runs will interpret\n"
+          (match Codegen.last_error () with
+          | Some e -> Awesym_error.kind_name e.Awesym_error.kind
+          | None -> "declined"))
   in
   let out_arg =
     Arg.(
@@ -776,8 +825,8 @@ let compile_cmd =
      checksummed artifact for later `eval` and `sweep` runs."
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ obs_args $ jobs_arg $ deck_arg $ order_arg $ sparse_arg
-          $ out_arg $ cache_arg)
+    Term.(const run $ obs_args $ jobs_arg $ backend_arg $ deck_arg $ order_arg
+          $ sparse_arg $ out_arg $ cache_arg)
 
 let model_arg =
   let doc = "Load a compiled model artifact instead of building a deck." in
@@ -823,9 +872,10 @@ let print_point_eval ~model_path ~order ~names ~values ~moments ~show_moments =
   print_rom (Awe.Pade.fit ~order moments)
 
 let eval_cmd =
-  let run obs jobs model_path bindings show_moments =
+  let run obs jobs backend model_path bindings show_moments =
     with_obs obs @@ fun () ->
     with_jobs jobs @@ fun () ->
+    with_backend backend @@ fun () ->
     let model_path =
       match model_path with
       | Some p -> p
@@ -850,8 +900,8 @@ let eval_cmd =
      nominal values stored in the artifact)."
   in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ obs_args $ jobs_arg $ model_arg $ bindings_arg
-          $ moments_arg)
+    Term.(const run $ obs_args $ jobs_arg $ backend_arg $ model_arg
+          $ bindings_arg $ moments_arg)
 
 let parse_vary s =
   match String.index_opt s '=' with
@@ -897,10 +947,12 @@ let describe_dist = function
     Printf.sprintf "lognormal(%g, %g)" mu sigma
 
 let sweep_cmd =
-  let run obs jobs deck model_path order sparse cache varies mc lhs corners
-      grid measures specs seed block json_path on_fault checkpoint resume =
+  let run obs jobs backend deck model_path order sparse cache varies mc lhs
+      corners grid measures specs seed block json_path on_fault checkpoint
+      resume =
     with_obs obs @@ fun () ->
     with_jobs jobs @@ fun () ->
+    with_backend backend @@ fun () ->
     let model =
       match (model_path, deck) with
       | Some _, Some _ -> die "give either a DECK or --model, not both"
@@ -1165,10 +1217,10 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ obs_args $ jobs_arg $ deck_opt_arg $ model_arg $ order_arg
-      $ sparse_arg $ cache_arg $ vary_arg $ mc_arg $ lhs_arg $ corners_arg
-      $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg $ json_arg
-      $ on_fault_arg $ checkpoint_arg $ resume_arg)
+      const run $ obs_args $ jobs_arg $ backend_arg $ deck_opt_arg $ model_arg
+      $ order_arg $ sparse_arg $ cache_arg $ vary_arg $ mc_arg $ lhs_arg
+      $ corners_arg $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg
+      $ json_arg $ on_fault_arg $ checkpoint_arg $ resume_arg)
 
 let moments_cmd =
   let run obs deck count =
@@ -1198,6 +1250,7 @@ let version_inventory =
   [
     ("awesym", binary_version);
     ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
+    ("kernel", Codegen.schema);
     ("sweep", Sweep.Engine.schema);
     ("serve", Serve.Protocol.schema);
     ("reqtrace", Serve.Reqtrace.schema);
@@ -1224,9 +1277,10 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run jobs socket max_batch linger_ms queue max_models gc_mb trace_log
-      trace_log_max_mb =
+  let run jobs backend socket max_batch linger_ms queue max_models gc_mb
+      trace_log trace_log_max_mb =
     with_jobs jobs @@ fun () ->
+    with_backend backend @@ fun () ->
     if max_batch < 1 || queue < 1 || linger_ms < 0.0 then
       die "serve: --max-batch and --queue must be >= 1, --linger-ms >= 0";
     if trace_log_max_mb < 1 then die "serve: --trace-log-max-mb must be >= 1";
@@ -1313,8 +1367,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ jobs_arg $ socket_arg $ max_batch_arg $ linger_arg
-      $ queue_arg $ max_models_arg $ gc_arg $ trace_log_arg
+      const run $ jobs_arg $ backend_arg $ socket_arg $ max_batch_arg
+      $ linger_arg $ queue_arg $ max_models_arg $ gc_arg $ trace_log_arg
       $ trace_log_max_arg)
 
 let call_cmd =

@@ -1,0 +1,26 @@
+/* Read back a value a dynlinked kernel registered with Callback.register.
+
+   The stdlib exposes registration (Callback.register) but not retrieval —
+   caml_named_value is C-only — so this one stub is the whole host side of
+   the plugin handshake.  Keeping the handshake inside the runtime's named-
+   value table means generated plugins reference nothing but the stdlib:
+   they never import a host module, so there is no .cmi/CRC coupling
+   between a cached .cmxs and the binary that loads it beyond the stdlib
+   itself (which Dynlink already checks). */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/callback.h>
+
+CAMLprim value awesym_codegen_named_value(value vname)
+{
+  CAMLparam1(vname);
+  CAMLlocal1(res);
+  const value *v = caml_named_value(String_val(vname));
+  if (v == NULL)
+    CAMLreturn(Val_int(0)); /* None */
+  res = caml_alloc_small(1, 0); /* Some */
+  Field(res, 0) = *v;
+  CAMLreturn(res);
+}

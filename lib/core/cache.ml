@@ -51,13 +51,19 @@ let atomic_write dest write =
 
 (* ------------------------------------------------------------------ *)
 (* Garbage collection: the cache otherwise grows one artifact per
-   (deck, options, format) forever.  Eviction is oldest-access-first —
-   [Unix.stat] atime where the filesystem tracks it, mtime as the
-   floor — and each removal is a single unlink, so a concurrent reader
-   either opened the entry before the unlink (and keeps reading the
-   still-open file) or misses and rebuilds; no entry is ever observed
-   half-deleted.  Stale ".tmp" leftovers from crashed [atomic_write]
-   runs are swept unconditionally. *)
+   (deck, options, format) — plus one compiled kernel per program
+   digest (codegen's ".cmxs" objects live here too) — forever.
+   Eviction is oldest-access-first — [Unix.stat] atime where the
+   filesystem tracks it, mtime as the floor — and each removal is a
+   single unlink, so a concurrent reader either opened the entry before
+   the unlink (and keeps reading the still-open file) or misses and
+   rebuilds; no entry is ever observed half-deleted.  Stale ".tmp"
+   leftovers from crashed [atomic_write] runs and ".bad" objects
+   quarantined by codegen's load validation are swept
+   unconditionally. *)
+
+let entry_extensions = [ ".awm"; ".cmxs" ]
+let sweep_suffixes = [ ".tmp"; ".bad" ]
 
 type gc_stats = {
   scanned : int;
@@ -74,16 +80,23 @@ let gc ?dir ~max_bytes () =
     | names -> Array.to_list names
     | exception Sys_error _ -> []
   in
-  (* Crash leftovers first: they are never readable entries. *)
+  (* Crash leftovers and quarantined objects first: neither is ever a
+     readable entry. *)
   List.iter
     (fun name ->
-      if Filename.check_suffix name ".tmp" then
+      if List.exists (fun s -> Filename.check_suffix name s) sweep_suffixes
+      then
         try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
     names;
   let entries =
     List.filter_map
       (fun name ->
-        if not (Filename.check_suffix name ".awm") then None
+        if
+          not
+            (List.exists
+               (fun e -> Filename.check_suffix name e)
+               entry_extensions)
+        then None
         else
           let p = Filename.concat dir name in
           match Unix.stat p with

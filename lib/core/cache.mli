@@ -37,12 +37,15 @@ type gc_stats = {
 
 val gc : ?dir:string -> max_bytes:int -> unit -> gc_stats
 (** Bound the cache directory (default {!default_dir}) to [max_bytes] of
-    [.awm] entries by deleting oldest-access-first (atime when the
-    filesystem tracks it, else mtime) until the total fits.  Each
-    eviction is one atomic unlink — concurrent readers either opened the
-    entry first and keep their handle, or miss and rebuild; nothing is
-    observed half-deleted.  Also sweeps stale [.tmp] files left by
-    crashed {!atomic_write} runs.  A missing directory is an empty
-    cache, not an error.  Obs counter: [cache.gc.deleted].  The serve
-    registry runs this at startup; the CLI exposes it as
-    [awesym cache gc].  Raises [Invalid_argument] when [max_bytes < 0]. *)
+    entries — model artifacts ([.awm]) and compiled native kernels
+    ([.cmxs], see docs/CODEGEN.md) share one budget — by deleting
+    oldest-access-first (atime when the filesystem tracks it, else
+    mtime) until the total fits.  Each eviction is one atomic unlink —
+    concurrent readers either opened the entry first and keep their
+    handle, or miss and rebuild/recompile; nothing is observed
+    half-deleted.  Also sweeps stale [.tmp] files left by crashed
+    {!atomic_write} runs and [.bad] objects quarantined by codegen's
+    load validation.  A missing directory is an empty cache, not an
+    error.  Obs counter: [cache.gc.deleted].  The serve registry runs
+    this at startup; the CLI exposes it as [awesym cache gc].  Raises
+    [Invalid_argument] when [max_bytes < 0]. *)

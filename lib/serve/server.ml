@@ -122,6 +122,23 @@ let stats_json t =
             ("timeout", c "serve.rejected.timeout");
             ("overloaded", c "serve.rejected.overloaded");
           ] );
+      (* Which SLP backend evaluations run on (see docs/CODEGEN.md):
+         the requested mode plus per-program resolutions and codegen
+         cache traffic, so operators can confirm native kernels are
+         actually in play. *)
+      ( "kernel",
+        Json.Obj
+          [
+            ( "backend",
+              Json.Str
+                (Symbolic.Slp.backend_name (Symbolic.Slp.current_backend ())) );
+            ("native_programs", c "kernel.backend.native");
+            ("interp_programs", c "kernel.backend.interp");
+            ("compile_cache_hit", c "codegen.cache_hit");
+            ("compile_cache_miss", c "codegen.cache_miss");
+            ("fallback", c "codegen.fallback");
+            ("quarantined", c "codegen.quarantined");
+          ] );
       ( "gauges",
         Json.Obj
           (List.map

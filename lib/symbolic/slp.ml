@@ -12,12 +12,32 @@ type instr =
   | Sqrt of int * int
   | Exp of int * int
 
+(* Native kernels, when a code generator (lib/codegen) is installed: the
+   scalar form fills a caller-provided output array, the batch form fills
+   output columns over the half-open lane range [lo, lo+len).  Both are
+   bit-identical to the interpreter by construction — the generator emits
+   the very same float primitives the interpreter executes. *)
+type native_kernels = {
+  native_eval : float array -> float array -> unit; (* values out *)
+  native_batch : float array array -> float array array -> int -> int -> unit;
+      (* inputs outs lo len *)
+}
+
 type t = {
   inputs : Symbol.t array;
   instrs : instr array;
   init : float array; (* initial register file: constants preloaded *)
   outputs : int array; (* registers holding the outputs *)
+  mutable digest_memo : string option;
+      (* canonical program digest, computed on first use *)
+  mutable native_memo : native_kernels option option;
+      (* None: provider not yet consulted; Some r: the provider's verdict.
+         Racy writes are benign — both racers store equivalent immutable
+         values, and a lost update just re-asks the (memoized) provider. *)
 }
+
+let make ~inputs ~instrs ~init ~outputs =
+  { inputs; instrs; init; outputs; digest_memo = None; native_memo = None }
 
 let inputs p = p.inputs
 let num_outputs p = Array.length p.outputs
@@ -63,7 +83,7 @@ let of_parts ~inputs ~instrs ~init ~outputs =
       | _ -> ())
     instrs;
   Array.iter (check_reg "output") outputs;
-  { inputs; instrs; init; outputs }
+  make ~inputs ~instrs ~init ~outputs
 
 (* ------------------------------------------------------------------ *)
 (* Optimization passes.
@@ -275,7 +295,7 @@ let optimize p =
     Obs.Metrics.add "slp.optimize.saved_regs"
       (Int.max 0 (Array.length p.init - Array.length init))
   end;
-  { inputs = p.inputs; instrs; init; outputs }
+  make ~inputs:p.inputs ~instrs ~init ~outputs
 
 (* ------------------------------------------------------------------ *)
 
@@ -355,12 +375,9 @@ let compile ?(optimize = true) ~inputs outputs =
   let init = Array.make (Int.max !next_reg 1) 0.0 in
   List.iter (fun (r, c) -> init.(r) <- c) !consts;
   let p =
-    {
-      inputs;
-      instrs = Array.of_list (List.rev !instrs);
-      init;
-      outputs = out_regs;
-    }
+    make ~inputs
+      ~instrs:(Array.of_list (List.rev !instrs))
+      ~init ~outputs:out_regs
   in
   let p = if optimize then optimize_pass p else p in
   if !Obs.enabled then begin
@@ -368,6 +385,83 @@ let compile ?(optimize = true) ~inputs outputs =
     Obs.Metrics.observe "slp.program.ops" (float_of_int (Array.length p.instrs))
   end;
   p
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection.
+
+   The interpreter below is always available; a native backend appears
+   when a code generator registers a provider (lib/codegen does this via
+   [Codegen.install]).  Dispatch lives here — behind the existing
+   [eval]/[make_evaluator]/[make_batch_evaluator] entry points — so every
+   caller (Model, sweep engine, serve batcher, bench) switches backends
+   without changing a line.  The provider contract: returned kernels are
+   bit-identical to the interpreter, point for point, or they must not be
+   returned at all. *)
+
+type backend = Interp | Native | Auto
+
+let backend_ref = ref Auto
+let set_backend b = backend_ref := b
+let current_backend () = !backend_ref
+
+let backend_name = function
+  | Interp -> "interp"
+  | Native -> "native"
+  | Auto -> "auto"
+
+let provider_ref : (t -> native_kernels option) option ref = ref None
+let set_native_provider p = provider_ref := p
+
+let digest p =
+  match p.digest_memo with
+  | Some d -> d
+  | None ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b "awesym-slp/1\n";
+    Buffer.add_string b (string_of_int (Array.length p.inputs));
+    Array.iter
+      (fun instr ->
+        Buffer.add_char b '\n';
+        match instr with
+        | Load_input (r, s) -> Printf.bprintf b "L %d %d" r s
+        | Add (r, a, c) -> Printf.bprintf b "A %d %d %d" r a c
+        | Mul (r, a, c) -> Printf.bprintf b "M %d %d %d" r a c
+        | Neg (r, a) -> Printf.bprintf b "N %d %d" r a
+        | Inv (r, a) -> Printf.bprintf b "I %d %d" r a
+        | Sqrt (r, a) -> Printf.bprintf b "S %d %d" r a
+        | Exp (r, a) -> Printf.bprintf b "E %d %d" r a)
+      p.instrs;
+    Buffer.add_char b '\n';
+    (* Constants by bit pattern: -0.0, infinities and NaN payloads are
+       part of the program's identity. *)
+    Array.iter (fun c -> Printf.bprintf b "c%Lx" (Int64.bits_of_float c)) p.init;
+    Buffer.add_char b '\n';
+    Array.iter (fun r -> Printf.bprintf b "o%d" r) p.outputs;
+    let d = Digest.to_hex (Digest.string (Buffer.contents b)) in
+    p.digest_memo <- Some d;
+    d
+
+(* Resolve the kernels for one program, memoized per program.  A failed
+   resolution is only memoized when a provider was consulted — installing
+   the provider later (tests, late [Codegen.install]) must not be masked
+   by an earlier miss.  The provider is trusted to classify and swallow
+   its own failures; a raising provider falls back to the interpreter. *)
+let resolve_native p =
+  match !backend_ref with
+  | Interp -> None
+  | Native | Auto -> (
+    match p.native_memo with
+    | Some r -> r
+    | None -> (
+      match !provider_ref with
+      | None -> None
+      | Some f ->
+        let r = try f p with _ -> None in
+        p.native_memo <- Some r;
+        (match r with
+        | Some _ -> Obs.Metrics.incr "kernel.backend.native"
+        | None -> Obs.Metrics.incr "kernel.backend.interp");
+        r))
 
 let run p regs values out =
   (* One flag test per evaluation (not per instruction): the op count is
@@ -391,11 +485,26 @@ let run p regs values out =
   Array.iteri (fun k r -> out.(k) <- regs.(r)) p.outputs;
   out
 
+(* The native scalar path charges the same counters as [run] so --stats
+   reads identically whichever backend executed. *)
+let charge_eval p =
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "slp.eval.count";
+    Obs.Metrics.add "slp.eval.ops" (Array.length p.instrs)
+  end
+
 let eval p values =
   if Array.length values <> Array.length p.inputs then
     invalid_arg "Slp.eval: wrong number of input values";
-  run p (Array.make (Array.length p.init) 0.0) values
-    (Array.make (Array.length p.outputs) 0.0)
+  match resolve_native p with
+  | Some k ->
+    charge_eval p;
+    let out = Array.make (Array.length p.outputs) 0.0 in
+    k.native_eval values out;
+    out
+  | None ->
+    run p (Array.make (Array.length p.init) 0.0) values
+      (Array.make (Array.length p.outputs) 0.0)
 
 let make_evaluator p =
   let regs = Array.make (Array.length p.init) 0.0 in
@@ -403,7 +512,12 @@ let make_evaluator p =
   fun values ->
     if Array.length values <> Array.length p.inputs then
       invalid_arg "Slp: wrong number of input values";
-    run p regs values out
+    match resolve_native p with
+    | Some k ->
+      charge_eval p;
+      k.native_eval values out;
+      out
+    | None -> run p regs values out
 
 (* ------------------------------------------------------------------ *)
 (* Batched evaluation: one structure-of-arrays register file of [block]
@@ -496,7 +610,15 @@ let make_batch_evaluator ?(block = default_block) ?jobs p =
      [busy] latch turns that data race into an immediate
      [Invalid_argument]: callers wanting concurrent batches (e.g. a
      serving scheduler) must keep one evaluator per owning domain. *)
-  let files = Array.init jobs (fun _ -> Array.init nregs (fun _ -> Array.make block 0.0)) in
+  (* Register files are only needed by the interpreter; allocate them on
+     first interpreted call so a native-backed evaluator costs no SoA
+     memory.  The thunk is forced under the busy latch (or before the
+     fan-out), so the laziness is single-owner too. *)
+  let files =
+    lazy
+      (Array.init jobs (fun _ ->
+           Array.init nregs (fun _ -> Array.make block 0.0)))
+  in
   let preload = preloaded_registers p in
   let busy = Atomic.make false in
   fun inputs ->
@@ -524,19 +646,43 @@ let make_batch_evaluator ?(block = default_block) ?jobs p =
       Obs.Metrics.add "slp.eval_batch.ops" (n * Array.length p.instrs)
     end;
     let outs = Array.map (fun _ -> Array.make n 0.0) p.outputs in
-    if jobs = 1 || n <= block then begin
-      let regs = files.(0) in
-      let lo = ref 0 in
-      while !lo < n do
-        let len = Int.min block (n - !lo) in
-        run_block p preload regs inputs outs !lo len;
-        lo := !lo + len
-      done
-    end
-    else
-      Runtime.iter_chunks ~jobs ~n ~block
-        (fun ~worker (c : Runtime.Chunk.t) ->
-          run_block p preload files.(worker) inputs outs c.lo c.len);
+    (* Both backends walk the same block grid and hit the same fault-
+       injection sites with the same keys, so fan-out determinism and
+       fault quarantine behave identically whichever kernel runs.  The
+       interpreter keeps its cut inside [run_block]; the native path
+       cuts here, before each kernel call. *)
+    (match resolve_native p with
+    | Some k ->
+      if jobs = 1 || n <= block then begin
+        let lo = ref 0 in
+        while !lo < n do
+          let len = Int.min block (n - !lo) in
+          Runtime.Fault.cut "slp.eval_batch" ~key:!lo;
+          k.native_batch inputs outs !lo len;
+          lo := !lo + len
+        done
+      end
+      else
+        Runtime.iter_chunks ~jobs ~n ~block
+          (fun ~worker:_ (c : Runtime.Chunk.t) ->
+            Runtime.Fault.cut "slp.eval_batch" ~key:c.lo;
+            k.native_batch inputs outs c.lo c.len)
+    | None ->
+      if jobs = 1 || n <= block then begin
+        let regs = (Lazy.force files).(0) in
+        let lo = ref 0 in
+        while !lo < n do
+          let len = Int.min block (n - !lo) in
+          run_block p preload regs inputs outs !lo len;
+          lo := !lo + len
+        done
+      end
+      else begin
+        let files = Lazy.force files in
+        Runtime.iter_chunks ~jobs ~n ~block
+          (fun ~worker (c : Runtime.Chunk.t) ->
+            run_block p preload files.(worker) inputs outs c.lo c.len)
+      end);
     outs
 
 let eval_batch ?block ?jobs p inputs = make_batch_evaluator ?block ?jobs p inputs

@@ -68,6 +68,60 @@ val of_parts :
     [Invalid_argument] on out-of-range references so corrupted artifacts
     fail loudly instead of evaluating garbage. *)
 
+(** {1 Evaluation backends}
+
+    Programs evaluate through one of two backends: the built-in bytecode
+    {e interpreter} (always available) or {e native} kernels produced by
+    an installed code generator ([Codegen] emits OCaml, compiles a
+    [.cmxs] and dynlinks it; see docs/CODEGEN.md).  Dispatch happens
+    behind {!eval} / {!make_evaluator} / {!eval_batch} /
+    {!make_batch_evaluator}, and the backend contract is {b bit-for-bit
+    identity}: whichever backend runs, every output of every point has
+    the same IEEE-754 bit pattern — including [-0.0], infinities and
+    NaNs — so switching backends can never change a result, only its
+    cost.  Under [Auto] (the default) native kernels are used whenever a
+    provider is installed and can deliver them, silently falling back to
+    the interpreter otherwise. *)
+
+type backend =
+  | Interp  (** always use the bytecode interpreter *)
+  | Native  (** request native kernels; falls back if unavailable *)
+  | Auto  (** native when a provider delivers, interpreter otherwise *)
+
+val set_backend : backend -> unit
+(** Select the process-wide backend (default [Auto]).  Programs memoize
+    their native kernels, so flipping the backend between calls is
+    cheap; [Interp] bypasses the memo entirely and costs one branch. *)
+
+val current_backend : unit -> backend
+
+val backend_name : backend -> string
+(** ["interp"], ["native"] or ["auto"] — the CLI / serve-stats spelling. *)
+
+type native_kernels = {
+  native_eval : float array -> float array -> unit;
+      (** [native_eval values out] writes the outputs for one point. *)
+  native_batch : float array array -> float array array -> int -> int -> unit;
+      (** [native_batch inputs outs lo len] fills output columns over the
+          lane range [\[lo, lo+len)] of SoA input columns. *)
+}
+(** What a code generator must deliver for a program.  Kernels must be
+    bit-identical to the interpreter and are called only after the entry
+    points have validated shapes. *)
+
+val set_native_provider : (t -> native_kernels option) option -> unit
+(** Install (or remove) the native-kernel provider.  The provider is
+    consulted once per program (memoized; failures are memoized only
+    when a provider was present) and must classify and contain its own
+    errors, returning [None] to decline — a raising provider is treated
+    as declining.  [Codegen.install] is the canonical caller. *)
+
+val digest : t -> string
+(** Canonical hex digest of the program — instruction stream, constant
+    bit patterns, input arity and output registers (input {e names} are
+    excluded: they do not affect evaluation).  Memoized.  The codegen
+    cache keys compiled kernels by this digest. *)
+
 val eval : t -> float array -> float array
 (** [eval p values] runs the program with [values.(k)] bound to
     [inputs.(k)].  Allocates the register file; for tight loops use

@@ -1262,6 +1262,58 @@ let test_cache_atomic_write () =
     (Model.eval_moments model v)
     (Model.eval_moments loaded v)
 
+let test_cache_gc_kernels () =
+  (* Model artifacts (.awm) and compiled kernels (.cmxs) share one gc
+     budget; .tmp crash leftovers and .bad quarantined objects are swept
+     unconditionally.  Eviction is oldest-access-first across both
+     entry kinds. *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "awesym-gc-test-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Cache.ensure_dir dir;
+  let put name bytes age_s =
+    let p = Filename.concat dir name in
+    let oc = open_out_bin p in
+    output_string oc (String.make bytes 'k');
+    close_out oc;
+    let t = Unix.gettimeofday () -. age_s in
+    Unix.utimes p t t;
+    p
+  in
+  let old_awm = put "old.awm" 1000 300.0 in
+  let old_cmxs = put "old-kernel.cmxs" 1000 200.0 in
+  let new_awm = put "new.awm" 1000 10.0 in
+  let new_cmxs = put "new-kernel.cmxs" 1000 5.0 in
+  let tmp = put ".awesym-leftover.tmp" 50 0.0 in
+  let bad = put "stale-kernel.cmxs.bad" 50 0.0 in
+  (* A budget holding the two newest entries: the two oldest go — one of
+     each extension, proving kernels and artifacts share the pool — and
+     the sweep removes .tmp/.bad regardless of their size or age. *)
+  let stats = Cache.gc ~dir ~max_bytes:2000 () in
+  Alcotest.(check int) "scanned entries (post-sweep)" 4 stats.Cache.scanned;
+  Alcotest.(check int) "evicted oldest two" 2 stats.Cache.deleted;
+  Alcotest.(check int) "bytes before" 4000 stats.Cache.bytes_before;
+  Alcotest.(check int) "bytes after fits budget" 2000 stats.Cache.bytes_after;
+  List.iter
+    (fun (p, expect) ->
+      Alcotest.(check bool) (Filename.basename p) expect (Sys.file_exists p))
+    [
+      (old_awm, false); (old_cmxs, false); (new_awm, true); (new_cmxs, true);
+      (tmp, false); (bad, false);
+    ];
+  (* A second run under the same budget is a no-op. *)
+  let again = Cache.gc ~dir ~max_bytes:2000 () in
+  Alcotest.(check int) "steady state deletes nothing" 0 again.Cache.deleted
+
 let test_artifact_golden () =
   (* A committed artifact pins the on-disk format: if [Artifact.version] (or
      the byte layout) drifts without regenerating the golden file — see
@@ -1370,6 +1422,7 @@ let () =
           quick "bad magic detected" test_artifact_bad_magic_detected;
           quick "build cache miss/hit/corruption" test_build_cached_roundtrip;
           quick "atomic cache writes" test_cache_atomic_write;
+          quick "gc shares budget across .awm/.cmxs" test_cache_gc_kernels;
           quick "committed golden artifact loads" test_artifact_golden;
         ] );
     ]
