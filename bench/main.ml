@@ -1004,7 +1004,7 @@ let serve_bench () =
      aligns. *)
   let config =
     {
-      (Serve.Server.default_config ~socket_path:sock) with
+      (Serve.Server.default_config ~listen:(Serve.Transport.Unix_sock sock)) with
       Serve.Server.batch =
         { Serve.Batcher.default_config with Serve.Batcher.linger_s = 2e-4 };
       max_models = 4;
@@ -1094,6 +1094,141 @@ let serve_bench () =
   Obs.Metrics.add "bench.serve.p50_us" (int_of_float (p 0.50));
   Obs.Metrics.add "bench.serve.p90_us" (int_of_float (p 0.90));
   Obs.Metrics.add "bench.serve.p99_us" (int_of_float (p 0.99))
+
+(* ------------------------------------------------------------------ *)
+(* SERVE-SCALING: sharded worker domains, both transports, plus the
+   identity invariant the refactor must not bend: served moments are
+   byte-identical at every worker count and over every transport. *)
+
+let serve_scaling () =
+  banner "SERVE-SCALING: sharded worker domains vs one worker (unix + tcp)";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let dir = Filename.temp_file "awesym_bench_servescale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let artifact = Filename.concat dir "opamp.awm" in
+  Model.save model artifact;
+  let nclients = 4 and reqs = 200 in
+  (* Client point streams are seeded by client index only, so every
+     daemon configuration evaluates the exact same workload and the
+     response bytes can be compared across configurations. *)
+  let points_of ci =
+    let rand = lcg (0x5CA1E + ci) in
+    Array.init reqs (fun _ ->
+        let g = 0.5e-6 +. (rand () *. 8e-6) in
+        let cv = 5e-12 +. (rand () *. 60e-12) in
+        Model.values model [ (gname, g); (cname, cv) ])
+  in
+  let bits_of_results results =
+    (* One digest over every moment of every response, in (client, req,
+       moment) order — byte equality without holding all runs at once. *)
+    let buf = Buffer.create (nclients * reqs * 64) in
+    Array.iter
+      (Array.iter
+         (Array.iter (fun m ->
+              Buffer.add_int64_le buf (Int64.bits_of_float m))))
+      results;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let run_config ~label ~workers ~listen =
+    let config =
+      {
+        (Serve.Server.default_config ~listen) with
+        Serve.Server.workers;
+        replicas = workers;  (* one hot model: replicate it everywhere *)
+        batch =
+          { Serve.Batcher.default_config with Serve.Batcher.linger_s = 2e-4 };
+        max_models = 4;
+        cache_gc_bytes = None;
+      }
+    in
+    let server = Serve.Server.create config in
+    let bound = Serve.Server.bound_addr server in
+    let stop = ref false in
+    let loop =
+      Domain.spawn (fun () -> while Serve.Server.step server ~stop do () done)
+    in
+    let run_client ci =
+      Domain.spawn (fun () ->
+          let pts = points_of ci in
+          let c =
+            match Serve.Client.connect_addr bound with
+            | Ok c -> c
+            | Error e -> failwith (Awesym_error.to_string e)
+          in
+          let out =
+            Array.map
+              (fun point ->
+                let t0 = Unix.gettimeofday () in
+                match Serve.Client.eval c ~model:artifact [| point |] with
+                | Error e -> failwith (Awesym_error.to_string e)
+                | Ok r ->
+                  let dt = Unix.gettimeofday () -. t0 in
+                  (dt, r.Serve.Protocol.moments.(0)))
+              pts
+          in
+          Serve.Client.close c;
+          (Array.map fst out, Array.map snd out))
+    in
+    let t0 = Unix.gettimeofday () in
+    let per_client =
+      List.init nclients run_client |> List.map Domain.join
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    stop := true;
+    Domain.join loop;
+    Serve.Server.shutdown server;
+    let lats = Array.concat (List.map fst per_client) in
+    let results = Array.of_list (List.map snd per_client) in
+    Array.sort Float.compare lats;
+    let total = nclients * reqs in
+    let rps = float_of_int total /. wall in
+    let p99 = percentile lats 0.99 *. 1e6 in
+    Printf.printf
+      "%-18s %d requests from %d clients in %.3f s = %.0f req/s, p99 %.0f us\n"
+      label total nclients wall rps p99;
+    (rps, p99, bits_of_results results)
+  in
+  let unix_addr name =
+    Serve.Transport.Unix_sock (Filename.concat dir name)
+  in
+  let w1_rps, w1_p99, w1_bits =
+    run_config ~label:"unix workers=1" ~workers:1 ~listen:(unix_addr "w1.sock")
+  in
+  let w4_rps, w4_p99, w4_bits =
+    run_config ~label:"unix workers=4" ~workers:4 ~listen:(unix_addr "w4.sock")
+  in
+  let tcp_rps, _tcp_p99, tcp_bits =
+    run_config ~label:"tcp  workers=4" ~workers:4
+      ~listen:(Serve.Transport.Tcp ("127.0.0.1", 0))
+  in
+  (* The offline reference: the same points through the model's own
+     moment evaluation, no daemon involved. *)
+  let offline_bits =
+    bits_of_results
+      (Array.init nclients (fun ci ->
+           Array.map (fun p -> Model.eval_moments model p) (points_of ci)))
+  in
+  let identical =
+    w1_bits = offline_bits && w4_bits = offline_bits && tcp_bits = offline_bits
+  in
+  let speedup = w4_rps /. w1_rps in
+  Printf.printf
+    "4-worker speedup %.2fx over 1 worker (expect ~1x on a 1-core runner); \
+     served vs offline bytes %s\n"
+    speedup
+    (if identical then "IDENTICAL" else "DIFFER");
+  if not identical then
+    failwith "serve-scaling: served moments are not byte-identical to offline";
+  Obs.Metrics.add "bench.serve_scaling.w1_rps" (int_of_float w1_rps);
+  Obs.Metrics.add "bench.serve_scaling.w4_rps" (int_of_float w4_rps);
+  Obs.Metrics.add "bench.serve_scaling.tcp4_rps" (int_of_float tcp_rps);
+  Obs.Metrics.add "bench.serve_scaling.w1_p99_us" (int_of_float w1_p99);
+  Obs.Metrics.add "bench.serve_scaling.w4_p99_us" (int_of_float w4_p99);
+  Obs.Metrics.add "bench.serve_scaling.speedup_x100"
+    (int_of_float (100.0 *. speedup));
+  Obs.Metrics.add "bench.serve_scaling.identical" (if identical then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
 (* IDENT: the identity claim, measured *)
@@ -1215,6 +1350,7 @@ let experiments =
     ("slp-codegen", codegen_bench);
     ("sweep-scaling", sweep_scaling);
     ("serve", serve_bench);
+    ("serve-scaling", serve_scaling);
     ("ident", ident);
     ("abl-partition", abl_partition);
     ("abl-prune", abl_prune);
@@ -1365,6 +1501,11 @@ let direction_of name =
   in
   let rate suffix = leaf = suffix || String.ends_with ~suffix:("_" ^ suffix) leaf in
   if contains_sub name "identical" then Exact
+    (* serve_scaling runs more worker domains than small runners have
+       cores, so its queueing latency is unbounded noise there; its
+       throughput, speedup and byte-identity stay guarded. *)
+  else if contains_sub name "serve_scaling" && (rate "ns" || rate "us") then
+    Info
   else if name = "wall_s" || rate "ns" || rate "us" then Lower_better
   else if rate "rps" || rate "pps" || contains_sub name "speedup" then
     Higher_better
@@ -1378,7 +1519,8 @@ let default_tolerance = 0.5
 
 let experiment_tolerances =
   [
-    ("serve", 0.75); ("sweep", 0.75); ("sweep-scaling", 0.75);
+    ("serve", 0.75); ("serve-scaling", 0.75); ("sweep", 0.75);
+    ("sweep-scaling", 0.75);
     (* ocamlopt time dominates wall_s, and the interpreter-side timings
        swing ~2x with machine load.  The committed kernel_speedup_pct
        baseline (batched-native vs the interpreted per-point path) is

@@ -1270,29 +1270,46 @@ let version_string =
           version_inventory))
 
 let socket_arg =
-  let doc = "Unix-domain socket path of the serving daemon." in
+  let doc =
+    "Daemon address: unix:PATH, tcp:HOST:PORT, or a bare Unix socket path."
+  in
   Arg.(
     value
     & opt string ".awesym.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc)
+    & info [ "socket" ] ~docv:"ADDR" ~doc)
 
 let serve_cmd =
-  let run jobs backend socket max_batch linger_ms queue max_models gc_mb
-      trace_log trace_log_max_mb =
+  let run jobs backend listen workers replicas max_batch linger_ms queue
+      worker_queue client_inflight max_models gc_mb trace_log
+      trace_log_max_mb =
     with_jobs jobs @@ fun () ->
     with_backend backend @@ fun () ->
     if max_batch < 1 || queue < 1 || linger_ms < 0.0 then
       die "serve: --max-batch and --queue must be >= 1, --linger-ms >= 0";
+    if workers < 1 || replicas < 1 || worker_queue < 1 || client_inflight < 1
+    then
+      die
+        "serve: --workers, --replicas, --worker-queue and --client-inflight \
+         must be >= 1";
     if trace_log_max_mb < 1 then die "serve: --trace-log-max-mb must be >= 1";
+    let listen_addr =
+      match Serve.Transport.parse listen with
+      | Ok a -> a
+      | Error e -> die (Awesym_error.to_string e)
+    in
     let config =
       {
-        Serve.Server.socket_path = socket;
+        Serve.Server.listen = listen_addr;
+        workers;
+        replicas;
         batch =
           {
             Serve.Batcher.max_batch;
             linger_s = linger_ms /. 1e3;
             max_queue = queue;
           };
+        admission = { Serve.Admission.per_client_inflight = client_inflight };
+        worker_queue;
         max_models;
         cache_gc_bytes =
           (if gc_mb <= 0 then None else Some (gc_mb * 1024 * 1024));
@@ -1302,10 +1319,58 @@ let serve_cmd =
         trace_capacity = 256;
       }
     in
-    try Serve.Server.run ~log:prerr_endline config
-    with Unix.Unix_error (e, _, _) ->
-      die (Printf.sprintf "serve: cannot bind %s: %s" socket
+    try Serve.Server.run ~log:prerr_endline config with
+    | Unix.Unix_error (e, _, _) ->
+      die (Printf.sprintf "serve: cannot bind %s: %s" listen
              (Unix.error_message e))
+    | Awesym_error.Error e -> die (Awesym_error.to_string e)
+  in
+  let listen_arg =
+    let doc =
+      "Listen address: unix:PATH, tcp:HOST:PORT (tcp:HOST:0 binds an \
+       ephemeral port, logged at startup), or a bare Unix socket path. \
+       $(b,--socket) is an alias."
+    in
+    Arg.(
+      value
+      & opt string ".awesym.sock"
+      & info [ "listen"; "socket" ] ~docv:"ADDR" ~doc)
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains; each owns a private model registry and \
+             micro-batcher, and models shard across them by digest \
+             (rendezvous hashing).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Workers serving each model digest (capped at --workers); >1 \
+             lets one hot model scale across shards at the cost of \
+             duplicate resident kernels.")
+  in
+  let worker_queue_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "worker-queue" ] ~docv:"N"
+          ~doc:
+            "Per-worker hand-off mailbox depth; when every replica's \
+             mailbox is full, requests shed with an `overloaded` error.")
+  in
+  let client_inflight_arg =
+    Arg.(
+      value
+      & opt int Serve.Admission.default_config.Serve.Admission.per_client_inflight
+      & info [ "client-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-connection in-flight request cap; a pipelining client \
+             beyond it sheds `overloaded` while other clients keep \
+             flowing.")
   in
   let max_batch_arg =
     Arg.(
@@ -1361,15 +1426,18 @@ let serve_cmd =
   in
   let doc =
     "Run the model-serving daemon: a persistent process that keeps \
-     compiled artifacts resident and coalesces concurrent evaluation \
-     requests into micro-batched kernel calls.  Results are bit-identical \
-     to offline `awesym eval`.  SIGTERM drains gracefully."
+     compiled artifacts resident in sharded worker domains (Unix socket \
+     or TCP, see --listen) and coalesces concurrent evaluation requests \
+     into micro-batched kernel calls.  Results are bit-identical to \
+     offline `awesym eval` at any worker count.  SIGTERM drains \
+     gracefully."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ jobs_arg $ backend_arg $ socket_arg $ max_batch_arg
-      $ linger_arg $ queue_arg $ max_models_arg $ gc_arg $ trace_log_arg
-      $ trace_log_max_arg)
+      const run $ jobs_arg $ backend_arg $ listen_arg $ workers_arg
+      $ replicas_arg $ max_batch_arg $ linger_arg $ queue_arg
+      $ worker_queue_arg $ client_inflight_arg $ max_models_arg $ gc_arg
+      $ trace_log_arg $ trace_log_max_arg)
 
 let call_cmd =
   let run socket model_path bindings show_moments deadline_ms ping stats

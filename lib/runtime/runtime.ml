@@ -1,6 +1,7 @@
 module Chunk = Chunk
 module Pool = Pool
 module Fault = Fault
+module Service = Service
 
 let clamp_jobs j = Int.max 1 (Int.min 128 j)
 let override : int option ref = ref None

@@ -10,6 +10,7 @@
 module Chunk = Chunk
 module Pool = Pool
 module Fault = Fault
+module Service = Service
 
 val default_jobs : unit -> int
 (** Worker count used when a [?jobs] argument is omitted: the

@@ -1,0 +1,80 @@
+(* Tiered admission control between the acceptor and the worker shards.
+
+   Every eval request passes three gates before it may queue:
+
+     1. per-client inflight cap — one greedy pipelining connection must
+        not monopolize the shards; past the cap it sheds [Overloaded]
+        while other clients keep flowing.
+     2. dead-on-arrival deadline — a request whose deadline has already
+        passed answers [Timeout] immediately instead of wasting a queue
+        slot on work nobody will read.
+     3. replica routing + bounded hand-off — among the digest's replica
+        set the least-loaded worker is chosen; if even that mailbox is
+        full the request sheds [Overloaded] (the fourth tier, the
+        batcher's own [max_queue], is downstream and per-worker).
+
+   Shedding at admission costs one JSON error frame; shedding after
+   queueing costs queue occupancy everyone else pays for.  The existing
+   [timeout]/[overloaded] error kinds are reused so clients cannot tell
+   the tiers apart except by the [where] field — which names the tier
+   precisely to make load problems diagnosable from the client side. *)
+
+module Err = Awesym_error
+
+type config = {
+  per_client_inflight : int;
+      (* eval requests one connection may have queued/batched at once *)
+}
+
+let default_config = { per_client_inflight = 64 }
+
+type decision =
+  | Admit of int  (* worker index to hand the request to *)
+  | Shed of Err.t
+
+let overloaded ~where fmt =
+  Printf.ksprintf (fun m -> Shed (Err.make Overloaded ~where m)) fmt
+
+(* Gate 1+2: cheap per-request checks, no routing needed. *)
+let precheck config ~client_inflight ~deadline ~now =
+  if client_inflight >= config.per_client_inflight then begin
+    Obs.Metrics.incr "serve.rejected.overloaded";
+    Some
+      (Shed
+         (Err.make Overloaded ~where:"serve.admission.client"
+            (Printf.sprintf
+               "client already has %d requests in flight (cap %d)"
+               client_inflight config.per_client_inflight)))
+  end
+  else
+    match deadline with
+    | Some d when now > d ->
+      Obs.Metrics.incr "serve.rejected.timeout";
+      Some
+        (Shed
+           (Err.make Timeout ~where:"serve.admission.deadline"
+              (Printf.sprintf "deadline expired %.3f ms before admission"
+                 ((now -. d) *. 1e3))))
+    | _ -> None
+
+(* Gate 3: route to the least-loaded replica with mailbox room.  [depth]
+   reports a worker's current queue occupancy; ties break toward the
+   lower worker index so routing is stable under equal load. *)
+let route ~owners ~depth ~try_push =
+  let ranked =
+    List.sort
+      (fun a b ->
+        match Int.compare (depth a) (depth b) with
+        | 0 -> Int.compare a b
+        | c -> c)
+      owners
+  in
+  let rec go = function
+    | [] ->
+      Obs.Metrics.incr "serve.rejected.overloaded";
+      overloaded ~where:"serve.admission.queue"
+        "every replica's admission queue is full (%d replicas)"
+        (List.length owners)
+    | w :: rest -> if try_push w then Admit w else go rest
+  in
+  go ranked

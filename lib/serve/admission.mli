@@ -1,0 +1,33 @@
+(** Tiered admission control: per-client caps, dead-on-arrival deadline
+    shedding, and least-loaded replica routing, reusing the existing
+    [timeout]/[overloaded] error kinds (the [where] field names the tier
+    that shed). *)
+
+type config = {
+  per_client_inflight : int;
+      (** eval requests one connection may have in flight at once *)
+}
+
+val default_config : config
+
+type decision =
+  | Admit of int  (** worker index the request was handed to *)
+  | Shed of Awesym_error.t
+
+val precheck :
+  config ->
+  client_inflight:int ->
+  deadline:float option ->
+  now:float ->
+  decision option
+(** Gates 1–2: [Some (Shed _)] when the connection is over its inflight
+    cap or the deadline already passed; [None] means proceed to routing. *)
+
+val route :
+  owners:int list ->
+  depth:(int -> int) ->
+  try_push:(int -> bool) ->
+  decision
+(** Gate 3: try the digest's replica set in least-[depth] order (ties to
+    the lower index); the first successful [try_push] wins.  All-full
+    sheds [Overloaded]. *)

@@ -11,15 +11,17 @@ type t = { fd : Unix.file_descr; mutable seq : int }
 let protocol_error ~where fmt =
   Printf.ksprintf (fun m -> Err.make Parse ~where m) fmt
 
-let connect path =
-  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  match Unix.connect fd (ADDR_UNIX path) with
-  | () -> Ok { fd; seq = 0 }
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Err.make Invalid_request ~where:"serve.client"
-         (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e)))
+let connect_addr addr =
+  match Transport.connect addr with
+  | Ok fd -> Ok { fd; seq = 0 }
+  | Error e -> Error e
+
+(* Accepts the same spellings the daemon's --listen flag does:
+   [unix:PATH], [tcp:HOST:PORT], or a bare Unix path (back-compat). *)
+let connect spec =
+  match Transport.parse spec with
+  | Error e -> Error e
+  | Ok addr -> connect_addr addr
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

@@ -10,7 +10,11 @@
 type t
 
 val connect : string -> (t, Awesym_error.t) result
-(** Connect to a daemon's socket path. *)
+(** Connect to a daemon address: [unix:PATH], [tcp:HOST:PORT], or a
+    bare Unix socket path (back-compat). *)
+
+val connect_addr : Transport.addr -> (t, Awesym_error.t) result
+(** Connect to an already-parsed address (e.g. {!Server.bound_addr}). *)
 
 val close : t -> unit
 

@@ -1,0 +1,27 @@
+(** Bounded MPSC mailbox: acceptor-to-worker job hand-off.
+
+    Producers never block ({!try_push} answers [false] when full — shed,
+    don't buffer); the single consumer drains FIFO, everything pending
+    in one lock acquisition. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue unless full.  [false] means the caller must shed. *)
+
+val pop_all : 'a t -> 'a list
+(** Everything currently pending, FIFO; never blocks. *)
+
+val pop_block : 'a t -> 'a list
+(** Park until a push or a {!wake} arrives, then drain.  May return []
+    (a wake with nothing pending — how shutdown reaches an idle
+    consumer). *)
+
+val wake : 'a t -> unit
+(** Unblock a {!pop_block}er even with nothing queued. *)
+
+val length : 'a t -> int
+(** Current queue length (racy by nature; for gauges and routing). *)

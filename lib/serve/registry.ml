@@ -32,11 +32,16 @@ type entry = {
 
 type t = {
   max_models : int;
+  eval_jobs : int option;
+      (* jobs for each entry's batch evaluator; None = AWESYM_JOBS
+         resolution.  Sharded daemons pass [Some 1]: the worker domains
+         ARE the parallelism, and the shared Runtime pool must not be
+         entered from several master domains at once. *)
   mutable clock : int;
   mutable entries : entry list;  (* unordered; LRU by [last_used] *)
 }
 
-let create ?cache_gc_bytes ?(max_models = 8) () =
+let create ?cache_gc_bytes ?eval_jobs ?(max_models = 8) () =
   if max_models < 1 then invalid_arg "Registry.create: max_models must be >= 1";
   (match cache_gc_bytes with
   | None -> ()
@@ -44,7 +49,7 @@ let create ?cache_gc_bytes ?(max_models = 8) () =
     let stats = Awesymbolic.Cache.gc ~max_bytes () in
     if stats.Awesymbolic.Cache.deleted > 0 then
       Obs.Metrics.add "serve.cache.gc_deleted" stats.Awesymbolic.Cache.deleted);
-  { max_models; clock = 0; entries = [] }
+  { max_models; eval_jobs; clock = 0; entries = [] }
 
 let loaded t = List.length t.entries
 
@@ -69,12 +74,21 @@ let evict_to_cap t =
       Obs.Metrics.incr "serve.registry.evict"
   done
 
-let find t path =
-  match Digest.file path with
-  | exception Sys_error msg ->
-    Error (Err.make Invalid_request ~where:"serve.registry" msg ~file:path)
-  | raw -> (
-    let digest = Digest.to_hex raw in
+let find ?digest t path =
+  (* A router that already digested the file for shard placement passes
+     the digest along so the worker's hot path skips the second read. *)
+  let digest_result =
+    match digest with
+    | Some d -> Ok d
+    | None -> (
+      match Digest.file path with
+      | exception Sys_error msg ->
+        Error (Err.make Invalid_request ~where:"serve.registry" msg ~file:path)
+      | raw -> Ok (Digest.to_hex raw))
+  in
+  match digest_result with
+  | Error e -> Error e
+  | Ok digest -> (
     match List.find_opt (fun e -> e.digest = digest) t.entries with
     | Some e ->
       touch t e;
@@ -95,7 +109,9 @@ let find t path =
             symbols = Array.map Symbolic.Symbol.name (Model.symbols model);
             nominals = Model.nominal_values model;
             order = Model.order model;
-            evaluate = Symbolic.Slp.make_batch_evaluator (Model.program model);
+            evaluate =
+              Symbolic.Slp.make_batch_evaluator ?jobs:t.eval_jobs
+                (Model.program model);
             last_used = 0;
           }
         in

@@ -26,16 +26,23 @@ type entry = {
 
 type t
 
-val create : ?cache_gc_bytes:int -> ?max_models:int -> unit -> t
+val create :
+  ?cache_gc_bytes:int -> ?eval_jobs:int -> ?max_models:int -> unit -> t
 (** [cache_gc_bytes] runs {!Awesymbolic.Cache.gc} over the default cache
     directory at startup, bounding what an unattended daemon inherits
-    from past compiles (counter [serve.cache.gc_deleted]). *)
+    from past compiles (counter [serve.cache.gc_deleted]).  [eval_jobs]
+    pins each entry's batch-evaluator fan-out; sharded daemons pass [1]
+    because their worker domains are the parallelism and the shared
+    Runtime pool must not be driven from several master domains at
+    once. *)
 
-val find : t -> string -> (entry, Awesym_error.t) result
+val find : ?digest:string -> t -> string -> (entry, Awesym_error.t) result
 (** Resolve an artifact path: digest the file, return the resident entry
-    on a checksum hit, else load it (evicting LRU past the cap).  Errors:
-    [Invalid_request] for an unreadable path, [Artifact_corrupt] (via the
-    registered classifier) for a malformed artifact. *)
+    on a checksum hit, else load it (evicting LRU past the cap).  A
+    caller that already digested the file for routing passes [?digest]
+    to skip the re-read.  Errors: [Invalid_request] for an unreadable
+    path, [Artifact_corrupt] (via the registered classifier) for a
+    malformed artifact. *)
 
 val loaded : t -> int
 (** Resident entry count. *)

@@ -1,31 +1,44 @@
-(* The serving daemon: a single select loop over a Unix-domain socket.
+(* The serving daemon: one acceptor domain fronting N sharded worker
+   domains.
 
-   One domain owns all connection state and the batcher; evaluation
-   itself fans out across the worker pool inside the batch kernel, so
-   the loop stays single-owner (the Slp evaluator contract) while the
-   machine still saturates.  The loop:
+   The acceptor owns the listener (Unix socket or TCP — see Transport),
+   all connection state, framing, and the trace ring.  Model-bound
+   requests (eval/info) are digested for placement, pass tiered
+   admission (Admission), and are handed to a worker shard through a
+   bounded mailbox; everything else (ping/stats/metrics/trace/shutdown)
+   answers inline, which keeps `ping` a zero-cost readiness probe even
+   when every shard is saturated.
 
-     select(readables, writables, due) ->
-       accept new connections (unless draining)
-       read + frame + decode + dispatch requests
-       flush the batcher when a micro-batch is due
-       write queued response frames
+   Each worker domain owns a private Registry + Batcher, so a model
+   digest always lands on a warm kernel (rendezvous hashing in Shard,
+   replicated across [replicas] workers for hot models) and the
+   single-owner batch-evaluator contract holds per worker.  With more
+   than one worker, per-entry evaluators run with jobs=1 — the worker
+   domains are the parallelism, and the shared Runtime pool must not be
+   driven from several master domains at once.  Workers push completed
+   responses onto a shared completion queue and poke the acceptor
+   through a self-pipe so its select wakes promptly.
 
-   SIGTERM (or a `shutdown` request) starts a graceful drain: the listen
-   socket closes, queued evaluations finish and their responses flush,
-   then the loop exits — zero in-flight requests are lost.  Malformed
-   input never kills the daemon: garbage frames answer a classified
-   Parse error, oversized length prefixes answer and close (the stream
-   cannot be resynchronized), and connection errors just drop the
-   connection. *)
+   SIGTERM (or a `shutdown` request) starts a graceful drain: the
+   listener closes, the drain flag makes every worker flush immediately
+   instead of lingering, queued evaluations finish, their responses
+   flush, and the loop exits — zero in-flight requests are lost at any
+   worker count.  Malformed input never kills the daemon: garbage
+   frames answer a classified Parse error, oversized length prefixes
+   answer and close (the stream cannot be resynchronized), and
+   connection errors just drop the connection. *)
 
 module Json = Obs.Json
 module Err = Awesym_error
 
 type config = {
-  socket_path : string;
-  batch : Batcher.config;
-  max_models : int;
+  listen : Transport.addr;
+  workers : int;  (* worker domains, each owning a registry + batcher *)
+  replicas : int;  (* workers per digest (capped at [workers]) *)
+  batch : Batcher.config;  (* per-worker batcher knobs *)
+  admission : Admission.config;
+  worker_queue : int;  (* per-worker mailbox capacity *)
+  max_models : int;  (* per-worker registry LRU capacity *)
   cache_gc_bytes : int option;
   versions : (string * string) list;
       (* the pong/version inventory; the CLI passes the full schema list *)
@@ -42,10 +55,14 @@ let default_versions =
     ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
   ]
 
-let default_config ~socket_path =
+let default_config ~listen =
   {
-    socket_path;
+    listen;
+    workers = 1;
+    replicas = 2;
     batch = Batcher.default_config;
+    admission = Admission.default_config;
+    worker_queue = 1024;
     max_models = 8;
     cache_gc_bytes = Some (256 * 1024 * 1024);
     versions = default_versions;
@@ -60,23 +77,64 @@ type conn = {
   inbuf : Buffer.t;
   outq : string Queue.t;  (* encoded frames awaiting write *)
   mutable out_off : int;  (* bytes of the head frame already written *)
-  mutable inflight : int;  (* batched requests not yet answered *)
+  mutable inflight : int;  (* admitted requests not yet answered *)
   mutable eof : bool;  (* peer half-closed; stop reading *)
   mutable close_after_flush : bool;  (* unrecoverable stream; drop once quiet *)
 }
 
+(* A model-bound request in flight to a worker shard.  The trace builder
+   travels with it; ownership hands off acceptor -> worker -> acceptor
+   (the mailbox and completion-queue mutexes provide the
+   happens-before), so only one domain touches it at a time. *)
+type job =
+  | J_eval of {
+      conn : int;
+      id : Json.t option;
+      path : string;
+      digest : string;  (* computed by the acceptor for placement *)
+      points : float array array;
+      arrived : float;
+      deadline : float option;  (* absolute, seconds *)
+      trace : Reqtrace.builder option;
+    }
+  | J_info of {
+      conn : int;
+      id : Json.t option;
+      path : string;
+      digest : string;
+      trace : Reqtrace.builder option;
+    }
+
+type completion = int * Json.t option * Reqtrace.builder option * Protocol.response
+
+type shard = {
+  mailbox : job Mailbox.t;
+  queued : int Atomic.t;  (* admitted minus completed; acceptor-visible *)
+  resident : int Atomic.t;  (* the worker's registry residency *)
+}
+
 type t = {
   config : config;
-  registry : Registry.t;
-  batcher : Batcher.t;
+  replicas : int;  (* effective: min config.replicas config.workers *)
   traces : Reqtrace.t;
   listen_fd : Unix.file_descr;
+  bound : Transport.addr;  (* resolved (ephemeral TCP ports bound) *)
   read_buf : Bytes.t;
   conns : (int, conn) Hashtbl.t;
   started : float;
   mutable next_key : int;
   mutable draining : bool;
+  mutable drain_signaled : bool;  (* workers woken + flush forced once *)
   mutable accepting : bool;
+  shards : shard array;
+  halt : bool Atomic.t;  (* workers must exit once their queues empty *)
+  drain_flag : bool Atomic.t;  (* workers flush immediately, no linger *)
+  completions : completion Queue.t;  (* worker -> acceptor; under comp_m *)
+  comp_m : Mutex.t;
+  wake_r : Unix.file_descr;  (* self-pipe: workers poke the select loop *)
+  wake_w : Unix.file_descr;
+  mutable service : Runtime.Service.t option;
+  mutable closed : bool;
 }
 
 let now () = Unix.gettimeofday ()
@@ -86,14 +144,29 @@ let now () = Unix.gettimeofday ()
 let inflight_total t =
   Hashtbl.fold (fun _ c acc -> acc + c.inflight) t.conns 0
 
+let queued_total t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.queued) 0 t.shards
+
+let resident_total t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.resident) 0 t.shards
+
 (* Occupancy gauges, refreshed before every snapshot/exposition so a
-   scrape always sees current values. *)
+   scrape always sees current values.  Per-worker gauges expose shard
+   skew; Metrics sorts gauges by name, so worker i sorts stably. *)
 let update_gauges t =
-  Obs.Metrics.set_gauge "serve.queue_depth"
-    (float_of_int (Batcher.length t.batcher));
+  Obs.Metrics.set_gauge "serve.queue_depth" (float_of_int (queued_total t));
   Obs.Metrics.set_gauge "batcher.inflight" (float_of_int (inflight_total t));
   Obs.Metrics.set_gauge "registry.resident_models"
-    (float_of_int (Registry.loaded t.registry))
+    (float_of_int (resident_total t));
+  Array.iteri
+    (fun i s ->
+      Obs.Metrics.set_gauge
+        (Printf.sprintf "serve.worker.%d.queue_depth" i)
+        (float_of_int (Atomic.get s.queued));
+      Obs.Metrics.set_gauge
+        (Printf.sprintf "serve.worker.%d.resident_models" i)
+        (float_of_int (Atomic.get s.resident)))
+    t.shards
 
 let stats_json t =
   update_gauges t;
@@ -103,12 +176,29 @@ let stats_json t =
   Json.Obj
     [
       ("uptime_s", Json.Num uptime);
+      ("transport", Json.Str (Transport.to_string t.bound));
+      ("workers", Json.Num (float_of_int (Array.length t.shards)));
+      ("replicas", Json.Num (float_of_int t.replicas));
       ("requests", c "serve.requests");
       ("points", c "serve.points");
       ("qps", Json.Num (float_of_int requests /. Float.max uptime 1e-9));
       ("batches", c "serve.batch.count");
-      ("queue_depth", Json.Num (float_of_int (Batcher.length t.batcher)));
-      ("models_loaded", Json.Num (float_of_int (Registry.loaded t.registry)));
+      ("queue_depth", Json.Num (float_of_int (queued_total t)));
+      ("models_loaded", Json.Num (float_of_int (resident_total t)));
+      ( "worker_shards",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i s ->
+                  Json.Obj
+                    [
+                      ("worker", Json.Num (float_of_int i));
+                      ( "queue_depth",
+                        Json.Num (float_of_int (Atomic.get s.queued)) );
+                      ( "resident_models",
+                        Json.Num (float_of_int (Atomic.get s.resident)) );
+                    ])
+                t.shards)) );
       ( "registry",
         Json.Obj
           [
@@ -154,7 +244,142 @@ let enqueue_response t conn ?id resp =
     conn.outq
 
 (* ------------------------------------------------------------------ *)
-(* Request dispatch *)
+(* Worker shards *)
+
+let wake_byte = Bytes.make 1 '!'
+
+(* Hand completed responses back to the acceptor and poke its select.
+   The queued decrement comes AFTER the enqueue so the drain's
+   quiescence check can never observe "no queued work" while responses
+   are in neither place. *)
+let push_completions t shard resps =
+  match resps with
+  | [] -> ()
+  | _ ->
+    Mutex.lock t.comp_m;
+    List.iter (fun r -> Queue.add r t.completions) resps;
+    Mutex.unlock t.comp_m;
+    List.iter
+      (fun _ -> ignore (Atomic.fetch_and_add shard.queued (-1)))
+      resps;
+    (try ignore (Unix.write t.wake_w wake_byte 0 1)
+     with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ())
+
+let job_envelope = function
+  | J_eval { conn; id; trace; _ } | J_info { conn; id; trace; _ } ->
+    (conn, id, trace)
+
+(* The body each worker domain runs: a private registry + batcher fed by
+   the shard mailbox.  Exit condition is [halt] AND both queues empty,
+   so a drain always answers everything already admitted. *)
+let worker_body t ~worker ~stop:_ =
+  let shard = t.shards.(worker) in
+  (* With several workers, each entry's batch evaluator is pinned to
+     jobs=1: the worker domains are the parallelism and the shared
+     Runtime pool has a single-master contract.  Cache GC already ran
+     once in [create]; workers must not race it. *)
+  let eval_jobs = if t.config.workers > 1 then Some 1 else None in
+  let registry = Registry.create ?eval_jobs ~max_models:t.config.max_models () in
+  let batcher = Batcher.create t.config.batch in
+  let complete resps = push_completions t shard resps in
+  let lookup ~digest ~path ~trace =
+    let t0 = now () in
+    let found = Registry.find ~digest registry path in
+    Option.iter
+      (fun tb ->
+        Reqtrace.add_span tb ~name:"serve.registry.lookup" ~start:t0
+          ~stop:(now ()))
+      trace;
+    Atomic.set shard.resident (Registry.loaded registry);
+    found
+  in
+  let handle = function
+    | J_info { conn; id; path; digest; trace } ->
+      let resp =
+        match lookup ~digest ~path ~trace with
+        | Error e -> Protocol.R_error e
+        | Ok entry ->
+          Protocol.R_info
+            {
+              Protocol.digest = entry.Registry.digest;
+              order = entry.Registry.order;
+              symbols = entry.Registry.symbols;
+              nominals = entry.Registry.nominals;
+            }
+      in
+      complete [ (conn, id, trace, resp) ]
+    | J_eval { conn; id; path; digest; points; arrived; deadline; trace } -> (
+      match lookup ~digest ~path ~trace with
+      | Error e -> complete [ (conn, id, trace, Protocol.R_error e) ]
+      | Ok entry -> (
+        let nsym = Array.length entry.Registry.symbols in
+        if Array.exists (fun row -> Array.length row <> nsym) points then
+          complete
+            [
+              ( conn,
+                id,
+                trace,
+                Protocol.R_error
+                  (Err.make Invalid_request ~where:"serve.request"
+                     (Printf.sprintf
+                        "point width mismatch: model has %d symbols" nsym)) );
+            ]
+        else
+          let t0 = now () in
+          let pending =
+            { Batcher.key = conn; id; entry; points; arrived; deadline; trace }
+          in
+          match Batcher.submit batcher pending with
+          | Ok () ->
+            Option.iter
+              (fun tb ->
+                Reqtrace.add_span tb ~name:"serve.batch.enqueue" ~start:t0
+                  ~stop:(now ()))
+              trace
+          | Error e -> complete [ (conn, id, trace, Protocol.R_error e) ]))
+  in
+  (* Any unexpected exception still answers the request — a lost job
+     would leave its conn.inflight forever nonzero and wedge the drain. *)
+  let safe_handle job =
+    try handle job
+    with e ->
+      let conn, id, trace = job_envelope job in
+      complete [ (conn, id, trace, Protocol.R_error (Err.classify e)) ]
+  in
+  let rec loop () =
+    if
+      Atomic.get t.halt
+      && Mailbox.length shard.mailbox = 0
+      && Batcher.length batcher = 0
+    then ()
+    else begin
+      let jobs =
+        if Batcher.length batcher = 0 then Mailbox.pop_block shard.mailbox
+        else begin
+          (* A parked micro-batch bounds the wait to 5 ms slices so the
+             drain/halt flags are honored promptly even mid-linger. *)
+          let force = Atomic.get t.drain_flag || Atomic.get t.halt in
+          (match Batcher.due batcher ~now:(now ()) with
+          | Some s when s > 0.0 && not force ->
+            Unix.sleepf (Float.min s 0.005)
+          | _ -> ());
+          Mailbox.pop_all shard.mailbox
+        end
+      in
+      List.iter safe_handle jobs;
+      let n = now () in
+      let force = Atomic.get t.drain_flag || Atomic.get t.halt in
+      if
+        Batcher.ready batcher ~now:n
+        || (force && Batcher.length batcher > 0)
+      then complete (Batcher.flush batcher ~now:n);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch (acceptor side) *)
 
 let status_of_response = function
   | Protocol.R_error e -> Err.kind_name e.Err.kind
@@ -168,6 +393,46 @@ let respond_traced t conn ?id tb resp =
   let t1 = now () in
   Reqtrace.add_span tb ~name:"serve.respond" ~start:t0 ~stop:t1;
   Reqtrace.finish t.traces tb ~now:t1 ~status:(status_of_response resp)
+
+(* Route a model-bound request to a worker shard: digest the artifact
+   for placement (the worker reuses it and skips the re-read), run the
+   admission tiers, then push into the chosen replica's mailbox.  The
+   queued count is raised before the push and rolled back on a full
+   mailbox so it never under-reports outstanding work. *)
+let admit_model t conn ?id tb ~path ~deadline make_job =
+  let t0 = now () in
+  match Digest.file path with
+  | exception Sys_error msg ->
+    respond_traced t conn ?id tb
+      (Protocol.R_error
+         (Err.make Invalid_request ~where:"serve.registry" msg ~file:path))
+  | raw -> (
+    let digest = Digest.to_hex raw in
+    let decision =
+      match
+        Admission.precheck t.config.admission ~client_inflight:conn.inflight
+          ~deadline ~now:t0
+      with
+      | Some d -> d
+      | None ->
+        let owners =
+          Shard.owners ~workers:(Array.length t.shards) ~replicas:t.replicas
+            digest
+        in
+        Admission.route ~owners
+          ~depth:(fun w -> Atomic.get t.shards.(w).queued)
+          ~try_push:(fun w ->
+            let s = t.shards.(w) in
+            ignore (Atomic.fetch_and_add s.queued 1);
+            let ok = Mailbox.try_push s.mailbox (make_job ~digest) in
+            if not ok then ignore (Atomic.fetch_and_add s.queued (-1));
+            ok)
+    in
+    match decision with
+    | Admission.Shed e -> respond_traced t conn ?id tb (Protocol.R_error e)
+    | Admission.Admit _ ->
+      conn.inflight <- conn.inflight + 1;
+      Reqtrace.add_span tb ~name:"serve.admit" ~start:t0 ~stop:(now ()))
 
 let dispatch t conn ?id ~trace:tb req =
   Obs.Metrics.incr "serve.requests";
@@ -185,58 +450,26 @@ let dispatch t conn ?id ~trace:tb req =
   | Protocol.Shutdown ->
     t.draining <- true;
     respond_traced t conn ?id tb Protocol.R_draining
-  | Protocol.Info path -> (
-    let t0 = now () in
-    let found = Registry.find t.registry path in
-    Reqtrace.add_span tb ~name:"serve.registry.lookup" ~start:t0 ~stop:(now ());
-    match found with
-    | Error e -> respond_traced t conn ?id tb (Protocol.R_error e)
-    | Ok entry ->
-      respond_traced t conn ?id tb
-        (Protocol.R_info
-           {
-             Protocol.digest = entry.Registry.digest;
-             order = entry.Registry.order;
-             symbols = entry.Registry.symbols;
-             nominals = entry.Registry.nominals;
-           }))
-  | Protocol.Eval e -> (
-    let t0 = now () in
-    let found = Registry.find t.registry e.Protocol.model in
-    Reqtrace.add_span tb ~name:"serve.registry.lookup" ~start:t0 ~stop:(now ());
-    match found with
-    | Error err -> respond_traced t conn ?id tb (Protocol.R_error err)
-    | Ok entry -> (
-      let nsym = Array.length entry.Registry.symbols in
-      let bad_row =
-        Array.exists (fun row -> Array.length row <> nsym) e.Protocol.points
-      in
-      if bad_row then
-        respond_traced t conn ?id tb
-          (Protocol.R_error
-             (Err.make Invalid_request ~where:"serve.request"
-                (Printf.sprintf "point width mismatch: model has %d symbols"
-                   nsym)))
-      else
-        let arrived = now () in
-        let pending =
+  | Protocol.Info path ->
+    admit_model t conn ?id tb ~path ~deadline:None (fun ~digest ->
+        J_info { conn = conn.key; id; path; digest; trace = Some tb })
+  | Protocol.Eval e ->
+    let arrived = now () in
+    let deadline =
+      Option.map (fun ms -> arrived +. (ms /. 1e3)) e.Protocol.deadline_ms
+    in
+    admit_model t conn ?id tb ~path:e.Protocol.model ~deadline (fun ~digest ->
+        J_eval
           {
-            Batcher.key = conn.key;
+            conn = conn.key;
             id;
-            entry;
+            path = e.Protocol.model;
+            digest;
             points = e.Protocol.points;
             arrived;
-            deadline =
-              Option.map (fun ms -> arrived +. (ms /. 1e3)) e.Protocol.deadline_ms;
+            deadline;
             trace = Some tb;
-          }
-        in
-        match Batcher.submit t.batcher pending with
-        | Ok () ->
-          Reqtrace.add_span tb ~name:"serve.batch.enqueue" ~start:arrived
-            ~stop:(now ());
-          conn.inflight <- conn.inflight + 1
-        | Error err -> respond_traced t conn ?id tb (Protocol.R_error err)))
+          })
 
 let op_name = function
   | Protocol.Ping -> "ping"
@@ -322,7 +555,7 @@ let accept_loop t =
   while !continue do
     match Unix.accept ~cloexec:true t.listen_fd with
     | fd, _ ->
-      Unix.set_nonblock fd;
+      Transport.tune_accepted fd;
       let key = t.next_key in
       t.next_key <- key + 1;
       Hashtbl.replace t.conns key
@@ -342,73 +575,168 @@ let accept_loop t =
     | exception Unix.Unix_error _ -> continue := false
   done
 
+(* Responses workers have finished: deliver to their connections (or
+   complete the trace as "abandoned" when the peer vanished). *)
+let deliver_completions t =
+  let pending =
+    Mutex.lock t.comp_m;
+    let xs = Queue.fold (fun acc r -> r :: acc) [] t.completions in
+    Queue.clear t.completions;
+    Mutex.unlock t.comp_m;
+    List.rev xs
+  in
+  List.iter
+    (fun (key, id, tr, resp) ->
+      match Hashtbl.find_opt t.conns key with
+      | None ->
+        Option.iter
+          (fun tb ->
+            Reqtrace.finish t.traces tb ~now:(now ()) ~status:"abandoned")
+          tr
+      | Some c -> (
+        c.inflight <- c.inflight - 1;
+        match tr with
+        | Some tb -> respond_traced t c ?id tb resp
+        | None -> enqueue_response t c ?id resp))
+    pending
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
 (* ------------------------------------------------------------------ *)
 
 let create config =
-  let registry =
-    Registry.create ?cache_gc_bytes:config.cache_gc_bytes
-      ~max_models:config.max_models ()
+  if config.workers < 1 then
+    invalid_arg "Server.create: workers must be >= 1";
+  if config.replicas < 1 then
+    invalid_arg "Server.create: replicas must be >= 1";
+  if config.worker_queue < 1 then
+    invalid_arg "Server.create: worker_queue must be >= 1";
+  (* Cache GC runs once here, not in each worker's registry: N workers
+     racing GC over the shared cache directory would delete from under
+     each other. *)
+  (match config.cache_gc_bytes with
+  | None -> ()
+  | Some max_bytes ->
+    let stats = Awesymbolic.Cache.gc ~max_bytes () in
+    if stats.Awesymbolic.Cache.deleted > 0 then
+      Obs.Metrics.add "serve.cache.gc_deleted" stats.Awesymbolic.Cache.deleted);
+  let listen_fd, bound =
+    match Transport.listen config.listen with
+    | Ok x -> x
+    | Error e -> raise (Err.Error e)
   in
-  (if Sys.file_exists config.socket_path then
-     try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-  Unix.bind listen_fd (ADDR_UNIX config.socket_path);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
-  {
-    config;
-    registry;
-    batcher = Batcher.create config.batch;
-    traces =
-      Reqtrace.create ~capacity:config.trace_capacity ?log:config.trace_log
-        ~log_max_bytes:config.trace_log_max_bytes ();
-    listen_fd;
-    read_buf = Bytes.create 65536;
-    conns = Hashtbl.create 16;
-    started = now ();
-    next_key = 0;
-    draining = false;
-    accepting = true;
-  }
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let shards =
+    Array.init config.workers (fun _ ->
+        {
+          mailbox = Mailbox.create ~capacity:config.worker_queue;
+          queued = Atomic.make 0;
+          resident = Atomic.make 0;
+        })
+  in
+  let t =
+    {
+      config;
+      replicas = min config.replicas config.workers;
+      traces =
+        Reqtrace.create ~capacity:config.trace_capacity ?log:config.trace_log
+          ~log_max_bytes:config.trace_log_max_bytes ();
+      listen_fd;
+      bound;
+      read_buf = Bytes.create 65536;
+      conns = Hashtbl.create 16;
+      started = now ();
+      next_key = 0;
+      draining = false;
+      drain_signaled = false;
+      accepting = true;
+      shards;
+      halt = Atomic.make false;
+      drain_flag = Atomic.make false;
+      completions = Queue.create ();
+      comp_m = Mutex.create ();
+      wake_r;
+      wake_w;
+      service = None;
+      closed = false;
+    }
+  in
+  t.service <-
+    Some
+      (Runtime.Service.start ~workers:config.workers
+         (fun ~worker ~stop -> worker_body t ~worker ~stop));
+  t
 
+let bound_addr t = t.bound
+
+(* Nothing owed to anybody: every admitted request has been answered
+   and every answer written (or its connection is gone). *)
 let quiescent t =
-  Batcher.length t.batcher = 0
-  && Hashtbl.fold
-       (fun _ c acc -> acc && Queue.is_empty c.outq && c.inflight = 0)
-       t.conns true
+  Hashtbl.fold
+    (fun _ c acc -> acc && Queue.is_empty c.outq && c.inflight = 0)
+    t.conns true
+  && Array.for_all (fun s -> Atomic.get s.queued = 0) t.shards
+  &&
+  (Mutex.lock t.comp_m;
+   let empty = Queue.is_empty t.completions in
+   Mutex.unlock t.comp_m;
+   empty)
 
 let stop_accepting t =
   if t.accepting then begin
     t.accepting <- false;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+    Transport.close_listener t.listen_fd t.bound
   end
 
 (* One loop iteration; returns false once the daemon should exit. *)
 let step t ~stop =
+  (match t.service with
+  | Some s when Runtime.Service.failed s ->
+    (* A worker body raised — a bug, not load.  Join to re-raise it
+       with its backtrace rather than serving with a dead shard. *)
+    Atomic.set t.halt true;
+    Array.iter (fun sh -> Mailbox.wake sh.mailbox) t.shards;
+    Runtime.Service.stop s
+  | _ -> ());
   if !stop then t.draining <- true;
-  if t.draining then stop_accepting t;
+  if t.draining && not t.drain_signaled then begin
+    t.drain_signaled <- true;
+    stop_accepting t;
+    (* Workers must stop lingering: flush whatever is parked, now. *)
+    Atomic.set t.drain_flag true;
+    Array.iter (fun s -> Mailbox.wake s.mailbox) t.shards
+  end;
+  deliver_completions t;
   if t.draining && quiescent t then false
   else begin
     let readables =
-      (if t.accepting then [ t.listen_fd ] else [])
-      @ Hashtbl.fold
-          (fun _ c acc -> if c.eof || c.close_after_flush then acc else c.fd :: acc)
-          t.conns []
+      t.wake_r
+      :: ((if t.accepting then [ t.listen_fd ] else [])
+         @ Hashtbl.fold
+             (fun _ c acc ->
+               if c.eof || c.close_after_flush then acc else c.fd :: acc)
+             t.conns [])
     in
     let writables =
       Hashtbl.fold
         (fun _ c acc -> if Queue.is_empty c.outq then acc else c.fd :: acc)
         t.conns []
     in
-    let timeout =
-      match Batcher.due t.batcher ~now:(now ()) with
-      | Some s -> Float.min s 0.5
-      | None -> 0.5
-    in
+    let timeout = if t.draining then 0.05 else 0.5 in
     (match Unix.select readables writables [] timeout with
     | rs, ws, _ ->
-      if List.memq t.listen_fd rs then accept_loop t;
+      if List.memq t.wake_r rs then drain_wake_pipe t;
+      if t.accepting && List.memq t.listen_fd rs then accept_loop t;
       (* Service reads on a stable snapshot: dispatch may drop conns. *)
       let by_fd fds =
         Hashtbl.fold
@@ -416,30 +744,7 @@ let step t ~stop =
           t.conns []
       in
       List.iter (fun c -> service_read t c) (by_fd rs);
-      let n = now () in
-      if
-        Batcher.ready t.batcher ~now:n
-        || (t.draining && Batcher.length t.batcher > 0)
-      then begin
-        let responses = Batcher.flush t.batcher ~now:n in
-        List.iter
-          (fun (key, id, tr, resp) ->
-            match Hashtbl.find_opt t.conns key with
-            | None ->
-              (* peer vanished; response has nowhere to go, but the
-                 trace record still completes *)
-              Option.iter
-                (fun tb ->
-                  Reqtrace.finish t.traces tb ~now:(now ())
-                    ~status:"abandoned")
-                tr
-            | Some c -> (
-              c.inflight <- c.inflight - 1;
-              match tr with
-              | Some tb -> respond_traced t c ?id tb resp
-              | None -> enqueue_response t c ?id resp))
-          responses
-      end;
+      deliver_completions t;
       List.iter (fun c -> service_write t c) (by_fd ws);
       (* Reap connections that are finished. *)
       let doomed =
@@ -458,10 +763,34 @@ let step t ~stop =
   end
 
 let shutdown t =
-  stop_accepting t;
-  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
-  Hashtbl.reset t.conns;
-  Reqtrace.close t.traces
+  if not t.closed then begin
+    t.closed <- true;
+    (* Halt first, wake second: a worker that re-parks between the two
+       still sees the sticky wake and exits. *)
+    Atomic.set t.halt true;
+    Atomic.set t.drain_flag true;
+    Array.iter (fun s -> Mailbox.wake s.mailbox) t.shards;
+    let join_failure =
+      match t.service with
+      | None -> None
+      | Some s -> (
+        try
+          Runtime.Service.stop s;
+          None
+        with e -> Some (e, Printexc.get_raw_backtrace ()))
+    in
+    stop_accepting t;
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      t.conns;
+    Hashtbl.reset t.conns;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    Reqtrace.close t.traces;
+    match join_failure with
+    | None -> ()
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
 
 let run ?(log = ignore) config =
   (* Serve metrics must record without the CLI --stats flag; the daemon
@@ -476,8 +805,15 @@ let run ?(log = ignore) config =
   in
   let t = create config in
   log
-    (Printf.sprintf "awesym serve: listening on %s (max batch %d, linger %g ms)"
-       config.socket_path config.batch.Batcher.max_batch
+    (Printf.sprintf
+       "awesym serve: listening on %s (%d worker%s, %d replica%s, max batch \
+        %d, linger %g ms)"
+       (Transport.to_string t.bound)
+       config.workers
+       (if config.workers = 1 then "" else "s")
+       t.replicas
+       (if t.replicas = 1 then "" else "s")
+       config.batch.Batcher.max_batch
        (config.batch.Batcher.linger_s *. 1e3));
   (match config.trace_log with
   | Some path -> log (Printf.sprintf "awesym serve: tracing requests to %s" path)

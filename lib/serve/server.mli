@@ -1,20 +1,38 @@
-(** The serving daemon: one select loop over a Unix-domain socket.
+(** The serving daemon: one acceptor domain fronting N sharded worker
+    domains.
 
-    A single domain owns all connection state, the model {!Registry}, and
-    the {!Batcher}; evaluation fans across the worker pool inside the
-    batch kernel, so the loop honors the single-owner evaluator contract
-    while still saturating the machine.  SIGTERM (or a [shutdown]
-    request) starts a graceful drain: the listen socket closes, queued
-    evaluations finish, their responses flush, and the loop exits without
-    losing any in-flight request.  Malformed frames answer classified
-    errors rather than killing the daemon.
+    The acceptor owns the listener ({!Transport}: Unix socket or TCP),
+    all connection state, framing, and the trace ring; [ping], [stats],
+    [metrics], [trace], and [shutdown] answer inline so readiness probes
+    cost nothing even under full load.  Model-bound requests (eval/info)
+    are digested for shard placement ({!Shard} rendezvous hashing,
+    replicated [replicas] ways), pass tiered admission ({!Admission}),
+    and hand off to a worker domain that owns its private {!Registry}
+    and {!Batcher} — so a digest always lands on a warm kernel and the
+    single-owner evaluator contract holds per worker.
+
+    SIGTERM (or a [shutdown] request) starts a graceful drain: the
+    listener closes, workers flush immediately, queued evaluations
+    finish, their responses flush, and the loop exits without losing any
+    in-flight request — at any worker count.  Malformed frames answer
+    classified errors rather than killing the daemon.  Served results
+    are bit-identical to offline [awesym eval] at every worker count and
+    over both transports (batch lanes are independent; kernels are
+    deterministic).
 
     Operational details live in [docs/SERVING.md]. *)
 
 type config = {
-  socket_path : string;
-  batch : Batcher.config;
-  max_models : int;  (** registry LRU capacity *)
+  listen : Transport.addr;  (** [unix:PATH] or [tcp:HOST:PORT] *)
+  workers : int;  (** worker domains, each owning a registry + batcher *)
+  replicas : int;
+      (** workers serving each digest (capped at [workers]); >1 lets a
+          hot model scale past one shard at the cost of duplicate
+          resident kernels *)
+  batch : Batcher.config;  (** per-worker batching knobs *)
+  admission : Admission.config;  (** per-client caps, deadline shedding *)
+  worker_queue : int;  (** per-worker mailbox capacity *)
+  max_models : int;  (** per-worker registry LRU capacity *)
   cache_gc_bytes : int option;
       (** run [Cache.gc] at startup with this budget; [None] skips *)
   versions : (string * string) list;
@@ -35,28 +53,37 @@ val default_versions : (string * string) list
 (** Serve schema + artifact format; the CLI prepends binary and sweep
     versions. *)
 
-val default_config : socket_path:string -> config
-(** Default batching knobs, 8 resident models, 256 MiB cache budget, no
-    trace log, 256-trace ring, 16 MiB rotation threshold. *)
+val default_config : listen:Transport.addr -> config
+(** One worker, two replicas, default batching and admission knobs,
+    1024-deep mailboxes, 8 resident models per worker, 256 MiB cache
+    budget, no trace log, 256-trace ring, 16 MiB rotation threshold. *)
 
 type t
 
 val create : config -> t
-(** Bind and listen (replacing any stale socket file).  Raises
-    [Unix.Unix_error] if the socket cannot be bound. *)
+(** Bind + listen (a stale Unix socket is unlinked only after [stat]
+    confirms it is a socket; other path kinds are refused) and spawn the
+    worker domains.  Raises [Awesym_error.Error] when the address cannot
+    be bound, [Invalid_argument] on non-positive [workers], [replicas],
+    or [worker_queue]. *)
+
+val bound_addr : t -> Transport.addr
+(** The resolved listen address — for [tcp:HOST:0] this carries the
+    kernel-assigned port. *)
 
 val step : t -> stop:bool ref -> bool
-(** One loop iteration: select, accept, read, dispatch, flush due
-    batches, write.  Returns [false] once draining has completed and the
-    daemon should exit.  Exposed so tests can drive the loop in-process;
-    [run] is the production wrapper. *)
+(** One acceptor iteration: select, accept, read, dispatch/route,
+    deliver worker completions, write.  Returns [false] once draining
+    has completed and the daemon should exit.  Exposed so tests can
+    drive the loop in-process; [run] is the production wrapper.
+    Re-raises a worker domain's exception if one died. *)
 
 val stats_json : t -> Obs.Json.t
 (** The payload a [stats] request answers with. *)
 
 val shutdown : t -> unit
-(** Close the listen socket, unlink the socket path, drop every
-    connection.  Idempotent. *)
+(** Halt and join the worker domains, close the listener (unlinking a
+    Unix socket path), drop every connection.  Idempotent. *)
 
 val run : ?log:(string -> unit) -> config -> unit
 (** Create, install signal handlers (SIGTERM drains, SIGPIPE ignored),

@@ -1,0 +1,45 @@
+(* Model-to-worker placement: rendezvous (highest-random-weight)
+   consistent hashing over the registry key.
+
+   Every (digest, worker) pair gets a deterministic score —
+   [Digest.string] over the digest and the worker index — and a digest's
+   replica set is the [replicas] best-scoring workers.  The properties
+   serving needs all fall out:
+
+   - a digest always lands on the same workers, so a request for a
+     resident model always finds a warm kernel (and a warm native
+     [.cmxs] provider);
+   - distinct digests spread across workers without coordination or a
+     shared table;
+   - changing the worker count moves only the minimal share of digests
+     (no modulo reshuffle), which matters for rolling restarts with a
+     different [--workers].
+
+   Replica choice within the set is the router's call (least-loaded);
+   placement itself is pure and stateless. *)
+
+let score ~digest w =
+  (* First 8 bytes of the md5 of (digest, worker) as an unsigned-ish
+     int64 score; md5 is already in the trusted base for registry keys. *)
+  let raw = Digest.string (Printf.sprintf "%s#%d" digest w) in
+  let bits = String.get_int64_be raw 0 in
+  (* Flip the sign bit so Int64.compare orders as unsigned. *)
+  Int64.logxor bits Int64.min_int
+
+let owners ~workers ~replicas digest =
+  if workers < 1 then invalid_arg "Shard.owners: workers must be >= 1";
+  if replicas < 1 then invalid_arg "Shard.owners: replicas must be >= 1";
+  let r = Int.min replicas workers in
+  let scored =
+    Array.init workers (fun w -> (score ~digest w, w))
+  in
+  Array.sort
+    (fun (a, wa) (b, wb) ->
+      match Int64.compare b a with 0 -> Int.compare wa wb | c -> c)
+    scored;
+  Array.to_list (Array.map snd (Array.sub scored 0 r))
+
+let owner ~workers digest =
+  match owners ~workers ~replicas:1 digest with
+  | w :: _ -> w
+  | [] -> assert false

@@ -1,0 +1,14 @@
+(** Rendezvous (highest-random-weight) hashing of model digests onto
+    worker shards.
+
+    Pure and stateless: a digest always maps to the same replica set for
+    a given worker count, distinct digests spread evenly, and changing
+    [workers] relocates only the minimal share of digests. *)
+
+val owners : workers:int -> replicas:int -> string -> int list
+(** The [min replicas workers] workers owning [digest], best score
+    first.  Deterministic.  Raises [Invalid_argument] on non-positive
+    arguments. *)
+
+val owner : workers:int -> string -> int
+(** [owner ~workers d] is [List.hd (owners ~workers ~replicas:1 d)]. *)

@@ -1,0 +1,167 @@
+(* Transport abstraction for the serving daemon: listener and connection
+   setup over Unix-domain sockets and TCP, with the frame protocol
+   unchanged on the wire.
+
+   Addresses are spelled [unix:PATH] or [tcp:HOST:PORT]; a bare string
+   with no scheme is a Unix socket path (the pre-transport spelling, so
+   existing scripts keep working).  [tcp:HOST:0] binds an ephemeral
+   port; {!listen} returns the resolved address so tests and tooling can
+   learn it.
+
+   Binding a Unix path a crashed daemon left behind would fail with
+   [EADDRINUSE]; {!listen} unlinks a stale path first — but only after
+   [stat] confirms it actually is a socket.  A path of any other kind is
+   refused with a classified error rather than unlinked: a daemon must
+   never delete a regular file just because someone pointed [--listen]
+   at it. *)
+
+module Err = Awesym_error
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let invalid fmt =
+  Printf.ksprintf
+    (fun m -> Error (Err.make Invalid_request ~where:"serve.transport" m))
+    fmt
+
+let parse s =
+  let prefixed prefix =
+    if String.starts_with ~prefix s then
+      Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some "" -> invalid "empty unix socket path in %S" s
+  | Some path -> Ok (Unix_sock path)
+  | None -> (
+    match prefixed "tcp:" with
+    | None ->
+      if s = "" then invalid "empty listen address"
+      else Ok (Unix_sock s) (* bare path: the pre-transport spelling *)
+    | Some rest -> (
+      match String.rindex_opt rest ':' with
+      | None -> invalid "tcp address %S needs HOST:PORT" s
+      | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        if host = "" then invalid "tcp address %S has an empty host" s
+        else
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 -> Ok (Tcp (host, p))
+          | _ -> invalid "tcp address %S has a bad port %S" s port)))
+
+let resolve_host host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE SOCK_STREAM ] with
+  | [] -> invalid "cannot resolve host %S" host
+  | ai :: _ -> Ok ai.Unix.ai_addr
+
+(* Remove a stale Unix socket path, or refuse: only something [stat]
+   says is a socket may be unlinked.  ENOENT is the common (fresh) case. *)
+let unlink_stale_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = S_SOCK; _ } -> (
+    match Unix.unlink path with
+    | () ->
+      Obs.Metrics.incr "serve.transport.stale_socket_unlinked";
+      Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      invalid "cannot unlink stale socket %s: %s" path (Unix.error_message e))
+  | { Unix.st_kind = _; _ } ->
+    invalid
+      "refusing to unlink %s: it exists and is not a socket (remove it \
+       yourself if it really should make way for a listener)"
+      path
+
+let listen ?(backlog = 64) addr =
+  match addr with
+  | Unix_sock path -> (
+    match unlink_stale_socket path with
+    | Error _ as e -> e
+    | Ok () -> (
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      match
+        Unix.bind fd (ADDR_UNIX path);
+        Unix.listen fd backlog;
+        Unix.set_nonblock fd
+      with
+      | () -> Ok (fd, Unix_sock path)
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        invalid "cannot listen on %s: %s" (to_string addr)
+          (Unix.error_message e)))
+  | Tcp (host, port) -> (
+    match resolve_host host port with
+    | Error _ as e -> e
+    | Ok sockaddr -> (
+      let domain = Unix.domain_of_sockaddr sockaddr in
+      let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
+      match
+        Unix.setsockopt fd SO_REUSEADDR true;
+        Unix.bind fd sockaddr;
+        Unix.listen fd backlog;
+        Unix.set_nonblock fd
+      with
+      | () ->
+        (* Report the kernel-resolved port so [tcp:HOST:0] is usable. *)
+        let resolved =
+          match Unix.getsockname fd with
+          | ADDR_INET (_, p) -> Tcp (host, p)
+          | _ -> addr
+        in
+        Ok (fd, resolved)
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        invalid "cannot listen on %s: %s" (to_string addr)
+          (Unix.error_message e)))
+
+(* Accepted-connection tuning: Nagle off for TCP so a response frame is
+   not held hostage to a delayed ACK — the protocol is strictly
+   request/response, exactly the shape Nagle penalizes. *)
+let tune_accepted fd =
+  (try Unix.setsockopt fd TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Unix.set_nonblock fd
+
+let connect addr =
+  let attempt mk_fd sockaddr =
+    let fd = mk_fd () in
+    match Unix.connect fd sockaddr with
+    | () ->
+      (try Unix.setsockopt fd TCP_NODELAY true
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      invalid "cannot connect to %s: %s" (to_string addr)
+        (Unix.error_message e)
+  in
+  match addr with
+  | Unix_sock path ->
+    attempt
+      (fun () -> Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0)
+      (ADDR_UNIX path)
+  | Tcp (host, port) -> (
+    match resolve_host host port with
+    | Error _ as e -> e
+    | Ok sockaddr ->
+      attempt
+        (fun () ->
+          Unix.socket ~cloexec:true
+            (Unix.domain_of_sockaddr sockaddr)
+            SOCK_STREAM 0)
+        sockaddr)
+
+(* Tear down a listener: close the fd and remove a Unix socket file so
+   restarts never meet their own corpse. *)
+let close_listener fd addr =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match addr with
+  | Unix_sock path -> (
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()

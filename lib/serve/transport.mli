@@ -1,0 +1,35 @@
+(** Listener/connection transport for the daemon: Unix sockets and TCP,
+    same frame protocol on the wire.
+
+    Addresses are spelled [unix:PATH] or [tcp:HOST:PORT]; a bare string
+    is a Unix path (back-compat).  [tcp:HOST:0] binds an ephemeral port
+    and {!listen} returns the resolved address. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val parse : string -> (addr, Awesym_error.t) result
+(** Parse [unix:PATH], [tcp:HOST:PORT], or a bare Unix path.  Errors are
+    classified [invalid_request]. *)
+
+val to_string : addr -> string
+(** Canonical spelling, always scheme-prefixed. *)
+
+val listen :
+  ?backlog:int -> addr -> (Unix.file_descr * addr, Awesym_error.t) result
+(** Bind + listen a nonblocking listener.  For a Unix address, a stale
+    path that [stat] confirms is a socket is unlinked first (crashed
+    daemons must not leave [EADDRINUSE] behind); a path of any other
+    kind is {e refused}, never unlinked.  The returned address resolves
+    an ephemeral TCP port. *)
+
+val connect : addr -> (Unix.file_descr, Awesym_error.t) result
+(** Blocking client connect; TCP connections get [TCP_NODELAY]. *)
+
+val tune_accepted : Unix.file_descr -> unit
+(** Per-accepted-connection setup: nonblocking, Nagle off where the
+    socket supports it. *)
+
+val close_listener : Unix.file_descr -> addr -> unit
+(** Close the listener and unlink a Unix socket path; best-effort. *)

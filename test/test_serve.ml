@@ -34,6 +34,19 @@ let fixture =
      Model.save model path;
      (model, path))
 
+(* A second artifact with different bytes (order 3) so sharding tests
+   can spread distinct digests across worker domains. *)
+let fixture3 =
+  lazy
+    (let nl = Circuit.Builders.fig1 () in
+     let nl = Netlist.mark_symbolic nl "C1" (Symbolic.Symbol.intern "C1") in
+     let nl = Netlist.mark_symbolic nl "G2" (Symbolic.Symbol.intern "G2") in
+     let model = Model.build ~order:3 nl in
+     let dir = temp_dir "awesym_serve_model3" in
+     let path = Filename.concat dir "fig1o3.awm" in
+     Model.save model path;
+     (model, path))
+
 (* ------------------------------------------------------------------ *)
 (* Protocol: bit-exact floats and codec round-trips *)
 
@@ -225,24 +238,39 @@ let test_garbage_requests_rejected () =
        {|{"schema":"awesymbolic-serve/1","op":"eval","model":"m","points":[["xyz"]]}|})
 
 (* ------------------------------------------------------------------ *)
-(* In-process server harness *)
+(* In-process server harness.  [sock] passed to [f] is the daemon's
+   resolved address in --listen spelling (unix:PATH or tcp:HOST:PORT),
+   which [Client.connect] parses — so the same harness exercises both
+   transports. *)
 
-let with_server ?batch ?(max_models = 8) ?trace_log f =
+let with_server ?batch ?(max_models = 8) ?(workers = 1) ?replicas ?admission
+    ?trace_log ?(tcp = false) f =
   let batch =
     match batch with Some b -> b | None -> Serve.Batcher.default_config
   in
   let dir = temp_dir "awesym_serve_sock" in
-  let sock = Filename.concat dir "s.sock" in
+  let listen =
+    if tcp then Serve.Transport.Tcp ("127.0.0.1", 0)
+    else Serve.Transport.Unix_sock (Filename.concat dir "s.sock")
+  in
+  let base = Serve.Server.default_config ~listen in
   let config =
     {
-      (Serve.Server.default_config ~socket_path:sock) with
-      batch;
+      base with
+      Serve.Server.batch;
       max_models;
+      workers;
+      replicas = (match replicas with Some r -> r | None -> workers);
+      admission =
+        (match admission with
+        | Some a -> a
+        | None -> base.Serve.Server.admission);
       cache_gc_bytes = None;
       trace_log;
     }
   in
   let t = Serve.Server.create config in
+  let sock = Serve.Transport.to_string (Serve.Server.bound_addr t) in
   let stop = ref false in
   let loop = Domain.spawn (fun () -> while Serve.Server.step t ~stop do () done) in
   Fun.protect
@@ -302,11 +330,12 @@ let test_ping_and_info () =
   Serve.Client.close c
 
 (* The acceptance criterion: concurrent clients, random batch shapes,
-   every response bit-identical to offline evaluation. *)
-let test_concurrent_clients_bit_identical () =
+   every response bit-identical to offline evaluation — at every worker
+   count and over both transports. *)
+let concurrent_bit_identity ~workers ~tcp () =
   let model, path = Lazy.force fixture in
   let nominals = Model.nominal_values model in
-  with_server @@ fun ~sock ~stop:_ ->
+  with_server ~workers ~tcp @@ fun ~sock ~stop:_ ->
   let nclients = 4 and iters = 15 in
   let worker ci =
     Domain.spawn (fun () ->
@@ -332,6 +361,14 @@ let test_concurrent_clients_bit_identical () =
   Alcotest.(check int) "all requests answered" (nclients * iters)
     (List.length results);
   List.iter (fun (points, r) -> check_moments_match model points r) results
+
+let test_concurrent_clients_bit_identical =
+  concurrent_bit_identity ~workers:1 ~tcp:false
+
+let test_multi_worker_bit_identical =
+  concurrent_bit_identity ~workers:4 ~tcp:false
+
+let test_tcp_bit_identical = concurrent_bit_identity ~workers:2 ~tcp:true
 
 let test_deadline_expiry () =
   let _, path = Lazy.force fixture in
@@ -435,6 +472,221 @@ let test_shutdown_request_drains () =
   Alcotest.(check int) "answered before shutdown" 1
     (Array.length r.Protocol.moments);
   ok "shutdown" (Serve.Client.shutdown c);
+  Serve.Client.close c
+
+(* Multi-worker drain: park requests for two distinct digests across
+   four single-replica shards behind a long linger, flip the stop ref,
+   and require every parked client to get a correct answer — the
+   lose-nothing guarantee must hold when the queues live in worker
+   domains, not just in the acceptor. *)
+let test_multi_worker_drain () =
+  let model2, path2 = Lazy.force fixture in
+  let model3, path3 = Lazy.force fixture3 in
+  let batch =
+    { Serve.Batcher.max_batch = 4096; linger_s = 10.0; max_queue = 64 }
+  in
+  with_server ~batch ~workers:4 ~replicas:1 @@ fun ~sock ~stop ->
+  let jobs =
+    [ (model2, path2, 1.0); (model3, path3, 1.05); (model2, path2, 0.95);
+      (model3, path3, 1.1) ]
+  in
+  let workers =
+    List.map
+      (fun (model, path, scale) ->
+        Domain.spawn (fun () ->
+            let c = client sock in
+            let points =
+              [| Array.map (fun v -> v *. scale) (Model.nominal_values model) |]
+            in
+            let r = Serve.Client.eval c ~model:path points in
+            Serve.Client.close c;
+            (model, points, r)))
+      jobs
+  in
+  let c = client sock in
+  wait_for_depth c (List.length jobs) 200;
+  Serve.Client.close c;
+  stop := true;
+  List.iter
+    (fun d ->
+      let model, points, r = Domain.join d in
+      check_moments_match model points (ok "drained eval" r))
+    workers
+
+(* Stats must expose the shard topology: worker count and one
+   queue-depth/residency entry per worker. *)
+let test_stats_shard_topology () =
+  let model, path = Lazy.force fixture in
+  with_server ~workers:3 @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  let _ = ok "eval" (Serve.Client.eval c ~model:path [| Model.nominal_values model |]) in
+  let s = ok "stats" (Serve.Client.stats c) in
+  (match Json.member "workers" s with
+  | Some (Json.Num n) -> Alcotest.(check int) "workers" 3 (int_of_float n)
+  | _ -> Alcotest.fail "stats without workers");
+  (match Json.member "transport" s with
+  | Some (Json.Str a) ->
+    Alcotest.(check bool) "transport spelled with scheme" true
+      (String.starts_with ~prefix:"unix:" a)
+  | _ -> Alcotest.fail "stats without transport");
+  (match Json.member "worker_shards" s with
+  | Some (Json.List shards) ->
+    Alcotest.(check int) "one entry per worker" 3 (List.length shards);
+    List.iter
+      (fun sh ->
+        match (Json.member "queue_depth" sh, Json.member "resident_models" sh)
+        with
+        | Some (Json.Num _), Some (Json.Num _) -> ()
+        | _ -> Alcotest.fail "shard entry missing gauges")
+      shards
+  | _ -> Alcotest.fail "stats without worker_shards");
+  Serve.Client.close c
+
+(* Tiered admission, gate 1: a connection past its inflight cap sheds
+   Overloaded while its parked request still completes on drain.  Driven
+   with raw frames because the blocking client cannot pipeline. *)
+let test_client_inflight_cap () =
+  let model, path = Lazy.force fixture in
+  let batch =
+    { Serve.Batcher.max_batch = 4096; linger_s = 10.0; max_queue = 64 }
+  in
+  with_server ~batch ~admission:{ Serve.Admission.per_client_inflight = 1 }
+  @@ fun ~sock ~stop ->
+  let addr =
+    match Serve.Transport.parse sock with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %s" (Err.to_string e)
+  in
+  let fd =
+    match Serve.Transport.connect addr with
+    | Ok fd -> fd
+    | Error e -> Alcotest.failf "connect: %s" (Err.to_string e)
+  in
+  let send i =
+    Protocol.write_frame fd
+      (Json.to_string
+         (Protocol.request_to_json ~id:(Json.Num i)
+            (Protocol.Eval
+               {
+                 Protocol.model = path;
+                 points = [| Model.nominal_values model |];
+                 deadline_ms = None;
+               })))
+  in
+  send 1.0;
+  (* parks behind the 10 s linger *)
+  send 2.0;
+  (* over the cap: must shed immediately *)
+  let read_response () =
+    match Protocol.read_frame fd with
+    | Error _ -> Alcotest.fail "server must answer, not close"
+    | Ok payload -> (
+      match Json.of_string payload with
+      | Error m -> Alcotest.failf "bad response JSON: %s" m
+      | Ok j -> (
+        match Protocol.response_of_json j with
+        | Error e -> Alcotest.failf "bad response: %s" (Err.to_string e)
+        | Ok (id, resp) -> (id, resp)))
+  in
+  (match read_response () with
+  | Some (Json.Num id), Protocol.R_error e ->
+    Alcotest.(check int) "the second request is the one shed" 2
+      (int_of_float id);
+    Alcotest.(check string) "kind" "overloaded" (Err.kind_name e.Err.kind)
+  | _, Protocol.R_error _ -> Alcotest.fail "shed response must echo its id"
+  | _, _ -> Alcotest.fail "the over-cap request must shed");
+  stop := true;
+  (match read_response () with
+  | Some (Json.Num id), Protocol.R_eval _ ->
+    Alcotest.(check int) "the parked request drains" 1 (int_of_float id)
+  | _ -> Alcotest.fail "the parked request must still answer on drain");
+  Unix.close fd
+
+(* A server that dies mid-response (here: after half a length prefix)
+   must classify as a clean worker-crash error, never hang. *)
+let test_server_death_mid_request () =
+  let dir = temp_dir "awesym_dead_server" in
+  let sock = Filename.concat dir "dead.sock" in
+  let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind lfd (ADDR_UNIX sock);
+  Unix.listen lfd 1;
+  let srv =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept lfd in
+        let buf = Bytes.create 256 in
+        ignore (Unix.read fd buf 0 256);
+        (* half a length prefix, then gone *)
+        ignore (Unix.write_substring fd "\x00\x00" 0 2);
+        Unix.close fd)
+  in
+  let c = client sock in
+  (match Serve.Client.eval c ~model:"anything.awm" [| [| 1.0 |] |] with
+  | Error e when e.Err.kind = Err.Worker_crash -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "a dead server must not produce a response");
+  Serve.Client.close c;
+  Domain.join srv;
+  Unix.close lfd
+
+(* TCP delivers no message boundaries: a request dribbled in 3-byte
+   chunks must still evaluate, and a peer that abandons a half-sent
+   frame must not wedge the daemon for anyone else. *)
+let test_partial_frames_over_tcp () =
+  let model, path = Lazy.force fixture in
+  with_server ~tcp:true ~workers:2 @@ fun ~sock ~stop:_ ->
+  let addr =
+    match Serve.Transport.parse sock with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "parse: %s" (Err.to_string e)
+  in
+  let connect () =
+    match Serve.Transport.connect addr with
+    | Ok fd -> fd
+    | Error e -> Alcotest.failf "connect: %s" (Err.to_string e)
+  in
+  let wire =
+    Protocol.frame
+      (Json.to_string
+         (Protocol.request_to_json ~id:(Json.Num 7.0)
+            (Protocol.Eval
+               {
+                 Protocol.model = path;
+                 points = [| Model.nominal_values model |];
+                 deadline_ms = None;
+               })))
+  in
+  (* Split writes: the length prefix itself straddles two chunks. *)
+  let fd = connect () in
+  let n = String.length wire in
+  let rec dribble off =
+    if off < n then begin
+      let k = Int.min 3 (n - off) in
+      ignore (Unix.write_substring fd wire off k);
+      Unix.sleepf 0.002;
+      dribble (off + k)
+    end
+  in
+  dribble 0;
+  (match Protocol.read_frame fd with
+  | Error _ -> Alcotest.fail "dribbled frame must still answer"
+  | Ok payload -> (
+    match Json.of_string payload with
+    | Error m -> Alcotest.failf "bad response JSON: %s" m
+    | Ok j -> (
+      match Protocol.response_of_json j with
+      | Ok (Some (Json.Num 7.0), Protocol.R_eval r) ->
+        check_moments_match model [| Model.nominal_values model |] r
+      | Ok (_, Protocol.R_error e) ->
+        Alcotest.failf "dribbled frame answered error: %s" (Err.to_string e)
+      | _ -> Alcotest.fail "unexpected reply shape")));
+  Unix.close fd;
+  (* Truncated: claim a frame, send 6 bytes of it, vanish. *)
+  let fd2 = connect () in
+  ignore (Unix.write_substring fd2 (String.sub wire 0 6) 0 6);
+  Unix.close fd2;
+  (* The daemon must still serve others. *)
+  let c = client sock in
+  let _ = ok "ping after truncated peer" (Serve.Client.ping c) in
   Serve.Client.close c
 
 (* ------------------------------------------------------------------ *)
@@ -553,6 +805,8 @@ let test_metrics_exposition () =
       "# TYPE awesym_serve_queue_depth gauge";
       "awesym_registry_resident_models 1";
       "awesym_batcher_inflight";
+      "awesym_serve_worker_0_queue_depth";
+      "awesym_serve_worker_0_resident_models 1";
       "# TYPE awesym_serve_requests counter";
     ];
   Serve.Client.close c
@@ -594,6 +848,121 @@ let test_cache_gc () =
   | _ -> Alcotest.fail "negative budget must be rejected"
 
 (* ------------------------------------------------------------------ *)
+(* Transport: address parsing, stale-socket hygiene *)
+
+let test_transport_parse () =
+  let ok_addr spec expect =
+    match Serve.Transport.parse spec with
+    | Ok a ->
+      Alcotest.(check string) spec expect (Serve.Transport.to_string a)
+    | Error e -> Alcotest.failf "%s: %s" spec (Err.to_string e)
+  in
+  ok_addr "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok_addr "tcp:127.0.0.1:4000" "tcp:127.0.0.1:4000";
+  ok_addr "tcp:localhost:0" "tcp:localhost:0";
+  (* a bare path is the pre-transport spelling *)
+  ok_addr "relative/path.sock" "unix:relative/path.sock";
+  List.iter
+    (fun spec ->
+      match Serve.Transport.parse spec with
+      | Error e when e.Err.kind = Err.Invalid_request -> ()
+      | Error e -> Alcotest.failf "%s wrong kind: %s" spec (Err.to_string e)
+      | Ok a ->
+        Alcotest.failf "%s must not parse (got %s)" spec
+          (Serve.Transport.to_string a))
+    [ ""; "unix:"; "tcp:nohost"; "tcp::123"; "tcp:host:notaport";
+      "tcp:host:70000" ]
+
+let test_stale_socket_replaced_but_files_refused () =
+  let dir = temp_dir "awesym_transport" in
+  let path = Filename.concat dir "stale.sock" in
+  (* Simulate a crashed daemon: bind, then close without unlinking. *)
+  (match Serve.Transport.listen (Serve.Transport.Unix_sock path) with
+  | Ok (fd, _) -> Unix.close fd
+  | Error e -> Alcotest.failf "first listen: %s" (Err.to_string e));
+  Alcotest.(check bool) "socket file left behind" true (Sys.file_exists path);
+  (* A fresh daemon must replace the stale socket... *)
+  (match Serve.Transport.listen (Serve.Transport.Unix_sock path) with
+  | Ok (fd, addr) -> Serve.Transport.close_listener fd addr
+  | Error e -> Alcotest.failf "stale socket not replaced: %s" (Err.to_string e));
+  (* ...but must never unlink a path that is not a socket. *)
+  let reg = Filename.concat dir "precious.dat" in
+  Out_channel.with_open_bin reg (fun oc -> Out_channel.output_string oc "data");
+  (match Serve.Transport.listen (Serve.Transport.Unix_sock reg) with
+  | Ok _ -> Alcotest.fail "binding over a regular file must be refused"
+  | Error e ->
+    Alcotest.(check bool) "refusal names the reason" true
+      (let m = Err.to_string e in
+       let nh = String.length m and nn = String.length "refusing to unlink" in
+       let rec go i =
+         i + nn <= nh && (String.sub m i nn = "refusing to unlink" || go (i + 1))
+       in
+       go 0));
+  Alcotest.(check bool) "the file survives" true (Sys.file_exists reg);
+  Alcotest.(check string) "its bytes survive" "data"
+    (In_channel.with_open_bin reg In_channel.input_all)
+
+(* ------------------------------------------------------------------ *)
+(* Shard placement + mailbox hand-off *)
+
+let test_shard_rendezvous () =
+  let digest i = Digest.to_hex (Digest.string (string_of_int i)) in
+  let owners = Serve.Shard.owners ~workers:8 ~replicas:3 (digest 1) in
+  Alcotest.(check (list int)) "deterministic" owners
+    (Serve.Shard.owners ~workers:8 ~replicas:3 (digest 1));
+  Alcotest.(check int) "replica count" 3 (List.length owners);
+  Alcotest.(check int) "replicas are distinct" 3
+    (List.length (List.sort_uniq Int.compare owners));
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "in range" true (w >= 0 && w < 8))
+    owners;
+  Alcotest.(check int) "replicas capped at workers" 2
+    (List.length (Serve.Shard.owners ~workers:2 ~replicas:5 (digest 2)));
+  (* Coverage: many digests spread over every worker. *)
+  let hits = Array.make 4 0 in
+  for i = 0 to 199 do
+    let w = Serve.Shard.owner ~workers:4 (digest i) in
+    hits.(w) <- hits.(w) + 1
+  done;
+  Array.iteri
+    (fun w n ->
+      if n = 0 then Alcotest.failf "worker %d owns no digest out of 200" w)
+    hits;
+  (* Minimal-relocation: growing 4 -> 5 workers moves roughly 1/5 of
+     digests, and certainly not most of them. *)
+  let moved = ref 0 in
+  for i = 0 to 199 do
+    if
+      Serve.Shard.owner ~workers:4 (digest i)
+      <> Serve.Shard.owner ~workers:5 (digest i)
+    then incr moved
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "relocations bounded (moved %d/200)" !moved)
+    true
+    (!moved < 100)
+
+let test_mailbox () =
+  let m = Serve.Mailbox.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Serve.Mailbox.try_push m 1);
+  Alcotest.(check bool) "push 2" true (Serve.Mailbox.try_push m 2);
+  Alcotest.(check bool) "full sheds" false (Serve.Mailbox.try_push m 3);
+  Alcotest.(check int) "length" 2 (Serve.Mailbox.length m);
+  Alcotest.(check (list int)) "FIFO drain" [ 1; 2 ] (Serve.Mailbox.pop_all m);
+  Alcotest.(check (list int)) "empty drain" [] (Serve.Mailbox.pop_all m);
+  (* pop_block parks until a push arrives... *)
+  let consumer = Domain.spawn (fun () -> Serve.Mailbox.pop_block m) in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "push wakes" true (Serve.Mailbox.try_push m 7);
+  Alcotest.(check (list int)) "blocked pop gets it" [ 7 ] (Domain.join consumer);
+  (* ...and a wake with nothing queued returns [] — the shutdown path. *)
+  let consumer = Domain.spawn (fun () -> Serve.Mailbox.pop_block m) in
+  Unix.sleepf 0.02;
+  Serve.Mailbox.wake m;
+  Alcotest.(check (list int)) "wake returns empty" [] (Domain.join consumer)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -609,16 +978,38 @@ let () =
           quick "garbage requests rejected" test_garbage_requests_rejected;
         ]
         @ props [ prop_request_round_trip; prop_response_round_trip ] );
+      ( "transport",
+        [
+          quick "address parsing" test_transport_parse;
+          quick "stale sockets replaced, other files refused"
+            test_stale_socket_replaced_but_files_refused;
+        ] );
+      ( "sharding",
+        [
+          quick "rendezvous placement" test_shard_rendezvous;
+          quick "mailbox hand-off" test_mailbox;
+        ] );
       ( "daemon",
         [
           quick "ping and model info" test_ping_and_info;
           quick "concurrent clients bit-identical to offline"
             test_concurrent_clients_bit_identical;
+          quick "4 workers bit-identical to offline"
+            test_multi_worker_bit_identical;
+          quick "tcp transport bit-identical to offline"
+            test_tcp_bit_identical;
           quick "deadline expiry classified as timeout" test_deadline_expiry;
           quick "full queue sheds load" test_backpressure_overload;
+          quick "per-client inflight cap sheds, parked work drains"
+            test_client_inflight_cap;
           quick "drain completes in-flight requests"
             test_drain_completes_in_flight;
+          quick "multi-worker drain loses nothing" test_multi_worker_drain;
           quick "shutdown request drains" test_shutdown_request_drains;
+          quick "stats expose shard topology" test_stats_shard_topology;
+          quick "server death mid-request classified, never hangs"
+            test_server_death_mid_request;
+          quick "partial frames over tcp" test_partial_frames_over_tcp;
           quick "trace context round-trips into the trace log"
             test_trace_context_round_trip;
           quick "metrics exposition names the serving surface"
