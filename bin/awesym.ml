@@ -949,7 +949,7 @@ let describe_dist = function
 let sweep_cmd =
   let run obs jobs backend deck model_path order sparse cache varies mc lhs
       corners grid measures specs seed block json_path on_fault checkpoint
-      resume =
+      resume worker_addrs chunk_timeout heartbeat dist_retries =
     with_obs obs @@ fun () ->
     with_jobs jobs @@ fun () ->
     with_backend backend @@ fun () ->
@@ -1022,14 +1022,41 @@ let sweep_cmd =
       die "--resume needs --checkpoint FILE to resume from";
     let result =
       try
-        Sweep.Engine.run ~seed ?block ~measures ~specs ~policy ?checkpoint
-          ~resume model plan
+        match worker_addrs with
+        | [] ->
+          Sweep.Engine.run ~seed ?block ~measures ~specs ~policy ?checkpoint
+            ~resume model plan
+        | addrs ->
+          (* Coordinator mode: the daemons load the artifact themselves,
+             so the sweep must name one — a deck built in this process
+             has no path the workers could agree on. *)
+          let model_path =
+            match model_path with
+            | Some p -> p
+            | None ->
+              die
+                "--worker-addr needs --model FILE (an artifact path the \
+                 worker daemons can read)"
+          in
+          let cfg =
+            {
+              (Dsweep.default_config ~addrs) with
+              chunk_timeout_s = chunk_timeout;
+              heartbeat_s = heartbeat;
+              worker_retries = dist_retries;
+            }
+          in
+          Dsweep.run ~seed ?block ~measures ~specs ~policy ?checkpoint ~resume
+            ~log:prerr_endline cfg ~model ~model_path plan
       with
       | Failure msg | Invalid_argument msg -> die msg
     in
-    Printf.printf "sweep: %s, %d points, seed %d\n"
+    Printf.printf "sweep: %s, %d points, seed %d%s\n"
       (Sweep.Plan.kind_name plan.Sweep.Plan.kind)
-      result.Sweep.Engine.n seed;
+      result.Sweep.Engine.n seed
+      (match worker_addrs with
+      | [] -> ""
+      | ws -> Printf.sprintf ", distributed over %d workers" (List.length ws));
     (match result.Sweep.Engine.failed with
     | [] -> ()
     | failed ->
@@ -1209,18 +1236,53 @@ let sweep_cmd =
              only the remainder; the report is byte-identical to an \
              uninterrupted run.")
   in
+  let worker_addr_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "worker-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Coordinator mode: evaluate chunks on the serving daemon at \
+             ADDR (unix:PATH or tcp:HOST:PORT).  Repeatable, one worker \
+             per address; the merged report is byte-identical to a local \
+             run at any worker count, and the sweep survives worker loss \
+             (see docs/PARALLELISM.md).  Requires --model.")
+  in
+  let chunk_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "chunk-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Distributed mode: deadline per chunk RPC; an expired chunk \
+             is retried or reassigned.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "heartbeat" ] ~docv:"SECONDS"
+          ~doc:"Distributed mode: idle worker liveness-ping cadence.")
+  in
+  let dist_retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "dist-retries" ] ~docv:"N"
+          ~doc:
+            "Distributed mode: consecutive transient failures before a \
+             worker is declared dead and its chunks are reassigned.")
+  in
   let doc =
     "Statistical sweep of a compiled model: Monte-Carlo, Latin-hypercube, \
      corner, or grid plans over element distributions, evaluated through \
      the batched SLP kernel into summaries and yield, with per-point fault \
-     isolation and checkpoint/resume."
+     isolation, checkpoint/resume, and fault-tolerant distributed \
+     execution over serving daemons (--worker-addr)."
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ obs_args $ jobs_arg $ backend_arg $ deck_opt_arg $ model_arg
       $ order_arg $ sparse_arg $ cache_arg $ vary_arg $ mc_arg $ lhs_arg
       $ corners_arg $ grid_arg $ measure_arg $ spec_arg $ seed_arg $ block_arg
-      $ json_arg $ on_fault_arg $ checkpoint_arg $ resume_arg)
+      $ json_arg $ on_fault_arg $ checkpoint_arg $ resume_arg
+      $ worker_addr_arg $ chunk_timeout_arg $ heartbeat_arg $ dist_retries_arg)
 
 let moments_cmd =
   let run obs deck count =
@@ -1444,7 +1506,10 @@ let call_cmd =
       metrics traces_n trace_id shutdown =
     let fail e = die (Awesym_error.to_string e) in
     let with_client f =
-      match Serve.Client.connect socket with
+      (* Retry with backoff: `call` right after `serve &` races the
+         daemon's bind, and a restarting daemon is a transient, not an
+         error worth surfacing. *)
+      match Serve.Client.connect_retry socket with
       | Error e -> fail e
       | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
     in
@@ -1623,7 +1688,7 @@ let top_cmd =
   let run socket interval count =
     let fail e = die (Awesym_error.to_string e) in
     let once () =
-      match Serve.Client.connect socket with
+      match Serve.Client.connect_retry socket with
       | Error e -> fail e
       | Ok c ->
         Fun.protect

@@ -62,7 +62,10 @@ let atomic_write dest write =
    quarantined by codegen's load validation are swept
    unconditionally. *)
 
-let entry_extensions = [ ".awm"; ".cmxs" ]
+(* ".ckpt" covers sweep checkpoints parked in the cache directory: a
+   finished or abandoned run's checkpoint is just another rebuildable
+   artifact, so it ages out under the same budget. *)
+let entry_extensions = [ ".awm"; ".cmxs"; ".ckpt" ]
 let sweep_suffixes = [ ".tmp"; ".bad" ]
 
 type gc_stats = {

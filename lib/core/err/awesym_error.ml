@@ -11,6 +11,7 @@ type kind =
   | Invalid_request
   | Timeout
   | Overloaded
+  | Unavailable
   | Internal
 
 type t = {
@@ -37,6 +38,7 @@ let all_kinds =
     Invalid_request;
     Timeout;
     Overloaded;
+    Unavailable;
     Internal;
   ]
 
@@ -51,6 +53,7 @@ let kind_name = function
   | Invalid_request -> "invalid_request"
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
+  | Unavailable -> "unavailable"
   | Internal -> "internal"
 
 let kind_of_name s =

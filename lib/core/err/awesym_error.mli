@@ -28,6 +28,11 @@ type kind =
   | Overloaded
       (** load shed: a bounded queue (e.g. the serve daemon's admission
           queue) was full and the request was rejected unprocessed *)
+  | Unavailable
+      (** a peer could not be reached: connection refused/reset, socket
+          missing, or the network path down.  Retryable with backoff —
+          distinct from {!Invalid_request} (a malformed address) and
+          {!Worker_crash} (a peer that died mid-conversation) *)
   | Internal  (** unclassified exception; a bug until proven otherwise *)
 
 type t = {

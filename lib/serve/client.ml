@@ -25,6 +25,79 @@ let connect spec =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Backoff-with-jitter retry.
+
+   Exponential backoff capped at [max_s], with a deterministic jitter
+   drawn from MD5 of (salt, attempt): every retry schedule is
+   reproducible given its salt, so tests can assert on it and two
+   workers hammering the same dead peer still spread out (different
+   salts).  Retryability is decided by the taxonomy: the peer being
+   gone or busy right now ([unavailable], [timeout], [overloaded]), a
+   peer that died mid-conversation ([worker_crash]), or an injected
+   fault are worth another attempt; everything else (parse errors,
+   invalid requests, ...) fails fast because retrying cannot fix it. *)
+
+module Backoff = struct
+  type t = { attempts : int; base_s : float; max_s : float; jitter : float }
+
+  let default = { attempts = 5; base_s = 0.05; max_s = 2.0; jitter = 0.5 }
+
+  (* Uniform [0,1) from the first 8 hex digits of MD5 (salt # attempt). *)
+  let unit_jitter ~salt ~attempt =
+    let h =
+      Digest.to_hex (Digest.string (Printf.sprintf "%s#%d" salt attempt))
+    in
+    let bits = Int64.of_string ("0x" ^ String.sub h 0 8) in
+    Int64.to_float bits /. 4294967296.0
+
+  let delay t ~salt ~attempt =
+    let exp = t.base_s *. (2.0 ** float_of_int attempt) in
+    let capped = Float.min t.max_s exp in
+    (* jitter = j scales the delay into [1-j, 1] * capped *)
+    capped *. (1.0 -. (t.jitter *. unit_jitter ~salt ~attempt))
+
+  let retryable (e : Err.t) =
+    match e.Err.kind with
+    | Err.Unavailable | Err.Timeout | Err.Overloaded | Err.Worker_crash
+    | Err.Injected_fault ->
+      true
+    | _ -> false
+end
+
+let with_retry ?(backoff = Backoff.default) ~salt f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e when Backoff.retryable e && attempt + 1 < backoff.Backoff.attempts
+      ->
+      Obs.Metrics.incr "serve.client.retries";
+      Unix.sleepf (Backoff.delay backoff ~salt ~attempt);
+      go (attempt + 1)
+    | Error _ as err -> err
+  in
+  go 0
+
+let connect_addr_retry ?backoff addr =
+  with_retry ?backoff
+    ~salt:("connect:" ^ Transport.to_string addr)
+    (fun ~attempt:_ -> connect_addr addr)
+
+let connect_retry ?backoff spec =
+  match Transport.parse spec with
+  | Error e -> Error e
+  | Ok addr -> connect_addr_retry ?backoff addr
+
+(* Per-connection receive/send deadline via socket timeouts.  After a
+   receive timeout fires mid-response the stream is unsynchronized
+   (the reply may still arrive later); the caller must close and
+   reconnect rather than reuse the connection. *)
+let set_timeout t seconds =
+  try
+    Unix.setsockopt_float t.fd SO_RCVTIMEO seconds;
+    Unix.setsockopt_float t.fd SO_SNDTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 (* Client-generated trace ids: unique per process without any global
    coordination — pid + wall clock + a per-process counter. *)
 let trace_counter = ref 0
@@ -42,12 +115,31 @@ let rpc ?trace t req =
     Protocol.write_frame t.fd
       (Json.to_string (Protocol.request_to_json ~id ?trace req))
   with
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE) as e, _, _) ->
+    (* The peer vanished between requests: retryable after reconnect. *)
+    Error
+      (Err.make Unavailable ~where:"serve.client"
+         ("send failed: " ^ Unix.error_message e))
   | exception Unix.Unix_error (e, _, _) ->
     Error
       (Err.make Worker_crash ~where:"serve.client"
          ("send failed: " ^ Unix.error_message e))
   | () -> (
     match Protocol.read_frame t.fd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+      (* A SO_RCVTIMEO deadline (see {!set_timeout}) expired mid-read;
+         the connection is no longer framed-synchronized — close it. *)
+      Error
+        (Err.make Timeout ~where:"serve.client"
+           "rpc deadline expired waiting for the response")
+    | exception Unix.Unix_error (ECONNRESET, _, _) ->
+      Error
+        (Err.make Unavailable ~where:"serve.client"
+           "connection reset while reading the response")
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Err.make Worker_crash ~where:"serve.client"
+           ("recv failed: " ^ Unix.error_message e))
     | Error `Closed ->
       Error
         (Err.make Worker_crash ~where:"serve.client"
@@ -104,6 +196,13 @@ let traces t ~limit =
   | Ok (Protocol.R_traces ts) -> Ok ts
   | Ok _ ->
     Error (protocol_error ~where:"serve.client" "unexpected reply to trace")
+  | Error e -> Error e
+
+let sweep_chunk t ?trace req =
+  match rpc ?trace t (Protocol.Sweep_chunk req) with
+  | Ok (Protocol.R_chunk c) -> Ok c
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to sweep_chunk")
   | Error e -> Error e
 
 let shutdown t =

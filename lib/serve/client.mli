@@ -18,6 +18,59 @@ val connect_addr : Transport.addr -> (t, Awesym_error.t) result
 
 val close : t -> unit
 
+(** {1 Backoff-with-jitter retry}
+
+    Exponential backoff capped at [max_s] with a deterministic jitter
+    derived from MD5 of [(salt, attempt)] — every retry schedule is
+    reproducible given its salt, and distinct salts (one per peer)
+    decorrelate concurrent retriers. *)
+
+module Backoff : sig
+  type t = {
+    attempts : int;  (** total attempts, including the first (>= 1) *)
+    base_s : float;  (** delay before attempt 1; doubles per attempt *)
+    max_s : float;  (** cap on the uncapped exponential *)
+    jitter : float;  (** fraction shaved off: delay ∈ [(1-j)·d, d] *)
+  }
+
+  val default : t
+  (** 5 attempts, 50 ms base, 2 s cap, 0.5 jitter. *)
+
+  val delay : t -> salt:string -> attempt:int -> float
+  (** Seconds to sleep after failed [attempt] (0-based); deterministic
+      in [(salt, attempt)]. *)
+
+  val retryable : Awesym_error.t -> bool
+  (** True for the transient kinds worth another attempt:
+      [unavailable], [timeout], [overloaded], [worker_crash],
+      [injected_fault].  Everything else fails fast. *)
+end
+
+val with_retry :
+  ?backoff:Backoff.t ->
+  salt:string ->
+  (attempt:int -> ('a, Awesym_error.t) result) ->
+  ('a, Awesym_error.t) result
+(** Run [f ~attempt] until it succeeds, fails non-retryably, or the
+    attempt budget is spent; sleeps {!Backoff.delay} between attempts
+    and counts each retry in the [serve.client.retries] metric. *)
+
+val connect_retry :
+  ?backoff:Backoff.t -> string -> (t, Awesym_error.t) result
+(** {!connect} with backoff-and-retry on [unavailable] failures — the
+    peer not being up {e yet} (daemon still binding its socket) or not
+    {e right now} (restarting) is handled here instead of by ad-hoc
+    retry loops at call sites. *)
+
+val connect_addr_retry :
+  ?backoff:Backoff.t -> Transport.addr -> (t, Awesym_error.t) result
+
+val set_timeout : t -> float -> unit
+(** Arm a send/receive deadline (seconds; [0.] disarms) on the
+    connection via socket timeouts.  When a receive deadline fires,
+    {!rpc} returns a classified [timeout] — and the connection is no
+    longer framed-synchronized, so close it and reconnect. *)
+
 val new_trace_id : unit -> string
 (** A fresh client-generated trace id (pid + clock + counter), unique
     per process.  Pass it in a {!Protocol.trace_context} to find this
@@ -53,6 +106,15 @@ val metrics : t -> (string, Awesym_error.t) result
 
 val traces : t -> limit:int -> (Obs.Json.t list, Awesym_error.t) result
 (** The server's most recent completed request traces, oldest first. *)
+
+val sweep_chunk :
+  t ->
+  ?trace:Protocol.trace_context ->
+  Protocol.sweep_chunk ->
+  (Protocol.chunk_reply, Awesym_error.t) result
+(** Evaluate one sweep chunk on the server.  The reply's record is in
+    the checkpoint format; the caller (the dsweep coordinator) verifies
+    [cr_key] against its own before merging. *)
 
 val shutdown : t -> (unit, Awesym_error.t) result
 (** Ask the server to drain and exit; returns once acknowledged. *)

@@ -110,6 +110,25 @@ type eval = {
    them into the request's trace record verbatim. *)
 type trace_context = { trace_id : string; parent_span : string }
 
+(* A distributed-sweep work item: everything a worker needs to rebuild
+   the coordinator's sweep preparation bit-for-bit (plan JSON, seed,
+   block, measures/specs/policy spellings) plus the chunk index to
+   evaluate.  [key] is the coordinator's checkpoint key; the worker
+   recomputes its own from the same inputs and refuses on mismatch,
+   which catches model or plan skew before any cycles are spent. *)
+type sweep_chunk = {
+  sc_model : string;  (** server-side artifact path *)
+  sc_plan : Json.t;  (** [Sweep.Plan.to_json] of the coordinator's plan *)
+  sc_seed : int;
+  sc_block : int;
+  sc_measures : string list;
+  sc_specs : string list;
+  sc_policy : string;  (** ["fail_fast"] | ["skip"] | ["retry:K"] *)
+  sc_chunk : int;  (** chunk index into the deterministic layout *)
+  sc_key : string;  (** coordinator's checkpoint key (hex MD5) *)
+  sc_deadline_ms : float option;
+}
+
 type request =
   | Ping
   | Info of string
@@ -117,6 +136,7 @@ type request =
   | Stats
   | Metrics
   | Trace of int
+  | Sweep_chunk of sweep_chunk
   | Shutdown
 
 let floats_to_json vs =
@@ -177,6 +197,21 @@ let request_to_json ?id ?trace req =
       @ (match e.deadline_ms with
         | None -> []
         | Some ms -> [ ("deadline_ms", Json.Num ms) ])
+    | Sweep_chunk c ->
+      [ ("op", Json.Str "sweep_chunk");
+        ("model", Json.Str c.sc_model);
+        ("plan", c.sc_plan);
+        ("seed", Json.Num (float_of_int c.sc_seed));
+        ("block", Json.Num (float_of_int c.sc_block));
+        ("measures", Json.List (List.map (fun s -> Json.Str s) c.sc_measures));
+        ("specs", Json.List (List.map (fun s -> Json.Str s) c.sc_specs));
+        ("policy", Json.Str c.sc_policy);
+        ("chunk", Json.Num (float_of_int c.sc_chunk));
+        ("key", Json.Str c.sc_key);
+      ]
+      @ (match c.sc_deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline_ms", Json.Num ms) ])
   in
   Json.Obj (base @ fields)
 
@@ -192,6 +227,16 @@ let check_schema j =
 
 let member_string name j =
   match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+
+let member_num name j =
+  match Json.member name j with Some (Json.Num v) -> Some v | _ -> None
+
+let member_strings name j =
+  match Json.member name j with
+  | Some (Json.List items) ->
+    let ss = List.filter_map (function Json.Str s -> Some s | _ -> None) items in
+    if List.length ss = List.length items then Some ss else None
+  | _ -> None
 
 let trace_of_json j =
   match Json.member "trace" j with
@@ -254,6 +299,48 @@ let request_of_json j =
             bad ~where:"serve.request" "malformed deadline_ms (want a number)")
       | _, Some _ ->
         bad ~where:"serve.request" "malformed points (want a list of points)")
+    | Some "sweep_chunk" -> (
+      match
+        ( member_string "model" j,
+          Json.member "plan" j,
+          member_num "seed" j,
+          member_num "block" j,
+          member_strings "measures" j )
+      with
+      | Some sc_model, Some sc_plan, Some seed, Some block, Some sc_measures
+        -> (
+        match
+          ( member_strings "specs" j,
+            member_string "policy" j,
+            member_num "chunk" j,
+            member_string "key" j )
+        with
+        | Some sc_specs, Some sc_policy, Some chunk, Some sc_key -> (
+          let c =
+            { sc_model;
+              sc_plan;
+              sc_seed = int_of_float seed;
+              sc_block = int_of_float block;
+              sc_measures;
+              sc_specs;
+              sc_policy;
+              sc_chunk = int_of_float chunk;
+              sc_key;
+              sc_deadline_ms = None;
+            }
+          in
+          match Json.member "deadline_ms" j with
+          | None -> with_id (Sweep_chunk c)
+          | Some (Json.Num ms) ->
+            with_id (Sweep_chunk { c with sc_deadline_ms = Some ms })
+          | Some _ ->
+            bad ~where:"serve.request" "malformed deadline_ms (want a number)")
+        | _ ->
+          bad ~where:"serve.request"
+            "malformed sweep_chunk (want specs, policy, chunk, key)")
+      | _ ->
+        bad ~where:"serve.request"
+          "malformed sweep_chunk (want model, plan, seed, block, measures)")
     | Some op -> bad ~where:"serve.request" "unknown op %S" op
     | None -> bad ~where:"serve.request" "missing op field"))
 
@@ -273,6 +360,13 @@ type eval_result = {
   moments : float array array;  (** row-major, one row per request point *)
 }
 
+type chunk_reply = {
+  cr_digest : string;  (** digest of the artifact the worker evaluated *)
+  cr_key : string;  (** worker-side checkpoint key — must equal the request's *)
+  cr_chunk : int;
+  cr_record : Json.t;  (** checkpoint-format chunk record (hex float bits) *)
+}
+
 type response =
   | R_pong of (string * string) list  (** (component, version) pairs *)
   | R_info of info_result
@@ -280,6 +374,7 @@ type response =
   | R_stats of Json.t
   | R_metrics of string
   | R_traces of Json.t list
+  | R_chunk of chunk_reply
   | R_draining
   | R_error of Err.t
 
@@ -315,6 +410,13 @@ let response_to_json ?id resp =
     | R_stats s -> ok @ [ ("stats", s) ]
     | R_metrics text -> ok @ [ ("metrics_text", Json.Str text) ]
     | R_traces ts -> ok @ [ ("traces", Json.List ts) ]
+    | R_chunk c ->
+      ok
+      @ [ ("digest", Json.Str c.cr_digest);
+          ("key", Json.Str c.cr_key);
+          ("chunk", Json.Num (float_of_int c.cr_chunk));
+          ("chunk_record", c.cr_record);
+        ]
     | R_draining -> ok @ [ ("draining", Json.Bool true) ]
     | R_error e -> [ ("ok", Json.Bool false); ("error", Err.to_json e) ]
   in
@@ -369,6 +471,19 @@ let response_of_json j =
           match Json.member "traces" j with
           | Some (Json.List ts) -> with_id (R_traces ts)
           | _ -> (
+          match Json.member "chunk_record" j with
+          | Some cr_record -> (
+            match
+              ( member_string "digest" j,
+                member_string "key" j,
+                member_num "chunk" j )
+            with
+            | Some cr_digest, Some cr_key, Some chunk ->
+              with_id
+                (R_chunk
+                   { cr_digest; cr_key; cr_chunk = int_of_float chunk; cr_record })
+            | _ -> bad ~where:"serve.response" "malformed chunk response")
+          | _ -> (
           match Json.member "stats" j with
           | Some s -> with_id (R_stats s)
           | None -> (
@@ -409,5 +524,5 @@ let response_of_json j =
                   with_id (R_eval { digest; order; moments })
                 | _ -> bad ~where:"serve.response" "malformed eval response")
               | _ ->
-                bad ~where:"serve.response" "unrecognized response shape")))))))
+                bad ~where:"serve.response" "unrecognized response shape"))))))))
     | _ -> bad ~where:"serve.response" "missing ok field")

@@ -67,6 +67,25 @@ type trace_context = {
     verbatim into the request's server-side trace record, which is what
     lets a client-generated id be found again in [--trace-log] output. *)
 
+type sweep_chunk = {
+  sc_model : string;  (** server-side artifact path *)
+  sc_plan : Obs.Json.t;  (** [Sweep.Plan.to_json] of the coordinator's plan *)
+  sc_seed : int;
+  sc_block : int;
+  sc_measures : string list;  (** measure spellings, e.g. ["\"moment:1\""] *)
+  sc_specs : string list;  (** spec spellings, e.g. ["\"bw3db>=1e6\""] *)
+  sc_policy : string;  (** ["fail_fast"] | ["skip"] | ["retry:K"] *)
+  sc_chunk : int;  (** chunk index into the deterministic layout *)
+  sc_key : string;  (** coordinator's checkpoint key (hex MD5) *)
+  sc_deadline_ms : float option;
+}
+(** A distributed-sweep work item: the full sweep parameterization (so
+    the worker can rebuild the coordinator's preparation bit-for-bit,
+    including the RNG jump-ahead streams) plus one chunk index.  The
+    worker recomputes the checkpoint key from the same inputs and
+    refuses with [invalid_request] on mismatch — model/plan skew is
+    caught before any evaluation. *)
+
 type request =
   | Ping  (** liveness + version inventory *)
   | Info of string  (** model metadata: digest, order, symbols, nominals *)
@@ -74,6 +93,7 @@ type request =
   | Stats  (** serve metrics snapshot *)
   | Metrics  (** Prometheus text exposition of the metric surface *)
   | Trace of int  (** the [n] most recent completed request traces *)
+  | Sweep_chunk of sweep_chunk  (** evaluate one sweep chunk remotely *)
   | Shutdown  (** graceful drain: finish queued work, then exit *)
 
 val request_to_json :
@@ -101,6 +121,17 @@ type eval_result = {
   moments : float array array;  (** one row per request point *)
 }
 
+type chunk_reply = {
+  cr_digest : string;  (** digest of the artifact the worker evaluated *)
+  cr_key : string;  (** worker-side checkpoint key — equals the request's *)
+  cr_chunk : int;
+  cr_record : Obs.Json.t;
+      (** checkpoint-format chunk record ([{lo; len; vals; failed}], hex
+          float bits) — exactly what [Sweep.Engine.Checkpoint] stores, so
+          the coordinator merges remote chunks through the same
+          validation path as a local resume *)
+}
+
 type response =
   | R_pong of (string * string) list  (** (component, version) pairs *)
   | R_info of info_result
@@ -108,6 +139,7 @@ type response =
   | R_stats of Obs.Json.t
   | R_metrics of string  (** Prometheus text exposition *)
   | R_traces of Obs.Json.t list  (** recent request traces, oldest first *)
+  | R_chunk of chunk_reply  (** one evaluated sweep chunk *)
   | R_draining
   | R_error of Awesym_error.t
 

@@ -104,6 +104,14 @@ type job =
       digest : string;
       trace : Reqtrace.builder option;
     }
+  | J_sweep of {
+      conn : int;
+      id : Json.t option;
+      req : Protocol.sweep_chunk;
+      digest : string;
+      deadline : float option;
+      trace : Reqtrace.builder option;
+    }
 
 type completion = int * Json.t option * Reqtrace.builder option * Protocol.response
 
@@ -266,7 +274,9 @@ let push_completions t shard resps =
      with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ())
 
 let job_envelope = function
-  | J_eval { conn; id; trace; _ } | J_info { conn; id; trace; _ } ->
+  | J_eval { conn; id; trace; _ }
+  | J_info { conn; id; trace; _ }
+  | J_sweep { conn; id; trace; _ } ->
     (conn, id, trace)
 
 (* The body each worker domain runs: a private registry + batcher fed by
@@ -292,6 +302,69 @@ let worker_body t ~worker ~stop:_ =
       trace;
     Atomic.set shard.resident (Registry.loaded registry);
     found
+  in
+  (* Distributed-sweep preparation memo.  Building a prep re-samples the
+     plan's full input grid, which dwarfs a single chunk's evaluation;
+     a coordinator sends this worker many chunks of the same sweep, so
+     keep the last few preps keyed by their defining wire inputs.
+     Worker-domain private, like the registry. *)
+  let preps : (string * Sweep.Engine.prep) list ref = ref [] in
+  let sweep_prep ~digest entry (req : Protocol.sweep_chunk) =
+    let memo_key =
+      String.concat "\x00"
+        ([
+           digest;
+           Json.to_string req.Protocol.sc_plan;
+           string_of_int req.Protocol.sc_seed;
+           string_of_int req.Protocol.sc_block;
+           req.Protocol.sc_policy;
+         ]
+        @ req.Protocol.sc_measures @ req.Protocol.sc_specs)
+    in
+    match List.assoc_opt memo_key !preps with
+    | Some p -> Ok p
+    | None ->
+      let invalid fmt =
+        Printf.ksprintf
+          (fun m -> Error (Err.make Invalid_request ~where:"serve.sweep" m))
+          fmt
+      in
+      let rec parse_list f = function
+        | [] -> Ok []
+        | x :: rest -> (
+          match f x with
+          | Error _ as e -> e
+          | Ok v -> Result.map (fun vs -> v :: vs) (parse_list f rest))
+      in
+      let wrap what = function
+        | Ok v -> Ok v
+        | Error m -> invalid "bad sweep %s: %s" what m
+      in
+      let ( let* ) = Result.bind in
+      let* plan = wrap "plan" (Sweep.Plan.of_json req.Protocol.sc_plan) in
+      let* measures =
+        wrap "measure"
+          (parse_list Sweep.Engine.measure_of_string req.Protocol.sc_measures)
+      in
+      let* specs =
+        wrap "spec"
+          (parse_list Sweep.Engine.spec_of_string req.Protocol.sc_specs)
+      in
+      let* policy =
+        wrap "policy" (Sweep.Engine.policy_of_string req.Protocol.sc_policy)
+      in
+      (* jobs=1: chunk evaluation must not contend for the shared
+         Runtime pool (same single-master contract as the batchers) —
+         and prep values are jobs-invariant anyway. *)
+      match
+        Sweep.Engine.prepare ~seed:req.Protocol.sc_seed
+          ~block:req.Protocol.sc_block ~jobs:1 ~measures ~specs ~policy
+          entry.Registry.model plan
+      with
+      | exception e -> Error (Err.classify e)
+      | prep ->
+        preps := (memo_key, prep) :: List.filteri (fun i _ -> i < 3) !preps;
+        Ok prep
   in
   let handle = function
     | J_info { conn; id; path; digest; trace } ->
@@ -337,6 +410,52 @@ let worker_body t ~worker ~stop:_ =
                   ~stop:(now ()))
               trace
           | Error e -> complete [ (conn, id, trace, Protocol.R_error e) ]))
+    | J_sweep { conn; id; req; digest; deadline; trace } ->
+      let resp =
+        match lookup ~digest ~path:req.Protocol.sc_model ~trace with
+        | Error e -> Protocol.R_error e
+        | Ok entry -> (
+          match sweep_prep ~digest entry req with
+          | Error e -> Protocol.R_error e
+          | Ok prep ->
+            let key = Sweep.Engine.prep_key prep in
+            if key <> req.Protocol.sc_key then
+              (* The skew handshake: the worker rebuilt the sweep from
+                 the wire parameterization and got a different key, so
+                 its artifact bytes (or code version) disagree with the
+                 coordinator's — evaluating would silently merge
+                 non-identical chunks. *)
+              Protocol.R_error
+                (Err.make Invalid_request ~where:"serve.sweep"
+                   (Printf.sprintf
+                      "sweep key mismatch (coordinator %s, worker %s): \
+                       model or version skew between nodes"
+                      req.Protocol.sc_key key))
+            else if
+              match deadline with Some d -> now () > d | None -> false
+            then
+              Protocol.R_error
+                (Err.make Timeout ~where:"serve.sweep"
+                   "deadline expired before the chunk was evaluated")
+            else begin
+              let t0 = now () in
+              let r = Sweep.Engine.eval_chunk prep req.Protocol.sc_chunk in
+              Option.iter
+                (fun tb ->
+                  Reqtrace.add_span tb ~name:"serve.sweep.chunk" ~start:t0
+                    ~stop:(now ()))
+                trace;
+              Obs.Metrics.incr "serve.sweep.chunks";
+              Protocol.R_chunk
+                {
+                  Protocol.cr_digest = digest;
+                  cr_key = key;
+                  cr_chunk = req.Protocol.sc_chunk;
+                  cr_record = Sweep.Engine.chunk_result_to_json r;
+                }
+            end)
+      in
+      complete [ (conn, id, trace, resp) ]
   in
   (* Any unexpected exception still answers the request — a lost job
      would leave its conn.inflight forever nonzero and wedge the drain. *)
@@ -470,6 +589,14 @@ let dispatch t conn ?id ~trace:tb req =
             deadline;
             trace = Some tb;
           })
+  | Protocol.Sweep_chunk c ->
+    let arrived = now () in
+    let deadline =
+      Option.map (fun ms -> arrived +. (ms /. 1e3)) c.Protocol.sc_deadline_ms
+    in
+    admit_model t conn ?id tb ~path:c.Protocol.sc_model ~deadline
+      (fun ~digest ->
+        J_sweep { conn = conn.key; id; req = c; digest; deadline; trace = Some tb })
 
 let op_name = function
   | Protocol.Ping -> "ping"
@@ -478,6 +605,7 @@ let op_name = function
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
   | Protocol.Trace _ -> "trace"
+  | Protocol.Sweep_chunk _ -> "sweep_chunk"
   | Protocol.Shutdown -> "shutdown"
 
 let handle_frame t conn payload =

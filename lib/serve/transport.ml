@@ -128,6 +128,23 @@ let tune_accepted fd =
    with Unix.Unix_error _ | Invalid_argument _ -> ());
   Unix.set_nonblock fd
 
+(* Connect failures split along the retry axis: the peer not being there
+   right now (refused, reset, socket file missing, unreachable, timed
+   out) is [Unavailable] — transient, worth a backoff-and-retry — while
+   anything else (EACCES, EMFILE, ...) stays [Invalid_request] because
+   retrying cannot fix it. *)
+let transient_connect_errno = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN | Unix.EPIPE
+  | Unix.EAGAIN | Unix.EINTR ->
+    true
+  | _ -> false
+
+let unavailable fmt =
+  Printf.ksprintf
+    (fun m -> Error (Err.make Unavailable ~where:"serve.transport" m))
+    fmt
+
 let connect addr =
   let attempt mk_fd sockaddr =
     let fd = mk_fd () in
@@ -138,8 +155,12 @@ let connect addr =
       Ok fd
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      invalid "cannot connect to %s: %s" (to_string addr)
-        (Unix.error_message e)
+      if transient_connect_errno e then
+        unavailable "cannot connect to %s: %s" (to_string addr)
+          (Unix.error_message e)
+      else
+        invalid "cannot connect to %s: %s" (to_string addr)
+          (Unix.error_message e)
   in
   match addr with
   | Unix_sock path ->

@@ -25,7 +25,11 @@ val listen :
     an ephemeral TCP port. *)
 
 val connect : addr -> (Unix.file_descr, Awesym_error.t) result
-(** Blocking client connect; TCP connections get [TCP_NODELAY]. *)
+(** Blocking client connect; TCP connections get [TCP_NODELAY].
+    Failures where the peer is simply not there right now (connection
+    refused/reset, missing socket file, unreachable network, connect
+    timeout) are classified [unavailable] — retryable with backoff —
+    while non-transient failures stay [invalid_request]. *)
 
 val tune_accepted : Unix.file_descr -> unit
 (** Per-accepted-connection setup: nonblocking, Nagle off where the

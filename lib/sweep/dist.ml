@@ -108,3 +108,30 @@ let to_json t =
     Obj [ ("kind", Str "normal"); ("mean", Num mean); ("std", Num std) ]
   | Lognormal { mu; sigma } ->
     Obj [ ("kind", Str "lognormal"); ("mu", Num mu); ("sigma", Num sigma) ]
+
+(* Inverse of [to_json].  Parameters are re-validated through the smart
+   constructors so a hostile document cannot smuggle in, say, an empty
+   uniform interval that [sample] would mishandle. *)
+let of_json j =
+  let open Obs.Json in
+  let num k =
+    match member k j with
+    | Some (Num v) -> Ok v
+    | _ -> Error (Printf.sprintf "dist needs a numeric %S field" k)
+  in
+  let build ka kb make =
+    match (num ka, num kb) with
+    | Ok a, Ok b -> (
+      match make a b with
+      | d -> Ok d
+      | exception Invalid_argument m -> Error m)
+    | (Error _ as e), _ | _, (Error _ as e) -> e
+  in
+  match member "kind" j with
+  | Some (Str "uniform") -> build "lo" "hi" (fun lo hi -> uniform ~lo ~hi)
+  | Some (Str "normal") ->
+    build "mean" "std" (fun mean std -> normal ~mean ~std)
+  | Some (Str "lognormal") ->
+    build "mu" "sigma" (fun mu sigma -> lognormal ~mu ~sigma)
+  | Some (Str k) -> Error (Printf.sprintf "unknown dist kind %S" k)
+  | _ -> Error "dist needs a string \"kind\" field"

@@ -42,3 +42,8 @@ val bounds : t -> float * float
     image under [exp] for [Lognormal]).  Feeds corner/grid plans. *)
 
 val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json} (parameters re-validated as in the smart
+    constructors); [to_json] floats round-trip bit-exactly, which is what
+    lets a distributed-sweep worker rebuild the coordinator's plan. *)

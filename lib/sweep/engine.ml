@@ -204,11 +204,38 @@ let error_of_json j =
 let ckpt_schema = "awesymbolic-ckpt/1"
 
 (* ------------------------------------------------------------------ *)
+(* Preparation: everything the evaluation of any single chunk depends
+   on, computed once.  A [prep] built from the same (model, plan, seed,
+   block, measures, specs, policy) is bit-identical on every node —
+   [Plan.columns] is jobs-invariant by the PR 3 contract — which is what
+   lets a remote worker evaluate chunk [i] and produce exactly the bytes
+   the coordinator would have produced locally. *)
 
-let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
-    ?(policy = Skip) ?checkpoint ?(resume = false) ?(checkpoint_every = 1)
-    model plan =
-  Obs.Span.with_ ~name:"sweep.run" @@ fun () ->
+type prep = {
+  p_model : Model.t;
+  p_plan : Plan.t;
+  p_seed : int;
+  p_block : int;
+  p_n : int;
+  p_order : int;
+  p_nm : int;  (* moments per point = 2 * order *)
+  p_marr : measure array;  (* requested measures, spec measures unioned in *)
+  p_specs : spec list;
+  p_policy : policy;
+  p_max_attempts : int;
+  p_cols : float array array;  (* per-symbol input columns, full grid *)
+  p_chunks : Runtime.Chunk.t array;
+  p_key : string;  (* checkpoint key: binds all of the above *)
+}
+
+let prep_key p = p.p_key
+let prep_points p = p.p_n
+let prep_num_chunks p = Array.length p.p_chunks
+let prep_block p = p.p_block
+let prep_measures p = Array.to_list p.p_marr
+
+let prepare ?(seed = 42) ?block ?jobs ?(measures = default_measures)
+    ?(specs = []) ?(policy = Skip) model plan =
   let jobs =
     match jobs with Some j -> Int.max 1 j | None -> Runtime.default_jobs ()
   in
@@ -232,30 +259,19 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
     Err.errorf Invalid_request ~where:"sweep.run"
       "retry policy needs at least 1 extra attempt, got %d" k
   | _ -> ());
-  if checkpoint_every < 1 then
-    invalid_arg "Sweep.run: checkpoint_every must be >= 1";
   let symbols = Array.map Sym.name (Model.symbols model) in
   let nominals = Model.nominal_values model in
   let rng = Obs.Rng.create seed in
   let blk = match block with Some b when b > 0 -> b | _ -> Slp.default_block in
   let cols = Plan.columns ~symbols ~nominals ~rng ~jobs ~block:blk plan in
   let n = Plan.num_points plan in
-  if !Obs.enabled then begin
-    Obs.Metrics.incr "sweep.run.count";
-    Obs.Metrics.add "sweep.run.points" n
-  end;
-  let marr = Array.of_list measures in
-  let nmeas = Array.length marr in
-  let vals = Array.map (fun _ -> Array.make n nan) marr in
-  let failed_arr : failed_point option array = Array.make n None in
-  let chunks = Runtime.Chunk.layout ~n ~block:blk in
-  let done_chunks = Array.make (Array.length chunks) false in
-  let max_attempts = match policy with Retry k -> 1 + k | _ -> 1 in
   (* The checkpoint key binds everything the stored values depend on:
      replaying against a different plan, seed, model shape, or policy must
      be rejected, not silently blended.  (Program size stands in for a
      full model digest — combined with symbols/nominals/order it pins the
-     compiled model for any realistic workflow.) *)
+     compiled model for any realistic workflow.)  The same key is the
+     distributed handshake: a worker that computes a different key from
+     the same request refuses the chunk. *)
   let ckpt_key =
     Digest.to_hex
       (Digest.string
@@ -275,121 +291,248 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
             @ Array.to_list symbols
             @ List.map hexbits (Array.to_list nominals))))
   in
-  let ckpt_mutex = Mutex.create () in
-  let ckpt_records : (int, Obs.Json.t) Hashtbl.t = Hashtbl.create 64 in
-  let since_write = ref 0 in
-  let write_checkpoint path =
-    (* Called with [ckpt_mutex] held.  Records are sorted by chunk index
-       so the final file is deterministic for every jobs count. *)
-    let recs =
-      Hashtbl.fold (fun idx _ acc -> idx :: acc) ckpt_records []
-      |> List.sort compare
-      |> List.map (fun idx -> Hashtbl.find ckpt_records idx)
+  {
+    p_model = model;
+    p_plan = plan;
+    p_seed = seed;
+    p_block = blk;
+    p_n = n;
+    p_order = order;
+    p_nm = nm;
+    p_marr = Array.of_list measures;
+    p_specs = specs;
+    p_policy = policy;
+    p_max_attempts = (match policy with Retry k -> 1 + k | _ -> 1);
+    p_cols = cols;
+    p_chunks = Runtime.Chunk.layout ~n ~block:blk;
+    p_key = ckpt_key;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-chunk evaluation *)
+
+type chunk_result = {
+  c_index : int;
+  c_lo : int;
+  c_len : int;
+  c_vals : float array array;  (* nmeas rows of len values *)
+  c_failed : failed_point list;  (* global point indices, ascending *)
+}
+
+let chunk_index r = r.c_index
+
+let eval_chunk p idx =
+  if idx < 0 || idx >= Array.length p.p_chunks then
+    Err.errorf Invalid_request ~where:"sweep.chunk"
+      "chunk %d out of range (layout has %d chunks)" idx
+      (Array.length p.p_chunks);
+  let c = p.p_chunks.(idx) in
+  let blk = p.p_block and nm = p.p_nm and order = p.p_order in
+  let marr = p.p_marr and policy = p.p_policy in
+  let max_attempts = p.p_max_attempts in
+  let nmeas = Array.length marr in
+  let vals = Array.init nmeas (fun _ -> Array.make c.len nan) in
+  let failed_arr : failed_point option array = Array.make c.len None in
+  let prog = Model.program p.p_model in
+  let sub = Array.map (fun col -> Array.sub col c.lo c.len) p.p_cols in
+  (* Chunk stage: batched moment evaluation.  A fault here (injected
+     worker crash, injected kernel fault) is retried chunk-wise under
+     Retry; a permanent one quarantines the whole chunk under Skip. *)
+  let mcols =
+    let rec go attempt =
+      match
+        Runtime.Fault.cut "pool.worker" ~key:c.lo ~attempt;
+        Slp.eval_batch ~block:blk ~jobs:1 prog sub
+      with
+      | m ->
+        if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
+        Ok m
+      | exception e ->
+        let err = Err.classify e in
+        Obs.Metrics.incr "sweep.fault.seen";
+        if attempt + 1 < max_attempts then begin
+          Obs.Metrics.incr "sweep.fault.retried";
+          go (attempt + 1)
+        end
+        else Error (err, attempt + 1)
     in
-    let doc =
-      Obs.Json.Obj
-        [
-          ("schema", Obs.Json.Str ckpt_schema);
-          ("key", Obs.Json.Str ckpt_key);
-          ("points", Obs.Json.Num (float_of_int n));
-          ("chunks", Obs.Json.List recs);
-        ]
-    in
-    let dir = Filename.dirname path in
-    if dir <> "." && not (Sys.file_exists dir) then Cache.ensure_dir dir;
-    Cache.atomic_write path (fun tmp ->
-        Out_channel.with_open_bin tmp (fun oc ->
-            Out_channel.output_string oc (Obs.Json.to_string doc)))
+    go 0
   in
-  let chunk_record (c : Runtime.Chunk.t) =
-    let open Obs.Json in
-    let vals_json =
-      List
-        (Array.to_list
-           (Array.map
-              (fun row ->
-                List (List.init c.len (fun li -> Str (hexbits row.(c.lo + li)))))
-              vals))
-    in
-    let failed_json =
-      let fs = ref [] in
-      for li = c.len - 1 downto 0 do
-        match failed_arr.(c.lo + li) with
-        | Some fp -> fs := failed_point_json fp :: !fs
-        | None -> ()
-      done;
-      List !fs
-    in
-    Obj
-      [
-        ("lo", Num (float_of_int c.lo));
-        ("len", Num (float_of_int c.len));
-        ("vals", vals_json);
-        ("failed", failed_json);
-      ]
+  (match mcols with
+  | Error (err, attempts) -> (
+    match policy with
+    | Fail_fast -> raise (Err.Error err)
+    | Skip | Retry _ ->
+      Obs.Metrics.add "sweep.fault.quarantined" c.len;
+      for li = 0 to c.len - 1 do
+        let i = c.lo + li in
+        failed_arr.(li) <-
+          Some
+            {
+              point = i;
+              attempts;
+              error =
+                {
+                  err with
+                  Err.context = ("point", string_of_int i) :: err.Err.context;
+                };
+            }
+      done)
+  | Ok mcols ->
+    (* Point stage: measure finish with per-point isolation. *)
+    let moments = Array.make nm 0.0 in
+    for li = 0 to c.len - 1 do
+      let i = c.lo + li in
+      let eval_once attempt =
+        Runtime.Fault.cut "sweep.point" ~key:i ~attempt;
+        for k = 0 to nm - 1 do
+          moments.(k) <- mcols.(k).(li)
+        done;
+        for k = 0 to nm - 1 do
+          if not (Float.is_finite moments.(k)) then
+            Err.errorf Nonfinite_result ~where:"sweep.point"
+              ~context:
+                [
+                  ("point", string_of_int i);
+                  ("moment", Printf.sprintf "m%d" k);
+                ]
+              "compiled moment m%d is non-finite (%h) at point %d" k
+              moments.(k) i
+        done;
+        let romq = ref None in
+        let rom_of () =
+          match !romq with
+          | Some r -> r
+          | None ->
+            let r =
+              match Awe.Pade.fit ~order moments with
+              | rom -> rom
+              | exception (Awe.Pade.Degenerate _ as e) -> (
+                match policy with
+                | Retry _ ->
+                  (* Order-reduction fallback: an unstable or
+                     degenerate fit at q often fits fine at q-1
+                     (fewer spurious poles chasing noise moments). *)
+                  let rec down q =
+                    if q < 1 then raise e
+                    else
+                      match Awe.Pade.fit ~order:q moments with
+                      | rom ->
+                        Obs.Metrics.incr "sweep.fault.order_reduced";
+                        rom
+                      | exception Awe.Pade.Degenerate _ -> down (q - 1)
+                  in
+                  down (order - 1)
+                | Fail_fast | Skip -> raise e)
+            in
+            romq := Some r;
+            r
+        in
+        Array.map (fun m -> eval_measure nm moments rom_of m) marr
+      in
+      let rec point_try attempt =
+        match eval_once attempt with
+        | row ->
+          if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
+          Ok row
+        | exception e ->
+          let err = Err.classify e in
+          Obs.Metrics.incr "sweep.fault.seen";
+          (* A non-finite moment is a pure function of the inputs:
+             re-running cannot change it, so don't burn attempts. *)
+          let retryable = err.Err.kind <> Err.Nonfinite_result in
+          if retryable && attempt + 1 < max_attempts then begin
+            Obs.Metrics.incr "sweep.fault.retried";
+            point_try (attempt + 1)
+          end
+          else Error (err, attempt + 1)
+      in
+      match point_try 0 with
+      | Ok row -> Array.iteri (fun j v -> vals.(j).(li) <- v) row
+      | Error (err, attempts) -> (
+        match policy with
+        | Fail_fast -> raise (Err.Error err)
+        | Skip | Retry _ ->
+          Obs.Metrics.incr "sweep.fault.quarantined";
+          failed_arr.(li) <- Some { point = i; attempts; error = err })
+    done);
+  let failed =
+    Array.to_list failed_arr |> List.filter_map (fun fp -> fp)
   in
-  let record_done (c : Runtime.Chunk.t) =
-    match checkpoint with
-    | None -> ()
-    | Some path ->
-      let record = chunk_record c in
-      Mutex.lock ckpt_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock ckpt_mutex)
-        (fun () ->
-          Hashtbl.replace ckpt_records c.index record;
-          Obs.Metrics.incr "sweep.checkpoint.chunks_written";
-          incr since_write;
-          if !since_write >= checkpoint_every then begin
-            since_write := 0;
-            write_checkpoint path
-          end)
+  { c_index = idx; c_lo = c.lo; c_len = c.len; c_vals = vals;
+    c_failed = failed }
+
+(* ------------------------------------------------------------------ *)
+(* Chunk records: the checkpoint on-disk shape, also the wire shape of
+   a remotely evaluated chunk.  [chunk_result_of_json] validates against
+   the prep's layout, so a record from an untrusted peer (or a stale
+   file) cannot scribble outside its chunk. *)
+
+let chunk_result_to_json r =
+  let open Obs.Json in
+  let vals_json =
+    List
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              List (List.init r.c_len (fun li -> Str (hexbits row.(li)))))
+            r.c_vals))
   in
-  (* ---- resume: restore completed chunks bit-exactly ---- *)
-  let restore_chunk ~path record =
-    let bad fmt =
-      Printf.ksprintf
-        (fun msg ->
-          Err.raise_error Artifact_corrupt ~where:"sweep.checkpoint"
-            ~file:path msg)
-        fmt
-    in
-    let geti k =
-      match Obs.Json.member k record with
-      | Some (Obs.Json.Num v) -> int_of_float v
-      | _ -> bad "chunk record missing %s" k
-    in
-    let lo = geti "lo" in
-    let len = geti "len" in
-    if lo < 0 || len < 1 || lo + len > n || lo mod blk <> 0 then
-      bad "chunk [%d, +%d) does not fit the %d-point grid" lo len n;
-    let idx = lo / blk in
-    if chunks.(idx).lo <> lo || chunks.(idx).len <> len then
-      bad "chunk [%d, +%d) disagrees with the block-%d layout" lo len blk;
-    (match Obs.Json.member "vals" record with
-    | Some (Obs.Json.List rows) ->
-      if List.length rows <> nmeas then
-        bad "chunk at %d has %d measure rows, expected %d" lo
-          (List.length rows) nmeas;
-      List.iteri
-        (fun j row ->
-          match row with
-          | Obs.Json.List cells when List.length cells = len ->
-            List.iteri
-              (fun li cell ->
-                match cell with
-                | Obs.Json.Str hex -> (
-                  match Int64.of_string_opt ("0x" ^ hex) with
-                  | Some bits -> vals.(j).(lo + li) <- Int64.float_of_bits bits
-                  | None -> bad "bad float bits %S at %d" hex (lo + li))
-                | _ -> bad "non-hex value cell at %d" (lo + li))
-              cells
-          | _ -> bad "malformed measure row %d of chunk at %d" j lo)
-        rows
-    | _ -> bad "chunk at %d has no vals" lo);
-    (match Obs.Json.member "failed" record with
+  Obj
+    [
+      ("lo", Num (float_of_int r.c_lo));
+      ("len", Num (float_of_int r.c_len));
+      ("vals", vals_json);
+      ("failed", List (List.map failed_point_json r.c_failed));
+    ]
+
+let chunk_result_of_json ?file p record =
+  let bad fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Err.raise_error Artifact_corrupt ~where:"sweep.checkpoint" ?file msg)
+      fmt
+  in
+  let geti k =
+    match Obs.Json.member k record with
+    | Some (Obs.Json.Num v) -> int_of_float v
+    | _ -> bad "chunk record missing %s" k
+  in
+  let lo = geti "lo" in
+  let len = geti "len" in
+  let n = p.p_n and blk = p.p_block in
+  let nmeas = Array.length p.p_marr in
+  if lo < 0 || len < 1 || lo + len > n || lo mod blk <> 0 then
+    bad "chunk [%d, +%d) does not fit the %d-point grid" lo len n;
+  let idx = lo / blk in
+  if p.p_chunks.(idx).lo <> lo || p.p_chunks.(idx).len <> len then
+    bad "chunk [%d, +%d) disagrees with the block-%d layout" lo len blk;
+  let vals = Array.init nmeas (fun _ -> Array.make len nan) in
+  (match Obs.Json.member "vals" record with
+  | Some (Obs.Json.List rows) ->
+    if List.length rows <> nmeas then
+      bad "chunk at %d has %d measure rows, expected %d" lo (List.length rows)
+        nmeas;
+    List.iteri
+      (fun j row ->
+        match row with
+        | Obs.Json.List cells when List.length cells = len ->
+          List.iteri
+            (fun li cell ->
+              match cell with
+              | Obs.Json.Str hex -> (
+                match Int64.of_string_opt ("0x" ^ hex) with
+                | Some bits -> vals.(j).(li) <- Int64.float_of_bits bits
+                | None -> bad "bad float bits %S at %d" hex (lo + li))
+              | _ -> bad "non-hex value cell at %d" (lo + li))
+            cells
+        | _ -> bad "malformed measure row %d of chunk at %d" j lo)
+      rows
+  | _ -> bad "chunk at %d has no vals" lo);
+  let failed =
+    match Obs.Json.member "failed" record with
     | Some (Obs.Json.List fps) ->
-      List.iter
+      List.map
         (fun fj ->
           let fgeti k =
             match Obs.Json.member k fj with
@@ -404,187 +547,145 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
             | Some ej -> error_of_json ej
             | None -> bad "failed point %d has no error" point
           in
-          failed_arr.(point) <- Some { point; attempts = fgeti "attempts"; error })
+          { point; attempts = fgeti "attempts"; error })
         fps
-    | _ -> bad "chunk at %d has no failed list" lo);
-    done_chunks.(idx) <- true;
-    Hashtbl.replace ckpt_records idx record;
-    Obs.Metrics.incr "sweep.checkpoint.chunks_resumed"
+    | _ -> bad "chunk at %d has no failed list" lo
   in
-  (match checkpoint with
-  | Some path when resume && Sys.file_exists path -> (
-    let data = In_channel.with_open_bin path In_channel.input_all in
-    let doc =
-      match Obs.Json.of_string data with
-      | Ok d -> d
-      | Error msg ->
-        Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
-          "unreadable checkpoint: %s" msg
+  { c_index = idx; c_lo = lo; c_len = len; c_vals = vals; c_failed = failed }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: one writer per run, shared by however many domains
+   (or remote-result merges) complete chunks.  The file is rewritten
+   whole — records sorted by chunk index — so its bytes are a pure
+   function of the completed-chunk set, whatever order completions
+   arrived in. *)
+
+module Checkpoint = struct
+  type writer = {
+    w_path : string;
+    w_key : string;
+    w_points : int;
+    w_every : int;
+    w_mutex : Mutex.t;
+    w_records : (int, Obs.Json.t) Hashtbl.t;
+    mutable w_since : int;
+  }
+
+  let writer p ~path ~every =
+    if every < 1 then invalid_arg "Sweep.Checkpoint.writer: every must be >= 1";
+    {
+      w_path = path;
+      w_key = p.p_key;
+      w_points = p.p_n;
+      w_every = every;
+      w_mutex = Mutex.create ();
+      w_records = Hashtbl.create 64;
+      w_since = 0;
+    }
+
+  (* Called with [w_mutex] held. *)
+  let write_locked w =
+    let recs =
+      Hashtbl.fold (fun idx _ acc -> idx :: acc) w.w_records []
+      |> List.sort compare
+      |> List.map (fun idx -> Hashtbl.find w.w_records idx)
     in
-    (match Obs.Json.member "schema" doc with
-    | Some (Obs.Json.Str s) when s = ckpt_schema -> ()
-    | _ ->
-      Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
-        "not a %s file" ckpt_schema);
-    (match Obs.Json.member "key" doc with
-    | Some (Obs.Json.Str k) when k = ckpt_key -> ()
-    | _ ->
-      Err.errorf Invalid_request ~where:"sweep.checkpoint" ~file:path
-        "checkpoint was written by a different sweep (plan, seed, model, \
-         block, measures, or policy changed); delete it or drop --resume");
-    match Obs.Json.member "chunks" doc with
-    | Some (Obs.Json.List recs) -> List.iter (restore_chunk ~path) recs
-    | _ ->
-      Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
-        "checkpoint has no chunks")
-  | _ -> ());
-  (* ---- evaluate the remaining chunks ---- *)
-  let prog = Model.program model in
-  let process_chunk ~worker:_ (c : Runtime.Chunk.t) =
-    if not done_chunks.(c.index) then begin
-      let sub = Array.map (fun col -> Array.sub col c.lo c.len) cols in
-      (* Chunk stage: batched moment evaluation.  A fault here (injected
-         worker crash, injected kernel fault) is retried chunk-wise under
-         Retry; a permanent one quarantines the whole chunk under Skip. *)
-      let mcols =
-        let rec go attempt =
-          match
-            Runtime.Fault.cut "pool.worker" ~key:c.lo ~attempt;
-            Slp.eval_batch ~block:blk ~jobs:1 prog sub
-          with
-          | m ->
-            if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
-            Ok m
-          | exception e ->
-            let err = Err.classify e in
-            Obs.Metrics.incr "sweep.fault.seen";
-            if attempt + 1 < max_attempts then begin
-              Obs.Metrics.incr "sweep.fault.retried";
-              go (attempt + 1)
-            end
-            else Error (err, attempt + 1)
-        in
-        go 0
-      in
-      (match mcols with
-      | Error (err, attempts) -> (
-        match policy with
-        | Fail_fast -> raise (Err.Error err)
-        | Skip | Retry _ ->
-          Obs.Metrics.add "sweep.fault.quarantined" c.len;
-          for li = 0 to c.len - 1 do
-            let i = c.lo + li in
-            failed_arr.(i) <-
-              Some
-                {
-                  point = i;
-                  attempts;
-                  error =
-                    {
-                      err with
-                      Err.context =
-                        ("point", string_of_int i) :: err.Err.context;
-                    };
-                }
-          done)
-      | Ok mcols ->
-        (* Point stage: measure finish with per-point isolation. *)
-        let moments = Array.make nm 0.0 in
-        for li = 0 to c.len - 1 do
-          let i = c.lo + li in
-          let eval_once attempt =
-            Runtime.Fault.cut "sweep.point" ~key:i ~attempt;
-            for k = 0 to nm - 1 do
-              moments.(k) <- mcols.(k).(li)
-            done;
-            for k = 0 to nm - 1 do
-              if not (Float.is_finite moments.(k)) then
-                Err.errorf Nonfinite_result ~where:"sweep.point"
-                  ~context:
-                    [
-                      ("point", string_of_int i);
-                      ("moment", Printf.sprintf "m%d" k);
-                    ]
-                  "compiled moment m%d is non-finite (%h) at point %d" k
-                  moments.(k) i
-            done;
-            let romq = ref None in
-            let rom_of () =
-              match !romq with
-              | Some r -> r
-              | None ->
-                let r =
-                  match Awe.Pade.fit ~order moments with
-                  | rom -> rom
-                  | exception (Awe.Pade.Degenerate _ as e) -> (
-                    match policy with
-                    | Retry _ ->
-                      (* Order-reduction fallback: an unstable or
-                         degenerate fit at q often fits fine at q-1
-                         (fewer spurious poles chasing noise moments). *)
-                      let rec down q =
-                        if q < 1 then raise e
-                        else
-                          match Awe.Pade.fit ~order:q moments with
-                          | rom ->
-                            Obs.Metrics.incr "sweep.fault.order_reduced";
-                            rom
-                          | exception Awe.Pade.Degenerate _ -> down (q - 1)
-                      in
-                      down (order - 1)
-                    | Fail_fast | Skip -> raise e)
-                in
-                romq := Some r;
-                r
-            in
-            Array.map (fun m -> eval_measure nm moments rom_of m) marr
-          in
-          let rec point_try attempt =
-            match eval_once attempt with
-            | row ->
-              if attempt > 0 then Obs.Metrics.incr "sweep.fault.recovered";
-              Ok row
-            | exception e ->
-              let err = Err.classify e in
-              Obs.Metrics.incr "sweep.fault.seen";
-              (* A non-finite moment is a pure function of the inputs:
-                 re-running cannot change it, so don't burn attempts. *)
-              let retryable = err.Err.kind <> Err.Nonfinite_result in
-              if retryable && attempt + 1 < max_attempts then begin
-                Obs.Metrics.incr "sweep.fault.retried";
-                point_try (attempt + 1)
-              end
-              else Error (err, attempt + 1)
-          in
-          match point_try 0 with
-          | Ok row ->
-            Array.iteri (fun j v -> vals.(j).(i) <- v) row
-          | Error (err, attempts) -> (
-            match policy with
-            | Fail_fast -> raise (Err.Error err)
-            | Skip | Retry _ ->
-              Obs.Metrics.incr "sweep.fault.quarantined";
-              failed_arr.(i) <- Some { point = i; attempts; error = err })
-        done);
-      record_done c
-    end
-  in
-  Runtime.iter_chunks ~jobs ~n ~block:blk process_chunk;
-  (* Final checkpoint write: the on-disk state reflects the finished run
-     whatever checkpoint_every was. *)
-  (match checkpoint with
-  | Some path ->
-    Mutex.lock ckpt_mutex;
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str ckpt_schema);
+          ("key", Obs.Json.Str w.w_key);
+          ("points", Obs.Json.Num (float_of_int w.w_points));
+          ("chunks", Obs.Json.List recs);
+        ]
+    in
+    let dir = Filename.dirname w.w_path in
+    if dir <> "." && not (Sys.file_exists dir) then Cache.ensure_dir dir;
+    Cache.atomic_write w.w_path (fun tmp ->
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc)))
+
+  let add ?(written = true) w r =
+    Mutex.lock w.w_mutex;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock ckpt_mutex)
+      ~finally:(fun () -> Mutex.unlock w.w_mutex)
       (fun () ->
-        since_write := 0;
-        write_checkpoint path)
-  | None -> ());
-  (* ---- statistics over surviving points ---- *)
-  let failed =
-    Array.to_list failed_arr |> List.filter_map (fun fp -> fp)
-  in
+        Hashtbl.replace w.w_records r.c_index (chunk_result_to_json r);
+        if written then begin
+          Obs.Metrics.incr "sweep.checkpoint.chunks_written";
+          w.w_since <- w.w_since + 1;
+          if w.w_since >= w.w_every then begin
+            w.w_since <- 0;
+            write_locked w
+          end
+        end)
+
+  let flush w =
+    Mutex.lock w.w_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock w.w_mutex)
+      (fun () ->
+        w.w_since <- 0;
+        write_locked w)
+
+  let load p ~path =
+    if not (Sys.file_exists path) then []
+    else begin
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let doc =
+        match Obs.Json.of_string data with
+        | Ok d -> d
+        | Error msg ->
+          Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+            "unreadable checkpoint: %s" msg
+      in
+      (match Obs.Json.member "schema" doc with
+      | Some (Obs.Json.Str s) when s = ckpt_schema -> ()
+      | _ ->
+        Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+          "not a %s file" ckpt_schema);
+      (match Obs.Json.member "key" doc with
+      | Some (Obs.Json.Str k) when k = p.p_key -> ()
+      | _ ->
+        Err.errorf Invalid_request ~where:"sweep.checkpoint" ~file:path
+          "checkpoint was written by a different sweep (plan, seed, model, \
+           block, measures, or policy changed); delete it or drop --resume");
+      match Obs.Json.member "chunks" doc with
+      | Some (Obs.Json.List recs) ->
+        List.map (chunk_result_of_json ~file:path p) recs
+      | _ ->
+        Err.errorf Artifact_corrupt ~where:"sweep.checkpoint" ~file:path
+          "checkpoint has no chunks"
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Merge + statistics: deterministic in the chunk-index order of the
+   results array, independent of which domain or node produced each
+   chunk. *)
+
+let finish p (results : chunk_result option array) =
+  Array.iteri
+    (fun i r ->
+      if r = None then
+        Err.errorf Internal ~where:"sweep.finish"
+          "chunk %d was never evaluated" i)
+    results;
+  let n = p.p_n in
+  let marr = p.p_marr in
+  let nmeas = Array.length marr in
+  let vals = Array.init nmeas (fun _ -> Array.make n nan) in
+  let failed_arr : failed_point option array = Array.make n None in
+  Array.iter
+    (function
+      | Some r ->
+        for j = 0 to nmeas - 1 do
+          Array.blit r.c_vals.(j) 0 vals.(j) r.c_lo r.c_len
+        done;
+        List.iter (fun fp -> failed_arr.(fp.point) <- Some fp) r.c_failed
+      | None -> ())
+    results;
+  let failed = Array.to_list failed_arr |> List.filter_map (fun fp -> fp) in
   let n_failed = List.length failed in
   let n_survive = n - n_failed in
   if n_survive = 0 && n > 0 then begin
@@ -594,9 +695,9 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
          {
            first.error with
            Err.message =
-             Printf.sprintf "every point of the %d-point sweep failed; \
-                             first error: %s"
-               n first.error.Err.message;
+             Printf.sprintf
+               "every point of the %d-point sweep failed; first error: %s" n
+               first.error.Err.message;
          })
   end;
   let filter row =
@@ -621,6 +722,7 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
     let rec go j = if marr.(j) = m then j else go (j + 1) in
     go 0
   in
+  let specs = p.p_specs in
   let spec_yields =
     List.map
       (fun s ->
@@ -641,7 +743,63 @@ let run ?(seed = 42) ?block ?jobs ?(measures = default_measures) ?(specs = [])
       Some (float_of_int !ok /. float_of_int n_survive)
     end
   in
-  { seed; plan; n; order; policy; summaries; spec_yields; yield; failed }
+  {
+    seed = p.p_seed;
+    plan = p.p_plan;
+    n;
+    order = p.p_order;
+    policy = p.p_policy;
+    summaries;
+    spec_yields;
+    yield;
+    failed;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 42) ?block ?jobs ?measures ?specs ?policy ?checkpoint
+    ?(resume = false) ?(checkpoint_every = 1) model plan =
+  Obs.Span.with_ ~name:"sweep.run" @@ fun () ->
+  let jobs =
+    match jobs with Some j -> Int.max 1 j | None -> Runtime.default_jobs ()
+  in
+  if checkpoint_every < 1 then
+    invalid_arg "Sweep.run: checkpoint_every must be >= 1";
+  let p = prepare ~seed ?block ~jobs ?measures ?specs ?policy model plan in
+  if !Obs.enabled then begin
+    Obs.Metrics.incr "sweep.run.count";
+    Obs.Metrics.add "sweep.run.points" p.p_n
+  end;
+  let results : chunk_result option array =
+    Array.make (Array.length p.p_chunks) None
+  in
+  let writer =
+    Option.map
+      (fun path -> Checkpoint.writer p ~path ~every:checkpoint_every)
+      checkpoint
+  in
+  (* ---- resume: restore completed chunks bit-exactly ---- *)
+  (match (checkpoint, writer) with
+  | Some path, Some w when resume ->
+    List.iter
+      (fun r ->
+        results.(r.c_index) <- Some r;
+        Checkpoint.add ~written:false w r;
+        Obs.Metrics.incr "sweep.checkpoint.chunks_resumed")
+      (Checkpoint.load p ~path)
+  | _ -> ());
+  (* ---- evaluate the remaining chunks ---- *)
+  Runtime.iter_chunks ~jobs ~n:p.p_n ~block:p.p_block
+    (fun ~worker:_ (c : Runtime.Chunk.t) ->
+      if results.(c.index) = None then begin
+        let r = eval_chunk p c.index in
+        results.(c.index) <- Some r;
+        match writer with Some w -> Checkpoint.add w r | None -> ()
+      end);
+  (* Final checkpoint write: the on-disk state reflects the finished run
+     whatever checkpoint_every was. *)
+  (match writer with Some w -> Checkpoint.flush w | None -> ());
+  finish p results
 
 let schema = "awesymbolic-sweep/2"
 

@@ -115,6 +115,114 @@ val survivors : result -> int
 val default_measures : measure list
 (** [Dc_gain; Dominant_pole_hz; Delay_50]. *)
 
+(** {2 Staged API}
+
+    {!run} is built from three reusable stages — [prepare] (everything a
+    chunk evaluation depends on), [eval_chunk] (one chunk, no shared
+    state), [finish] (deterministic merge + statistics) — exposed so the
+    distributed coordinator ([Dsweep]) and the serve daemon's
+    [sweep_chunk] worker op can execute the {e same} sweep chunk-by-chunk
+    across processes and machines.  A [prep] built from equal inputs is
+    bit-identical everywhere ([Plan.columns] is jobs-invariant), so
+    [eval_chunk prep i] returns the same bytes on any node. *)
+
+type prep
+(** Prepared sweep: validated inputs, materialized input columns, the
+    deterministic chunk layout, and the checkpoint key. *)
+
+val prepare :
+  ?seed:int ->
+  ?block:int ->
+  ?jobs:int ->
+  ?measures:measure list ->
+  ?specs:spec list ->
+  ?policy:policy ->
+  Awesymbolic.Model.t ->
+  Plan.t ->
+  prep
+(** Validate and materialize a sweep (defaults as in {!run}).  [jobs]
+    only parallelizes column sampling — it never changes the values.
+    Raises [Awesym_error.Error] (kind [Invalid_request]) on a [Moment k]
+    beyond the model's moments or a non-positive retry count. *)
+
+val prep_key : prep -> string
+(** The checkpoint key: hex MD5 binding plan, seed, order, block,
+    measures, specs, policy, and the model's shape.  Two preps with
+    equal keys evaluate chunks identically; the distributed protocol
+    uses key equality as its skew handshake. *)
+
+val prep_points : prep -> int
+(** Total points [n]. *)
+
+val prep_num_chunks : prep -> int
+(** Number of chunks in the deterministic layout. *)
+
+val prep_block : prep -> int
+(** The resolved chunk block size — what a distributed work item must
+    carry so the worker rebuilds the very same layout. *)
+
+val prep_measures : prep -> measure list
+(** The summarized measure set (requested measures with spec measures
+    unioned in, in report order). *)
+
+type chunk_result
+(** One evaluated chunk: measure values for its points plus any
+    quarantined failures.  Opaque; move it between nodes via
+    {!chunk_result_to_json}. *)
+
+val chunk_index : chunk_result -> int
+(** Index of this chunk in the prep's layout. *)
+
+val eval_chunk : prep -> int -> chunk_result
+(** Evaluate chunk [i]: batched moment evaluation, per-point measure
+    finish, fault policy applied exactly as in {!run} (same fault sites,
+    same retry/quarantine decisions — they are pure functions of the
+    data).  Raises under [Fail_fast] on the first fault, and
+    [Invalid_request] on an out-of-range index. *)
+
+val chunk_result_to_json : chunk_result -> Obs.Json.t
+(** The checkpoint record shape [{lo; len; vals; failed}], floats as
+    IEEE-754 hex bit patterns — byte-exact across the wire. *)
+
+val chunk_result_of_json : ?file:string -> prep -> Obs.Json.t -> chunk_result
+(** Parse and validate a chunk record against the prep's layout
+    (bounds, block alignment, measure-row count).  Raises
+    [Artifact_corrupt] on any mismatch — a hostile or stale record
+    cannot scribble outside its chunk.  [file] names the source in
+    error messages. *)
+
+val finish : prep -> chunk_result option array -> result
+(** Merge chunk results (slot [i] = chunk [i]) and compute statistics.
+    The merge is by chunk index, so the result is independent of which
+    domain or node produced each chunk.  Raises [Internal] if any slot
+    is [None], and (kind of the first failure) when every point was
+    quarantined. *)
+
+(** Checkpoint files (schema ["awesymbolic-ckpt/1"]) shared by {!run}
+    and the distributed coordinator: one writer per run, rewritten
+    atomically so the bytes are a pure function of the completed-chunk
+    set. *)
+module Checkpoint : sig
+  type writer
+
+  val writer : prep -> path:string -> every:int -> writer
+  (** A writer flushing after [every] newly completed chunks (>= 1). *)
+
+  val add : ?written:bool -> writer -> chunk_result -> unit
+  (** Record a completed chunk (thread-safe).  [written] (default true)
+      counts the chunk toward the flush cadence and the
+      [sweep.checkpoint.chunks_written] counter; pass [false] for
+      restored chunks that are only being re-registered. *)
+
+  val flush : writer -> unit
+  (** Write the file now, whatever the cadence. *)
+
+  val load : prep -> path:string -> chunk_result list
+  (** Restore completed chunks from [path]; a missing file is an empty
+      list.  Raises [Artifact_corrupt] on unreadable/malformed files and
+      [Invalid_request] when the key was written by a different sweep. *)
+end
+
 val run :
   ?seed:int ->
   ?block:int ->

@@ -196,3 +196,53 @@ let to_json t =
   match t.kind with
   | Grid n -> Obj (base @ [ ("per_axis", Num (float_of_int n)) ])
   | _ -> Obj base
+
+(* Inverse of [to_json], revalidated through [make] so a decoded plan
+   obeys every constructor invariant (no duplicate axes, sane point
+   counts, bounded cartesian kinds).  ["points"] is authoritative for the
+   sampled kinds and ignored for corners/grid, where it is derived. *)
+let of_json j =
+  let open Obs.Json in
+  let int_field k =
+    match member k j with
+    | Some (Num v) when Float.is_integer v -> Ok (int_of_float v)
+    | _ -> Error (Printf.sprintf "plan needs an integer %S field" k)
+  in
+  let axis = function
+    | Obj _ as a -> (
+      match (member "symbol" a, member "dist" a) with
+      | Some (Str name), Some dj -> (
+        match Dist.of_json dj with
+        | Ok dist -> Ok { name; dist }
+        | Error m -> Error (Printf.sprintf "axis %s: %s" name m))
+      | _ -> Error "plan axis needs \"symbol\" and \"dist\" fields")
+    | _ -> Error "plan axes must be objects"
+  in
+  let axes =
+    match member "axes" j with
+    | Some (List xs) ->
+      List.fold_left
+        (fun acc x ->
+          match (acc, axis x) with
+          | Ok done_, Ok a -> Ok (a :: done_)
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        (Ok []) xs
+      |> Result.map List.rev
+    | _ -> Error "plan needs an \"axes\" list"
+  in
+  let kind =
+    match member "kind" j with
+    | Some (Str "monte-carlo") -> Result.map (fun n -> Monte_carlo n) (int_field "points")
+    | Some (Str "latin-hypercube") ->
+      Result.map (fun n -> Latin_hypercube n) (int_field "points")
+    | Some (Str "corners") -> Ok Corners
+    | Some (Str "grid") -> Result.map (fun n -> Grid n) (int_field "per_axis")
+    | Some (Str k) -> Error (Printf.sprintf "unknown plan kind %S" k)
+    | _ -> Error "plan needs a string \"kind\" field"
+  in
+  match (kind, axes) with
+  | Ok k, Ok axs -> (
+    match make k axs with
+    | p -> Ok p
+    | exception Invalid_argument m -> Error m)
+  | (Error _ as e), _ | _, (Error _ as e) -> e

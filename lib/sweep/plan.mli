@@ -50,3 +50,9 @@ val columns :
 
 val to_json : t -> Obs.Json.t
 (** Plan descriptor recorded in sweep results (kind, point count, axes). *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}, revalidated through {!make}.  Floats
+    round-trip bit-exactly (see [Obs.Json]), so a plan decoded on a
+    distributed-sweep worker samples the very same points as the
+    coordinator's original. *)

@@ -1290,25 +1290,27 @@ let test_cache_gc_kernels () =
     p
   in
   let old_awm = put "old.awm" 1000 300.0 in
+  let old_ckpt = put "orphan-sweep.ckpt" 1000 250.0 in
   let old_cmxs = put "old-kernel.cmxs" 1000 200.0 in
   let new_awm = put "new.awm" 1000 10.0 in
   let new_cmxs = put "new-kernel.cmxs" 1000 5.0 in
   let tmp = put ".awesym-leftover.tmp" 50 0.0 in
   let bad = put "stale-kernel.cmxs.bad" 50 0.0 in
-  (* A budget holding the two newest entries: the two oldest go — one of
-     each extension, proving kernels and artifacts share the pool — and
-     the sweep removes .tmp/.bad regardless of their size or age. *)
+  (* A budget holding the two newest entries: the three oldest go — one
+     of each extension, proving artifacts, kernels, and orphaned sweep
+     checkpoints share the pool — and the sweep removes .tmp/.bad
+     regardless of their size or age. *)
   let stats = Cache.gc ~dir ~max_bytes:2000 () in
-  Alcotest.(check int) "scanned entries (post-sweep)" 4 stats.Cache.scanned;
-  Alcotest.(check int) "evicted oldest two" 2 stats.Cache.deleted;
-  Alcotest.(check int) "bytes before" 4000 stats.Cache.bytes_before;
+  Alcotest.(check int) "scanned entries (post-sweep)" 5 stats.Cache.scanned;
+  Alcotest.(check int) "evicted oldest three" 3 stats.Cache.deleted;
+  Alcotest.(check int) "bytes before" 5000 stats.Cache.bytes_before;
   Alcotest.(check int) "bytes after fits budget" 2000 stats.Cache.bytes_after;
   List.iter
     (fun (p, expect) ->
       Alcotest.(check bool) (Filename.basename p) expect (Sys.file_exists p))
     [
-      (old_awm, false); (old_cmxs, false); (new_awm, true); (new_cmxs, true);
-      (tmp, false); (bad, false);
+      (old_awm, false); (old_ckpt, false); (old_cmxs, false);
+      (new_awm, true); (new_cmxs, true); (tmp, false); (bad, false);
     ];
   (* A second run under the same budget is a no-op. *)
   let again = Cache.gc ~dir ~max_bytes:2000 () in

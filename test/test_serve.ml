@@ -92,6 +92,35 @@ let gen_request =
          let* points = gen_points in
          let* deadline_ms = option (map Float.abs float) in
          return (Protocol.Eval { Protocol.model; points; deadline_ms }));
+        (let* sc_model = string_printable in
+         let* sc_seed = nat in
+         let* sc_block = int_range 1 512 in
+         let* sc_measures = small_list string_printable in
+         let* sc_specs = small_list string_printable in
+         let* sc_policy = oneofl [ "fail_fast"; "skip"; "retry:2" ] in
+         let* sc_chunk = nat in
+         let* sc_key = string_printable in
+         let* sc_deadline_ms = option (map Float.abs float) in
+         let* pts = int_range 1 64 in
+         return
+           (Protocol.Sweep_chunk
+              {
+                Protocol.sc_model;
+                sc_plan =
+                  Json.Obj
+                    [
+                      ("kind", Json.Str "monte-carlo");
+                      ("points", Json.Num (float_of_int pts));
+                    ];
+                sc_seed;
+                sc_block;
+                sc_measures;
+                sc_specs;
+                sc_policy;
+                sc_chunk;
+                sc_key;
+                sc_deadline_ms;
+              }));
       ])
 
 let gen_id =
@@ -153,6 +182,28 @@ let gen_response =
         (let* kind = oneofl Err.all_kinds in
          let* msg = string_printable in
          return (Protocol.R_error (Err.make kind ~where:"serve.test" msg)));
+        (let* cr_digest = string_printable in
+         let* cr_key = string_printable in
+         let* cr_chunk = nat in
+         let* v = gen_weird_float in
+         return
+           (Protocol.R_chunk
+              {
+                Protocol.cr_digest;
+                cr_key;
+                cr_chunk;
+                cr_record =
+                  Json.Obj
+                    [
+                      ("lo", Json.Num 0.0);
+                      ("len", Json.Num 1.0);
+                      ( "vals",
+                        Json.List
+                          [ Json.List [ Json.Str (Protocol.hex_of_float v) ] ]
+                      );
+                      ("failed", Json.List []);
+                    ];
+              }));
       ])
 
 let prop_response_round_trip =
