@@ -1440,6 +1440,159 @@ let bechamel () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* OPTIMIZE: sizing / yield throughput on the compiled-model substrate *)
+
+let optimize_bench () =
+  banner "OPTIMIZE: gradient sizing and yield re-centering on the op-amp";
+  let nl, gname, cname = opamp_symbolic () in
+  let model = Model.build ~order:2 nl in
+  let nominals = Model.nominal_values model in
+  let nominal_of name =
+    let syms = Model.symbols model in
+    let rec find k =
+      if k >= Array.length syms then invalid_arg name
+      else if Sym.name syms.(k) = name then nominals.(k)
+      else find (k + 1)
+    in
+    find 0
+  in
+  (* Sizing explores a wide design box around the nominals ... *)
+  let axes =
+    Array.to_list
+      (Array.mapi
+         (fun k s ->
+           { Sweep.Plan.name = Sym.name s;
+             dist = Sweep.Dist.around ~nominal:nominals.(k) ~pct:50.0 })
+         (Model.symbols model))
+  in
+  (* ... while yield sees manufacturing-style spreads: lognormal on the
+     output conductance, a ±20% window on the compensation cap. *)
+  let yield_axes =
+    [
+      { Sweep.Plan.name = gname;
+        dist =
+          Sweep.Dist.lognormal ~mu:(Float.log (nominal_of gname)) ~sigma:0.15 };
+      { Sweep.Plan.name = cname;
+        dist = Sweep.Dist.around ~nominal:(nominal_of cname) ~pct:20.0 };
+    ]
+  in
+  let objective =
+    Opt.Objective.make
+      ~goal:(Opt.Objective.Maximize Sweep.Engine.Unity_gain_frequency)
+      ~specs:
+        [ { Sweep.Engine.measure = Sweep.Engine.Phase_margin;
+            bound = Sweep.Engine.Ge 60.0 } ]
+      ()
+  in
+  let size_cfg =
+    { (Opt.Sizing.default_config ~axes objective) with
+      Opt.Sizing.restarts = 3;
+      max_iters = 40 }
+  in
+  (* Spec thresholds sit just above the nominal performance, so the
+     manufacturing spread fails a solid fraction of the seed population
+     and re-centering has real work to do. *)
+  let ugf0, dc0 =
+    match
+      Sweep.Engine.point_measures model
+        [ Sweep.Engine.Unity_gain_frequency; Sweep.Engine.Dc_gain_db ]
+        nominals
+    with
+    | [ u; d ] -> (u, d)
+    | _ -> assert false
+  in
+  let yield_specs =
+    [ { Sweep.Engine.measure = Sweep.Engine.Unity_gain_frequency;
+        bound = Sweep.Engine.Ge (1.02 *. ugf0) };
+      { Sweep.Engine.measure = Sweep.Engine.Dc_gain_db;
+        bound = Sweep.Engine.Ge dc0 } ]
+  in
+  let yield_cfg =
+    { (Opt.Recenter.default_config ~axes:yield_axes ~specs:yield_specs) with
+      Opt.Recenter.points = 2000;
+      iters = 3 }
+  in
+  (* Steady-state timings: warm once, keep the best of 3. *)
+  let best3 f =
+    ignore (f ());
+    let best = ref Float.infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let r, t = wall f in
+      if t < !best then best := t;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  (* A single sizing run finishes in about a millisecond (the whole
+     point of sizing on a compiled ROM), so time a batch of them to get
+     above timer noise. *)
+  let size_reps = 100 in
+  let sized, t_size_total =
+    best3 (fun () ->
+        let last = ref None in
+        for _ = 1 to size_reps do
+          last := Some (Opt.Sizing.run model size_cfg)
+        done;
+        Option.get !last)
+  in
+  let t_size = t_size_total /. float_of_int size_reps in
+  let evals =
+    List.fold_left (fun acc r -> acc + r.Opt.Sizing.evals) 0 sized.Opt.Sizing.runs
+  in
+  let recentered, t_yield = best3 (fun () -> Opt.Recenter.run model yield_cfg) in
+  let yield_points =
+    yield_cfg.Opt.Recenter.points * List.length recentered.Opt.Recenter.history
+  in
+  let eval_pps = float_of_int evals /. t_size in
+  let yield_pps = float_of_int yield_points /. t_yield in
+  (* The determinism contract, measured end to end: report bytes across
+     jobs counts and evaluation backends. *)
+  let report req jobs =
+    Obs.Json.to_string (Opt.Request.run ~jobs model req)
+  in
+  let identical =
+    List.for_all
+      (fun req ->
+        Symbolic.Slp.set_backend Symbolic.Slp.Interp;
+        let base = report req 1 in
+        let j4 = report req 4 in
+        Codegen.install ();
+        Symbolic.Slp.set_backend Symbolic.Slp.Native;
+        let native = report req 1 in
+        Symbolic.Slp.set_backend Symbolic.Slp.Interp;
+        base = j4 && base = native)
+      [ Opt.Request.Size size_cfg; Opt.Request.Yield yield_cfg ]
+  in
+  let best_run = List.nth sized.Opt.Sizing.runs sized.Opt.Sizing.best in
+  Printf.printf "sizing: %d restarts x <=%d iters, %d evaluations in %.3f s\n"
+    (size_cfg.Opt.Sizing.restarts + 1)
+    size_cfg.Opt.Sizing.max_iters evals t_size;
+  Printf.printf "        best %s after %d iters, objective %.6g\n"
+    (Opt.Sizing.status_name sized.Opt.Sizing.status)
+    best_run.Opt.Sizing.iters best_run.Opt.Sizing.final_f;
+  Printf.printf "        %.0f objective/gradient evaluations per second\n\n"
+    eval_pps;
+  Printf.printf "yield:  %d points x %d sweeps in %.3f s (%.0f points/s)\n"
+    yield_cfg.Opt.Recenter.points
+    (List.length recentered.Opt.Recenter.history)
+    t_yield yield_pps;
+  Printf.printf "        yield %.2f%% -> %.2f%%\n"
+    (100.0 *. Opt.Recenter.initial_yield recentered)
+    (100.0 *. Opt.Recenter.final_yield recentered);
+  Printf.printf
+    "\nreports byte-identical across jobs {1,4} and backends \
+     {interp,native}: %b\n"
+    identical;
+  Obs.Metrics.add "bench.optimize.evals" evals;
+  Obs.Metrics.add "bench.optimize.eval_pps" (int_of_float eval_pps);
+  Obs.Metrics.add "bench.optimize.yield_pps" (int_of_float yield_pps);
+  Obs.Metrics.add "bench.optimize.best_iters" best_run.Opt.Sizing.iters;
+  Obs.Metrics.add "bench.optimize.final_yield_pct"
+    (int_of_float (100.0 *. Opt.Recenter.final_yield recentered));
+  Obs.Metrics.add "bench.optimize.byte_identical" (if identical then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1456,6 +1609,7 @@ let experiments =
     ("slp-codegen", codegen_bench);
     ("sweep-scaling", sweep_scaling);
     ("sweep-dist", sweep_dist);
+    ("optimize", optimize_bench);
     ("serve", serve_bench);
     ("serve-scaling", serve_scaling);
     ("ident", ident);

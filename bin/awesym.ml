@@ -17,6 +17,7 @@
      compile    build the symbolic model and save a versioned artifact
      eval       evaluate a saved model artifact at symbol values
      sweep      Monte-Carlo/LHS/corner/grid sweeps through the batch kernel
+     optimize   gradient-based sizing and yield maximization on the model
      serve      persistent evaluation daemon with micro-batched kernel calls
      call       client for a running daemon (byte-identical to eval)
      cache      model-cache maintenance (gc)
@@ -1314,6 +1315,7 @@ let version_inventory =
     ("artifact", "v" ^ string_of_int Awesymbolic.Artifact.version);
     ("kernel", Codegen.schema);
     ("sweep", Sweep.Engine.schema);
+    ("opt", Opt.Request.schema);
     ("serve", Serve.Protocol.schema);
     ("reqtrace", Serve.Reqtrace.schema);
   ]
@@ -1770,11 +1772,446 @@ let cache_cmd =
   let doc = "Operate on the content-addressed model cache." in
   Cmd.group (Cmd.info "cache" ~doc) [ gc ]
 
+(* ------------------------------------------------------------------ *)
+(* Optimization: sizing and yield maximization (see docs/OPTIMIZE.md) *)
+
+let optimize_cmd =
+  let module J = Obs.Json in
+  let jnum j name =
+    match J.member name j with Some (J.Num v) -> Some v | _ -> None
+  in
+  let jstr j name =
+    match J.member name j with Some (J.Str s) -> Some s | _ -> None
+  in
+  let jlist j name =
+    match J.member name j with Some (J.List l) -> l | _ -> []
+  in
+  let jint ?(default = 0) j name =
+    match jnum j name with Some v -> int_of_float v | None -> default
+  in
+  let print_axes indent axes =
+    List.iter
+      (fun a ->
+        match (jstr a "name", J.member "dist" a) with
+        | Some name, Some dj -> (
+          match Sweep.Dist.of_json dj with
+          | Ok d -> Printf.printf "%s%s ~ %s\n" indent name (describe_dist d)
+          | Error _ -> ())
+        | _ -> ())
+      axes
+  in
+  (* Human rendering reads the report JSON (not the typed result), so the
+     offline and remote paths print identically from the same bytes. *)
+  let print_report report =
+    match jstr report "mode" with
+    | Some "size" ->
+      let runs = jlist report "runs" in
+      let best = jint report "best" in
+      Printf.printf "optimize size: status %s (best of %d start%s: restart %d)\n"
+        (Option.value ~default:"?" (jstr report "status"))
+        (List.length runs)
+        (if List.length runs = 1 then "" else "s")
+        best;
+      (match List.nth_opt runs best with
+      | Some r ->
+        Printf.printf
+          "objective %.6g after %d accepted steps, %d evaluations\n"
+          (Option.value ~default:nan (jnum report "objective"))
+          (jint r "iters") (jint r "evals")
+      | None -> ());
+      print_newline ();
+      print_endline "sized variables:";
+      List.iter
+        (fun v ->
+          match (jstr v "name", jnum v "value") with
+          | Some n, Some x -> Printf.printf "  %-20s = %g\n" n x
+          | _ -> ())
+        (jlist report "variables");
+      (match jlist report "measures" with
+      | [] -> ()
+      | ms ->
+        print_newline ();
+        print_endline "measures at the sized point:";
+        List.iter
+          (fun m ->
+            match (jstr m "name", jnum m "value") with
+            | Some n, Some x -> Printf.printf "  %-20s = %g\n" n x
+            | _ -> ())
+          ms)
+    | Some "yield" ->
+      Printf.printf "optimize yield: %d points/iteration, seed %d\n"
+        (jint report "points") (jint report "seed");
+      print_newline ();
+      Printf.printf "%6s %10s %10s %10s\n" "iter" "yield" "passing" "survivors";
+      List.iter
+        (fun it ->
+          Printf.printf "%6d %9.2f%% %10d %10d\n" (jint it "it")
+            (100.0 *. Option.value ~default:nan (jnum it "yield"))
+            (jint it "passing") (jint it "survivors"))
+        (jlist report "iterations");
+      print_newline ();
+      Printf.printf "yield %.2f%% -> %.2f%% (%s)\n"
+        (100.0 *. Option.value ~default:nan (jnum report "initial_yield"))
+        (100.0 *. Option.value ~default:nan (jnum report "final_yield"))
+        (match J.member "improved" report with
+        | Some (J.Bool true) -> "improved"
+        | _ -> "not improved");
+      print_endline "re-centered sampling axes:";
+      print_axes "  " (jlist report "final_axes")
+    | _ -> ()
+  in
+  let emit json_path report =
+    print_report report;
+    match json_path with
+    | None -> ()
+    | Some "-" ->
+      print_newline ();
+      print_endline (J.to_string report)
+    | Some path ->
+      J.to_file path report;
+      Printf.printf "\noptimization report written to %s\n" path
+  in
+  let run obs jobs backend deck model_path order sparse cache mode varies
+      specs goal area_weight penalty_weight seed restarts iters step tol
+      points shrink require json_path checkpoint resume remote deadline_ms =
+    with_obs obs @@ fun () ->
+    with_jobs jobs @@ fun () ->
+    with_backend backend @@ fun () ->
+    let specs =
+      List.map (fun s -> or_die (Sweep.Engine.spec_of_string s)) specs
+    in
+    let goal = Option.map (fun g -> or_die (Opt.Objective.goal_of_string g)) goal in
+    if resume && checkpoint = None then
+      die "--resume needs --checkpoint FILE to resume from";
+    (* Axes resolve against symbol names/nominals; pct varies need the
+       nominal, which comes from the local model or the daemon's info. *)
+    let axes_of ~names ~nominals =
+      let nominal_of name =
+        let rec go k =
+          if k >= Array.length names then
+            die
+              (Printf.sprintf "unknown symbol %s (model has: %s)" name
+                 (String.concat ", " (Array.to_list names)))
+          else if names.(k) = name then nominals.(k)
+          else go (k + 1)
+        in
+        go 0
+      in
+      if varies = [] then
+        Array.to_list
+          (Array.mapi
+             (fun k name ->
+               { Sweep.Plan.name;
+                 dist = Sweep.Dist.around ~nominal:nominals.(k) ~pct:20.0 })
+             names)
+      else
+        List.map
+          (fun v ->
+            match or_die (parse_vary v) with
+            | name, `Dist d -> { Sweep.Plan.name; dist = d }
+            | name, `Pct p ->
+              { Sweep.Plan.name;
+                dist = Sweep.Dist.around ~nominal:(nominal_of name) ~pct:p })
+          varies
+    in
+    let request_of axes =
+      match mode with
+      | `Size ->
+        let objective =
+          Opt.Objective.make ?goal ~area_weight ~penalty_weight ~specs ()
+        in
+        let cfg = Opt.Sizing.default_config ~axes objective in
+        Opt.Request.Size
+          {
+            cfg with
+            Opt.Sizing.seed;
+            restarts;
+            max_iters = Option.value iters ~default:cfg.Opt.Sizing.max_iters;
+            step0 = step;
+            tol;
+          }
+      | `Yield ->
+        let cfg = Opt.Recenter.default_config ~axes ~specs in
+        Opt.Request.Yield
+          {
+            cfg with
+            Opt.Recenter.points;
+            iters = Option.value iters ~default:cfg.Opt.Recenter.iters;
+            shrink;
+            seed;
+          }
+    in
+    match remote with
+    | Some addr ->
+      if checkpoint <> None || resume then
+        die "--checkpoint/--resume run locally; drop them with --remote";
+      let model_path =
+        match model_path with
+        | Some p -> p
+        | None -> die "--remote needs --model PATH (resolved on the server)"
+      in
+      let fail e = die (Awesym_error.to_string e) in
+      (match Serve.Client.connect_retry addr with
+      | Error e -> fail e
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            let info =
+              match Serve.Client.info c model_path with
+              | Error e -> fail e
+              | Ok i -> i
+            in
+            let axes =
+              axes_of ~names:info.Serve.Protocol.symbols
+                ~nominals:info.Serve.Protocol.nominals
+            in
+            let req = request_of axes in
+            match
+              Serve.Client.optimize c
+                {
+                  Serve.Protocol.op_model = model_path;
+                  op_request = Opt.Request.to_json req;
+                  op_deadline_ms = deadline_ms;
+                }
+            with
+            | Error e -> fail e
+            | Ok o ->
+              let report = o.Serve.Protocol.or_report in
+              if require then
+                (match jstr report "status" with
+                | Some ("max_iters" | "no_descent") ->
+                  emit json_path report;
+                  die "sizing did not converge (see the trajectory above)"
+                | _ -> ());
+              emit json_path report))
+    | None ->
+      let model =
+        match (model_path, deck) with
+        | Some _, Some _ -> die "give either a DECK or --model, not both"
+        | None, None -> die "need a DECK or --model FILE"
+        | Some p, None -> load_model p
+        | None, Some d ->
+          let nl = or_die (read_netlist d) in
+          if cache then Awesymbolic.Model.build_cached ~order ~sparse nl
+          else Awesymbolic.Model.build ~order ~sparse nl
+      in
+      let names =
+        Array.map Symbolic.Symbol.name (Awesymbolic.Model.symbols model)
+      in
+      let nominals = Awesymbolic.Model.nominal_values model in
+      let req = request_of (axes_of ~names ~nominals) in
+      let report =
+        Opt.Request.run ?checkpoint ~resume ~require model req
+      in
+      emit json_path report
+  in
+  let deck_opt_arg =
+    let doc = "Input netlist deck (alternative to --model)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DECK" ~doc)
+  in
+  let sparse_arg =
+    Arg.(value & flag & info [ "sparse" ] ~doc:"Use the sparse factorization.")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Consult and populate the content-addressed model cache when \
+             building from a deck.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("size", `Size); ("yield", `Yield) ]) `Size
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,size) (default): projected-gradient sizing of the --vary \
+             symbols against --goal/--spec.  $(b,yield): iteratively \
+             re-center the --vary sampling distributions toward the --spec \
+             region to maximize Monte-Carlo yield.")
+  in
+  let vary_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "vary" ] ~docv:"NAME=DIST"
+          ~doc:
+            "Design variable and its range: NAME=pct:P, NAME=uniform:LO:HI, \
+             NAME=normal:MEAN:STD, or NAME=lognormal:MU:SIGMA.  In size \
+             mode the distribution's bounds become the box constraints; in \
+             yield mode it is the sampling distribution.  Repeatable; \
+             default: every symbol at pct:20.")
+  in
+  let spec_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "spec" ] ~docv:"MEASURE<=LIMIT"
+          ~doc:
+            "Design requirement, e.g. 'phase_margin>=60'.  Repeatable.  \
+             Size mode penalizes violations (squared normalized hinge); \
+             yield mode re-centers toward points passing every spec.")
+  in
+  let goal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"DIR:MEASURE"
+          ~doc:
+            "Size-mode scalar goal, e.g. 'minimize:delay_50' or \
+             'maximize:unity_gain_frequency'.")
+  in
+  let area_weight_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "area-weight" ] ~docv:"W"
+          ~doc:
+            "Size mode: weight of the area proxy (sum of |value|/|nominal| \
+             over the varied symbols).")
+  in
+  let penalty_weight_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "penalty-weight" ] ~docv:"W"
+          ~doc:"Size mode: weight of the squared spec-violation hinges.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Obs.Rng seed for restart starting points (size) or sweep \
+             sampling (yield); recorded in the report.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:
+            "Size mode: extra seeded starting points beyond the nominal \
+             one; the best run wins.")
+  in
+  let iters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iters" ] ~docv:"N"
+          ~doc:
+            "Iteration budget: accepted descent steps per restart (size, \
+             default 50) or re-centering iterations (yield, default 4).")
+  in
+  let step_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "step" ] ~docv:"S"
+          ~doc:"Size mode: initial normalized step length (axes map to \
+                [0,1]).")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "tol" ] ~docv:"T"
+          ~doc:
+            "Size mode: convergence tolerance on the projected-gradient \
+             infinity norm in normalized coordinates.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Yield mode: Monte-Carlo points per iteration.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "shrink" ] ~docv:"F"
+          ~doc:
+            "Yield mode: per-iteration width/sigma multiplier in (0, 1] \
+             (cross-entropy style contraction; 1 = re-center only).")
+  in
+  let require_arg =
+    Arg.(
+      value & flag
+      & info [ "require-convergence" ]
+          ~doc:
+            "Size mode: exit with a classified max_iters / no_descent \
+             error when the best restart did not converge (the trajectory \
+             is still written to --checkpoint/--json first).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable optimization report (schema \
+             awesymbolic-opt/1, floats also as IEEE-754 hex bits) here \
+             ('-' = stdout).  Byte-identical across --jobs counts, \
+             --backend choices, and local vs --remote execution.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Record completed restarts/iterations in FILE (atomically, \
+             .opt extension recommended — `cache gc` ages them out) so an \
+             interrupted optimization resumes with --resume.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore completed units from --checkpoint FILE and compute \
+             only the remainder; the report is byte-identical to an \
+             uninterrupted run.")
+  in
+  let remote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"ADDR"
+          ~doc:
+            "Run the optimization on the serving daemon at ADDR (unix:PATH \
+             or tcp:HOST:PORT) instead of locally; requires --model with a \
+             server-side artifact path.  The report bytes are identical to \
+             a local run.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "With --remote: relative deadline; the server answers a \
+             `timeout` error instead of starting once it expires.")
+  in
+  let doc =
+    "Closed-loop design on a compiled model: gradient-based sizing \
+     (adjoint sensitivities through the exact compiled Jacobian, \
+     projected-gradient descent with Armijo line search, deterministic \
+     seeded restarts) or Monte-Carlo yield maximization (iterative \
+     re-centering of the sampling distributions toward the spec region \
+     through the batched sweep engine).  Reports are byte-identical \
+     across --jobs, --backend, and local vs --remote runs; see \
+     docs/OPTIMIZE.md."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ obs_args $ jobs_arg $ backend_arg $ deck_opt_arg $ model_arg
+      $ order_arg $ sparse_arg $ cache_arg $ mode_arg $ vary_arg $ spec_arg
+      $ goal_arg $ area_weight_arg $ penalty_weight_arg $ seed_arg
+      $ restarts_arg $ iters_arg $ step_arg $ tol_arg $ points_arg
+      $ shrink_arg $ require_arg $ json_arg $ checkpoint_arg $ resume_arg
+      $ remote_arg $ deadline_arg)
+
 let () =
   let doc = "compiled symbolic circuit analysis via asymptotic waveform evaluation" in
   let info = Cmd.info "awesym" ~version:version_string ~doc in
   exit (Cmd.eval (Cmd.group info
     [ awe_cmd; symbolic_cmd; exact_cmd; ac_cmd; tran_cmd; rank_cmd; linearize_cmd;
       distortion_cmd; sens_cmd; validate_cmd; macromodel_cmd; noise_cmd;
-      moments_cmd; compile_cmd; eval_cmd; sweep_cmd; serve_cmd; call_cmd;
-      top_cmd; cache_cmd ]))
+      moments_cmd; compile_cmd; eval_cmd; sweep_cmd; optimize_cmd; serve_cmd;
+      call_cmd; top_cmd; cache_cmd ]))

@@ -62,10 +62,11 @@ let atomic_write dest write =
    quarantined by codegen's load validation are swept
    unconditionally. *)
 
-(* ".ckpt" covers sweep checkpoints parked in the cache directory: a
-   finished or abandoned run's checkpoint is just another rebuildable
-   artifact, so it ages out under the same budget. *)
-let entry_extensions = [ ".awm"; ".cmxs"; ".ckpt" ]
+(* ".ckpt" covers sweep checkpoints parked in the cache directory, and
+   ".opt" optimizer trajectory/checkpoint files: a finished or abandoned
+   run's checkpoint is just another rebuildable artifact, so it ages out
+   under the same budget. *)
+let entry_extensions = [ ".awm"; ".cmxs"; ".ckpt"; ".opt" ]
 let sweep_suffixes = [ ".tmp"; ".bad" ]
 
 type gc_stats = {

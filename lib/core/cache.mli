@@ -38,8 +38,9 @@ type gc_stats = {
 val gc : ?dir:string -> max_bytes:int -> unit -> gc_stats
 (** Bound the cache directory (default {!default_dir}) to [max_bytes] of
     entries — model artifacts ([.awm]), compiled native kernels
-    ([.cmxs], see docs/CODEGEN.md), and orphaned sweep checkpoints
-    ([.ckpt]) share one budget — by deleting
+    ([.cmxs], see docs/CODEGEN.md), orphaned sweep checkpoints
+    ([.ckpt]), and orphaned optimizer trajectories ([.opt], see
+    docs/OPTIMIZE.md) share one budget — by deleting
     oldest-access-first (atime when the filesystem tracks it, else
     mtime) until the total fits.  Each eviction is one atomic unlink —
     concurrent readers either opened the entry first and keep their

@@ -12,6 +12,8 @@ type kind =
   | Timeout
   | Overloaded
   | Unavailable
+  | No_descent
+  | Max_iters
   | Internal
 
 type t = {
@@ -39,6 +41,8 @@ let all_kinds =
     Timeout;
     Overloaded;
     Unavailable;
+    No_descent;
+    Max_iters;
     Internal;
   ]
 
@@ -54,6 +58,8 @@ let kind_name = function
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
   | Unavailable -> "unavailable"
+  | No_descent -> "no_descent"
+  | Max_iters -> "max_iters"
   | Internal -> "internal"
 
 let kind_of_name s =

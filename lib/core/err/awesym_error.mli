@@ -33,6 +33,15 @@ type kind =
           missing, or the network path down.  Retryable with backoff —
           distinct from {!Invalid_request} (a malformed address) and
           {!Worker_crash} (a peer that died mid-conversation) *)
+  | No_descent
+      (** the optimizer's line search exhausted its backtracking budget
+          without finding a decrease — the gradient is numerically zero
+          or the model is non-smooth at the iterate.  Not retryable:
+          rerunning reproduces the same deterministic trajectory *)
+  | Max_iters
+      (** the optimizer's iteration budget expired before the
+          convergence tolerance was met; the trajectory up to the budget
+          is still valid and checkpointed *)
   | Internal  (** unclassified exception; a bug until proven otherwise *)
 
 type t = {

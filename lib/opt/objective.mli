@@ -1,0 +1,76 @@
+(** Scalar sizing objectives over compiled-model measures.
+
+    An objective combines up to three terms, each evaluated through the
+    sweep engine's per-point measure finish so a sized design point and
+    a sweep visiting the same point agree bit for bit:
+
+    - an optional {e goal}: minimize or maximize one performance measure;
+    - an {e area proxy}: [area_weight · Σ |vⱼ| / |nominalⱼ|] over the
+      free (optimized) symbols — the classic stand-in for device area
+      when sizing conductances and capacitances;
+    - {e spec penalties}: for each spec, a squared hinge on the
+      normalized violation, weighted by [penalty_weight], so the
+      optimizer trades the goal off against spec slack smoothly.
+
+    Gradients come from the model's {e exact} compiled sensitivity
+    Jacobian ([Model.eval_sensitivities]): moment-simple measures
+    ([Moment k], Elmore delay) differentiate analytically through the
+    chain rule; ROM-based measures (gains, poles, crossings) take a
+    central difference {e in moment space} along the Jacobian column —
+    the perturbed moments re-finish through the same tiny deterministic
+    Padé/measure code, so the gradient is a pure function of the inputs:
+    identical across jobs counts and evaluation backends. *)
+
+type goal =
+  | Minimize of Sweep.Engine.measure
+  | Maximize of Sweep.Engine.measure
+
+type t = private {
+  goal : goal option;
+  area_weight : float;
+  penalty_weight : float;
+  specs : Sweep.Engine.spec list;
+}
+
+val make :
+  ?goal:goal ->
+  ?area_weight:float ->
+  ?penalty_weight:float ->
+  ?specs:Sweep.Engine.spec list ->
+  unit ->
+  t
+(** Defaults: no goal, [area_weight = 0], [penalty_weight = 1].  Raises
+    [Awesym_error.Error] (kind [Invalid_request]) when every term is
+    absent (no goal, no specs, zero area weight) or a weight is
+    negative. *)
+
+val goal_of_string : string -> (goal, string) result
+(** Parses ["minimize:delay_50"] / ["maximize:dc_gain"] (also accepts
+    the [min:]/[max:] short forms). *)
+
+val goal_to_string : goal -> string
+
+val measures : t -> Sweep.Engine.measure list
+(** The measures the objective reads (goal first, then spec measures),
+    deduplicated in first-use order. *)
+
+val value :
+  t -> Awesymbolic.Model.t -> free:int array -> float array -> float
+(** Objective value at the full input vector [v] ([free] lists the
+    optimized symbol indices, for the area term).  Any evaluation fault
+    (singular point, degenerate Padé, non-finite moment) and any
+    non-finite goal/spec measure yields [infinity] — the line search
+    rejects such points instead of aborting the run.  Obs counter:
+    [opt.obj.evals]. *)
+
+val value_grad :
+  t ->
+  Awesymbolic.Model.t ->
+  free:int array ->
+  float array ->
+  float * float array
+(** [(f, g)] with [g.(j)] = ∂f/∂v.(free.(j)) at [v].  [f] matches
+    {!value} exactly.  Gradient components can be non-finite when a
+    measure sits on a domain edge (e.g. the unity-gain crossing
+    vanishes under perturbation); the optimizer treats that as a failed
+    descent direction.  Obs counter: [opt.obj.grads]. *)

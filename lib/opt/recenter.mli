@@ -1,0 +1,69 @@
+(** Yield maximization by iterative re-centering of the sweep sampling
+    distributions toward the spec region.
+
+    Each iteration is one full {!Sweep.Engine} Monte-Carlo sweep over
+    the current axes (a batched compiled-kernel call, fanned across
+    [?jobs] domains through the staged prepare/eval_chunk/finish API,
+    native [.cmxs] backend and all).  The passing points' parameter
+    values — read back through [Engine.prep_inputs], so they are exactly
+    the values the kernel saw — give per-axis means, which become the
+    next iteration's distribution centers (clamped into the original
+    distribution's {!Sweep.Dist.bounds}); widths optionally shrink by a
+    constant factor, cross-entropy style.  Every iteration reuses the
+    {e same} seed (common random numbers), so successive yield estimates
+    are directly comparable and the whole run is a pure function of
+    (model, config): byte-identical across jobs counts and backends.
+
+    Iteration 0 is the un-recentered seed sweep; the recorded history
+    always starts with it, so "final vs initial yield" reads straight
+    off the result. *)
+
+type iteration = {
+  it : int;  (** 0 = the seed sweep *)
+  axes : Sweep.Plan.axis list;  (** the axes this iteration sampled *)
+  yield : float;  (** all-spec pass fraction over surviving points *)
+  survivors : int;
+  passing : int;  (** points passing every spec *)
+}
+
+type config = {
+  axes : Sweep.Plan.axis list;
+  specs : Sweep.Engine.spec list;  (** non-empty *)
+  points : int;  (** Monte-Carlo points per iteration *)
+  iters : int;  (** re-centering iterations after the seed sweep *)
+  shrink : float;  (** per-iteration width/σ multiplier, in (0, 1] *)
+  seed : int;
+}
+
+val default_config :
+  axes:Sweep.Plan.axis list -> specs:Sweep.Engine.spec list -> config
+(** 1000 points, 4 iterations, no shrink, seed 42. *)
+
+type result = {
+  config : config;
+  history : iteration list;  (** ascending [it], head is the seed sweep *)
+  final_axes : Sweep.Plan.axis list;
+      (** the re-centered axes after the last update *)
+}
+
+val initial_yield : result -> float
+val final_yield : result -> float
+
+val run :
+  ?jobs:int ->
+  ?block:int ->
+  ?history:iteration list ->
+  ?on_iteration:(iteration -> unit) ->
+  Awesymbolic.Model.t ->
+  config ->
+  result
+(** [history] restores already-completed iterations (the
+    checkpoint/resume path): they are re-recorded verbatim and the run
+    continues from the last entry's axes.  [on_iteration] fires after
+    each {e newly computed} iteration (the checkpoint writer's hook).  If no point passes any spec,
+    re-centering has no signal and the run stops early with the history
+    so far.  Raises [Awesym_error.Error] (kind [Invalid_request]) on
+    empty specs, non-positive budgets, or a shrink outside (0, 1] — and
+    whatever the sweep itself raises (unknown axis symbol, all points
+    quarantined).  Obs: counters [opt.yield.iters], [opt.yield.points];
+    gauge [opt.yield.estimate]; span [opt.yield]. *)

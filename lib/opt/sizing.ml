@@ -1,0 +1,274 @@
+module Model = Awesymbolic.Model
+module Plan = Sweep.Plan
+module Dist = Sweep.Dist
+module Sym = Symbolic.Symbol
+module Err = Awesym_error
+
+type status = Converged | Max_iters | No_descent
+
+let status_name = function
+  | Converged -> "converged"
+  | Max_iters -> "max_iters"
+  | No_descent -> "no_descent"
+
+let status_of_name = function
+  | "converged" -> Some Converged
+  | "max_iters" -> Some Max_iters
+  | "no_descent" -> Some No_descent
+  | _ -> None
+
+type step_record = { it : int; f : float; step : float; x : float array }
+
+type restart = {
+  index : int;
+  x0 : float array;
+  steps : step_record list;
+  status : status;
+  final_f : float;
+  final_x : float array;
+  iters : int;
+  evals : int;
+}
+
+type config = {
+  axes : Plan.axis list;
+  objective : Objective.t;
+  seed : int;
+  restarts : int;
+  max_iters : int;
+  step0 : float;
+  tol : float;
+}
+
+let default_config ~axes objective =
+  {
+    axes;
+    objective;
+    seed = 42;
+    restarts = 0;
+    max_iters = 50;
+    step0 = 0.25;
+    tol = 1e-6;
+  }
+
+type result = {
+  config : config;
+  runs : restart list;
+  best : int;
+  status : status;
+}
+
+let armijo_c1 = 1e-4
+let max_backtracks = 30
+
+let validate cfg =
+  if cfg.axes = [] then
+    Err.raise_error Invalid_request ~where:"opt.size"
+      "sizing needs at least one axis";
+  let names = List.map (fun a -> a.Plan.name) cfg.axes in
+  List.iteri
+    (fun i n ->
+      if List.exists (( = ) n) (List.filteri (fun j _ -> j < i) names) then
+        Err.errorf Invalid_request ~where:"opt.size" "duplicate axis %s" n)
+    names;
+  if cfg.restarts < 0 then
+    Err.errorf Invalid_request ~where:"opt.size"
+      "restarts must be >= 0, got %d" cfg.restarts;
+  if cfg.max_iters < 1 then
+    Err.errorf Invalid_request ~where:"opt.size"
+      "max_iters must be >= 1, got %d" cfg.max_iters;
+  if not (cfg.step0 > 0.0 && Float.is_finite cfg.step0) then
+    Err.errorf Invalid_request ~where:"opt.size"
+      "step must be positive and finite, got %g" cfg.step0;
+  if not (cfg.tol >= 0.0 && Float.is_finite cfg.tol) then
+    Err.errorf Invalid_request ~where:"opt.size"
+      "tol must be >= 0 and finite, got %g" cfg.tol
+
+(* One projected-gradient descent from [u0] (normalized coordinates).
+   Pure: the trajectory is a function of (model, config, u0) only. *)
+let descend ~eval_f ~eval_fg ~x_of_u cfg index u0 =
+  let nfree = Array.length u0 in
+  let clamp01 u = if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u in
+  let evals = ref 0 in
+  let f0 =
+    incr evals;
+    eval_f u0
+  in
+  let x0 = x_of_u u0 in
+  let steps = ref [ { it = 0; f = f0; step = 0.0; x = x0 } ] in
+  let record r =
+    {
+      index;
+      x0;
+      steps = List.rev !steps;
+      status = r;
+      final_f = (List.hd !steps).f;
+      final_x = (List.hd !steps).x;
+      iters = (List.hd !steps).it;
+      evals = !evals;
+    }
+  in
+  if not (Float.is_finite f0) then record No_descent
+  else begin
+    let u = Array.copy u0 in
+    let fcur = ref f0 in
+    let status = ref Max_iters in
+    (try
+       for it = 1 to cfg.max_iters do
+         let fv, g =
+           incr evals;
+           eval_fg u
+         in
+         ignore fv;
+         (* normalized-coordinate gradient *)
+         if Array.exists (fun gj -> not (Float.is_finite gj)) g then begin
+           status := No_descent;
+           raise Exit
+         end;
+         let pg =
+           Array.fold_left Float.max 0.0
+             (Array.mapi
+                (fun j gj -> Float.abs (u.(j) -. clamp01 (u.(j) -. gj)))
+                g)
+         in
+         if pg <= cfg.tol then begin
+           status := Converged;
+           raise Exit
+         end;
+         (* Armijo backtracking on the projected step *)
+         let rec search t back =
+           if back > max_backtracks then None
+           else begin
+             let u' = Array.mapi (fun j uj -> clamp01 (uj -. (t *. g.(j)))) u in
+             let f' =
+               incr evals;
+               eval_f u'
+             in
+             let decrease =
+               Array.fold_left ( +. ) 0.0
+                 (Array.mapi (fun j gj -> gj *. (u.(j) -. u'.(j))) g)
+             in
+             if
+               Float.is_finite f'
+               && f' < !fcur
+               && f' <= !fcur -. (armijo_c1 *. decrease)
+             then Some (t, u', f')
+             else search (t /. 2.0) (back + 1)
+           end
+         in
+         match search cfg.step0 0 with
+         | None ->
+           status := No_descent;
+           raise Exit
+         | Some (t, u', f') ->
+           Array.blit u' 0 u 0 nfree;
+           fcur := f';
+           steps := { it; f = f'; step = t; x = x_of_u u } :: !steps
+       done
+     with Exit -> ());
+    record !status
+  end
+
+let run ?(completed = []) ?(on_restart = fun _ -> ()) model cfg =
+  Obs.Span.with_ ~name:"opt.size" @@ fun () ->
+  validate cfg;
+  let symbols = Array.map Sym.name (Model.symbols model) in
+  let nominals = Model.nominal_values model in
+  let free =
+    Array.of_list
+      (List.map
+         (fun a ->
+           match
+             Array.to_list symbols
+             |> List.mapi (fun i n -> (i, n))
+             |> List.find_opt (fun (_, n) -> n = a.Plan.name)
+           with
+           | Some (i, _) -> i
+           | None ->
+             Err.errorf Invalid_request ~where:"opt.size"
+               "axis %s is not a model symbol" a.Plan.name)
+         cfg.axes)
+  in
+  let nfree = Array.length free in
+  let bounds =
+    Array.of_list
+      (List.map
+         (fun a ->
+           let lo, hi = Dist.bounds a.Plan.dist in
+           if not (lo < hi) then
+             Err.errorf Invalid_request ~where:"opt.size"
+               "axis %s has an empty range [%g, %g]" a.Plan.name lo hi;
+           (lo, hi))
+         cfg.axes)
+  in
+  let clamp01 u = if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u in
+  let x_of_u u =
+    Array.init nfree (fun j ->
+        let lo, hi = bounds.(j) in
+        lo +. (u.(j) *. (hi -. lo)))
+  in
+  let v_of_u u =
+    let v = Array.copy nominals in
+    let x = x_of_u u in
+    Array.iteri (fun j sj -> v.(sj) <- x.(j)) free;
+    v
+  in
+  let eval_f u = Objective.value cfg.objective model ~free (v_of_u u) in
+  let eval_fg u =
+    let f, gx = Objective.value_grad cfg.objective model ~free (v_of_u u) in
+    (* chain rule into normalized coordinates: du = dx · width *)
+    let g =
+      Array.mapi
+        (fun j gj ->
+          let lo, hi = bounds.(j) in
+          gj *. (hi -. lo))
+        gx
+    in
+    (f, g)
+  in
+  (* All restart starting points come off one stream, drawn up front, so
+     restart k's start never depends on earlier restarts' work. *)
+  let rng = Obs.Rng.create cfg.seed in
+  let starts =
+    Array.init
+      (1 + cfg.restarts)
+      (fun r ->
+        if r = 0 then
+          Array.init nfree (fun j ->
+              let lo, hi = bounds.(j) in
+              clamp01 ((nominals.(free.(j)) -. lo) /. (hi -. lo)))
+        else Array.init nfree (fun _ -> Obs.Rng.float rng))
+  in
+  Obs.Metrics.incr "opt.size.runs";
+  let runs =
+    Array.to_list
+      (Array.mapi
+         (fun r u0 ->
+           match List.find_opt (fun c -> c.index = r) completed with
+           | Some c -> c
+           | None ->
+             let rr = descend ~eval_f ~eval_fg ~x_of_u cfg r u0 in
+             Obs.Metrics.add "opt.size.iters" rr.iters;
+             Obs.Metrics.add "opt.size.evals" rr.evals;
+             Obs.Metrics.incr
+               (match rr.status with
+               | Converged -> "opt.size.converged"
+               | Max_iters -> "opt.size.max_iters"
+               | No_descent -> "opt.size.no_descent");
+             on_restart rr;
+             rr)
+         starts)
+  in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some b ->
+          (* strict <: ties keep the lowest index *)
+          if compare r.final_f b.final_f < 0 then Some r else acc)
+      None runs
+    |> Option.get
+  in
+  Obs.Metrics.set_gauge "opt.size.objective" best.final_f;
+  { config = cfg; runs; best = best.index; status = best.status }

@@ -1,0 +1,91 @@
+(** Gradient-based circuit sizing: projected gradient descent with an
+    Armijo backtracking line search over a box.
+
+    Variables are the model symbols named by the config's axes; the box
+    bounds come from each axis distribution's {!Sweep.Dist.bounds}
+    (support for uniform, ±3σ for normal, its [exp] image for
+    lognormal) — the same ranges a sweep of the plan would explore.
+    Internally the solver works in per-axis normalized coordinates
+    [u ∈ [0,1]] so conductances and capacitances ten decades apart
+    share one step size.
+
+    Every restart is deterministic: restart 0 starts from the nominal
+    point clamped into the box, restarts 1…r from points drawn off one
+    [Obs.Rng] stream seeded by the config (all draws happen up front, so
+    restart [k]'s start never depends on how long earlier restarts ran).
+    Objective and gradient evaluations are pure functions of the inputs
+    (see {!Objective}), so the full trajectory — and its serialized
+    form — is byte-identical across [--jobs] counts and evaluation
+    backends.
+
+    A step is accepted only when it strictly decreases the objective and
+    satisfies the Armijo condition, so the recorded trajectory is
+    monotonically non-increasing in [f] by construction. *)
+
+type status = Converged | Max_iters | No_descent
+
+val status_name : status -> string
+(** ["converged"], ["max_iters"], ["no_descent"] — matching the
+    {!Awesym_error.kind} names the non-convergence statuses classify
+    to. *)
+
+val status_of_name : string -> status option
+
+type step_record = {
+  it : int;  (** 0 for the starting point, then accepted-step count *)
+  f : float;  (** objective after this step *)
+  step : float;  (** accepted Armijo step length (0 at [it = 0]) *)
+  x : float array;  (** free-variable values, axis order *)
+}
+
+type restart = {
+  index : int;
+  x0 : float array;  (** starting free-variable values *)
+  steps : step_record list;  (** ascending [it]; head is the start *)
+  status : status;
+  final_f : float;
+  final_x : float array;
+  iters : int;  (** accepted iterations *)
+  evals : int;  (** objective + gradient evaluations consumed *)
+}
+
+type config = {
+  axes : Sweep.Plan.axis list;  (** variables + box bounds *)
+  objective : Objective.t;
+  seed : int;
+  restarts : int;  (** extra seeded starts beyond the nominal one *)
+  max_iters : int;  (** accepted-iteration budget per restart *)
+  step0 : float;  (** initial normalized step length *)
+  tol : float;
+      (** stop when the projected-gradient infinity norm (in normalized
+          coordinates) drops to [tol] *)
+}
+
+val default_config : axes:Sweep.Plan.axis list -> Objective.t -> config
+(** seed 42, no extra restarts, 50 iterations, [step0 = 0.25],
+    [tol = 1e-6]. *)
+
+type result = {
+  config : config;
+  runs : restart list;  (** one per start, ascending index *)
+  best : int;  (** index of the best run (lowest final [f], ties to the
+                   lowest index) *)
+  status : status;  (** the best run's status *)
+}
+
+val run :
+  ?completed:restart list ->
+  ?on_restart:(restart -> unit) ->
+  Awesymbolic.Model.t ->
+  config ->
+  result
+(** Run every start not already present in [completed] (matched by
+    restart index — the checkpoint/resume path restores finished
+    restarts bit-exactly and computes only the rest), then pick the
+    best.  [on_restart] fires after each {e newly computed} restart (the
+    checkpoint writer's hook); restored restarts don't re-fire it.  Raises [Awesym_error.Error] (kind [Invalid_request]) on an
+    axis that is not a model symbol, duplicate axes, or non-positive
+    budgets/steps.  Obs: counters [opt.size.runs], [opt.size.iters],
+    [opt.size.evals], [opt.size.converged], [opt.size.max_iters],
+    [opt.size.no_descent]; gauge [opt.size.objective]; span
+    [opt.size]. *)

@@ -205,6 +205,13 @@ let sweep_chunk t ?trace req =
     Error (protocol_error ~where:"serve.client" "unexpected reply to sweep_chunk")
   | Error e -> Error e
 
+let optimize t ?trace req =
+  match rpc ?trace t (Protocol.Optimize req) with
+  | Ok (Protocol.R_optimize o) -> Ok o
+  | Ok _ ->
+    Error (protocol_error ~where:"serve.client" "unexpected reply to optimize")
+  | Error e -> Error e
+
 let shutdown t =
   match rpc t Protocol.Shutdown with
   | Ok Protocol.R_draining -> Ok ()

@@ -116,5 +116,15 @@ val sweep_chunk :
     the checkpoint format; the caller (the dsweep coordinator) verifies
     [cr_key] against its own before merging. *)
 
+val optimize :
+  t ->
+  ?trace:Protocol.trace_context ->
+  Protocol.optimize ->
+  (Protocol.opt_reply, Awesym_error.t) result
+(** Run a sizing / yield-maximization request on the server.  The reply
+    carries the ["awesymbolic-opt/1"] report verbatim — serializing it
+    is byte-identical to the offline [awesym optimize --json] output of
+    the same request. *)
+
 val shutdown : t -> (unit, Awesym_error.t) result
 (** Ask the server to drain and exit; returns once acknowledged. *)

@@ -129,6 +129,17 @@ type sweep_chunk = {
   sc_deadline_ms : float option;
 }
 
+(* An optimization job: the server-side model path plus the full
+   "awesymbolic-opt/1" request document, carried opaquely — the daemon
+   hands it to [Opt.Request.of_json]/[run] unchanged, which is what
+   makes the served report byte-identical to an offline [awesym
+   optimize] run of the same request. *)
+type optimize = {
+  op_model : string;  (** server-side artifact path *)
+  op_request : Json.t;  (** schema "awesymbolic-opt/1" request document *)
+  op_deadline_ms : float option;
+}
+
 type request =
   | Ping
   | Info of string
@@ -137,6 +148,7 @@ type request =
   | Metrics
   | Trace of int
   | Sweep_chunk of sweep_chunk
+  | Optimize of optimize
   | Shutdown
 
 let floats_to_json vs =
@@ -210,6 +222,14 @@ let request_to_json ?id ?trace req =
         ("key", Json.Str c.sc_key);
       ]
       @ (match c.sc_deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline_ms", Json.Num ms) ])
+    | Optimize o ->
+      [ ("op", Json.Str "optimize");
+        ("model", Json.Str o.op_model);
+        ("request", o.op_request);
+      ]
+      @ (match o.op_deadline_ms with
         | None -> []
         | Some ms -> [ ("deadline_ms", Json.Num ms) ])
   in
@@ -341,6 +361,18 @@ let request_of_json j =
       | _ ->
         bad ~where:"serve.request"
           "malformed sweep_chunk (want model, plan, seed, block, measures)")
+    | Some "optimize" -> (
+      match (member_string "model" j, Json.member "request" j) with
+      | None, _ -> bad ~where:"serve.request" "optimize without a model field"
+      | _, None -> bad ~where:"serve.request" "optimize without a request field"
+      | Some op_model, Some op_request -> (
+        match Json.member "deadline_ms" j with
+        | None ->
+          with_id (Optimize { op_model; op_request; op_deadline_ms = None })
+        | Some (Json.Num ms) ->
+          with_id (Optimize { op_model; op_request; op_deadline_ms = Some ms })
+        | Some _ ->
+          bad ~where:"serve.request" "malformed deadline_ms (want a number)"))
     | Some op -> bad ~where:"serve.request" "unknown op %S" op
     | None -> bad ~where:"serve.request" "missing op field"))
 
@@ -367,6 +399,11 @@ type chunk_reply = {
   cr_record : Json.t;  (** checkpoint-format chunk record (hex float bits) *)
 }
 
+type opt_reply = {
+  or_digest : string;  (** digest of the artifact the optimizer ran on *)
+  or_report : Json.t;  (** the "awesymbolic-opt/1" report, verbatim *)
+}
+
 type response =
   | R_pong of (string * string) list  (** (component, version) pairs *)
   | R_info of info_result
@@ -375,6 +412,7 @@ type response =
   | R_metrics of string
   | R_traces of Json.t list
   | R_chunk of chunk_reply
+  | R_optimize of opt_reply
   | R_draining
   | R_error of Err.t
 
@@ -417,6 +455,9 @@ let response_to_json ?id resp =
           ("chunk", Json.Num (float_of_int c.cr_chunk));
           ("chunk_record", c.cr_record);
         ]
+    | R_optimize o ->
+      ok
+      @ [ ("digest", Json.Str o.or_digest); ("opt_report", o.or_report) ]
     | R_draining -> ok @ [ ("draining", Json.Bool true) ]
     | R_error e -> [ ("ok", Json.Bool false); ("error", Err.to_json e) ]
   in
@@ -484,6 +525,12 @@ let response_of_json j =
                    { cr_digest; cr_key; cr_chunk = int_of_float chunk; cr_record })
             | _ -> bad ~where:"serve.response" "malformed chunk response")
           | _ -> (
+          match Json.member "opt_report" j with
+          | Some or_report -> (
+            match member_string "digest" j with
+            | Some or_digest -> with_id (R_optimize { or_digest; or_report })
+            | None -> bad ~where:"serve.response" "malformed optimize response")
+          | _ -> (
           match Json.member "stats" j with
           | Some s -> with_id (R_stats s)
           | None -> (
@@ -524,5 +571,5 @@ let response_of_json j =
                   with_id (R_eval { digest; order; moments })
                 | _ -> bad ~where:"serve.response" "malformed eval response")
               | _ ->
-                bad ~where:"serve.response" "unrecognized response shape"))))))))
+                bad ~where:"serve.response" "unrecognized response shape")))))))))
     | _ -> bad ~where:"serve.response" "missing ok field")

@@ -86,6 +86,16 @@ type sweep_chunk = {
     refuses with [invalid_request] on mismatch — model/plan skew is
     caught before any evaluation. *)
 
+type optimize = {
+  op_model : string;  (** server-side artifact path *)
+  op_request : Obs.Json.t;
+      (** the full ["awesymbolic-opt/1"] request document, carried
+          opaquely — the daemon decodes it with [Opt.Request.of_json] and
+          runs it unchanged, so the served report is byte-identical to an
+          offline [awesym optimize] run of the same request *)
+  op_deadline_ms : float option;
+}
+
 type request =
   | Ping  (** liveness + version inventory *)
   | Info of string  (** model metadata: digest, order, symbols, nominals *)
@@ -94,6 +104,7 @@ type request =
   | Metrics  (** Prometheus text exposition of the metric surface *)
   | Trace of int  (** the [n] most recent completed request traces *)
   | Sweep_chunk of sweep_chunk  (** evaluate one sweep chunk remotely *)
+  | Optimize of optimize  (** run a sizing / yield-max request remotely *)
   | Shutdown  (** graceful drain: finish queued work, then exit *)
 
 val request_to_json :
@@ -132,6 +143,13 @@ type chunk_reply = {
           validation path as a local resume *)
 }
 
+type opt_reply = {
+  or_digest : string;  (** digest of the artifact the optimizer ran on *)
+  or_report : Obs.Json.t;
+      (** the ["awesymbolic-opt/1"] report, verbatim — serializing it is
+          byte-identical to the offline CLI's [--json] output *)
+}
+
 type response =
   | R_pong of (string * string) list  (** (component, version) pairs *)
   | R_info of info_result
@@ -140,6 +158,7 @@ type response =
   | R_metrics of string  (** Prometheus text exposition *)
   | R_traces of Obs.Json.t list  (** recent request traces, oldest first *)
   | R_chunk of chunk_reply  (** one evaluated sweep chunk *)
+  | R_optimize of opt_reply  (** one finished optimization report *)
   | R_draining
   | R_error of Awesym_error.t
 

@@ -112,6 +112,14 @@ type job =
       deadline : float option;
       trace : Reqtrace.builder option;
     }
+  | J_opt of {
+      conn : int;
+      id : Json.t option;
+      req : Protocol.optimize;
+      digest : string;
+      deadline : float option;
+      trace : Reqtrace.builder option;
+    }
 
 type completion = int * Json.t option * Reqtrace.builder option * Protocol.response
 
@@ -276,7 +284,8 @@ let push_completions t shard resps =
 let job_envelope = function
   | J_eval { conn; id; trace; _ }
   | J_info { conn; id; trace; _ }
-  | J_sweep { conn; id; trace; _ } ->
+  | J_sweep { conn; id; trace; _ }
+  | J_opt { conn; id; trace; _ } ->
     (conn, id, trace)
 
 (* The body each worker domain runs: a private registry + batcher fed by
@@ -456,6 +465,40 @@ let worker_body t ~worker ~stop:_ =
             end)
       in
       complete [ (conn, id, trace, resp) ]
+    | J_opt { conn; id; req; digest; deadline; trace } ->
+      let resp =
+        match lookup ~digest ~path:req.Protocol.op_model ~trace with
+        | Error e -> Protocol.R_error e
+        | Ok entry -> (
+          if match deadline with Some d -> now () > d | None -> false then
+            Protocol.R_error
+              (Err.make Timeout ~where:"serve.optimize"
+                 "deadline expired before the optimization started")
+          else
+            (* The same jobs pinning as the batchers and sweep chunks:
+               with several workers the worker domains are the
+               parallelism, and the report bytes are jobs-invariant by
+               the optimizer's determinism contract anyway. *)
+            match
+              let t0 = now () in
+              let opt_req = Opt.Request.of_json req.Protocol.op_request in
+              let report =
+                Opt.Request.run ?jobs:eval_jobs entry.Registry.model opt_req
+              in
+              Option.iter
+                (fun tb ->
+                  Reqtrace.add_span tb ~name:"serve.optimize" ~start:t0
+                    ~stop:(now ()))
+                trace;
+              Obs.Metrics.incr "serve.optimize.requests";
+              report
+            with
+            | exception e -> Protocol.R_error (Err.classify e)
+            | report ->
+              Protocol.R_optimize
+                { Protocol.or_digest = digest; or_report = report })
+      in
+      complete [ (conn, id, trace, resp) ]
   in
   (* Any unexpected exception still answers the request — a lost job
      would leave its conn.inflight forever nonzero and wedge the drain. *)
@@ -597,6 +640,14 @@ let dispatch t conn ?id ~trace:tb req =
     admit_model t conn ?id tb ~path:c.Protocol.sc_model ~deadline
       (fun ~digest ->
         J_sweep { conn = conn.key; id; req = c; digest; deadline; trace = Some tb })
+  | Protocol.Optimize o ->
+    let arrived = now () in
+    let deadline =
+      Option.map (fun ms -> arrived +. (ms /. 1e3)) o.Protocol.op_deadline_ms
+    in
+    admit_model t conn ?id tb ~path:o.Protocol.op_model ~deadline
+      (fun ~digest ->
+        J_opt { conn = conn.key; id; req = o; digest; deadline; trace = Some tb })
 
 let op_name = function
   | Protocol.Ping -> "ping"
@@ -606,6 +657,7 @@ let op_name = function
   | Protocol.Metrics -> "metrics"
   | Protocol.Trace _ -> "trace"
   | Protocol.Sweep_chunk _ -> "sweep_chunk"
+  | Protocol.Optimize _ -> "optimize"
   | Protocol.Shutdown -> "shutdown"
 
 let handle_frame t conn payload =

@@ -151,6 +151,46 @@ let eval_measure nm moments rom_of = function
     | Rise_time -> Option.value ~default:nan (Measures.rise_time rom)
     | Moment _ | Elmore_delay -> assert false)
 
+(* Single-point evaluation with the same finish [eval_chunk] applies:
+   compiled moments, fixed-order Padé fit, strict NaN-measure semantics.
+   The optimizer routes objective evaluations through this so a sized
+   point's measures match what a sweep visiting the same point reports,
+   bit for bit. *)
+let point_measures model ms v =
+  let order = Model.order model in
+  let nm = 2 * order in
+  let moments = Model.eval_moments model v in
+  Array.iteri
+    (fun k m ->
+      if not (Float.is_finite m) then
+        Err.errorf Nonfinite_result ~where:"sweep.point"
+          ~context:[ ("moment", Printf.sprintf "m%d" k) ]
+          "compiled moment m%d is non-finite (%h)" k m)
+    moments;
+  let romq = ref None in
+  let rom_of () =
+    match !romq with
+    | Some r -> r
+    | None ->
+      let r = Awe.Pade.fit ~order moments in
+      romq := Some r;
+      r
+  in
+  List.map (eval_measure nm moments rom_of) ms
+
+let moment_measures model ms moments =
+  let nm = 2 * Model.order model in
+  let romq = ref None in
+  let rom_of () =
+    match !romq with
+    | Some r -> r
+    | None ->
+      let r = Awe.Pade.fit ~order:(Model.order model) moments in
+      romq := Some r;
+      r
+  in
+  List.map (eval_measure nm moments rom_of) ms
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint format (schema awesymbolic-ckpt/1)
 
@@ -233,6 +273,8 @@ let prep_points p = p.p_n
 let prep_num_chunks p = Array.length p.p_chunks
 let prep_block p = p.p_block
 let prep_measures p = Array.to_list p.p_marr
+let prep_specs p = p.p_specs
+let prep_inputs p = p.p_cols
 
 let prepare ?(seed = 42) ?block ?jobs ?(measures = default_measures)
     ?(specs = []) ?(policy = Skip) model plan =
@@ -320,6 +362,10 @@ type chunk_result = {
 }
 
 let chunk_index r = r.c_index
+let chunk_lo r = r.c_lo
+let chunk_len r = r.c_len
+let chunk_values r = r.c_vals
+let chunk_failures r = List.map (fun f -> f.point) r.c_failed
 
 let eval_chunk p idx =
   if idx < 0 || idx >= Array.length p.p_chunks then

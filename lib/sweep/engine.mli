@@ -115,6 +115,23 @@ val survivors : result -> int
 val default_measures : measure list
 (** [Dc_gain; Dominant_pole_hz; Delay_50]. *)
 
+val point_measures :
+  Awesymbolic.Model.t -> measure list -> float array -> float list
+(** Evaluate measures at a single input point with {e exactly} the
+    per-point finish the sweep applies: compiled moments, fixed-order
+    Padé fit (shared across the ROM-based measures), NaN for a
+    successful fit with no crossing.  The optimizer's objective goes
+    through this, so a sized design point and a sweep visiting the same
+    point agree bit for bit.  Raises [Nonfinite_result] on a non-finite
+    compiled moment and [Awe.Pade.Degenerate] on a degenerate fit. *)
+
+val moment_measures :
+  Awesymbolic.Model.t -> measure list -> float array -> float list
+(** Like {!point_measures} but starting from an already-computed moment
+    vector — the deterministic measure finish alone.  The optimizer's
+    gradient path perturbs moments along the model's exact sensitivity
+    Jacobian and re-finishes through this. *)
+
 (** {2 Staged API}
 
     {!run} is built from three reusable stages — [prepare] (everything a
@@ -165,6 +182,17 @@ val prep_measures : prep -> measure list
 (** The summarized measure set (requested measures with spec measures
     unioned in, in report order). *)
 
+val prep_specs : prep -> spec list
+(** The spec list the prep was built with, in request order. *)
+
+val prep_inputs : prep -> float array array
+(** The materialized input columns: result[k].(i) is the value of model
+    symbol [k] at plan point [i] (every point, every symbol — swept or
+    pinned at nominal).  This is the exact block [eval_chunk] slices, so
+    a consumer correlating measures back to parameter values (e.g. the
+    optimizer's yield re-centering loop, see docs/OPTIMIZE.md) reads the
+    very values the kernel saw.  Do not mutate. *)
+
 type chunk_result
 (** One evaluated chunk: measure values for its points plus any
     quarantined failures.  Opaque; move it between nodes via
@@ -172,6 +200,20 @@ type chunk_result
 
 val chunk_index : chunk_result -> int
 (** Index of this chunk in the prep's layout. *)
+
+val chunk_lo : chunk_result -> int
+(** Global index of the chunk's first point. *)
+
+val chunk_len : chunk_result -> int
+(** Number of points the chunk covers. *)
+
+val chunk_values : chunk_result -> float array array
+(** Measure values: result[m].(i) is measure [m] (in {!prep_measures}
+    order) at point [chunk_lo + i]; [nan] rows for quarantined points.
+    Do not mutate. *)
+
+val chunk_failures : chunk_result -> int list
+(** Global indices of the chunk's quarantined points, ascending. *)
 
 val eval_chunk : prep -> int -> chunk_result
 (** Evaluate chunk [i]: batched moment evaluation, per-point measure

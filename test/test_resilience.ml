@@ -61,7 +61,7 @@ let test_kind_names_roundtrip () =
       | _ -> Alcotest.failf "kind %s does not round-trip" (Err.kind_name k))
     Err.all_kinds;
   Alcotest.(check bool) "unknown name" true (Err.kind_of_name "bogus" = None);
-  Alcotest.(check int) "twelve buckets" 12 (List.length Err.all_kinds)
+  Alcotest.(check int) "fourteen buckets" 14 (List.length Err.all_kinds)
 
 let test_to_string_and_json () =
   let e =

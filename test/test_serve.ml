@@ -121,6 +121,24 @@ let gen_request =
                 sc_key;
                 sc_deadline_ms;
               }));
+        (let* op_model = string_printable in
+         let* op_deadline_ms = option (map Float.abs float) in
+         let* seed = nat in
+         let* v = gen_weird_float in
+         return
+           (Protocol.Optimize
+              {
+                Protocol.op_model;
+                op_request =
+                  Json.Obj
+                    [
+                      ("schema", Json.Str "awesymbolic-opt/1");
+                      ("mode", Json.Str "size");
+                      ("seed", Json.Num (float_of_int seed));
+                      ("step_hex", Json.Str (Protocol.hex_of_float v));
+                    ];
+                op_deadline_ms;
+              }));
       ])
 
 let gen_id =
@@ -202,6 +220,22 @@ let gen_response =
                           [ Json.List [ Json.Str (Protocol.hex_of_float v) ] ]
                       );
                       ("failed", Json.List []);
+                    ];
+              }));
+        (let* or_digest = string_printable in
+         let* status = oneofl [ "converged"; "max_iters"; "no_descent" ] in
+         let* v = gen_weird_float in
+         return
+           (Protocol.R_optimize
+              {
+                Protocol.or_digest;
+                or_report =
+                  Json.Obj
+                    [
+                      ("schema", Json.Str "awesymbolic-opt/1");
+                      ("mode", Json.Str "size");
+                      ("status", Json.Str status);
+                      ("objective_hex", Json.Str (Protocol.hex_of_float v));
                     ];
               }));
       ])
@@ -865,6 +899,72 @@ let test_metrics_exposition () =
 (* ------------------------------------------------------------------ *)
 (* Cache GC (the daemon runs this at startup; `awesym cache gc` too) *)
 
+(* Served optimization: the daemon's report must be byte-identical to a
+   local [Opt.Request.run] of the same request on the same artifact —
+   the reply embeds the report verbatim and both ends serialize through
+   the same canonical JSON writer. *)
+let test_optimize_served_matches_local () =
+  let model, path = Lazy.force fixture in
+  let nominals = Model.nominal_values model in
+  let axes =
+    Array.to_list
+      (Array.mapi
+         (fun k s ->
+           { Sweep.Plan.name = Symbolic.Symbol.name s;
+             dist = Sweep.Dist.around ~nominal:nominals.(k) ~pct:30.0 })
+         (Model.symbols model))
+  in
+  let objective =
+    Opt.Objective.make
+      ~goal:(Opt.Objective.Minimize Sweep.Engine.Elmore_delay) ()
+  in
+  let size_req =
+    Opt.Request.Size
+      { (Opt.Sizing.default_config ~axes objective) with Opt.Sizing.max_iters = 8 }
+  in
+  let yield_req =
+    Opt.Request.Yield
+      {
+        (Opt.Recenter.default_config ~axes
+           ~specs:
+             [ { Sweep.Engine.measure = Sweep.Engine.Elmore_delay;
+                 bound = Sweep.Engine.Le 1.0 } ])
+        with
+        Opt.Recenter.points = 64;
+        iters = 2;
+      }
+  in
+  with_server ~workers:2 @@ fun ~sock ~stop:_ ->
+  let c = client sock in
+  List.iter
+    (fun req ->
+      let local = Json.to_string (Opt.Request.run model req) in
+      let reply =
+        ok "optimize"
+          (Serve.Client.optimize c
+             {
+               Protocol.op_model = path;
+               op_request = Opt.Request.to_json req;
+               op_deadline_ms = None;
+             })
+      in
+      Alcotest.(check string) "served report byte-identical to local" local
+        (Json.to_string reply.Protocol.or_report))
+    [ size_req; yield_req ];
+  (* A malformed request document answers a classified error, not a hang. *)
+  (match
+     Serve.Client.optimize c
+       {
+         Protocol.op_model = path;
+         op_request = Json.Obj [ ("schema", Json.Str "nonsense/9") ];
+         op_deadline_ms = None;
+       }
+   with
+  | Error e when e.Err.kind = Err.Invalid_request -> ()
+  | Error e -> Alcotest.failf "wrong kind: %s" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "bad opt request must error");
+  Serve.Client.close c
+
 let test_cache_gc () =
   let dir = temp_dir "awesym_cache_gc" in
   let write name size mtime =
@@ -1065,6 +1165,8 @@ let () =
             test_trace_context_round_trip;
           quick "metrics exposition names the serving surface"
             test_metrics_exposition;
+          quick "served optimize byte-identical to local"
+            test_optimize_served_matches_local;
         ] );
       ("cache", [ quick "gc evicts oldest first" test_cache_gc ]);
     ]
