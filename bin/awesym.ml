@@ -1978,13 +1978,8 @@ let optimize_cmd =
             | Error e -> fail e
             | Ok o ->
               let report = o.Serve.Protocol.or_report in
-              if require then
-                (match jstr report "status" with
-                | Some ("max_iters" | "no_descent") ->
-                  emit json_path report;
-                  die "sizing did not converge (see the trajectory above)"
-                | _ -> ());
-              emit json_path report))
+              emit json_path report;
+              Opt.Request.check_require ~require report))
     | None ->
       let model =
         match (model_path, deck) with
@@ -2001,10 +1996,9 @@ let optimize_cmd =
       in
       let nominals = Awesymbolic.Model.nominal_values model in
       let req = request_of (axes_of ~names ~nominals) in
-      let report =
-        Opt.Request.run ?checkpoint ~resume ~require model req
-      in
-      emit json_path report
+      let report = Opt.Request.run ?checkpoint ~resume model req in
+      emit json_path report;
+      Opt.Request.check_require ~require report
   in
   let deck_opt_arg =
     let doc = "Input netlist deck (alternative to --model)." in

@@ -11,6 +11,7 @@ type iteration = {
   yield : float;
   survivors : int;
   passing : int;
+  next_axes : Plan.axis list option;
 }
 
 type config = {
@@ -84,11 +85,16 @@ let pass_mask prep results =
       | Some r ->
         let vals = Engine.chunk_values r in
         let lo = Engine.chunk_lo r and len = Engine.chunk_len r in
-        let failed = Engine.chunk_failures r in
+        let failed = Array.make len false in
+        List.iter
+          (fun p ->
+            let li = p - lo in
+            if li >= 0 && li < len then failed.(li) <- true)
+          (Engine.chunk_failures r);
         for li = 0 to len - 1 do
           let i = lo + li in
           if
-            (not (List.mem i failed))
+            (not failed.(li))
             && List.for_all (fun (s, c) -> spec_pass s vals.(c).(li)) spec_cols
           then begin
             pass.(i) <- true;
@@ -137,16 +143,23 @@ let run ?jobs ?block ?(history = []) ?(on_iteration = fun _ -> ()) model cfg =
   in
   let axis_syms = List.map (fun a -> sym_index a.Plan.name) cfg.axes in
   let bounds0 = List.map (fun a -> Dist.bounds a.Plan.dist) cfg.axes in
-  (* restored history replays verbatim; the run continues from the last
-     restored iteration's axes *)
+  (* Restored history replays verbatim.  Each unit records both the axes
+     it swept and the re-centered [next_axes] its successor sweeps, so a
+     resumed run continues exactly where the interrupted one would have:
+     from the persisted re-centering, or stopped (never re-centering on
+     an empty pass set would replay as [next_axes = None] mid-budget). *)
   let restored = List.sort (fun a b -> compare a.it b.it) history in
-  let axes =
-    ref
-      (match List.rev restored with [] -> cfg.axes | last :: _ -> last.axes)
+  let start_axes, start_stop, next_it =
+    match List.rev restored with
+    | [] -> (cfg.axes, false, 0)
+    | last :: _ -> (
+      ( (match last.next_axes with Some a -> a | None -> last.axes),
+        (last.next_axes = None && last.it < cfg.iters),
+        last.it + 1 ))
   in
+  let axes = ref start_axes in
   let recorded = ref (List.rev restored) in
-  let next_it = match List.rev restored with [] -> 0 | l :: _ -> l.it + 1 in
-  let stop = ref false in
+  let stop = ref start_stop in
   (* Iteration [it = 0] sweeps the original axes; each later iteration
      sweeps the re-centered ones.  Every sweep reuses the same seed —
      common random numbers keep the yield estimates comparable. *)
@@ -158,6 +171,29 @@ let run ?jobs ?block ?(history = []) ?(on_iteration = fun _ -> ()) model cfg =
       in
       let yield = Option.value ~default:0.0 res.Engine.yield in
       let pass, npass = pass_mask prep results in
+      let next =
+        if it >= cfg.iters || npass = 0 then None
+        else begin
+          let cols = Engine.prep_inputs prep in
+          let n = Engine.prep_points prep in
+          Some
+            (List.map2
+               (fun (cur, sj) b0 ->
+                 let sum = ref 0.0 in
+                 for i = 0 to n - 1 do
+                   if pass.(i) then sum := !sum +. cols.(sj).(i)
+                 done;
+                 let center = !sum /. float_of_int npass in
+                 {
+                   cur with
+                   Plan.dist =
+                     shift_dist ~bounds0:b0 ~shrink:cfg.shrink ~center
+                       cur.Plan.dist;
+                 })
+               (List.combine !axes axis_syms)
+               bounds0)
+        end
+      in
       let entry =
         {
           it;
@@ -165,6 +201,7 @@ let run ?jobs ?block ?(history = []) ?(on_iteration = fun _ -> ()) model cfg =
           yield;
           survivors = Engine.survivors res;
           passing = npass;
+          next_axes = next;
         }
       in
       recorded := entry :: !recorded;
@@ -172,29 +209,9 @@ let run ?jobs ?block ?(history = []) ?(on_iteration = fun _ -> ()) model cfg =
       Obs.Metrics.incr "opt.yield.iters";
       Obs.Metrics.add "opt.yield.points" cfg.points;
       Obs.Metrics.set_gauge "opt.yield.estimate" yield;
-      if it < cfg.iters then begin
-        if npass = 0 then stop := true
-        else begin
-          let cols = Engine.prep_inputs prep in
-          let n = Engine.prep_points prep in
-          axes :=
-            List.map2
-              (fun (cur, sj) b0 ->
-                let sum = ref 0.0 in
-                for i = 0 to n - 1 do
-                  if pass.(i) then sum := !sum +. cols.(sj).(i)
-                done;
-                let center = !sum /. float_of_int npass in
-                {
-                  cur with
-                  Plan.dist =
-                    shift_dist ~bounds0:b0 ~shrink:cfg.shrink ~center
-                      cur.Plan.dist;
-                })
-              (List.combine !axes axis_syms)
-              bounds0
-        end
-      end
+      match next with
+      | Some a -> axes := a
+      | None -> if npass = 0 then stop := true
     end
   done;
   { config = cfg; history = List.rev !recorded; final_axes = !axes }

@@ -24,6 +24,12 @@ type iteration = {
   yield : float;  (** all-spec pass fraction over surviving points *)
   survivors : int;
   passing : int;  (** points passing every spec *)
+  next_axes : Sweep.Plan.axis list option;
+      (** the re-centered axes the {e next} iteration sweeps — [None]
+          when this is the last budgeted iteration or no point passed
+          (no signal to re-center on).  Persisting this with each
+          checkpoint unit is what lets a resumed run continue from the
+          exact re-centering an uninterrupted run would have used. *)
 }
 
 type config = {
@@ -59,7 +65,10 @@ val run :
   result
 (** [history] restores already-completed iterations (the
     checkpoint/resume path): they are re-recorded verbatim and the run
-    continues from the last entry's axes.  [on_iteration] fires after
+    continues from the last entry's [next_axes] — or, when that is
+    [None] mid-budget (the no-passing-points early stop), computes
+    nothing further — so a resumed run is byte-identical to an
+    uninterrupted one.  [on_iteration] fires after
     each {e newly computed} iteration (the checkpoint writer's hook).  If no point passes any spec,
     re-centering has no signal and the run stops early with the history
     so far.  Raises [Awesym_error.Error] (kind [Invalid_request]) on

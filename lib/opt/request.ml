@@ -263,7 +263,11 @@ let iteration_json (i : Recenter.iteration) =
         ("survivors", J.Num (float_of_int i.Recenter.survivors));
         ("passing", J.Num (float_of_int i.Recenter.passing));
         ("axes", axes_json i.Recenter.axes);
-      ])
+      ]
+    @
+    match i.Recenter.next_axes with
+    | None -> []
+    | Some a -> [ ("next_axes", axes_json a) ])
 
 let iteration_of_json j =
   let axes =
@@ -271,12 +275,19 @@ let iteration_of_json j =
     | Some (J.List l) -> List.map axis_of_json l
     | _ -> corrupt "missing axes"
   in
+  let next_axes =
+    match J.member "next_axes" j with
+    | Some (J.List l) -> Some (List.map axis_of_json l)
+    | None -> None
+    | _ -> corrupt "next_axes must be a list"
+  in
   {
     Recenter.it = jint "it" j;
     axes;
     yield = jhex "yield_hex" j;
     survivors = jint "survivors" j;
     passing = jint "passing" j;
+    next_axes;
   }
 
 (* ---- reports ---- *)

@@ -42,6 +42,14 @@ val key : Awesymbolic.Model.t -> t -> string
     shape (order, program size, symbols, nominal bit patterns) — the
     checkpoint handshake, recorded in every report. *)
 
+val check_require : require:bool -> Obs.Json.t -> unit
+(** With [require = true], raise the classified [Max_iters] /
+    [No_descent] error matching the report's [status] field (no-op on a
+    converged report or [require = false]).  The CLI applies this
+    {e after} emitting the report to [--json], so the trajectory is
+    always written before the non-convergence exit — on the local and
+    remote paths alike. *)
+
 val run :
   ?jobs:int ->
   ?block:int ->

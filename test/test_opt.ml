@@ -274,6 +274,113 @@ let test_report_jobs_invariant () =
   let r4 = Json.to_string (Request.run ~jobs:4 model req) in
   Alcotest.(check string) "report bytes identical across jobs" r1 r4
 
+(* Rewrite [path] as the checkpoint an interrupted run would have left
+   behind after its first [keep] completed units: same schema / key /
+   mode, the unit list truncated, no embedded result. *)
+let truncate_checkpoint path keep =
+  let doc =
+    match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "unreadable checkpoint: %s" m
+  in
+  let units =
+    match Json.member "units" doc with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "checkpoint has no units"
+  in
+  if List.length units < keep then
+    Alcotest.failf "checkpoint has %d units, cannot keep %d"
+      (List.length units) keep;
+  let head =
+    List.filter_map
+      (fun f -> Option.map (fun v -> (f, v)) (Json.member f doc))
+      [ "schema"; "kind"; "key"; "mode" ]
+  in
+  Json.to_file path
+    (Json.Obj
+       (head @ [ ("units", Json.List (List.filteri (fun i _ -> i < keep) units)) ]))
+
+(* A yield request whose re-centering actually moves the axes (normal
+   dists + shrink), so a resume that forgot the persisted re-centering
+   would sweep the wrong axes and change the report bytes. *)
+let binding_yield_request ?(iters = 3) model =
+  let nominals = Model.nominal_values model in
+  let e0 =
+    match Engine.point_measures model [ Engine.Elmore_delay ] nominals with
+    | [ e ] -> e
+    | _ -> Alcotest.fail "expected one measure"
+  in
+  let axes =
+    Array.to_list
+      (Array.mapi
+         (fun k s ->
+           { Plan.name = Sym.name s;
+             dist = Dist.normal ~mean:nominals.(k) ~std:(0.15 *. nominals.(k)) })
+         (Model.symbols model))
+  in
+  Request.Yield
+    {
+      (Recenter.default_config ~axes
+         ~specs:
+           [ { Engine.measure = Engine.Elmore_delay; bound = Engine.Le e0 } ])
+      with
+      Recenter.points = 300;
+      iters;
+      shrink = 0.8;
+    }
+
+let test_checkpoint_resume_midrun () =
+  let model = Lazy.force fig1_model in
+  let req = binding_yield_request model in
+  let path = Filename.temp_file "awesym_opt" ".opt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let full = Json.to_string (Request.run ~checkpoint:path model req) in
+  (* Interrupt after each prefix of completed iterations in turn: the
+     resumed run must re-sweep the *persisted re-centered* axes, not the
+     interrupted iteration's own, and land on the same bytes. *)
+  List.iter
+    (fun keep ->
+      truncate_checkpoint path keep;
+      let resumed =
+        Json.to_string (Request.run ~checkpoint:path ~resume:true model req)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "resume after %d iterations is byte-identical" keep)
+        full resumed)
+    [ 1; 2; 3 ]
+
+let test_checkpoint_resume_stopped () =
+  let model = Lazy.force fig1_model in
+  (* An unsatisfiable spec: no point ever passes, so the run stops after
+     the seed sweep with iterations still in budget.  A resume from that
+     interrupted checkpoint must reconstruct the stop, not keep going. *)
+  let req =
+    match binding_yield_request ~iters:3 model with
+    | Request.Yield cfg ->
+      Request.Yield
+        {
+          cfg with
+          Recenter.specs =
+            [ { Engine.measure = Engine.Elmore_delay; bound = Engine.Le (-1.0) } ];
+        }
+    | _ -> assert false
+  in
+  let path = Filename.temp_file "awesym_opt" ".opt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let full = Request.run ~checkpoint:path model req in
+  (match Json.member "iterations" full with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "stopped after the seed sweep" 1 (List.length l)
+  | _ -> Alcotest.fail "report has no iterations");
+  truncate_checkpoint path 1;
+  let resumed =
+    Json.to_string (Request.run ~checkpoint:path ~resume:true model req)
+  in
+  Alcotest.(check string) "resumed stopped run is byte-identical"
+    (Json.to_string full) resumed
+
 let test_checkpoint_resume () =
   let model = Lazy.force fig1_model in
   let req = Request.Size (sizing_config ~restarts:1 ~max_iters:10 model) in
@@ -393,6 +500,10 @@ let () =
           quick "request JSON and key round-trip" test_request_round_trip;
           quick "report bytes invariant across jobs" test_report_jobs_invariant;
           quick "checkpoint resume is byte-identical" test_checkpoint_resume;
+          quick "mid-run interrupt/resume is byte-identical"
+            test_checkpoint_resume_midrun;
+          quick "resume reconstructs the no-passing-points stop"
+            test_checkpoint_resume_stopped;
         ] );
       ( "errors", [ quick "optimizer error kinds round-trip" test_error_kinds ] );
       ( "cache", [ quick "gc sweeps orphaned .opt files" test_cache_gc_opt ] );
